@@ -1,0 +1,52 @@
+// Extension experiment (paper Conclusion): "a spectrum of increasingly
+// complex cost functions" plugged into JECB's Phase-3 search — the paper's
+// distributed-fraction cost, a sites-touched cost, and a weighted-runtime
+// cost with a skew term. On TPC-E the models can disagree: a solution with
+// slightly more distributed transactions that each touch fewer sites can win
+// under the richer models.
+#include "bench_util.h"
+#include "partition/cost_model.h"
+#include "workloads/tpce.h"
+
+using namespace jecb;
+using namespace jecb::bench;
+
+int main() {
+  PrintHeader("Ablation: Phase-3 cost models on TPC-E (k = 8)",
+              "all models land on customer-rooted solutions here; the richer "
+              "models additionally expose sites-touched and skew differences");
+
+  TpceConfig cfg;
+  cfg.customers = 500;
+  WorkloadBundle bundle = TpceWorkload(cfg).Make(12000, 13);
+  auto [train, test] = bundle.trace.SplitTrainTest(0.3);
+
+  struct Model {
+    const char* label;
+    std::shared_ptr<const CostModel> model;
+  };
+  std::vector<Model> models;
+  models.push_back({"distributed-fraction (paper)", nullptr});
+  models.push_back({"sites-touched", std::make_shared<SitesTouchedCost>()});
+  models.push_back({"weighted-runtime", std::make_shared<WeightedRuntimeCost>()});
+
+  AsciiTable table({"cost model", "chosen attr", "distributed", "avg sites/dist txn",
+                    "load skew"});
+  for (const auto& m : models) {
+    JecbOptions opt;
+    opt.num_partitions = 8;
+    opt.combiner.cost_model = m.model;
+    auto res = Jecb(opt).Partition(bundle.db.get(), bundle.procedures, train);
+    CheckOk(res.status(), "cost model bench");
+    EvalResult ev = Evaluate(*bundle.db, res.value().solution, test);
+    double avg_sites =
+        ev.distributed_txns == 0
+            ? 0.0
+            : static_cast<double>(ev.partitions_touched) /
+                  static_cast<double>(ev.distributed_txns);
+    table.AddRow({m.label, res.value().combiner_report.chosen_attr, Pct(ev.cost()),
+                  FormatDouble(avg_sites, 2), FormatDouble(ev.LoadSkew(), 3)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  return 0;
+}

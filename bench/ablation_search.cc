@@ -1,0 +1,91 @@
+// Ablations of the design choices DESIGN.md calls out, on TPC-E and TPC-C:
+//   1. partial solutions (Sec. 5.3) on/off — Trade-Order/Result/Status's
+//      CA_ID partials are what let the customer attribute cover the trade
+//      tables once BROKER is replicated;
+//   2. implicit-join discovery via SELECT-clause attributes (Sec. 5.1);
+//   3. the quasi-independence tier (the epsilon-relaxation of Definition 7
+//      that handles TPC-C's inherent remote accesses);
+//   4. the statistics fallback (Sec. 5.3).
+// Also prints the search-space reduction of the Phase-3 heuristics.
+#include "bench_util.h"
+#include "workloads/tpcc.h"
+#include "workloads/tpce.h"
+
+using namespace jecb;
+using namespace jecb::bench;
+
+namespace {
+
+struct Variant {
+  const char* name;
+  JecbOptions options;
+};
+
+void RunVariants(const char* title, const Workload& workload, size_t txns) {
+  std::printf("--- %s ---\n", title);
+  WorkloadBundle bundle = workload.Make(txns, 5);
+  auto [train, test] = bundle.trace.SplitTrainTest(0.3);
+
+  std::vector<Variant> variants;
+  variants.push_back({"full JECB", {}});
+  {
+    JecbOptions o;
+    o.class_partitioner.enable_partial_solutions = false;
+    variants.push_back({"no partial solutions", o});
+  }
+  {
+    JecbOptions o;
+    o.join_graph.use_select_clause_attrs = false;
+    variants.push_back({"no SELECT-clause joins", o});
+  }
+  {
+    JecbOptions o;
+    o.class_partitioner.quasi_tolerance = 0.0;
+    variants.push_back({"strict Definition 7", o});
+  }
+  {
+    JecbOptions o;
+    o.class_partitioner.enable_stats_fallback = false;
+    o.class_partitioner.enable_range_quasi = false;
+    variants.push_back({"no statistics fallback", o});
+  }
+
+  AsciiTable table({"variant", "test cost", "chosen attr", "naive space",
+                    "combos evaluated", "cpu s"});
+  for (auto& variant : variants) {
+    variant.options.num_partitions = 8;
+    ResourceMeter meter;
+    auto res =
+        Jecb(variant.options).Partition(bundle.db.get(), bundle.procedures, train);
+    auto usage = meter.Stop();
+    CheckOk(res.status(), "ablation");
+    EvalResult ev = Evaluate(*bundle.db, res.value().solution, test);
+    char space[32];
+    std::snprintf(space, sizeof(space), "%.3g",
+                  res.value().combiner_report.naive_search_space);
+    table.AddRow({variant.name, Pct(ev.cost()), res.value().combiner_report.chosen_attr,
+                  space,
+                  std::to_string(res.value().combiner_report.evaluated_combinations),
+                  FormatDouble(usage.cpu_seconds, 1)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Ablations: JECB design choices",
+              "partial solutions and the quasi tier matter on TPC-E/TPC-C; "
+              "the heuristics cut the search space by orders of magnitude");
+
+  TpceConfig tpce;
+  tpce.customers = 500;
+  RunVariants("TPC-E", TpceWorkload(tpce), 12000);
+
+  TpccConfig tpcc;
+  tpcc.warehouses = 8;
+  tpcc.districts_per_warehouse = 6;
+  tpcc.customers_per_district = 20;
+  RunVariants("TPC-C", TpccWorkload(tpcc), 10000);
+  return 0;
+}

@@ -1,0 +1,134 @@
+// Shared plumbing for the experiment binaries: run each partitioning
+// approach on a workload bundle, measure resources, and print paper-style
+// tables and series.
+#pragma once
+
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/ascii_table.h"
+#include "common/string_util.h"
+#include "expr/meter.h"
+#include "horticulture/horticulture.h"
+#include "jecb/jecb.h"
+#include "partition/evaluator.h"
+#include "schism/schism.h"
+#include "workloads/workload.h"
+
+namespace jecb::bench {
+
+/// Outcome of running one approach on one configuration.
+struct RunResult {
+  std::string approach;
+  double test_cost = 0.0;
+  double train_cost = 0.0;
+  double cpu_seconds = 0.0;
+  uint64_t rss_delta_mb = 0;
+  uint64_t peak_rss_mb = 0;
+  std::string detail;  // chosen attribute, graph size, ...
+  EvalResult eval;     // full evaluation on the test trace
+};
+
+/// Fraction of database tuples the trace touches (the paper's "coverage").
+inline double Coverage(const Database& db, const Trace& trace) {
+  std::set<TupleId> seen;
+  for (const auto& txn : trace.transactions()) {
+    for (const auto& a : txn.accesses) seen.insert(a.tuple);
+  }
+  size_t total = db.TotalRows();
+  return total == 0 ? 0.0
+                    : static_cast<double>(seen.size()) / static_cast<double>(total);
+}
+
+inline RunResult RunJecb(Database* db, const std::vector<sql::Procedure>& procs,
+                         const Trace& train, const Trace& test, int32_t k,
+                         JecbOptions opt = {}) {
+  opt.num_partitions = k;
+  ResourceMeter meter;
+  auto res = Jecb(opt).Partition(db, procs, train);
+  auto usage = meter.Stop();
+  CheckOk(res.status(), "RunJecb");
+  RunResult out;
+  out.approach = "JECB";
+  out.train_cost = res.value().combiner_report.best_train_cost;
+  out.eval = Evaluate(*db, res.value().solution, test);
+  out.test_cost = out.eval.cost();
+  out.cpu_seconds = usage.cpu_seconds;
+  out.rss_delta_mb = usage.rss_delta_mb;
+  out.peak_rss_mb = usage.peak_rss_mb;
+  out.detail = res.value().combiner_report.chosen_attr;
+  return out;
+}
+
+inline RunResult RunSchism(Database* db, const Trace& train, const Trace& test,
+                           int32_t k, std::string label = "Schism") {
+  SchismOptions opt;
+  opt.num_partitions = k;
+  ResourceMeter meter;
+  auto res = Schism(opt).Partition(db, train);
+  auto usage = meter.Stop();
+  CheckOk(res.status(), "RunSchism");
+  RunResult out;
+  out.approach = std::move(label);
+  out.eval = Evaluate(*db, res.value().solution, test);
+  out.test_cost = out.eval.cost();
+  out.cpu_seconds = usage.cpu_seconds;
+  out.rss_delta_mb = usage.rss_delta_mb;
+  out.peak_rss_mb = usage.peak_rss_mb;
+  out.detail = "nodes=" + std::to_string(res.value().graph_nodes) +
+               " edges=" + std::to_string(res.value().graph_edges) +
+               " cut=" + std::to_string(res.value().edge_cut);
+  return out;
+}
+
+inline RunResult RunHorticulture(Database* db, const Trace& train, const Trace& test,
+                                 int32_t k) {
+  HorticultureOptions opt;
+  opt.num_partitions = k;
+  ResourceMeter meter;
+  auto res = Horticulture(opt).Partition(db, train);
+  auto usage = meter.Stop();
+  CheckOk(res.status(), "RunHorticulture");
+  RunResult out;
+  out.approach = "Horticulture";
+  out.train_cost = res.value().train_cost;
+  out.eval = Evaluate(*db, res.value().solution, test);
+  out.test_cost = out.eval.cost();
+  out.cpu_seconds = usage.cpu_seconds;
+  out.rss_delta_mb = usage.rss_delta_mb;
+  out.peak_rss_mb = usage.peak_rss_mb;
+  out.detail = std::to_string(res.value().evaluations) + " evaluations";
+  return out;
+}
+
+/// Evaluates a fixed (externally supplied) solution, e.g. the paper's
+/// Horticulture TPC-E solution.
+inline RunResult RunFixedSolution(const Database& db, const DatabaseSolution& solution,
+                                  const Trace& test, std::string label) {
+  RunResult out;
+  out.approach = std::move(label);
+  out.eval = Evaluate(db, solution, test);
+  out.test_cost = out.eval.cost();
+  return out;
+}
+
+inline std::string Pct(double v) { return FormatDouble(v * 100.0, 1) + "%"; }
+
+/// Prints "series <name>: x1=y1 x2=y2 ..." — one line per plotted curve.
+inline void PrintSeries(const std::string& name, const std::vector<int>& xs,
+                        const std::vector<double>& ys) {
+  std::printf("series %-24s", (name + ":").c_str());
+  for (size_t i = 0; i < xs.size(); ++i) {
+    std::printf(" %d=%s", xs[i], Pct(ys[i]).c_str());
+  }
+  std::printf("\n");
+}
+
+inline void PrintHeader(const std::string& title, const std::string& paper_shape) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::printf("paper expectation: %s\n\n", paper_shape.c_str());
+}
+
+}  // namespace jecb::bench

@@ -1,0 +1,65 @@
+// Figure 5: TPC-C, 128 warehouses — % distributed transactions vs number of
+// partitions, for Schism at three training coverages and for JECB.
+//
+// Paper shape: JECB matches the warehouse partitioning at every partition
+// count (flat line at the workload's inherent remote-access floor); Schism
+// is competitive at few partitions / high coverage and degrades as the
+// partition count grows or coverage shrinks.
+#include "bench_util.h"
+#include "workloads/tpcc.h"
+
+using namespace jecb;
+using namespace jecb::bench;
+
+int main() {
+  PrintHeader("Figure 5: TPC-C 128 warehouses",
+              "JECB flat at the remote-access floor for all k; Schism degrades "
+              "with more partitions and less coverage");
+
+  TpccConfig cfg;
+  cfg.warehouses = 128;
+  cfg.districts_per_warehouse = 3;
+  cfg.customers_per_district = 8;
+  cfg.items = 40;
+  cfg.initial_orders_per_district = 2;
+  TpccWorkload workload(cfg);
+
+  const size_t kTotalTxns = 26000;
+  WorkloadBundle bundle = workload.Make(kTotalTxns, 1);
+  auto [full_train, test] = bundle.trace.SplitTrainTest(0.25);
+
+  const std::vector<int> ks = {2, 4, 8, 16, 32, 64, 128};
+  // Training sizes chosen to land at roughly 1% / 5% / 10% of tuples.
+  struct CoverageLevel {
+    const char* label;
+    size_t txns;
+  };
+  const CoverageLevel levels[] = {{"schism 1%", 150}, {"schism 5%", 800},
+                                  {"schism 10%", 1900}};
+
+  AsciiTable table({"approach", "coverage", "k", "test cost", "cpu s", "detail"});
+  std::vector<double> jecb_series;
+  std::vector<std::vector<double>> schism_series(3);
+
+  for (int k : ks) {
+    RunResult jecb = RunJecb(bundle.db.get(), bundle.procedures, full_train, test, k);
+    jecb_series.push_back(jecb.test_cost);
+    table.AddRow({"JECB", Pct(Coverage(*bundle.db, full_train)), std::to_string(k),
+                  Pct(jecb.test_cost), FormatDouble(jecb.cpu_seconds, 1),
+                  jecb.detail});
+    for (size_t li = 0; li < 3; ++li) {
+      Trace train = full_train.Head(levels[li].txns);
+      RunResult schism = RunSchism(bundle.db.get(), train, test, k, levels[li].label);
+      schism_series[li].push_back(schism.test_cost);
+      table.AddRow({levels[li].label, Pct(Coverage(*bundle.db, train)),
+                    std::to_string(k), Pct(schism.test_cost),
+                    FormatDouble(schism.cpu_seconds, 1), schism.detail});
+    }
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  PrintSeries("JECB", ks, jecb_series);
+  for (size_t li = 0; li < 3; ++li) {
+    PrintSeries(levels[li].label, ks, schism_series[li]);
+  }
+  return 0;
+}

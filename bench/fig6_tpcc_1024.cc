@@ -1,0 +1,60 @@
+// Figure 6: TPC-C, 1024 warehouses — Schism at very low coverages (0.1%,
+// 0.2% of the database) against JECB, across partition counts.
+//
+// Paper shape: at this scale Schism's tiny training sets cannot cover the
+// database and quality collapses, while JECB still recovers the warehouse
+// partitioning and stays flat.
+#include "bench_util.h"
+#include "workloads/tpcc.h"
+
+using namespace jecb;
+using namespace jecb::bench;
+
+int main() {
+  PrintHeader("Figure 6: TPC-C 1024 warehouses",
+              "JECB flat; Schism 0.1%/0.2% coverage far worse at all k");
+
+  TpccConfig cfg;
+  cfg.warehouses = 1024;
+  cfg.districts_per_warehouse = 2;
+  cfg.customers_per_district = 5;
+  cfg.items = 20;
+  cfg.initial_orders_per_district = 1;
+  cfg.min_order_lines = 4;
+  cfg.max_order_lines = 8;
+  TpccWorkload workload(cfg);
+
+  WorkloadBundle bundle = workload.Make(30000, 2);
+  auto [full_train, test] = bundle.trace.SplitTrainTest(0.25);
+
+  const std::vector<int> ks = {8, 32, 128, 512, 1024};
+  struct CoverageLevel {
+    const char* label;
+    size_t txns;
+  };
+  const CoverageLevel levels[] = {{"schism 0.1%", 40}, {"schism 0.2%", 80}};
+
+  AsciiTable table({"approach", "coverage", "k", "test cost", "cpu s", "detail"});
+  std::vector<double> jecb_series;
+  std::vector<std::vector<double>> schism_series(2);
+
+  for (int k : ks) {
+    RunResult jecb = RunJecb(bundle.db.get(), bundle.procedures, full_train, test, k);
+    jecb_series.push_back(jecb.test_cost);
+    table.AddRow({"JECB", Pct(Coverage(*bundle.db, full_train)), std::to_string(k),
+                  Pct(jecb.test_cost), FormatDouble(jecb.cpu_seconds, 1), jecb.detail});
+    for (size_t li = 0; li < 2; ++li) {
+      Trace train = full_train.Head(levels[li].txns);
+      RunResult schism = RunSchism(bundle.db.get(), train, test, k, levels[li].label);
+      schism_series[li].push_back(schism.test_cost);
+      table.AddRow({levels[li].label, Pct(Coverage(*bundle.db, train)),
+                    std::to_string(k), Pct(schism.test_cost),
+                    FormatDouble(schism.cpu_seconds, 1), schism.detail});
+    }
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  PrintSeries("JECB", ks, jecb_series);
+  PrintSeries(levels[0].label, ks, schism_series[0]);
+  PrintSeries(levels[1].label, ks, schism_series[1]);
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Figure 7: partitioning quality (% distributed transactions) on the five
+// benchmarks — JECB vs Schism (10%-coverage training) vs Horticulture, at 8
+// partitions.
+//
+// Paper shape: all three tie on TPC-C; JECB and Horticulture solve TATP
+// while Schism errs (~22.6%); JECB is far ahead of Horticulture on SEATS;
+// JECB about equals Horticulture on AuctionMark (both beating Schism); on
+// TPC-E both baselines perform badly while JECB reaches ~21%.
+#include <memory>
+
+#include "bench_util.h"
+#include "workloads/auctionmark.h"
+#include "workloads/seats.h"
+#include "workloads/tatp.h"
+#include "workloads/tpcc.h"
+#include "workloads/tpce.h"
+
+using namespace jecb;
+using namespace jecb::bench;
+
+int main() {
+  PrintHeader("Figure 7: partitioning quality on five benchmarks (k = 8)",
+              "TPC-C tie; TATP Schism errs; SEATS JECB >> Horticulture; "
+              "AuctionMark JECB ~= Horticulture; TPC-E JECB ~21%, baselines bad");
+
+  struct Bench {
+    std::unique_ptr<Workload> workload;
+    size_t txns;
+    size_t schism_train_txns;  // ~10% coverage
+  };
+  std::vector<Bench> benches;
+  {
+    TpccConfig tpcc;
+    tpcc.warehouses = 8;
+    tpcc.districts_per_warehouse = 6;
+    tpcc.customers_per_district = 30;
+    // Paper: all three approaches tie on TPC-C. Its 10% coverage of a
+    // 12M-tuple database is a ~400k-transaction sample; at this scale the
+    // equivalent regime (a well-sampled tuple graph) needs ~3k transactions,
+    // not a literal 10% of our small database.
+    benches.push_back({std::make_unique<TpccWorkload>(tpcc), 14000, 6000});
+    TatpConfig tatp;
+    tatp.subscribers = 4000;
+    benches.push_back({std::make_unique<TatpWorkload>(tatp), 14000, 1200});
+    SeatsConfig seats;
+    seats.customers = 2500;
+    benches.push_back({std::make_unique<SeatsWorkload>(seats), 14000, 1400});
+    AuctionMarkConfig am;
+    am.users = 2000;
+    benches.push_back({std::make_unique<AuctionMarkWorkload>(am), 14000, 1600});
+    TpceConfig tpce;
+    tpce.customers = 600;
+    benches.push_back({std::make_unique<TpceWorkload>(tpce), 14000, 2600});
+  }
+
+  const int32_t k = 8;
+  AsciiTable table({"benchmark", "JECB", "Schism 10%", "Horticulture", "notes"});
+  for (auto& bench : benches) {
+    WorkloadBundle bundle = bench.workload->Make(bench.txns, 77);
+    auto [train, test] = bundle.trace.SplitTrainTest(0.3);
+
+    RunResult jecb = RunJecb(bundle.db.get(), bundle.procedures, train, test, k);
+    Trace schism_train = train.Head(bench.schism_train_txns);
+    RunResult schism = RunSchism(bundle.db.get(), schism_train, test, k);
+    RunResult hc;
+    std::string notes = "attr " + jecb.detail + ", schism cov " +
+                        Pct(Coverage(*bundle.db, schism_train));
+    if (bench.workload->name() == "TPC-E") {
+      // The paper applies the Horticulture solution its authors supplied
+      // (Table 4); our LNS reimplementation is reported in the ablations.
+      DatabaseSolution paper = HorticulturePaperTpceSolution(*bundle.db, k);
+      hc = RunFixedSolution(*bundle.db, paper, test, "Horticulture");
+      notes += ", HC = paper Table 4 solution";
+    } else {
+      hc = RunHorticulture(bundle.db.get(), train, test, k);
+    }
+    table.AddRow({bench.workload->name(), Pct(jecb.test_cost), Pct(schism.test_cost),
+                  Pct(hc.test_cost), notes});
+    std::printf("%s done\n", bench.workload->name().c_str());
+  }
+  std::printf("\n%s\n", table.ToString().c_str());
+  return 0;
+}

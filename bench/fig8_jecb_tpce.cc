@@ -1,0 +1,37 @@
+// Figure 8: per-transaction-class % distributed transactions under JECB's
+// TPC-E solution (8 partitions).
+//
+// Paper shape: Customer-Position, Market-Watch, TL-F2/F4, Trade-Order,
+// Trade-Status, TU-F2 ~local; the seven bad classes are group 1
+// (Broker-Volume, Market-Feed, TL-F1, TU-F1: inherently non-partitionable)
+// and group 2 (TL-F3, Trade-Result, TU-F3: roots incompatible with C_ID).
+#include "bench_util.h"
+#include "workloads/tpce.h"
+
+using namespace jecb;
+using namespace jecb::bench;
+
+int main() {
+  PrintHeader("Figure 8: JECB on TPC-E, per-class distributed fraction",
+              "bad: BV, MF, TL-F1, TU-F1 (group 1) and TL-F3, TradeResult, "
+              "TU-F3 (group 2); the rest ~0");
+
+  TpceConfig cfg;
+  cfg.customers = 600;
+  WorkloadBundle bundle = TpceWorkload(cfg).Make(16000, 3);
+  auto [train, test] = bundle.trace.SplitTrainTest(0.3);
+
+  JecbOptions opt;
+  opt.num_partitions = 8;
+  auto result = Jecb(opt).Partition(bundle.db.get(), bundle.procedures, train);
+  CheckOk(result.status(), "fig8");
+  EvalResult ev = Evaluate(*bundle.db, result.value().solution, test);
+
+  AsciiTable table({"Transaction class", "distributed"});
+  for (uint32_t c = 0; c < test.num_classes(); ++c) {
+    table.AddRow({test.class_name(c), Pct(ev.class_cost(c))});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("overall: %s (paper: 21%%)\n", Pct(ev.cost()).c_str());
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Figure 9: per-transaction-class % distributed transactions under the
+// Horticulture TPC-E solution (paper Table 4), 8 partitions.
+//
+// Paper shape: Horticulture wins only on Broker-Volume (it replicates
+// BROKER and TRADE_REQUEST, which in turn makes Trade-Order distributed)
+// and performs badly on Customer-Position, Market-Watch, TL-F2 and TU-F2,
+// which JECB makes completely local.
+#include "bench_util.h"
+#include "workloads/tpce.h"
+
+using namespace jecb;
+using namespace jecb::bench;
+
+int main() {
+  PrintHeader("Figure 9: Horticulture (paper solution) on TPC-E, per class",
+              "good on Broker-Volume; bad on Customer-Position, Market-Watch, "
+              "TL-F2, TU-F2 and Trade-Order");
+
+  TpceConfig cfg;
+  cfg.customers = 600;
+  WorkloadBundle bundle = TpceWorkload(cfg).Make(16000, 3);
+  auto [train, test] = bundle.trace.SplitTrainTest(0.3);
+  // Phase-1 classification for consistent read-only replication semantics.
+  auto classes = ClassifyTables(bundle.db->schema(), train);
+  ApplyClassification(&bundle.db->mutable_schema(), classes);
+
+  DatabaseSolution hc = HorticulturePaperTpceSolution(*bundle.db, 8);
+  EvalResult ev = Evaluate(*bundle.db, hc, test);
+
+  AsciiTable table({"Transaction class", "distributed"});
+  for (uint32_t c = 0; c < test.num_classes(); ++c) {
+    table.AddRow({test.class_name(c), Pct(ev.class_cost(c))});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("overall: %s\n", Pct(ev.cost()).c_str());
+  return 0;
+}

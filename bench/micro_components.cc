@@ -1,0 +1,165 @@
+// Component micro-benchmarks (google-benchmark): the hot paths behind every
+// experiment — join-path evaluation, whole-solution evaluation over a trace,
+// min-cut graph partitioning, decision-tree training/prediction and the SQL
+// front end.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "graph/partitioner.h"
+#include "jecb/jecb.h"
+#include "ml/decision_tree.h"
+#include "partition/evaluator.h"
+#include "sql/analyzer.h"
+#include "sql/parser.h"
+#include "workloads/tpcc.h"
+#include "workloads/tpce.h"
+
+namespace jecb {
+namespace {
+
+const WorkloadBundle& TpccBundle() {
+  static WorkloadBundle bundle = [] {
+    TpccConfig cfg;
+    cfg.warehouses = 8;
+    return TpccWorkload(cfg).Make(4000, 1);
+  }();
+  return bundle;
+}
+
+void BM_JoinPathEvaluate(benchmark::State& state) {
+  const WorkloadBundle& b = TpccBundle();
+  const Schema& s = b.db->schema();
+  TableId ol = s.FindTable("ORDER_LINE").value();
+  // ORDER_LINE -> ORDERS -> CUSTOMER -> DISTRICT -> WAREHOUSE.W_ID
+  JoinPath path;
+  path.source_table = ol;
+  TableId cur = ol;
+  const TableId warehouse = s.FindTable("WAREHOUSE").value();
+  while (cur != warehouse) {
+    bool advanced = false;
+    for (FkIdx f = 0; f < s.foreign_keys().size(); ++f) {
+      const ForeignKey& fk = s.foreign_keys()[f];
+      if (fk.table == cur && fk.ref_table != s.FindTable("STOCK").value() &&
+          fk.ref_table != s.FindTable("ITEM").value()) {
+        path.hops.push_back(f);
+        cur = fk.ref_table;
+        advanced = true;
+        break;
+      }
+    }
+    if (!advanced) break;
+  }
+  path.dest = s.ResolveQualified("WAREHOUSE.W_ID").value();
+  CheckOk(path.Validate(s), "BM_JoinPathEvaluate");
+
+  const TableData& data = b.db->table_data(ol);
+  RowId r = 0;
+  for (auto _ : state) {
+    auto v = path.Evaluate(*b.db, TupleId{ol, r});
+    benchmark::DoNotOptimize(v);
+    r = (r + 1) % static_cast<RowId>(data.num_rows());
+  }
+}
+BENCHMARK(BM_JoinPathEvaluate);
+
+void BM_EvaluateSolutionOverTrace(benchmark::State& state) {
+  WorkloadBundle b = TpccWorkload(TpccConfig{.warehouses = 8}).Make(2000, 1);
+  auto [train, test] = b.trace.SplitTrainTest(0.3);
+  JecbOptions opt;
+  opt.num_partitions = 8;
+  auto res = Jecb(opt).Partition(b.db.get(), b.procedures, train);
+  CheckOk(res.status(), "BM_EvaluateSolutionOverTrace");
+  for (auto _ : state) {
+    EvalResult ev = Evaluate(*b.db, res.value().solution, test);
+    benchmark::DoNotOptimize(ev.distributed_txns);
+  }
+  state.SetItemsProcessed(state.iterations() * test.size());
+}
+BENCHMARK(BM_EvaluateSolutionOverTrace);
+
+void BM_GraphPartition(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::mt19937_64 rng(5);
+  GraphBuilder builder(n, 1);
+  for (int c = 0; c < 8; ++c) {
+    for (int i = 0; i < n / 8; ++i) {
+      for (int e = 0; e < 6; ++e) {
+        builder.AddEdge(c * (n / 8) + i, c * (n / 8) + rng() % (n / 8), 2);
+      }
+    }
+  }
+  Graph g = builder.Build();
+  GraphPartitionOptions opt;
+  opt.num_parts = 8;
+  for (auto _ : state) {
+    auto part = PartitionGraph(g, opt);
+    benchmark::DoNotOptimize(part.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_GraphPartition)->Arg(4096)->Arg(32768);
+
+void BM_DecisionTreeTrain(benchmark::State& state) {
+  std::mt19937_64 rng(7);
+  std::vector<std::vector<int64_t>> x;
+  std::vector<int32_t> y;
+  for (int i = 0; i < 20000; ++i) {
+    int64_t w = static_cast<int64_t>(rng() % 128);
+    x.push_back({w, static_cast<int64_t>(rng() % 1000), static_cast<int64_t>(rng())});
+    y.push_back(static_cast<int32_t>(w % 8));
+  }
+  for (auto _ : state) {
+    DecisionTree t = DecisionTree::Train(x, y, 8);
+    benchmark::DoNotOptimize(t.num_nodes());
+  }
+  state.SetItemsProcessed(state.iterations() * x.size());
+}
+BENCHMARK(BM_DecisionTreeTrain);
+
+void BM_DecisionTreePredict(benchmark::State& state) {
+  std::mt19937_64 rng(7);
+  std::vector<std::vector<int64_t>> x;
+  std::vector<int32_t> y;
+  for (int i = 0; i < 4000; ++i) {
+    int64_t w = static_cast<int64_t>(rng() % 128);
+    x.push_back({w, static_cast<int64_t>(rng() % 1000)});
+    y.push_back(static_cast<int32_t>(w % 8));
+  }
+  DecisionTree t = DecisionTree::Train(x, y, 8);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.Predict(x[i]));
+    i = (i + 1) % x.size();
+  }
+}
+BENCHMARK(BM_DecisionTreePredict);
+
+void BM_ParseAndAnalyzeTpceProcedures(benchmark::State& state) {
+  WorkloadBundle b = TpceWorkload(TpceConfig{.customers = 40}).Make(10, 1);
+  for (auto _ : state) {
+    for (const auto& proc : b.procedures) {
+      auto info = sql::AnalyzeProcedure(b.db->schema(), proc);
+      benchmark::DoNotOptimize(info.ok());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * b.procedures.size());
+}
+BENCHMARK(BM_ParseAndAnalyzeTpceProcedures);
+
+void BM_JecbEndToEndTpcc(benchmark::State& state) {
+  WorkloadBundle b = TpccWorkload(TpccConfig{.warehouses = 8}).Make(3000, 1);
+  auto [train, test] = b.trace.SplitTrainTest(0.3);
+  JecbOptions opt;
+  opt.num_partitions = 8;
+  for (auto _ : state) {
+    auto res = Jecb(opt).Partition(b.db.get(), b.procedures, train);
+    benchmark::DoNotOptimize(res.ok());
+  }
+}
+BENCHMARK(BM_JecbEndToEndTpcc);
+
+}  // namespace
+}  // namespace jecb
+
+BENCHMARK_MAIN();

@@ -1,0 +1,50 @@
+// Table 2: resource consumption for partitioning the TPC-C 1024-warehouse
+// database — Schism at 0.1%/0.2% coverage vs JECB.
+//
+// Paper shape: Schism needs 5.3 GB / 1250 s at 0.1% and 30 GB / 3870 s at
+// 0.2% coverage; JECB stays at 30 MB / 36 s regardless of database size.
+#include "bench_util.h"
+#include "workloads/tpcc.h"
+
+using namespace jecb;
+using namespace jecb::bench;
+
+int main() {
+  PrintHeader("Table 2: resource consumption, TPC-C 1024 warehouses",
+              "Schism grows with coverage x database size; JECB independent of both");
+
+  TpccConfig cfg;
+  cfg.warehouses = 1024;
+  cfg.districts_per_warehouse = 2;
+  cfg.customers_per_district = 5;
+  cfg.items = 20;
+  cfg.initial_orders_per_district = 1;
+  cfg.min_order_lines = 4;
+  cfg.max_order_lines = 8;
+  WorkloadBundle bundle = TpccWorkload(cfg).Make(30000, 2);
+  auto [full_train, test] = bundle.trace.SplitTrainTest(0.25);
+
+  const int32_t k = 128;
+  AsciiTable table({"approach", "coverage", "RAM delta (MB)", "CPU (seconds)",
+                    "test cost"});
+  struct Level {
+    const char* label;
+    size_t txns;
+  };
+  for (Level level : std::initializer_list<Level>{{"schism 0.1%", 40},
+                                                  {"schism 0.2%", 80},
+                                                  {"schism 10%", 4500},
+                                                  {"schism 50%", 17000}}) {
+    Trace train = full_train.Head(level.txns);
+    RunResult r = RunSchism(bundle.db.get(), train, test, k, level.label);
+    table.AddRow({level.label, Pct(Coverage(*bundle.db, train)),
+                  std::to_string(r.rss_delta_mb), FormatDouble(r.cpu_seconds, 2),
+                  Pct(r.test_cost)});
+  }
+  RunResult jecb = RunJecb(bundle.db.get(), bundle.procedures, full_train, test, k);
+  table.AddRow({"JECB", Pct(Coverage(*bundle.db, full_train)),
+                std::to_string(jecb.rss_delta_mb), FormatDouble(jecb.cpu_seconds, 2),
+                Pct(jecb.test_cost)});
+  std::printf("%s\n", table.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,127 @@
+// Command-line driver: run any built-in benchmark workload through any of
+// the three partitioners and print the paper-style reports.
+//
+//   ./jecb_cli <workload> [--approach jecb|schism|horticulture|all]
+//              [--partitions K] [--txns N] [--seed S] [--scale X]
+//
+//   workloads: tpcc tatp seats auctionmark tpce synthetic
+//
+// Examples:
+//   ./jecb_cli tpce --partitions 8
+//   ./jecb_cli tpcc --approach all --partitions 32 --txns 20000
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "horticulture/horticulture.h"
+#include "jecb/jecb.h"
+#include "partition/evaluator.h"
+#include "schism/schism.h"
+#include "workloads/registry.h"
+
+using namespace jecb;
+
+namespace {
+
+void Report(const char* label, const Database& db, const DatabaseSolution& solution,
+            const Trace& test) {
+  EvalResult ev = Evaluate(db, solution, test);
+  std::printf("%-14s %5.1f%% distributed  (load skew %.3f)\n", label,
+              100.0 * ev.cost(), ev.LoadSkew());
+  for (uint32_t c = 0; c < test.num_classes(); ++c) {
+    std::printf("    %-24s %5.1f%%\n", test.class_name(c).c_str(),
+                100.0 * ev.class_cost(c));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s <tpcc|tatp|seats|auctionmark|tpce|synthetic>\n"
+                 "          [--approach jecb|schism|horticulture|all]\n"
+                 "          [--partitions K] [--txns N] [--seed S] [--scale X]\n",
+                 argv[0]);
+    return 2;
+  }
+  std::string workload_name = argv[1];
+  std::string approach = "jecb";
+  int32_t k = 8;
+  size_t txns = 12000;
+  uint64_t seed = 1;
+  double scale = 1.0;
+  for (int i = 2; i + 1 < argc; i += 2) {
+    std::string flag = argv[i];
+    if (flag == "--approach") {
+      approach = argv[i + 1];
+    } else if (flag == "--partitions") {
+      k = std::atoi(argv[i + 1]);
+    } else if (flag == "--txns") {
+      txns = static_cast<size_t>(std::atoll(argv[i + 1]));
+    } else if (flag == "--seed") {
+      seed = static_cast<uint64_t>(std::atoll(argv[i + 1]));
+    } else if (flag == "--scale") {
+      scale = std::atof(argv[i + 1]);
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
+      return 2;
+    }
+  }
+
+  std::unique_ptr<Workload> workload = MakeWorkloadByName(workload_name, scale);
+  if (workload == nullptr) {
+    std::fprintf(stderr, "unknown workload %s\n", workload_name.c_str());
+    return 2;
+  }
+  std::printf("generating %s: %zu transactions (seed %llu)...\n",
+              workload->name().c_str(), txns,
+              static_cast<unsigned long long>(seed));
+  WorkloadBundle bundle = workload->Make(txns, seed);
+  auto [train, test] = bundle.trace.SplitTrainTest(0.3);
+  std::printf("database: %zu tuples, %zu tables; training %zu txns, testing %zu\n\n",
+              bundle.db->TotalRows(), bundle.db->schema().num_tables(), train.size(),
+              test.size());
+
+  if (approach == "jecb" || approach == "all") {
+    JecbOptions opt;
+    opt.num_partitions = k;
+    auto res = Jecb(opt).Partition(bundle.db.get(), bundle.procedures, train);
+    CheckOk(res.status(), "jecb");
+    std::printf("%s\n", FormatClassSolutions(bundle.db->schema(),
+                                             res.value().classes)
+                            .c_str());
+    std::printf("%s\n",
+                FormatTableSolutions(bundle.db->schema(), res.value().solution)
+                    .c_str());
+    std::printf("chosen attribute: %s  (%.1f s, %llu combinations)\n",
+                res.value().combiner_report.chosen_attr.c_str(),
+                res.value().elapsed_seconds,
+                static_cast<unsigned long long>(
+                    res.value().combiner_report.evaluated_combinations));
+    Report("JECB:", *bundle.db, res.value().solution, test);
+  }
+  if (approach == "schism" || approach == "all") {
+    SchismOptions opt;
+    opt.num_partitions = k;
+    auto res = Schism(opt).Partition(bundle.db.get(), train);
+    CheckOk(res.status(), "schism");
+    std::printf("\nschism graph: %zu nodes, %zu edges, cut %llu, "
+                "explanation accuracy %.3f\n",
+                res.value().graph_nodes, res.value().graph_edges,
+                static_cast<unsigned long long>(res.value().edge_cut),
+                res.value().explanation_accuracy);
+    Report("Schism:", *bundle.db, res.value().solution, test);
+  }
+  if (approach == "horticulture" || approach == "all") {
+    HorticultureOptions opt;
+    opt.num_partitions = k;
+    auto res = Horticulture(opt).Partition(bundle.db.get(), train);
+    CheckOk(res.status(), "horticulture");
+    std::printf("\nhorticulture: %d cost evaluations\n", res.value().evaluations);
+    Report("Horticulture:", *bundle.db, res.value().solution, test);
+  }
+  return 0;
+}

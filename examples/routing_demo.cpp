@@ -1,0 +1,80 @@
+// Runtime routing example (paper Sec. 3): after partitioning SEATS with
+// JECB, route incoming requests to partitions with lookup tables — including
+// the mismatch case where the routing attribute differs from the
+// partitioning attribute and a join-path-derived lookup table saves the day.
+//
+//   ./routing_demo
+#include <cstdio>
+
+#include "jecb/jecb.h"
+#include "partition/evaluator.h"
+#include "partition/router.h"
+#include "workloads/seats.h"
+
+using namespace jecb;
+
+static void Show(const Schema& s, Router* router, const char* attr, const Value& v) {
+  ColumnRef ref = s.ResolveQualified(attr).value();
+  auto parts = router->RouteValue(ref, v);
+  std::printf("  route %-28s = %-6s ->", attr, v.ToString().c_str());
+  for (int32_t p : parts) {
+    if (p == kReplicated) {
+      std::printf(" any");
+    } else {
+      std::printf(" p%d", p);
+    }
+  }
+  std::printf("   (lookup table: %zu entries)\n", router->LookupTableSize(ref));
+}
+
+int main() {
+  SeatsConfig cfg;
+  cfg.customers = 300;
+  WorkloadBundle bundle = SeatsWorkload(cfg).Make(6000, 11);
+  auto [train, test] = bundle.trace.SplitTrainTest(0.3);
+
+  JecbOptions opt;
+  opt.num_partitions = 4;
+  auto result = Jecb(opt).Partition(bundle.db.get(), bundle.procedures, train);
+  CheckOk(result.status(), "jecb");
+  const Schema& s = bundle.db->schema();
+  std::printf("SEATS partitioned on %s into 4 partitions:\n%s\n",
+              result.value().combiner_report.chosen_attr.c_str(),
+              FormatTableSolutions(s, result.value().solution).c_str());
+
+  Router router(bundle.db.get(), &result.value().solution);
+
+  std::printf("routing by the partitioning attribute itself:\n");
+  Show(s, &router, "CUSTOMER.C_ID", Value(0));
+  Show(s, &router, "CUSTOMER.C_ID", Value(42));
+
+  std::printf("\nrouting by finer attributes via lookup tables (Sec. 3):\n");
+  // A reservation id arrives with an UpdateReservation call; the lookup
+  // table built over RESERVATION.R_ID maps it to the one partition holding
+  // the reservation (placed by the customer of its frequent-flyer account).
+  Show(s, &router, "RESERVATION.R_ID", Value(0));
+  Show(s, &router, "RESERVATION.R_ID", Value(17));
+  Show(s, &router, "FREQUENT_FLYER.FF_ID", Value(5));
+
+  std::printf("\nrouting by an incompatible attribute broadcasts:\n");
+  // Flight ids do not determine customers: most flights have reservations
+  // in many partitions.
+  Show(s, &router, "RESERVATION.R_F_ID", Value(3));
+
+  std::printf("\nreplicated reference data is available anywhere:\n");
+  Show(s, &router, "AIRPORT.AP_ID", Value(1));
+
+  // Verify the router agrees with the evaluator: a routed single-partition
+  // value means all matching tuples are co-located.
+  ColumnRef r_id = s.ResolveQualified("RESERVATION.R_ID").value();
+  size_t single = 0;
+  size_t total = 0;
+  const TableData& reservations =
+      bundle.db->table_data(s.FindTable("RESERVATION").value());
+  for (RowId row = 0; row < reservations.num_rows() && total < 500; ++row, ++total) {
+    if (router.RouteValue(r_id, reservations.At(row, 0)).size() == 1) ++single;
+  }
+  std::printf("\n%zu / %zu sampled reservations route to exactly one partition\n",
+              single, total);
+  return single == total ? 0 : 1;
+}

@@ -1,0 +1,70 @@
+// Domain example: partition the TPC-E brokerage workload and compare all
+// three approaches side by side — the paper's headline scenario.
+//
+//   ./tpce_partitioning [num_partitions] [customers]
+#include <cstdio>
+#include <cstdlib>
+
+#include "horticulture/horticulture.h"
+#include "jecb/jecb.h"
+#include "partition/evaluator.h"
+#include "schism/schism.h"
+#include "workloads/tpce.h"
+
+using namespace jecb;
+
+int main(int argc, char** argv) {
+  int32_t k = argc > 1 ? std::atoi(argv[1]) : 8;
+  TpceConfig cfg;
+  cfg.customers = argc > 2 ? std::atoi(argv[2]) : 400;
+
+  std::printf("Generating TPC-E (%d customers), 12000 transactions...\n",
+              cfg.customers);
+  WorkloadBundle bundle = TpceWorkload(cfg).Make(12000, 99);
+  auto [train, test] = bundle.trace.SplitTrainTest(0.3);
+  std::printf("database: %zu tuples across %zu tables\n\n", bundle.db->TotalRows(),
+              bundle.db->schema().num_tables());
+
+  // ---- JECB -----------------------------------------------------------------
+  JecbOptions opt;
+  opt.num_partitions = k;
+  auto jecb = Jecb(opt).Partition(bundle.db.get(), bundle.procedures, train);
+  CheckOk(jecb.status(), "jecb");
+  std::printf("JECB found its solution in %.1f s; per-class view:\n%s\n",
+              jecb.value().elapsed_seconds,
+              FormatClassSolutions(bundle.db->schema(), jecb.value().classes).c_str());
+
+  EvalResult jecb_ev = Evaluate(*bundle.db, jecb.value().solution, test);
+
+  // ---- Baselines --------------------------------------------------------------
+  SchismOptions schism_opt;
+  schism_opt.num_partitions = k;
+  auto schism = Schism(schism_opt).Partition(bundle.db.get(), train);
+  CheckOk(schism.status(), "schism");
+  EvalResult schism_ev = Evaluate(*bundle.db, schism.value().solution, test);
+
+  HorticultureOptions hc_opt;
+  hc_opt.num_partitions = k;
+  auto hc = Horticulture(hc_opt).Partition(bundle.db.get(), train);
+  CheckOk(hc.status(), "horticulture");
+  EvalResult hc_ev = Evaluate(*bundle.db, hc.value().solution, test);
+
+  DatabaseSolution hc_paper = HorticulturePaperTpceSolution(*bundle.db, k);
+  EvalResult hc_paper_ev = Evaluate(*bundle.db, hc_paper, test);
+
+  std::printf("distributed transactions at k = %d:\n", k);
+  std::printf("  JECB                  %5.1f%%   (%s)\n", 100.0 * jecb_ev.cost(),
+              jecb.value().combiner_report.chosen_attr.c_str());
+  std::printf("  Schism                %5.1f%%   (%zu-node tuple graph)\n",
+              100.0 * schism_ev.cost(), schism.value().graph_nodes);
+  std::printf("  Horticulture (search) %5.1f%%   (%d cost evaluations)\n",
+              100.0 * hc_ev.cost(), hc.value().evaluations);
+  std::printf("  Horticulture (paper)  %5.1f%%\n", 100.0 * hc_paper_ev.cost());
+
+  std::printf("\nJECB per-class costs (Figure 8):\n");
+  for (uint32_t c = 0; c < test.num_classes(); ++c) {
+    std::printf("  %-20s %5.1f%%\n", test.class_name(c).c_str(),
+                100.0 * jecb_ev.class_cost(c));
+  }
+  return 0;
+}

@@ -1,0 +1,179 @@
+#include "catalog/schema.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace jecb {
+
+std::string_view ValueTypeToString(ValueType t) {
+  switch (t) {
+    case ValueType::kInt64:
+      return "INT64";
+    case ValueType::kDouble:
+      return "DOUBLE";
+    case ValueType::kString:
+      return "STRING";
+  }
+  return "?";
+}
+
+Result<ColumnIdx> Table::FindColumn(std::string_view col_name) const {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (EqualsIgnoreCase(columns[i].name, col_name)) {
+      return static_cast<ColumnIdx>(i);
+    }
+  }
+  return Status::NotFound("column " + std::string(col_name) + " in table " + name);
+}
+
+bool Table::HasColumn(std::string_view col_name) const {
+  return FindColumn(col_name).ok();
+}
+
+bool Table::IsUniqueKey(const std::vector<ColumnIdx>& cols) const {
+  auto matches = [&](const std::vector<ColumnIdx>& key) {
+    if (key.size() != cols.size()) return false;
+    std::vector<ColumnIdx> a = key, b = cols;
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    return a == b;
+  };
+  if (matches(primary_key)) return true;
+  for (const auto& uk : unique_keys) {
+    if (matches(uk)) return true;
+  }
+  return false;
+}
+
+Result<TableId> Schema::AddTable(std::string name) {
+  std::string key = ToUpper(name);
+  if (table_by_name_.count(key) > 0) {
+    return Status::AlreadyExists("table " + name);
+  }
+  TableId id = static_cast<TableId>(tables_.size());
+  Table t;
+  t.id = id;
+  t.name = std::move(name);
+  tables_.push_back(std::move(t));
+  table_by_name_[key] = id;
+  return id;
+}
+
+Status Schema::AddColumn(TableId table, std::string name, ValueType type) {
+  if (table >= tables_.size()) return Status::OutOfRange("bad table id");
+  Table& t = tables_[table];
+  if (t.HasColumn(name)) {
+    return Status::AlreadyExists("column " + name + " in " + t.name);
+  }
+  t.columns.push_back(Column{std::move(name), type});
+  return Status::OK();
+}
+
+Status Schema::SetPrimaryKey(TableId table, const std::vector<std::string>& cols) {
+  if (table >= tables_.size()) return Status::OutOfRange("bad table id");
+  Table& t = tables_[table];
+  t.primary_key.clear();
+  for (const auto& c : cols) {
+    JECB_ASSIGN_OR_RETURN(ColumnIdx idx, t.FindColumn(c));
+    t.primary_key.push_back(idx);
+  }
+  return Status::OK();
+}
+
+Status Schema::AddUniqueKey(TableId table, const std::vector<std::string>& cols) {
+  if (table >= tables_.size()) return Status::OutOfRange("bad table id");
+  Table& t = tables_[table];
+  std::vector<ColumnIdx> key;
+  for (const auto& c : cols) {
+    JECB_ASSIGN_OR_RETURN(ColumnIdx idx, t.FindColumn(c));
+    key.push_back(idx);
+  }
+  t.unique_keys.push_back(std::move(key));
+  return Status::OK();
+}
+
+Status Schema::AddForeignKey(std::string_view table,
+                             const std::vector<std::string>& cols,
+                             std::string_view ref_table,
+                             const std::vector<std::string>& ref_cols) {
+  if (cols.size() != ref_cols.size() || cols.empty()) {
+    return Status::InvalidArgument("foreign key column count mismatch");
+  }
+  JECB_ASSIGN_OR_RETURN(TableId tid, FindTable(table));
+  JECB_ASSIGN_OR_RETURN(TableId rid, FindTable(ref_table));
+  ForeignKey fk;
+  fk.table = tid;
+  fk.ref_table = rid;
+  for (const auto& c : cols) {
+    JECB_ASSIGN_OR_RETURN(ColumnIdx idx, tables_[tid].FindColumn(c));
+    fk.columns.push_back(idx);
+  }
+  for (const auto& c : ref_cols) {
+    JECB_ASSIGN_OR_RETURN(ColumnIdx idx, tables_[rid].FindColumn(c));
+    fk.ref_columns.push_back(idx);
+  }
+  if (!tables_[rid].IsUniqueKey(fk.ref_columns)) {
+    return Status::InvalidArgument(
+        "foreign key from " + std::string(table) + " must reference a unique key of " +
+        std::string(ref_table));
+  }
+  foreign_keys_.push_back(std::move(fk));
+  return Status::OK();
+}
+
+Result<TableId> Schema::FindTable(std::string_view name) const {
+  auto it = table_by_name_.find(ToUpper(name));
+  if (it == table_by_name_.end()) {
+    return Status::NotFound("table " + std::string(name));
+  }
+  return it->second;
+}
+
+bool Schema::HasTable(std::string_view name) const {
+  return table_by_name_.count(ToUpper(name)) > 0;
+}
+
+std::vector<const ForeignKey*> Schema::ForeignKeysFrom(TableId table) const {
+  std::vector<const ForeignKey*> out;
+  for (const auto& fk : foreign_keys_) {
+    if (fk.table == table) out.push_back(&fk);
+  }
+  return out;
+}
+
+std::vector<const ForeignKey*> Schema::ForeignKeysTo(TableId table) const {
+  std::vector<const ForeignKey*> out;
+  for (const auto& fk : foreign_keys_) {
+    if (fk.ref_table == table) out.push_back(&fk);
+  }
+  return out;
+}
+
+std::string Schema::QualifiedName(const ColumnRef& ref) const {
+  const Table& t = tables_[ref.table];
+  return t.name + "." + t.columns[ref.column].name;
+}
+
+Result<ColumnRef> Schema::ResolveQualified(std::string_view qualified) const {
+  size_t dot = qualified.find('.');
+  if (dot == std::string_view::npos) {
+    return Status::InvalidArgument("expected TABLE.COLUMN, got " +
+                                   std::string(qualified));
+  }
+  JECB_ASSIGN_OR_RETURN(TableId tid, FindTable(qualified.substr(0, dot)));
+  JECB_ASSIGN_OR_RETURN(ColumnIdx cid,
+                        tables_[tid].FindColumn(qualified.substr(dot + 1)));
+  return ColumnRef{tid, cid};
+}
+
+void CheckOk(const Status& status, const char* context) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "FATAL %s: %s\n", context, status.ToString().c_str());
+    std::abort();
+  }
+}
+
+}  // namespace jecb

@@ -1,0 +1,36 @@
+#include "common/ascii_table.h"
+
+#include <algorithm>
+
+namespace jecb {
+
+std::string AsciiTable::ToString() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (size_t c = 0; c < widths.size(); ++c) {
+      std::string cell = c < row.size() ? row[c] : "";
+      cell.resize(widths[c], ' ');
+      line += " " + cell + " |";
+    }
+    return line + "\n";
+  };
+
+  std::string rule = "+";
+  for (size_t w : widths) rule += std::string(w + 2, '-') + "+";
+  rule += "\n";
+
+  std::string out = rule + render_row(header_) + rule;
+  for (const auto& row : rows_) out += render_row(row);
+  out += rule;
+  return out;
+}
+
+}  // namespace jecb

@@ -1,0 +1,29 @@
+// AsciiTable: fixed-width text tables for experiment reports, so bench
+// binaries can print rows in the same layout as the paper's tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace jecb {
+
+/// Accumulates rows of string cells and renders an aligned ASCII table.
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  /// Appends one row; short rows are padded with empty cells.
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  /// Renders with column separators and a header rule.
+  std::string ToString() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace jecb

@@ -1,0 +1,39 @@
+// Hashing utilities shared by indexes, mapping functions and graph code.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace jecb {
+
+/// 64-bit FNV-1a over raw bytes; stable across platforms and runs, which
+/// matters because hash mapping functions must be deterministic for tests.
+inline uint64_t Fnv1a64(const void* data, size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 1469598103934665603ULL;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+inline uint64_t HashString(std::string_view s) {
+  return Fnv1a64(s.data(), s.size());
+}
+
+/// Finalizer from MurmurHash3: spreads low-entropy integer keys.
+inline uint64_t HashInt64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
+}
+
+}  // namespace jecb

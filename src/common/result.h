@@ -1,0 +1,63 @@
+// Result<T>: value-or-Status, the companion of Status for functions that
+// produce a value on success.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace jecb {
+
+/// Holds either a value of type T or a non-OK Status.
+///
+/// Accessing the value of an errored Result is a programming error and
+/// asserts in debug builds.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from an error Status.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Returns the held value or `fallback` when errored.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_ = Status::OK();
+};
+
+/// Unwraps a Result into `lhs`, propagating errors to the caller.
+#define JECB_ASSIGN_OR_RETURN(lhs, expr)           \
+  auto JECB_CONCAT_(_res_, __LINE__) = (expr);     \
+  if (!JECB_CONCAT_(_res_, __LINE__).ok())         \
+    return JECB_CONCAT_(_res_, __LINE__).status(); \
+  lhs = std::move(JECB_CONCAT_(_res_, __LINE__)).value()
+
+#define JECB_CONCAT_IMPL_(a, b) a##b
+#define JECB_CONCAT_(a, b) JECB_CONCAT_IMPL_(a, b)
+
+}  // namespace jecb

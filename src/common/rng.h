@@ -1,0 +1,98 @@
+// Deterministic pseudo-random generation for workload synthesis.
+//
+// All workload generators draw from Rng so that traces are reproducible from
+// a seed. Includes the TPC-C NURand non-uniform distribution and a Zipf
+// sampler used for skewed access patterns.
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace jecb {
+
+/// Seeded pseudo-random source with the distributions workload generators
+/// need. Not thread-safe; use one instance per generator.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t Uniform(int64_t lo, int64_t hi) {
+    assert(lo <= hi);
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// True with probability p.
+  bool Chance(double p) { return NextDouble() < p; }
+
+  /// TPC-C NURand(A, x, y): non-uniform random in [x, y].
+  int64_t NuRand(int64_t a, int64_t x, int64_t y) {
+    const int64_t c = 7;  // fixed run constant; any value in [0, a] is valid
+    return (((Uniform(0, a) | Uniform(x, y)) + c) % (y - x + 1)) + x;
+  }
+
+  /// Zipf-distributed integer in [0, n), exponent theta (0 = uniform).
+  /// O(log n) per draw after O(n) setup amortized via a cached CDF.
+  int64_t Zipf(int64_t n, double theta) {
+    assert(n > 0);
+    if (theta <= 0.0) return Uniform(0, n - 1);
+    RebuildZipfCdf(n, theta);
+    double u = NextDouble();
+    auto it = std::lower_bound(zipf_cdf_.begin(), zipf_cdf_.end(), u);
+    if (it == zipf_cdf_.end()) return n - 1;
+    return it - zipf_cdf_.begin();
+  }
+
+  /// Samples k distinct integers from [lo, hi]; k must not exceed the range.
+  std::vector<int64_t> SampleDistinct(int64_t lo, int64_t hi, int64_t k) {
+    assert(k <= hi - lo + 1);
+    std::vector<int64_t> out;
+    out.reserve(k);
+    // Floyd's algorithm keeps the draw O(k) even for huge ranges.
+    std::vector<int64_t> seen;
+    for (int64_t j = hi - k + 1; j <= hi; ++j) {
+      int64_t t = Uniform(lo, j);
+      bool dup = false;
+      for (int64_t s : seen) {
+        if (s == t) {
+          dup = true;
+          break;
+        }
+      }
+      seen.push_back(dup ? j : t);
+      out.push_back(seen.back());
+    }
+    return out;
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  void RebuildZipfCdf(int64_t n, double theta) {
+    if (zipf_n_ == n && zipf_theta_ == theta) return;
+    zipf_n_ = n;
+    zipf_theta_ = theta;
+    zipf_cdf_.resize(n);
+    double sum = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+      zipf_cdf_[i] = sum;
+    }
+    for (int64_t i = 0; i < n; ++i) zipf_cdf_[i] /= sum;
+  }
+
+  std::mt19937_64 engine_;
+  int64_t zipf_n_ = -1;
+  double zipf_theta_ = -1.0;
+  std::vector<double> zipf_cdf_;
+};
+
+}  // namespace jecb

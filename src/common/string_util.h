@@ -1,0 +1,34 @@
+// Small string helpers used by the SQL lexer and report printers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace jecb {
+
+/// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view Trim(std::string_view s);
+
+/// ASCII lower-case copy.
+std::string ToLower(std::string_view s);
+
+/// ASCII upper-case copy.
+std::string ToUpper(std::string_view s);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// True if `s` starts with `prefix` (case-sensitive).
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Case-insensitive equality for SQL keywords and identifiers.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Formats a double with `digits` decimal places.
+std::string FormatDouble(double v, int digits = 2);
+
+}  // namespace jecb

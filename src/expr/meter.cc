@@ -1,0 +1,52 @@
+#include "expr/meter.h"
+
+#include <sys/resource.h>
+
+#include <cstdio>
+
+namespace jecb {
+
+namespace {
+
+/// Current RSS from /proc/self/statm, in KiB; 0 when unavailable.
+uint64_t CurrentRssKb() {
+  FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  long total = 0;
+  long resident = 0;
+  int got = std::fscanf(f, "%ld %ld", &total, &resident);
+  std::fclose(f);
+  if (got != 2) return 0;
+  return static_cast<uint64_t>(resident) * 4;  // pages are 4 KiB on Linux
+}
+
+}  // namespace
+
+ResourceSnapshot TakeResourceSnapshot() {
+  ResourceSnapshot snap;
+  struct rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) == 0) {
+    snap.cpu_seconds = static_cast<double>(ru.ru_utime.tv_sec) +
+                       static_cast<double>(ru.ru_utime.tv_usec) / 1e6 +
+                       static_cast<double>(ru.ru_stime.tv_sec) +
+                       static_cast<double>(ru.ru_stime.tv_usec) / 1e6;
+    snap.peak_rss_kb = static_cast<uint64_t>(ru.ru_maxrss);
+  }
+  snap.current_rss_kb = CurrentRssKb();
+  return snap;
+}
+
+ResourceMeter::Usage ResourceMeter::Stop() const {
+  ResourceSnapshot end = TakeResourceSnapshot();
+  Usage usage;
+  usage.cpu_seconds = end.cpu_seconds - start_.cpu_seconds;
+  usage.peak_rss_mb = end.peak_rss_kb / 1024;
+  uint64_t delta =
+      end.current_rss_kb > start_.current_rss_kb
+          ? end.current_rss_kb - start_.current_rss_kb
+          : 0;
+  usage.rss_delta_mb = delta / 1024;
+  return usage;
+}
+
+}  // namespace jecb

@@ -1,0 +1,39 @@
+// Resource metering for the Table 1/2 experiments: CPU seconds and peak RSS
+// deltas around a partitioner run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace jecb {
+
+/// Point-in-time resource snapshot of this process.
+struct ResourceSnapshot {
+  double cpu_seconds = 0.0;   // user + system
+  uint64_t peak_rss_kb = 0;   // high-water mark (monotone)
+  uint64_t current_rss_kb = 0;
+};
+
+ResourceSnapshot TakeResourceSnapshot();
+
+/// Measures one phase: construct before, Stop() after.
+class ResourceMeter {
+ public:
+  ResourceMeter() : start_(TakeResourceSnapshot()) {}
+
+  struct Usage {
+    double cpu_seconds = 0.0;
+    /// Peak RSS over the process lifetime so far (the paper reports absolute
+    /// footprints; the peak is dominated by the measured phase when the
+    /// phase allocates the big structures).
+    uint64_t peak_rss_mb = 0;
+    uint64_t rss_delta_mb = 0;
+  };
+
+  Usage Stop() const;
+
+ private:
+  ResourceSnapshot start_;
+};
+
+}  // namespace jecb

@@ -1,0 +1,67 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+namespace jecb {
+
+GraphBuilder::GraphBuilder(size_t num_nodes, uint64_t default_node_weight)
+    : node_weight_(num_nodes, default_node_weight) {}
+
+void GraphBuilder::AddEdge(NodeId a, NodeId b, uint64_t weight) {
+  if (a == b) return;
+  if (b < a) std::swap(a, b);
+  edges_.push_back({a, b, weight});
+}
+
+Graph GraphBuilder::Build() {
+  // Merge duplicate (a, b) pairs by sorting; then expand into both
+  // directions for CSR adjacency.
+  std::sort(edges_.begin(), edges_.end(), [](const RawEdge& x, const RawEdge& y) {
+    return x.a != y.a ? x.a < y.a : x.b < y.b;
+  });
+  std::vector<RawEdge> merged;
+  merged.reserve(edges_.size());
+  for (const RawEdge& e : edges_) {
+    if (!merged.empty() && merged.back().a == e.a && merged.back().b == e.b) {
+      merged.back().w += e.w;
+    } else {
+      merged.push_back(e);
+    }
+  }
+  edges_.clear();
+  edges_.shrink_to_fit();
+
+  Graph g;
+  g.node_weight_ = std::move(node_weight_);
+  const size_t n = g.node_weight_.size();
+  for (uint64_t w : g.node_weight_) g.total_node_weight_ += w;
+
+  std::vector<size_t> degree(n, 0);
+  for (const RawEdge& e : merged) {
+    ++degree[e.a];
+    ++degree[e.b];
+  }
+  g.offsets_.assign(n + 1, 0);
+  for (size_t i = 0; i < n; ++i) g.offsets_[i + 1] = g.offsets_[i] + degree[i];
+  g.adjacency_.resize(g.offsets_[n]);
+  std::vector<size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const RawEdge& e : merged) {
+    g.adjacency_[cursor[e.a]++] = {e.b, e.w};
+    g.adjacency_[cursor[e.b]++] = {e.a, e.w};
+  }
+  return g;
+}
+
+uint64_t CutWeight(const Graph& g, const std::vector<int32_t>& assignment) {
+  uint64_t cut = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (const auto* nb = g.neighbors_begin(u); nb != g.neighbors_end(u); ++nb) {
+      if (nb->node > u && assignment[u] != assignment[nb->node]) {
+        cut += nb->weight;
+      }
+    }
+  }
+  return cut;
+}
+
+}  // namespace jecb

@@ -1,0 +1,241 @@
+#include "graph/partitioner.h"
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+
+namespace jecb {
+
+namespace {
+
+/// One coarsening level: heavy-edge matching, then contraction.
+/// Returns the coarse graph and fills `coarse_of` (fine node -> coarse node).
+Graph Coarsen(const Graph& g, std::mt19937_64* rng, std::vector<NodeId>* coarse_of) {
+  const size_t n = g.num_nodes();
+  std::vector<NodeId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::shuffle(order.begin(), order.end(), *rng);
+
+  constexpr NodeId kUnmatched = ~NodeId{0};
+  std::vector<NodeId> match(n, kUnmatched);
+  for (NodeId u : order) {
+    if (match[u] != kUnmatched) continue;
+    NodeId best = u;
+    uint64_t best_w = 0;
+    for (const auto* nb = g.neighbors_begin(u); nb != g.neighbors_end(u); ++nb) {
+      if (match[nb->node] == kUnmatched && nb->node != u && nb->weight > best_w) {
+        best = nb->node;
+        best_w = nb->weight;
+      }
+    }
+    match[u] = best;
+    match[best] = u;
+  }
+
+  coarse_of->assign(n, 0);
+  NodeId next = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    if (match[u] >= u) {  // representative: self-matched or smaller index
+      (*coarse_of)[u] = next++;
+    }
+  }
+  for (NodeId u = 0; u < n; ++u) {
+    if (match[u] < u) (*coarse_of)[u] = (*coarse_of)[match[u]];
+  }
+
+  GraphBuilder builder(next, 0);
+  for (NodeId u = 0; u < n; ++u) {
+    builder.AddNodeWeight((*coarse_of)[u], g.node_weight(u));
+    for (const auto* nb = g.neighbors_begin(u); nb != g.neighbors_end(u); ++nb) {
+      if (nb->node > u) {
+        NodeId cu = (*coarse_of)[u];
+        NodeId cv = (*coarse_of)[nb->node];
+        if (cu != cv) builder.AddEdge(cu, cv, nb->weight);
+      }
+    }
+  }
+  return builder.Build();
+}
+
+/// Greedy initial assignment: heaviest nodes first, each to the partition it
+/// is most connected to among those with room, breaking ties by load.
+std::vector<int32_t> InitialPartition(const Graph& g, int32_t k, uint64_t max_load,
+                                      std::mt19937_64* rng) {
+  const size_t n = g.num_nodes();
+  std::vector<NodeId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  // Shuffle before the stable sort so equal-weight nodes are visited in a
+  // different order on each restart.
+  std::shuffle(order.begin(), order.end(), *rng);
+  std::stable_sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    return g.node_weight(a) > g.node_weight(b);
+  });
+
+  std::vector<int32_t> part(n, -1);
+  std::vector<uint64_t> load(k, 0);
+  std::vector<uint64_t> conn(k);
+  for (NodeId u : order) {
+    std::fill(conn.begin(), conn.end(), 0);
+    for (const auto* nb = g.neighbors_begin(u); nb != g.neighbors_end(u); ++nb) {
+      if (part[nb->node] >= 0) conn[part[nb->node]] += nb->weight;
+    }
+    int32_t best = -1;
+    for (int32_t p = 0; p < k; ++p) {
+      bool fits = load[p] + g.node_weight(u) <= max_load;
+      if (best == -1) {
+        if (fits) best = p;
+        continue;
+      }
+      if (!fits) continue;
+      if (conn[p] > conn[best] || (conn[p] == conn[best] && load[p] < load[best])) {
+        best = p;
+      }
+    }
+    if (best == -1) {
+      // Nothing fits (oversized node); take the least-loaded partition.
+      best = static_cast<int32_t>(
+          std::min_element(load.begin(), load.end()) - load.begin());
+    }
+    part[u] = best;
+    load[best] += g.node_weight(u);
+  }
+  return part;
+}
+
+/// FM-style refinement sweeps: move nodes to their most-connected partition
+/// when it strictly reduces the cut and keeps balance.
+void Refine(const Graph& g, int32_t k, uint64_t max_load, int passes,
+            std::mt19937_64* rng, std::vector<int32_t>* part) {
+  const size_t n = g.num_nodes();
+  std::vector<uint64_t> load(k, 0);
+  for (NodeId u = 0; u < n; ++u) load[(*part)[u]] += g.node_weight(u);
+
+  std::vector<NodeId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<uint64_t> conn(k);
+
+  for (int pass = 0; pass < passes; ++pass) {
+    std::shuffle(order.begin(), order.end(), *rng);
+    uint64_t moves = 0;
+    for (NodeId u : order) {
+      if (g.degree(u) == 0) continue;
+      std::fill(conn.begin(), conn.end(), 0);
+      for (const auto* nb = g.neighbors_begin(u); nb != g.neighbors_end(u); ++nb) {
+        conn[(*part)[nb->node]] += nb->weight;
+      }
+      int32_t cur = (*part)[u];
+      int32_t best = cur;
+      for (int32_t p = 0; p < k; ++p) {
+        if (p == cur) continue;
+        if (load[p] + g.node_weight(u) > max_load) continue;
+        if (conn[p] > conn[best] ||
+            (best != cur && conn[p] == conn[best] && load[p] < load[best])) {
+          best = p;
+        }
+      }
+      if (best != cur && conn[best] > conn[cur]) {
+        load[cur] -= g.node_weight(u);
+        load[best] += g.node_weight(u);
+        (*part)[u] = best;
+        ++moves;
+      }
+    }
+    if (moves == 0) break;
+  }
+}
+
+}  // namespace
+
+namespace {
+
+std::vector<int32_t> PartitionGraphOnce(const Graph& g,
+                                        const GraphPartitionOptions& options) {
+  const int32_t k = options.num_parts;
+  std::mt19937_64 rng(options.seed);
+
+  const uint64_t ideal =
+      (g.total_node_weight() + static_cast<uint64_t>(k) - 1) / static_cast<uint64_t>(k);
+  const auto max_load = static_cast<uint64_t>(
+      static_cast<double>(ideal) * options.balance_tolerance) + 1;
+
+  // Coarsening phase.
+  std::vector<Graph> levels;
+  std::vector<std::vector<NodeId>> mappings;
+  levels.push_back(g);  // copy: levels[0] is the input graph
+  const size_t target = std::max(options.coarse_target, static_cast<size_t>(4) * k);
+  while (levels.back().num_nodes() > target) {
+    std::vector<NodeId> coarse_of;
+    Graph coarse = Coarsen(levels.back(), &rng, &coarse_of);
+    if (coarse.num_nodes() >= levels.back().num_nodes() * 95 / 100) {
+      break;  // matching stalled (e.g. star graphs); stop coarsening
+    }
+    mappings.push_back(std::move(coarse_of));
+    levels.push_back(std::move(coarse));
+  }
+
+  // Initial partition at the coarsest level: several randomized attempts,
+  // keep the lowest cut. The coarse graph is tiny, so restarts are cheap
+  // and they protect against unlucky greedy orders.
+  std::vector<int32_t> part;
+  uint64_t best_cut = ~uint64_t{0};
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    std::vector<int32_t> trial = InitialPartition(levels.back(), k, max_load, &rng);
+    Refine(levels.back(), k, max_load, options.refine_passes * 2, &rng, &trial);
+    uint64_t cut = CutWeight(levels.back(), trial);
+    if (cut < best_cut) {
+      best_cut = cut;
+      part = std::move(trial);
+    }
+  }
+
+  // Uncoarsen with refinement at each level.
+  for (size_t level = levels.size() - 1; level-- > 0;) {
+    const std::vector<NodeId>& map = mappings[level];
+    std::vector<int32_t> fine(levels[level].num_nodes());
+    for (NodeId u = 0; u < fine.size(); ++u) fine[u] = part[map[u]];
+    part = std::move(fine);
+    Refine(levels[level], k, max_load, options.refine_passes, &rng, &part);
+  }
+  return part;
+}
+
+}  // namespace
+
+std::vector<int32_t> PartitionGraph(const Graph& g,
+                                    const GraphPartitionOptions& options) {
+  if (options.num_parts <= 1 || g.num_nodes() == 0) {
+    return std::vector<int32_t>(g.num_nodes(), 0);
+  }
+  // Independent multilevel restarts with derived seeds: different matching
+  // orders explore different coarse structures, which matters when the
+  // natural cluster count equals the partition count (TPC-C warehouses).
+  std::vector<int32_t> best;
+  uint64_t best_cut = ~uint64_t{0};
+  const int restarts = std::max(options.restarts, 1);
+  for (int r = 0; r < restarts; ++r) {
+    GraphPartitionOptions attempt = options;
+    attempt.seed = options.seed + 0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(r);
+    std::vector<int32_t> part = PartitionGraphOnce(g, attempt);
+    uint64_t cut = CutWeight(g, part);
+    if (cut < best_cut) {
+      best_cut = cut;
+      best = std::move(part);
+    }
+  }
+  return best;
+}
+
+PartitionQuality MeasurePartition(const Graph& g, const std::vector<int32_t>& assignment,
+                                  int32_t num_parts) {
+  PartitionQuality q;
+  q.cut = CutWeight(g, assignment);
+  std::vector<uint64_t> load(num_parts, 0);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) load[assignment[u]] += g.node_weight(u);
+  q.max_part_weight = *std::max_element(load.begin(), load.end());
+  q.min_part_weight = *std::min_element(load.begin(), load.end());
+  double ideal = static_cast<double>(g.total_node_weight()) / num_parts;
+  q.imbalance = ideal > 0 ? static_cast<double>(q.max_part_weight) / ideal : 0.0;
+  return q;
+}
+
+}  // namespace jecb

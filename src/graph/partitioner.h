@@ -1,0 +1,46 @@
+// Multilevel k-way min-cut graph partitioning in the METIS family:
+// heavy-edge-matching coarsening, greedy initial assignment, and
+// Fiduccia–Mattheyses-style boundary refinement during uncoarsening.
+// Used by the Schism baseline (tuple graph) and by JECB's statistics
+// fallback (root-attribute value graph).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace jecb {
+
+struct GraphPartitionOptions {
+  int32_t num_parts = 2;
+  /// Maximum allowed part weight as a multiple of the perfectly balanced
+  /// weight.
+  double balance_tolerance = 1.10;
+  /// Stop coarsening once the graph has at most max(coarse_target,
+  /// 4 * num_parts) nodes. Deep coarsening matters: natural clusters (e.g.
+  /// one TPC-C warehouse) must collapse into few supernodes so the initial
+  /// assignment can place whole clusters.
+  size_t coarse_target = 64;
+  /// Refinement sweeps per uncoarsening level.
+  int refine_passes = 6;
+  /// Full multilevel restarts (different matching orders); best cut wins.
+  int restarts = 3;
+  uint64_t seed = 1;
+};
+
+/// Partition assignment per node, in [0, num_parts).
+std::vector<int32_t> PartitionGraph(const Graph& g, const GraphPartitionOptions& options);
+
+/// Statistics of an assignment (for tests and reporting).
+struct PartitionQuality {
+  uint64_t cut = 0;
+  uint64_t max_part_weight = 0;
+  uint64_t min_part_weight = 0;
+  double imbalance = 0.0;  // max part weight / ideal
+};
+
+PartitionQuality MeasurePartition(const Graph& g, const std::vector<int32_t>& assignment,
+                                  int32_t num_parts);
+
+}  // namespace jecb

@@ -1,0 +1,131 @@
+#include "horticulture/horticulture.h"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <random>
+
+namespace jecb {
+
+namespace {
+
+/// A design point: per-table choice of partitioning column (or -1 for
+/// replication).
+using Design = std::vector<int32_t>;
+
+}  // namespace
+
+Result<HorticultureResult> Horticulture::Partition(Database* db,
+                                                   const Trace& training) const {
+  auto start = std::chrono::steady_clock::now();
+
+  std::vector<AccessClass> classes =
+      ClassifyTables(db->schema(), training, options_.classify);
+  ApplyClassification(&db->mutable_schema(), classes);
+  const Schema& schema = db->schema();
+
+  Trace sample = training.Head(options_.sample_txns);
+
+  std::vector<TableId> partitioned;
+  for (const Table& t : schema.tables()) {
+    if (t.access_class == AccessClass::kPartitioned) partitioned.push_back(t.id);
+  }
+
+  // Access frequency per column (from WHERE-less trace evidence we only have
+  // tuple accesses, so the heuristic initial design partitions each table by
+  // the first primary-key column — Horticulture's most common outcome).
+  Design design(schema.num_tables(), -1);
+  for (TableId t : partitioned) {
+    const Table& meta = schema.table(t);
+    design[t] = meta.primary_key.empty() ? 0 : meta.primary_key[0];
+  }
+
+  auto mapping = std::make_shared<HashMapping>(options_.num_partitions);
+  auto replicated = std::make_shared<ReplicatedTable>();
+
+  auto materialize = [&](const Design& d) {
+    DatabaseSolution sol(options_.num_partitions, schema.num_tables());
+    for (size_t t = 0; t < schema.num_tables(); ++t) {
+      auto tid = static_cast<TableId>(t);
+      if (schema.table(tid).access_class != AccessClass::kPartitioned || d[t] < 0) {
+        sol.Set(tid, replicated);
+        continue;
+      }
+      JoinPath path;
+      path.source_table = tid;
+      path.dest = ColumnRef{tid, static_cast<ColumnIdx>(d[t])};
+      sol.Set(tid, std::make_shared<JoinPathPartitioner>(path, mapping));
+    }
+    return sol;
+  };
+
+  HorticultureResult result{DatabaseSolution(options_.num_partitions, 0), 0, 0, 0, 0};
+
+  auto model_cost = [&](const EvalResult& ev) {
+    double dist = ev.cost();
+    double avg_extra =
+        ev.distributed_txns == 0
+            ? 0.0
+            : static_cast<double>(ev.partitions_touched) /
+                      static_cast<double>(ev.distributed_txns) -
+                  1.0;
+    return dist * (1.0 + options_.touch_weight * avg_extra) *
+           (1.0 + options_.skew_weight * ev.LoadSkew());
+  };
+
+  auto evaluate = [&](const Design& d, double* plain) {
+    DatabaseSolution sol = materialize(d);
+    EvalResult ev = Evaluate(*db, sol, sample);
+    ++result.evaluations;
+    if (plain != nullptr) *plain = ev.cost();
+    return model_cost(ev);
+  };
+
+  double best_plain = 0.0;
+  double best_cost = evaluate(design, &best_plain);
+
+  std::mt19937_64 rng(options_.seed);
+  for (int round = 0; round < options_.rounds; ++round) {
+    if (partitioned.empty()) break;
+    // Relax a few tables and exhaustively re-optimize them one at a time
+    // (coordinate descent within the relaxed neighborhood).
+    std::vector<TableId> relaxed;
+    for (int i = 0; i < options_.relax_tables; ++i) {
+      relaxed.push_back(partitioned[rng() % partitioned.size()]);
+    }
+    Design current = design;
+    double current_cost = best_cost;
+    double current_plain = best_plain;
+    for (TableId t : relaxed) {
+      const Table& meta = schema.table(t);
+      int32_t best_choice = current[t];
+      for (int32_t c = -1; c < static_cast<int32_t>(meta.columns.size()); ++c) {
+        if (c == current[t]) continue;
+        Design trial = current;
+        trial[t] = c;
+        double plain = 0.0;
+        double cost = evaluate(trial, &plain);
+        if (cost < current_cost) {
+          current_cost = cost;
+          current_plain = plain;
+          best_choice = c;
+        }
+      }
+      current[t] = best_choice;
+    }
+    if (current_cost < best_cost) {
+      best_cost = current_cost;
+      best_plain = current_plain;
+      design = current;
+    }
+  }
+
+  result.solution = materialize(design);
+  result.train_cost = best_plain;
+  result.model_cost = best_cost;
+  result.elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return result;
+}
+
+}  // namespace jecb

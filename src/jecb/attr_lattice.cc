@@ -1,0 +1,196 @@
+#include "jecb/attr_lattice.h"
+
+#include <deque>
+
+namespace jecb {
+
+namespace {
+const std::vector<ColumnRef> kNoneighbors;
+}  // namespace
+
+AttributeLattice::AttributeLattice(const Schema* schema) : schema_(schema) {
+  for (const ForeignKey& fk : schema_->foreign_keys()) {
+    for (size_t i = 0; i < fk.columns.size(); ++i) {
+      ColumnRef child{fk.table, fk.columns[i]};
+      ColumnRef parent{fk.ref_table, fk.ref_columns[i]};
+      up_[child].push_back(parent);
+      down_[parent].push_back(child);
+    }
+  }
+  for (const Table& t : schema_->tables()) {
+    auto add_single = [&](const std::vector<ColumnIdx>& key) {
+      if (key.size() == 1) single_col_keys_.insert(ColumnRef{t.id, key[0]});
+    };
+    add_single(t.primary_key);
+    for (const auto& uk : t.unique_keys) add_single(uk);
+  }
+}
+
+const std::vector<ColumnRef>& AttributeLattice::Up(ColumnRef c) const {
+  auto it = up_.find(c);
+  return it == up_.end() ? kNoneighbors : it->second;
+}
+
+const std::vector<ColumnRef>& AttributeLattice::Down(ColumnRef c) const {
+  auto it = down_.find(c);
+  return it == down_.end() ? kNoneighbors : it->second;
+}
+
+bool AttributeLattice::IsSingleColumnKey(ColumnRef c) const {
+  return single_col_keys_.count(c) > 0;
+}
+
+bool AttributeLattice::ReachesUp(ColumnRef from, ColumnRef to) const {
+  if (from == to) return true;
+  std::deque<ColumnRef> queue{from};
+  std::unordered_set<ColumnRef, ColumnRefHash> seen{from};
+  while (!queue.empty()) {
+    ColumnRef cur = queue.front();
+    queue.pop_front();
+    for (ColumnRef next : Up(cur)) {
+      if (next == to) return true;
+      if (seen.insert(next).second) queue.push_back(next);
+    }
+  }
+  return false;
+}
+
+bool AttributeLattice::Equivalent(ColumnRef a, ColumnRef b) const {
+  return ReachesUp(a, b) || ReachesUp(b, a);
+}
+
+std::vector<ColumnRef> AttributeLattice::EquivClass(ColumnRef a) const {
+  std::unordered_set<ColumnRef, ColumnRefHash> seen{a};
+  // Up-closure (ancestors) and down-closure (descendants); siblings through
+  // a shared parent are intentionally excluded.
+  for (const auto* dir : {&up_, &down_}) {
+    std::deque<ColumnRef> queue{a};
+    while (!queue.empty()) {
+      ColumnRef cur = queue.front();
+      queue.pop_front();
+      auto it = dir->find(cur);
+      if (it == dir->end()) continue;
+      for (ColumnRef next : it->second) {
+        if (seen.insert(next).second) queue.push_back(next);
+      }
+    }
+  }
+  return std::vector<ColumnRef>(seen.begin(), seen.end());
+}
+
+bool AttributeLattice::IsCoarser(ColumnRef coarse, ColumnRef fine) const {
+  if (coarse == fine) return false;
+  // BFS over (attribute, lost_granularity) states. Moves: FK child->parent
+  // pairs preserve granularity; stepping from a single-column key to another
+  // column of its table loses granularity.
+  struct State {
+    ColumnRef attr;
+    bool lost;
+    bool operator==(const State&) const = default;
+  };
+  struct StateHash {
+    size_t operator()(const State& s) const {
+      return ColumnRefHash{}(s.attr) * 2 + (s.lost ? 1 : 0);
+    }
+  };
+  std::deque<State> queue{{fine, false}};
+  std::unordered_set<State, StateHash> seen{{fine, false}};
+  while (!queue.empty()) {
+    State cur = queue.front();
+    queue.pop_front();
+    if (cur.lost && cur.attr == coarse) return true;
+    auto push = [&](State s) {
+      if (seen.insert(s).second) queue.push_back(s);
+    };
+    for (ColumnRef next : Up(cur.attr)) push({next, cur.lost});
+    if (IsSingleColumnKey(cur.attr)) {
+      const Table& t = schema_->table(cur.attr.table);
+      for (ColumnIdx c = 0; c < t.columns.size(); ++c) {
+        if (c != cur.attr.column) push({ColumnRef{cur.attr.table, c}, true});
+      }
+    }
+  }
+  return false;
+}
+
+bool AttributeLattice::Compatible(ColumnRef a, ColumnRef b) const {
+  return Equivalent(a, b) || IsCoarser(a, b) || IsCoarser(b, a);
+}
+
+Result<JoinPath> AttributeLattice::ExtendPath(const JoinPath& base,
+                                              ColumnRef target) const {
+  // BFS over attributes using only functional-dependency-preserving moves
+  // (Definition 2, condition 3), so the extension is a genuine join path
+  // from the current destination attribute:
+  //   (a) hop a single-column foreign key that is exactly the current
+  //       attribute (child -> parent, appends the hop);
+  //   (b) when the current attribute alone is a unique key of its table,
+  //       move to any other column of that table (no hop).
+  // Moving to an arbitrary sibling column would change which functional
+  // dependency the path encodes (e.g. turning an item-route path over
+  // ITEM_BID into a buyer-route one), so it is not allowed.
+  std::vector<ColumnRef> goals = EquivClass(target);
+  auto is_goal = [&](ColumnRef c) {
+    for (ColumnRef g : goals) {
+      if (g == c) return true;
+    }
+    return false;
+  };
+
+  struct Visit {
+    ColumnRef attr;
+    int32_t prev;        // index into visits
+    int32_t hop_fk;      // appended FK for this move, or -1 for intra moves
+  };
+  std::vector<Visit> visits{{base.dest, -1, -1}};
+  std::unordered_set<ColumnRef, ColumnRefHash> seen{base.dest};
+
+  auto finish = [&](size_t found) -> Result<JoinPath> {
+    std::vector<FkIdx> extra;
+    for (int32_t v = static_cast<int32_t>(found); v > 0; v = visits[v].prev) {
+      if (visits[v].hop_fk >= 0) extra.push_back(static_cast<FkIdx>(visits[v].hop_fk));
+    }
+    JoinPath out = base;
+    out.hops.insert(out.hops.end(), extra.rbegin(), extra.rend());
+    out.dest = visits[found].attr;
+    JECB_RETURN_NOT_OK(out.Validate(*schema_));
+    return out;
+  };
+
+  if (is_goal(base.dest)) return finish(0);
+
+  for (size_t i = 0; i < visits.size(); ++i) {
+    ColumnRef cur = visits[i].attr;
+    auto push = [&](ColumnRef next, int32_t hop_fk) -> int32_t {
+      if (!seen.insert(next).second) return -1;
+      visits.push_back({next, static_cast<int32_t>(i), hop_fk});
+      return static_cast<int32_t>(visits.size()) - 1;
+    };
+    // (a) single-column FK hops on exactly this attribute.
+    const auto& fks = schema_->foreign_keys();
+    for (FkIdx f = 0; f < fks.size(); ++f) {
+      const ForeignKey& fk = fks[f];
+      if (fk.table != cur.table || fk.columns.size() != 1 ||
+          fk.columns[0] != cur.column) {
+        continue;
+      }
+      int32_t v = push(ColumnRef{fk.ref_table, fk.ref_columns[0]},
+                       static_cast<int32_t>(f));
+      if (v >= 0 && is_goal(visits[v].attr)) return finish(v);
+    }
+    // (b) intra-table move from a single-column unique key.
+    if (IsSingleColumnKey(cur)) {
+      const Table& t = schema_->table(cur.table);
+      for (ColumnIdx c = 0; c < t.columns.size(); ++c) {
+        if (c == cur.column) continue;
+        int32_t v = push(ColumnRef{cur.table, c}, -1);
+        if (v >= 0 && is_goal(visits[v].attr)) return finish(v);
+      }
+    }
+  }
+  return Status::NotFound("no join-path extension from " +
+                          schema_->QualifiedName(base.dest) + " to " +
+                          schema_->QualifiedName(target));
+}
+
+}  // namespace jecb

@@ -1,0 +1,66 @@
+// Attribute compatibility (paper Definition 12 and Property 2): whether two
+// attributes have the same granularity (connected by key-foreign key value
+// correspondence) or one is coarser (reachable by a join path), plus the
+// machinery to extend a realized join path to a compatible coarser
+// attribute.
+//
+// Equivalence is deliberately directional underneath: A and B have the same
+// granularity when one can reach the other along child->parent foreign-key
+// column pairs. Two foreign keys sharing a parent (Example 9's R2.X1 and
+// R2.X2) are NOT equivalent: chains may not reverse direction through a
+// common parent.
+#pragma once
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/result.h"
+#include "partition/join_path.h"
+
+namespace jecb {
+
+class AttributeLattice {
+ public:
+  explicit AttributeLattice(const Schema* schema);
+
+  /// Same level of granularity (Definition 12, first bullet).
+  bool Equivalent(ColumnRef a, ColumnRef b) const;
+
+  /// True when `coarse` is strictly coarser than `fine` (Definition 12,
+  /// second bullet): a join path leads from `fine` to `coarse` and includes
+  /// at least one granularity-losing intra-table step.
+  bool IsCoarser(ColumnRef coarse, ColumnRef fine) const;
+
+  /// Equivalent, or one coarser than the other.
+  bool Compatible(ColumnRef a, ColumnRef b) const;
+
+  /// All attributes with the same granularity as `a` (including `a`).
+  std::vector<ColumnRef> EquivClass(ColumnRef a) const;
+
+  /// Extends a realized join path so that its destination is an attribute
+  /// equivalent to `target`, appending as few foreign-key hops as possible.
+  /// Fails when no extension exists.
+  Result<JoinPath> ExtendPath(const JoinPath& base, ColumnRef target) const;
+
+  const Schema& schema() const { return *schema_; }
+
+ private:
+  /// BFS along child->parent FK column pairs.
+  bool ReachesUp(ColumnRef from, ColumnRef to) const;
+
+  /// Columns directly up from `c` (parent columns of FK pairs containing c).
+  const std::vector<ColumnRef>& Up(ColumnRef c) const;
+  const std::vector<ColumnRef>& Down(ColumnRef c) const;
+
+  /// True when `c` alone is a unique key of its table.
+  bool IsSingleColumnKey(ColumnRef c) const;
+
+  const Schema* schema_;
+  std::unordered_map<ColumnRef, std::vector<ColumnRef>, ColumnRefHash> up_;
+  std::unordered_map<ColumnRef, std::vector<ColumnRef>, ColumnRefHash> down_;
+  std::unordered_set<ColumnRef, ColumnRefHash> single_col_keys_;
+};
+
+}  // namespace jecb

@@ -1,0 +1,393 @@
+#include "jecb/class_partitioner.h"
+
+#include <algorithm>
+#include <climits>
+#include <optional>
+#include <unordered_map>
+
+#include "graph/graph.h"
+#include "graph/partitioner.h"
+
+namespace jecb {
+
+namespace {
+
+/// Memoizes join-path evaluations per covered table while scanning a trace.
+class TreeEvaluator {
+ public:
+  TreeEvaluator(const Database& db, const JoinTree& tree) : db_(db), tree_(tree) {}
+
+  /// Collects the distinct root values of a transaction's covered accesses.
+  /// Returns false when any path evaluation fails.
+  bool Collect(const Transaction& txn, size_t max_values, std::vector<Value>* out) {
+    out->clear();
+    for (const Access& a : txn.accesses) {
+      auto it = tree_.paths.find(a.tuple.table);
+      if (it == tree_.paths.end()) continue;
+      const Value* v = Lookup(it->second, a.tuple);
+      if (v == nullptr) return false;
+      if (std::find(out->begin(), out->end(), *v) == out->end()) {
+        out->push_back(*v);
+        if (out->size() > max_values) return true;  // caller treats as violation
+      }
+    }
+    return true;
+  }
+
+ private:
+  const Value* Lookup(const JoinPath& path, TupleId tuple) {
+    auto& cache = cache_[tuple.table];
+    auto it = cache.find(tuple.row);
+    if (it != cache.end()) return it->second.has_value() ? &*it->second : nullptr;
+    Result<Value> v = path.Evaluate(db_, tuple);
+    auto& slot = cache[tuple.row];
+    if (v.ok()) slot = std::move(v).value();
+    return slot.has_value() ? &*slot : nullptr;
+  }
+
+  const Database& db_;
+  const JoinTree& tree_;
+  std::unordered_map<TableId, std::unordered_map<RowId, std::optional<Value>>> cache_;
+};
+
+}  // namespace
+
+std::string_view SolutionTierToString(SolutionTier tier) {
+  switch (tier) {
+    case SolutionTier::kMappingIndependent:
+      return "mapping-independent";
+    case SolutionTier::kQuasiIndependent:
+      return "quasi-independent";
+    case SolutionTier::kStatistics:
+      return "statistics";
+  }
+  return "?";
+}
+
+TreeFit MeasureTreeFit(const Database& db, const JoinTree& tree, const Trace& trace) {
+  TreeFit fit;
+  TreeEvaluator eval(db, tree);
+  std::vector<Value> values;
+  for (const Transaction& txn : trace.transactions()) {
+    bool touches = false;
+    for (const Access& a : txn.accesses) {
+      if (tree.paths.count(a.tuple.table) > 0) {
+        touches = true;
+        break;
+      }
+    }
+    if (!touches) continue;
+    ++fit.txns;
+    if (!eval.Collect(txn, 1, &values) || values.size() > 1) ++fit.violations;
+  }
+  return fit;
+}
+
+bool IsCoarserTree(const AttributeLattice& lattice, const JoinTree& a,
+                   const JoinTree& b) {
+  if (a.Tables() != b.Tables()) return false;
+  bool any_longer = false;
+  for (const auto& [t, pb] : b.paths) {
+    const JoinPath& pa = a.paths.at(t);
+    if (!pb.HopsArePrefixOf(pa)) return false;
+    if (pa.length() > pb.length()) any_longer = true;
+  }
+  if (lattice.IsCoarser(a.root, b.root)) return true;
+  return any_longer && lattice.Equivalent(a.root, b.root);
+}
+
+double ClassPartitioner::TreeCost(const JoinTree& tree, const MappingFunction& mapping,
+                                  const Trace& trace) const {
+  TreeEvaluator eval(*db_, tree);
+  std::vector<Value> values;
+  uint64_t total = 0;
+  uint64_t distributed = 0;
+  for (const Transaction& txn : trace.transactions()) {
+    bool touches = false;
+    for (const Access& a : txn.accesses) {
+      if (tree.paths.count(a.tuple.table) > 0) {
+        touches = true;
+        break;
+      }
+    }
+    if (!touches) continue;
+    ++total;
+    if (!eval.Collect(txn, options_.max_values_per_txn, &values) ||
+        values.size() > options_.max_values_per_txn) {
+      ++distributed;
+      continue;
+    }
+    int32_t part = kUnknownPartition;
+    bool multi = false;
+    for (const Value& v : values) {
+      int32_t p = mapping.Map(v);
+      if (part == kUnknownPartition) {
+        part = p;
+      } else if (p != part) {
+        multi = true;
+        break;
+      }
+    }
+    if (multi) ++distributed;
+  }
+  return total == 0 ? 0.0 : static_cast<double>(distributed) / static_cast<double>(total);
+}
+
+Result<ClassSolution> ClassPartitioner::StatsFallback(const JoinTree& tree,
+                                                      const Trace& train,
+                                                      const Trace& holdout) const {
+  // Gather per-transaction root value sets.
+  TreeEvaluator eval(*db_, tree);
+  std::vector<std::vector<Value>> txn_values;
+  std::unordered_map<Value, NodeId, ValueHashFunctor> node_of;
+  std::vector<Value> node_values;
+  int64_t min_int = INT64_MAX;
+  int64_t max_int = INT64_MIN;
+  std::vector<Value> values;
+  for (const Transaction& txn : train.transactions()) {
+    if (!eval.Collect(txn, options_.max_values_per_txn, &values)) continue;
+    if (values.empty() || values.size() > options_.max_values_per_txn) continue;
+    for (const Value& v : values) {
+      if (node_of.emplace(v, static_cast<NodeId>(node_values.size())).second) {
+        node_values.push_back(v);
+      }
+      if (v.is_int()) {
+        min_int = std::min(min_int, v.AsInt());
+        max_int = std::max(max_int, v.AsInt());
+      }
+    }
+    txn_values.push_back(values);
+  }
+  if (node_values.empty()) {
+    return Status::NotFound("no root values observed for statistics fallback");
+  }
+
+  // Co-access graph over root values; min-cut partitioning (Sec. 5.3).
+  GraphBuilder builder(node_values.size(), 0);
+  for (const auto& vs : txn_values) {
+    for (const Value& v : vs) builder.AddNodeWeight(node_of[v], 1);
+    for (size_t i = 0; i < vs.size(); ++i) {
+      for (size_t j = i + 1; j < vs.size(); ++j) {
+        builder.AddEdge(node_of[vs[i]], node_of[vs[j]], 1);
+      }
+    }
+  }
+  Graph g = builder.Build();
+  GraphPartitionOptions gopt;
+  gopt.num_parts = options_.num_partitions;
+  gopt.seed = options_.seed;
+  std::vector<int32_t> assignment = PartitionGraph(g, gopt);
+  std::unordered_map<Value, int32_t, ValueHashFunctor> lookup;
+  for (NodeId n = 0; n < node_values.size(); ++n) {
+    lookup.emplace(node_values[n], assignment[n]);
+  }
+  auto lookup_mapping =
+      std::make_shared<LookupMapping>(options_.num_partitions, std::move(lookup));
+  HashMapping hash_mapping(options_.num_partitions);
+  RangeMapping range_mapping(options_.num_partitions,
+                             min_int == INT64_MAX ? 0 : min_int,
+                             max_int == INT64_MIN ? 1 : max_int);
+
+  const Trace& validation = holdout.empty() ? train : holdout;
+  double lookup_cost = TreeCost(tree, *lookup_mapping, validation);
+  double hash_cost = TreeCost(tree, hash_mapping, validation);
+  double range_cost = TreeCost(tree, range_mapping, validation);
+
+  ClassSolution sol;
+  sol.tree = tree;
+  sol.tier = SolutionTier::kStatistics;
+  // The min-cut mapping is meaningful only when it beats hash AND range.
+  if (lookup_cost < hash_cost && lookup_cost < range_cost) {
+    sol.mapping = lookup_mapping;
+    sol.class_cost = lookup_cost;
+    sol.violation_fraction = lookup_cost;
+    return sol;
+  }
+  // Documented extension: a range mapping that keeps the class almost
+  // entirely local (date-window locality) is accepted at the quasi tier.
+  if (options_.enable_range_quasi && range_cost <= options_.quasi_tolerance &&
+      range_cost < hash_cost) {
+    sol.mapping = std::make_shared<RangeMapping>(range_mapping);
+    sol.class_cost = range_cost;
+    sol.violation_fraction = range_cost;
+    return sol;
+  }
+  return Status::NotFound("no meaningful mapping function");
+}
+
+std::vector<ClassSolution> ClassPartitioner::SolveGraph(const JoinGraph& graph,
+                                                        const Trace& train,
+                                                        const Trace& holdout,
+                                                        bool as_total, int depth) const {
+  std::vector<ClassSolution> out;
+  if (graph.partitioned_tables.empty()) return out;
+
+  std::vector<ColumnRef> roots = FindRootAttributes(schema(), graph, *lattice_);
+
+  if (roots.empty()) {
+    // Case 2 (Sec. 5.2): split and recurse for partial solutions.
+    if (depth >= 3) return out;
+    std::vector<JoinGraph> parts = SplitGraph(schema(), graph);
+    if (parts.size() <= 1) return out;
+    for (const JoinGraph& part : parts) {
+      auto partial = SolveGraph(part, train, holdout, /*as_total=*/false, depth + 1);
+      for (auto& s : partial) out.push_back(std::move(s));
+    }
+    return out;
+  }
+
+  // Tier 1: exact mapping-independent trees across all roots.
+  struct Scored {
+    JoinTree tree;
+    double violation = 0.0;
+  };
+  std::vector<Scored> mi_trees;
+  std::vector<Scored> all_trees;
+  for (ColumnRef root : roots) {
+    auto trees = EnumerateTrees(schema(), graph, *lattice_, root,
+                                graph.partitioned_tables, options_.tree_enum);
+    for (auto& tree : trees) {
+      TreeFit fit = MeasureTreeFit(*db_, tree, train);
+      double viol = fit.violation_fraction();
+      if (fit.txns == 0) continue;
+      if (fit.violations == 0) {
+        mi_trees.push_back({tree, 0.0});
+      }
+      all_trees.push_back({std::move(tree), viol});
+    }
+  }
+
+  // Eliminate coarser compatible MI trees (keep the finer; Sec. 5.3).
+  std::vector<bool> dead(mi_trees.size(), false);
+  for (size_t i = 0; i < mi_trees.size(); ++i) {
+    for (size_t j = 0; j < mi_trees.size(); ++j) {
+      if (i == j || dead[i] || dead[j]) continue;
+      if (IsCoarserTree(*lattice_, mi_trees[i].tree, mi_trees[j].tree)) {
+        dead[i] = true;
+      }
+    }
+  }
+  for (size_t i = 0; i < mi_trees.size(); ++i) {
+    if (dead[i]) continue;
+    ClassSolution sol;
+    sol.tree = mi_trees[i].tree;
+    sol.total = as_total;
+    sol.tier = SolutionTier::kMappingIndependent;
+    sol.class_cost = 0.0;
+    out.push_back(std::move(sol));
+  }
+  if (!out.empty()) return out;
+
+  // Tier 2: best quasi-independent tree.
+  std::sort(all_trees.begin(), all_trees.end(),
+            [](const Scored& a, const Scored& b) { return a.violation < b.violation; });
+  if (options_.quasi_tolerance > 0.0 && !all_trees.empty() &&
+      all_trees.front().violation <= options_.quasi_tolerance) {
+    ClassSolution sol;
+    sol.tree = all_trees.front().tree;
+    sol.total = as_total;
+    sol.tier = SolutionTier::kQuasiIndependent;
+    sol.violation_fraction = all_trees.front().violation;
+    sol.class_cost = sol.violation_fraction;  // upper bound; mapping-agnostic
+    out.push_back(std::move(sol));
+    return out;
+  }
+
+  // Tier 3: statistics fallback on the least-violating tree per root.
+  if (options_.enable_stats_fallback) {
+    std::set<std::string> tried_roots;
+    for (const Scored& scored : all_trees) {
+      std::string key = schema().QualifiedName(scored.tree.root);
+      if (!tried_roots.insert(key).second) continue;
+      Result<ClassSolution> sol = StatsFallback(scored.tree, train, holdout);
+      if (sol.ok()) {
+        ClassSolution s = std::move(sol).value();
+        s.total = as_total;
+        out.push_back(std::move(s));
+      }
+    }
+  }
+  return out;
+}
+
+ClassPartitioningResult ClassPartitioner::Partition(const JoinGraph& graph,
+                                                    const Trace& class_trace,
+                                                    const std::string& name,
+                                                    uint32_t class_id,
+                                                    double mix_fraction) const {
+  ClassPartitioningResult result;
+  result.class_name = name;
+  result.class_id = class_id;
+  result.mix_fraction = mix_fraction;
+  result.read_only = graph.partitioned_tables.empty();
+
+  auto [train, holdout] = class_trace.SplitTrainTest(options_.holdout_fraction);
+  if (train.empty()) return result;
+
+  result.total_solutions =
+      SolveGraph(graph, train, holdout, /*as_total=*/true, /*depth=*/0);
+
+  // Some of the "total" solutions may actually be partial (Case-2 splits
+  // mark as_total=false and land here with total == false).
+  {
+    std::vector<ClassSolution> totals, partials;
+    for (auto& s : result.total_solutions) {
+      (s.total ? totals : partials).push_back(std::move(s));
+    }
+    result.total_solutions = std::move(totals);
+    result.partial_solutions = std::move(partials);
+  }
+
+  // Partial solutions from sub-join trees (Sec. 5.3): candidate attributes
+  // reachable from a proper subset of the partitioned tables.
+  if (options_.enable_partial_solutions && !result.total_solutions.empty()) {
+    std::map<TableId, std::set<TableId>> reach;
+    for (TableId t : graph.partitioned_tables) {
+      reach[t] = ReachableTables(schema(), graph, t);
+    }
+    std::vector<ClassSolution> partials;
+    for (ColumnRef c : graph.candidate_attrs) {
+      // Skip attributes equivalent to a total-solution root.
+      bool is_root = false;
+      for (const auto& total : result.total_solutions) {
+        if (lattice_->Equivalent(c, total.tree.root)) {
+          is_root = true;
+          break;
+        }
+      }
+      if (is_root) continue;
+      std::set<TableId> cover;
+      for (TableId t : graph.partitioned_tables) {
+        if (reach[t].count(c.table) > 0) cover.insert(t);
+      }
+      if (cover.empty() || cover == graph.partitioned_tables) continue;
+      auto trees = EnumerateTrees(schema(), graph, *lattice_, c, cover,
+                                  options_.tree_enum);
+      for (auto& tree : trees) {
+        TreeFit fit = MeasureTreeFit(*db_, tree, train);
+        if (fit.txns == 0 || fit.violations != 0) continue;
+        ClassSolution sol;
+        sol.tree = std::move(tree);
+        sol.total = false;
+        sol.tier = SolutionTier::kMappingIndependent;
+        partials.push_back(std::move(sol));
+      }
+    }
+    // Keep the finer of compatible partials.
+    std::vector<bool> dead(partials.size(), false);
+    for (size_t i = 0; i < partials.size(); ++i) {
+      for (size_t j = 0; j < partials.size(); ++j) {
+        if (i == j || dead[i] || dead[j]) continue;
+        if (IsCoarserTree(*lattice_, partials[i].tree, partials[j].tree)) {
+          dead[i] = true;
+        }
+      }
+    }
+    for (size_t i = 0; i < partials.size(); ++i) {
+      if (!dead[i]) result.partial_solutions.push_back(std::move(partials[i]));
+    }
+  }
+  return result;
+}
+
+}  // namespace jecb

@@ -1,0 +1,129 @@
+#include "jecb/jecb.h"
+
+#include <algorithm>
+
+#include "common/ascii_table.h"
+#include "common/string_util.h"
+#include "sql/analyzer.h"
+
+namespace jecb {
+
+Jecb::Jecb(JecbOptions options) : options_(std::move(options)) {
+  options_.class_partitioner.num_partitions = options_.num_partitions;
+  options_.combiner.num_partitions = options_.num_partitions;
+}
+
+Result<JecbResult> Jecb::Partition(Database* db,
+                                   const std::vector<sql::Procedure>& procedures,
+                                   const Trace& training_trace) const {
+  auto start = std::chrono::steady_clock::now();
+
+  // ---- Phase 1: pre-processing -------------------------------------------
+  std::vector<AccessClass> table_classes =
+      ClassifyTables(db->schema(), training_trace, options_.classify);
+  ApplyClassification(&db->mutable_schema(), table_classes);
+
+  AttributeLattice lattice(&db->schema());
+
+  // Analyze every procedure that has transactions in the trace.
+  sql::AnalyzerOptions analyzer_options;
+  analyzer_options.use_select_clause_attrs = options_.join_graph.use_select_clause_attrs;
+
+  // ---- Phase 2: per-class partitioning -----------------------------------
+  ClassPartitioner class_partitioner(db, &lattice, options_.class_partitioner);
+  std::vector<ClassPartitioningResult> classes;
+  for (uint32_t cls = 0; cls < training_trace.num_classes(); ++cls) {
+    const std::string& name = training_trace.class_name(cls);
+    const sql::Procedure* proc = nullptr;
+    for (const auto& p : procedures) {
+      if (EqualsIgnoreCase(p.name, name)) {
+        proc = &p;
+        break;
+      }
+    }
+    if (proc == nullptr) {
+      return Status::NotFound("no stored procedure for transaction class " + name);
+    }
+    JECB_ASSIGN_OR_RETURN(sql::ProcedureInfo info,
+                          sql::AnalyzeProcedure(db->schema(), *proc, analyzer_options));
+    JoinGraph graph = BuildJoinGraph(db->schema(), info, options_.join_graph);
+    Trace class_trace = training_trace.FilterClass(cls);
+    double mix = training_trace.size() == 0
+                     ? 0.0
+                     : static_cast<double>(class_trace.size()) /
+                           static_cast<double>(training_trace.size());
+    classes.push_back(
+        class_partitioner.Partition(graph, class_trace, name, cls, mix));
+  }
+
+  // ---- Phase 3: combining -------------------------------------------------
+  Combiner combiner(db, &lattice, options_.combiner);
+  CombinerReport report;
+  JECB_ASSIGN_OR_RETURN(DatabaseSolution solution,
+                        combiner.Combine(classes, training_trace, &report));
+
+  JecbResult result{std::move(solution), std::move(table_classes), std::move(classes),
+                    std::move(report), 0.0};
+  result.elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return result;
+}
+
+namespace {
+
+std::string SolutionRoots(const Schema& schema, const std::vector<ClassSolution>& sols) {
+  if (sols.empty()) return "No";
+  std::vector<std::string> roots;
+  for (const ClassSolution& s : sols) {
+    std::string name = schema.table(s.tree.root.table)
+                           .columns[s.tree.root.column]
+                           .name;
+    if (s.tier != SolutionTier::kMappingIndependent) {
+      name += " (" + std::string(SolutionTierToString(s.tier)) + ")";
+    }
+    if (std::find(roots.begin(), roots.end(), name) == roots.end()) {
+      roots.push_back(name);
+    }
+  }
+  return Join(roots, " or ");
+}
+
+}  // namespace
+
+std::string FormatClassSolutions(const Schema& schema,
+                                 const std::vector<ClassPartitioningResult>& classes) {
+  AsciiTable table({"Transaction class", "Mix", "Total solutions", "Partial solutions"});
+  for (const auto& cls : classes) {
+    std::string mix = FormatDouble(cls.mix_fraction * 100.0, 1) + "%";
+    if (cls.read_only) {
+      table.AddRow({cls.class_name, mix, "Read-only", "Read-only"});
+    } else {
+      table.AddRow({cls.class_name, mix, SolutionRoots(schema, cls.total_solutions),
+                    SolutionRoots(schema, cls.partial_solutions)});
+    }
+  }
+  return table.ToString();
+}
+
+std::string FormatTableSolutions(const Schema& schema,
+                                 const DatabaseSolution& solution) {
+  AsciiTable table({"Table", "Solution"});
+  for (size_t t = 0; t < schema.num_tables(); ++t) {
+    const Table& meta = schema.table(static_cast<TableId>(t));
+    const TablePartitioner* p = solution.Get(static_cast<TableId>(t));
+    std::string desc;
+    if (meta.access_class == AccessClass::kReadOnly) {
+      desc = "replicated (read-only)";
+    } else if (meta.access_class == AccessClass::kReadMostly) {
+      desc = "replicated (read-mostly)";
+    } else if (p == nullptr) {
+      desc = "replicated";
+    } else {
+      desc = p->Describe(schema);
+    }
+    table.AddRow({meta.name, desc});
+  }
+  return table.ToString();
+}
+
+}  // namespace jecb

@@ -1,0 +1,79 @@
+#include "jecb/join_graph.h"
+
+#include <algorithm>
+
+namespace jecb {
+
+namespace {
+
+bool HasEquijoin(const sql::ProcedureInfo& info, ColumnRef a, ColumnRef b) {
+  if (b < a) std::swap(a, b);
+  for (const auto& [x, y] : info.equijoins) {
+    if (x == a && y == b) return true;
+  }
+  return false;
+}
+
+bool InAccessed(const sql::ProcedureInfo& info, ColumnRef c, bool with_select) {
+  if (info.where_attrs.count(c) > 0) return true;
+  if (info.insert_attrs.count(c) > 0) return true;
+  return with_select && info.select_attrs.count(c) > 0;
+}
+
+}  // namespace
+
+JoinGraph BuildJoinGraph(const Schema& schema, const sql::ProcedureInfo& info,
+                         const JoinGraphOptions& options) {
+  JoinGraph g;
+  g.tables = info.AllTables();
+  for (TableId t : g.tables) {
+    if (schema.table(t).access_class == AccessClass::kPartitioned) {
+      g.partitioned_tables.insert(t);
+    }
+  }
+
+  const auto& fks = schema.foreign_keys();
+  for (FkIdx f = 0; f < fks.size(); ++f) {
+    const ForeignKey& fk = fks[f];
+    if (g.tables.count(fk.table) == 0 || g.tables.count(fk.ref_table) == 0) continue;
+
+    // Activated when every column pair is witnessed by an equijoin, or when
+    // every endpoint appears among accessed attributes (weaker evidence; the
+    // trace prunes false positives downstream).
+    bool all_joined = true;
+    bool all_accessed = true;
+    for (size_t i = 0; i < fk.columns.size(); ++i) {
+      ColumnRef child{fk.table, fk.columns[i]};
+      ColumnRef parent{fk.ref_table, fk.ref_columns[i]};
+      if (!HasEquijoin(info, child, parent)) all_joined = false;
+      if (!InAccessed(info, child, options.use_select_clause_attrs) ||
+          !InAccessed(info, parent, options.use_select_clause_attrs)) {
+        all_accessed = false;
+      }
+    }
+    if (all_joined || all_accessed) g.active_fks.push_back(f);
+  }
+
+  // Candidate attributes: WHERE attributes on accessed tables, plus the
+  // endpoints of activated foreign keys, plus single-column primary keys of
+  // accessed tables (roots like TPC-C's W_ID).
+  for (ColumnRef c : info.where_attrs) {
+    if (g.tables.count(c.table) > 0) g.candidate_attrs.insert(c);
+  }
+  for (FkIdx f : g.active_fks) {
+    const ForeignKey& fk = fks[f];
+    for (size_t i = 0; i < fk.columns.size(); ++i) {
+      g.candidate_attrs.insert(ColumnRef{fk.table, fk.columns[i]});
+      g.candidate_attrs.insert(ColumnRef{fk.ref_table, fk.ref_columns[i]});
+    }
+  }
+  for (TableId t : g.tables) {
+    const Table& table = schema.table(t);
+    if (table.primary_key.size() == 1) {
+      g.candidate_attrs.insert(ColumnRef{t, table.primary_key[0]});
+    }
+  }
+  return g;
+}
+
+}  // namespace jecb

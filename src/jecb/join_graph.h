@@ -1,0 +1,49 @@
+// Per-class join graph (paper Sec. 5.1): tables accessed by a transaction
+// class, candidate partitioning attributes, and the key-foreign key joins
+// the class's SQL activates — explicitly (ON/WHERE column=column), through
+// parameter/variable dataflow (implicit joins), or, optionally, because both
+// endpoint attributes appear among accessed attributes (SELECT-clause
+// discovery; false positives are pruned later by the trace).
+#pragma once
+
+#include <set>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "partition/join_path.h"
+#include "sql/analyzer.h"
+
+namespace jecb {
+
+struct JoinGraphOptions {
+  /// Discover joins via attributes appearing in SELECT clauses too
+  /// (paper Sec. 5.1, implicit joins). Off = explicit equijoins only.
+  bool use_select_clause_attrs = true;
+};
+
+/// The join graph of one transaction class.
+struct JoinGraph {
+  /// Every table the class touches.
+  std::set<TableId> tables;
+  /// The non-replicated tables among them: these must be covered by a join
+  /// tree for a total solution.
+  std::set<TableId> partitioned_tables;
+  /// Foreign keys (by schema index) activated by the class's SQL.
+  std::vector<FkIdx> active_fks;
+  /// Candidate partitioning attributes: WHERE attributes plus activated FK
+  /// endpoints (single columns only).
+  std::set<ColumnRef> candidate_attrs;
+
+  bool HasActiveFk(FkIdx f) const {
+    for (FkIdx g : active_fks) {
+      if (g == f) return true;
+    }
+    return false;
+  }
+};
+
+/// Builds the join graph for one analyzed procedure.
+JoinGraph BuildJoinGraph(const Schema& schema, const sql::ProcedureInfo& info,
+                         const JoinGraphOptions& options = {});
+
+}  // namespace jecb

@@ -1,0 +1,312 @@
+#include "jecb/tree_enum.h"
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+#include <map>
+
+namespace jecb {
+
+std::vector<std::vector<FkIdx>> EnumerateFkPaths(const Schema& schema,
+                                                 const JoinGraph& graph, TableId from,
+                                                 TableId to, size_t limit) {
+  std::vector<std::vector<FkIdx>> out;
+  std::vector<FkIdx> current;
+  std::set<TableId> visited{from};
+  std::function<void(TableId)> dfs = [&](TableId cur) {
+    if (out.size() >= limit) return;
+    if (cur == to) {
+      out.push_back(current);
+      return;
+    }
+    for (FkIdx f : graph.active_fks) {
+      const ForeignKey& fk = schema.foreign_keys()[f];
+      if (fk.table != cur || visited.count(fk.ref_table) > 0) continue;
+      visited.insert(fk.ref_table);
+      current.push_back(f);
+      dfs(fk.ref_table);
+      current.pop_back();
+      visited.erase(fk.ref_table);
+    }
+  };
+  dfs(from);
+  // Shortest paths first: downstream caps then keep the most natural ones.
+  std::stable_sort(out.begin(), out.end(),
+                   [](const auto& a, const auto& b) { return a.size() < b.size(); });
+  return out;
+}
+
+std::set<TableId> ReachableTables(const Schema& schema, const JoinGraph& graph,
+                                  TableId from) {
+  std::set<TableId> seen{from};
+  std::deque<TableId> queue{from};
+  while (!queue.empty()) {
+    TableId cur = queue.front();
+    queue.pop_front();
+    for (FkIdx f : graph.active_fks) {
+      const ForeignKey& fk = schema.foreign_keys()[f];
+      if (fk.table == cur && seen.insert(fk.ref_table).second) {
+        queue.push_back(fk.ref_table);
+      }
+    }
+  }
+  return seen;
+}
+
+namespace {
+
+/// Minimum hop count from `from` to `to` in the active-FK graph; SIZE_MAX
+/// when unreachable.
+size_t HopDistance(const Schema& schema, const JoinGraph& graph, TableId from,
+                   TableId to) {
+  if (from == to) return 0;
+  std::map<TableId, size_t> dist{{from, 0}};
+  std::deque<TableId> queue{from};
+  while (!queue.empty()) {
+    TableId cur = queue.front();
+    queue.pop_front();
+    for (FkIdx f : graph.active_fks) {
+      const ForeignKey& fk = schema.foreign_keys()[f];
+      if (fk.table != cur || dist.count(fk.ref_table) > 0) continue;
+      dist[fk.ref_table] = dist[cur] + 1;
+      if (fk.ref_table == to) return dist[fk.ref_table];
+      queue.push_back(fk.ref_table);
+    }
+  }
+  return SIZE_MAX;
+}
+
+}  // namespace
+
+std::vector<ColumnRef> FindRootAttributes(const Schema& schema, const JoinGraph& graph,
+                                          const AttributeLattice& lattice) {
+  if (graph.partitioned_tables.empty()) return {};
+
+  // Tables reachable from every partitioned table.
+  std::set<TableId> common;
+  bool first = true;
+  for (TableId t : graph.partitioned_tables) {
+    std::set<TableId> r = ReachableTables(schema, graph, t);
+    if (first) {
+      common = std::move(r);
+      first = false;
+    } else {
+      std::set<TableId> inter;
+      std::set_intersection(common.begin(), common.end(), r.begin(), r.end(),
+                            std::inserter(inter, inter.begin()));
+      common = std::move(inter);
+    }
+  }
+
+  std::vector<ColumnRef> candidates;
+  for (ColumnRef c : graph.candidate_attrs) {
+    if (common.count(c.table) > 0) candidates.push_back(c);
+  }
+
+  // Deduplicate by equivalence: keep, per group, the candidate minimizing
+  // the total hop distance from the partitioned tables (the "natural" name,
+  // e.g. CA_C_ID rather than C_ID for Customer-Position).
+  auto total_distance = [&](ColumnRef c) {
+    size_t sum = 0;
+    for (TableId t : graph.partitioned_tables) {
+      size_t d = HopDistance(schema, graph, t, c.table);
+      if (d == SIZE_MAX) return SIZE_MAX;
+      sum += d;
+    }
+    return sum;
+  };
+
+  std::vector<ColumnRef> roots;
+  std::vector<bool> used(candidates.size(), false);
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (used[i]) continue;
+    ColumnRef best = candidates[i];
+    size_t best_d = total_distance(best);
+    for (size_t j = i + 1; j < candidates.size(); ++j) {
+      if (used[j] || !lattice.Equivalent(candidates[i], candidates[j])) continue;
+      used[j] = true;
+      size_t d = total_distance(candidates[j]);
+      if (d < best_d || (d == best_d && candidates[j] < best)) {
+        best = candidates[j];
+        best_d = d;
+      }
+    }
+    if (best_d != SIZE_MAX) roots.push_back(best);
+  }
+  return roots;
+}
+
+std::vector<JoinTree> EnumerateTrees(const Schema& schema, const JoinGraph& graph,
+                                     const AttributeLattice& lattice, ColumnRef root,
+                                     const std::set<TableId>& cover,
+                                     const TreeEnumOptions& options) {
+  // Per-table alternatives: for every attribute equivalent to the root, all
+  // FK paths from the table to that attribute's table.
+  std::vector<ColumnRef> root_variants;
+  for (ColumnRef v : lattice.EquivClass(root)) {
+    if (graph.tables.count(v.table) > 0) root_variants.push_back(v);
+  }
+  std::sort(root_variants.begin(), root_variants.end());
+
+  std::vector<std::vector<JoinPath>> alternatives;
+  for (TableId t : cover) {
+    std::vector<JoinPath> alts;
+    for (ColumnRef v : root_variants) {
+      for (auto& hops : EnumerateFkPaths(schema, graph, t, v.table,
+                                         options.max_paths_per_pair)) {
+        JoinPath p;
+        p.source_table = t;
+        p.hops = std::move(hops);
+        p.dest = v;
+        if (p.Validate(schema).ok()) alts.push_back(std::move(p));
+      }
+    }
+    // Shortest alternatives first so caps keep the natural trees.
+    std::stable_sort(alts.begin(), alts.end(), [](const JoinPath& a, const JoinPath& b) {
+      return a.length() < b.length();
+    });
+    if (alts.size() > options.max_paths_per_pair) alts.resize(options.max_paths_per_pair);
+    if (alts.empty()) return {};  // table cannot reach the root: no tree
+    alternatives.push_back(std::move(alts));
+  }
+
+  // Cartesian product, capped.
+  std::vector<JoinTree> trees;
+  std::vector<size_t> choice(alternatives.size(), 0);
+  while (trees.size() < options.max_trees_per_root) {
+    JoinTree tree;
+    tree.root = root;
+    size_t i = 0;
+    for (TableId t : cover) {
+      tree.paths[t] = alternatives[i][choice[i]];
+      ++i;
+    }
+    trees.push_back(std::move(tree));
+    // Odometer increment.
+    size_t pos = 0;
+    while (pos < choice.size()) {
+      if (++choice[pos] < alternatives[pos].size()) break;
+      choice[pos] = 0;
+      ++pos;
+    }
+    if (pos == choice.size()) break;
+  }
+  return trees;
+}
+
+std::vector<JoinGraph> SplitGraph(const Schema& schema, const JoinGraph& graph) {
+  // Undirected connectivity over active FKs.
+  auto component_of = [&](TableId start) {
+    std::set<TableId> comp{start};
+    std::deque<TableId> queue{start};
+    while (!queue.empty()) {
+      TableId cur = queue.front();
+      queue.pop_front();
+      for (FkIdx f : graph.active_fks) {
+        const ForeignKey& fk = schema.foreign_keys()[f];
+        TableId other;
+        if (fk.table == cur) {
+          other = fk.ref_table;
+        } else if (fk.ref_table == cur) {
+          other = fk.table;
+        } else {
+          continue;
+        }
+        if (graph.tables.count(other) > 0 && comp.insert(other).second) {
+          queue.push_back(other);
+        }
+      }
+    }
+    return comp;
+  };
+
+  auto subgraph_of = [&](const std::set<TableId>& tables) {
+    JoinGraph sub;
+    sub.tables = tables;
+    for (TableId t : tables) {
+      if (graph.partitioned_tables.count(t) > 0) sub.partitioned_tables.insert(t);
+    }
+    for (FkIdx f : graph.active_fks) {
+      const ForeignKey& fk = schema.foreign_keys()[f];
+      if (tables.count(fk.table) > 0 && tables.count(fk.ref_table) > 0) {
+        sub.active_fks.push_back(f);
+      }
+    }
+    for (ColumnRef c : graph.candidate_attrs) {
+      if (tables.count(c.table) > 0) sub.candidate_attrs.insert(c);
+    }
+    return sub;
+  };
+
+  // 1) Connected components.
+  std::vector<JoinGraph> parts;
+  std::set<TableId> remaining = graph.tables;
+  while (!remaining.empty()) {
+    std::set<TableId> comp = component_of(*remaining.begin());
+    for (TableId t : comp) remaining.erase(t);
+    parts.push_back(subgraph_of(comp));
+  }
+  if (parts.size() > 1) return parts;
+
+  // 2) m-to-n split: a partitioned table whose outgoing FKs reach two
+  // disjoint regions that both contain partitioned tables.
+  for (TableId x : graph.partitioned_tables) {
+    std::vector<FkIdx> outgoing;
+    for (FkIdx f : graph.active_fks) {
+      if (schema.foreign_keys()[f].table == x) outgoing.push_back(f);
+    }
+    if (outgoing.size() < 2) continue;
+    // Group outgoing edges by the component of their target once x's
+    // outgoing edges are removed.
+    JoinGraph without = graph;
+    without.active_fks.clear();
+    for (FkIdx f : graph.active_fks) {
+      if (schema.foreign_keys()[f].table != x) without.active_fks.push_back(f);
+    }
+    std::vector<std::set<TableId>> regions;
+    for (FkIdx f : outgoing) {
+      TableId target = schema.foreign_keys()[f].ref_table;
+      bool found = false;
+      for (auto& r : regions) {
+        if (r.count(target) > 0) {
+          found = true;
+          break;
+        }
+      }
+      if (found) continue;
+      // Component of target in `without`.
+      std::set<TableId> comp{target};
+      std::deque<TableId> queue{target};
+      while (!queue.empty()) {
+        TableId cur = queue.front();
+        queue.pop_front();
+        for (FkIdx g : without.active_fks) {
+          const ForeignKey& fk = schema.foreign_keys()[g];
+          TableId other;
+          if (fk.table == cur) {
+            other = fk.ref_table;
+          } else if (fk.ref_table == cur) {
+            other = fk.table;
+          } else {
+            continue;
+          }
+          if (graph.tables.count(other) > 0 && other != x && comp.insert(other).second) {
+            queue.push_back(other);
+          }
+        }
+      }
+      regions.push_back(std::move(comp));
+    }
+    if (regions.size() < 2) continue;
+    std::vector<JoinGraph> split;
+    for (const auto& region : regions) {
+      std::set<TableId> tables = region;
+      tables.insert(x);
+      split.push_back(subgraph_of(tables));
+    }
+    return split;
+  }
+  return {graph};
+}
+
+}  // namespace jecb

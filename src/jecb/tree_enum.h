@@ -1,0 +1,50 @@
+// Join-tree enumeration (paper Sec. 5.2): find root attributes reachable
+// from every partitioned table's primary key through the class's active
+// foreign keys, enumerate the join trees for each root, and — when no root
+// exists — split the join graph (connected components, then m-to-n splits)
+// so partial solutions can be searched per subgraph.
+#pragma once
+
+#include <set>
+#include <vector>
+
+#include "jecb/attr_lattice.h"
+#include "jecb/join_graph.h"
+#include "jecb/types.h"
+
+namespace jecb {
+
+struct TreeEnumOptions {
+  size_t max_paths_per_pair = 16;
+  size_t max_trees_per_root = 16;
+};
+
+/// All simple foreign-key hop sequences from `from` to `to` within the
+/// graph's active FKs (at most `limit`). `from == to` yields one empty path.
+std::vector<std::vector<FkIdx>> EnumerateFkPaths(const Schema& schema,
+                                                 const JoinGraph& graph, TableId from,
+                                                 TableId to, size_t limit);
+
+/// Tables reachable from `from` via active child->parent FKs (incl. itself).
+std::set<TableId> ReachableTables(const Schema& schema, const JoinGraph& graph,
+                                  TableId from);
+
+/// Root attributes: candidate attributes on tables reachable from every
+/// partitioned table, deduplicated by equivalence (keeping, per class of
+/// equivalent attributes, the one with the fewest total hops).
+std::vector<ColumnRef> FindRootAttributes(const Schema& schema, const JoinGraph& graph,
+                                          const AttributeLattice& lattice);
+
+/// All join trees over `cover` rooted at `root` (cartesian product of
+/// per-table path alternatives, capped).
+std::vector<JoinTree> EnumerateTrees(const Schema& schema, const JoinGraph& graph,
+                                     const AttributeLattice& lattice, ColumnRef root,
+                                     const std::set<TableId>& cover,
+                                     const TreeEnumOptions& options = {});
+
+/// Case 2 of Sec. 5.2: splits a rootless join graph into subgraphs —
+/// connected components first, then m-to-n splits at a partitioned table
+/// with foreign keys into two disjoint partitioned regions.
+std::vector<JoinGraph> SplitGraph(const Schema& schema, const JoinGraph& graph);
+
+}  // namespace jecb

@@ -1,0 +1,77 @@
+// Shared types of the JECB pipeline (paper Sections 5 and 6).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "partition/join_path.h"
+#include "partition/mapping.h"
+
+namespace jecb {
+
+/// How a class solution's mapping function was established.
+enum class SolutionTier {
+  kMappingIndependent,  ///< Definition 7 holds exactly: any mapping works
+  kQuasiIndependent,    ///< holds for >= (1 - tolerance) of transactions
+  kStatistics,          ///< min-cut over root values beat hash and range
+};
+
+std::string_view SolutionTierToString(SolutionTier tier);
+
+/// A join tree with a root attribute (Definition 3), represented as one join
+/// path per covered table, all ending at `root`.
+struct JoinTree {
+  ColumnRef root;
+  std::map<TableId, JoinPath> paths;
+
+  std::set<TableId> Tables() const {
+    std::set<TableId> out;
+    for (const auto& [t, _] : paths) out.insert(t);
+    return out;
+  }
+};
+
+/// A (total or partial) partitioning solution for one transaction class
+/// (Definition 4 plus the partial-solution notion of Sec. 5).
+struct ClassSolution {
+  JoinTree tree;
+  bool total = false;  ///< covers every partitioned table the class accesses
+  SolutionTier tier = SolutionTier::kMappingIndependent;
+  /// Fraction of class transactions whose tuples map to more than one root
+  /// value (0 for mapping-independent solutions).
+  double violation_fraction = 0.0;
+  /// Set for kStatistics solutions: the learned value -> partition mapping.
+  std::shared_ptr<const MappingFunction> mapping;
+  /// Cost of this solution on the class's held-out trace (diagnostics).
+  double class_cost = 0.0;
+};
+
+/// Phase 2 output for one class.
+struct ClassPartitioningResult {
+  std::string class_name;
+  uint32_t class_id = 0;
+  double mix_fraction = 0.0;
+  /// True when the class touches no partitioned tables at all (paper
+  /// Table 3's "Read-only" rows) — trivially local under any solution.
+  bool read_only = false;
+  std::vector<ClassSolution> total_solutions;
+  std::vector<ClassSolution> partial_solutions;
+  bool partitionable() const { return !total_solutions.empty() || !partial_solutions.empty(); }
+};
+
+/// A per-table solution candidate in Phase 3 (Definition 10).
+struct TableSolutionCandidate {
+  TableId table = 0;
+  JoinPath path;      // key(table) -> attribute
+  bool replicate = false;
+  SolutionTier tier = SolutionTier::kMappingIndependent;
+  std::shared_ptr<const MappingFunction> mapping;  // optional (statistics)
+
+  ColumnRef attr() const { return path.dest; }
+};
+
+}  // namespace jecb

@@ -1,0 +1,158 @@
+#include "ml/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <numeric>
+
+namespace jecb {
+
+namespace {
+
+double Entropy(const std::vector<size_t>& counts, size_t total) {
+  if (total == 0) return 0.0;
+  double h = 0.0;
+  for (size_t c : counts) {
+    if (c == 0) continue;
+    double p = static_cast<double>(c) / static_cast<double>(total);
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+}  // namespace
+
+DecisionTree DecisionTree::Train(const std::vector<std::vector<int64_t>>& features,
+                                 const std::vector<int32_t>& labels,
+                                 int32_t num_classes,
+                                 const DecisionTreeOptions& options) {
+  DecisionTree tree;
+  if (features.empty()) {
+    tree.nodes_.push_back(Node{});
+    return tree;
+  }
+  const size_t num_features = features[0].size();
+
+  // Recursive builder over index subsets.
+  std::function<int32_t(std::vector<size_t>&, int)> build =
+      [&](std::vector<size_t>& subset, int depth) -> int32_t {
+    std::vector<size_t> counts(num_classes, 0);
+    for (size_t i : subset) ++counts[labels[i]];
+    int32_t majority = static_cast<int32_t>(
+        std::max_element(counts.begin(), counts.end()) - counts.begin());
+
+    auto make_leaf = [&]() {
+      int32_t id = static_cast<int32_t>(tree.nodes_.size());
+      Node n;
+      n.label = majority;
+      tree.nodes_.push_back(n);
+      return id;
+    };
+
+    const size_t total = subset.size();
+    const double parent_entropy = Entropy(counts, total);
+    if (parent_entropy == 0.0 || depth >= options.max_depth ||
+        total < 2 * options.min_leaf_size ||
+        tree.nodes_.size() + 2 > options.max_nodes) {
+      return make_leaf();
+    }
+
+    // Best split: for each feature, sort the subset by value and sweep.
+    int best_feature = -1;
+    int64_t best_threshold = 0;
+    double best_gain = options.min_gain;
+    std::vector<size_t> sorted = subset;
+    for (size_t f = 0; f < num_features; ++f) {
+      std::sort(sorted.begin(), sorted.end(), [&](size_t a, size_t b) {
+        return features[a][f] < features[b][f];
+      });
+      std::vector<size_t> left_counts(num_classes, 0);
+      std::vector<size_t> right_counts = counts;
+      for (size_t pos = 0; pos + 1 < total; ++pos) {
+        int32_t lab = labels[sorted[pos]];
+        ++left_counts[lab];
+        --right_counts[lab];
+        int64_t v = features[sorted[pos]][f];
+        int64_t next = features[sorted[pos + 1]][f];
+        if (v == next) continue;  // threshold must separate distinct values
+        size_t nl = pos + 1;
+        size_t nr = total - nl;
+        if (nl < options.min_leaf_size || nr < options.min_leaf_size) continue;
+        double gain = parent_entropy -
+                      (static_cast<double>(nl) / total) * Entropy(left_counts, nl) -
+                      (static_cast<double>(nr) / total) * Entropy(right_counts, nr);
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_feature = static_cast<int>(f);
+          best_threshold = v;
+        }
+      }
+    }
+    if (best_feature < 0) return make_leaf();
+
+    std::vector<size_t> left, right;
+    for (size_t i : subset) {
+      (features[i][best_feature] <= best_threshold ? left : right).push_back(i);
+    }
+    subset.clear();
+    subset.shrink_to_fit();
+
+    int32_t id = static_cast<int32_t>(tree.nodes_.size());
+    tree.nodes_.push_back(Node{});
+    tree.nodes_[id].feature = best_feature;
+    tree.nodes_[id].threshold = best_threshold;
+    tree.nodes_[id].label = majority;
+    int32_t l = build(left, depth + 1);
+    int32_t r = build(right, depth + 1);
+    tree.nodes_[id].left = l;
+    tree.nodes_[id].right = r;
+    return id;
+  };
+
+  std::vector<size_t> all(features.size());
+  std::iota(all.begin(), all.end(), 0);
+  build(all, 0);
+  return tree;
+}
+
+int32_t DecisionTree::Predict(const std::vector<int64_t>& features) const {
+  if (nodes_.empty()) return 0;
+  int32_t cur = 0;
+  while (nodes_[cur].feature >= 0) {
+    const Node& n = nodes_[cur];
+    if (static_cast<size_t>(n.feature) >= features.size()) return n.label;
+    cur = features[n.feature] <= n.threshold ? n.left : n.right;
+  }
+  return nodes_[cur].label;
+}
+
+int DecisionTree::depth() const {
+  std::function<int(int32_t)> depth_of = [&](int32_t id) -> int {
+    if (id < 0 || nodes_[id].feature < 0) return 1;
+    return 1 + std::max(depth_of(nodes_[id].left), depth_of(nodes_[id].right));
+  };
+  return nodes_.empty() ? 0 : depth_of(0);
+}
+
+std::string DecisionTree::ToString(const std::vector<std::string>& feature_names) const {
+  std::string out;
+  std::function<void(int32_t, int)> render = [&](int32_t id, int indent) {
+    const Node& n = nodes_[id];
+    std::string pad(indent * 2, ' ');
+    if (n.feature < 0) {
+      out += pad + "-> partition " + std::to_string(n.label) + "\n";
+      return;
+    }
+    std::string fname = static_cast<size_t>(n.feature) < feature_names.size()
+                            ? feature_names[n.feature]
+                            : "f" + std::to_string(n.feature);
+    out += pad + "if " + fname + " <= " + std::to_string(n.threshold) + ":\n";
+    render(n.left, indent + 1);
+    out += pad + "else:\n";
+    render(n.right, indent + 1);
+  };
+  if (!nodes_.empty()) render(0, 0);
+  return out;
+}
+
+}  // namespace jecb

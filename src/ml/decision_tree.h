@@ -1,0 +1,52 @@
+// Decision-tree classifier (C4.5 style: entropy gain, threshold splits on
+// numeric features). Schism's "explanation phase" trains one per table to
+// turn the tuple-level min-cut assignment into predicate rules that
+// generalize to tuples outside the training trace.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace jecb {
+
+struct DecisionTreeOptions {
+  int max_depth = 20;
+  /// 1 allows per-row leaves: essential for tiny hot tables (TPC-C's
+  /// 8-row WAREHOUSE) where every row needs its own partition label.
+  size_t min_leaf_size = 1;
+  /// A split must reduce weighted entropy by at least this much.
+  double min_gain = 1e-9;
+  /// Cap on tree size; growth stops when reached (resource guard).
+  size_t max_nodes = 1 << 16;
+};
+
+/// Axis-aligned decision tree over int64 feature vectors.
+class DecisionTree {
+ public:
+  /// Trains on rows `features` (all the same arity) with labels in
+  /// [0, num_classes). Empty input yields a tree predicting 0.
+  static DecisionTree Train(const std::vector<std::vector<int64_t>>& features,
+                            const std::vector<int32_t>& labels, int32_t num_classes,
+                            const DecisionTreeOptions& options = {});
+
+  int32_t Predict(const std::vector<int64_t>& features) const;
+
+  size_t num_nodes() const { return nodes_.size(); }
+  int depth() const;
+
+  /// Indented if/else rendering, for debugging and docs.
+  std::string ToString(const std::vector<std::string>& feature_names = {}) const;
+
+ private:
+  struct Node {
+    int feature = -1;        // -1: leaf
+    int64_t threshold = 0;   // go left when value <= threshold
+    int32_t left = -1;
+    int32_t right = -1;
+    int32_t label = 0;       // leaf prediction / majority
+  };
+  std::vector<Node> nodes_;
+};
+
+}  // namespace jecb

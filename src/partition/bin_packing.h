@@ -1,0 +1,45 @@
+// Skew-aware partition-to-node packing — the mitigation the paper's
+// conclusion sketches: "partition the database into many more partitions
+// than processing elements; a heuristic bin packing that considers the heat
+// of partitions might alleviate the impact of skew".
+//
+// Usage: produce a solution with k micro-partitions (k >> nodes), measure
+// per-partition heat on a trace, pack micro-partitions onto nodes with
+// longest-processing-time-first, and wrap the solution so tuples map
+// directly to nodes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "partition/evaluator.h"
+#include "partition/solution.h"
+
+namespace jecb {
+
+/// Greedy LPT bin packing: assigns each of `heats.size()` micro-partitions
+/// to one of `num_nodes` nodes, heaviest first onto the least-loaded node.
+/// Returns the micro-partition -> node map.
+std::vector<int32_t> PackPartitionsByHeat(const std::vector<uint64_t>& heats,
+                                          int32_t num_nodes);
+
+/// Per-node total heat under a packing (for reporting and tests).
+std::vector<uint64_t> NodeLoads(const std::vector<uint64_t>& heats,
+                                const std::vector<int32_t>& packing,
+                                int32_t num_nodes);
+
+/// Wraps `micro` (a k-micro-partition solution) into a node-level solution:
+/// each tuple's micro-partition is remapped through `packing`. Replicated
+/// tuples stay replicated.
+DatabaseSolution MapPartitionsToNodes(const DatabaseSolution& micro,
+                                      const std::vector<int32_t>& packing,
+                                      int32_t num_nodes);
+
+/// Convenience: measures heat of `micro` on `trace` (per-partition
+/// transaction participation), packs onto `num_nodes`, and returns the
+/// node-level solution.
+DatabaseSolution PackSolution(const Database& db, const DatabaseSolution& micro,
+                              const Trace& trace, int32_t num_nodes,
+                              std::vector<int32_t>* packing_out = nullptr);
+
+}  // namespace jecb

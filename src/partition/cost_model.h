@@ -1,0 +1,78 @@
+// Cost models for ranking partitioning solutions. The paper's evaluation
+// uses the simplest one — the fraction of distributed transactions
+// (Definition 6) — and its conclusion calls for "a spectrum of increasingly
+// complex cost functions": models that also count the number of sites a
+// transaction spans, and models that weight distributed work by its relative
+// runtime. All three live here and plug into the Phase-3 combiner.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "partition/evaluator.h"
+
+namespace jecb {
+
+/// Ranks solutions given the evaluator's statistics. Lower is better.
+class CostModel {
+ public:
+  virtual ~CostModel() = default;
+  virtual double Cost(const EvalResult& result) const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Definition 6: the fraction of distributed transactions (paper default).
+class DistributedFractionCost : public CostModel {
+ public:
+  double Cost(const EvalResult& r) const override { return r.cost(); }
+  std::string name() const override { return "distributed-fraction"; }
+};
+
+/// Counts how many partitions distributed transactions touch: a transaction
+/// spanning 5 sites costs more than one spanning 2 (two-phase commit fan-out).
+/// Cost = (sum over txns of max(sites - 1, 0)) / total transactions.
+class SitesTouchedCost : public CostModel {
+ public:
+  double Cost(const EvalResult& r) const override {
+    if (r.total_txns == 0) return 0.0;
+    // partitions_touched sums sites over distributed txns only.
+    double extra = static_cast<double>(r.partitions_touched) -
+                   static_cast<double>(r.distributed_txns);
+    return extra / static_cast<double>(r.total_txns);
+  }
+  std::string name() const override { return "sites-touched"; }
+};
+
+/// Models relative running time: a local transaction costs 1, a distributed
+/// one costs `distributed_penalty` plus `per_site_penalty` per extra site,
+/// with a load-skew multiplier (hot partitions bound throughput). Reported
+/// as average cost per transaction, normalized so all-local = 1.
+class WeightedRuntimeCost : public CostModel {
+ public:
+  explicit WeightedRuntimeCost(double distributed_penalty = 5.0,
+                               double per_site_penalty = 1.0,
+                               double skew_weight = 0.5)
+      : distributed_penalty_(distributed_penalty),
+        per_site_penalty_(per_site_penalty),
+        skew_weight_(skew_weight) {}
+
+  double Cost(const EvalResult& r) const override {
+    if (r.total_txns == 0) return 0.0;
+    double local = static_cast<double>(r.total_txns - r.distributed_txns);
+    double extra_sites = static_cast<double>(r.partitions_touched) -
+                         static_cast<double>(r.distributed_txns);
+    double work = local +
+                  static_cast<double>(r.distributed_txns) * distributed_penalty_ +
+                  extra_sites * per_site_penalty_;
+    double avg = work / static_cast<double>(r.total_txns);
+    return avg * (1.0 + skew_weight_ * r.LoadSkew());
+  }
+  std::string name() const override { return "weighted-runtime"; }
+
+ private:
+  double distributed_penalty_;
+  double per_site_penalty_;
+  double skew_weight_;
+};
+
+}  // namespace jecb

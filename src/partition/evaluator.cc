@@ -1,0 +1,83 @@
+#include "partition/evaluator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace jecb {
+
+double EvalResult::LoadSkew() const {
+  if (partition_load.empty()) return 0.0;
+  double mean = 0.0;
+  for (uint64_t v : partition_load) mean += static_cast<double>(v);
+  mean /= static_cast<double>(partition_load.size());
+  if (mean == 0.0) return 0.0;
+  double var = 0.0;
+  for (uint64_t v : partition_load) {
+    double d = static_cast<double>(v) - mean;
+    var += d * d;
+  }
+  var /= static_cast<double>(partition_load.size());
+  return std::sqrt(var) / mean;
+}
+
+bool IsDistributed(const Database& db, const DatabaseSolution& solution,
+                   const Transaction& txn, std::vector<int32_t>* touched) {
+  // Small vector of distinct partitions; transactions touch few partitions.
+  int32_t parts[8];
+  size_t nparts = 0;
+  bool writes_replicated = false;
+  bool overflow_distributed = false;
+  for (const Access& a : txn.accesses) {
+    int32_t p = solution.PartitionOf(db, a.tuple);
+    if (p == kReplicated) {
+      if (a.write) writes_replicated = true;
+      continue;  // replicated reads are local everywhere
+    }
+    bool seen = false;
+    for (size_t i = 0; i < nparts; ++i) {
+      if (parts[i] == p) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) {
+      if (nparts < std::size(parts)) {
+        parts[nparts++] = p;
+      } else {
+        overflow_distributed = true;  // > 8 distinct partitions: distributed
+      }
+    }
+  }
+  if (touched != nullptr) {
+    touched->assign(parts, parts + nparts);
+  }
+  return writes_replicated || overflow_distributed || nparts > 1;
+}
+
+EvalResult Evaluate(const Database& db, const DatabaseSolution& solution,
+                    const Trace& trace) {
+  EvalResult out;
+  out.class_total.assign(trace.num_classes(), 0);
+  out.class_distributed.assign(trace.num_classes(), 0);
+  out.partition_load.assign(std::max(solution.num_partitions(), 1), 0);
+
+  std::vector<int32_t> touched;
+  for (const Transaction& txn : trace.transactions()) {
+    bool dist = IsDistributed(db, solution, txn, &touched);
+    ++out.total_txns;
+    ++out.class_total[txn.class_id];
+    if (dist) {
+      ++out.distributed_txns;
+      ++out.class_distributed[txn.class_id];
+      out.partitions_touched += touched.size();
+    }
+    for (int32_t p : touched) {
+      if (p >= 0 && p < static_cast<int32_t>(out.partition_load.size())) {
+        ++out.partition_load[p];
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace jecb

@@ -1,0 +1,55 @@
+// Cost evaluation (paper Definitions 5 and 6): a transaction is distributed
+// when it writes a replicated tuple or touches tuples in more than one
+// partition; the cost of a solution on a workload is the fraction of
+// distributed transactions. The evaluator also reports per-class costs
+// (Figs. 8/9) and partitions-touched / skew statistics (Horticulture's cost
+// model inputs).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "partition/solution.h"
+#include "trace/trace.h"
+
+namespace jecb {
+
+/// Result of evaluating one solution against one trace.
+struct EvalResult {
+  uint64_t total_txns = 0;
+  uint64_t distributed_txns = 0;
+
+  /// Indexed by class id of the evaluated trace.
+  std::vector<uint64_t> class_total;
+  std::vector<uint64_t> class_distributed;
+
+  /// Sum over distributed transactions of the number of partitions touched.
+  uint64_t partitions_touched = 0;
+  /// Per-partition transaction participation counts (skew input).
+  std::vector<uint64_t> partition_load;
+
+  double cost() const {
+    return total_txns == 0 ? 0.0
+                           : static_cast<double>(distributed_txns) /
+                                 static_cast<double>(total_txns);
+  }
+  double class_cost(uint32_t cls) const {
+    return class_total[cls] == 0 ? 0.0
+                                 : static_cast<double>(class_distributed[cls]) /
+                                       static_cast<double>(class_total[cls]);
+  }
+
+  /// Coefficient of variation of partition_load; 0 = perfectly balanced.
+  double LoadSkew() const;
+};
+
+/// Classifies a single transaction under `solution`; returns true when
+/// distributed. `touched` (optional) receives the distinct partitions.
+bool IsDistributed(const Database& db, const DatabaseSolution& solution,
+                   const Transaction& txn, std::vector<int32_t>* touched = nullptr);
+
+/// Evaluates `solution` over every transaction of `trace`.
+EvalResult Evaluate(const Database& db, const DatabaseSolution& solution,
+                    const Trace& trace);
+
+}  // namespace jecb

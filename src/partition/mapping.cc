@@ -1,0 +1,20 @@
+#include "partition/mapping.h"
+
+#include <algorithm>
+
+namespace jecb {
+
+int32_t RangeMapping::Map(const Value& value) const {
+  if (!value.is_int()) {
+    return static_cast<int32_t>(value.Hash() % static_cast<uint64_t>(k_));
+  }
+  int64_t v = std::clamp(value.AsInt(), lo_, hi_);
+  // Equi-width buckets over [lo, hi]; width computed in doubles to avoid
+  // overflow on wide domains.
+  double span = static_cast<double>(hi_ - lo_) + 1.0;
+  auto p = static_cast<int32_t>(static_cast<double>(v - lo_) / span *
+                                static_cast<double>(k_));
+  return std::clamp(p, 0, k_ - 1);
+}
+
+}  // namespace jecb

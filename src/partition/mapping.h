@@ -1,0 +1,90 @@
+// Mapping functions f_{k,X}: root-attribute value -> partition (paper
+// Definition 4/10). Partitions are 0..k-1; kReplicated marks tuples that are
+// copied to every partition.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "storage/value.h"
+
+namespace jecb {
+
+/// Partition id of a replicated tuple (the paper's "i = 0").
+inline constexpr int32_t kReplicated = -1;
+/// Partition id when a tuple's placement cannot be resolved (dangling FK).
+inline constexpr int32_t kUnknownPartition = -2;
+
+/// Maps values of a partitioning attribute to partitions.
+class MappingFunction {
+ public:
+  virtual ~MappingFunction() = default;
+
+  /// Partition of `value` in [0, k), or kReplicated.
+  virtual int32_t Map(const Value& value) const = 0;
+
+  virtual int32_t num_partitions() const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Deterministic hash partitioning.
+class HashMapping : public MappingFunction {
+ public:
+  explicit HashMapping(int32_t k) : k_(k) {}
+  int32_t Map(const Value& value) const override {
+    return static_cast<int32_t>(value.Hash() % static_cast<uint64_t>(k_));
+  }
+  int32_t num_partitions() const override { return k_; }
+  std::string name() const override { return "hash"; }
+
+ private:
+  int32_t k_;
+};
+
+/// Equi-width range partitioning over integer values [lo, hi]; values
+/// outside the range clamp to the edge partitions, non-integers hash.
+class RangeMapping : public MappingFunction {
+ public:
+  RangeMapping(int32_t k, int64_t lo, int64_t hi) : k_(k), lo_(lo), hi_(hi) {}
+  int32_t Map(const Value& value) const override;
+  int32_t num_partitions() const override { return k_; }
+  std::string name() const override { return "range"; }
+  int64_t lo() const { return lo_; }
+  int64_t hi() const { return hi_; }
+
+ private:
+  int32_t k_;
+  int64_t lo_;
+  int64_t hi_;
+};
+
+struct ValueHashFunctor {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+/// Explicit value -> partition lookup (the paper's lookup tables); values
+/// not in the table fall back to hash.
+class LookupMapping : public MappingFunction {
+ public:
+  LookupMapping(int32_t k, std::unordered_map<Value, int32_t, ValueHashFunctor> table)
+      : k_(k), table_(std::move(table)) {}
+  int32_t Map(const Value& value) const override {
+    auto it = table_.find(value);
+    if (it != table_.end()) return it->second;
+    return static_cast<int32_t>(value.Hash() % static_cast<uint64_t>(k_));
+  }
+  int32_t num_partitions() const override { return k_; }
+  std::string name() const override { return "lookup"; }
+  size_t table_size() const { return table_.size(); }
+  const std::unordered_map<Value, int32_t, ValueHashFunctor>& entries() const {
+    return table_;
+  }
+
+ private:
+  int32_t k_;
+  std::unordered_map<Value, int32_t, ValueHashFunctor> table_;
+};
+
+}  // namespace jecb

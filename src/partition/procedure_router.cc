@@ -1,0 +1,59 @@
+#include "partition/procedure_router.h"
+
+#include "common/string_util.h"
+
+namespace jecb {
+
+ProcedureRouter::ProcedureRouter(const Database* db, const DatabaseSolution* solution,
+                                 const std::vector<sql::Procedure>& procedures)
+    : db_(db), solution_(solution), router_(db, solution) {
+  for (const sql::Procedure& proc : procedures) {
+    auto info = sql::AnalyzeProcedure(db_->schema(), proc);
+    if (!info.ok()) continue;  // unanalyzable procedures broadcast at runtime
+    std::vector<ParamBinding> bindings;
+    for (const auto& [param, attrs] : info.value().param_bindings) {
+      for (ColumnRef attr : attrs) {
+        bindings.push_back({param, attr});
+      }
+    }
+    bindings_[ToLower(proc.name)] = std::move(bindings);
+  }
+}
+
+ProcedureRouter::Decision ProcedureRouter::Route(
+    const std::string& procedure, const std::map<std::string, Value>& params) {
+  Decision decision;
+  auto it = bindings_.find(ToLower(procedure));
+  if (it == bindings_.end()) {
+    decision.broadcast = true;
+    decision.partitions = router_.Broadcast();
+    return decision;
+  }
+  // Try each (param, attribute) binding the caller supplied a value for;
+  // keep the narrowest answer. A decision is only non-broadcast if some
+  // lookup table actually restricted the partition set.
+  const size_t all = static_cast<size_t>(solution_->num_partitions());
+  size_t best_size = all + 1;
+  for (const ParamBinding& binding : it->second) {
+    auto value = params.find(binding.param);
+    if (value == params.end()) continue;
+    ++tables_built_;
+    std::vector<int32_t> parts = router_.RouteValue(binding.attr, value->second);
+    // "any partition" answers (replicated data only) count as size 1.
+    size_t size = parts.size();
+    if (size < best_size) {
+      best_size = size;
+      decision.partitions = std::move(parts);
+      decision.routed_by = db_->schema().QualifiedName(binding.attr);
+      if (best_size <= 1) break;
+    }
+  }
+  if (best_size > all || decision.partitions.size() >= all) {
+    decision.broadcast = true;
+    decision.partitions = router_.Broadcast();
+    decision.routed_by.clear();
+  }
+  return decision;
+}
+
+}  // namespace jecb

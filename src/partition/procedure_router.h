@@ -1,0 +1,61 @@
+// Procedure-level routing (paper Sec. 3): given a stored-procedure
+// invocation — class name plus parameter values — decide which partitions
+// must participate, using the code analysis to map parameters to routing
+// attributes and per-attribute lookup tables to map values to partitions.
+//
+// "To route a query or stored procedure, we find a relevant attribute that
+//  is compatible and finer than the partitioning attribute and build a
+//  lookup table on it via a join path. If no such attribute exists ... we
+//  are forced to broadcast."
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "partition/router.h"
+#include "sql/analyzer.h"
+
+namespace jecb {
+
+/// Routes whole procedure invocations. Built once per (solution, workload):
+/// analyzes each procedure to learn which attributes its parameters bind.
+class ProcedureRouter {
+ public:
+  /// Analyzes `procedures` against the database's schema. Procedures that
+  /// fail analysis are skipped (they will broadcast).
+  ProcedureRouter(const Database* db, const DatabaseSolution* solution,
+                  const std::vector<sql::Procedure>& procedures);
+
+  /// The routing decision for one invocation.
+  struct Decision {
+    std::vector<int32_t> partitions;  ///< target partitions (kReplicated = any)
+    bool broadcast = false;           ///< no usable routing attribute
+    std::string routed_by;            ///< qualified attribute used, if any
+  };
+
+  /// Routes an invocation. `params` maps parameter name (without '@') to its
+  /// value; parameters bound to no single-valued attribute are ignored.
+  /// Unknown procedures broadcast.
+  Decision Route(const std::string& procedure, const std::map<std::string, Value>& params);
+
+  /// Fraction of single-partition decisions over a sequence of calls
+  /// (diagnostics for tests/examples).
+  size_t lookup_tables_built() { return tables_built_; }
+
+ private:
+  struct ParamBinding {
+    std::string param;
+    ColumnRef attr;
+  };
+
+  const Database* db_;
+  const DatabaseSolution* solution_;
+  Router router_;
+  // Per procedure (lower-cased name): parameter -> bound attributes, in
+  // preference order (fewest partitions first is discovered lazily).
+  std::map<std::string, std::vector<ParamBinding>> bindings_;
+  size_t tables_built_ = 0;
+};
+
+}  // namespace jecb

@@ -1,0 +1,36 @@
+#include "partition/router.h"
+
+namespace jecb {
+
+const Router::LookupTable& Router::TableFor(const ColumnRef& attr) {
+  auto it = tables_.find(attr);
+  if (it != tables_.end()) return it->second;
+  LookupTable table;
+  const TableData& data = db_->table_data(attr.table);
+  for (RowId r = 0; r < data.num_rows(); ++r) {
+    TupleId t{attr.table, r};
+    int32_t p = solution_->PartitionOf(*db_, t);
+    table[data.At(r, attr.column)].insert(p);
+  }
+  return tables_.emplace(attr, std::move(table)).first->second;
+}
+
+std::vector<int32_t> Router::RouteValue(const ColumnRef& attr, const Value& value) {
+  const LookupTable& table = TableFor(attr);
+  auto it = table.find(value);
+  if (it == table.end()) return Broadcast();
+  return std::vector<int32_t>(it->second.begin(), it->second.end());
+}
+
+std::vector<int32_t> Router::Broadcast() const {
+  std::vector<int32_t> all;
+  all.reserve(solution_->num_partitions());
+  for (int32_t p = 0; p < solution_->num_partitions(); ++p) all.push_back(p);
+  return all;
+}
+
+size_t Router::LookupTableSize(const ColumnRef& attr) {
+  return TableFor(attr).size();
+}
+
+}  // namespace jecb

@@ -1,0 +1,48 @@
+// Runtime transaction routing (paper Sec. 3): map a routing attribute value
+// to the partitions that store matching tuples, via lookup tables. When no
+// routing attribute matches the partitioning, the request is broadcast.
+#pragma once
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "partition/solution.h"
+#include "storage/database.h"
+
+namespace jecb {
+
+/// Routes requests to partitions using per-attribute lookup tables built by
+/// scanning the partitioned database once per attribute (lazily).
+///
+/// The lookup table for attribute A of table T maps each value of A to the
+/// set of partitions holding a T-tuple with that value — exactly the paper's
+/// "lookup table" mapping; coarser attributes yield smaller tables.
+class Router {
+ public:
+  Router(const Database* db, const DatabaseSolution* solution)
+      : db_(db), solution_(solution) {}
+
+  /// Partitions that hold tuples of `attr`'s table whose `attr` column equals
+  /// `value`. Unknown values (not in the data) return the broadcast set.
+  /// A result containing kReplicated means "any partition".
+  std::vector<int32_t> RouteValue(const ColumnRef& attr, const Value& value);
+
+  /// All partitions.
+  std::vector<int32_t> Broadcast() const;
+
+  /// Number of distinct values in the lookup table built for `attr`
+  /// (builds it if needed); the paper's lookup-table space metric.
+  size_t LookupTableSize(const ColumnRef& attr);
+
+ private:
+  using LookupTable = std::unordered_map<Value, std::set<int32_t>, ValueHashFunctor>;
+
+  const LookupTable& TableFor(const ColumnRef& attr);
+
+  const Database* db_;
+  const DatabaseSolution* solution_;
+  std::map<ColumnRef, LookupTable> tables_;
+};
+
+}  // namespace jecb

@@ -1,0 +1,28 @@
+#include "partition/solution.h"
+
+namespace jecb {
+
+int32_t JoinPathPartitioner::PartitionOf(const Database& db, TupleId tuple) const {
+  auto it = cache_.find(tuple);
+  if (it != cache_.end()) return it->second;
+  Result<Value> v = path_.Evaluate(db, tuple);
+  int32_t p = v.ok() ? mapping_->Map(v.value()) : kUnknownPartition;
+  cache_.emplace(tuple, p);
+  return p;
+}
+
+std::string JoinPathPartitioner::Describe(const Schema& schema) const {
+  return path_.ToString(schema) + " via " + mapping_->name();
+}
+
+std::string DatabaseSolution::Describe(const Schema& schema) const {
+  std::string out;
+  for (size_t t = 0; t < per_table_.size(); ++t) {
+    out += "  " + schema.table(static_cast<TableId>(t)).name + ": ";
+    out += per_table_[t] ? per_table_[t]->Describe(schema) : "replicated (default)";
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace jecb

@@ -1,0 +1,162 @@
+#include "schism/schism.h"
+
+#include <chrono>
+#include <cmath>
+#include <random>
+#include <memory>
+#include <unordered_map>
+
+namespace jecb {
+
+std::vector<int64_t> TupleFeatures(const Database& db, TupleId tuple) {
+  const Row& row = db.table_data(tuple.table).row(tuple.row);
+  std::vector<int64_t> out;
+  out.reserve(row.size());
+  for (const Value& v : row) {
+    if (v.is_int()) {
+      out.push_back(v.AsInt());
+    } else if (v.is_double()) {
+      out.push_back(static_cast<int64_t>(std::llround(v.AsDouble())));
+    } else {
+      out.push_back(static_cast<int64_t>(v.Hash()));
+    }
+  }
+  return out;
+}
+
+Result<SchismResult> Schism::Partition(Database* db, const Trace& training) const {
+  auto start = std::chrono::steady_clock::now();
+
+  std::vector<AccessClass> classes =
+      ClassifyTables(db->schema(), training, options_.classify);
+  ApplyClassification(&db->mutable_schema(), classes);
+
+  // ---- Tuple graph ---------------------------------------------------------
+  std::unordered_map<TupleId, NodeId, TupleIdHash> node_of;
+  std::vector<TupleId> tuples;
+  auto intern = [&](TupleId t) {
+    auto [it, inserted] = node_of.emplace(t, static_cast<NodeId>(tuples.size()));
+    if (inserted) tuples.push_back(t);
+    return it->second;
+  };
+
+  // First pass: intern nodes so the builder can size up front.
+  std::vector<std::vector<NodeId>> txn_nodes;
+  txn_nodes.reserve(training.size());
+  for (const Transaction& txn : training.transactions()) {
+    std::vector<NodeId> nodes;
+    for (const Access& a : txn.accesses) {
+      if (classes[a.tuple.table] != AccessClass::kPartitioned) continue;
+      NodeId n = intern(a.tuple);
+      bool dup = false;
+      for (NodeId m : nodes) {
+        if (m == n) {
+          dup = true;
+          break;
+        }
+      }
+      if (!dup) nodes.push_back(n);
+    }
+    txn_nodes.push_back(std::move(nodes));
+  }
+
+  GraphBuilder builder(tuples.size(), 0);
+  std::mt19937_64 chord_rng(options_.seed);
+  for (const auto& nodes : txn_nodes) {
+    for (NodeId n : nodes) builder.AddNodeWeight(n, 1);
+    size_t pairs = nodes.size() * (nodes.size() - 1) / 2;
+    if (pairs <= options_.max_pairs_per_txn) {
+      for (size_t i = 0; i < nodes.size(); ++i) {
+        for (size_t j = i + 1; j < nodes.size(); ++j) {
+          builder.AddEdge(nodes[i], nodes[j], 1);
+        }
+      }
+    } else {
+      // Very large transaction: ring (connectivity) plus random chords up
+      // to the budget (density), instead of the quadratic clique.
+      for (size_t i = 0; i + 1 < nodes.size(); ++i) {
+        builder.AddEdge(nodes[i], nodes[i + 1], 1);
+      }
+      builder.AddEdge(nodes.back(), nodes.front(), 1);
+      for (size_t c = nodes.size(); c < options_.max_pairs_per_txn; ++c) {
+        NodeId a = nodes[chord_rng() % nodes.size()];
+        NodeId b = nodes[chord_rng() % nodes.size()];
+        builder.AddEdge(a, b, 1);
+      }
+    }
+  }
+  txn_nodes.clear();
+  txn_nodes.shrink_to_fit();
+
+  Graph graph = builder.Build();
+
+  SchismResult result{DatabaseSolution(options_.num_partitions, db->schema().num_tables()),
+                      graph.num_nodes(), graph.num_edges(), 0, 0.0, 0.0};
+
+  GraphPartitionOptions gopt = options_.graph;
+  gopt.num_parts = options_.num_partitions;
+  gopt.seed = options_.seed;
+  std::vector<int32_t> assignment = PartitionGraph(graph, gopt);
+  result.edge_cut = CutWeight(graph, assignment);
+
+  // ---- Explanation phase ---------------------------------------------------
+  auto replicated = std::make_shared<ReplicatedTable>();
+  for (size_t t = 0; t < db->schema().num_tables(); ++t) {
+    if (classes[t] != AccessClass::kPartitioned) {
+      result.solution.Set(static_cast<TableId>(t), replicated);
+    }
+  }
+
+  // Group training tuples by table.
+  std::unordered_map<TableId, std::vector<std::pair<TupleId, int32_t>>> by_table;
+  for (size_t i = 0; i < tuples.size(); ++i) {
+    by_table[tuples[i].table].emplace_back(tuples[i], assignment[i]);
+  }
+
+  uint64_t correct = 0;
+  uint64_t total = 0;
+  for (size_t t = 0; t < db->schema().num_tables(); ++t) {
+    auto tid = static_cast<TableId>(t);
+    if (classes[t] != AccessClass::kPartitioned) continue;
+    auto it = by_table.find(tid);
+    if (it == by_table.end() || it->second.empty()) {
+      // Never seen in the trace: replicate (Schism has no evidence).
+      result.solution.Set(tid, replicated);
+      continue;
+    }
+    auto& samples = it->second;
+    if (samples.size() > options_.max_samples_per_table) {
+      samples.resize(options_.max_samples_per_table);
+    }
+    std::vector<std::vector<int64_t>> features;
+    std::vector<int32_t> labels;
+    features.reserve(samples.size());
+    labels.reserve(samples.size());
+    for (const auto& [tuple, label] : samples) {
+      features.push_back(TupleFeatures(*db, tuple));
+      labels.push_back(label);
+    }
+    DecisionTree tree =
+        DecisionTree::Train(features, labels, options_.num_partitions, options_.tree);
+    for (size_t i = 0; i < features.size(); ++i) {
+      if (tree.Predict(features[i]) == labels[i]) ++correct;
+      ++total;
+    }
+    auto shared_tree = std::make_shared<DecisionTree>(std::move(tree));
+    const Database* db_ptr = db;
+    result.solution.Set(
+        tid, std::make_shared<CallbackPartitioner>(
+                 [shared_tree, db_ptr](const Database& database, TupleId tuple) {
+                   (void)db_ptr;
+                   return shared_tree->Predict(TupleFeatures(database, tuple));
+                 },
+                 "decision-tree classifier"));
+  }
+  result.explanation_accuracy =
+      total == 0 ? 1.0 : static_cast<double>(correct) / static_cast<double>(total);
+  result.elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return result;
+}
+
+}  // namespace jecb

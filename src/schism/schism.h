@@ -1,0 +1,59 @@
+// Schism baseline (Curino et al., VLDB 2010), as reimplemented for the
+// paper's comparison: model the training transactions as a tuple-level
+// co-access graph, min-cut partition it, then train one decision-tree
+// classifier per table (the "explanation phase") so arbitrary tuples — not
+// just those in the trace — can be placed.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/partitioner.h"
+#include "ml/decision_tree.h"
+#include "partition/solution.h"
+#include "trace/trace.h"
+
+namespace jecb {
+
+struct SchismOptions {
+  int32_t num_partitions = 8;
+  ClassifyOptions classify;
+  /// Edge budget per transaction. Small transactions contribute full
+  /// cliques (Schism's model); larger ones a ring plus random chords up to
+  /// the budget, bounding graph size without collapsing cluster structure.
+  size_t max_pairs_per_txn = 8192;
+  /// Per-table cap on explanation-phase training samples.
+  size_t max_samples_per_table = 200000;
+  DecisionTreeOptions tree;
+  uint64_t seed = 11;
+  GraphPartitionOptions graph;  // num_parts/seed are overwritten
+};
+
+struct SchismResult {
+  DatabaseSolution solution;
+  size_t graph_nodes = 0;
+  size_t graph_edges = 0;
+  uint64_t edge_cut = 0;
+  /// Fraction of training tuples the per-table classifiers reproduce.
+  double explanation_accuracy = 0.0;
+  double elapsed_seconds = 0.0;
+};
+
+class Schism {
+ public:
+  explicit Schism(SchismOptions options = {}) : options_(std::move(options)) {}
+
+  /// Partitions the database from the training trace alone (plus the
+  /// schema's column metadata for classifier features). Mutates `db`'s
+  /// schema with the Phase-1-style replication classification, which is
+  /// applied for fairness with JECB.
+  Result<SchismResult> Partition(Database* db, const Trace& training) const;
+
+ private:
+  SchismOptions options_;
+};
+
+/// Feature vector of a stored tuple for the explanation-phase classifier:
+/// ints as-is, doubles rounded, strings hashed.
+std::vector<int64_t> TupleFeatures(const Database& db, TupleId tuple);
+
+}  // namespace jecb

@@ -1,0 +1,252 @@
+#include "sql/analyzer.h"
+
+#include <algorithm>
+#include <map>
+
+namespace jecb::sql {
+
+namespace {
+
+/// Resolves a column mention: qualified names directly, unqualified names
+/// first against the statement's scope tables, then the whole schema.
+Result<ColumnRef> Resolve(const Schema& schema, const ColumnName& cn,
+                          const std::vector<TableId>& scope) {
+  if (!cn.table.empty()) {
+    JECB_ASSIGN_OR_RETURN(TableId tid, schema.FindTable(cn.table));
+    JECB_ASSIGN_OR_RETURN(ColumnIdx cid, schema.table(tid).FindColumn(cn.column));
+    return ColumnRef{tid, cid};
+  }
+  auto search = [&](const auto& table_ids) -> Result<ColumnRef> {
+    ColumnRef found{};
+    int hits = 0;
+    for (TableId tid : table_ids) {
+      auto cid = schema.table(tid).FindColumn(cn.column);
+      if (cid.ok()) {
+        found = ColumnRef{tid, cid.value()};
+        ++hits;
+      }
+    }
+    if (hits == 1) return found;
+    if (hits > 1) {
+      return Status::InvalidArgument("ambiguous column " + cn.column);
+    }
+    return Status::NotFound("column " + cn.column);
+  };
+  auto in_scope = search(scope);
+  if (in_scope.ok()) return in_scope;
+  if (in_scope.status().code() == StatusCode::kInvalidArgument) return in_scope;
+  std::vector<TableId> all;
+  for (size_t i = 0; i < schema.num_tables(); ++i) all.push_back(static_cast<TableId>(i));
+  return search(all);
+}
+
+class Analysis {
+ public:
+  Analysis(const Schema& schema, const Procedure& proc, const AnalyzerOptions& options)
+      : schema_(schema), proc_(proc), options_(options) {}
+
+  Result<ProcedureInfo> Run() {
+    info_.name = proc_.name;
+    info_.parameters = proc_.parameters;
+    for (const Statement& st : proc_.statements) {
+      JECB_RETURN_NOT_OK(AnalyzeStatement(st));
+    }
+    EmitBindingJoins();
+    Dedup();
+    return std::move(info_);
+  }
+
+ private:
+  Status AnalyzeStatement(const Statement& st) {
+    std::vector<TableId> scope;
+    switch (st.kind) {
+      case StatementKind::kSelect:
+      case StatementKind::kDelete: {
+        for (const FromTable& ft : st.from) {
+          JECB_ASSIGN_OR_RETURN(TableId tid, schema_.FindTable(ft.table));
+          scope.push_back(tid);
+          if (st.kind == StatementKind::kSelect) {
+            info_.tables_read.insert(tid);
+          } else {
+            info_.tables_written.insert(tid);
+          }
+        }
+        for (const FromTable& ft : st.from) {
+          for (const Predicate& p : ft.join_on) {
+            JECB_RETURN_NOT_OK(AnalyzePredicate(p, scope));
+          }
+        }
+        for (const Predicate& p : st.where) {
+          JECB_RETURN_NOT_OK(AnalyzePredicate(p, scope));
+        }
+        for (const SelectItem& item : st.select_items) {
+          JECB_RETURN_NOT_OK(AnalyzeSelectItem(item, scope));
+        }
+        return Status::OK();
+      }
+      case StatementKind::kInsert: {
+        JECB_ASSIGN_OR_RETURN(TableId tid, schema_.FindTable(st.insert_table));
+        scope.push_back(tid);
+        info_.tables_written.insert(tid);
+        const Table& t = schema_.table(tid);
+        std::vector<ColumnIdx> cols;
+        if (st.insert_columns.empty()) {
+          if (st.insert_values.size() != t.columns.size()) {
+            return Status::InvalidArgument("INSERT arity mismatch for " + t.name);
+          }
+          for (size_t i = 0; i < t.columns.size(); ++i) {
+            cols.push_back(static_cast<ColumnIdx>(i));
+          }
+        } else {
+          if (st.insert_values.size() != st.insert_columns.size()) {
+            return Status::InvalidArgument("INSERT arity mismatch for " + t.name);
+          }
+          for (const std::string& c : st.insert_columns) {
+            JECB_ASSIGN_OR_RETURN(ColumnIdx cid, t.FindColumn(c));
+            cols.push_back(cid);
+          }
+        }
+        for (size_t i = 0; i < cols.size(); ++i) {
+          ColumnRef ref{tid, cols[i]};
+          info_.insert_attrs.insert(ref);
+          const Expr& e = st.insert_values[i];
+          if (e.kind == ExprKind::kParameter) Bind(e.parameter, ref);
+        }
+        return Status::OK();
+      }
+      case StatementKind::kUpdate: {
+        JECB_ASSIGN_OR_RETURN(TableId tid, schema_.FindTable(st.update_table));
+        scope.push_back(tid);
+        info_.tables_written.insert(tid);
+        for (const Predicate& p : st.where) {
+          JECB_RETURN_NOT_OK(AnalyzePredicate(p, scope));
+        }
+        // SET expressions intentionally do not feed the dataflow: a SET
+        // changes the stored value, it does not witness equality.
+        return Status::OK();
+      }
+    }
+    return Status::Internal("unreachable statement kind");
+  }
+
+  Status AnalyzeSelectItem(const SelectItem& item, const std::vector<TableId>& scope) {
+    if (item.star) return Status::OK();
+    const Expr& e = item.expr;
+    ColumnRef ref;
+    bool has_column = false;
+    if (e.kind == ExprKind::kColumn ||
+        (e.kind == ExprKind::kAggregate && !e.column.column.empty())) {
+      JECB_ASSIGN_OR_RETURN(ref, Resolve(schema_, e.column, scope));
+      has_column = true;
+      if (options_.use_select_clause_attrs) info_.select_attrs.insert(ref);
+    }
+    // `SELECT @v = col` binds the variable to the column: within one
+    // execution @v carries that column's value, so later uses of @v witness
+    // an implicit join (paper Example 3). Aggregated outputs do not bind —
+    // SUM(T_QTY) is not a key value.
+    if (item.assign_to && has_column && e.kind == ExprKind::kColumn) {
+      Bind(*item.assign_to, ref);
+    }
+    return Status::OK();
+  }
+
+  Status AnalyzePredicate(const Predicate& p, const std::vector<TableId>& scope) {
+    auto column_of = [&](const Expr& e) -> Result<ColumnRef> {
+      return Resolve(schema_, e.column, scope);
+    };
+    const bool lhs_col = p.lhs.kind == ExprKind::kColumn;
+    const bool rhs_col = p.rhs.kind == ExprKind::kColumn;
+
+    if (lhs_col) {
+      JECB_ASSIGN_OR_RETURN(ColumnRef l, column_of(p.lhs));
+      info_.where_attrs.insert(l);
+    }
+    if (p.op != CompareOp::kIn && rhs_col) {
+      JECB_ASSIGN_OR_RETURN(ColumnRef r, column_of(p.rhs));
+      info_.where_attrs.insert(r);
+    }
+
+    if (p.op == CompareOp::kIn) {
+      // IN-lists touch many values: record the attribute, mark parameters as
+      // multi-valued, and bind nothing.
+      for (const Expr& e : p.rhs_list) {
+        if (e.kind == ExprKind::kParameter) {
+          info_.multi_valued_params.insert(e.parameter);
+          bindings_.erase(e.parameter);
+        }
+      }
+      return Status::OK();
+    }
+    if (p.op != CompareOp::kEq) return Status::OK();
+
+    if (lhs_col && rhs_col) {
+      JECB_ASSIGN_OR_RETURN(ColumnRef l, column_of(p.lhs));
+      JECB_ASSIGN_OR_RETURN(ColumnRef r, column_of(p.rhs));
+      AddJoin(l, r);
+      return Status::OK();
+    }
+    if (lhs_col && p.rhs.kind == ExprKind::kParameter) {
+      JECB_ASSIGN_OR_RETURN(ColumnRef l, column_of(p.lhs));
+      Bind(p.rhs.parameter, l);
+    } else if (rhs_col && p.lhs.kind == ExprKind::kParameter) {
+      JECB_ASSIGN_OR_RETURN(ColumnRef r, column_of(p.rhs));
+      Bind(p.lhs.parameter, r);
+    }
+    return Status::OK();
+  }
+
+  void Bind(const std::string& var, ColumnRef ref) {
+    if (info_.multi_valued_params.count(var) > 0) return;
+    bindings_[var].push_back(ref);
+  }
+
+  void AddJoin(ColumnRef a, ColumnRef b) {
+    if (a == b) return;
+    if (b < a) std::swap(a, b);
+    info_.equijoins.emplace_back(a, b);
+  }
+
+  /// Every pair of columns bound to the same single-valued variable is an
+  /// (implicit) equijoin. Declared parameters additionally export their
+  /// bindings for runtime routing.
+  void EmitBindingJoins() {
+    for (const auto& [var, refs] : bindings_) {
+      if (info_.multi_valued_params.count(var) > 0) continue;
+      for (size_t i = 0; i < refs.size(); ++i) {
+        for (size_t j = i + 1; j < refs.size(); ++j) {
+          AddJoin(refs[i], refs[j]);
+        }
+      }
+      for (const std::string& param : proc_.parameters) {
+        if (param == var) {
+          auto& out = info_.param_bindings[var];
+          for (ColumnRef r : refs) {
+            if (std::find(out.begin(), out.end(), r) == out.end()) out.push_back(r);
+          }
+        }
+      }
+    }
+  }
+
+  void Dedup() {
+    std::sort(info_.equijoins.begin(), info_.equijoins.end());
+    info_.equijoins.erase(std::unique(info_.equijoins.begin(), info_.equijoins.end()),
+                          info_.equijoins.end());
+  }
+
+  const Schema& schema_;
+  const Procedure& proc_;
+  const AnalyzerOptions& options_;
+  ProcedureInfo info_;
+  std::map<std::string, std::vector<ColumnRef>> bindings_;
+};
+
+}  // namespace
+
+Result<ProcedureInfo> AnalyzeProcedure(const Schema& schema, const Procedure& proc,
+                                       const AnalyzerOptions& options) {
+  Analysis analysis(schema, proc, options);
+  return analysis.Run();
+}
+
+}  // namespace jecb::sql

@@ -1,0 +1,65 @@
+// Code analysis of stored procedures (paper Sec. 5.1): which tables a
+// transaction class touches, which attributes are candidates for
+// partitioning, and which attribute pairs are joined — explicitly through
+// ON/WHERE column=column conjuncts, or implicitly through the dataflow of
+// procedure parameters and local variables across statements.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/result.h"
+#include "sql/ast.h"
+
+namespace jecb::sql {
+
+/// Result of analyzing one procedure against a schema.
+struct ProcedureInfo {
+  std::string name;
+  std::vector<std::string> parameters;
+
+  std::set<TableId> tables_read;
+  std::set<TableId> tables_written;
+
+  /// Attributes in WHERE/ON clauses — the paper's candidate attributes.
+  std::set<ColumnRef> where_attrs;
+  /// Attributes in SELECT lists — used to discover implicit joins.
+  std::set<ColumnRef> select_attrs;
+  /// Attributes bound by INSERT value lists.
+  std::set<ColumnRef> insert_attrs;
+
+  /// Deduplicated attribute pairs known (or presumed, pending trace
+  /// validation) to be equal within every transaction of the class.
+  std::vector<std::pair<ColumnRef, ColumnRef>> equijoins;
+
+  /// Parameters carrying a *set* of values (IN-lists): equality through them
+  /// is not single-valued and must not produce equijoins.
+  std::set<std::string> multi_valued_params;
+
+  /// For each declared (single-valued) procedure parameter: the attributes
+  /// it is bound to by equality. Used for runtime routing (paper Sec. 3).
+  std::map<std::string, std::vector<ColumnRef>> param_bindings;
+
+  std::set<TableId> AllTables() const {
+    std::set<TableId> all = tables_read;
+    all.insert(tables_written.begin(), tables_written.end());
+    return all;
+  }
+};
+
+/// Analysis knobs; `use_select_clause_attrs` corresponds to the paper's
+/// implicit-join discovery and is exposed for the ablation bench.
+struct AnalyzerOptions {
+  bool use_select_clause_attrs = true;
+};
+
+/// Analyzes one parsed procedure against `schema`. Fails when a column
+/// mention cannot be resolved or is ambiguous.
+Result<ProcedureInfo> AnalyzeProcedure(const Schema& schema, const Procedure& proc,
+                                       const AnalyzerOptions& options = {});
+
+}  // namespace jecb::sql

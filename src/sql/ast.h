@@ -1,0 +1,108 @@
+// Abstract syntax for the stored-procedure dialect.
+//
+// The dialect covers what OLTP stored procedures need for code-based
+// analysis: SELECT (with JOIN..ON, WHERE conjunctions, aggregates, and
+// `@var = column` output assignments), INSERT VALUES, UPDATE .. SET .. WHERE,
+// and DELETE .. WHERE. OR-disjunctions and subqueries are out of scope.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace jecb::sql {
+
+/// A possibly table-qualified column mention, unresolved against a schema.
+struct ColumnName {
+  std::string table;  // empty when unqualified
+  std::string column;
+
+  std::string ToString() const {
+    return table.empty() ? column : table + "." + column;
+  }
+};
+
+enum class ExprKind {
+  kColumn,     // T.A or A
+  kParameter,  // @x (procedure parameter or local variable)
+  kLiteral,    // 42, 'abc'
+  kAggregate,  // SUM(A), COUNT(*), ...
+};
+
+/// A scalar expression (flat: no nesting beyond aggregate-of-column).
+struct Expr {
+  ExprKind kind = ExprKind::kLiteral;
+  ColumnName column;        // kColumn / kAggregate argument (may be empty for COUNT(*))
+  std::string parameter;    // kParameter: name without '@'
+  std::string literal;      // kLiteral: raw text
+  std::string agg_func;     // kAggregate: SUM/AVG/COUNT/MIN/MAX
+
+  static Expr MakeColumn(ColumnName c) {
+    Expr e;
+    e.kind = ExprKind::kColumn;
+    e.column = std::move(c);
+    return e;
+  }
+  static Expr MakeParameter(std::string p) {
+    Expr e;
+    e.kind = ExprKind::kParameter;
+    e.parameter = std::move(p);
+    return e;
+  }
+};
+
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe, kIn };
+
+/// One conjunct of a WHERE / ON clause. For kIn, `rhs_list` holds the
+/// alternatives; IN over a parameter list implies *no* single-value binding.
+struct Predicate {
+  Expr lhs;
+  CompareOp op = CompareOp::kEq;
+  Expr rhs;
+  std::vector<Expr> rhs_list;  // kIn only
+};
+
+/// One item of a SELECT list: an output expression, optionally assigned to a
+/// local variable (`@v = T.A`).
+struct SelectItem {
+  std::optional<std::string> assign_to;  // variable name without '@'
+  Expr expr;
+  bool star = false;  // SELECT *
+};
+
+enum class StatementKind { kSelect, kInsert, kUpdate, kDelete };
+
+/// One table mention in FROM, with the ON conjuncts that attached it.
+struct FromTable {
+  std::string table;
+  std::vector<Predicate> join_on;
+};
+
+struct Statement {
+  StatementKind kind = StatementKind::kSelect;
+
+  // SELECT
+  std::vector<SelectItem> select_items;
+  std::vector<FromTable> from;         // also DELETE target / UPDATE target
+  std::vector<Predicate> where;        // conjunction
+
+  // INSERT
+  std::string insert_table;
+  std::vector<std::string> insert_columns;  // empty means "all, in order"
+  std::vector<Expr> insert_values;
+
+  // UPDATE
+  std::string update_table;
+  std::vector<std::pair<ColumnName, Expr>> set_items;
+};
+
+/// A parsed stored procedure: the transaction template of one class.
+struct Procedure {
+  std::string name;
+  std::vector<std::string> parameters;  // names without '@'
+  std::vector<Statement> statements;
+  std::string source;  // original text, for diagnostics
+};
+
+}  // namespace jecb::sql

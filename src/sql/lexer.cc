@@ -1,0 +1,101 @@
+#include <cctype>
+
+#include "common/string_util.h"
+#include "sql/token.h"
+
+namespace jecb::sql {
+
+bool Token::IsWord(std::string_view word) const {
+  return type == TokenType::kIdentifier && EqualsIgnoreCase(text, word);
+}
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Lex(std::string_view text) {
+  std::vector<Token> out;
+  size_t i = 0;
+  int line = 1;
+  while (i < text.size()) {
+    char c = text[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '-' && i + 1 < text.size() && text[i + 1] == '-') {
+      while (i < text.size() && text[i] != '\n') ++i;
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      size_t j = i;
+      while (j < text.size() && IsIdentChar(text[j])) ++j;
+      out.push_back({TokenType::kIdentifier, std::string(text.substr(i, j - i)), line});
+      i = j;
+      continue;
+    }
+    if (c == '@') {
+      size_t j = i + 1;
+      while (j < text.size() && IsIdentChar(text[j])) ++j;
+      if (j == i + 1) {
+        return Status::ParseError("lone '@' at line " + std::to_string(line));
+      }
+      out.push_back({TokenType::kParameter, std::string(text.substr(i + 1, j - i - 1)), line});
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t j = i;
+      while (j < text.size() &&
+             (std::isdigit(static_cast<unsigned char>(text[j])) || text[j] == '.')) {
+        ++j;
+      }
+      out.push_back({TokenType::kNumber, std::string(text.substr(i, j - i)), line});
+      i = j;
+      continue;
+    }
+    if (c == '\'') {
+      size_t j = i + 1;
+      while (j < text.size() && text[j] != '\'') ++j;
+      if (j >= text.size()) {
+        return Status::ParseError("unterminated string at line " + std::to_string(line));
+      }
+      out.push_back({TokenType::kString, std::string(text.substr(i + 1, j - i - 1)), line});
+      i = j + 1;
+      continue;
+    }
+    // Two-character operators first.
+    if (i + 1 < text.size()) {
+      std::string two(text.substr(i, 2));
+      if (two == "<=" || two == ">=" || two == "!=" || two == "<>") {
+        out.push_back({TokenType::kSymbol, two, line});
+        i += 2;
+        continue;
+      }
+    }
+    static constexpr std::string_view kSingles = "(),;=<>*{}.+";
+    if (kSingles.find(c) != std::string_view::npos) {
+      out.push_back({TokenType::kSymbol, std::string(1, c), line});
+      ++i;
+      continue;
+    }
+    return Status::ParseError("unexpected character '" + std::string(1, c) +
+                              "' at line " + std::to_string(line));
+  }
+  out.push_back({TokenType::kEnd, "", line});
+  return out;
+}
+
+}  // namespace jecb::sql

@@ -1,0 +1,345 @@
+#include "sql/parser.h"
+
+#include "common/string_util.h"
+#include "sql/token.h"
+
+namespace jecb::sql {
+
+namespace {
+
+const char* const kAggregates[] = {"SUM", "AVG", "AVERAGE", "COUNT", "MIN", "MAX"};
+
+bool IsAggregate(const Token& t) {
+  for (const char* a : kAggregates) {
+    if (t.IsWord(a)) return true;
+  }
+  return false;
+}
+
+/// Token cursor with convenience accessors; all Consume* methods report
+/// parse errors with line numbers.
+class Cursor {
+ public:
+  explicit Cursor(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  const Token& Peek(int ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Next() {
+    const Token& t = Peek();
+    if (pos_ < tokens_.size() - 1) ++pos_;
+    return t;
+  }
+  bool AtEnd() const { return Peek().Is(TokenType::kEnd); }
+
+  bool TryWord(std::string_view w) {
+    if (Peek().IsWord(w)) {
+      Next();
+      return true;
+    }
+    return false;
+  }
+  bool TrySymbol(std::string_view s) {
+    if (Peek().IsSymbol(s)) {
+      Next();
+      return true;
+    }
+    return false;
+  }
+  Status ExpectWord(std::string_view w) {
+    if (TryWord(w)) return Status::OK();
+    return Error("expected " + std::string(w));
+  }
+  Status ExpectSymbol(std::string_view s) {
+    if (TrySymbol(s)) return Status::OK();
+    return Error("expected '" + std::string(s) + "'");
+  }
+  Result<std::string> ExpectIdentifier() {
+    if (Peek().Is(TokenType::kIdentifier)) return Next().text;
+    return Error("expected identifier");
+  }
+
+  Status Error(const std::string& msg) const {
+    return Status::ParseError(msg + " at line " + std::to_string(Peek().line) +
+                              " (got '" + Peek().text + "')");
+  }
+
+ private:
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+class Parser {
+ public:
+  explicit Parser(Cursor cur) : cur_(std::move(cur)) {}
+
+  Result<Procedure> ParseProcedureBlock() {
+    Procedure proc;
+    JECB_RETURN_NOT_OK(cur_.ExpectWord("PROCEDURE"));
+    JECB_ASSIGN_OR_RETURN(proc.name, cur_.ExpectIdentifier());
+    JECB_RETURN_NOT_OK(cur_.ExpectSymbol("("));
+    if (!cur_.Peek().IsSymbol(")")) {
+      do {
+        if (!cur_.Peek().Is(TokenType::kParameter)) {
+          return cur_.Error("expected @parameter");
+        }
+        proc.parameters.push_back(cur_.Next().text);
+        // Optional type annotation (e.g. "bigint") is skipped.
+        if (cur_.Peek().Is(TokenType::kIdentifier)) cur_.Next();
+      } while (cur_.TrySymbol(","));
+    }
+    JECB_RETURN_NOT_OK(cur_.ExpectSymbol(")"));
+    JECB_RETURN_NOT_OK(cur_.ExpectSymbol("{"));
+    while (!cur_.Peek().IsSymbol("}")) {
+      if (cur_.AtEnd()) return cur_.Error("unterminated procedure body");
+      JECB_ASSIGN_OR_RETURN(Statement st, ParseOneStatement());
+      proc.statements.push_back(std::move(st));
+      while (cur_.TrySymbol(";")) {
+      }
+    }
+    JECB_RETURN_NOT_OK(cur_.ExpectSymbol("}"));
+    return proc;
+  }
+
+  Result<Statement> ParseOneStatement() {
+    if (cur_.Peek().IsWord("SELECT")) return ParseSelect();
+    if (cur_.Peek().IsWord("INSERT")) return ParseInsert();
+    if (cur_.Peek().IsWord("UPDATE")) return ParseUpdate();
+    if (cur_.Peek().IsWord("DELETE")) return ParseDelete();
+    return cur_.Error("expected SELECT, INSERT, UPDATE or DELETE");
+  }
+
+  bool AtEnd() const { return cur_.AtEnd(); }
+  bool AtProcedure() const { return cur_.Peek().IsWord("PROCEDURE"); }
+
+ private:
+  Result<ColumnName> ParseColumnName() {
+    JECB_ASSIGN_OR_RETURN(std::string first, cur_.ExpectIdentifier());
+    ColumnName cn;
+    if (cur_.TrySymbol(".")) {
+      cn.table = std::move(first);
+      JECB_ASSIGN_OR_RETURN(cn.column, cur_.ExpectIdentifier());
+    } else {
+      cn.column = std::move(first);
+    }
+    return cn;
+  }
+
+  Result<Expr> ParseExpr() {
+    const Token& t = cur_.Peek();
+    if (t.Is(TokenType::kParameter)) {
+      return Expr::MakeParameter(cur_.Next().text);
+    }
+    if (t.Is(TokenType::kNumber) || t.Is(TokenType::kString)) {
+      Expr e;
+      e.kind = ExprKind::kLiteral;
+      e.literal = cur_.Next().text;
+      return e;
+    }
+    if (t.Is(TokenType::kIdentifier)) {
+      if (IsAggregate(t) && cur_.Peek(1).IsSymbol("(")) {
+        Expr e;
+        e.kind = ExprKind::kAggregate;
+        e.agg_func = ToUpper(cur_.Next().text);
+        JECB_RETURN_NOT_OK(cur_.ExpectSymbol("("));
+        if (!cur_.TrySymbol("*")) {
+          JECB_ASSIGN_OR_RETURN(e.column, ParseColumnName());
+        }
+        JECB_RETURN_NOT_OK(cur_.ExpectSymbol(")"));
+        return e;
+      }
+      JECB_ASSIGN_OR_RETURN(ColumnName cn, ParseColumnName());
+      return Expr::MakeColumn(std::move(cn));
+    }
+    return cur_.Error("expected expression");
+  }
+
+  Result<CompareOp> ParseOp() {
+    const Token& t = cur_.Peek();
+    if (t.IsWord("IN")) {
+      cur_.Next();
+      return CompareOp::kIn;
+    }
+    if (!t.Is(TokenType::kSymbol)) return cur_.Error("expected comparison operator");
+    CompareOp op;
+    if (t.text == "=") {
+      op = CompareOp::kEq;
+    } else if (t.text == "!=" || t.text == "<>") {
+      op = CompareOp::kNe;
+    } else if (t.text == "<") {
+      op = CompareOp::kLt;
+    } else if (t.text == "<=") {
+      op = CompareOp::kLe;
+    } else if (t.text == ">") {
+      op = CompareOp::kGt;
+    } else if (t.text == ">=") {
+      op = CompareOp::kGe;
+    } else {
+      return cur_.Error("expected comparison operator");
+    }
+    cur_.Next();
+    return op;
+  }
+
+  Result<Predicate> ParsePredicate() {
+    Predicate p;
+    JECB_ASSIGN_OR_RETURN(p.lhs, ParseExpr());
+    JECB_ASSIGN_OR_RETURN(p.op, ParseOp());
+    if (p.op == CompareOp::kIn) {
+      JECB_RETURN_NOT_OK(cur_.ExpectSymbol("("));
+      do {
+        JECB_ASSIGN_OR_RETURN(Expr e, ParseExpr());
+        p.rhs_list.push_back(std::move(e));
+      } while (cur_.TrySymbol(","));
+      JECB_RETURN_NOT_OK(cur_.ExpectSymbol(")"));
+    } else {
+      JECB_ASSIGN_OR_RETURN(p.rhs, ParseExpr());
+    }
+    return p;
+  }
+
+  Result<std::vector<Predicate>> ParsePredicateList() {
+    std::vector<Predicate> preds;
+    do {
+      JECB_ASSIGN_OR_RETURN(Predicate p, ParsePredicate());
+      preds.push_back(std::move(p));
+    } while (cur_.TryWord("AND"));
+    return preds;
+  }
+
+  Result<Statement> ParseSelect() {
+    Statement st;
+    st.kind = StatementKind::kSelect;
+    JECB_RETURN_NOT_OK(cur_.ExpectWord("SELECT"));
+    do {
+      SelectItem item;
+      if (cur_.TrySymbol("*")) {
+        item.star = true;
+      } else if (cur_.Peek().Is(TokenType::kParameter) && cur_.Peek(1).IsSymbol("=")) {
+        item.assign_to = cur_.Next().text;
+        cur_.Next();  // '='
+        JECB_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      } else {
+        JECB_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      }
+      st.select_items.push_back(std::move(item));
+    } while (cur_.TrySymbol(","));
+
+    JECB_RETURN_NOT_OK(cur_.ExpectWord("FROM"));
+    JECB_ASSIGN_OR_RETURN(std::string table, cur_.ExpectIdentifier());
+    st.from.push_back(FromTable{std::move(table), {}});
+    while (cur_.TryWord("JOIN")) {
+      FromTable ft;
+      JECB_ASSIGN_OR_RETURN(ft.table, cur_.ExpectIdentifier());
+      JECB_RETURN_NOT_OK(cur_.ExpectWord("ON"));
+      JECB_ASSIGN_OR_RETURN(ft.join_on, ParsePredicateList());
+      st.from.push_back(std::move(ft));
+    }
+    if (cur_.TryWord("WHERE")) {
+      JECB_ASSIGN_OR_RETURN(st.where, ParsePredicateList());
+    }
+    // ORDER BY / GROUP BY clauses are accepted and ignored: they do not
+    // affect which tuples are accessed.
+    if (cur_.TryWord("ORDER") || cur_.TryWord("GROUP")) {
+      JECB_RETURN_NOT_OK(cur_.ExpectWord("BY"));
+      do {
+        JECB_ASSIGN_OR_RETURN(ColumnName cn, ParseColumnName());
+        (void)cn;
+        if (cur_.TryWord("DESC") || cur_.TryWord("ASC")) {
+        }
+      } while (cur_.TrySymbol(","));
+    }
+    return st;
+  }
+
+  Result<Statement> ParseInsert() {
+    Statement st;
+    st.kind = StatementKind::kInsert;
+    JECB_RETURN_NOT_OK(cur_.ExpectWord("INSERT"));
+    JECB_RETURN_NOT_OK(cur_.ExpectWord("INTO"));
+    JECB_ASSIGN_OR_RETURN(st.insert_table, cur_.ExpectIdentifier());
+    if (cur_.TrySymbol("(")) {
+      do {
+        JECB_ASSIGN_OR_RETURN(std::string col, cur_.ExpectIdentifier());
+        st.insert_columns.push_back(std::move(col));
+      } while (cur_.TrySymbol(","));
+      JECB_RETURN_NOT_OK(cur_.ExpectSymbol(")"));
+    }
+    JECB_RETURN_NOT_OK(cur_.ExpectWord("VALUES"));
+    JECB_RETURN_NOT_OK(cur_.ExpectSymbol("("));
+    do {
+      JECB_ASSIGN_OR_RETURN(Expr e, ParseExpr());
+      st.insert_values.push_back(std::move(e));
+    } while (cur_.TrySymbol(","));
+    JECB_RETURN_NOT_OK(cur_.ExpectSymbol(")"));
+    return st;
+  }
+
+  Result<Statement> ParseUpdate() {
+    Statement st;
+    st.kind = StatementKind::kUpdate;
+    JECB_RETURN_NOT_OK(cur_.ExpectWord("UPDATE"));
+    JECB_ASSIGN_OR_RETURN(st.update_table, cur_.ExpectIdentifier());
+    JECB_RETURN_NOT_OK(cur_.ExpectWord("SET"));
+    do {
+      JECB_ASSIGN_OR_RETURN(ColumnName cn, ParseColumnName());
+      JECB_RETURN_NOT_OK(cur_.ExpectSymbol("="));
+      JECB_ASSIGN_OR_RETURN(Expr e, ParseExpr());
+      // "SET X = X + @delta" style arithmetic: swallow trailing +/- term.
+      if (cur_.TrySymbol("+")) {
+        JECB_ASSIGN_OR_RETURN(Expr rhs2, ParseExpr());
+        (void)rhs2;
+      }
+      st.set_items.emplace_back(std::move(cn), std::move(e));
+    } while (cur_.TrySymbol(","));
+    if (cur_.TryWord("WHERE")) {
+      JECB_ASSIGN_OR_RETURN(st.where, ParsePredicateList());
+    }
+    return st;
+  }
+
+  Result<Statement> ParseDelete() {
+    Statement st;
+    st.kind = StatementKind::kDelete;
+    JECB_RETURN_NOT_OK(cur_.ExpectWord("DELETE"));
+    JECB_RETURN_NOT_OK(cur_.ExpectWord("FROM"));
+    JECB_ASSIGN_OR_RETURN(std::string table, cur_.ExpectIdentifier());
+    st.from.push_back(FromTable{std::move(table), {}});
+    if (cur_.TryWord("WHERE")) {
+      JECB_ASSIGN_OR_RETURN(st.where, ParsePredicateList());
+    }
+    return st;
+  }
+
+  Cursor cur_;
+};
+
+}  // namespace
+
+Result<Procedure> ParseProcedure(std::string_view text) {
+  JECB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(text));
+  Parser parser{Cursor(std::move(tokens))};
+  JECB_ASSIGN_OR_RETURN(Procedure proc, parser.ParseProcedureBlock());
+  proc.source = std::string(text);
+  return proc;
+}
+
+Result<std::vector<Procedure>> ParseProcedures(std::string_view text) {
+  JECB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(text));
+  Parser parser{Cursor(std::move(tokens))};
+  std::vector<Procedure> procs;
+  while (!parser.AtEnd()) {
+    JECB_ASSIGN_OR_RETURN(Procedure proc, parser.ParseProcedureBlock());
+    procs.push_back(std::move(proc));
+  }
+  return procs;
+}
+
+Result<Statement> ParseStatement(std::string_view text) {
+  JECB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(text));
+  Parser parser{Cursor(std::move(tokens))};
+  return parser.ParseOneStatement();
+}
+
+}  // namespace jecb::sql

@@ -1,0 +1,22 @@
+// Recursive-descent parser for the stored-procedure dialect (see ast.h).
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "sql/ast.h"
+
+namespace jecb::sql {
+
+/// Parses one `PROCEDURE Name(@p, ...) { stmt; ... }` block.
+Result<Procedure> ParseProcedure(std::string_view text);
+
+/// Parses a sequence of procedure blocks (a workload's transaction code).
+Result<std::vector<Procedure>> ParseProcedures(std::string_view text);
+
+/// Parses a single standalone statement (no procedure wrapper); useful for
+/// tests and ad-hoc analysis.
+Result<Statement> ParseStatement(std::string_view text);
+
+}  // namespace jecb::sql

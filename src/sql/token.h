@@ -1,0 +1,36 @@
+// Tokens of the stored-procedure SQL dialect.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace jecb::sql {
+
+enum class TokenType {
+  kIdentifier,   // SELECT, TRADE, T_ID, ... (keywords resolved by parser)
+  kParameter,    // @cust_id
+  kNumber,       // 42, 3.5
+  kString,       // 'abc'
+  kSymbol,       // ( ) , ; = < > <= >= != * { } .
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;
+  int line = 0;
+
+  bool Is(TokenType t) const { return type == t; }
+  /// Case-insensitive keyword/identifier match.
+  bool IsWord(std::string_view word) const;
+  bool IsSymbol(std::string_view sym) const {
+    return type == TokenType::kSymbol && text == sym;
+  }
+};
+
+/// Tokenizes `text`; fails on unterminated strings or stray characters.
+Result<std::vector<Token>> Lex(std::string_view text);
+
+}  // namespace jecb::sql

@@ -1,0 +1,98 @@
+#include "trace/trace.h"
+
+#include <set>
+
+namespace jecb {
+
+uint32_t Trace::InternClass(const std::string& name) {
+  for (size_t i = 0; i < class_names_.size(); ++i) {
+    if (class_names_[i] == name) return static_cast<uint32_t>(i);
+  }
+  class_names_.push_back(name);
+  return static_cast<uint32_t>(class_names_.size() - 1);
+}
+
+Result<uint32_t> Trace::FindClass(const std::string& name) const {
+  for (size_t i = 0; i < class_names_.size(); ++i) {
+    if (class_names_[i] == name) return static_cast<uint32_t>(i);
+  }
+  return Status::NotFound("transaction class " + name);
+}
+
+Trace Trace::CloneEmpty() const {
+  Trace out;
+  out.class_names_ = class_names_;
+  return out;
+}
+
+Trace Trace::FilterClass(uint32_t class_id) const {
+  Trace out = CloneEmpty();
+  for (const Transaction& t : txns_) {
+    if (t.class_id == class_id) out.Add(t);
+  }
+  return out;
+}
+
+std::pair<Trace, Trace> Trace::SplitTrainTest(double test_fraction) const {
+  Trace train = CloneEmpty();
+  Trace test = CloneEmpty();
+  double acc = 0.0;
+  for (const Transaction& t : txns_) {
+    acc += test_fraction;
+    if (acc >= 1.0) {
+      acc -= 1.0;
+      test.Add(t);
+    } else {
+      train.Add(t);
+    }
+  }
+  return {std::move(train), std::move(test)};
+}
+
+Trace Trace::Head(size_t n) const {
+  Trace out = CloneEmpty();
+  for (size_t i = 0; i < txns_.size() && i < n; ++i) out.Add(txns_[i]);
+  return out;
+}
+
+std::vector<TableAccessStats> ComputeTableStats(const Schema& schema,
+                                                const Trace& trace) {
+  std::vector<TableAccessStats> stats(schema.num_tables());
+  for (const Transaction& txn : trace.transactions()) {
+    std::set<TableId> written_here;
+    for (const Access& a : txn.accesses) {
+      if (a.write) {
+        ++stats[a.tuple.table].writes;
+        written_here.insert(a.tuple.table);
+      } else {
+        ++stats[a.tuple.table].reads;
+      }
+    }
+    for (TableId t : written_here) ++stats[t].txns_writing;
+  }
+  return stats;
+}
+
+std::vector<AccessClass> ClassifyTables(const Schema& schema, const Trace& trace,
+                                        const ClassifyOptions& options) {
+  std::vector<TableAccessStats> stats = ComputeTableStats(schema, trace);
+  std::vector<AccessClass> out(schema.num_tables(), AccessClass::kPartitioned);
+  const double n = static_cast<double>(trace.size());
+  for (size_t i = 0; i < stats.size(); ++i) {
+    if (stats[i].writes == 0) {
+      out[i] = AccessClass::kReadOnly;
+    } else if (n > 0 && static_cast<double>(stats[i].txns_writing) / n <=
+                            options.read_mostly_max_write_txn_fraction) {
+      out[i] = AccessClass::kReadMostly;
+    }
+  }
+  return out;
+}
+
+void ApplyClassification(Schema* schema, const std::vector<AccessClass>& classes) {
+  for (size_t i = 0; i < classes.size() && i < schema->num_tables(); ++i) {
+    schema->mutable_table(static_cast<TableId>(i)).access_class = classes[i];
+  }
+}
+
+}  // namespace jecb

@@ -1,0 +1,98 @@
+// Workload traces: the Definition 1 representation of transactions as the
+// sets of tuples they read and write, tagged with their transaction class
+// (stored procedure). This is exactly what the paper's trace collector
+// records per tuple: table, primary key (here: TupleId), txn id, read/write.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/result.h"
+#include "storage/database.h"
+
+namespace jecb {
+
+/// One tuple access within a transaction.
+struct Access {
+  TupleId tuple;
+  bool write = false;
+};
+
+/// One executed transaction: its class plus the tuples it touched.
+struct Transaction {
+  uint32_t class_id = 0;
+  std::vector<Access> accesses;
+
+  void Read(TupleId t) { accesses.push_back({t, false}); }
+  void Write(TupleId t) { accesses.push_back({t, true}); }
+};
+
+/// A bag of transactions over named classes (Definition 1's workload).
+class Trace {
+ public:
+  /// Registers a class name, returning its id; repeated names reuse the id.
+  uint32_t InternClass(const std::string& name);
+
+  void Add(Transaction txn) { txns_.push_back(std::move(txn)); }
+
+  const std::vector<Transaction>& transactions() const { return txns_; }
+  std::vector<Transaction>& mutable_transactions() { return txns_; }
+  size_t size() const { return txns_.size(); }
+  bool empty() const { return txns_.empty(); }
+
+  const std::vector<std::string>& class_names() const { return class_names_; }
+  const std::string& class_name(uint32_t id) const { return class_names_[id]; }
+  size_t num_classes() const { return class_names_.size(); }
+  Result<uint32_t> FindClass(const std::string& name) const;
+
+  /// The homogeneous sub-workload of one class (paper Phase 1's stream
+  /// splitting). Class names are carried over so ids stay aligned.
+  Trace FilterClass(uint32_t class_id) const;
+
+  /// Deterministic alternating train/test split: every `1/test_fraction`-th
+  /// transaction (approximately) goes to test.
+  std::pair<Trace, Trace> SplitTrainTest(double test_fraction) const;
+
+  /// Keeps only the first `n` transactions (training-coverage knob for the
+  /// Fig. 5/6 experiments).
+  Trace Head(size_t n) const;
+
+ private:
+  Trace CloneEmpty() const;
+
+  std::vector<std::string> class_names_;
+  std::vector<Transaction> txns_;
+};
+
+/// Per-table read/write statistics over a trace.
+struct TableAccessStats {
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t txns_writing = 0;
+};
+
+/// Thresholds for the Phase 1 replication decision.
+struct ClassifyOptions {
+  /// A written table is still replicated ("read-mostly") when at most this
+  /// fraction of all transactions write it. The default keeps TPC-E's
+  /// LAST_TRADE (written by the 1% Market-Feed mix) replicated while leaving
+  /// TATP's SPECIAL_FACILITY (written by the 2% UpdateSubscriberData mix)
+  /// partitioned.
+  double read_mostly_max_write_txn_fraction = 0.015;
+};
+
+/// Computes per-table stats over `trace`.
+std::vector<TableAccessStats> ComputeTableStats(const Schema& schema,
+                                                const Trace& trace);
+
+/// Phase 1: classifies each table as read-only / read-mostly (replicated) or
+/// partitioned, from the trace (paper Sec. 4).
+std::vector<AccessClass> ClassifyTables(const Schema& schema, const Trace& trace,
+                                        const ClassifyOptions& options = {});
+
+/// Applies a classification onto the schema's tables.
+void ApplyClassification(Schema* schema, const std::vector<AccessClass>& classes);
+
+}  // namespace jecb

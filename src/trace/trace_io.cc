@@ -1,0 +1,171 @@
+#include "trace/trace_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace jecb {
+
+namespace {
+
+std::string EncodeValue(const Value& v) {
+  if (v.is_int()) return "i:" + std::to_string(v.AsInt());
+  if (v.is_double()) return "d:" + FormatDouble(v.AsDouble(), 9);
+  std::string out = "s:";
+  for (char c : v.AsString()) {
+    if (c == ' ') {
+      out += "\\40";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+Result<Value> DecodeValue(const std::string& token, int line) {
+  auto err = [&](const char* why) {
+    return Status::ParseError(std::string(why) + " at line " + std::to_string(line) +
+                              ": '" + token + "'");
+  };
+  if (token.size() < 2 || token[1] != ':') return err("bad value token");
+  std::string payload = token.substr(2);
+  switch (token[0]) {
+    case 'i': {
+      char* end = nullptr;
+      long long v = std::strtoll(payload.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0' || payload.empty()) {
+        return err("bad integer");
+      }
+      return Value(static_cast<int64_t>(v));
+    }
+    case 'd': {
+      char* end = nullptr;
+      double v = std::strtod(payload.c_str(), &end);
+      if (end == nullptr || *end != '\0' || payload.empty()) return err("bad double");
+      return Value(v);
+    }
+    case 's': {
+      std::string out;
+      for (size_t i = 0; i < payload.size(); ++i) {
+        if (payload[i] == '\\' && i + 2 < payload.size() && payload[i + 1] == '4' &&
+            payload[i + 2] == '0') {
+          out += ' ';
+          i += 2;
+        } else {
+          out += payload[i];
+        }
+      }
+      return Value(std::move(out));
+    }
+    default:
+      return err("unknown value type");
+  }
+}
+
+Row PrimaryKeyOf(const Database& db, TupleId t) {
+  const Table& meta = db.schema().table(t.table);
+  Row key;
+  for (ColumnIdx c : meta.primary_key) key.push_back(db.GetValue(t, c));
+  return key;
+}
+
+}  // namespace
+
+std::string TraceToString(const Database& db, const Trace& trace) {
+  std::string out = "# jecb-trace v1\n";
+  for (const Transaction& txn : trace.transactions()) {
+    out += "T " + trace.class_name(txn.class_id) + "\n";
+    for (const Access& a : txn.accesses) {
+      out += a.write ? "W " : "R ";
+      out += db.schema().table(a.tuple.table).name;
+      for (const Value& v : PrimaryKeyOf(db, a.tuple)) {
+        out += " " + EncodeValue(v);
+      }
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+Status SaveTrace(const std::string& path, const Database& db, const Trace& trace) {
+  std::ofstream out(path);
+  if (!out.is_open()) return Status::InvalidArgument("cannot open " + path);
+  out << TraceToString(db, trace);
+  out.close();
+  if (!out.good()) return Status::Internal("write failed for " + path);
+  return Status::OK();
+}
+
+Result<Trace> TraceFromString(const std::string& text, const Database& db) {
+  Trace trace;
+  Transaction current;
+  bool in_txn = false;
+  int line_no = 0;
+  std::istringstream stream(text);
+  std::string line;
+
+  auto flush = [&]() {
+    if (in_txn) trace.Add(std::move(current));
+    current = Transaction{};
+  };
+
+  while (std::getline(stream, line)) {
+    ++line_no;
+    std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    std::vector<std::string> tokens;
+    for (const std::string& tok : Split(std::string(trimmed), ' ')) {
+      if (!tok.empty()) tokens.push_back(tok);
+    }
+    if (tokens[0] == "T") {
+      if (tokens.size() != 2) {
+        return Status::ParseError("T needs a class name at line " +
+                                  std::to_string(line_no));
+      }
+      flush();
+      in_txn = true;
+      current.class_id = trace.InternClass(tokens[1]);
+      continue;
+    }
+    if (tokens[0] == "R" || tokens[0] == "W") {
+      if (!in_txn) {
+        return Status::ParseError("access before any T line at line " +
+                                  std::to_string(line_no));
+      }
+      if (tokens.size() < 3) {
+        return Status::ParseError("access needs table and key at line " +
+                                  std::to_string(line_no));
+      }
+      JECB_ASSIGN_OR_RETURN(TableId table, db.schema().FindTable(tokens[1]));
+      Row key;
+      for (size_t i = 2; i < tokens.size(); ++i) {
+        JECB_ASSIGN_OR_RETURN(Value v, DecodeValue(tokens[i], line_no));
+        key.push_back(std::move(v));
+      }
+      const Table& meta = db.schema().table(table);
+      if (key.size() != meta.primary_key.size()) {
+        return Status::ParseError("key arity mismatch for " + meta.name +
+                                  " at line " + std::to_string(line_no));
+      }
+      JECB_ASSIGN_OR_RETURN(RowId row, db.table_data(table).LookupPk(key));
+      current.accesses.push_back({TupleId{table, row}, tokens[0] == "W"});
+      continue;
+    }
+    return Status::ParseError("unknown record '" + tokens[0] + "' at line " +
+                              std::to_string(line_no));
+  }
+  flush();
+  return trace;
+}
+
+Result<Trace> LoadTrace(const std::string& path, const Database& db) {
+  std::ifstream in(path);
+  if (!in.is_open()) return Status::NotFound("cannot open " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return TraceFromString(buffer.str(), db);
+}
+
+}  // namespace jecb

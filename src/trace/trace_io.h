@@ -1,0 +1,39 @@
+// Trace (de)serialization in the paper's collector format: per accessed
+// tuple, the table name, the primary key, the transaction it belongs to and
+// whether it was read or updated (Sec. 7.1). This is the interchange point
+// with a real system: instrument the stored procedures there, dump this
+// file, load it here and partition offline.
+//
+// Format (line oriented, '#' comments):
+//   # jecb-trace v1
+//   T <class-name>                     -- begins a transaction
+//   R <table> <pk-value>...            -- read access, primary key values
+//   W <table> <pk-value>...            -- write access
+// Values are typed: i:<int>, d:<double>, s:<string> (s values are the
+// remainder of the token, spaces encoded as '\40').
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+#include "storage/database.h"
+#include "trace/trace.h"
+
+namespace jecb {
+
+/// Serializes `trace` against `db`'s schema (tuple ids become table name +
+/// primary key values).
+Status SaveTrace(const std::string& path, const Database& db, const Trace& trace);
+
+/// String form of SaveTrace, for tests and embedding.
+std::string TraceToString(const Database& db, const Trace& trace);
+
+/// Parses a trace and resolves every access against `db` (table by name,
+/// tuple by primary key). Fails with NotFound when a tuple is absent and
+/// ParseError on malformed input.
+Result<Trace> LoadTrace(const std::string& path, const Database& db);
+
+/// String form of LoadTrace.
+Result<Trace> TraceFromString(const std::string& text, const Database& db);
+
+}  // namespace jecb

@@ -1,0 +1,214 @@
+#include "workloads/auctionmark.h"
+
+#include "common/rng.h"
+
+namespace jecb {
+
+namespace {
+
+const char* const kAuctionMarkProcedures = R"SQL(
+PROCEDURE GetItem(@i_id) {
+  SELECT I_NAME, I_CURRENT_PRICE, I_U_ID FROM ITEM WHERE I_ID = @i_id;
+  SELECT @seller = I_U_ID FROM ITEM WHERE I_ID = @i_id;
+  SELECT U_RATING FROM USERACCT WHERE U_ID = @seller;
+}
+PROCEDURE GetUserInfo(@u_id) {
+  SELECT U_RATING, U_BALANCE FROM USERACCT WHERE U_ID = @u_id;
+  SELECT UF_RATING FROM USER_FEEDBACK WHERE UF_U_ID = @u_id;
+}
+PROCEDURE NewBid(@ib_id, @i_id, @buyer_id, @bid) {
+  SELECT I_CURRENT_PRICE FROM ITEM WHERE I_ID = @i_id;
+  UPDATE USERACCT SET U_BALANCE = @bid WHERE U_ID = @buyer_id;
+  INSERT INTO ITEM_BID (IB_ID, IB_I_ID, IB_BUYER_ID, IB_BID) VALUES (@ib_id, @i_id, @buyer_id, @bid);
+  UPDATE ITEM_MAX_BID SET IMB_IB_ID = @ib_id WHERE IMB_I_ID = @i_id;
+  UPDATE ITEM SET I_CURRENT_PRICE = @bid WHERE I_ID = @i_id;
+}
+PROCEDURE NewItem(@i_id, @u_id, @name, @price) {
+  SELECT U_BALANCE FROM USERACCT WHERE U_ID = @u_id;
+  INSERT INTO ITEM (I_ID, I_U_ID, I_NAME, I_CURRENT_PRICE) VALUES (@i_id, @u_id, @name, @price);
+  INSERT INTO ITEM_MAX_BID (IMB_I_ID, IMB_IB_ID) VALUES (@i_id, 0);
+}
+PROCEDURE CheckWinningBids(@u_id) {
+  SELECT @i_id = I_ID FROM ITEM WHERE I_U_ID = @u_id;
+  SELECT IB_ID, IB_BID FROM ITEM_BID WHERE IB_I_ID = @i_id;
+  SELECT IMB_IB_ID FROM ITEM_MAX_BID WHERE IMB_I_ID = @i_id;
+}
+PROCEDURE NewFeedback(@uf_id, @u_id, @rating) {
+  UPDATE USERACCT SET U_RATING = @rating WHERE U_ID = @u_id;
+  INSERT INTO USER_FEEDBACK (UF_ID, UF_U_ID, UF_RATING) VALUES (@uf_id, @u_id, @rating);
+}
+PROCEDURE UpdateItem(@i_id, @name) {
+  UPDATE ITEM SET I_NAME = @name WHERE I_ID = @i_id;
+  SELECT @seller = I_U_ID FROM ITEM WHERE I_ID = @i_id;
+  SELECT U_RATING FROM USERACCT WHERE U_ID = @seller;
+}
+)SQL";
+
+Schema MakeAuctionMarkSchema() {
+  Schema s;
+  auto add = [&](const char* name, std::initializer_list<const char*> cols,
+                 std::vector<std::string> pk) {
+    auto tid = s.AddTable(name);
+    CheckOk(tid.status(), "auctionmark schema");
+    for (const char* c : cols) {
+      CheckOk(s.AddColumn(tid.value(), c, ValueType::kInt64), "auctionmark schema");
+    }
+    CheckOk(s.SetPrimaryKey(tid.value(), pk), "auctionmark pk");
+  };
+  add("REGION", {"R_ID", "R_NAME"}, {"R_ID"});
+  add("CATEGORY", {"CAT_ID", "CAT_NAME"}, {"CAT_ID"});
+  add("USERACCT", {"U_ID", "U_R_ID", "U_RATING", "U_BALANCE"}, {"U_ID"});
+  add("USER_FEEDBACK", {"UF_ID", "UF_U_ID", "UF_RATING"}, {"UF_ID"});
+  add("ITEM", {"I_ID", "I_U_ID", "I_CAT_ID", "I_NAME", "I_CURRENT_PRICE"}, {"I_ID"});
+  add("ITEM_BID", {"IB_ID", "IB_I_ID", "IB_BUYER_ID", "IB_BID"}, {"IB_ID"});
+  add("ITEM_MAX_BID", {"IMB_I_ID", "IMB_IB_ID"}, {"IMB_I_ID"});
+
+  CheckOk(s.AddForeignKey("USERACCT", {"U_R_ID"}, "REGION", {"R_ID"}), "am fk");
+  CheckOk(s.AddForeignKey("USER_FEEDBACK", {"UF_U_ID"}, "USERACCT", {"U_ID"}), "am fk");
+  CheckOk(s.AddForeignKey("ITEM", {"I_U_ID"}, "USERACCT", {"U_ID"}), "am fk");
+  CheckOk(s.AddForeignKey("ITEM", {"I_CAT_ID"}, "CATEGORY", {"CAT_ID"}), "am fk");
+  CheckOk(s.AddForeignKey("ITEM_BID", {"IB_I_ID"}, "ITEM", {"I_ID"}), "am fk");
+  CheckOk(s.AddForeignKey("ITEM_BID", {"IB_BUYER_ID"}, "USERACCT", {"U_ID"}), "am fk");
+  CheckOk(s.AddForeignKey("ITEM_MAX_BID", {"IMB_I_ID"}, "ITEM", {"I_ID"}), "am fk");
+  return s;
+}
+
+}  // namespace
+
+WorkloadBundle AuctionMarkWorkload::Make(size_t num_txns, uint64_t seed) const {
+  WorkloadBundle bundle;
+  bundle.db = std::make_unique<Database>(MakeAuctionMarkSchema());
+  bundle.procedures = MustParseProcedures(kAuctionMarkProcedures);
+  Database& db = *bundle.db;
+  Rng rng(seed);
+  const AuctionMarkConfig& cfg = config_;
+
+  for (int r = 0; r < 5; ++r) db.MustInsert("REGION", {int64_t(r), int64_t(r)});
+  for (int c = 0; c < 10; ++c) db.MustInsert("CATEGORY", {int64_t(c), int64_t(c)});
+
+  std::vector<TupleId> user(cfg.users);
+  std::vector<std::vector<TupleId>> feedback(cfg.users);
+  struct ItemRef {
+    TupleId item;
+    TupleId max_bid;
+    int seller;
+    std::vector<TupleId> bids;
+  };
+  std::vector<ItemRef> items;
+  std::vector<std::vector<size_t>> items_of(cfg.users);
+
+  int64_t next_item = 0;
+  int64_t next_bid = 0;
+  int64_t next_uf = 0;
+
+  for (int u = 0; u < cfg.users; ++u) {
+    user[u] = db.MustInsert(
+        "USERACCT", {int64_t(u), rng.Uniform(0, 4), rng.Uniform(0, 5), int64_t(1000)});
+  }
+  for (int u = 0; u < cfg.users; ++u) {
+    for (int i = 0; i < cfg.items_per_user; ++i) {
+      ItemRef ref;
+      ref.seller = u;
+      int64_t id = next_item++;
+      ref.item = db.MustInsert(
+          "ITEM", {id, int64_t(u), rng.Uniform(0, 9), id, int64_t(100)});
+      ref.max_bid = db.MustInsert("ITEM_MAX_BID", {id, int64_t(0)});
+      for (int b = 0; b < cfg.initial_bids_per_item; ++b) {
+        ref.bids.push_back(db.MustInsert(
+            "ITEM_BID", {next_bid++, id, rng.Uniform(0, cfg.users - 1),
+                         rng.Uniform(100, 500)}));
+      }
+      items_of[u].push_back(items.size());
+      items.push_back(std::move(ref));
+    }
+  }
+
+  Trace& trace = bundle.trace;
+  const uint32_t kGetItem = trace.InternClass("GetItem");
+  const uint32_t kGetUserInfo = trace.InternClass("GetUserInfo");
+  const uint32_t kNewBid = trace.InternClass("NewBid");
+  const uint32_t kNewItem = trace.InternClass("NewItem");
+  const uint32_t kCheckWinningBids = trace.InternClass("CheckWinningBids");
+  const uint32_t kNewFeedback = trace.InternClass("NewFeedback");
+  const uint32_t kUpdateItem = trace.InternClass("UpdateItem");
+
+  // Mix: 25/15/20/10/10/10/10.
+  const std::vector<double> mix = {0.25, 0.40, 0.60, 0.70, 0.80, 0.90, 1.0};
+
+  for (size_t n = 0; n < num_txns; ++n) {
+    int u = static_cast<int>(rng.Uniform(0, cfg.users - 1));
+    size_t it = rng.Uniform(0, static_cast<int64_t>(items.size()) - 1);
+    Transaction txn;
+    switch (PickClass(mix, rng.NextDouble())) {
+      case 0:
+        txn.class_id = kGetItem;
+        txn.Read(items[it].item);
+        txn.Read(user[items[it].seller]);
+        break;
+      case 1:
+        txn.class_id = kGetUserInfo;
+        txn.Read(user[u]);
+        for (TupleId f : feedback[u]) txn.Read(f);
+        break;
+      case 2: {  // NewBid: buyer u bids on a random item (m-to-n)
+        txn.class_id = kNewBid;
+        txn.Read(items[it].item);
+        txn.Write(user[u]);
+        TupleId bid = db.MustInsert(
+            "ITEM_BID", {next_bid++, db.GetValue(items[it].item, 0).AsInt(),
+                         int64_t(u), rng.Uniform(100, 900)});
+        items[it].bids.push_back(bid);
+        txn.Write(bid);
+        txn.Write(items[it].max_bid);
+        txn.Write(items[it].item);
+        break;
+      }
+      case 3: {  // NewItem
+        txn.class_id = kNewItem;
+        txn.Read(user[u]);
+        ItemRef ref;
+        ref.seller = u;
+        int64_t id = next_item++;
+        ref.item = db.MustInsert(
+            "ITEM", {id, int64_t(u), rng.Uniform(0, 9), id, int64_t(100)});
+        ref.max_bid = db.MustInsert("ITEM_MAX_BID", {id, int64_t(0)});
+        txn.Write(ref.item);
+        txn.Write(ref.max_bid);
+        items_of[u].push_back(items.size());
+        items.push_back(std::move(ref));
+        break;
+      }
+      case 4: {  // CheckWinningBids: seller-side scan of one item's bids
+        txn.class_id = kCheckWinningBids;
+        if (items_of[u].empty()) {
+          txn.Read(user[u]);
+          break;
+        }
+        const ItemRef& ref =
+            items[items_of[u][rng.Uniform(0, items_of[u].size() - 1)]];
+        txn.Read(ref.item);
+        for (TupleId b : ref.bids) txn.Read(b);
+        txn.Read(ref.max_bid);
+        break;
+      }
+      case 5: {  // NewFeedback
+        txn.class_id = kNewFeedback;
+        txn.Write(user[u]);
+        TupleId f = db.MustInsert("USER_FEEDBACK",
+                                  {next_uf++, int64_t(u), rng.Uniform(0, 5)});
+        feedback[u].push_back(f);
+        txn.Write(f);
+        break;
+      }
+      default:
+        txn.class_id = kUpdateItem;
+        txn.Write(items[it].item);
+        txn.Read(user[items[it].seller]);
+        break;
+    }
+    trace.Add(std::move(txn));
+  }
+  return bundle;
+}
+
+}  // namespace jecb

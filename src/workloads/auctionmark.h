@@ -1,0 +1,30 @@
+// AuctionMark workload generator (internet auctions). Most activity is
+// rooted at a single user (seller), but bidding creates m-to-n
+// relationships between buyers and sellers, so the workload is not
+// completely partitionable (paper Sec. 7.4).
+#pragma once
+
+#include "workloads/workload.h"
+
+namespace jecb {
+
+struct AuctionMarkConfig {
+  int users = 1200;
+  int items_per_user = 3;
+  int initial_bids_per_item = 2;
+};
+
+class AuctionMarkWorkload : public Workload {
+ public:
+  explicit AuctionMarkWorkload(AuctionMarkConfig config = {}) : config_(config) {}
+
+  std::string name() const override { return "AuctionMark"; }
+  WorkloadBundle Make(size_t num_txns, uint64_t seed) const override;
+
+  const AuctionMarkConfig& config() const { return config_; }
+
+ private:
+  AuctionMarkConfig config_;
+};
+
+}  // namespace jecb

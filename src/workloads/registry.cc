@@ -1,0 +1,58 @@
+#include "workloads/registry.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "workloads/auctionmark.h"
+#include "workloads/seats.h"
+#include "workloads/synthetic.h"
+#include "workloads/tatp.h"
+#include "workloads/tpcc.h"
+#include "workloads/tpce.h"
+
+namespace jecb {
+
+std::vector<std::string> WorkloadNames() {
+  return {"tpcc", "tatp", "seats", "auctionmark", "tpce", "synthetic"};
+}
+
+std::unique_ptr<Workload> MakeWorkloadByName(const std::string& raw, double scale) {
+  std::string name = ToLower(raw);
+  auto scaled = [scale](int base, int floor = 4) {
+    return std::max(floor, static_cast<int>(base * scale));
+  };
+  if (name == "tpcc" || name == "tpc-c") {
+    TpccConfig cfg;
+    cfg.warehouses = scaled(8, 1);
+    return std::make_unique<TpccWorkload>(cfg);
+  }
+  if (name == "tatp") {
+    TatpConfig cfg;
+    cfg.subscribers = scaled(2000, 10);
+    return std::make_unique<TatpWorkload>(cfg);
+  }
+  if (name == "seats") {
+    SeatsConfig cfg;
+    cfg.customers = scaled(1500, 10);
+    return std::make_unique<SeatsWorkload>(cfg);
+  }
+  if (name == "auctionmark") {
+    AuctionMarkConfig cfg;
+    cfg.users = scaled(1200, 10);
+    return std::make_unique<AuctionMarkWorkload>(cfg);
+  }
+  if (name == "tpce" || name == "tpc-e") {
+    TpceConfig cfg;
+    cfg.customers = scaled(600, 10);
+    return std::make_unique<TpceWorkload>(cfg);
+  }
+  if (name == "synthetic") {
+    SyntheticConfig cfg;
+    cfg.parents = scaled(500, 10);
+    cfg.groups = scaled(500, 10);
+    return std::make_unique<SyntheticWorkload>(cfg);
+  }
+  return nullptr;
+}
+
+}  // namespace jecb

@@ -1,0 +1,22 @@
+// Factory over the built-in benchmark workloads, for CLIs, tests and
+// sweep harnesses that select workloads by name.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workloads/workload.h"
+
+namespace jecb {
+
+/// Names accepted by MakeWorkloadByName, in canonical order.
+std::vector<std::string> WorkloadNames();
+
+/// Instantiates a workload by (case-insensitive) name. `scale` multiplies
+/// the population knobs (1.0 = the library defaults); returns null for
+/// unknown names.
+std::unique_ptr<Workload> MakeWorkloadByName(const std::string& name,
+                                             double scale = 1.0);
+
+}  // namespace jecb

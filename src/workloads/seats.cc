@@ -1,0 +1,243 @@
+#include "workloads/seats.h"
+
+#include "common/rng.h"
+
+namespace jecb {
+
+namespace {
+
+const char* const kSeatsProcedures = R"SQL(
+PROCEDURE FindFlights(@depart_ap, @arrive_ap, @date) {
+  SELECT F_ID, F_DEPART_TIME FROM FLIGHT
+    WHERE F_DEPART_AP_ID = @depart_ap AND F_ARRIVE_AP_ID = @arrive_ap
+      AND F_DEPART_TIME >= @date;
+  SELECT AP_CODE FROM AIRPORT WHERE AP_ID = @depart_ap;
+  SELECT AP_CODE FROM AIRPORT WHERE AP_ID = @arrive_ap;
+}
+PROCEDURE FindOpenSeats(@f_id) {
+  SELECT F_SEATS_LEFT, F_BASE_PRICE FROM FLIGHT WHERE F_ID = @f_id;
+  SELECT AL_NAME FROM AIRLINE JOIN FLIGHT ON F_AL_ID = AL_ID WHERE F_ID = @f_id;
+}
+PROCEDURE NewReservation(@r_id, @c_id, @al_id, @f_id, @seat, @price) {
+  SELECT C_BASE_AP_ID FROM CUSTOMER WHERE C_ID = @c_id;
+  SELECT @ff_id = FF_ID FROM FREQUENT_FLYER WHERE FF_C_ID = @c_id AND FF_AL_ID = @al_id;
+  SELECT F_SEATS_LEFT FROM FLIGHT WHERE F_ID = @f_id;
+  INSERT INTO RESERVATION (R_ID, R_FF_ID, R_F_ID, R_SEAT, R_PRICE)
+    VALUES (@r_id, @ff_id, @f_id, @seat, @price);
+  UPDATE FREQUENT_FLYER SET FF_MILES = @price WHERE FF_ID = @ff_id;
+}
+PROCEDURE UpdateReservation(@r_id, @new_seat) {
+  SELECT @ff_id = R_FF_ID FROM RESERVATION WHERE R_ID = @r_id;
+  UPDATE RESERVATION SET R_SEAT = @new_seat WHERE R_ID = @r_id;
+  SELECT @c_id = FF_C_ID FROM FREQUENT_FLYER WHERE FF_ID = @ff_id;
+  SELECT C_SATTR0 FROM CUSTOMER WHERE C_ID = @c_id;
+}
+PROCEDURE DeleteReservation(@r_id) {
+  SELECT @ff_id = R_FF_ID FROM RESERVATION WHERE R_ID = @r_id;
+  SELECT @c_id = FF_C_ID FROM FREQUENT_FLYER WHERE FF_ID = @ff_id;
+  UPDATE FREQUENT_FLYER SET FF_MILES = 0 WHERE FF_ID = @ff_id;
+  SELECT C_SATTR0 FROM CUSTOMER WHERE C_ID = @c_id;
+  DELETE FROM RESERVATION WHERE R_ID = @r_id;
+}
+PROCEDURE UpdateCustomer(@c_id, @attr) {
+  UPDATE CUSTOMER SET C_SATTR0 = @attr WHERE C_ID = @c_id;
+  SELECT FF_ID, FF_MILES FROM FREQUENT_FLYER WHERE FF_C_ID = @c_id;
+}
+PROCEDURE GetCustomerReservations(@c_id) {
+  SELECT C_SATTR0, C_BASE_AP_ID FROM CUSTOMER WHERE C_ID = @c_id;
+  SELECT FF_ID FROM FREQUENT_FLYER WHERE FF_C_ID = @c_id;
+  SELECT R_ID, R_SEAT, R_PRICE FROM RESERVATION JOIN FREQUENT_FLYER ON R_FF_ID = FF_ID
+    WHERE FF_C_ID = @c_id;
+}
+)SQL";
+
+Schema MakeSeatsSchema() {
+  Schema s;
+  auto add = [&](const char* name, std::initializer_list<const char*> cols,
+                 std::vector<std::string> pk) {
+    auto tid = s.AddTable(name);
+    CheckOk(tid.status(), "seats schema");
+    for (const char* c : cols) {
+      CheckOk(s.AddColumn(tid.value(), c, ValueType::kInt64), "seats schema");
+    }
+    CheckOk(s.SetPrimaryKey(tid.value(), pk), "seats pk");
+  };
+  add("AIRPORT", {"AP_ID", "AP_CODE"}, {"AP_ID"});
+  add("AIRLINE", {"AL_ID", "AL_NAME"}, {"AL_ID"});
+  add("FLIGHT",
+      {"F_ID", "F_AL_ID", "F_DEPART_AP_ID", "F_ARRIVE_AP_ID", "F_DEPART_TIME",
+       "F_SEATS_LEFT", "F_BASE_PRICE"},
+      {"F_ID"});
+  add("CUSTOMER", {"C_ID", "C_BASE_AP_ID", "C_SATTR0"}, {"C_ID"});
+  add("FREQUENT_FLYER", {"FF_ID", "FF_C_ID", "FF_AL_ID", "FF_MILES"}, {"FF_ID"});
+  add("RESERVATION", {"R_ID", "R_FF_ID", "R_F_ID", "R_SEAT", "R_PRICE"}, {"R_ID"});
+
+  CheckOk(s.AddForeignKey("FLIGHT", {"F_AL_ID"}, "AIRLINE", {"AL_ID"}), "seats fk");
+  CheckOk(s.AddForeignKey("FLIGHT", {"F_DEPART_AP_ID"}, "AIRPORT", {"AP_ID"}), "seats fk");
+  CheckOk(s.AddForeignKey("FLIGHT", {"F_ARRIVE_AP_ID"}, "AIRPORT", {"AP_ID"}), "seats fk");
+  CheckOk(s.AddForeignKey("CUSTOMER", {"C_BASE_AP_ID"}, "AIRPORT", {"AP_ID"}), "seats fk");
+  CheckOk(s.AddForeignKey("FREQUENT_FLYER", {"FF_C_ID"}, "CUSTOMER", {"C_ID"}), "seats fk");
+  CheckOk(s.AddForeignKey("FREQUENT_FLYER", {"FF_AL_ID"}, "AIRLINE", {"AL_ID"}), "seats fk");
+  CheckOk(s.AddForeignKey("RESERVATION", {"R_FF_ID"}, "FREQUENT_FLYER", {"FF_ID"}),
+          "seats fk");
+  CheckOk(s.AddForeignKey("RESERVATION", {"R_F_ID"}, "FLIGHT", {"F_ID"}), "seats fk");
+  return s;
+}
+
+}  // namespace
+
+WorkloadBundle SeatsWorkload::Make(size_t num_txns, uint64_t seed) const {
+  WorkloadBundle bundle;
+  bundle.db = std::make_unique<Database>(MakeSeatsSchema());
+  bundle.procedures = MustParseProcedures(kSeatsProcedures);
+  Database& db = *bundle.db;
+  Rng rng(seed);
+  const SeatsConfig& cfg = config_;
+
+  std::vector<TupleId> airport(cfg.airports);
+  std::vector<TupleId> airline(cfg.airlines);
+  std::vector<TupleId> flight(cfg.flights);
+  std::vector<TupleId> customer(cfg.customers);
+  std::vector<std::vector<TupleId>> ff(cfg.customers);          // per customer
+  std::vector<std::vector<TupleId>> reservations(cfg.customers);
+
+  for (int a = 0; a < cfg.airports; ++a) {
+    airport[a] = db.MustInsert("AIRPORT", {int64_t(a), int64_t(a + 100)});
+  }
+  for (int a = 0; a < cfg.airlines; ++a) {
+    airline[a] = db.MustInsert("AIRLINE", {int64_t(a), int64_t(a + 500)});
+  }
+  for (int f = 0; f < cfg.flights; ++f) {
+    int64_t dep = rng.Uniform(0, cfg.airports - 1);
+    int64_t arr = (dep + rng.Uniform(1, cfg.airports - 1)) % cfg.airports;
+    flight[f] = db.MustInsert(
+        "FLIGHT", {int64_t(f), rng.Uniform(0, cfg.airlines - 1), dep, arr,
+                   rng.Uniform(0, 100000), int64_t(150), int64_t(300)});
+  }
+  int64_t next_ff = 0;
+  int64_t next_r = 0;
+  for (int c = 0; c < cfg.customers; ++c) {
+    customer[c] = db.MustInsert(
+        "CUSTOMER", {int64_t(c), rng.Uniform(0, cfg.airports - 1), int64_t(0)});
+    int nff = static_cast<int>(
+        rng.Uniform(cfg.min_ff_per_customer, cfg.max_ff_per_customer));
+    auto airlines_used = rng.SampleDistinct(0, cfg.airlines - 1, nff);
+    for (int64_t al : airlines_used) {
+      ff[c].push_back(
+          db.MustInsert("FREQUENT_FLYER", {next_ff++, int64_t(c), al, int64_t(0)}));
+    }
+    for (int r = 0; r < cfg.initial_reservations_per_customer; ++r) {
+      size_t which_ff = rng.Uniform(0, ff[c].size() - 1);
+      reservations[c].push_back(db.MustInsert(
+          "RESERVATION",
+          {next_r++, db.GetValue(ff[c][which_ff], 0).AsInt(),
+           rng.Uniform(0, cfg.flights - 1), rng.Uniform(1, 150), int64_t(300)}));
+    }
+  }
+
+  Trace& trace = bundle.trace;
+  const uint32_t kFindFlights = trace.InternClass("FindFlights");
+  const uint32_t kFindOpenSeats = trace.InternClass("FindOpenSeats");
+  const uint32_t kNewReservation = trace.InternClass("NewReservation");
+  const uint32_t kUpdateReservation = trace.InternClass("UpdateReservation");
+  const uint32_t kDeleteReservation = trace.InternClass("DeleteReservation");
+  const uint32_t kUpdateCustomer = trace.InternClass("UpdateCustomer");
+  const uint32_t kGetCustRes = trace.InternClass("GetCustomerReservations");
+
+  // Mix: 10/10/20/10/10/10/30.
+  const std::vector<double> mix = {0.10, 0.20, 0.40, 0.50, 0.60, 0.70, 1.0};
+
+  for (size_t n = 0; n < num_txns; ++n) {
+    int c = static_cast<int>(rng.Uniform(0, cfg.customers - 1));
+    Transaction txn;
+    switch (PickClass(mix, rng.NextDouble())) {
+      case 0: {
+        txn.class_id = kFindFlights;
+        // A handful of matching flights plus the two airports (all
+        // replicated read-only data).
+        for (int i = 0; i < 3; ++i) {
+          txn.Read(flight[rng.Uniform(0, cfg.flights - 1)]);
+        }
+        txn.Read(airport[rng.Uniform(0, cfg.airports - 1)]);
+        txn.Read(airport[rng.Uniform(0, cfg.airports - 1)]);
+        break;
+      }
+      case 1: {
+        txn.class_id = kFindOpenSeats;
+        int f = static_cast<int>(rng.Uniform(0, cfg.flights - 1));
+        txn.Read(flight[f]);
+        txn.Read(airline[db.GetValue(flight[f], 1).AsInt()]);
+        break;
+      }
+      case 2: {
+        txn.class_id = kNewReservation;
+        txn.Read(customer[c]);
+        size_t which_ff = rng.Uniform(0, ff[c].size() - 1);
+        txn.Write(ff[c][which_ff]);
+        int f = static_cast<int>(rng.Uniform(0, cfg.flights - 1));
+        txn.Read(flight[f]);
+        TupleId r = db.MustInsert(
+            "RESERVATION", {next_r++, db.GetValue(ff[c][which_ff], 0).AsInt(),
+                            int64_t(f), rng.Uniform(1, 150), int64_t(300)});
+        reservations[c].push_back(r);
+        txn.Write(r);
+        break;
+      }
+      case 3: {
+        txn.class_id = kUpdateReservation;
+        if (reservations[c].empty()) {
+          txn.Read(customer[c]);
+          break;
+        }
+        TupleId r = reservations[c][rng.Uniform(0, reservations[c].size() - 1)];
+        txn.Write(r);
+        // Follow R_FF_ID back to the frequent flyer and customer.
+        int64_t ff_id = db.GetValue(r, 1).AsInt();
+        for (TupleId f : ff[c]) {
+          if (db.GetValue(f, 0).AsInt() == ff_id) {
+            txn.Read(f);
+            break;
+          }
+        }
+        txn.Read(customer[c]);
+        break;
+      }
+      case 4: {
+        txn.class_id = kDeleteReservation;
+        if (reservations[c].empty()) {
+          txn.Read(customer[c]);
+          break;
+        }
+        TupleId r = reservations[c].back();
+        reservations[c].pop_back();
+        txn.Write(r);
+        int64_t ff_id = db.GetValue(r, 1).AsInt();
+        for (TupleId f : ff[c]) {
+          if (db.GetValue(f, 0).AsInt() == ff_id) {
+            txn.Write(f);
+            break;
+          }
+        }
+        txn.Read(customer[c]);
+        break;
+      }
+      case 5: {
+        txn.class_id = kUpdateCustomer;
+        txn.Write(customer[c]);
+        for (TupleId f : ff[c]) txn.Read(f);
+        break;
+      }
+      default: {
+        txn.class_id = kGetCustRes;
+        txn.Read(customer[c]);
+        for (TupleId f : ff[c]) txn.Read(f);
+        for (TupleId r : reservations[c]) txn.Read(r);
+        break;
+      }
+    }
+    trace.Add(std::move(txn));
+  }
+  return bundle;
+}
+
+}  // namespace jecb

@@ -1,0 +1,37 @@
+// SEATS workload generator (airline ticketing). Customers book reservations
+// through frequent-flyer accounts: RESERVATION carries no direct customer
+// column, only R_FF_ID -> FREQUENT_FLYER.FF_C_ID -> CUSTOMER.C_ID. That is
+// exactly the situation where intra-table (column-based) partitioning cannot
+// co-locate a customer's data but join extension can (paper Sec. 7.4:
+// "no common attribute among non-replicated tables").
+#pragma once
+
+#include "workloads/workload.h"
+
+namespace jecb {
+
+struct SeatsConfig {
+  int airports = 20;
+  int airlines = 8;
+  int flights = 200;
+  int customers = 1500;
+  /// Frequent-flyer accounts per customer (one per airline flown).
+  int min_ff_per_customer = 1;
+  int max_ff_per_customer = 3;
+  int initial_reservations_per_customer = 2;
+};
+
+class SeatsWorkload : public Workload {
+ public:
+  explicit SeatsWorkload(SeatsConfig config = {}) : config_(config) {}
+
+  std::string name() const override { return "SEATS"; }
+  WorkloadBundle Make(size_t num_txns, uint64_t seed) const override;
+
+  const SeatsConfig& config() const { return config_; }
+
+ private:
+  SeatsConfig config_;
+};
+
+}  // namespace jecb

@@ -1,0 +1,96 @@
+#include "workloads/synthetic.h"
+
+#include "common/rng.h"
+
+namespace jecb {
+
+namespace {
+
+const char* const kSyntheticProcedures = R"SQL(
+PROCEDURE RespectSchema(@p_id, @val) {
+  UPDATE PARENT SET P_VAL = @val WHERE P_ID = @p_id;
+  SELECT C_ID, C_VAL FROM CHILD JOIN PARENT ON C_P_ID = P_ID WHERE P_ID = @p_id;
+  UPDATE CHILD SET C_VAL = @val WHERE C_P_ID = @p_id;
+}
+PROCEDURE ImplicitJoin(@g_id, @val) {
+  UPDATE GROUPING SET G_VAL = @val WHERE G_ID = @g_id;
+  SELECT @p = G_P_ID FROM GROUPING WHERE G_ID = @g_id;
+  SELECT P_VAL FROM PARENT WHERE P_ID = @p;
+  UPDATE CHILD SET C_VAL = @val WHERE C_P_ID = @p;
+}
+)SQL";
+
+Schema MakeSyntheticSchema() {
+  Schema s;
+  auto add = [&](const char* name, std::initializer_list<const char*> cols,
+                 std::vector<std::string> pk) {
+    auto tid = s.AddTable(name);
+    CheckOk(tid.status(), "synthetic schema");
+    for (const char* c : cols) {
+      CheckOk(s.AddColumn(tid.value(), c, ValueType::kInt64), "synthetic schema");
+    }
+    CheckOk(s.SetPrimaryKey(tid.value(), pk), "synthetic pk");
+  };
+  add("PARENT", {"P_ID", "P_VAL"}, {"P_ID"});
+  add("CHILD", {"C_ID", "C_P_ID", "C_VAL"}, {"C_ID"});
+  // G_P_ID references PARENT rows but is deliberately NOT a foreign key:
+  // the schema does not capture the relationship (Sec. 7.6's premise).
+  add("GROUPING", {"G_ID", "G_P_ID", "G_VAL"}, {"G_ID"});
+  CheckOk(s.AddForeignKey("CHILD", {"C_P_ID"}, "PARENT", {"P_ID"}), "synthetic fk");
+  return s;
+}
+
+}  // namespace
+
+WorkloadBundle SyntheticWorkload::Make(size_t num_txns, uint64_t seed) const {
+  WorkloadBundle bundle;
+  bundle.db = std::make_unique<Database>(MakeSyntheticSchema());
+  bundle.procedures = MustParseProcedures(kSyntheticProcedures);
+  Database& db = *bundle.db;
+  Rng rng(seed);
+  const SyntheticConfig& cfg = config_;
+
+  std::vector<TupleId> parent(cfg.parents);
+  std::vector<std::vector<TupleId>> children(cfg.parents);
+  std::vector<TupleId> grouping(cfg.groups);
+  std::vector<int> group_parent(cfg.groups);
+
+  int64_t next_c = 0;
+  for (int p = 0; p < cfg.parents; ++p) {
+    parent[p] = db.MustInsert("PARENT", {int64_t(p), int64_t(0)});
+    for (int c = 0; c < cfg.children_per_parent; ++c) {
+      children[p].push_back(
+          db.MustInsert("CHILD", {next_c++, int64_t(p), int64_t(0)}));
+    }
+  }
+  for (int g = 0; g < cfg.groups; ++g) {
+    group_parent[g] = static_cast<int>(rng.Uniform(0, cfg.parents - 1));
+    grouping[g] =
+        db.MustInsert("GROUPING", {int64_t(g), int64_t(group_parent[g]), int64_t(0)});
+  }
+
+  Trace& trace = bundle.trace;
+  const uint32_t kRespect = trace.InternClass("RespectSchema");
+  const uint32_t kImplicit = trace.InternClass("ImplicitJoin");
+
+  for (size_t n = 0; n < num_txns; ++n) {
+    Transaction txn;
+    if (rng.NextDouble() < cfg.implicit_join_fraction) {
+      txn.class_id = kImplicit;
+      int g = static_cast<int>(rng.Uniform(0, cfg.groups - 1));
+      txn.Write(grouping[g]);
+      int p = group_parent[g];
+      txn.Read(parent[p]);
+      for (TupleId c : children[p]) txn.Write(c);
+    } else {
+      txn.class_id = kRespect;
+      int p = static_cast<int>(rng.Uniform(0, cfg.parents - 1));
+      txn.Write(parent[p]);
+      for (TupleId c : children[p]) txn.Write(c);
+    }
+    trace.Add(std::move(txn));
+  }
+  return bundle;
+}
+
+}  // namespace jecb

@@ -1,0 +1,35 @@
+// Synthetic workload for paper Sec. 7.6: a simple 1-to-n schema where one
+// transaction class respects the schema (joins along the declared foreign
+// key) and the other reaches the same data through an *implicit* join — a
+// GROUPING table whose G_P_ID column references parents without a declared
+// foreign key. Join extension cannot connect GROUPING to the rest, while
+// tuple-statistics approaches can learn the co-access structure.
+#pragma once
+
+#include "workloads/workload.h"
+
+namespace jecb {
+
+struct SyntheticConfig {
+  int parents = 500;
+  int children_per_parent = 6;
+  int groups = 500;
+  /// Fraction of transactions from the implicit-join class (the paper's
+  /// sweep variable).
+  double implicit_join_fraction = 0.5;
+};
+
+class SyntheticWorkload : public Workload {
+ public:
+  explicit SyntheticWorkload(SyntheticConfig config = {}) : config_(config) {}
+
+  std::string name() const override { return "Synthetic"; }
+  WorkloadBundle Make(size_t num_txns, uint64_t seed) const override;
+
+  const SyntheticConfig& config() const { return config_; }
+
+ private:
+  SyntheticConfig config_;
+};
+
+}  // namespace jecb

@@ -1,0 +1,171 @@
+#include "workloads/tatp.h"
+
+#include "common/rng.h"
+
+namespace jecb {
+
+namespace {
+
+const char* const kTatpProcedures = R"SQL(
+PROCEDURE GetSubscriberData(@s_id) {
+  SELECT SUB_NBR, VLR_LOCATION FROM SUBSCRIBER WHERE S_ID = @s_id;
+}
+PROCEDURE GetNewDestination(@s_id, @sf_type, @start_time) {
+  SELECT CF_NUMBERX FROM SPECIAL_FACILITY JOIN CALL_FORWARDING
+      ON CF_S_ID = SF_S_ID AND CF_SF_TYPE = SF_TYPE
+    WHERE SF_S_ID = @s_id AND SF_TYPE = @sf_type AND CF_START_TIME <= @start_time;
+}
+PROCEDURE GetAccessData(@s_id, @ai_type) {
+  SELECT AI_DATA1 FROM ACCESS_INFO WHERE AI_S_ID = @s_id AND AI_TYPE = @ai_type;
+}
+PROCEDURE UpdateSubscriberData(@s_id, @sf_type, @bit, @data) {
+  UPDATE SUBSCRIBER SET BIT_1 = @bit WHERE S_ID = @s_id;
+  UPDATE SPECIAL_FACILITY SET DATA_A = @data WHERE SF_S_ID = @s_id AND SF_TYPE = @sf_type;
+}
+PROCEDURE UpdateLocation(@s_id, @location) {
+  UPDATE SUBSCRIBER SET VLR_LOCATION = @location WHERE S_ID = @s_id;
+}
+PROCEDURE InsertCallForwarding(@s_id, @sf_type, @start_time, @end_time, @numberx) {
+  SELECT SF_TYPE FROM SPECIAL_FACILITY WHERE SF_S_ID = @s_id;
+  INSERT INTO CALL_FORWARDING (CF_S_ID, CF_SF_TYPE, CF_START_TIME, CF_END_TIME, CF_NUMBERX)
+    VALUES (@s_id, @sf_type, @start_time, @end_time, @numberx);
+}
+PROCEDURE DeleteCallForwarding(@s_id, @sf_type, @start_time) {
+  SELECT S_ID FROM SUBSCRIBER WHERE S_ID = @s_id;
+  DELETE FROM CALL_FORWARDING
+    WHERE CF_S_ID = @s_id AND CF_SF_TYPE = @sf_type AND CF_START_TIME = @start_time;
+}
+)SQL";
+
+Schema MakeTatpSchema() {
+  Schema s;
+  auto add = [&](const char* name, std::initializer_list<const char*> cols,
+                 std::vector<std::string> pk) {
+    auto tid = s.AddTable(name);
+    CheckOk(tid.status(), "tatp schema");
+    for (const char* c : cols) {
+      CheckOk(s.AddColumn(tid.value(), c, ValueType::kInt64), "tatp schema");
+    }
+    CheckOk(s.SetPrimaryKey(tid.value(), pk), "tatp pk");
+  };
+  add("SUBSCRIBER", {"S_ID", "SUB_NBR", "BIT_1", "VLR_LOCATION"}, {"S_ID"});
+  add("ACCESS_INFO", {"AI_S_ID", "AI_TYPE", "AI_DATA1"}, {"AI_S_ID", "AI_TYPE"});
+  add("SPECIAL_FACILITY", {"SF_S_ID", "SF_TYPE", "IS_ACTIVE", "DATA_A"},
+      {"SF_S_ID", "SF_TYPE"});
+  add("CALL_FORWARDING",
+      {"CF_S_ID", "CF_SF_TYPE", "CF_START_TIME", "CF_END_TIME", "CF_NUMBERX"},
+      {"CF_S_ID", "CF_SF_TYPE", "CF_START_TIME"});
+  CheckOk(s.AddUniqueKey(s.FindTable("SUBSCRIBER").value(), {"SUB_NBR"}), "tatp uk");
+  CheckOk(s.AddForeignKey("ACCESS_INFO", {"AI_S_ID"}, "SUBSCRIBER", {"S_ID"}), "tatp fk");
+  CheckOk(s.AddForeignKey("SPECIAL_FACILITY", {"SF_S_ID"}, "SUBSCRIBER", {"S_ID"}),
+          "tatp fk");
+  CheckOk(s.AddForeignKey("CALL_FORWARDING", {"CF_S_ID", "CF_SF_TYPE"},
+                          "SPECIAL_FACILITY", {"SF_S_ID", "SF_TYPE"}),
+          "tatp fk");
+  return s;
+}
+
+}  // namespace
+
+WorkloadBundle TatpWorkload::Make(size_t num_txns, uint64_t seed) const {
+  WorkloadBundle bundle;
+  bundle.db = std::make_unique<Database>(MakeTatpSchema());
+  bundle.procedures = MustParseProcedures(kTatpProcedures);
+  Database& db = *bundle.db;
+  Rng rng(seed);
+
+  const TatpConfig& cfg = config_;
+  std::vector<TupleId> subscriber(cfg.subscribers);
+  std::vector<std::vector<TupleId>> access_info(cfg.subscribers);
+  std::vector<std::vector<TupleId>> facility(cfg.subscribers);
+  std::vector<std::vector<std::vector<TupleId>>> forwarding(cfg.subscribers);
+
+  for (int s = 0; s < cfg.subscribers; ++s) {
+    subscriber[s] = db.MustInsert(
+        "SUBSCRIBER", {int64_t(s), int64_t(s + 1000000), int64_t(0), int64_t(0)});
+    for (int a = 0; a < cfg.access_infos_per_subscriber; ++a) {
+      access_info[s].push_back(
+          db.MustInsert("ACCESS_INFO", {int64_t(s), int64_t(a), rng.Uniform(0, 255)}));
+    }
+    forwarding[s].resize(cfg.facilities_per_subscriber);
+    for (int f = 0; f < cfg.facilities_per_subscriber; ++f) {
+      facility[s].push_back(db.MustInsert(
+          "SPECIAL_FACILITY", {int64_t(s), int64_t(f), int64_t(1), rng.Uniform(0, 255)}));
+      for (int c = 0; c < cfg.forwardings_per_facility; ++c) {
+        forwarding[s][f].push_back(db.MustInsert(
+            "CALL_FORWARDING",
+            {int64_t(s), int64_t(f), int64_t(c * 8), int64_t(c * 8 + 8),
+             rng.Uniform(0, 1000000)}));
+      }
+    }
+  }
+
+  Trace& trace = bundle.trace;
+  const uint32_t kGetSub = trace.InternClass("GetSubscriberData");
+  const uint32_t kGetDest = trace.InternClass("GetNewDestination");
+  const uint32_t kGetAccess = trace.InternClass("GetAccessData");
+  const uint32_t kUpdSub = trace.InternClass("UpdateSubscriberData");
+  const uint32_t kUpdLoc = trace.InternClass("UpdateLocation");
+  const uint32_t kInsCf = trace.InternClass("InsertCallForwarding");
+  const uint32_t kDelCf = trace.InternClass("DeleteCallForwarding");
+
+  // Spec mix: 35/10/35/2/14/2/2.
+  const std::vector<double> mix = {0.35, 0.45, 0.80, 0.82, 0.96, 0.98, 1.0};
+  int64_t next_cf_time = 1000;
+
+  for (size_t n = 0; n < num_txns; ++n) {
+    int s = static_cast<int>(rng.Uniform(0, cfg.subscribers - 1));
+    int f = static_cast<int>(rng.Uniform(0, cfg.facilities_per_subscriber - 1));
+    Transaction txn;
+    switch (PickClass(mix, rng.NextDouble())) {
+      case 0:
+        txn.class_id = kGetSub;
+        txn.Read(subscriber[s]);
+        break;
+      case 1:
+        txn.class_id = kGetDest;
+        txn.Read(facility[s][f]);
+        for (TupleId cf : forwarding[s][f]) txn.Read(cf);
+        break;
+      case 2: {
+        txn.class_id = kGetAccess;
+        int a = static_cast<int>(rng.Uniform(0, cfg.access_infos_per_subscriber - 1));
+        txn.Read(access_info[s][a]);
+        break;
+      }
+      case 3:
+        txn.class_id = kUpdSub;
+        txn.Write(subscriber[s]);
+        txn.Write(facility[s][f]);
+        break;
+      case 4:
+        txn.class_id = kUpdLoc;
+        txn.Write(subscriber[s]);
+        break;
+      case 5: {
+        txn.class_id = kInsCf;
+        for (TupleId fac : facility[s]) txn.Read(fac);
+        TupleId cf = db.MustInsert(
+            "CALL_FORWARDING",
+            {int64_t(s), int64_t(f), next_cf_time, next_cf_time + 8,
+             rng.Uniform(0, 1000000)});
+        next_cf_time += 16;
+        forwarding[s][f].push_back(cf);
+        txn.Write(cf);
+        break;
+      }
+      default: {
+        txn.class_id = kDelCf;
+        txn.Read(subscriber[s]);
+        if (!forwarding[s][f].empty()) {
+          txn.Write(forwarding[s][f].back());
+        }
+        break;
+      }
+    }
+    trace.Add(std::move(txn));
+  }
+  return bundle;
+}
+
+}  // namespace jecb

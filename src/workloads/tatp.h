@@ -1,0 +1,32 @@
+// TATP workload generator (telecom subscriber database). Every transaction
+// touches the data of a single subscriber, so the workload is perfectly
+// partitionable by S_ID; the interesting failure mode it exposes is the
+// classifier generalization of tuple-based approaches over the 100k-value
+// subscriber-id domain (paper Sec. 7.4).
+#pragma once
+
+#include "workloads/workload.h"
+
+namespace jecb {
+
+struct TatpConfig {
+  int subscribers = 2000;
+  int access_infos_per_subscriber = 2;   // spec: 1..4
+  int facilities_per_subscriber = 2;     // spec: 1..4
+  int forwardings_per_facility = 1;      // spec: 0..3
+};
+
+class TatpWorkload : public Workload {
+ public:
+  explicit TatpWorkload(TatpConfig config = {}) : config_(config) {}
+
+  std::string name() const override { return "TATP"; }
+  WorkloadBundle Make(size_t num_txns, uint64_t seed) const override;
+
+  const TatpConfig& config() const { return config_; }
+
+ private:
+  TatpConfig config_;
+};
+
+}  // namespace jecb

@@ -1,0 +1,352 @@
+#include "workloads/tpcc.h"
+
+#include <deque>
+
+#include "common/rng.h"
+
+namespace jecb {
+
+namespace {
+
+const char* const kTpccProcedures = R"SQL(
+PROCEDURE NewOrder(@w_id, @d_id, @c_id, @o_id, @ol_i_id, @ol_supply_w_id, @qty, @entry_d) {
+  SELECT W_TAX FROM WAREHOUSE WHERE W_ID = @w_id;
+  SELECT D_TAX, D_NEXT_O_ID FROM DISTRICT WHERE D_W_ID = @w_id AND D_ID = @d_id;
+  UPDATE DISTRICT SET D_NEXT_O_ID = @o_id WHERE D_W_ID = @w_id AND D_ID = @d_id;
+  SELECT C_DISCOUNT, C_LAST FROM CUSTOMER
+    WHERE C_W_ID = @w_id AND C_D_ID = @d_id AND C_ID = @c_id;
+  INSERT INTO ORDERS (O_W_ID, O_D_ID, O_ID, O_C_ID, O_ENTRY_D, O_CARRIER_ID)
+    VALUES (@w_id, @d_id, @o_id, @c_id, @entry_d, 0);
+  INSERT INTO NEW_ORDER (NO_W_ID, NO_D_ID, NO_O_ID) VALUES (@w_id, @d_id, @o_id);
+  SELECT I_PRICE, I_NAME FROM ITEM WHERE I_ID = @ol_i_id;
+  SELECT S_QUANTITY FROM STOCK WHERE S_W_ID = @ol_supply_w_id AND S_I_ID = @ol_i_id;
+  UPDATE STOCK SET S_QUANTITY = @qty WHERE S_W_ID = @ol_supply_w_id AND S_I_ID = @ol_i_id;
+  INSERT INTO ORDER_LINE (OL_W_ID, OL_D_ID, OL_O_ID, OL_NUMBER, OL_I_ID, OL_SUPPLY_W_ID, OL_QUANTITY)
+    VALUES (@w_id, @d_id, @o_id, 1, @ol_i_id, @ol_supply_w_id, @qty);
+}
+PROCEDURE Payment(@w_id, @d_id, @c_w_id, @c_d_id, @c_id, @h_id, @amount, @h_date) {
+  UPDATE WAREHOUSE SET W_YTD = @amount WHERE W_ID = @w_id;
+  UPDATE DISTRICT SET D_YTD = @amount WHERE D_W_ID = @w_id AND D_ID = @d_id;
+  UPDATE CUSTOMER SET C_BALANCE = @amount
+    WHERE C_W_ID = @c_w_id AND C_D_ID = @c_d_id AND C_ID = @c_id;
+  INSERT INTO HISTORY (H_ID, H_C_W_ID, H_C_D_ID, H_C_ID, H_W_ID, H_D_ID, H_AMOUNT, H_DATE)
+    VALUES (@h_id, @c_w_id, @c_d_id, @c_id, @w_id, @d_id, @amount, @h_date);
+}
+PROCEDURE OrderStatus(@w_id, @d_id, @c_id) {
+  SELECT C_BALANCE, C_LAST FROM CUSTOMER
+    WHERE C_W_ID = @w_id AND C_D_ID = @d_id AND C_ID = @c_id;
+  SELECT @o_id = O_ID FROM ORDERS
+    WHERE O_W_ID = @w_id AND O_D_ID = @d_id AND O_C_ID = @c_id;
+  SELECT OL_I_ID, OL_QUANTITY FROM ORDER_LINE
+    WHERE OL_W_ID = @w_id AND OL_D_ID = @d_id AND OL_O_ID = @o_id;
+}
+PROCEDURE Delivery(@w_id, @d_id, @o_id, @carrier_id) {
+  SELECT NO_O_ID FROM NEW_ORDER WHERE NO_W_ID = @w_id AND NO_D_ID = @d_id;
+  DELETE FROM NEW_ORDER WHERE NO_W_ID = @w_id AND NO_D_ID = @d_id AND NO_O_ID = @o_id;
+  SELECT @c_id = O_C_ID FROM ORDERS WHERE O_W_ID = @w_id AND O_D_ID = @d_id AND O_ID = @o_id;
+  UPDATE ORDERS SET O_CARRIER_ID = @carrier_id
+    WHERE O_W_ID = @w_id AND O_D_ID = @d_id AND O_ID = @o_id;
+  UPDATE ORDER_LINE SET OL_QUANTITY = OL_QUANTITY
+    WHERE OL_W_ID = @w_id AND OL_D_ID = @d_id AND OL_O_ID = @o_id;
+  UPDATE CUSTOMER SET C_BALANCE = C_BALANCE
+    WHERE C_W_ID = @w_id AND C_D_ID = @d_id AND C_ID = @c_id;
+}
+PROCEDURE StockLevel(@w_id, @d_id, @threshold) {
+  SELECT D_NEXT_O_ID FROM DISTRICT WHERE D_W_ID = @w_id AND D_ID = @d_id;
+  SELECT OL_I_ID FROM ORDER_LINE WHERE OL_W_ID = @w_id AND OL_D_ID = @d_id;
+  SELECT S_QUANTITY FROM STOCK JOIN ORDER_LINE ON S_I_ID = OL_I_ID
+    WHERE S_W_ID = @w_id AND S_QUANTITY < @threshold;
+}
+)SQL";
+
+Schema MakeTpccSchema() {
+  Schema s;
+  auto table = [&](const char* name, std::initializer_list<const char*> int_cols,
+                   std::initializer_list<const char*> num_cols = {}) {
+    auto tid = s.AddTable(name);
+    CheckOk(tid.status(), "tpcc schema");
+    for (const char* c : int_cols) {
+      CheckOk(s.AddColumn(tid.value(), c, ValueType::kInt64), "tpcc schema");
+    }
+    for (const char* c : num_cols) {
+      CheckOk(s.AddColumn(tid.value(), c, ValueType::kDouble), "tpcc schema");
+    }
+    return tid.value();
+  };
+  auto pk = [&](TableId t, std::vector<std::string> cols) {
+    CheckOk(s.SetPrimaryKey(t, cols), "tpcc pk");
+  };
+  auto fk = [&](const char* t, std::vector<std::string> cols, const char* rt,
+                std::vector<std::string> rcols) {
+    CheckOk(s.AddForeignKey(t, cols, rt, rcols), "tpcc fk");
+  };
+
+  TableId w = table("WAREHOUSE", {"W_ID"}, {"W_TAX", "W_YTD"});
+  pk(w, {"W_ID"});
+  TableId d = table("DISTRICT", {"D_W_ID", "D_ID", "D_NEXT_O_ID"}, {"D_TAX", "D_YTD"});
+  pk(d, {"D_W_ID", "D_ID"});
+  TableId c = table("CUSTOMER", {"C_W_ID", "C_D_ID", "C_ID", "C_LAST"},
+                    {"C_DISCOUNT", "C_BALANCE"});
+  pk(c, {"C_W_ID", "C_D_ID", "C_ID"});
+  TableId h = table("HISTORY",
+                    {"H_ID", "H_C_W_ID", "H_C_D_ID", "H_C_ID", "H_W_ID", "H_D_ID",
+                     "H_DATE"},
+                    {"H_AMOUNT"});
+  pk(h, {"H_ID"});
+  TableId o = table("ORDERS", {"O_W_ID", "O_D_ID", "O_ID", "O_C_ID", "O_ENTRY_D",
+                               "O_CARRIER_ID"});
+  pk(o, {"O_W_ID", "O_D_ID", "O_ID"});
+  TableId no = table("NEW_ORDER", {"NO_W_ID", "NO_D_ID", "NO_O_ID"});
+  pk(no, {"NO_W_ID", "NO_D_ID", "NO_O_ID"});
+  TableId ol = table("ORDER_LINE", {"OL_W_ID", "OL_D_ID", "OL_O_ID", "OL_NUMBER",
+                                    "OL_I_ID", "OL_SUPPLY_W_ID", "OL_QUANTITY"});
+  pk(ol, {"OL_W_ID", "OL_D_ID", "OL_O_ID", "OL_NUMBER"});
+  TableId item = table("ITEM", {"I_ID", "I_NAME"}, {"I_PRICE"});
+  pk(item, {"I_ID"});
+  TableId st = table("STOCK", {"S_W_ID", "S_I_ID", "S_QUANTITY"});
+  pk(st, {"S_W_ID", "S_I_ID"});
+
+  fk("DISTRICT", {"D_W_ID"}, "WAREHOUSE", {"W_ID"});
+  fk("CUSTOMER", {"C_W_ID", "C_D_ID"}, "DISTRICT", {"D_W_ID", "D_ID"});
+  fk("HISTORY", {"H_C_W_ID", "H_C_D_ID", "H_C_ID"}, "CUSTOMER",
+     {"C_W_ID", "C_D_ID", "C_ID"});
+  fk("ORDERS", {"O_W_ID", "O_D_ID", "O_C_ID"}, "CUSTOMER", {"C_W_ID", "C_D_ID", "C_ID"});
+  fk("NEW_ORDER", {"NO_W_ID", "NO_D_ID", "NO_O_ID"}, "ORDERS",
+     {"O_W_ID", "O_D_ID", "O_ID"});
+  fk("ORDER_LINE", {"OL_W_ID", "OL_D_ID", "OL_O_ID"}, "ORDERS",
+     {"O_W_ID", "O_D_ID", "O_ID"});
+  fk("ORDER_LINE", {"OL_SUPPLY_W_ID", "OL_I_ID"}, "STOCK", {"S_W_ID", "S_I_ID"});
+  fk("STOCK", {"S_W_ID"}, "WAREHOUSE", {"W_ID"});
+  fk("STOCK", {"S_I_ID"}, "ITEM", {"I_ID"});
+  return s;
+}
+
+/// Handles to populated tuples, plus the dynamic state trace generation
+/// mutates (order counters, delivery queues).
+struct TpccState {
+  const TpccConfig* cfg;
+  Database* db;
+  Rng rng;
+
+  std::vector<TupleId> warehouse;                   // [w]
+  std::vector<std::vector<TupleId>> district;       // [w][d]
+  std::vector<std::vector<std::vector<TupleId>>> customer;  // [w][d][c]
+  std::vector<std::vector<TupleId>> stock;          // [w][i]
+  std::vector<TupleId> item;                        // [i]
+
+  struct OrderRef {
+    TupleId order;
+    std::vector<TupleId> lines;
+    TupleId new_order;       // valid when pending
+    bool pending = false;    // still in NEW_ORDER
+    int customer = 0;
+  };
+  // Per (w, d): orders in insertion sequence; next order id; delivery cursor.
+  std::vector<std::vector<std::deque<OrderRef>>> orders;  // [w][d]
+  std::vector<std::vector<size_t>> delivery_cursor;       // [w][d]
+  std::vector<std::vector<int64_t>> next_o_id;            // [w][d]
+  std::vector<std::vector<std::vector<int64_t>>> last_order_of;  // [w][d][c]
+  int64_t next_h_id = 1;
+
+  TpccState(const TpccConfig* config, Database* database, uint64_t seed)
+      : cfg(config), db(database), rng(seed) {}
+
+  int RandomWarehouse() {
+    if (cfg->warehouse_zipf_theta > 0.0) {
+      return static_cast<int>(rng.Zipf(cfg->warehouses, cfg->warehouse_zipf_theta));
+    }
+    return static_cast<int>(rng.Uniform(0, cfg->warehouses - 1));
+  }
+  int OtherWarehouse(int w) {
+    if (cfg->warehouses == 1) return w;
+    int o = static_cast<int>(rng.Uniform(0, cfg->warehouses - 2));
+    return o >= w ? o + 1 : o;
+  }
+
+  /// Inserts one order with lines; returns its reference.
+  OrderRef InsertOrder(int w, int d, int c, Transaction* txn) {
+    int64_t o_id = next_o_id[w][d]++;
+    OrderRef ref;
+    ref.customer = c;
+    ref.order = db->MustInsert(
+        "ORDERS", {int64_t(w), int64_t(d), o_id, int64_t(c), rng.Uniform(1, 1000000),
+                   int64_t(0)});
+    ref.new_order = db->MustInsert("NEW_ORDER", {int64_t(w), int64_t(d), o_id});
+    ref.pending = true;
+    int lines = static_cast<int>(
+        rng.Uniform(cfg->min_order_lines, cfg->max_order_lines));
+    for (int l = 0; l < lines; ++l) {
+      int supply_w = rng.Chance(cfg->remote_order_line_prob) ? OtherWarehouse(w) : w;
+      int i = static_cast<int>(rng.Uniform(0, cfg->items - 1));
+      TupleId line = db->MustInsert(
+          "ORDER_LINE", {int64_t(w), int64_t(d), o_id, int64_t(l), int64_t(i),
+                         int64_t(supply_w), rng.Uniform(1, 10)});
+      ref.lines.push_back(line);
+      if (txn != nullptr) {
+        txn->Read(item[i]);
+        txn->Write(stock[supply_w][i]);
+        txn->Write(line);
+      }
+    }
+    last_order_of[w][d][c] = static_cast<int64_t>(orders[w][d].size());
+    if (txn != nullptr) {
+      txn->Write(ref.order);
+      txn->Write(ref.new_order);
+    }
+    return ref;
+  }
+};
+
+void Populate(TpccState* st) {
+  const TpccConfig& cfg = *st->cfg;
+  Database* db = st->db;
+  for (int i = 0; i < cfg.items; ++i) {
+    st->item.push_back(db->MustInsert("ITEM", {int64_t(i), int64_t(i), 9.99}));
+  }
+  st->warehouse.resize(cfg.warehouses);
+  st->district.assign(cfg.warehouses, {});
+  st->customer.assign(cfg.warehouses, {});
+  st->stock.assign(cfg.warehouses, {});
+  st->orders.assign(cfg.warehouses, {});
+  st->delivery_cursor.assign(cfg.warehouses, {});
+  st->next_o_id.assign(cfg.warehouses, {});
+  st->last_order_of.assign(cfg.warehouses, {});
+  for (int w = 0; w < cfg.warehouses; ++w) {
+    st->warehouse[w] = db->MustInsert("WAREHOUSE", {int64_t(w), 0.05, 0.0});
+    st->district[w].resize(cfg.districts_per_warehouse);
+    st->customer[w].resize(cfg.districts_per_warehouse);
+    st->orders[w].resize(cfg.districts_per_warehouse);
+    st->delivery_cursor[w].assign(cfg.districts_per_warehouse, 0);
+    st->next_o_id[w].assign(cfg.districts_per_warehouse, 1);
+    st->last_order_of[w].assign(cfg.districts_per_warehouse, {});
+    st->stock[w].resize(cfg.items);
+    for (int i = 0; i < cfg.items; ++i) {
+      st->stock[w][i] = db->MustInsert("STOCK", {int64_t(w), int64_t(i), int64_t(50)});
+    }
+    for (int d = 0; d < cfg.districts_per_warehouse; ++d) {
+      st->district[w][d] =
+          db->MustInsert("DISTRICT", {int64_t(w), int64_t(d), int64_t(1), 0.07, 0.0});
+      st->customer[w][d].resize(cfg.customers_per_district);
+      st->last_order_of[w][d].assign(cfg.customers_per_district, -1);
+      for (int c = 0; c < cfg.customers_per_district; ++c) {
+        st->customer[w][d][c] = db->MustInsert(
+            "CUSTOMER", {int64_t(w), int64_t(d), int64_t(c), int64_t(c % 100), 0.1, 0.0});
+      }
+      for (int o = 0; o < cfg.initial_orders_per_district; ++o) {
+        int c = static_cast<int>(st->rng.Uniform(0, cfg.customers_per_district - 1));
+        st->orders[w][d].push_back(st->InsertOrder(w, d, c, nullptr));
+      }
+    }
+  }
+}
+
+}  // namespace
+
+WorkloadBundle TpccWorkload::Make(size_t num_txns, uint64_t seed) const {
+  WorkloadBundle bundle;
+  bundle.db = std::make_unique<Database>(MakeTpccSchema());
+  bundle.procedures = MustParseProcedures(kTpccProcedures);
+
+  TpccState st(&config_, bundle.db.get(), seed);
+  Populate(&st);
+
+  Trace& trace = bundle.trace;
+  const uint32_t kNewOrder = trace.InternClass("NewOrder");
+  const uint32_t kPayment = trace.InternClass("Payment");
+  const uint32_t kOrderStatus = trace.InternClass("OrderStatus");
+  const uint32_t kDelivery = trace.InternClass("Delivery");
+  const uint32_t kStockLevel = trace.InternClass("StockLevel");
+
+  const std::vector<double> mix = {
+      config_.mix_new_order,
+      config_.mix_new_order + config_.mix_payment,
+      config_.mix_new_order + config_.mix_payment + config_.mix_order_status,
+      config_.mix_new_order + config_.mix_payment + config_.mix_order_status +
+          config_.mix_delivery,
+      1.0};
+
+  for (size_t n = 0; n < num_txns; ++n) {
+    int w = st.RandomWarehouse();
+    int d = static_cast<int>(st.rng.Uniform(0, config_.districts_per_warehouse - 1));
+    int c = static_cast<int>(
+        st.rng.NuRand(255, 0, config_.customers_per_district - 1));
+    Transaction txn;
+    switch (PickClass(mix, st.rng.NextDouble())) {
+      case 0: {  // NewOrder
+        txn.class_id = kNewOrder;
+        txn.Read(st.warehouse[w]);
+        txn.Write(st.district[w][d]);
+        txn.Read(st.customer[w][d][c]);
+        st.orders[w][d].push_back(st.InsertOrder(w, d, c, &txn));
+        break;
+      }
+      case 1: {  // Payment
+        txn.class_id = kPayment;
+        txn.Write(st.warehouse[w]);
+        txn.Write(st.district[w][d]);
+        int cw = w;
+        int cd = d;
+        if (st.rng.Chance(config_.remote_payment_prob)) {
+          cw = st.OtherWarehouse(w);
+          cd = static_cast<int>(
+              st.rng.Uniform(0, config_.districts_per_warehouse - 1));
+        }
+        txn.Write(st.customer[cw][cd][c]);
+        TupleId hist = st.db->MustInsert(
+            "HISTORY", {st.next_h_id++, int64_t(cw), int64_t(cd), int64_t(c),
+                        int64_t(w), int64_t(d), st.rng.Uniform(1, 1000000), 42.0});
+        txn.Write(hist);
+        break;
+      }
+      case 2: {  // OrderStatus
+        txn.class_id = kOrderStatus;
+        txn.Read(st.customer[w][d][c]);
+        if (st.orders[w][d].empty()) break;
+        int64_t idx = st.last_order_of[w][d][c];
+        if (idx < 0) {
+          idx = st.rng.Uniform(0, static_cast<int64_t>(st.orders[w][d].size()) - 1);
+        }
+        const auto& ref = st.orders[w][d][idx];
+        txn.Read(ref.order);
+        for (TupleId line : ref.lines) txn.Read(line);
+        break;
+      }
+      case 3: {  // Delivery: oldest pending order per district
+        txn.class_id = kDelivery;
+        for (int dd = 0; dd < config_.districts_per_warehouse; ++dd) {
+          auto& dq = st.orders[w][dd];
+          size_t& cursor = st.delivery_cursor[w][dd];
+          while (cursor < dq.size() && !dq[cursor].pending) ++cursor;
+          if (cursor >= dq.size()) continue;
+          TpccState::OrderRef& ref = dq[cursor];
+          ref.pending = false;
+          txn.Write(ref.new_order);
+          txn.Write(ref.order);
+          for (TupleId line : ref.lines) txn.Write(line);
+          txn.Write(st.customer[w][dd][ref.customer]);
+        }
+        if (txn.accesses.empty()) txn.Read(st.warehouse[w]);
+        break;
+      }
+      default: {  // StockLevel
+        txn.class_id = kStockLevel;
+        txn.Read(st.district[w][d]);
+        const auto& dq = st.orders[w][d];
+        size_t scan = std::min<size_t>(dq.size(), 5);
+        for (size_t i = dq.size() - scan; i < dq.size(); ++i) {
+          for (TupleId line : dq[i].lines) {
+            txn.Read(line);
+            int64_t item_id =
+                st.db->GetValue(line, 4).AsInt();  // OL_I_ID column index
+            txn.Read(st.stock[w][item_id]);
+          }
+        }
+        break;
+      }
+    }
+    trace.Add(std::move(txn));
+  }
+  return bundle;
+}
+
+}  // namespace jecb

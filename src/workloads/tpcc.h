@@ -1,0 +1,51 @@
+// TPC-C workload generator (order processing; TPC-C v5 access patterns).
+//
+// Scale knobs are explicit so the Fig. 5/6 experiments can model 128- and
+// 1024-warehouse databases with reduced per-warehouse row counts: the
+// partitioning structure (composite keys rooted at W_ID, remote stock /
+// remote payment accesses) is what the experiments exercise, not absolute
+// data volume.
+#pragma once
+
+#include "workloads/workload.h"
+
+namespace jecb {
+
+struct TpccConfig {
+  int warehouses = 8;
+  int districts_per_warehouse = 10;
+  int customers_per_district = 20;
+  int items = 100;
+  /// Pre-loaded orders per district (each with order lines).
+  int initial_orders_per_district = 5;
+  int min_order_lines = 5;
+  int max_order_lines = 15;
+  /// Spec: ~1% of order lines are supplied by a remote warehouse.
+  double remote_order_line_prob = 0.01;
+  /// Zipf exponent for home-warehouse selection; 0 = uniform (spec). Used
+  /// by the skew/bin-packing experiments ("hot" warehouses).
+  double warehouse_zipf_theta = 0.0;
+  /// Spec: 15% of payments are for a customer of a remote warehouse.
+  double remote_payment_prob = 0.15;
+  /// Transaction mix (NewOrder, Payment, OrderStatus, Delivery, StockLevel).
+  double mix_new_order = 0.45;
+  double mix_payment = 0.43;
+  double mix_order_status = 0.04;
+  double mix_delivery = 0.04;
+  double mix_stock_level = 0.04;
+};
+
+class TpccWorkload : public Workload {
+ public:
+  explicit TpccWorkload(TpccConfig config = {}) : config_(config) {}
+
+  std::string name() const override { return "TPC-C"; }
+  WorkloadBundle Make(size_t num_txns, uint64_t seed) const override;
+
+  const TpccConfig& config() const { return config_; }
+
+ private:
+  TpccConfig config_;
+};
+
+}  // namespace jecb

@@ -1,0 +1,837 @@
+#include "workloads/tpce.h"
+
+#include <deque>
+
+#include "common/rng.h"
+
+namespace jecb {
+
+namespace {
+
+const char* const kTpceProcedures = R"SQL(
+PROCEDURE BrokerVolume(@b_name1, @b_name2, @b_name3) {
+  SELECT B_NAME, TR_QTY FROM BROKER JOIN TRADE_REQUEST ON TR_B_ID = B_ID
+    WHERE B_NAME IN (@b_name1, @b_name2, @b_name3);
+}
+PROCEDURE CustomerPosition(@cust_id) {
+  SELECT C_TAX_ID, C_ST_ID FROM CUSTOMER WHERE C_ID = @cust_id;
+  SELECT CA_ID, CA_BAL FROM CUSTOMER_ACCOUNT WHERE CA_C_ID = @cust_id;
+  SELECT T_ID, T_S_SYMB, T_QTY FROM TRADE JOIN CUSTOMER_ACCOUNT ON T_CA_ID = CA_ID
+    WHERE CA_C_ID = @cust_id;
+  SELECT TH_DTS FROM TRADE_HISTORY JOIN TRADE ON TH_T_ID = T_ID
+      JOIN CUSTOMER_ACCOUNT ON T_CA_ID = CA_ID
+    WHERE CA_C_ID = @cust_id;
+}
+PROCEDURE MarketFeed(@symb1, @symb2, @symb3, @symb4, @price) {
+  UPDATE LAST_TRADE SET LT_PRICE = @price
+    WHERE LT_S_SYMB IN (@symb1, @symb2, @symb3, @symb4);
+  SELECT TR_T_ID, TR_BID_PRICE FROM TRADE_REQUEST
+    WHERE TR_S_SYMB IN (@symb1, @symb2, @symb3, @symb4);
+  UPDATE TRADE_REQUEST SET TR_QTY = 0
+    WHERE TR_S_SYMB IN (@symb1, @symb2, @symb3, @symb4);
+}
+PROCEDURE MarketWatch(@acct_id, @wl_id) {
+  SELECT WL_C_ID FROM WATCH_LIST WHERE WL_ID = @wl_id;
+  SELECT WI_S_SYMB FROM WATCH_ITEM WHERE WI_WL_ID = @wl_id;
+  SELECT HS_S_SYMB, HS_QTY FROM HOLDING_SUMMARY WHERE HS_CA_ID = @acct_id;
+  SELECT LT_PRICE FROM LAST_TRADE JOIN HOLDING_SUMMARY ON LT_S_SYMB = HS_S_SYMB
+    WHERE HS_CA_ID = @acct_id;
+}
+PROCEDURE SecurityDetail(@symb, @start_day) {
+  SELECT S_NAME, S_CO_ID FROM SECURITY WHERE S_SYMB = @symb;
+  SELECT CO_NAME FROM COMPANY JOIN SECURITY ON S_CO_ID = CO_ID WHERE S_SYMB = @symb;
+  SELECT AD_LINE1 FROM ADDRESS JOIN COMPANY ON CO_AD_ID = AD_ID
+      JOIN SECURITY ON S_CO_ID = CO_ID
+    WHERE S_SYMB = @symb;
+  SELECT EX_NAME FROM EXCHANGE JOIN SECURITY ON S_EX_ID = EX_ID WHERE S_SYMB = @symb;
+  SELECT DM_CLOSE FROM DAILY_MARKET WHERE DM_S_SYMB = @symb AND DM_DATE >= @start_day;
+  SELECT FI_YEAR, FI_NET_EARN FROM FINANCIAL JOIN COMPANY ON FI_CO_ID = CO_ID
+      JOIN SECURITY ON S_CO_ID = CO_ID
+    WHERE S_SYMB = @symb;
+  SELECT LT_PRICE, LT_VOL FROM LAST_TRADE WHERE LT_S_SYMB = @symb;
+  SELECT NI_HEADLINE FROM NEWS_ITEM JOIN NEWS_XREF ON NX_NI_ID = NI_ID
+      JOIN COMPANY ON NX_CO_ID = CO_ID JOIN SECURITY ON S_CO_ID = CO_ID
+    WHERE S_SYMB = @symb;
+}
+PROCEDURE TradeLookupFrame1(@t_id1, @t_id2, @t_id3, @t_id4) {
+  SELECT T_EXEC_NAME, T_TRADE_PRICE FROM TRADE
+    WHERE T_ID IN (@t_id1, @t_id2, @t_id3, @t_id4);
+  SELECT SE_AMT FROM SETTLEMENT WHERE SE_T_ID IN (@t_id1, @t_id2, @t_id3, @t_id4);
+  SELECT CT_AMT FROM CASH_TRANSACTION WHERE CT_T_ID IN (@t_id1, @t_id2, @t_id3, @t_id4);
+  SELECT TH_DTS FROM TRADE_HISTORY WHERE TH_T_ID IN (@t_id1, @t_id2, @t_id3, @t_id4);
+}
+PROCEDURE TradeLookupFrame2(@acct_id, @start_dts, @end_dts) {
+  SELECT @t_id = T_ID FROM TRADE
+    WHERE T_CA_ID = @acct_id AND T_DTS >= @start_dts AND T_DTS <= @end_dts;
+  SELECT SE_AMT FROM SETTLEMENT WHERE SE_T_ID = @t_id;
+  SELECT CT_AMT FROM CASH_TRANSACTION WHERE CT_T_ID = @t_id;
+  SELECT TH_DTS FROM TRADE_HISTORY WHERE TH_T_ID = @t_id;
+}
+PROCEDURE TradeLookupFrame3(@symb, @start_dts, @end_dts) {
+  SELECT @t_id = T_ID FROM TRADE
+    WHERE T_S_SYMB = @symb AND T_DTS >= @start_dts AND T_DTS <= @end_dts;
+  SELECT SE_AMT FROM SETTLEMENT WHERE SE_T_ID = @t_id;
+  SELECT CT_AMT FROM CASH_TRANSACTION WHERE CT_T_ID = @t_id;
+  SELECT TH_DTS FROM TRADE_HISTORY WHERE TH_T_ID = @t_id;
+}
+PROCEDURE TradeLookupFrame4(@acct_id, @start_dts) {
+  SELECT @t_id = T_ID FROM TRADE WHERE T_CA_ID = @acct_id AND T_DTS >= @start_dts;
+  SELECT HH_H_T_ID, HH_AFTER_QTY FROM HOLDING_HISTORY WHERE HH_T_ID = @t_id;
+}
+PROCEDURE TradeOrder(@acct_id, @symb, @qty, @t_id, @tt_id, @now) {
+  SELECT CA_NAME, CA_TAX_ST FROM CUSTOMER_ACCOUNT WHERE CA_ID = @acct_id;
+  SELECT @b_id = CA_B_ID FROM CUSTOMER_ACCOUNT WHERE CA_ID = @acct_id;
+  SELECT @cust_id = CA_C_ID FROM CUSTOMER_ACCOUNT WHERE CA_ID = @acct_id;
+  SELECT C_F_NAME FROM CUSTOMER WHERE C_ID = @cust_id;
+  SELECT B_NAME FROM BROKER WHERE B_ID = @b_id;
+  SELECT AP_ACL FROM ACCOUNT_PERMISSION WHERE AP_CA_ID = @acct_id;
+  SELECT S_NAME FROM SECURITY WHERE S_SYMB = @symb;
+  SELECT LT_PRICE FROM LAST_TRADE WHERE LT_S_SYMB = @symb;
+  SELECT CH_CHRG FROM CHARGE WHERE CH_TT_ID = @tt_id;
+  SELECT CR_RATE FROM COMMISSION_RATE WHERE CR_TT_ID = @tt_id;
+  INSERT INTO TRADE (T_ID, T_DTS, T_ST_ID, T_TT_ID, T_S_SYMB, T_CA_ID, T_QTY, T_EXEC_NAME, T_TRADE_PRICE)
+    VALUES (@t_id, @now, 0, @tt_id, @symb, @acct_id, @qty, 0, 0);
+  INSERT INTO TRADE_HISTORY (TH_T_ID, TH_ST_ID, TH_DTS) VALUES (@t_id, 0, @now);
+  INSERT INTO TRADE_REQUEST (TR_T_ID, TR_TT_ID, TR_S_SYMB, TR_QTY, TR_BID_PRICE, TR_B_ID)
+    VALUES (@t_id, @tt_id, @symb, @qty, 0, @b_id);
+}
+PROCEDURE TradeResult(@t_id, @price, @now) {
+  SELECT @acct_id = T_CA_ID FROM TRADE WHERE T_ID = @t_id;
+  SELECT @symb = T_S_SYMB FROM TRADE WHERE T_ID = @t_id;
+  UPDATE TRADE SET T_TRADE_PRICE = @price WHERE T_ID = @t_id;
+  DELETE FROM TRADE_REQUEST WHERE TR_T_ID = @t_id;
+  INSERT INTO TRADE_HISTORY (TH_T_ID, TH_ST_ID, TH_DTS) VALUES (@t_id, 1, @now);
+  SELECT @b_id = CA_B_ID FROM CUSTOMER_ACCOUNT WHERE CA_ID = @acct_id;
+  SELECT @cust_id = CA_C_ID FROM CUSTOMER_ACCOUNT WHERE CA_ID = @acct_id;
+  SELECT C_TIER FROM CUSTOMER WHERE C_ID = @cust_id;
+  SELECT TX_RATE FROM TAXRATE WHERE TX_ID = @cust_id;
+  SELECT HS_QTY FROM HOLDING_SUMMARY WHERE HS_CA_ID = @acct_id AND HS_S_SYMB = @symb;
+  UPDATE HOLDING_SUMMARY SET HS_QTY = @qty WHERE HS_CA_ID = @acct_id AND HS_S_SYMB = @symb;
+  SELECT H_T_ID, H_QTY FROM HOLDING WHERE H_CA_ID = @acct_id AND H_S_SYMB = @symb;
+  UPDATE HOLDING SET H_QTY = @qty WHERE H_CA_ID = @acct_id AND H_S_SYMB = @symb;
+  INSERT INTO HOLDING_HISTORY (HH_H_T_ID, HH_T_ID, HH_BEFORE_QTY, HH_AFTER_QTY)
+    VALUES (@t_id, @t_id, 0, @qty);
+  UPDATE CUSTOMER_ACCOUNT SET CA_BAL = @price WHERE CA_ID = @acct_id;
+  INSERT INTO SETTLEMENT (SE_T_ID, SE_CASH_TYPE, SE_AMT) VALUES (@t_id, 0, @price);
+  INSERT INTO CASH_TRANSACTION (CT_T_ID, CT_DTS, CT_AMT, CT_NAME)
+    VALUES (@t_id, @now, @price, 0);
+  UPDATE BROKER SET B_COMM_TOTAL = @price, B_NUM_TRADES = 1 WHERE B_ID = @b_id;
+}
+PROCEDURE TradeStatus(@acct_id) {
+  SELECT T_ID, T_DTS, T_ST_ID FROM TRADE WHERE T_CA_ID = @acct_id;
+  SELECT @t_id = T_ID FROM TRADE WHERE T_CA_ID = @acct_id;
+  SELECT TH_DTS FROM TRADE_HISTORY WHERE TH_T_ID = @t_id;
+  SELECT @b_id = CA_B_ID FROM CUSTOMER_ACCOUNT WHERE CA_ID = @acct_id;
+  SELECT @cust_id = CA_C_ID FROM CUSTOMER_ACCOUNT WHERE CA_ID = @acct_id;
+  SELECT B_NAME FROM BROKER WHERE B_ID = @b_id;
+  SELECT C_F_NAME FROM CUSTOMER WHERE C_ID = @cust_id;
+}
+PROCEDURE TradeUpdateFrame1(@t_id1, @t_id2, @t_id3) {
+  UPDATE TRADE SET T_EXEC_NAME = 1 WHERE T_ID IN (@t_id1, @t_id2, @t_id3);
+  SELECT SE_AMT FROM SETTLEMENT WHERE SE_T_ID IN (@t_id1, @t_id2, @t_id3);
+  SELECT CT_AMT FROM CASH_TRANSACTION WHERE CT_T_ID IN (@t_id1, @t_id2, @t_id3);
+  SELECT TH_DTS FROM TRADE_HISTORY WHERE TH_T_ID IN (@t_id1, @t_id2, @t_id3);
+}
+PROCEDURE TradeUpdateFrame2(@acct_id, @start_dts, @end_dts) {
+  SELECT @t_id = T_ID FROM TRADE
+    WHERE T_CA_ID = @acct_id AND T_DTS >= @start_dts AND T_DTS <= @end_dts;
+  UPDATE SETTLEMENT SET SE_CASH_TYPE = 1 WHERE SE_T_ID = @t_id;
+  SELECT CT_AMT FROM CASH_TRANSACTION WHERE CT_T_ID = @t_id;
+  SELECT TH_DTS FROM TRADE_HISTORY WHERE TH_T_ID = @t_id;
+}
+PROCEDURE TradeUpdateFrame3(@symb, @start_dts, @end_dts) {
+  SELECT @t_id = T_ID FROM TRADE
+    WHERE T_S_SYMB = @symb AND T_DTS >= @start_dts AND T_DTS <= @end_dts;
+  SELECT SE_AMT FROM SETTLEMENT WHERE SE_T_ID = @t_id;
+  UPDATE CASH_TRANSACTION SET CT_NAME = 1 WHERE CT_T_ID = @t_id;
+  SELECT TH_DTS FROM TRADE_HISTORY WHERE TH_T_ID = @t_id;
+}
+)SQL";
+
+Schema MakeTpceSchema() {
+  Schema s;
+  auto add = [&](const char* name, std::initializer_list<const char*> cols,
+                 std::vector<std::string> pk) {
+    auto tid = s.AddTable(name);
+    CheckOk(tid.status(), "tpce schema");
+    for (const char* c : cols) {
+      CheckOk(s.AddColumn(tid.value(), c, ValueType::kInt64), "tpce schema");
+    }
+    CheckOk(s.SetPrimaryKey(tid.value(), pk), "tpce pk");
+  };
+  auto fk = [&](const char* t, std::vector<std::string> cols, const char* rt,
+                std::vector<std::string> rcols) {
+    CheckOk(s.AddForeignKey(t, cols, rt, rcols), "tpce fk");
+  };
+
+  // --- Market & reference data (read-only at runtime) ----------------------
+  add("ZIP_CODE", {"ZC_CODE", "ZC_TOWN"}, {"ZC_CODE"});
+  add("ADDRESS", {"AD_ID", "AD_LINE1", "AD_ZC_CODE"}, {"AD_ID"});
+  add("STATUS_TYPE", {"ST_ID", "ST_NAME"}, {"ST_ID"});
+  add("TAXRATE", {"TX_ID", "TX_RATE"}, {"TX_ID"});
+  add("SECTOR", {"SC_ID", "SC_NAME"}, {"SC_ID"});
+  add("INDUSTRY", {"IN_ID", "IN_NAME", "IN_SC_ID"}, {"IN_ID"});
+  add("EXCHANGE", {"EX_ID", "EX_NAME", "EX_AD_ID"}, {"EX_ID"});
+  add("COMPANY", {"CO_ID", "CO_NAME", "CO_IN_ID", "CO_ST_ID", "CO_AD_ID"}, {"CO_ID"});
+  add("COMPANY_COMPETITOR", {"CP_CO_ID", "CP_COMP_CO_ID", "CP_IN_ID"},
+      {"CP_CO_ID", "CP_COMP_CO_ID"});
+  add("SECURITY", {"S_SYMB", "S_NAME", "S_CO_ID", "S_EX_ID", "S_ST_ID"}, {"S_SYMB"});
+  add("DAILY_MARKET", {"DM_DATE", "DM_S_SYMB", "DM_CLOSE", "DM_HIGH", "DM_LOW"},
+      {"DM_DATE", "DM_S_SYMB"});
+  add("FINANCIAL", {"FI_CO_ID", "FI_YEAR", "FI_QTR", "FI_NET_EARN"},
+      {"FI_CO_ID", "FI_YEAR", "FI_QTR"});
+  add("LAST_TRADE", {"LT_S_SYMB", "LT_PRICE", "LT_VOL", "LT_DTS"}, {"LT_S_SYMB"});
+  add("NEWS_ITEM", {"NI_ID", "NI_HEADLINE", "NI_DTS"}, {"NI_ID"});
+  add("NEWS_XREF", {"NX_NI_ID", "NX_CO_ID"}, {"NX_NI_ID", "NX_CO_ID"});
+  add("CHARGE", {"CH_TT_ID", "CH_C_TIER", "CH_CHRG"}, {"CH_TT_ID", "CH_C_TIER"});
+  add("COMMISSION_RATE", {"CR_C_TIER", "CR_TT_ID", "CR_EX_ID", "CR_RATE"},
+      {"CR_C_TIER", "CR_TT_ID", "CR_EX_ID"});
+  add("TRADE_TYPE", {"TT_ID", "TT_NAME", "TT_IS_SELL", "TT_IS_MRKT"}, {"TT_ID"});
+
+  // --- Customer data --------------------------------------------------------
+  add("CUSTOMER",
+      {"C_ID", "C_TAX_ID", "C_ST_ID", "C_TIER", "C_F_NAME", "C_L_NAME", "C_AD_ID"},
+      {"C_ID"});
+  CheckOk(s.AddUniqueKey(s.FindTable("CUSTOMER").value(), {"C_TAX_ID"}), "tpce uk");
+  add("CUSTOMER_ACCOUNT", {"CA_ID", "CA_B_ID", "CA_C_ID", "CA_NAME", "CA_TAX_ST",
+                           "CA_BAL"},
+      {"CA_ID"});
+  add("ACCOUNT_PERMISSION", {"AP_CA_ID", "AP_TAX_ID", "AP_ACL"},
+      {"AP_CA_ID", "AP_TAX_ID"});
+  add("CUSTOMER_TAXRATE", {"CX_TX_ID", "CX_C_ID"}, {"CX_TX_ID", "CX_C_ID"});
+  add("WATCH_LIST", {"WL_ID", "WL_C_ID"}, {"WL_ID"});
+  add("WATCH_ITEM", {"WI_WL_ID", "WI_S_SYMB"}, {"WI_WL_ID", "WI_S_SYMB"});
+
+  // --- Broker & trade data ---------------------------------------------------
+  add("BROKER", {"B_ID", "B_ST_ID", "B_NAME", "B_NUM_TRADES", "B_COMM_TOTAL"},
+      {"B_ID"});
+  add("TRADE",
+      {"T_ID", "T_DTS", "T_ST_ID", "T_TT_ID", "T_S_SYMB", "T_CA_ID", "T_QTY",
+       "T_EXEC_NAME", "T_TRADE_PRICE"},
+      {"T_ID"});
+  add("TRADE_HISTORY", {"TH_T_ID", "TH_ST_ID", "TH_DTS"}, {"TH_T_ID", "TH_ST_ID"});
+  add("SETTLEMENT", {"SE_T_ID", "SE_CASH_TYPE", "SE_AMT"}, {"SE_T_ID"});
+  add("TRADE_REQUEST", {"TR_T_ID", "TR_TT_ID", "TR_S_SYMB", "TR_QTY", "TR_BID_PRICE",
+                        "TR_B_ID"},
+      {"TR_T_ID"});
+  add("CASH_TRANSACTION", {"CT_T_ID", "CT_DTS", "CT_AMT", "CT_NAME"}, {"CT_T_ID"});
+  add("HOLDING", {"H_T_ID", "H_CA_ID", "H_S_SYMB", "H_DTS", "H_PRICE", "H_QTY"},
+      {"H_T_ID"});
+  add("HOLDING_HISTORY", {"HH_H_T_ID", "HH_T_ID", "HH_BEFORE_QTY", "HH_AFTER_QTY"},
+      {"HH_H_T_ID", "HH_T_ID"});
+  add("HOLDING_SUMMARY", {"HS_CA_ID", "HS_S_SYMB", "HS_QTY"}, {"HS_CA_ID", "HS_S_SYMB"});
+
+  // --- Foreign keys -----------------------------------------------------------
+  fk("ADDRESS", {"AD_ZC_CODE"}, "ZIP_CODE", {"ZC_CODE"});
+  fk("INDUSTRY", {"IN_SC_ID"}, "SECTOR", {"SC_ID"});
+  fk("EXCHANGE", {"EX_AD_ID"}, "ADDRESS", {"AD_ID"});
+  fk("COMPANY", {"CO_IN_ID"}, "INDUSTRY", {"IN_ID"});
+  fk("COMPANY", {"CO_ST_ID"}, "STATUS_TYPE", {"ST_ID"});
+  fk("COMPANY", {"CO_AD_ID"}, "ADDRESS", {"AD_ID"});
+  fk("COMPANY_COMPETITOR", {"CP_CO_ID"}, "COMPANY", {"CO_ID"});
+  fk("COMPANY_COMPETITOR", {"CP_COMP_CO_ID"}, "COMPANY", {"CO_ID"});
+  fk("COMPANY_COMPETITOR", {"CP_IN_ID"}, "INDUSTRY", {"IN_ID"});
+  fk("SECURITY", {"S_CO_ID"}, "COMPANY", {"CO_ID"});
+  fk("SECURITY", {"S_EX_ID"}, "EXCHANGE", {"EX_ID"});
+  fk("SECURITY", {"S_ST_ID"}, "STATUS_TYPE", {"ST_ID"});
+  fk("DAILY_MARKET", {"DM_S_SYMB"}, "SECURITY", {"S_SYMB"});
+  fk("FINANCIAL", {"FI_CO_ID"}, "COMPANY", {"CO_ID"});
+  fk("LAST_TRADE", {"LT_S_SYMB"}, "SECURITY", {"S_SYMB"});
+  fk("NEWS_XREF", {"NX_NI_ID"}, "NEWS_ITEM", {"NI_ID"});
+  fk("NEWS_XREF", {"NX_CO_ID"}, "COMPANY", {"CO_ID"});
+  fk("CHARGE", {"CH_TT_ID"}, "TRADE_TYPE", {"TT_ID"});
+  fk("COMMISSION_RATE", {"CR_TT_ID"}, "TRADE_TYPE", {"TT_ID"});
+  fk("COMMISSION_RATE", {"CR_EX_ID"}, "EXCHANGE", {"EX_ID"});
+  fk("CUSTOMER", {"C_ST_ID"}, "STATUS_TYPE", {"ST_ID"});
+  fk("CUSTOMER", {"C_AD_ID"}, "ADDRESS", {"AD_ID"});
+  fk("CUSTOMER_ACCOUNT", {"CA_B_ID"}, "BROKER", {"B_ID"});
+  fk("CUSTOMER_ACCOUNT", {"CA_C_ID"}, "CUSTOMER", {"C_ID"});
+  fk("ACCOUNT_PERMISSION", {"AP_CA_ID"}, "CUSTOMER_ACCOUNT", {"CA_ID"});
+  fk("CUSTOMER_TAXRATE", {"CX_TX_ID"}, "TAXRATE", {"TX_ID"});
+  fk("CUSTOMER_TAXRATE", {"CX_C_ID"}, "CUSTOMER", {"C_ID"});
+  fk("WATCH_LIST", {"WL_C_ID"}, "CUSTOMER", {"C_ID"});
+  fk("WATCH_ITEM", {"WI_WL_ID"}, "WATCH_LIST", {"WL_ID"});
+  fk("WATCH_ITEM", {"WI_S_SYMB"}, "SECURITY", {"S_SYMB"});
+  fk("BROKER", {"B_ST_ID"}, "STATUS_TYPE", {"ST_ID"});
+  fk("TRADE", {"T_ST_ID"}, "STATUS_TYPE", {"ST_ID"});
+  fk("TRADE", {"T_TT_ID"}, "TRADE_TYPE", {"TT_ID"});
+  fk("TRADE", {"T_S_SYMB"}, "SECURITY", {"S_SYMB"});
+  fk("TRADE", {"T_CA_ID"}, "CUSTOMER_ACCOUNT", {"CA_ID"});
+  fk("TRADE_HISTORY", {"TH_T_ID"}, "TRADE", {"T_ID"});
+  fk("TRADE_HISTORY", {"TH_ST_ID"}, "STATUS_TYPE", {"ST_ID"});
+  fk("SETTLEMENT", {"SE_T_ID"}, "TRADE", {"T_ID"});
+  fk("TRADE_REQUEST", {"TR_T_ID"}, "TRADE", {"T_ID"});
+  fk("TRADE_REQUEST", {"TR_TT_ID"}, "TRADE_TYPE", {"TT_ID"});
+  fk("TRADE_REQUEST", {"TR_S_SYMB"}, "SECURITY", {"S_SYMB"});
+  fk("TRADE_REQUEST", {"TR_B_ID"}, "BROKER", {"B_ID"});
+  fk("CASH_TRANSACTION", {"CT_T_ID"}, "TRADE", {"T_ID"});
+  fk("HOLDING", {"H_T_ID"}, "TRADE", {"T_ID"});
+  fk("HOLDING", {"H_CA_ID", "H_S_SYMB"}, "HOLDING_SUMMARY", {"HS_CA_ID", "HS_S_SYMB"});
+  fk("HOLDING_HISTORY", {"HH_H_T_ID"}, "HOLDING", {"H_T_ID"});
+  fk("HOLDING_HISTORY", {"HH_T_ID"}, "TRADE", {"T_ID"});
+  fk("HOLDING_SUMMARY", {"HS_CA_ID"}, "CUSTOMER_ACCOUNT", {"CA_ID"});
+  fk("HOLDING_SUMMARY", {"HS_S_SYMB"}, "SECURITY", {"S_SYMB"});
+  return s;
+}
+
+/// One trade and the child tuples hanging off it.
+struct TradeRef {
+  int64_t t_id = 0;
+  int64_t dts = 0;
+  int account = 0;
+  int symbol = 0;
+  TupleId trade;
+  std::vector<TupleId> history;
+  TupleId settlement;
+  TupleId cash;
+  bool settled = false;
+  TupleId request;
+  bool has_request = false;
+  std::vector<TupleId> holding_history;
+};
+
+struct AccountRef {
+  int64_t ca_id = 0;
+  int customer = 0;
+  int broker = 0;
+  TupleId account;
+  std::vector<size_t> trades;  // indexes into the global trade list
+  // symbol -> (summary, holdings, holding history) for held securities.
+  std::vector<std::pair<int, TupleId>> summaries;
+  std::vector<std::pair<int, TupleId>> holdings;
+};
+
+}  // namespace
+
+WorkloadBundle TpceWorkload::Make(size_t num_txns, uint64_t seed) const {
+  WorkloadBundle bundle;
+  bundle.db = std::make_unique<Database>(MakeTpceSchema());
+  bundle.procedures = MustParseProcedures(kTpceProcedures);
+  Database& db = *bundle.db;
+  Rng rng(seed);
+  const TpceConfig& cfg = config_;
+
+  // ---- Reference data -------------------------------------------------------
+  const int kZips = 20, kStatuses = 5, kTradeTypes = 5, kExchanges = 2, kSectors = 5,
+            kIndustries = 10, kTiers = 3;
+  for (int z = 0; z < kZips; ++z) db.MustInsert("ZIP_CODE", {int64_t(z), int64_t(z)});
+  int64_t next_ad = 0;
+  auto new_address = [&]() {
+    int64_t id = next_ad++;
+    db.MustInsert("ADDRESS", {id, id, rng.Uniform(0, kZips - 1)});
+    return id;
+  };
+  for (int st = 0; st < kStatuses; ++st) {
+    db.MustInsert("STATUS_TYPE", {int64_t(st), int64_t(st)});
+  }
+  for (int c = 0; c < cfg.customers; ++c) {
+    db.MustInsert("TAXRATE", {int64_t(c), rng.Uniform(1, 40)});
+  }
+  for (int sc = 0; sc < kSectors; ++sc) {
+    db.MustInsert("SECTOR", {int64_t(sc), int64_t(sc)});
+  }
+  for (int in = 0; in < kIndustries; ++in) {
+    db.MustInsert("INDUSTRY", {int64_t(in), int64_t(in), int64_t(in % kSectors)});
+  }
+  for (int ex = 0; ex < kExchanges; ++ex) {
+    db.MustInsert("EXCHANGE", {int64_t(ex), int64_t(ex), new_address()});
+  }
+  for (int tt = 0; tt < kTradeTypes; ++tt) {
+    db.MustInsert("TRADE_TYPE", {int64_t(tt), int64_t(tt), int64_t(tt % 2),
+                                 int64_t(tt < 2 ? 1 : 0)});
+    for (int tier = 0; tier < kTiers; ++tier) {
+      db.MustInsert("CHARGE", {int64_t(tt), int64_t(tier), rng.Uniform(1, 20)});
+      for (int ex = 0; ex < kExchanges; ++ex) {
+        db.MustInsert("COMMISSION_RATE",
+                      {int64_t(tier), int64_t(tt), int64_t(ex), rng.Uniform(1, 50)});
+      }
+    }
+  }
+  int64_t next_news = 0;
+  for (int co = 0; co < cfg.companies; ++co) {
+    db.MustInsert("COMPANY", {int64_t(co), int64_t(co),
+                              rng.Uniform(0, kIndustries - 1),
+                              rng.Uniform(0, kStatuses - 1), new_address()});
+    for (int q = 0; q < 4; ++q) {
+      db.MustInsert("FINANCIAL", {int64_t(co), int64_t(2013), int64_t(q),
+                                  rng.Uniform(-100, 1000)});
+    }
+    for (int n = 0; n < 2; ++n) {
+      int64_t ni = next_news++;
+      db.MustInsert("NEWS_ITEM", {ni, ni, rng.Uniform(0, 1000)});
+      db.MustInsert("NEWS_XREF", {ni, int64_t(co)});
+    }
+    if (co > 0) {
+      db.MustInsert("COMPANY_COMPETITOR",
+                    {int64_t(co), int64_t(co - 1), rng.Uniform(0, kIndustries - 1)});
+    }
+  }
+  std::vector<TupleId> security(cfg.securities);
+  std::vector<TupleId> last_trade(cfg.securities);
+  std::vector<std::vector<TupleId>> daily_market(cfg.securities);
+  for (int sy = 0; sy < cfg.securities; ++sy) {
+    security[sy] = db.MustInsert(
+        "SECURITY", {int64_t(sy), int64_t(sy), rng.Uniform(0, cfg.companies - 1),
+                     rng.Uniform(0, kExchanges - 1), rng.Uniform(0, kStatuses - 1)});
+    last_trade[sy] = db.MustInsert(
+        "LAST_TRADE", {int64_t(sy), rng.Uniform(10, 500), int64_t(0), int64_t(0)});
+    for (int day = 0; day < 5; ++day) {
+      daily_market[sy].push_back(db.MustInsert(
+          "DAILY_MARKET", {int64_t(day), int64_t(sy), rng.Uniform(10, 500),
+                           rng.Uniform(10, 500), rng.Uniform(10, 500)}));
+    }
+  }
+
+  // ---- Customers, brokers, accounts ----------------------------------------
+  std::vector<TupleId> broker(cfg.brokers);
+  for (int b = 0; b < cfg.brokers; ++b) {
+    broker[b] = db.MustInsert(
+        "BROKER", {int64_t(b), rng.Uniform(0, kStatuses - 1), int64_t(b), int64_t(0),
+                   int64_t(0)});
+  }
+  std::vector<TupleId> customer(cfg.customers);
+  std::vector<std::vector<size_t>> accounts_of(cfg.customers);  // account indexes
+  std::vector<AccountRef> accounts;
+  struct WatchRef {
+    TupleId list;
+    std::vector<TupleId> items;
+  };
+  std::vector<WatchRef> watch(cfg.customers);
+  int64_t next_ca = 0;
+  for (int c = 0; c < cfg.customers; ++c) {
+    customer[c] = db.MustInsert(
+        "CUSTOMER", {int64_t(c), int64_t(c + 500000), rng.Uniform(0, kStatuses - 1),
+                     rng.Uniform(0, kTiers - 1), int64_t(c), int64_t(c), new_address()});
+    db.MustInsert("CUSTOMER_TAXRATE", {int64_t(c), int64_t(c)});
+    watch[c].list = db.MustInsert("WATCH_LIST", {int64_t(c), int64_t(c)});
+    for (int64_t sy : rng.SampleDistinct(0, cfg.securities - 1, 3)) {
+      watch[c].items.push_back(db.MustInsert("WATCH_ITEM", {int64_t(c), sy}));
+    }
+    int nacc = static_cast<int>(
+        rng.Uniform(cfg.min_accounts_per_customer, cfg.max_accounts_per_customer));
+    for (int a = 0; a < nacc; ++a) {
+      AccountRef acc;
+      acc.ca_id = next_ca++;
+      acc.customer = c;
+      acc.broker = static_cast<int>(rng.Uniform(0, cfg.brokers - 1));
+      acc.account = db.MustInsert(
+          "CUSTOMER_ACCOUNT", {acc.ca_id, int64_t(acc.broker), int64_t(c), acc.ca_id,
+                               int64_t(0), int64_t(10000)});
+      db.MustInsert("ACCOUNT_PERMISSION",
+                    {acc.ca_id, int64_t(c + 500000), int64_t(1)});
+      accounts_of[c].push_back(accounts.size());
+      accounts.push_back(std::move(acc));
+    }
+  }
+
+  // ---- Initial trades, holdings --------------------------------------------
+  std::vector<TradeRef> trades;
+  std::vector<std::vector<size_t>> trades_of_symbol(cfg.securities);
+  int64_t next_t_id = 0;
+  int64_t now = 0;
+
+  auto insert_trade = [&](AccountRef& acc, int symbol, bool with_request,
+                          Transaction* txn) -> size_t {
+    TradeRef tr;
+    tr.t_id = next_t_id++;
+    tr.dts = ++now;
+    tr.account = static_cast<int>(&acc - accounts.data());
+    tr.symbol = symbol;
+    int64_t tt = rng.Uniform(0, kTradeTypes - 1);
+    tr.trade = db.MustInsert(
+        "TRADE", {tr.t_id, tr.dts, int64_t(0), tt, int64_t(symbol), acc.ca_id,
+                  rng.Uniform(1, 800), int64_t(0), int64_t(0)});
+    tr.history.push_back(
+        db.MustInsert("TRADE_HISTORY", {tr.t_id, int64_t(0), tr.dts}));
+    if (with_request) {
+      tr.request = db.MustInsert(
+          "TRADE_REQUEST", {tr.t_id, tt, int64_t(symbol), rng.Uniform(1, 800),
+                            rng.Uniform(10, 500), int64_t(acc.broker)});
+      tr.has_request = true;
+    }
+    if (txn != nullptr) {
+      txn->Write(tr.trade);
+      txn->Write(tr.history.back());
+      if (with_request) txn->Write(tr.request);
+    }
+    acc.trades.push_back(trades.size());
+    trades_of_symbol[symbol].push_back(trades.size());
+    trades.push_back(std::move(tr));
+    return trades.size() - 1;
+  };
+
+  auto settle_trade = [&](size_t idx, Transaction* txn) {
+    TradeRef& tr = trades[idx];
+    if (tr.settled) return;
+    tr.settled = true;
+    tr.dts = ++now;
+    tr.history.push_back(
+        db.MustInsert("TRADE_HISTORY", {tr.t_id, int64_t(1), int64_t(now)}));
+    tr.settlement =
+        db.MustInsert("SETTLEMENT", {tr.t_id, int64_t(0), rng.Uniform(10, 500)});
+    tr.cash = db.MustInsert(
+        "CASH_TRANSACTION", {tr.t_id, int64_t(now), rng.Uniform(10, 500), int64_t(0)});
+    if (txn != nullptr) {
+      txn->Write(tr.trade);
+      if (tr.has_request) txn->Write(tr.request);
+      txn->Write(tr.history.back());
+      txn->Write(tr.settlement);
+      txn->Write(tr.cash);
+    }
+  };
+
+  for (AccountRef& acc : accounts) {
+    auto held = rng.SampleDistinct(0, cfg.securities - 1,
+                                   std::min<int64_t>(cfg.holdings_per_account,
+                                                     cfg.securities));
+    for (int64_t sy : held) {
+      size_t idx = insert_trade(acc, static_cast<int>(sy), false, nullptr);
+      settle_trade(idx, nullptr);
+      TupleId hs = db.MustInsert(
+          "HOLDING_SUMMARY", {acc.ca_id, sy, rng.Uniform(1, 800)});
+      acc.summaries.emplace_back(static_cast<int>(sy), hs);
+      TupleId h = db.MustInsert(
+          "HOLDING", {trades[idx].t_id, acc.ca_id, sy, int64_t(now),
+                      rng.Uniform(10, 500), rng.Uniform(1, 800)});
+      acc.holdings.emplace_back(static_cast<int>(sy), h);
+      trades[idx].holding_history.push_back(
+          db.MustInsert("HOLDING_HISTORY", {trades[idx].t_id, trades[idx].t_id,
+                                            int64_t(0), rng.Uniform(1, 800)}));
+    }
+    for (int t = static_cast<int>(held.size()); t < cfg.initial_trades_per_account;
+         ++t) {
+      size_t idx = insert_trade(
+          acc, static_cast<int>(rng.Uniform(0, cfg.securities - 1)), false, nullptr);
+      settle_trade(idx, nullptr);
+    }
+  }
+
+  std::deque<size_t> unsettled;  // trades awaiting Trade-Result
+  // Seed pending limit orders so Market-Feed and Broker-Volume always have
+  // requests to process (the ticker's steady state).
+  for (AccountRef& acc : accounts) {
+    if (!rng.Chance(0.4)) continue;
+    size_t idx = insert_trade(
+        acc, static_cast<int>(rng.Uniform(0, cfg.securities - 1)), true, nullptr);
+    unsettled.push_back(idx);
+  }
+
+  // ---- Transaction mix (paper Table 3) --------------------------------------
+  Trace& trace = bundle.trace;
+  struct ClassDef {
+    const char* name;
+    double mix;
+  };
+  const ClassDef kClasses[] = {
+      {"BrokerVolume", 4.9},      {"CustomerPosition", 13.0},
+      {"MarketFeed", 1.0},        {"MarketWatch", 18.0},
+      {"SecurityDetail", 14.0},   {"TradeLookupFrame1", 2.4},
+      {"TradeLookupFrame2", 2.4}, {"TradeLookupFrame3", 2.4},
+      {"TradeLookupFrame4", 0.8}, {"TradeOrder", 10.1},
+      {"TradeResult", 10.0},      {"TradeStatus", 19.0},
+      {"TradeUpdateFrame1", 0.66}, {"TradeUpdateFrame2", 0.67},
+      {"TradeUpdateFrame3", 0.67}};
+  std::vector<double> mix;
+  std::vector<uint32_t> class_ids;
+  double acc_mix = 0.0;
+  for (const ClassDef& cd : kClasses) {
+    acc_mix += cd.mix / 100.0;
+    mix.push_back(acc_mix);
+    class_ids.push_back(trace.InternClass(cd.name));
+  }
+
+  auto read_trade_children = [&](const TradeRef& tr, Transaction* txn,
+                                 bool read_settlement, bool read_cash) {
+    txn->Read(tr.trade);
+    for (TupleId h : tr.history) txn->Read(h);
+    if (tr.settled && read_settlement) txn->Read(tr.settlement);
+    if (tr.settled && read_cash) txn->Read(tr.cash);
+  };
+
+  auto window_trades = [&](const std::vector<size_t>& pool, int64_t* lo,
+                           int64_t* hi) -> std::vector<size_t> {
+    std::vector<size_t> out;
+    if (pool.empty()) return out;
+    size_t anchor = pool[rng.Uniform(0, static_cast<int64_t>(pool.size()) - 1)];
+    int64_t end = trades[anchor].dts;
+    int64_t start = end - cfg.dts_window;
+    *lo = start;
+    *hi = end;
+    for (size_t idx : pool) {
+      if (trades[idx].dts >= start && trades[idx].dts <= end) out.push_back(idx);
+    }
+    return out;
+  };
+
+  for (size_t n = 0; n < num_txns; ++n) {
+    Transaction txn;
+    size_t which = PickClass(mix, rng.NextDouble());
+    txn.class_id = class_ids[which];
+    int cust = static_cast<int>(rng.Uniform(0, cfg.customers - 1));
+    AccountRef& acc =
+        accounts[accounts_of[cust][rng.Uniform(
+            0, static_cast<int64_t>(accounts_of[cust].size()) - 1)]];
+    switch (which) {
+      case 0: {  // BrokerVolume
+        for (int64_t b : rng.SampleDistinct(0, cfg.brokers - 1, 3)) {
+          txn.Read(broker[b]);
+        }
+        // Pending requests of those brokers (approximate: scan a sample).
+        int scanned = 0;
+        for (auto it = unsettled.rbegin(); it != unsettled.rend() && scanned < 6;
+             ++it) {
+          if (trades[*it].has_request) {
+            txn.Read(trades[*it].request);
+            ++scanned;
+          }
+        }
+        break;
+      }
+      case 1: {  // CustomerPosition
+        txn.Read(customer[cust]);
+        for (size_t ai : accounts_of[cust]) {
+          const AccountRef& a = accounts[ai];
+          txn.Read(a.account);
+          size_t shown = 0;
+          for (auto it = a.trades.rbegin(); it != a.trades.rend() && shown < 6;
+               ++it, ++shown) {
+            read_trade_children(trades[*it], &txn, false, false);
+          }
+        }
+        break;
+      }
+      case 2: {  // MarketFeed
+        auto symbols = rng.SampleDistinct(0, cfg.securities - 1, 4);
+        for (int64_t sy : symbols) txn.Write(last_trade[sy]);
+        int matched = 0;
+        for (auto it = unsettled.begin(); it != unsettled.end() && matched < 16; ++it) {
+          const TradeRef& tr = trades[*it];
+          if (!tr.has_request) continue;
+          for (int64_t sy : symbols) {
+            if (tr.symbol == sy) {
+              txn.Write(tr.request);
+              ++matched;
+              break;
+            }
+          }
+        }
+        break;
+      }
+      case 3: {  // MarketWatch
+        txn.Read(watch[cust].list);
+        for (TupleId wi : watch[cust].items) txn.Read(wi);
+        for (const auto& [sy, hs] : acc.summaries) {
+          txn.Read(hs);
+          txn.Read(last_trade[sy]);
+        }
+        for (TupleId wi : watch[cust].items) {
+          txn.Read(last_trade[db.GetValue(wi, 1).AsInt()]);
+        }
+        break;
+      }
+      case 4: {  // SecurityDetail
+        int sy = static_cast<int>(rng.Uniform(0, cfg.securities - 1));
+        txn.Read(security[sy]);
+        txn.Read(last_trade[sy]);
+        for (TupleId dm : daily_market[sy]) txn.Read(dm);
+        break;
+      }
+      case 5: {  // TradeLookupFrame1: random trades
+        for (int i = 0; i < 4; ++i) {
+          const TradeRef& tr =
+              trades[rng.Uniform(0, static_cast<int64_t>(trades.size()) - 1)];
+          read_trade_children(tr, &txn, true, true);
+        }
+        break;
+      }
+      case 6: {  // TradeLookupFrame2: one account's trades in a window
+        int64_t lo, hi;
+        for (size_t idx : window_trades(acc.trades, &lo, &hi)) {
+          read_trade_children(trades[idx], &txn, true, true);
+        }
+        if (txn.accesses.empty()) txn.Read(acc.account);
+        break;
+      }
+      case 7: {  // TradeLookupFrame3: one security's trades in a window
+        int sy = static_cast<int>(rng.Uniform(0, cfg.securities - 1));
+        int64_t lo, hi;
+        for (size_t idx : window_trades(trades_of_symbol[sy], &lo, &hi)) {
+          read_trade_children(trades[idx], &txn, true, true);
+        }
+        if (txn.accesses.empty()) txn.Read(security[sy]);
+        break;
+      }
+      case 8: {  // TradeLookupFrame4: latest trade -> holding history
+        if (acc.trades.empty()) {
+          txn.Read(acc.account);
+          break;
+        }
+        const TradeRef& tr = trades[acc.trades.back()];
+        txn.Read(tr.trade);
+        for (TupleId hh : tr.holding_history) txn.Read(hh);
+        break;
+      }
+      case 9: {  // TradeOrder
+        txn.Read(acc.account);
+        txn.Read(customer[cust]);
+        txn.Read(broker[acc.broker]);
+        int sy = static_cast<int>(rng.Uniform(0, cfg.securities - 1));
+        txn.Read(security[sy]);
+        txn.Read(last_trade[sy]);
+        bool limit = rng.Chance(cfg.limit_order_fraction);
+        size_t idx = insert_trade(acc, sy, limit, &txn);
+        unsettled.push_back(idx);
+        break;
+      }
+      case 10: {  // TradeResult
+        if (unsettled.empty()) {
+          // Nothing pending: settle a synthetic market order.
+          size_t idx = insert_trade(acc, static_cast<int>(rng.Uniform(
+                                             0, cfg.securities - 1)),
+                                    false, &txn);
+          settle_trade(idx, &txn);
+          txn.Read(acc.account);
+          txn.Write(broker[acc.broker]);
+          break;
+        }
+        size_t idx = unsettled.front();
+        unsettled.pop_front();
+        TradeRef& tr = trades[idx];
+        AccountRef& owner = accounts[tr.account];
+        settle_trade(idx, &txn);
+        txn.Read(customer[owner.customer]);
+        txn.Write(owner.account);
+        // Update (or create) the holding of this security.
+        bool held = false;
+        for (auto& [sy, hs] : owner.summaries) {
+          if (sy == tr.symbol) {
+            txn.Write(hs);
+            held = true;
+            break;
+          }
+        }
+        if (!held) {
+          TupleId hs = db.MustInsert(
+              "HOLDING_SUMMARY", {owner.ca_id, int64_t(tr.symbol), rng.Uniform(1, 800)});
+          owner.summaries.emplace_back(tr.symbol, hs);
+          txn.Write(hs);
+        }
+        TupleId holding{};
+        bool holding_found = false;
+        for (auto& [sy, h] : owner.holdings) {
+          if (sy == tr.symbol) {
+            txn.Write(h);
+            holding = h;
+            holding_found = true;
+            break;
+          }
+        }
+        if (!holding_found) {
+          holding = db.MustInsert(
+              "HOLDING", {tr.t_id, owner.ca_id, int64_t(tr.symbol), int64_t(now),
+                          rng.Uniform(10, 500), rng.Uniform(1, 800)});
+          owner.holdings.emplace_back(tr.symbol, holding);
+          txn.Write(holding);
+        }
+        int64_t h_t_id = db.GetValue(holding, 0).AsInt();
+        TupleId hh = db.MustInsert(
+            "HOLDING_HISTORY", {h_t_id, tr.t_id, int64_t(0), rng.Uniform(1, 800)});
+        tr.holding_history.push_back(hh);
+        txn.Write(hh);
+        txn.Write(broker[owner.broker]);
+        break;
+      }
+      case 11: {  // TradeStatus
+        txn.Read(acc.account);
+        txn.Read(customer[cust]);
+        txn.Read(broker[acc.broker]);
+        size_t shown = 0;
+        for (auto it = acc.trades.rbegin(); it != acc.trades.rend() && shown < 8;
+             ++it, ++shown) {
+          read_trade_children(trades[*it], &txn, false, false);
+        }
+        break;
+      }
+      case 12: {  // TradeUpdateFrame1: random trades, update exec name
+        for (int i = 0; i < 3; ++i) {
+          TradeRef& tr =
+              trades[rng.Uniform(0, static_cast<int64_t>(trades.size()) - 1)];
+          txn.Write(tr.trade);
+          for (TupleId h : tr.history) txn.Read(h);
+          if (tr.settled) {
+            txn.Read(tr.settlement);
+            txn.Read(tr.cash);
+          }
+        }
+        break;
+      }
+      case 13: {  // TradeUpdateFrame2: account window, update settlements
+        int64_t lo, hi;
+        for (size_t idx : window_trades(acc.trades, &lo, &hi)) {
+          TradeRef& tr = trades[idx];
+          txn.Read(tr.trade);
+          if (tr.settled) {
+            txn.Write(tr.settlement);
+            txn.Read(tr.cash);
+          }
+          for (TupleId h : tr.history) txn.Read(h);
+        }
+        if (txn.accesses.empty()) txn.Read(acc.account);
+        break;
+      }
+      default: {  // TradeUpdateFrame3: security window, update cash txns
+        int sy = static_cast<int>(rng.Uniform(0, cfg.securities - 1));
+        int64_t lo, hi;
+        for (size_t idx : window_trades(trades_of_symbol[sy], &lo, &hi)) {
+          TradeRef& tr = trades[idx];
+          txn.Read(tr.trade);
+          if (tr.settled) {
+            txn.Read(tr.settlement);
+            txn.Write(tr.cash);
+          }
+          for (TupleId h : tr.history) txn.Read(h);
+        }
+        if (txn.accesses.empty()) txn.Read(security[sy]);
+        break;
+      }
+    }
+    trace.Add(std::move(txn));
+  }
+  return bundle;
+}
+
+DatabaseSolution HorticulturePaperTpceSolution(const Database& db,
+                                               int32_t num_partitions) {
+  const Schema& schema = db.schema();
+  DatabaseSolution solution(num_partitions, schema.num_tables());
+  auto replicated = std::make_shared<ReplicatedTable>();
+  for (size_t t = 0; t < schema.num_tables(); ++t) {
+    solution.Set(static_cast<TableId>(t), replicated);
+  }
+  auto mapping = std::make_shared<HashMapping>(num_partitions);
+  auto set_col = [&](const char* table, const char* column) {
+    auto ref = schema.ResolveQualified(std::string(table) + "." + column);
+    CheckOk(ref.status(), "HorticulturePaperTpceSolution");
+    JoinPath path;
+    path.source_table = ref.value().table;
+    path.dest = ref.value();
+    solution.Set(ref.value().table,
+                 std::make_shared<JoinPathPartitioner>(path, mapping));
+  };
+  // Paper Table 4, "HC" column; CUSTOMER_ACCOUNT, TRADE_REQUEST and BROKER
+  // replicated (Sec. 7.5).
+  set_col("ACCOUNT_PERMISSION", "AP_CA_ID");
+  set_col("CUSTOMER_TAXRATE", "CX_C_ID");
+  set_col("DAILY_MARKET", "DM_DATE");
+  set_col("WATCH_LIST", "WL_C_ID");
+  set_col("CASH_TRANSACTION", "CT_T_ID");
+  set_col("HOLDING", "H_CA_ID");
+  set_col("HOLDING_HISTORY", "HH_T_ID");
+  set_col("HOLDING_SUMMARY", "HS_CA_ID");
+  set_col("SETTLEMENT", "SE_T_ID");
+  set_col("TRADE", "T_CA_ID");
+  set_col("TRADE_HISTORY", "TH_T_ID");
+  return solution;
+}
+
+}  // namespace jecb

@@ -1,0 +1,57 @@
+// TPC-E workload generator (brokerage firm). Models the full 33-table
+// schema with its key-foreign key structure, the 10 activity types
+// decomposed into 15 transaction classes (Trade-Lookup and Trade-Update
+// frames are separate classes, as in paper Table 3), and the paper's mix
+// percentages. Ten tables end up non-replicated: BROKER, CUSTOMER_ACCOUNT,
+// TRADE, TRADE_REQUEST, TRADE_HISTORY, SETTLEMENT, CASH_TRANSACTION,
+// HOLDING, HOLDING_HISTORY, HOLDING_SUMMARY; LAST_TRADE is read-mostly.
+#pragma once
+
+#include "partition/solution.h"
+#include "workloads/workload.h"
+
+namespace jecb {
+
+struct TpceConfig {
+  int customers = 600;
+  /// TPC-E customers own several accounts (spec average 5), typically with
+  /// different brokers — which is what makes C_ID and B_ID genuinely
+  /// competing partitioning attributes (paper Sec. 7.5).
+  int min_accounts_per_customer = 2;
+  int max_accounts_per_customer = 5;
+  int brokers = 30;
+  int companies = 75;
+  int securities = 150;
+  int initial_trades_per_account = 6;
+  /// Securities held (with HOLDING_SUMMARY rows) per account.
+  int holdings_per_account = 3;
+  /// Fraction of Trade-Order transactions that are limit orders (which
+  /// insert a pending TRADE_REQUEST).
+  double limit_order_fraction = 0.4;
+  /// Width of the T_DTS windows used by the Frame-2/3 lookups, in trade
+  /// timestamps; wide enough to span a few trades of one security, small
+  /// relative to the domain.
+  int64_t dts_window = 300;
+};
+
+class TpceWorkload : public Workload {
+ public:
+  explicit TpceWorkload(TpceConfig config = {}) : config_(config) {}
+
+  std::string name() const override { return "TPC-E"; }
+  WorkloadBundle Make(size_t num_txns, uint64_t seed) const override;
+
+  const TpceConfig& config() const { return config_; }
+
+ private:
+  TpceConfig config_;
+};
+
+/// The Horticulture solution for TPC-E as supplied by its authors and
+/// reproduced in paper Table 4: hash partitioning on AP_CA_ID, CX_C_ID,
+/// DM_DATE, WL_C_ID, CT_T_ID, H_CA_ID, HH_T_ID, HS_CA_ID, SE_T_ID, T_CA_ID
+/// and TH_T_ID, with CUSTOMER_ACCOUNT, TRADE_REQUEST and BROKER replicated
+/// (Sec. 7.5); every other table replicated.
+DatabaseSolution HorticulturePaperTpceSolution(const Database& db, int32_t num_partitions);
+
+}  // namespace jecb

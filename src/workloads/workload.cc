@@ -1,0 +1,21 @@
+#include "workloads/workload.h"
+
+#include "catalog/schema.h"
+#include "sql/parser.h"
+
+namespace jecb {
+
+std::vector<sql::Procedure> MustParseProcedures(std::string_view text) {
+  auto procs = sql::ParseProcedures(text);
+  CheckOk(procs.status(), "MustParseProcedures");
+  return std::move(procs).value();
+}
+
+size_t PickClass(const std::vector<double>& cumulative_mix, double u) {
+  for (size_t i = 0; i < cumulative_mix.size(); ++i) {
+    if (u < cumulative_mix[i]) return i;
+  }
+  return cumulative_mix.empty() ? 0 : cumulative_mix.size() - 1;
+}
+
+}  // namespace jecb

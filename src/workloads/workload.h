@@ -1,0 +1,46 @@
+// Common interface of the benchmark workload generators.
+//
+// Each generator is a self-contained substitute for running the real
+// benchmark kit against a DBMS with an instrumented trace collector: it
+// builds the schema, populates deterministic data, carries the stored
+// procedure SQL (the input to JECB's code analysis), and synthesizes a
+// workload trace whose per-transaction read/write tuple sets follow the
+// benchmark's specified access patterns and mix percentages.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sql/ast.h"
+#include "storage/database.h"
+#include "trace/trace.h"
+
+namespace jecb {
+
+/// Everything a partitioning experiment needs for one workload.
+struct WorkloadBundle {
+  std::unique_ptr<Database> db;
+  std::vector<sql::Procedure> procedures;
+  Trace trace;
+};
+
+/// A benchmark workload generator.
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Builds database + procedures and synthesizes `num_txns` transactions.
+  virtual WorkloadBundle Make(size_t num_txns, uint64_t seed) const = 0;
+};
+
+/// Parses embedded procedure SQL, aborting on error (generator code is
+/// static; a parse failure is a bug, not a runtime condition).
+std::vector<sql::Procedure> MustParseProcedures(std::string_view text);
+
+/// Picks a class index from cumulative mix weights in [0, 1].
+size_t PickClass(const std::vector<double>& cumulative_mix, double u);
+
+}  // namespace jecb

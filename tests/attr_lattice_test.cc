@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "jecb/attr_lattice.h"
+#include "test_util.h"
+
+namespace jecb {
+namespace {
+
+class LatticeTest : public ::testing::Test {
+ protected:
+  LatticeTest() : schema_(testing::MakeCustInfoSchema()), lattice_(&schema_) {}
+
+  ColumnRef Ref(const char* qualified) const {
+    return schema_.ResolveQualified(qualified).value();
+  }
+
+  Schema schema_;
+  AttributeLattice lattice_;
+};
+
+TEST_F(LatticeTest, ForeignKeyPairsAreEquivalent) {
+  // Example 8: CA_ID has the same granularity as T_CA_ID and HS_CA_ID.
+  EXPECT_TRUE(lattice_.Equivalent(Ref("CUSTOMER_ACCOUNT.CA_ID"), Ref("TRADE.T_CA_ID")));
+  EXPECT_TRUE(lattice_.Equivalent(Ref("CUSTOMER_ACCOUNT.CA_ID"),
+                                  Ref("HOLDING_SUMMARY.HS_CA_ID")));
+  EXPECT_TRUE(lattice_.Equivalent(Ref("CUSTOMER_ACCOUNT.CA_C_ID"), Ref("CUSTOMER.C_ID")));
+}
+
+TEST_F(LatticeTest, SiblingsThroughSharedParentAreNotEquivalent) {
+  // T_CA_ID and HS_CA_ID both reference CA_ID, but a chain may not reverse
+  // direction through the shared parent (the paper's Example 9 point).
+  EXPECT_FALSE(
+      lattice_.Equivalent(Ref("TRADE.T_CA_ID"), Ref("HOLDING_SUMMARY.HS_CA_ID")));
+}
+
+TEST_F(LatticeTest, CoarserAlongJoinPaths) {
+  // Example 8: CA_C_ID is coarser than T_ID.
+  EXPECT_TRUE(lattice_.IsCoarser(Ref("CUSTOMER_ACCOUNT.CA_C_ID"), Ref("TRADE.T_ID")));
+  EXPECT_FALSE(lattice_.IsCoarser(Ref("TRADE.T_ID"), Ref("CUSTOMER_ACCOUNT.CA_C_ID")));
+  // CA_C_ID is coarser than CA_ID (intra-table step from the PK).
+  EXPECT_TRUE(
+      lattice_.IsCoarser(Ref("CUSTOMER_ACCOUNT.CA_C_ID"), Ref("CUSTOMER_ACCOUNT.CA_ID")));
+  // C_TAX_ID is coarser than C_ID (alternate key, Example 7's discussion).
+  EXPECT_TRUE(lattice_.IsCoarser(Ref("CUSTOMER.C_TAX_ID"), Ref("CUSTOMER.C_ID")));
+}
+
+TEST_F(LatticeTest, IncompatibleAttributes) {
+  // Example 8: T_QTY is not compatible with CA_C_ID.
+  EXPECT_FALSE(
+      lattice_.Compatible(Ref("TRADE.T_QTY"), Ref("CUSTOMER_ACCOUNT.CA_C_ID")));
+  EXPECT_FALSE(lattice_.Equivalent(Ref("TRADE.T_QTY"), Ref("TRADE.T_ID")));
+  // But T_QTY IS coarser than T_ID (the PK determines every column).
+  EXPECT_TRUE(lattice_.IsCoarser(Ref("TRADE.T_QTY"), Ref("TRADE.T_ID")));
+}
+
+TEST_F(LatticeTest, CoarserIsNotReflexive) {
+  EXPECT_FALSE(lattice_.IsCoarser(Ref("TRADE.T_ID"), Ref("TRADE.T_ID")));
+  EXPECT_TRUE(lattice_.Compatible(Ref("TRADE.T_ID"), Ref("TRADE.T_ID")));  // equivalent
+}
+
+TEST_F(LatticeTest, CompositeKeyColumnsGetNoIntraMoves) {
+  // HS_S_SYMB alone is not a key of HOLDING_SUMMARY: it must not reach
+  // HS_CA_ID by an intra-table move.
+  EXPECT_FALSE(lattice_.IsCoarser(Ref("HOLDING_SUMMARY.HS_CA_ID"),
+                                  Ref("HOLDING_SUMMARY.HS_S_SYMB")));
+  EXPECT_FALSE(lattice_.Compatible(Ref("HOLDING_SUMMARY.HS_S_SYMB"),
+                                   Ref("HOLDING_SUMMARY.HS_CA_ID")));
+}
+
+TEST_F(LatticeTest, EquivClassContents) {
+  auto cls = lattice_.EquivClass(Ref("CUSTOMER_ACCOUNT.CA_ID"));
+  std::set<ColumnRef> got(cls.begin(), cls.end());
+  EXPECT_TRUE(got.count(Ref("CUSTOMER_ACCOUNT.CA_ID")));
+  EXPECT_TRUE(got.count(Ref("TRADE.T_CA_ID")));
+  EXPECT_TRUE(got.count(Ref("HOLDING_SUMMARY.HS_CA_ID")));
+  EXPECT_FALSE(got.count(Ref("CUSTOMER.C_ID")));
+  EXPECT_EQ(got.size(), 3u);
+}
+
+TEST_F(LatticeTest, ExtendPathByFkHop) {
+  // HS -> HS_CA_ID extended to the CA_C_ID granularity: one FK hop to CA.
+  JoinPath base;
+  base.source_table = schema_.FindTable("HOLDING_SUMMARY").value();
+  base.dest = Ref("HOLDING_SUMMARY.HS_CA_ID");
+  auto ext = lattice_.ExtendPath(base, Ref("CUSTOMER_ACCOUNT.CA_C_ID"));
+  ASSERT_TRUE(ext.ok()) << ext.status().ToString();
+  EXPECT_EQ(ext.value().hops.size(), 1u);
+  EXPECT_EQ(ext.value().dest, Ref("CUSTOMER_ACCOUNT.CA_C_ID"));
+}
+
+TEST_F(LatticeTest, ExtendPathAlreadyAtTarget) {
+  JoinPath base;
+  base.source_table = schema_.FindTable("TRADE").value();
+  base.dest = Ref("TRADE.T_CA_ID");
+  // T_CA_ID is equivalent to CA_ID: no extension needed.
+  auto ext = lattice_.ExtendPath(base, Ref("CUSTOMER_ACCOUNT.CA_ID"));
+  ASSERT_TRUE(ext.ok());
+  EXPECT_EQ(ext.value().hops.size(), 0u);
+  EXPECT_EQ(ext.value().dest, Ref("TRADE.T_CA_ID"));
+}
+
+TEST_F(LatticeTest, ExtendPathIntraThenHop) {
+  // TRADE -> CA (dest CA_ID) extended to C_TAX_ID: intra move to CA_C_ID is
+  // not enough, needs the hop to CUSTOMER and an intra move there.
+  JoinPath base;
+  base.source_table = schema_.FindTable("TRADE").value();
+  FkIdx trade_ca = 0;
+  for (FkIdx f = 0; f < schema_.foreign_keys().size(); ++f) {
+    if (schema_.foreign_keys()[f].table == base.source_table) trade_ca = f;
+  }
+  base.hops = {trade_ca};
+  base.dest = Ref("CUSTOMER_ACCOUNT.CA_ID");
+  auto ext = lattice_.ExtendPath(base, Ref("CUSTOMER.C_TAX_ID"));
+  ASSERT_TRUE(ext.ok()) << ext.status().ToString();
+  EXPECT_EQ(ext.value().dest, Ref("CUSTOMER.C_TAX_ID"));
+  EXPECT_EQ(ext.value().hops.size(), 2u);
+}
+
+TEST_F(LatticeTest, ExtendPathMustNotJumpToSiblingColumns) {
+  // From T_QTY (not a key, not an FK) there are no moves at all.
+  JoinPath base;
+  base.source_table = schema_.FindTable("TRADE").value();
+  base.dest = Ref("TRADE.T_QTY");
+  EXPECT_FALSE(lattice_.ExtendPath(base, Ref("CUSTOMER.C_ID")).ok());
+}
+
+TEST_F(LatticeTest, ExtendPathUnreachableFails) {
+  // CUSTOMER.C_ID cannot be extended "down" to TRADE columns.
+  JoinPath base;
+  base.source_table = schema_.FindTable("CUSTOMER").value();
+  base.dest = Ref("CUSTOMER.C_ID");
+  EXPECT_FALSE(lattice_.ExtendPath(base, Ref("TRADE.T_QTY")).ok());
+}
+
+// The R1/R2/R3 schema of paper Example 9.
+class Example9Test : public ::testing::Test {
+ protected:
+  Example9Test() {
+    TableId r1 = schema_.AddTable("R1").value();
+    CheckOk(schema_.AddColumn(r1, "X", ValueType::kInt64), "ex9");
+    CheckOk(schema_.AddColumn(r1, "A", ValueType::kInt64), "ex9");
+    CheckOk(schema_.SetPrimaryKey(r1, {"X"}), "ex9");
+    TableId r2 = schema_.AddTable("R2").value();
+    CheckOk(schema_.AddColumn(r2, "X1", ValueType::kInt64), "ex9");
+    CheckOk(schema_.AddColumn(r2, "X2", ValueType::kInt64), "ex9");
+    CheckOk(schema_.AddColumn(r2, "B", ValueType::kInt64), "ex9");
+    CheckOk(schema_.SetPrimaryKey(r2, {"X1", "X2"}), "ex9");
+    CheckOk(schema_.AddForeignKey("R2", {"X1"}, "R1", {"X"}), "ex9");
+    CheckOk(schema_.AddForeignKey("R2", {"X2"}, "R1", {"X"}), "ex9");
+    lattice_ = std::make_unique<AttributeLattice>(&schema_);
+  }
+
+  ColumnRef Ref(const char* qualified) const {
+    return schema_.ResolveQualified(qualified).value();
+  }
+
+  Schema schema_;
+  std::unique_ptr<AttributeLattice> lattice_;
+};
+
+TEST_F(Example9Test, TwoForeignKeysToSameParentAreNotEquivalent) {
+  // The crux of Example 9: R2.X1 != R2.X2 even though both reference R1.X.
+  EXPECT_FALSE(lattice_->Equivalent(Ref("R2.X1"), Ref("R2.X2")));
+  EXPECT_TRUE(lattice_->Equivalent(Ref("R2.X1"), Ref("R1.X")));
+  EXPECT_TRUE(lattice_->Equivalent(Ref("R2.X2"), Ref("R1.X")));
+}
+
+}  // namespace
+}  // namespace jecb

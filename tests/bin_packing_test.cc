@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "partition/bin_packing.h"
+#include "test_util.h"
+
+namespace jecb {
+namespace {
+
+TEST(BinPackingTest, BalancesEqualHeats) {
+  std::vector<uint64_t> heats(16, 10);
+  auto packing = PackPartitionsByHeat(heats, 4);
+  auto loads = NodeLoads(heats, packing, 4);
+  for (uint64_t l : loads) EXPECT_EQ(l, 40u);
+}
+
+TEST(BinPackingTest, SpreadsHotPartitions) {
+  // Four hot micro-partitions must land on four different nodes.
+  std::vector<uint64_t> heats = {100, 100, 100, 100, 1, 1, 1, 1};
+  auto packing = PackPartitionsByHeat(heats, 4);
+  std::set<int32_t> hot_nodes = {packing[0], packing[1], packing[2], packing[3]};
+  EXPECT_EQ(hot_nodes.size(), 4u);
+}
+
+TEST(BinPackingTest, LptNearOptimalOnSkewedHeats) {
+  // Zipf-ish heats: LPT keeps max load within ~4/3 of the lower bound.
+  std::vector<uint64_t> heats;
+  for (int i = 1; i <= 64; ++i) heats.push_back(10000 / i);
+  auto packing = PackPartitionsByHeat(heats, 8);
+  auto loads = NodeLoads(heats, packing, 8);
+  uint64_t total = 0;
+  for (uint64_t h : heats) total += h;
+  uint64_t max_load = *std::max_element(loads.begin(), loads.end());
+  uint64_t lower_bound =
+      std::max<uint64_t>(heats[0], (total + 7) / 8);  // biggest item or avg
+  EXPECT_LE(max_load, lower_bound * 4 / 3 + 1);
+}
+
+TEST(BinPackingTest, PackingStaysInRange) {
+  std::vector<uint64_t> heats = {5, 3, 8, 1, 9, 2};
+  auto packing = PackPartitionsByHeat(heats, 3);
+  ASSERT_EQ(packing.size(), heats.size());
+  for (int32_t n : packing) {
+    EXPECT_GE(n, 0);
+    EXPECT_LT(n, 3);
+  }
+}
+
+class MapToNodesTest : public ::testing::Test {
+ protected:
+  MapToNodesTest()
+      : fixture_(testing::MakeCustInfoDb()),
+        micro_(4, fixture_.db->schema().num_tables()) {
+    const Schema& s = fixture_.db->schema();
+    // Micro-partition TRADE by T_ID range into 4; replicate CUSTOMER.
+    JoinPath p;
+    p.source_table = s.FindTable("TRADE").value();
+    p.dest = s.ResolveQualified("TRADE.T_ID").value();
+    micro_.Set(p.source_table, std::make_shared<JoinPathPartitioner>(
+                                   p, std::make_shared<RangeMapping>(4, 1, 8)));
+    micro_.Set(s.FindTable("CUSTOMER").value(), std::make_shared<ReplicatedTable>());
+  }
+
+  testing::CustInfoDb fixture_;
+  DatabaseSolution micro_;
+};
+
+TEST_F(MapToNodesTest, RemapsThroughPacking) {
+  // Micro-partitions {0,1,2,3}; pack 0,3 -> node 0 and 1,2 -> node 1.
+  DatabaseSolution node_level = MapPartitionsToNodes(micro_, {0, 1, 1, 0}, 2);
+  EXPECT_EQ(node_level.num_partitions(), 2);
+  // Trade 1 (T_ID=1) is micro 0 -> node 0; trade 8 (T_ID=8) micro 3 -> node 0.
+  EXPECT_EQ(node_level.PartitionOf(*fixture_.db, fixture_.trades[0]), 0);
+  EXPECT_EQ(node_level.PartitionOf(*fixture_.db, fixture_.trades[7]), 0);
+  // Trade 4 (T_ID=4) is micro 1 -> node 1.
+  EXPECT_EQ(node_level.PartitionOf(*fixture_.db, fixture_.trades[3]), 1);
+  // Replication passes through.
+  EXPECT_EQ(node_level.PartitionOf(*fixture_.db, fixture_.customers[0]), kReplicated);
+}
+
+TEST_F(MapToNodesTest, PackSolutionReducesSkew) {
+  // A trace that hammers micro-partition 0 (trades 1-2): direct k=2
+  // placement by halving would overload one node; heat packing rebalances.
+  Trace trace;
+  uint32_t cls = trace.InternClass("Hot");
+  for (int i = 0; i < 90; ++i) {
+    Transaction txn;
+    txn.class_id = cls;
+    txn.Read(fixture_.trades[i % 2]);  // trades 1 and 2: micro partitions 0, 0
+    trace.Add(std::move(txn));
+  }
+  for (int i = 0; i < 10; ++i) {
+    Transaction txn;
+    txn.class_id = cls;
+    txn.Read(fixture_.trades[2 + i % 6]);
+    trace.Add(std::move(txn));
+  }
+  std::vector<int32_t> packing;
+  DatabaseSolution packed = PackSolution(*fixture_.db, micro_, trace, 2, &packing);
+  ASSERT_EQ(packing.size(), 4u);
+  // The hot micro-partition must sit alone (or with the lightest ones).
+  EvalResult before = Evaluate(*fixture_.db, micro_, trace);
+  EvalResult after = Evaluate(*fixture_.db, packed, trace);
+  // Node-level load skew must not exceed the 4-way micro skew.
+  EXPECT_LE(after.LoadSkew(), before.LoadSkew() + 1e-9);
+  // And packing never makes transactions distributed that were local.
+  EXPECT_EQ(after.distributed_txns, before.distributed_txns);
+}
+
+TEST_F(MapToNodesTest, DescribeMentionsPacking) {
+  DatabaseSolution node_level = MapPartitionsToNodes(micro_, {0, 1, 1, 0}, 2);
+  const Schema& s = fixture_.db->schema();
+  std::string desc =
+      node_level.Get(s.FindTable("TRADE").value())->Describe(s);
+  EXPECT_NE(desc.find("packed onto nodes"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace jecb

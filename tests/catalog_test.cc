@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "catalog/schema.h"
+#include "test_util.h"
+
+namespace jecb {
+namespace {
+
+TEST(SchemaTest, AddTableAndColumns) {
+  Schema s;
+  auto t = s.AddTable("T");
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(s.AddColumn(t.value(), "A", ValueType::kInt64).ok());
+  EXPECT_TRUE(s.AddColumn(t.value(), "B", ValueType::kString).ok());
+  EXPECT_EQ(s.table(t.value()).columns.size(), 2u);
+  EXPECT_EQ(s.table(t.value()).columns[1].type, ValueType::kString);
+}
+
+TEST(SchemaTest, DuplicateTableRejected) {
+  Schema s;
+  ASSERT_TRUE(s.AddTable("T").ok());
+  auto dup = s.AddTable("t");  // case-insensitive
+  EXPECT_FALSE(dup.ok());
+  EXPECT_EQ(dup.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(SchemaTest, DuplicateColumnRejected) {
+  Schema s;
+  TableId t = s.AddTable("T").value();
+  ASSERT_TRUE(s.AddColumn(t, "A", ValueType::kInt64).ok());
+  EXPECT_EQ(s.AddColumn(t, "a", ValueType::kInt64).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(SchemaTest, FindTableCaseInsensitive) {
+  Schema s;
+  TableId t = s.AddTable("Warehouse").value();
+  EXPECT_EQ(s.FindTable("WAREHOUSE").value(), t);
+  EXPECT_EQ(s.FindTable("warehouse").value(), t);
+  EXPECT_FALSE(s.FindTable("nope").ok());
+  EXPECT_TRUE(s.HasTable("wareHouse"));
+}
+
+TEST(SchemaTest, PrimaryKeyRequiresExistingColumns) {
+  Schema s;
+  TableId t = s.AddTable("T").value();
+  ASSERT_TRUE(s.AddColumn(t, "A", ValueType::kInt64).ok());
+  EXPECT_FALSE(s.SetPrimaryKey(t, {"A", "B"}).ok());
+  EXPECT_TRUE(s.SetPrimaryKey(t, {"A"}).ok());
+  EXPECT_EQ(s.table(t).primary_key.size(), 1u);
+}
+
+TEST(SchemaTest, ForeignKeyMustReferenceUniqueKey) {
+  Schema s;
+  TableId p = s.AddTable("P").value();
+  ASSERT_TRUE(s.AddColumn(p, "P_ID", ValueType::kInt64).ok());
+  ASSERT_TRUE(s.AddColumn(p, "P_X", ValueType::kInt64).ok());
+  ASSERT_TRUE(s.SetPrimaryKey(p, {"P_ID"}).ok());
+  TableId c = s.AddTable("C").value();
+  ASSERT_TRUE(s.AddColumn(c, "C_P", ValueType::kInt64).ok());
+
+  // P_X is not a unique key.
+  EXPECT_FALSE(s.AddForeignKey("C", {"C_P"}, "P", {"P_X"}).ok());
+  EXPECT_TRUE(s.AddForeignKey("C", {"C_P"}, "P", {"P_ID"}).ok());
+  ASSERT_EQ(s.foreign_keys().size(), 1u);
+  EXPECT_EQ(s.foreign_keys()[0].ref_table, p);
+}
+
+TEST(SchemaTest, ForeignKeyToAlternateUniqueKey) {
+  Schema s;
+  TableId p = s.AddTable("P").value();
+  ASSERT_TRUE(s.AddColumn(p, "P_ID", ValueType::kInt64).ok());
+  ASSERT_TRUE(s.AddColumn(p, "P_ALT", ValueType::kInt64).ok());
+  ASSERT_TRUE(s.SetPrimaryKey(p, {"P_ID"}).ok());
+  ASSERT_TRUE(s.AddUniqueKey(p, {"P_ALT"}).ok());
+  TableId c = s.AddTable("C").value();
+  ASSERT_TRUE(s.AddColumn(c, "C_P", ValueType::kInt64).ok());
+  EXPECT_TRUE(s.AddForeignKey("C", {"C_P"}, "P", {"P_ALT"}).ok());
+}
+
+TEST(SchemaTest, ForeignKeyArityMismatchRejected) {
+  Schema s = testing::MakeCustInfoSchema();
+  EXPECT_FALSE(
+      s.AddForeignKey("TRADE", {"T_CA_ID", "T_QTY"}, "CUSTOMER_ACCOUNT", {"CA_ID"})
+          .ok());
+  EXPECT_FALSE(s.AddForeignKey("TRADE", {}, "CUSTOMER_ACCOUNT", {}).ok());
+}
+
+TEST(SchemaTest, ForeignKeysFromAndTo) {
+  Schema s = testing::MakeCustInfoSchema();
+  TableId ca = s.FindTable("CUSTOMER_ACCOUNT").value();
+  TableId trade = s.FindTable("TRADE").value();
+  EXPECT_EQ(s.ForeignKeysFrom(trade).size(), 1u);
+  EXPECT_EQ(s.ForeignKeysTo(ca).size(), 2u);  // TRADE and HOLDING_SUMMARY
+  EXPECT_EQ(s.ForeignKeysFrom(ca).size(), 1u);
+}
+
+TEST(SchemaTest, QualifiedNameRoundTrip) {
+  Schema s = testing::MakeCustInfoSchema();
+  auto ref = s.ResolveQualified("TRADE.T_CA_ID");
+  ASSERT_TRUE(ref.ok());
+  EXPECT_EQ(s.QualifiedName(ref.value()), "TRADE.T_CA_ID");
+  EXPECT_FALSE(s.ResolveQualified("TRADE").ok());
+  EXPECT_FALSE(s.ResolveQualified("NOPE.X").ok());
+  EXPECT_FALSE(s.ResolveQualified("TRADE.NOPE").ok());
+}
+
+TEST(TableTest, IsUniqueKeyOrderInsensitive) {
+  Schema s = testing::MakeCustInfoSchema();
+  const Table& hs = s.table(s.FindTable("HOLDING_SUMMARY").value());
+  ColumnIdx symb = hs.FindColumn("HS_S_SYMB").value();
+  ColumnIdx ca = hs.FindColumn("HS_CA_ID").value();
+  EXPECT_TRUE(hs.IsUniqueKey({symb, ca}));
+  EXPECT_TRUE(hs.IsUniqueKey({ca, symb}));
+  EXPECT_FALSE(hs.IsUniqueKey({ca}));
+}
+
+TEST(TableTest, FindColumnIsCaseInsensitive) {
+  Schema s = testing::MakeCustInfoSchema();
+  const Table& t = s.table(s.FindTable("TRADE").value());
+  EXPECT_TRUE(t.FindColumn("t_qty").ok());
+  EXPECT_FALSE(t.FindColumn("missing").ok());
+  EXPECT_TRUE(t.HasColumn("T_ID"));
+}
+
+TEST(SchemaTest, AccessClassDefaultsToPartitioned) {
+  Schema s = testing::MakeCustInfoSchema();
+  for (const Table& t : s.tables()) {
+    EXPECT_EQ(t.access_class, AccessClass::kPartitioned) << t.name;
+  }
+}
+
+}  // namespace
+}  // namespace jecb

@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "jecb/combiner.h"
+#include "jecb/jecb.h"
+#include "partition/evaluator.h"
+#include "test_util.h"
+
+namespace jecb {
+namespace {
+
+/// Drives the full pipeline on the CustInfo fixture but inspects the
+/// combiner's internals through its report.
+class CombinerTest : public ::testing::Test {
+ protected:
+  CombinerTest() : fixture_(testing::MakeCustInfoDb()) {}
+
+  testing::CustInfoDb fixture_;
+};
+
+TEST_F(CombinerTest, SingleClassGlobalSolution) {
+  // Writes make the three tables partitioned; CUSTOMER stays read-only.
+  Trace trace = testing::MakeCustInfoTrace(fixture_, 6);
+  for (auto& txn : trace.mutable_transactions()) {
+    for (auto& a : txn.accesses) a.write = true;
+  }
+  auto procs = sql::ParseProcedures(testing::CustInfoSql()).value();
+  JecbOptions opt;
+  opt.num_partitions = 2;
+  auto result = Jecb(opt).Partition(fixture_.db.get(), procs, trace);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const JecbResult& r = result.value();
+
+  // CUSTOMER replicated, the other three partitioned by the customer id.
+  const Schema& s = fixture_.db->schema();
+  EXPECT_EQ(s.table(s.FindTable("CUSTOMER").value()).access_class,
+            AccessClass::kReadOnly);
+  EXPECT_EQ(r.combiner_report.evaluated_combinations, 1u);
+  EXPECT_DOUBLE_EQ(r.combiner_report.best_train_cost, 0.0);
+
+  EvalResult ev = Evaluate(*fixture_.db, r.solution, trace);
+  EXPECT_EQ(ev.distributed_txns, 0u);
+}
+
+TEST_F(CombinerTest, ConflictingClassesPickCheaperAttribute) {
+  // Class A (heavy) groups by customer; class B (light) groups trades by
+  // T_QTY buckets, which is incompatible. The combiner must pick the
+  // customer attribute and leave class B distributed.
+  Trace trace = testing::MakeCustInfoTrace(fixture_, 10);
+  for (auto& txn : trace.mutable_transactions()) {
+    for (auto& a : txn.accesses) a.write = true;
+  }
+  uint32_t cls_b = trace.InternClass("ByQty");
+  for (int rep = 0; rep < 3; ++rep) {
+    for (int64_t qty = 1; qty <= 4; ++qty) {
+      Transaction txn;
+      txn.class_id = cls_b;
+      for (TupleId t : fixture_.trades) {
+        if (fixture_.db->GetValue(t, 2).AsInt() == qty) txn.Write(t);
+      }
+      if (!txn.accesses.empty()) trace.Add(std::move(txn));
+    }
+  }
+  std::string sql = std::string(testing::CustInfoSql()) + R"SQL(
+PROCEDURE ByQty(@qty) {
+  UPDATE TRADE SET T_CA_ID = T_CA_ID WHERE T_QTY = @qty;
+}
+)SQL";
+  auto procs = sql::ParseProcedures(sql).value();
+  JecbOptions opt;
+  opt.num_partitions = 2;
+  auto result = Jecb(opt).Partition(fixture_.db.get(), procs, trace);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const JecbResult& r = result.value();
+
+  // CustInfo dominates the mix: its attribute must win.
+  EXPECT_NE(r.combiner_report.chosen_attr.find("CA_C_ID"), std::string::npos)
+      << r.combiner_report.chosen_attr;
+  EvalResult ev = Evaluate(*fixture_.db, r.solution, trace);
+  uint32_t cls_a = trace.FindClass("CustInfo").value();
+  EXPECT_DOUBLE_EQ(ev.class_cost(cls_a), 0.0);
+  EXPECT_GT(ev.class_cost(cls_b), 0.0);
+}
+
+TEST_F(CombinerTest, UncoveredTableFallsBackToReplication) {
+  // Only TRADE is written (partitioned); a class covering just TRADE exists,
+  // but HOLDING_SUMMARY also becomes partitioned via writes from a class
+  // whose solutions are incompatible with every candidate attribute.
+  Trace trace;
+  uint32_t cls = trace.InternClass("TradeOnly");
+  for (int rep = 0; rep < 10; ++rep) {
+    for (TupleId t : fixture_.trades) {
+      Transaction txn;
+      txn.class_id = cls;
+      txn.Write(t);
+      trace.Add(std::move(txn));
+    }
+  }
+  const char* sql = R"SQL(
+PROCEDURE TradeOnly(@t) {
+  UPDATE TRADE SET T_QTY = 0 WHERE T_ID = @t;
+}
+)SQL";
+  auto procs = sql::ParseProcedures(sql).value();
+  JecbOptions opt;
+  opt.num_partitions = 2;
+  auto result = Jecb(opt).Partition(fixture_.db.get(), procs, trace);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Untouched tables (never accessed): replicated by default, and reported.
+  const Schema& s = fixture_.db->schema();
+  const TablePartitioner* hs =
+      result.value().solution.Get(s.FindTable("HOLDING_SUMMARY").value());
+  EXPECT_TRUE(hs == nullptr ||
+              dynamic_cast<const ReplicatedTable*>(hs) != nullptr);
+  const TablePartitioner* trade =
+      result.value().solution.Get(s.FindTable("TRADE").value());
+  ASSERT_NE(trade, nullptr);
+  EXPECT_EQ(dynamic_cast<const ReplicatedTable*>(trade), nullptr);
+}
+
+TEST_F(CombinerTest, ReportCountsSearchSpace) {
+  Trace trace = testing::MakeCustInfoTrace(fixture_, 6);
+  for (auto& txn : trace.mutable_transactions()) {
+    for (auto& a : txn.accesses) a.write = true;
+  }
+  auto procs = sql::ParseProcedures(testing::CustInfoSql()).value();
+  JecbOptions opt;
+  opt.num_partitions = 2;
+  auto result = Jecb(opt).Partition(fixture_.db.get(), procs, trace);
+  ASSERT_TRUE(result.ok());
+  const CombinerReport& rep = result.value().combiner_report;
+  EXPECT_GE(rep.naive_search_space, 1.0);
+  EXPECT_GE(rep.evaluated_combinations, 1u);
+  EXPECT_LE(static_cast<double>(rep.evaluated_combinations), rep.naive_search_space);
+  EXPECT_FALSE(rep.candidate_attrs.empty());
+  EXPECT_FALSE(rep.chosen_attr.empty());
+}
+
+TEST_F(CombinerTest, FormatHelpersRenderTables) {
+  Trace trace = testing::MakeCustInfoTrace(fixture_, 6);
+  for (auto& txn : trace.mutable_transactions()) {
+    for (auto& a : txn.accesses) a.write = true;
+  }
+  auto procs = sql::ParseProcedures(testing::CustInfoSql()).value();
+  JecbOptions opt;
+  opt.num_partitions = 2;
+  auto result = Jecb(opt).Partition(fixture_.db.get(), procs, trace);
+  ASSERT_TRUE(result.ok());
+  std::string cls_table =
+      FormatClassSolutions(fixture_.db->schema(), result.value().classes);
+  EXPECT_NE(cls_table.find("CustInfo"), std::string::npos);
+  EXPECT_NE(cls_table.find("CA_C_ID"), std::string::npos);
+  std::string tbl =
+      FormatTableSolutions(fixture_.db->schema(), result.value().solution);
+  EXPECT_NE(tbl.find("TRADE"), std::string::npos);
+  EXPECT_NE(tbl.find("replicated (read-only)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace jecb

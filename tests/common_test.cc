@@ -1,0 +1,241 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/ascii_table.h"
+#include "common/hash.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/string_util.h"
+
+namespace jecb {
+namespace {
+
+// ---------------------------------------------------------------- Status --
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "thing");
+  EXPECT_EQ(s.ToString(), "NotFound: thing");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode c :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kAlreadyExists, StatusCode::kParseError, StatusCode::kOutOfRange,
+        StatusCode::kUnsupported, StatusCode::kInternal}) {
+    EXPECT_NE(StatusCodeToString(c), "Unknown");
+  }
+}
+
+Status FailsThrough() {
+  JECB_RETURN_NOT_OK(Status::Internal("inner"));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  EXPECT_EQ(FailsThrough().code(), StatusCode::kInternal);
+}
+
+// ---------------------------------------------------------------- Result --
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.value_or(-1), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::InvalidArgument("bad"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  JECB_ASSIGN_OR_RETURN(int h, Half(x));
+  JECB_ASSIGN_OR_RETURN(int q, Half(h));
+  return q;
+}
+
+TEST(ResultTest, AssignOrReturnChains) {
+  ASSERT_TRUE(Quarter(8).ok());
+  EXPECT_EQ(Quarter(8).value(), 2);
+  EXPECT_FALSE(Quarter(6).ok());  // 6/2 = 3 is odd
+  EXPECT_FALSE(Quarter(3).ok());
+}
+
+// ------------------------------------------------------------------- Rng --
+
+TEST(RngTest, UniformStaysInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.Uniform(-3, 7);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 7);
+  }
+}
+
+TEST(RngTest, DeterministicBySeed) {
+  Rng a(99);
+  Rng b(99);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Uniform(0, 1 << 30), b.Uniform(0, 1 << 30));
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Uniform(0, 1 << 30) == b.Uniform(0, 1 << 30)) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, NuRandStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.NuRand(255, 0, 999);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 999);
+  }
+}
+
+TEST(RngTest, ZipfSkewsTowardsSmallValues) {
+  Rng rng(5);
+  int head = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.Zipf(100, 1.2) < 10) ++head;
+  }
+  // With theta=1.2 the first 10 of 100 values take well over half the mass.
+  EXPECT_GT(head, n / 2);
+}
+
+TEST(RngTest, ZipfZeroThetaIsUniformish) {
+  Rng rng(5);
+  int head = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.Zipf(100, 0.0) < 10) ++head;
+  }
+  EXPECT_NEAR(head, n / 10, n / 40);
+}
+
+TEST(RngTest, SampleDistinctIsDistinctAndInRange) {
+  Rng rng(11);
+  for (int trial = 0; trial < 50; ++trial) {
+    auto sample = rng.SampleDistinct(10, 29, 8);
+    ASSERT_EQ(sample.size(), 8u);
+    std::set<int64_t> seen(sample.begin(), sample.end());
+    EXPECT_EQ(seen.size(), 8u) << "duplicates in sample";
+    for (int64_t v : sample) {
+      EXPECT_GE(v, 10);
+      EXPECT_LE(v, 29);
+    }
+  }
+}
+
+TEST(RngTest, SampleDistinctFullRange) {
+  Rng rng(3);
+  auto sample = rng.SampleDistinct(0, 4, 5);
+  std::set<int64_t> seen(sample.begin(), sample.end());
+  EXPECT_EQ(seen, (std::set<int64_t>{0, 1, 2, 3, 4}));
+}
+
+// ------------------------------------------------------------------ Hash --
+
+TEST(HashTest, StableAcrossCalls) {
+  EXPECT_EQ(HashString("warehouse"), HashString("warehouse"));
+  EXPECT_NE(HashString("warehouse"), HashString("warehousf"));
+  EXPECT_EQ(HashInt64(42), HashInt64(42));
+  EXPECT_NE(HashInt64(42), HashInt64(43));
+}
+
+TEST(HashTest, CombineOrderMatters) {
+  EXPECT_NE(HashCombine(HashInt64(1), HashInt64(2)),
+            HashCombine(HashInt64(2), HashInt64(1)));
+}
+
+TEST(HashTest, IntHashSpreadsLowBits) {
+  // Consecutive keys should land in different mod-8 buckets reasonably often.
+  std::set<uint64_t> buckets;
+  for (int i = 0; i < 16; ++i) buckets.insert(HashInt64(i) % 8);
+  EXPECT_GE(buckets.size(), 6u);
+}
+
+// ---------------------------------------------------------------- String --
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  auto parts = Split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(StringUtilTest, TrimBothEnds) {
+  EXPECT_EQ(Trim("  x y\t\n"), "x y");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(StringUtilTest, CaseConversion) {
+  EXPECT_EQ(ToLower("SeLeCt"), "select");
+  EXPECT_EQ(ToUpper("SeLeCt"), "SELECT");
+}
+
+TEST(StringUtilTest, EqualsIgnoreCase) {
+  EXPECT_TRUE(EqualsIgnoreCase("SELECT", "select"));
+  EXPECT_TRUE(EqualsIgnoreCase("", ""));
+  EXPECT_FALSE(EqualsIgnoreCase("SELECT", "selec"));
+  EXPECT_FALSE(EqualsIgnoreCase("a", "b"));
+}
+
+TEST(StringUtilTest, JoinAndStartsWith) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_FALSE(StartsWith("fo", "foo"));
+}
+
+TEST(StringUtilTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(2.0, 0), "2");
+}
+
+// ------------------------------------------------------------ AsciiTable --
+
+TEST(AsciiTableTest, AlignsColumns) {
+  AsciiTable t({"name", "v"});
+  t.AddRow({"x", "1"});
+  t.AddRow({"longer", "22"});
+  std::string out = t.ToString();
+  EXPECT_NE(out.find("| name   | v  |"), std::string::npos);
+  EXPECT_NE(out.find("| longer | 22 |"), std::string::npos);
+}
+
+TEST(AsciiTableTest, PadsShortRows) {
+  AsciiTable t({"a", "b"});
+  t.AddRow({"only"});
+  EXPECT_NE(t.ToString().find("| only |"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+}  // namespace
+}  // namespace jecb

@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "jecb/jecb.h"
+#include "partition/cost_model.h"
+#include "test_util.h"
+
+namespace jecb {
+namespace {
+
+EvalResult MakeEval(uint64_t total, uint64_t distributed, uint64_t touched,
+                    std::vector<uint64_t> load) {
+  EvalResult r;
+  r.total_txns = total;
+  r.distributed_txns = distributed;
+  r.partitions_touched = touched;
+  r.partition_load = std::move(load);
+  return r;
+}
+
+TEST(CostModelTest, DistributedFractionMatchesDefinitionSix) {
+  DistributedFractionCost model;
+  EXPECT_DOUBLE_EQ(model.Cost(MakeEval(100, 25, 50, {1, 1})), 0.25);
+  EXPECT_DOUBLE_EQ(model.Cost(MakeEval(0, 0, 0, {})), 0.0);
+  EXPECT_EQ(model.name(), "distributed-fraction");
+}
+
+TEST(CostModelTest, SitesTouchedCountsExtraSites) {
+  SitesTouchedCost model;
+  // 10 distributed txns touching 2 partitions each: 10 extra sites / 100.
+  EXPECT_DOUBLE_EQ(model.Cost(MakeEval(100, 10, 20, {1, 1})), 0.10);
+  // Same distributed count but 5 partitions each: 4x the cost.
+  EXPECT_DOUBLE_EQ(model.Cost(MakeEval(100, 10, 50, {1, 1})), 0.40);
+  // The plain fraction cannot tell these apart.
+  DistributedFractionCost plain;
+  EXPECT_DOUBLE_EQ(plain.Cost(MakeEval(100, 10, 20, {1, 1})),
+                   plain.Cost(MakeEval(100, 10, 50, {1, 1})));
+}
+
+TEST(CostModelTest, WeightedRuntimeAllLocalIsOne) {
+  WeightedRuntimeCost model(5.0, 1.0, 0.5);
+  EXPECT_DOUBLE_EQ(model.Cost(MakeEval(100, 0, 0, {50, 50})), 1.0);
+}
+
+TEST(CostModelTest, WeightedRuntimePenalizesDistribution) {
+  WeightedRuntimeCost model(5.0, 1.0, 0.0);
+  // 10 distributed (2 sites each): work = 90 + 10*5 + 10*1 = 150 -> 1.5.
+  EXPECT_DOUBLE_EQ(model.Cost(MakeEval(100, 10, 20, {50, 50})), 1.5);
+}
+
+TEST(CostModelTest, WeightedRuntimePenalizesSkew) {
+  WeightedRuntimeCost model(5.0, 1.0, 0.5);
+  double balanced = model.Cost(MakeEval(100, 0, 0, {50, 50}));
+  double skewed = model.Cost(MakeEval(100, 0, 0, {100, 0}));
+  EXPECT_GT(skewed, balanced);
+}
+
+TEST(CostModelTest, CombinerAcceptsCustomModel) {
+  testing::CustInfoDb fixture = testing::MakeCustInfoDb();
+  Trace trace = testing::MakeCustInfoTrace(fixture, 6);
+  for (auto& txn : trace.mutable_transactions()) {
+    for (auto& a : txn.accesses) a.write = true;
+  }
+  auto procs = sql::ParseProcedures(testing::CustInfoSql()).value();
+  JecbOptions opt;
+  opt.num_partitions = 2;
+  opt.combiner.cost_model = std::make_shared<WeightedRuntimeCost>();
+  auto res = Jecb(opt).Partition(fixture.db.get(), procs, trace);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  // All transactions local: runtime cost 1.0 * (1 + skew penalty) — and the
+  // chosen attribute is still the customer id.
+  EXPECT_NE(res.value().combiner_report.chosen_attr.find("CA_C_ID"),
+            std::string::npos);
+  EXPECT_GE(res.value().combiner_report.best_train_cost, 1.0);
+}
+
+}  // namespace
+}  // namespace jecb

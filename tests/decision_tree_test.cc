@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "ml/decision_tree.h"
+
+namespace jecb {
+namespace {
+
+TEST(DecisionTreeTest, EmptyInputPredictsZero) {
+  DecisionTree t = DecisionTree::Train({}, {}, 4);
+  EXPECT_EQ(t.Predict({1, 2, 3}), 0);
+  EXPECT_EQ(t.num_nodes(), 1u);
+}
+
+TEST(DecisionTreeTest, PureInputIsSingleLeaf) {
+  std::vector<std::vector<int64_t>> x = {{1}, {2}, {3}};
+  std::vector<int32_t> y = {2, 2, 2};
+  DecisionTree t = DecisionTree::Train(x, y, 4);
+  EXPECT_EQ(t.num_nodes(), 1u);
+  EXPECT_EQ(t.Predict({99}), 2);
+}
+
+TEST(DecisionTreeTest, LearnsThresholdSplit) {
+  std::vector<std::vector<int64_t>> x;
+  std::vector<int32_t> y;
+  for (int64_t v = 0; v < 100; ++v) {
+    x.push_back({v});
+    y.push_back(v < 50 ? 0 : 1);
+  }
+  DecisionTree t = DecisionTree::Train(x, y, 2);
+  EXPECT_EQ(t.Predict({10}), 0);
+  EXPECT_EQ(t.Predict({90}), 1);
+  EXPECT_EQ(t.Predict({49}), 0);
+  EXPECT_EQ(t.Predict({50}), 1);
+  EXPECT_LE(t.depth(), 3);
+}
+
+TEST(DecisionTreeTest, PicksInformativeFeature) {
+  // Feature 0 is noise; feature 1 determines the label.
+  std::mt19937_64 rng(3);
+  std::vector<std::vector<int64_t>> x;
+  std::vector<int32_t> y;
+  for (int i = 0; i < 400; ++i) {
+    int64_t informative = static_cast<int64_t>(rng() % 8);
+    x.push_back({static_cast<int64_t>(rng() % 1000), informative});
+    y.push_back(static_cast<int32_t>(informative % 4));
+  }
+  DecisionTree t = DecisionTree::Train(x, y, 4);
+  int correct = 0;
+  for (int64_t v = 0; v < 8; ++v) {
+    if (t.Predict({static_cast<int64_t>(rng() % 1000), v}) == v % 4) ++correct;
+  }
+  EXPECT_EQ(correct, 8);
+}
+
+TEST(DecisionTreeTest, PerRowLeavesFitTinyHotTables) {
+  // The TPC-C WAREHOUSE case: 8 rows, 8 distinct labels.
+  std::vector<std::vector<int64_t>> x;
+  std::vector<int32_t> y;
+  for (int64_t w = 0; w < 8; ++w) {
+    x.push_back({w, 42});
+    y.push_back(static_cast<int32_t>(7 - w));
+  }
+  DecisionTree t = DecisionTree::Train(x, y, 8);
+  for (int64_t w = 0; w < 8; ++w) {
+    EXPECT_EQ(t.Predict({w, 42}), 7 - w);
+  }
+}
+
+TEST(DecisionTreeTest, MaxDepthCapsTree) {
+  std::vector<std::vector<int64_t>> x;
+  std::vector<int32_t> y;
+  std::mt19937_64 rng(5);
+  for (int i = 0; i < 512; ++i) {
+    x.push_back({static_cast<int64_t>(i)});
+    y.push_back(static_cast<int32_t>(rng() % 2));  // unlearnable noise
+  }
+  DecisionTreeOptions opt;
+  opt.max_depth = 3;
+  DecisionTree t = DecisionTree::Train(x, y, 2, opt);
+  EXPECT_LE(t.depth(), 4);
+}
+
+TEST(DecisionTreeTest, MulticlassRanges) {
+  std::vector<std::vector<int64_t>> x;
+  std::vector<int32_t> y;
+  for (int64_t v = 0; v < 800; ++v) {
+    x.push_back({v});
+    y.push_back(static_cast<int32_t>(v / 100));
+  }
+  DecisionTree t = DecisionTree::Train(x, y, 8);
+  int correct = 0;
+  for (int64_t v = 0; v < 800; v += 13) {
+    if (t.Predict({v}) == static_cast<int32_t>(v / 100)) ++correct;
+  }
+  EXPECT_GE(correct, 60);  // ~62 probes, near-perfect
+}
+
+TEST(DecisionTreeTest, ScatteredLabelsDoNotGeneralize) {
+  // Schism's TATP failure mode: labels are arbitrary per id. The tree can
+  // memorize training ids but must misclassify most unseen ids.
+  std::mt19937_64 rng(11);
+  std::vector<std::vector<int64_t>> x;
+  std::vector<int32_t> y;
+  std::vector<int32_t> truth(4000);
+  for (auto& t : truth) t = static_cast<int32_t>(rng() % 8);
+  for (int64_t id = 0; id < 4000; id += 2) {  // train on even ids only
+    x.push_back({id});
+    y.push_back(truth[id]);
+  }
+  DecisionTreeOptions opt;
+  opt.max_depth = 24;
+  DecisionTree t = DecisionTree::Train(x, y, 8, opt);
+  int test_correct = 0;
+  for (int64_t id = 1; id < 4000; id += 2) {
+    if (t.Predict({id}) == truth[id]) ++test_correct;
+  }
+  // Unseen arbitrary labels: near chance level (1/8), far below memorized.
+  EXPECT_LT(test_correct, 900);
+}
+
+TEST(DecisionTreeTest, ShortFeatureVectorFallsBackToNodeLabel) {
+  std::vector<std::vector<int64_t>> x = {{0, 0}, {1, 1}, {2, 2}, {3, 3}};
+  std::vector<int32_t> y = {0, 0, 1, 1};
+  DecisionTree t = DecisionTree::Train(x, y, 2);
+  // Predicting with fewer features than trained must not crash.
+  int32_t p = t.Predict({});
+  EXPECT_TRUE(p == 0 || p == 1);
+}
+
+TEST(DecisionTreeTest, ToStringRendersRules) {
+  std::vector<std::vector<int64_t>> x = {{0}, {1}, {2}, {3}};
+  std::vector<int32_t> y = {0, 0, 1, 1};
+  DecisionTree t = DecisionTree::Train(x, y, 2);
+  std::string s = t.ToString({"W_ID"});
+  EXPECT_NE(s.find("W_ID <= 1"), std::string::npos);
+  EXPECT_NE(s.find("partition"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace jecb

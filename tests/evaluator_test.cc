@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include "partition/evaluator.h"
+#include "test_util.h"
+
+namespace jecb {
+namespace {
+
+/// Builds a two-partition solution over the CustInfo fixture that realizes
+/// the paper's Figure 1 coloring: everything partitioned by CA_C_ID, with
+/// f(1) = red(0) and f(2) = blue(1).
+class EvaluatorTest : public ::testing::Test {
+ protected:
+  EvaluatorTest()
+      : fixture_(testing::MakeCustInfoDb()),
+        solution_(2, fixture_.db->schema().num_tables()) {
+    const Schema& s = schema();
+    auto mapping = std::make_shared<RangeMapping>(2, 1, 2);  // 1 -> 0, 2 -> 1
+    auto path_for = [&](const char* table, std::vector<FkIdx> hops) {
+      JoinPath p;
+      p.source_table = s.FindTable(table).value();
+      p.hops = std::move(hops);
+      p.dest = s.ResolveQualified("CUSTOMER_ACCOUNT.CA_C_ID").value();
+      CheckOk(p.Validate(s), "EvaluatorTest");
+      return p;
+    };
+    FkIdx trade_ca = 0, hs_ca = 0;
+    for (FkIdx f = 0; f < s.foreign_keys().size(); ++f) {
+      if (s.foreign_keys()[f].table == s.FindTable("TRADE").value()) trade_ca = f;
+      if (s.foreign_keys()[f].table == s.FindTable("HOLDING_SUMMARY").value()) hs_ca = f;
+    }
+    JoinPath ca_path;
+    ca_path.source_table = s.FindTable("CUSTOMER_ACCOUNT").value();
+    ca_path.dest = s.ResolveQualified("CUSTOMER_ACCOUNT.CA_C_ID").value();
+
+    solution_.Set(s.FindTable("CUSTOMER_ACCOUNT").value(),
+                  std::make_shared<JoinPathPartitioner>(ca_path, mapping));
+    solution_.Set(s.FindTable("TRADE").value(),
+                  std::make_shared<JoinPathPartitioner>(
+                      path_for("TRADE", {trade_ca}), mapping));
+    solution_.Set(s.FindTable("HOLDING_SUMMARY").value(),
+                  std::make_shared<JoinPathPartitioner>(
+                      path_for("HOLDING_SUMMARY", {hs_ca}), mapping));
+    solution_.Set(s.FindTable("CUSTOMER").value(), std::make_shared<ReplicatedTable>());
+  }
+
+  const Schema& schema() const { return fixture_.db->schema(); }
+  Database& db() { return *fixture_.db; }
+
+  testing::CustInfoDb fixture_;
+  DatabaseSolution solution_;
+};
+
+TEST_F(EvaluatorTest, FigureOneColoringIsRealized) {
+  // Trades of accounts 1 and 8 are red (partition 0), of 7 and 10 blue (1).
+  const int expected[8] = {0, 1, 1, 0, 0, 1, 0, 1};
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(solution_.PartitionOf(db(), fixture_.trades[i]), expected[i]);
+  }
+}
+
+TEST_F(EvaluatorTest, CustInfoTransactionsAreSinglePartition) {
+  Trace trace = testing::MakeCustInfoTrace(fixture_);
+  EvalResult r = Evaluate(db(), solution_, trace);
+  EXPECT_EQ(r.distributed_txns, 0u);
+  EXPECT_EQ(r.total_txns, trace.size());
+  EXPECT_DOUBLE_EQ(r.cost(), 0.0);
+}
+
+TEST_F(EvaluatorTest, CrossCustomerTransactionIsDistributed) {
+  Trace trace;
+  uint32_t cls = trace.InternClass("Cross");
+  Transaction txn;
+  txn.class_id = cls;
+  txn.Read(fixture_.trades[0]);  // customer 1
+  txn.Read(fixture_.trades[1]);  // customer 2
+  trace.Add(std::move(txn));
+  EvalResult r = Evaluate(db(), solution_, trace);
+  EXPECT_EQ(r.distributed_txns, 1u);
+  EXPECT_DOUBLE_EQ(r.cost(), 1.0);
+  EXPECT_EQ(r.partitions_touched, 2u);
+}
+
+TEST_F(EvaluatorTest, ReplicatedReadIsFreeButWriteDistributes) {
+  Trace trace;
+  uint32_t cls = trace.InternClass("C");
+  {
+    // Reading a replicated CUSTOMER tuple adds no partition: local.
+    Transaction txn;
+    txn.class_id = cls;
+    txn.Read(fixture_.customers[0]);
+    txn.Read(fixture_.trades[0]);
+    trace.Add(std::move(txn));
+  }
+  {
+    // Writing a replicated tuple makes the txn distributed (Definition 5.1).
+    Transaction txn;
+    txn.class_id = cls;
+    txn.Write(fixture_.customers[0]);
+    trace.Add(std::move(txn));
+  }
+  EvalResult r = Evaluate(db(), solution_, trace);
+  EXPECT_EQ(r.total_txns, 2u);
+  EXPECT_EQ(r.distributed_txns, 1u);
+}
+
+TEST_F(EvaluatorTest, AllReplicatedReadsAreLocal) {
+  Trace trace;
+  uint32_t cls = trace.InternClass("C");
+  Transaction txn;
+  txn.class_id = cls;
+  txn.Read(fixture_.customers[0]);
+  txn.Read(fixture_.customers[1]);
+  trace.Add(std::move(txn));
+  EXPECT_EQ(Evaluate(db(), solution_, trace).distributed_txns, 0u);
+}
+
+TEST_F(EvaluatorTest, PerClassBreakdown) {
+  Trace trace;
+  uint32_t local_cls = trace.InternClass("Local");
+  uint32_t cross_cls = trace.InternClass("Cross");
+  for (int i = 0; i < 3; ++i) {
+    Transaction txn;
+    txn.class_id = local_cls;
+    txn.Read(fixture_.trades[0]);
+    trace.Add(std::move(txn));
+  }
+  Transaction txn;
+  txn.class_id = cross_cls;
+  txn.Read(fixture_.trades[0]);
+  txn.Read(fixture_.trades[1]);
+  trace.Add(std::move(txn));
+
+  EvalResult r = Evaluate(db(), solution_, trace);
+  EXPECT_DOUBLE_EQ(r.class_cost(local_cls), 0.0);
+  EXPECT_DOUBLE_EQ(r.class_cost(cross_cls), 1.0);
+  EXPECT_DOUBLE_EQ(r.cost(), 0.25);
+}
+
+TEST_F(EvaluatorTest, UnassignedTableDefaultsToReplicated) {
+  DatabaseSolution empty(2, schema().num_tables());
+  Trace trace;
+  uint32_t cls = trace.InternClass("C");
+  Transaction read_txn;
+  read_txn.class_id = cls;
+  read_txn.Read(fixture_.trades[0]);
+  trace.Add(std::move(read_txn));
+  Transaction write_txn;
+  write_txn.class_id = cls;
+  write_txn.Write(fixture_.trades[0]);
+  trace.Add(std::move(write_txn));
+  EvalResult r = Evaluate(db(), empty, trace);
+  EXPECT_EQ(r.distributed_txns, 1u);  // only the write
+}
+
+TEST_F(EvaluatorTest, LoadSkewZeroWhenBalanced) {
+  EvalResult r;
+  r.partition_load = {100, 100, 100, 100};
+  EXPECT_DOUBLE_EQ(r.LoadSkew(), 0.0);
+  r.partition_load = {200, 0, 0, 0};
+  EXPECT_GT(r.LoadSkew(), 1.0);
+}
+
+TEST_F(EvaluatorTest, IsDistributedReportsTouchedPartitions) {
+  Transaction txn;
+  txn.Read(fixture_.trades[0]);
+  txn.Read(fixture_.trades[3]);  // same customer -> same partition
+  std::vector<int32_t> touched;
+  EXPECT_FALSE(IsDistributed(db(), solution_, txn, &touched));
+  EXPECT_EQ(touched.size(), 1u);
+}
+
+TEST_F(EvaluatorTest, DescribeListsEveryTable) {
+  std::string desc = solution_.Describe(schema());
+  for (const Table& t : schema().tables()) {
+    EXPECT_NE(desc.find(t.name), std::string::npos);
+  }
+  EXPECT_NE(desc.find("replicated"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace jecb

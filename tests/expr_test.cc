@@ -1,0 +1,59 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "expr/meter.h"
+#include "workloads/registry.h"
+
+namespace jecb {
+namespace {
+
+TEST(MeterTest, SnapshotsAreMonotone) {
+  ResourceSnapshot a = TakeResourceSnapshot();
+  // Burn a little CPU.
+  volatile uint64_t sink = 0;
+  for (int i = 0; i < 20000000; ++i) sink += static_cast<uint64_t>(i) * 31;
+  ResourceSnapshot b = TakeResourceSnapshot();
+  EXPECT_GE(b.cpu_seconds, a.cpu_seconds);
+  EXPECT_GE(b.peak_rss_kb, a.peak_rss_kb);
+  EXPECT_GT(b.current_rss_kb, 0u);
+}
+
+TEST(MeterTest, MeterMeasuresAllocationDelta) {
+  ResourceMeter meter;
+  std::vector<std::vector<int64_t>> hog;
+  for (int i = 0; i < 64; ++i) {
+    hog.emplace_back(1 << 16, i);  // ~32 MB total
+  }
+  auto usage = meter.Stop();
+  EXPECT_GE(usage.cpu_seconds, 0.0);
+  EXPECT_GE(usage.rss_delta_mb, 16u);  // at least half materialized
+  EXPECT_GE(usage.peak_rss_mb, usage.rss_delta_mb);
+  // Keep the allocation alive until after Stop().
+  EXPECT_EQ(hog.size(), 64u);
+}
+
+TEST(RegistryTest, AllNamesInstantiate) {
+  for (const std::string& name : WorkloadNames()) {
+    auto w = MakeWorkloadByName(name, 0.05);
+    ASSERT_NE(w, nullptr) << name;
+    WorkloadBundle bundle = w->Make(50, 1);
+    EXPECT_EQ(bundle.trace.size(), 50u) << name;
+    EXPECT_FALSE(bundle.procedures.empty()) << name;
+  }
+}
+
+TEST(RegistryTest, NamesAreCaseInsensitiveAndAliased) {
+  EXPECT_NE(MakeWorkloadByName("TPCC"), nullptr);
+  EXPECT_NE(MakeWorkloadByName("tpc-e"), nullptr);
+  EXPECT_EQ(MakeWorkloadByName("nope"), nullptr);
+}
+
+TEST(RegistryTest, ScaleChangesPopulation) {
+  auto small = MakeWorkloadByName("tatp", 0.05)->Make(10, 1);
+  auto large = MakeWorkloadByName("tatp", 0.5)->Make(10, 1);
+  EXPECT_LT(small.db->TotalRows(), large.db->TotalRows());
+}
+
+}  // namespace
+}  // namespace jecb

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "graph/partitioner.h"
+
+namespace jecb {
+namespace {
+
+TEST(GraphBuilderTest, MergesParallelEdges) {
+  GraphBuilder b(3, 1);
+  b.AddEdge(0, 1, 2);
+  b.AddEdge(1, 0, 3);  // same edge, reversed
+  b.AddEdge(1, 2, 1);
+  Graph g = b.Build();
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 2u);
+  ASSERT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.neighbors_begin(0)->node, 1u);
+  EXPECT_EQ(g.neighbors_begin(0)->weight, 5u);
+  EXPECT_EQ(g.degree(1), 2u);
+}
+
+TEST(GraphBuilderTest, DropsSelfLoops) {
+  GraphBuilder b(2, 1);
+  b.AddEdge(0, 0, 10);
+  b.AddEdge(0, 1, 1);
+  Graph g = b.Build();
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(GraphBuilderTest, NodeWeights) {
+  GraphBuilder b(2, 5);
+  b.AddNodeWeight(0, 3);
+  b.SetNodeWeight(1, 1);
+  Graph g = b.Build();
+  EXPECT_EQ(g.node_weight(0), 8u);
+  EXPECT_EQ(g.node_weight(1), 1u);
+  EXPECT_EQ(g.total_node_weight(), 9u);
+}
+
+TEST(CutWeightTest, CountsCrossEdges) {
+  GraphBuilder b(4, 1);
+  b.AddEdge(0, 1, 5);
+  b.AddEdge(2, 3, 7);
+  b.AddEdge(1, 2, 2);
+  Graph g = b.Build();
+  EXPECT_EQ(CutWeight(g, {0, 0, 1, 1}), 2u);
+  EXPECT_EQ(CutWeight(g, {0, 1, 0, 1}), 14u);
+  EXPECT_EQ(CutWeight(g, {0, 0, 0, 0}), 0u);
+}
+
+TEST(PartitionerTest, TrivialCases) {
+  GraphBuilder b(5, 1);
+  Graph g = b.Build();
+  GraphPartitionOptions opt;
+  opt.num_parts = 1;
+  EXPECT_EQ(PartitionGraph(g, opt), (std::vector<int32_t>(5, 0)));
+  Graph empty = GraphBuilder(0, 1).Build();
+  opt.num_parts = 4;
+  EXPECT_TRUE(PartitionGraph(empty, opt).empty());
+}
+
+/// Builds k well-separated clusters with weak random inter-cluster edges.
+Graph ClusteredGraph(int clusters, int per_cluster, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  GraphBuilder b(static_cast<size_t>(clusters) * per_cluster, 1);
+  for (int c = 0; c < clusters; ++c) {
+    for (int i = 0; i < per_cluster; ++i) {
+      for (int j = 0; j < 6; ++j) {
+        b.AddEdge(c * per_cluster + i,
+                  c * per_cluster + static_cast<NodeId>(rng() % per_cluster), 3);
+      }
+    }
+  }
+  for (int e = 0; e < clusters * per_cluster / 4; ++e) {
+    b.AddEdge(static_cast<NodeId>(rng() % (clusters * per_cluster)),
+              static_cast<NodeId>(rng() % (clusters * per_cluster)), 1);
+  }
+  return b.Build();
+}
+
+// Property sweep: the partitioner must respect balance and recover planted
+// clusters across partition counts and seeds.
+class PartitionerPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, uint64_t>> {};
+
+TEST_P(PartitionerPropertyTest, BalancedAndClusterPure) {
+  auto [k, seed] = GetParam();
+  Graph g = ClusteredGraph(k, 120, seed);
+  GraphPartitionOptions opt;
+  opt.num_parts = k;
+  opt.seed = seed;
+  auto part = PartitionGraph(g, opt);
+  ASSERT_EQ(part.size(), g.num_nodes());
+  for (int32_t p : part) {
+    EXPECT_GE(p, 0);
+    EXPECT_LT(p, k);
+  }
+  PartitionQuality q = MeasurePartition(g, part, k);
+  EXPECT_LE(q.imbalance, opt.balance_tolerance + 0.05);
+
+  // Each planted cluster should land (almost) entirely in one partition.
+  double pure = 0;
+  for (int c = 0; c < k; ++c) {
+    std::vector<int> counts(k, 0);
+    for (int i = 0; i < 120; ++i) ++counts[part[c * 120 + i]];
+    pure += *std::max_element(counts.begin(), counts.end());
+  }
+  EXPECT_GT(pure / static_cast<double>(g.num_nodes()), 0.9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PartitionerPropertyTest,
+                         ::testing::Combine(::testing::Values(2, 4, 8),
+                                            ::testing::Values(1u, 7u, 42u)));
+
+TEST(PartitionerTest, IsolatedComponentsStayBalanced) {
+  // TATP-like: many small disconnected cliques.
+  GraphBuilder b(300, 1);
+  for (int c = 0; c < 100; ++c) {
+    b.AddEdge(3 * c, 3 * c + 1, 2);
+    b.AddEdge(3 * c, 3 * c + 2, 2);
+    b.AddEdge(3 * c + 1, 3 * c + 2, 2);
+  }
+  Graph g = b.Build();
+  GraphPartitionOptions opt;
+  opt.num_parts = 8;
+  auto part = PartitionGraph(g, opt);
+  PartitionQuality q = MeasurePartition(g, part, 8);
+  EXPECT_EQ(q.cut, 0u) << "cliques must never be split";
+  EXPECT_LE(q.imbalance, 1.2);
+}
+
+TEST(PartitionerTest, DeterministicForFixedSeed) {
+  Graph g = ClusteredGraph(4, 50, 3);
+  GraphPartitionOptions opt;
+  opt.num_parts = 4;
+  opt.seed = 123;
+  EXPECT_EQ(PartitionGraph(g, opt), PartitionGraph(g, opt));
+}
+
+TEST(PartitionerTest, RefinementImprovesOverRandom) {
+  Graph g = ClusteredGraph(4, 100, 9);
+  GraphPartitionOptions opt;
+  opt.num_parts = 4;
+  auto part = PartitionGraph(g, opt);
+  // Random assignment cuts ~3/4 of edges; the partitioner should do far
+  // better on a clustered graph.
+  std::mt19937_64 rng(1);
+  std::vector<int32_t> random(g.num_nodes());
+  for (auto& p : random) p = static_cast<int32_t>(rng() % 4);
+  EXPECT_LT(CutWeight(g, part), CutWeight(g, random) / 4);
+}
+
+}  // namespace
+}  // namespace jecb

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "horticulture/horticulture.h"
+#include "partition/evaluator.h"
+#include "test_util.h"
+
+namespace jecb {
+namespace {
+
+TEST(HorticultureTest, FindsColumnPartitioningWhenOneExists) {
+  // Every transaction touches one customer account's tuples: partitioning
+  // TRADE by T_CA_ID and CA by CA_ID co-locates them by hash value.
+  testing::CustInfoDb fixture = testing::MakeCustInfoDb();
+  Trace trace;
+  uint32_t cls = trace.InternClass("ByAccount");
+  for (int rep = 0; rep < 30; ++rep) {
+    for (TupleId ca : fixture.accounts) {
+      Transaction txn;
+      txn.class_id = cls;
+      txn.Write(ca);
+      int64_t ca_id = fixture.db->GetValue(ca, 0).AsInt();
+      for (TupleId t : fixture.trades) {
+        if (fixture.db->GetValue(t, 1).AsInt() == ca_id) txn.Write(t);
+      }
+      trace.Add(std::move(txn));
+    }
+  }
+  HorticultureOptions opt;
+  opt.num_partitions = 2;
+  opt.rounds = 60;
+  auto res = Horticulture(opt).Partition(fixture.db.get(), trace);
+  ASSERT_TRUE(res.ok());
+  EvalResult ev = Evaluate(*fixture.db, res.value().solution, trace);
+  EXPECT_LT(ev.cost(), 0.05) << res.value().solution.Describe(fixture.db->schema());
+  EXPECT_GT(res.value().evaluations, 1);
+}
+
+TEST(HorticultureTest, CannotUseJoinExtension) {
+  // The CustInfo workload needs the CA_C_ID join extension for TRADE and
+  // HOLDING_SUMMARY; Horticulture's per-table columns cannot express it, so
+  // some transactions stay distributed (each customer owns two accounts).
+  testing::CustInfoDb fixture = testing::MakeCustInfoDb();
+  Trace trace = testing::MakeCustInfoTrace(fixture, 30);
+  for (auto& txn : trace.mutable_transactions()) {
+    for (auto& a : txn.accesses) a.write = true;
+  }
+  HorticultureOptions opt;
+  opt.num_partitions = 2;
+  opt.rounds = 80;
+  auto res = Horticulture(opt).Partition(fixture.db.get(), trace);
+  ASSERT_TRUE(res.ok());
+  EvalResult ev = Evaluate(*fixture.db, res.value().solution, trace);
+  // The best column design still leaves real residual cost (hash collisions
+  // aside, accounts 1/8 and 7/10 only co-locate by luck).
+  EXPECT_GT(ev.cost(), 0.0);
+}
+
+TEST(HorticultureTest, ReplicationChosenForReadOnlyTables) {
+  testing::CustInfoDb fixture = testing::MakeCustInfoDb();
+  Trace trace = testing::MakeCustInfoTrace(fixture, 10);  // read-only accesses
+  HorticultureOptions opt;
+  opt.num_partitions = 2;
+  auto res = Horticulture(opt).Partition(fixture.db.get(), trace);
+  ASSERT_TRUE(res.ok());
+  // Everything is read-only: all replicated, zero cost.
+  EvalResult ev = Evaluate(*fixture.db, res.value().solution, trace);
+  EXPECT_DOUBLE_EQ(ev.cost(), 0.0);
+}
+
+TEST(HorticultureTest, SkewAwareCostPenalizesImbalance) {
+  // Two designs with equal distributed fractions: the model must prefer the
+  // balanced one. We check the cost model through the public result fields.
+  testing::CustInfoDb fixture = testing::MakeCustInfoDb();
+  Trace trace = testing::MakeCustInfoTrace(fixture, 10);
+  for (auto& txn : trace.mutable_transactions()) {
+    for (auto& a : txn.accesses) a.write = true;
+  }
+  HorticultureOptions opt;
+  opt.num_partitions = 2;
+  auto res = Horticulture(opt).Partition(fixture.db.get(), trace);
+  ASSERT_TRUE(res.ok());
+  EXPECT_GE(res.value().model_cost, 0.0);
+  // The skew-aware model is never cheaper than the plain fraction.
+  EXPECT_GE(res.value().model_cost, res.value().train_cost - 1e-9);
+}
+
+TEST(HorticultureTest, DeterministicForSeed) {
+  testing::CustInfoDb fixture = testing::MakeCustInfoDb();
+  Trace trace = testing::MakeCustInfoTrace(fixture, 10);
+  for (auto& txn : trace.mutable_transactions()) {
+    for (auto& a : txn.accesses) a.write = true;
+  }
+  HorticultureOptions opt;
+  opt.num_partitions = 2;
+  auto a = Horticulture(opt).Partition(fixture.db.get(), trace);
+  auto b = Horticulture(opt).Partition(fixture.db.get(), trace);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(a.value().train_cost, b.value().train_cost);
+}
+
+TEST(HorticultureTest, EmptyTraceIsHandled) {
+  testing::CustInfoDb fixture = testing::MakeCustInfoDb();
+  Trace trace;
+  HorticultureOptions opt;
+  opt.num_partitions = 4;
+  auto res = Horticulture(opt).Partition(fixture.db.get(), trace);
+  ASSERT_TRUE(res.ok());
+  EXPECT_DOUBLE_EQ(res.value().train_cost, 0.0);
+}
+
+}  // namespace
+}  // namespace jecb

@@ -1,0 +1,139 @@
+// Cross-module integration tests: trace serialization feeding the
+// partitioners, routing agreeing with placement, bin packing over a real
+// JECB solution, and cost models over real evaluations.
+#include <gtest/gtest.h>
+
+#include "jecb/jecb.h"
+#include "partition/bin_packing.h"
+#include "partition/cost_model.h"
+#include "partition/evaluator.h"
+#include "partition/router.h"
+#include "schism/schism.h"
+#include "trace/trace_io.h"
+#include "workloads/tatp.h"
+#include "workloads/tpcc.h"
+
+namespace jecb {
+namespace {
+
+TEST(Integration, PartitionFromSerializedTrace) {
+  // Collector round trip: dump a TATP trace to the collector format, reload
+  // it, and verify JECB reaches the same solution and cost.
+  TatpConfig cfg;
+  cfg.subscribers = 300;
+  WorkloadBundle bundle = TatpWorkload(cfg).Make(3000, 4);
+  auto [train, test] = bundle.trace.SplitTrainTest(0.3);
+
+  std::string text = TraceToString(*bundle.db, train);
+  auto reloaded = TraceFromString(text, *bundle.db);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+
+  JecbOptions opt;
+  opt.num_partitions = 4;
+  auto direct = Jecb(opt).Partition(bundle.db.get(), bundle.procedures, train);
+  auto via_file =
+      Jecb(opt).Partition(bundle.db.get(), bundle.procedures, reloaded.value());
+  ASSERT_TRUE(direct.ok());
+  ASSERT_TRUE(via_file.ok());
+  EXPECT_EQ(direct.value().combiner_report.chosen_attr,
+            via_file.value().combiner_report.chosen_attr);
+  EXPECT_DOUBLE_EQ(Evaluate(*bundle.db, direct.value().solution, test).cost(),
+                   Evaluate(*bundle.db, via_file.value().solution, test).cost());
+}
+
+TEST(Integration, RouterAgreesWithEvaluatorOnTpcc) {
+  TpccConfig cfg;
+  cfg.warehouses = 4;
+  WorkloadBundle bundle = TpccWorkload(cfg).Make(3000, 4);
+  auto [train, test] = bundle.trace.SplitTrainTest(0.3);
+  JecbOptions opt;
+  opt.num_partitions = 4;
+  auto res = Jecb(opt).Partition(bundle.db.get(), bundle.procedures, train);
+  ASSERT_TRUE(res.ok());
+  const DatabaseSolution& solution = res.value().solution;
+  Router router(bundle.db.get(), &solution);
+
+  // For every district tuple: the router's answer for its W_ID value must
+  // contain the partition the evaluator assigns the tuple to.
+  const Schema& s = bundle.db->schema();
+  TableId district = s.FindTable("DISTRICT").value();
+  ColumnRef d_w = s.ResolveQualified("DISTRICT.D_W_ID").value();
+  for (RowId r = 0; r < bundle.db->table_data(district).num_rows(); ++r) {
+    TupleId t{district, r};
+    int32_t p = solution.PartitionOf(*bundle.db, t);
+    auto routed = router.RouteValue(d_w, bundle.db->GetValue(t, 0));
+    EXPECT_NE(std::find(routed.begin(), routed.end(), p), routed.end());
+  }
+}
+
+TEST(Integration, PackedSolutionPreservesLocality) {
+  TpccConfig cfg;
+  cfg.warehouses = 16;
+  cfg.districts_per_warehouse = 2;
+  cfg.customers_per_district = 6;
+  WorkloadBundle bundle = TpccWorkload(cfg).Make(4000, 4);
+  auto [train, test] = bundle.trace.SplitTrainTest(0.3);
+  JecbOptions opt;
+  opt.num_partitions = 16;
+  auto res = Jecb(opt).Partition(bundle.db.get(), bundle.procedures, train);
+  ASSERT_TRUE(res.ok());
+  EvalResult micro_ev = Evaluate(*bundle.db, res.value().solution, test);
+
+  DatabaseSolution packed =
+      PackSolution(*bundle.db, res.value().solution, train, 4, nullptr);
+  EvalResult packed_ev = Evaluate(*bundle.db, packed, test);
+  // Merging micro-partitions can only reduce (never increase) the number of
+  // distributed transactions.
+  EXPECT_LE(packed_ev.distributed_txns, micro_ev.distributed_txns);
+  EXPECT_EQ(packed_ev.partition_load.size(), 4u);
+}
+
+TEST(Integration, CostModelsRankRealSolutionsConsistently) {
+  TpccConfig cfg;
+  cfg.warehouses = 4;
+  WorkloadBundle bundle = TpccWorkload(cfg).Make(3000, 4);
+  auto [train, test] = bundle.trace.SplitTrainTest(0.3);
+  JecbOptions opt;
+  opt.num_partitions = 4;
+  auto good = Jecb(opt).Partition(bundle.db.get(), bundle.procedures, train);
+  ASSERT_TRUE(good.ok());
+  // A deliberately bad solution: hash ORDER_LINE by quantity.
+  DatabaseSolution bad = good.value().solution;
+  const Schema& s = bundle.db->schema();
+  JoinPath p;
+  p.source_table = s.FindTable("ORDER_LINE").value();
+  p.dest = s.ResolveQualified("ORDER_LINE.OL_QUANTITY").value();
+  bad.Set(p.source_table, std::make_shared<JoinPathPartitioner>(
+                              p, std::make_shared<HashMapping>(4)));
+
+  EvalResult good_ev = Evaluate(*bundle.db, good.value().solution, test);
+  EvalResult bad_ev = Evaluate(*bundle.db, bad, test);
+  for (const CostModel* model :
+       std::initializer_list<const CostModel*>{
+           new DistributedFractionCost, new SitesTouchedCost,
+           new WeightedRuntimeCost}) {
+    EXPECT_LT(model->Cost(good_ev), model->Cost(bad_ev)) << model->name();
+    delete model;
+  }
+}
+
+TEST(Integration, SchismSolutionSurvivesDatabaseGrowth) {
+  // New tuples inserted after partitioning are still placed (classifier
+  // generalization), and evaluation does not crash on them.
+  TpccConfig cfg;
+  cfg.warehouses = 4;
+  WorkloadBundle bundle = TpccWorkload(cfg).Make(3000, 4);
+  auto [train, test] = bundle.trace.SplitTrainTest(0.3);
+  SchismOptions opt;
+  opt.num_partitions = 4;
+  auto res = Schism(opt).Partition(bundle.db.get(), train);
+  ASSERT_TRUE(res.ok());
+  TupleId fresh = bundle.db->MustInsert(
+      "HISTORY", {int64_t(10000000), int64_t(0), int64_t(0), int64_t(0), int64_t(0),
+                  int64_t(0), int64_t(12345), 1.0});
+  int32_t p = res.value().solution.PartitionOf(*bundle.db, fresh);
+  EXPECT_TRUE(p == kReplicated || (p >= 0 && p < 4));
+}
+
+}  // namespace
+}  // namespace jecb

@@ -1,0 +1,156 @@
+// Failure-injection and edge-case tests for the public Jecb entry point.
+#include <gtest/gtest.h>
+
+#include "jecb/jecb.h"
+#include "partition/evaluator.h"
+#include "test_util.h"
+
+namespace jecb {
+namespace {
+
+using jecb::testing::CustInfoDb;
+using jecb::testing::MakeCustInfoDb;
+using jecb::testing::MakeCustInfoTrace;
+
+Trace WriteTrace(const CustInfoDb& fixture, int reps = 4) {
+  Trace t = MakeCustInfoTrace(fixture, reps);
+  for (auto& txn : t.mutable_transactions()) {
+    for (auto& a : txn.accesses) a.write = true;
+  }
+  return t;
+}
+
+TEST(JecbRobustness, MissingProcedureIsAnError) {
+  CustInfoDb fixture = MakeCustInfoDb();
+  Trace trace = WriteTrace(fixture);
+  auto res = Jecb().Partition(fixture.db.get(), {}, trace);
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(res.status().message().find("CustInfo"), std::string::npos);
+}
+
+TEST(JecbRobustness, ProcedureReferencingUnknownColumnIsAnError) {
+  CustInfoDb fixture = MakeCustInfoDb();
+  Trace trace = WriteTrace(fixture);
+  auto procs = sql::ParseProcedures(
+                   "PROCEDURE CustInfo(@x) { SELECT NO_SUCH_COL FROM TRADE; }")
+                   .value();
+  auto res = Jecb().Partition(fixture.db.get(), procs, trace);
+  EXPECT_FALSE(res.ok());
+}
+
+TEST(JecbRobustness, EmptyTraceProducesFullReplication) {
+  CustInfoDb fixture = MakeCustInfoDb();
+  Trace trace;
+  auto res = Jecb().Partition(fixture.db.get(), {}, trace);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  for (size_t t = 0; t < fixture.db->schema().num_tables(); ++t) {
+    EXPECT_EQ(res.value().solution.PartitionOf(*fixture.db,
+                                               {static_cast<TableId>(t), 0}),
+              kReplicated);
+  }
+}
+
+TEST(JecbRobustness, SingleTransactionTrace) {
+  CustInfoDb fixture = MakeCustInfoDb();
+  Trace trace;
+  uint32_t cls = trace.InternClass("CustInfo");
+  Transaction txn;
+  txn.class_id = cls;
+  txn.Write(fixture.trades[0]);
+  trace.Add(std::move(txn));
+  auto procs = sql::ParseProcedures(jecb::testing::CustInfoSql()).value();
+  auto res = Jecb().Partition(fixture.db.get(), procs, trace);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+}
+
+TEST(JecbRobustness, ProcedureNameMatchingIsCaseInsensitive) {
+  CustInfoDb fixture = MakeCustInfoDb();
+  Trace trace;
+  uint32_t cls = trace.InternClass("CUSTINFO");
+  Transaction txn;
+  txn.class_id = cls;
+  txn.Write(fixture.trades[0]);
+  trace.Add(std::move(txn));
+  auto procs = sql::ParseProcedures(jecb::testing::CustInfoSql()).value();
+  EXPECT_TRUE(Jecb().Partition(fixture.db.get(), procs, trace).ok());
+}
+
+// Sweep the partition count: the CustInfo workload must stay fully local at
+// every k <= number of customers' granularity.
+class JecbPartitionCountTest : public ::testing::TestWithParam<int32_t> {};
+
+TEST_P(JecbPartitionCountTest, CustInfoStaysLocal) {
+  CustInfoDb fixture = MakeCustInfoDb();
+  Trace trace = WriteTrace(fixture, 6);
+  auto procs = sql::ParseProcedures(jecb::testing::CustInfoSql()).value();
+  JecbOptions opt;
+  opt.num_partitions = GetParam();
+  auto res = Jecb(opt).Partition(fixture.db.get(), procs, trace);
+  ASSERT_TRUE(res.ok());
+  EvalResult ev = Evaluate(*fixture.db, res.value().solution, trace);
+  EXPECT_DOUBLE_EQ(ev.cost(), 0.0) << "k = " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, JecbPartitionCountTest,
+                         ::testing::Values(2, 3, 4, 8, 16, 100));
+
+TEST(JecbRobustness, DisabledTiersFallBackGracefully) {
+  CustInfoDb fixture = MakeCustInfoDb();
+  Trace trace = WriteTrace(fixture, 6);
+  // Poison every transaction so no MI tree exists, then disable every
+  // fallback: the workload becomes non-partitionable and JECB must still
+  // return a (replication) solution rather than fail.
+  for (auto& txn : trace.mutable_transactions()) {
+    txn.Write(fixture.trades[0]);
+    txn.Write(fixture.trades[1]);
+  }
+  auto procs = sql::ParseProcedures(jecb::testing::CustInfoSql()).value();
+  JecbOptions opt;
+  opt.num_partitions = 2;
+  opt.class_partitioner.quasi_tolerance = 0.0;
+  opt.class_partitioner.enable_stats_fallback = false;
+  opt.class_partitioner.enable_range_quasi = false;
+  opt.class_partitioner.enable_partial_solutions = false;
+  auto res = Jecb(opt).Partition(fixture.db.get(), procs, trace);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_NE(res.value().combiner_report.chosen_attr.find("replication"),
+            std::string::npos);
+}
+
+TEST(JecbRobustness, ElapsedTimeIsPopulated) {
+  CustInfoDb fixture = MakeCustInfoDb();
+  Trace trace = WriteTrace(fixture);
+  auto procs = sql::ParseProcedures(jecb::testing::CustInfoSql()).value();
+  auto res = Jecb().Partition(fixture.db.get(), procs, trace);
+  ASSERT_TRUE(res.ok());
+  EXPECT_GE(res.value().elapsed_seconds, 0.0);
+  EXPECT_LT(res.value().elapsed_seconds, 60.0);
+}
+
+TEST(JecbRobustness, TableClassesAlignWithSchema) {
+  CustInfoDb fixture = MakeCustInfoDb();
+  Trace trace = WriteTrace(fixture);
+  auto procs = sql::ParseProcedures(jecb::testing::CustInfoSql()).value();
+  auto res = Jecb().Partition(fixture.db.get(), procs, trace);
+  ASSERT_TRUE(res.ok());
+  ASSERT_EQ(res.value().table_classes.size(), fixture.db->schema().num_tables());
+  for (size_t t = 0; t < res.value().table_classes.size(); ++t) {
+    EXPECT_EQ(res.value().table_classes[t],
+              fixture.db->schema().table(static_cast<TableId>(t)).access_class);
+  }
+}
+
+TEST(JecbRobustness, ExtraProceduresWithoutTrafficAreIgnored) {
+  CustInfoDb fixture = MakeCustInfoDb();
+  Trace trace = WriteTrace(fixture);
+  std::string sql = std::string(jecb::testing::CustInfoSql()) +
+                    "PROCEDURE Unused(@x) { SELECT T_QTY FROM TRADE WHERE T_ID = @x; }";
+  auto procs = sql::ParseProcedures(sql).value();
+  auto res = Jecb().Partition(fixture.db.get(), procs, trace);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.value().classes.size(), 1u);
+}
+
+}  // namespace
+}  // namespace jecb

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "jecb/join_graph.h"
+#include "sql/analyzer.h"
+#include "sql/parser.h"
+#include "test_util.h"
+
+namespace jecb {
+namespace {
+
+class JoinGraphTest : public ::testing::Test {
+ protected:
+  JoinGraphTest() : schema_(testing::MakeCustInfoSchema()) {}
+
+  JoinGraph Build(const std::string& sql, JoinGraphOptions options = {}) {
+    auto proc = sql::ParseProcedure(sql);
+    CheckOk(proc.status(), "JoinGraphTest");
+    sql::AnalyzerOptions aopt;
+    aopt.use_select_clause_attrs = options.use_select_clause_attrs;
+    auto info = sql::AnalyzeProcedure(schema_, proc.value(), aopt);
+    CheckOk(info.status(), "JoinGraphTest");
+    return BuildJoinGraph(schema_, info.value(), options);
+  }
+
+  TableId Tid(const char* name) { return schema_.FindTable(name).value(); }
+  ColumnRef Ref(const char* q) { return schema_.ResolveQualified(q).value(); }
+
+  Schema schema_;
+};
+
+TEST_F(JoinGraphTest, ExplicitJoinActivatesFk) {
+  JoinGraph g = Build(R"SQL(
+PROCEDURE P(@c) {
+  SELECT T_QTY FROM TRADE JOIN CUSTOMER_ACCOUNT ON T_CA_ID = CA_ID
+    WHERE CA_C_ID = @c;
+}
+)SQL");
+  ASSERT_EQ(g.active_fks.size(), 1u);
+  EXPECT_EQ(schema_.foreign_keys()[g.active_fks[0]].table, Tid("TRADE"));
+}
+
+TEST_F(JoinGraphTest, FkBetweenUnaccessedTablesStaysInactive) {
+  JoinGraph g = Build(R"SQL(
+PROCEDURE P(@t) {
+  SELECT T_QTY FROM TRADE WHERE T_ID = @t;
+}
+)SQL");
+  EXPECT_TRUE(g.active_fks.empty());
+  EXPECT_EQ(g.tables.size(), 1u);
+}
+
+TEST_F(JoinGraphTest, ImplicitJoinViaVariableActivatesFk) {
+  JoinGraph g = Build(R"SQL(
+PROCEDURE P(@t) {
+  SELECT @acct = T_CA_ID FROM TRADE WHERE T_ID = @t;
+  SELECT CA_C_ID FROM CUSTOMER_ACCOUNT WHERE CA_ID = @acct;
+}
+)SQL");
+  ASSERT_EQ(g.active_fks.size(), 1u);
+}
+
+TEST_F(JoinGraphTest, SelectClauseDiscoveryToggle) {
+  // Without an equijoin, activation can still come from both FK endpoints
+  // appearing among accessed attributes (here: T_CA_ID in a SELECT list).
+  const char* sql = R"SQL(
+PROCEDURE P(@t, @a) {
+  SELECT T_CA_ID FROM TRADE WHERE T_ID = @t;
+  SELECT CA_C_ID FROM CUSTOMER_ACCOUNT WHERE CA_ID = @a;
+}
+)SQL";
+  JoinGraphOptions with;
+  with.use_select_clause_attrs = true;
+  EXPECT_EQ(Build(sql, with).active_fks.size(), 1u);
+
+  JoinGraphOptions without;
+  without.use_select_clause_attrs = false;
+  EXPECT_TRUE(Build(sql, without).active_fks.empty());
+}
+
+TEST_F(JoinGraphTest, CandidateAttributesIncludeWherePkAndFkEndpoints) {
+  JoinGraph g = Build(R"SQL(
+PROCEDURE P(@c) {
+  SELECT T_QTY FROM TRADE JOIN CUSTOMER_ACCOUNT ON T_CA_ID = CA_ID
+    WHERE CA_C_ID = @c AND T_QTY > 2;
+}
+)SQL");
+  EXPECT_TRUE(g.candidate_attrs.count(Ref("CUSTOMER_ACCOUNT.CA_C_ID")));
+  EXPECT_TRUE(g.candidate_attrs.count(Ref("TRADE.T_QTY")));      // WHERE attr
+  EXPECT_TRUE(g.candidate_attrs.count(Ref("TRADE.T_CA_ID")));    // FK endpoint
+  EXPECT_TRUE(g.candidate_attrs.count(Ref("CUSTOMER_ACCOUNT.CA_ID")));
+  EXPECT_TRUE(g.candidate_attrs.count(Ref("TRADE.T_ID")));       // single-col PK
+}
+
+TEST_F(JoinGraphTest, ReplicatedTablesExcludedFromPartitionedSet) {
+  schema_.mutable_table(Tid("CUSTOMER_ACCOUNT")).access_class =
+      AccessClass::kReadOnly;
+  JoinGraph g = Build(R"SQL(
+PROCEDURE P(@c) {
+  SELECT T_QTY FROM TRADE JOIN CUSTOMER_ACCOUNT ON T_CA_ID = CA_ID
+    WHERE CA_C_ID = @c;
+}
+)SQL");
+  EXPECT_EQ(g.tables.size(), 2u);
+  EXPECT_EQ(g.partitioned_tables.size(), 1u);
+  EXPECT_TRUE(g.partitioned_tables.count(Tid("TRADE")));
+  // The FK into the replicated table is still active (paths may traverse it).
+  EXPECT_EQ(g.active_fks.size(), 1u);
+}
+
+TEST_F(JoinGraphTest, InListStillMarksTablesAndAttrs) {
+  JoinGraph g = Build(R"SQL(
+PROCEDURE P(@a, @b) {
+  SELECT T_QTY FROM TRADE WHERE T_ID IN (@a, @b);
+}
+)SQL");
+  EXPECT_TRUE(g.candidate_attrs.count(Ref("TRADE.T_ID")));
+  EXPECT_EQ(g.tables.size(), 1u);
+}
+
+TEST_F(JoinGraphTest, HasActiveFkHelper) {
+  JoinGraph g = Build(R"SQL(
+PROCEDURE P(@c) {
+  SELECT T_QTY FROM TRADE JOIN CUSTOMER_ACCOUNT ON T_CA_ID = CA_ID
+    WHERE CA_C_ID = @c;
+}
+)SQL");
+  ASSERT_EQ(g.active_fks.size(), 1u);
+  EXPECT_TRUE(g.HasActiveFk(g.active_fks[0]));
+  EXPECT_FALSE(g.HasActiveFk(g.active_fks[0] + 1));
+}
+
+}  // namespace
+}  // namespace jecb

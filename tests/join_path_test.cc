@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "partition/join_path.h"
+#include "test_util.h"
+
+namespace jecb {
+namespace {
+
+class JoinPathTest : public ::testing::Test {
+ protected:
+  JoinPathTest() : fixture_(testing::MakeCustInfoDb()) {
+    const Schema& s = schema();
+    trade_ = s.FindTable("TRADE").value();
+    hs_ = s.FindTable("HOLDING_SUMMARY").value();
+    ca_ = s.FindTable("CUSTOMER_ACCOUNT").value();
+    cust_ = s.FindTable("CUSTOMER").value();
+    for (FkIdx f = 0; f < s.foreign_keys().size(); ++f) {
+      const ForeignKey& fk = s.foreign_keys()[f];
+      if (fk.table == trade_) fk_trade_ca_ = f;
+      if (fk.table == hs_) fk_hs_ca_ = f;
+      if (fk.table == ca_) fk_ca_cust_ = f;
+    }
+  }
+
+  const Schema& schema() const { return fixture_.db->schema(); }
+  Database& db() { return *fixture_.db; }
+
+  /// Example 2's join path {T_ID, T_CA_ID, CA_ID, CA_C_ID}.
+  JoinPath TradeToCaCid() const {
+    JoinPath p;
+    p.source_table = trade_;
+    p.hops = {fk_trade_ca_};
+    p.dest = schema().ResolveQualified("CUSTOMER_ACCOUNT.CA_C_ID").value();
+    return p;
+  }
+
+  testing::CustInfoDb fixture_;
+  TableId trade_, hs_, ca_, cust_;
+  FkIdx fk_trade_ca_ = 0, fk_hs_ca_ = 0, fk_ca_cust_ = 0;
+};
+
+TEST_F(JoinPathTest, ValidatesCorrectPath) {
+  EXPECT_TRUE(TradeToCaCid().Validate(schema()).ok());
+}
+
+TEST_F(JoinPathTest, RejectsBrokenChains) {
+  JoinPath p = TradeToCaCid();
+  p.source_table = hs_;  // hop starts at TRADE, not HOLDING_SUMMARY
+  EXPECT_FALSE(p.Validate(schema()).ok());
+
+  JoinPath q = TradeToCaCid();
+  q.dest = schema().ResolveQualified("TRADE.T_QTY").value();  // dest not in CA
+  EXPECT_FALSE(q.Validate(schema()).ok());
+
+  JoinPath r = TradeToCaCid();
+  r.hops = {static_cast<FkIdx>(99)};
+  EXPECT_FALSE(r.Validate(schema()).ok());
+}
+
+TEST_F(JoinPathTest, EvaluatesFigureOneMapping) {
+  // Figure 1: trades of accounts {1, 8} belong to customer 1; {7, 10} to 2.
+  JoinPath p = TradeToCaCid();
+  const int expected_customer[8] = {1, 2, 2, 1, 1, 2, 1, 2};  // by T_ID 1..8
+  for (int i = 0; i < 8; ++i) {
+    auto v = p.Evaluate(db(), fixture_.trades[i]);
+    ASSERT_TRUE(v.ok());
+    EXPECT_EQ(v.value().AsInt(), expected_customer[i]) << "trade " << (i + 1);
+  }
+}
+
+TEST_F(JoinPathTest, EvaluatesZeroHopPath) {
+  JoinPath p;
+  p.source_table = trade_;
+  p.dest = schema().ResolveQualified("TRADE.T_CA_ID").value();
+  ASSERT_TRUE(p.Validate(schema()).ok());
+  EXPECT_EQ(p.Evaluate(db(), fixture_.trades[0]).value().AsInt(), 1);
+}
+
+TEST_F(JoinPathTest, EvaluatesTwoHopPath) {
+  JoinPath p;
+  p.source_table = hs_;
+  p.hops = {fk_hs_ca_, fk_ca_cust_};
+  p.dest = schema().ResolveQualified("CUSTOMER.C_TAX_ID").value();
+  ASSERT_TRUE(p.Validate(schema()).ok());
+  // HS row 0 is (ADLAE, 1): account 1 -> customer 1 -> tax id 901.
+  EXPECT_EQ(p.Evaluate(db(), fixture_.holding_summaries[0]).value().AsInt(), 901);
+}
+
+TEST_F(JoinPathTest, EvaluateWrongSourceFails) {
+  EXPECT_FALSE(TradeToCaCid().Evaluate(db(), fixture_.customers[0]).ok());
+}
+
+TEST_F(JoinPathTest, EvaluateDanglingFkFails) {
+  TupleId dangling =
+      db().Insert(trade_, {Value(50), Value(404), Value(1)}).value();
+  EXPECT_FALSE(TradeToCaCid().Evaluate(db(), dangling).ok());
+}
+
+TEST_F(JoinPathTest, HopsArePrefixOf) {
+  JoinPath shorter;
+  shorter.source_table = trade_;
+  shorter.hops = {fk_trade_ca_};
+  shorter.dest = schema().ResolveQualified("CUSTOMER_ACCOUNT.CA_ID").value();
+
+  JoinPath longer = shorter;
+  longer.hops.push_back(fk_ca_cust_);
+  longer.dest = schema().ResolveQualified("CUSTOMER.C_ID").value();
+
+  EXPECT_TRUE(shorter.HopsArePrefixOf(longer));
+  EXPECT_FALSE(longer.HopsArePrefixOf(shorter));
+  EXPECT_TRUE(shorter.HopsArePrefixOf(shorter));
+
+  JoinPath other;
+  other.source_table = hs_;
+  other.hops = {fk_hs_ca_};
+  other.dest = schema().ResolveQualified("CUSTOMER_ACCOUNT.CA_ID").value();
+  EXPECT_FALSE(other.HopsArePrefixOf(longer));  // different source
+}
+
+TEST_F(JoinPathTest, ConcatPaths) {
+  JoinPath base;
+  base.source_table = trade_;
+  base.hops = {fk_trade_ca_};
+  base.dest = schema().ResolveQualified("CUSTOMER_ACCOUNT.CA_ID").value();
+
+  JoinPath ext;
+  ext.source_table = ca_;
+  ext.hops = {fk_ca_cust_};
+  ext.dest = schema().ResolveQualified("CUSTOMER.C_ID").value();
+
+  auto combined = ConcatPaths(schema(), base, ext);
+  ASSERT_TRUE(combined.ok());
+  EXPECT_EQ(combined.value().hops.size(), 2u);
+  EXPECT_EQ(combined.value().Evaluate(db(), fixture_.trades[1]).value().AsInt(), 2);
+
+  // Extension must start at the base's destination table.
+  JoinPath bad_ext;
+  bad_ext.source_table = trade_;
+  bad_ext.hops = {fk_trade_ca_};
+  bad_ext.dest = base.dest;
+  EXPECT_FALSE(ConcatPaths(schema(), base, bad_ext).ok());
+}
+
+TEST_F(JoinPathTest, ToStringMentionsTables) {
+  std::string s = TradeToCaCid().ToString(schema());
+  EXPECT_NE(s.find("TRADE"), std::string::npos);
+  EXPECT_NE(s.find("CUSTOMER_ACCOUNT"), std::string::npos);
+  EXPECT_NE(s.find("CA_C_ID"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace jecb

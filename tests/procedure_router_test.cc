@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "jecb/jecb.h"
+#include "partition/procedure_router.h"
+#include "test_util.h"
+#include "workloads/seats.h"
+
+namespace jecb {
+namespace {
+
+class ProcedureRouterTest : public ::testing::Test {
+ protected:
+  ProcedureRouterTest()
+      : fixture_(testing::MakeCustInfoDb()),
+        procs_(sql::ParseProcedures(testing::CustInfoSql()).value()) {
+    Trace trace = testing::MakeCustInfoTrace(fixture_, 6);
+    for (auto& txn : trace.mutable_transactions()) {
+      for (auto& a : txn.accesses) a.write = true;
+    }
+    JecbOptions opt;
+    opt.num_partitions = 2;
+    auto res = Jecb(opt).Partition(fixture_.db.get(), procs_, trace);
+    CheckOk(res.status(), "ProcedureRouterTest");
+    solution_ = std::make_unique<DatabaseSolution>(std::move(res.value().solution));
+  }
+
+  testing::CustInfoDb fixture_;
+  std::vector<sql::Procedure> procs_;
+  std::unique_ptr<DatabaseSolution> solution_;
+};
+
+TEST_F(ProcedureRouterTest, RoutesByBoundParameter) {
+  ProcedureRouter router(fixture_.db.get(), solution_.get(), procs_);
+  // CustInfo's @cust_id binds CA_C_ID — the partitioning attribute itself.
+  auto d1 = router.Route("CustInfo", {{"cust_id", Value(1)}});
+  auto d2 = router.Route("CustInfo", {{"cust_id", Value(2)}});
+  EXPECT_FALSE(d1.broadcast);
+  EXPECT_FALSE(d2.broadcast);
+  ASSERT_EQ(d1.partitions.size(), 1u);
+  ASSERT_EQ(d2.partitions.size(), 1u);
+  EXPECT_NE(d1.partitions[0], d2.partitions[0]);
+  EXPECT_NE(d1.routed_by.find("CA_C_ID"), std::string::npos);
+
+  // The routed partition matches where the customer's tuples actually live.
+  EXPECT_EQ(d1.partitions[0],
+            solution_->PartitionOf(*fixture_.db, fixture_.trades[0]));
+}
+
+TEST_F(ProcedureRouterTest, MissingParameterBroadcasts) {
+  ProcedureRouter router(fixture_.db.get(), solution_.get(), procs_);
+  auto d = router.Route("CustInfo", {});
+  EXPECT_TRUE(d.broadcast);
+  EXPECT_EQ(d.partitions.size(), 2u);
+}
+
+TEST_F(ProcedureRouterTest, UnknownProcedureBroadcasts) {
+  ProcedureRouter router(fixture_.db.get(), solution_.get(), procs_);
+  auto d = router.Route("NoSuchProc", {{"x", Value(1)}});
+  EXPECT_TRUE(d.broadcast);
+}
+
+TEST_F(ProcedureRouterTest, UnknownValueBroadcasts) {
+  ProcedureRouter router(fixture_.db.get(), solution_.get(), procs_);
+  auto d = router.Route("CustInfo", {{"cust_id", Value(999)}});
+  EXPECT_TRUE(d.broadcast);
+}
+
+TEST(ProcedureRouterSeatsTest, RoutesThroughJoinPathAttributes) {
+  // SEATS: UpdateReservation's @r_id binds RESERVATION.R_ID, which is finer
+  // than the C_ID partitioning attribute — routable via a lookup table even
+  // though RESERVATION has no customer column.
+  SeatsConfig cfg;
+  cfg.customers = 200;
+  WorkloadBundle bundle = SeatsWorkload(cfg).Make(4000, 8);
+  auto [train, test] = bundle.trace.SplitTrainTest(0.3);
+  JecbOptions opt;
+  opt.num_partitions = 4;
+  auto res = Jecb(opt).Partition(bundle.db.get(), bundle.procedures, train);
+  CheckOk(res.status(), "seats router");
+  ProcedureRouter router(bundle.db.get(), &res.value().solution, bundle.procedures);
+
+  const Schema& s = bundle.db->schema();
+  TableId reservation = s.FindTable("RESERVATION").value();
+  size_t single = 0;
+  const size_t kProbes = 50;
+  for (RowId r = 0; r < kProbes; ++r) {
+    Value r_id = bundle.db->GetValue({reservation, r}, 0);
+    auto d = router.Route("UpdateReservation", {{"r_id", r_id}});
+    if (!d.broadcast && d.partitions.size() == 1) {
+      ++single;
+      // Routed partition must hold the reservation tuple.
+      EXPECT_EQ(d.partitions[0],
+                res.value().solution.PartitionOf(*bundle.db, {reservation, r}));
+    }
+  }
+  EXPECT_EQ(single, kProbes);
+}
+
+}  // namespace
+}  // namespace jecb

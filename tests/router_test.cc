@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "partition/router.h"
+#include "test_util.h"
+
+namespace jecb {
+namespace {
+
+class RouterTest : public ::testing::Test {
+ protected:
+  RouterTest()
+      : fixture_(testing::MakeCustInfoDb()),
+        solution_(2, fixture_.db->schema().num_tables()) {
+    const Schema& s = schema();
+    auto mapping = std::make_shared<RangeMapping>(2, 1, 2);
+    FkIdx trade_ca = 0;
+    for (FkIdx f = 0; f < s.foreign_keys().size(); ++f) {
+      if (s.foreign_keys()[f].table == s.FindTable("TRADE").value()) trade_ca = f;
+    }
+    JoinPath trade_path;
+    trade_path.source_table = s.FindTable("TRADE").value();
+    trade_path.hops = {trade_ca};
+    trade_path.dest = s.ResolveQualified("CUSTOMER_ACCOUNT.CA_C_ID").value();
+    solution_.Set(trade_path.source_table,
+                  std::make_shared<JoinPathPartitioner>(trade_path, mapping));
+    JoinPath ca_path;
+    ca_path.source_table = s.FindTable("CUSTOMER_ACCOUNT").value();
+    ca_path.dest = s.ResolveQualified("CUSTOMER_ACCOUNT.CA_C_ID").value();
+    solution_.Set(ca_path.source_table,
+                  std::make_shared<JoinPathPartitioner>(ca_path, mapping));
+    solution_.Set(s.FindTable("CUSTOMER").value(), std::make_shared<ReplicatedTable>());
+  }
+
+  const Schema& schema() const { return fixture_.db->schema(); }
+
+  testing::CustInfoDb fixture_;
+  DatabaseSolution solution_;
+};
+
+TEST_F(RouterTest, RoutesByPartitioningAttribute) {
+  Router router(fixture_.db.get(), &solution_);
+  ColumnRef ca_c_id = schema().ResolveQualified("CUSTOMER_ACCOUNT.CA_C_ID").value();
+  EXPECT_EQ(router.RouteValue(ca_c_id, Value(1)), (std::vector<int32_t>{0}));
+  EXPECT_EQ(router.RouteValue(ca_c_id, Value(2)), (std::vector<int32_t>{1}));
+}
+
+TEST_F(RouterTest, RoutesByFinerAttribute) {
+  Router router(fixture_.db.get(), &solution_);
+  // CA_ID is finer than CA_C_ID: each account maps to one partition.
+  ColumnRef ca_id = schema().ResolveQualified("CUSTOMER_ACCOUNT.CA_ID").value();
+  EXPECT_EQ(router.RouteValue(ca_id, Value(1)), (std::vector<int32_t>{0}));
+  EXPECT_EQ(router.RouteValue(ca_id, Value(7)), (std::vector<int32_t>{1}));
+  EXPECT_EQ(router.RouteValue(ca_id, Value(8)), (std::vector<int32_t>{0}));
+  EXPECT_EQ(router.RouteValue(ca_id, Value(10)), (std::vector<int32_t>{1}));
+}
+
+TEST_F(RouterTest, RoutesByTradeKey) {
+  Router router(fixture_.db.get(), &solution_);
+  ColumnRef t_id = schema().ResolveQualified("TRADE.T_ID").value();
+  EXPECT_EQ(router.RouteValue(t_id, Value(1)), (std::vector<int32_t>{0}));
+  EXPECT_EQ(router.RouteValue(t_id, Value(2)), (std::vector<int32_t>{1}));
+}
+
+TEST_F(RouterTest, UnknownValueBroadcasts) {
+  Router router(fixture_.db.get(), &solution_);
+  ColumnRef t_id = schema().ResolveQualified("TRADE.T_ID").value();
+  EXPECT_EQ(router.RouteValue(t_id, Value(999)), router.Broadcast());
+  EXPECT_EQ(router.Broadcast().size(), 2u);
+}
+
+TEST_F(RouterTest, NonUniqueAttributeMayMapToManyPartitions) {
+  Router router(fixture_.db.get(), &solution_);
+  // T_QTY = 1 occurs in trades of both customers.
+  ColumnRef t_qty = schema().ResolveQualified("TRADE.T_QTY").value();
+  auto parts = router.RouteValue(t_qty, Value(1));
+  EXPECT_EQ(parts.size(), 2u);
+}
+
+TEST_F(RouterTest, LookupTableSizeTracksDistinctValues) {
+  Router router(fixture_.db.get(), &solution_);
+  // The coarser the attribute, the smaller the lookup table (paper Sec. 3).
+  ColumnRef t_id = schema().ResolveQualified("TRADE.T_ID").value();
+  ColumnRef t_ca = schema().ResolveQualified("TRADE.T_CA_ID").value();
+  EXPECT_EQ(router.LookupTableSize(t_id), 8u);
+  EXPECT_EQ(router.LookupTableSize(t_ca), 4u);
+  EXPECT_GT(router.LookupTableSize(t_id), router.LookupTableSize(t_ca));
+}
+
+TEST_F(RouterTest, ReplicatedTableRoutesToAnyPartition) {
+  Router router(fixture_.db.get(), &solution_);
+  ColumnRef c_id = schema().ResolveQualified("CUSTOMER.C_ID").value();
+  auto parts = router.RouteValue(c_id, Value(1));
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], kReplicated);
+}
+
+}  // namespace
+}  // namespace jecb

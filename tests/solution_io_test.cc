@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "jecb/jecb.h"
+#include "partition/evaluator.h"
+#include "partition/solution_io.h"
+#include "test_util.h"
+
+namespace jecb {
+namespace {
+
+class SolutionIoTest : public ::testing::Test {
+ protected:
+  SolutionIoTest() : fixture_(testing::MakeCustInfoDb()) {}
+
+  /// A representative solution: one replication, one multi-hop path with a
+  /// lookup mapping, one zero-hop path with range.
+  DatabaseSolution MakeSolution() {
+    const Schema& s = schema();
+    DatabaseSolution sol(2, s.num_tables());
+    sol.Set(s.FindTable("CUSTOMER").value(), std::make_shared<ReplicatedTable>());
+    sol.Set(s.FindTable("HOLDING_SUMMARY").value(), std::make_shared<ReplicatedTable>());
+
+    JoinPath ca_path;
+    ca_path.source_table = s.FindTable("CUSTOMER_ACCOUNT").value();
+    ca_path.dest = s.ResolveQualified("CUSTOMER_ACCOUNT.CA_C_ID").value();
+    sol.Set(ca_path.source_table,
+            std::make_shared<JoinPathPartitioner>(
+                ca_path, std::make_shared<RangeMapping>(2, 1, 2)));
+
+    FkIdx trade_ca = 0;
+    for (FkIdx f = 0; f < s.foreign_keys().size(); ++f) {
+      if (s.foreign_keys()[f].table == s.FindTable("TRADE").value()) trade_ca = f;
+    }
+    JoinPath trade_path;
+    trade_path.source_table = s.FindTable("TRADE").value();
+    trade_path.hops = {trade_ca};
+    trade_path.dest = s.ResolveQualified("CUSTOMER_ACCOUNT.CA_C_ID").value();
+    std::unordered_map<Value, int32_t, ValueHashFunctor> lookup;
+    lookup[Value(1)] = 0;
+    lookup[Value(2)] = 1;
+    sol.Set(trade_path.source_table,
+            std::make_shared<JoinPathPartitioner>(
+                trade_path, std::make_shared<LookupMapping>(2, std::move(lookup))));
+    return sol;
+  }
+
+  const Schema& schema() const { return fixture_.db->schema(); }
+  testing::CustInfoDb fixture_;
+};
+
+TEST_F(SolutionIoTest, RoundTripPreservesPlacement) {
+  DatabaseSolution original = MakeSolution();
+  auto text = SolutionToString(schema(), original);
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  auto loaded = SolutionFromString(text.value(), schema());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().num_partitions(), 2);
+  // Every stored tuple must land on the same partition after the round trip.
+  for (size_t t = 0; t < schema().num_tables(); ++t) {
+    auto tid = static_cast<TableId>(t);
+    const TableData& data = fixture_.db->table_data(tid);
+    for (RowId r = 0; r < data.num_rows(); ++r) {
+      TupleId tuple{tid, r};
+      EXPECT_EQ(original.PartitionOf(*fixture_.db, tuple),
+                loaded.value().PartitionOf(*fixture_.db, tuple))
+          << schema().table(tid).name << " row " << r;
+    }
+  }
+}
+
+TEST_F(SolutionIoTest, FileRoundTrip) {
+  DatabaseSolution original = MakeSolution();
+  std::string path = ::testing::TempDir() + "/jecb_solution_io_test.sol";
+  ASSERT_TRUE(SaveSolution(path, schema(), original).ok());
+  auto loaded = LoadSolution(path, schema());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  std::remove(path.c_str());
+}
+
+TEST_F(SolutionIoTest, JecbOutputRoundTrips) {
+  Trace trace = testing::MakeCustInfoTrace(fixture_, 6);
+  for (auto& txn : trace.mutable_transactions()) {
+    for (auto& a : txn.accesses) a.write = true;
+  }
+  auto procs = sql::ParseProcedures(testing::CustInfoSql()).value();
+  JecbOptions opt;
+  opt.num_partitions = 2;
+  auto res = Jecb(opt).Partition(fixture_.db.get(), procs, trace);
+  ASSERT_TRUE(res.ok());
+  auto text = SolutionToString(schema(), res.value().solution);
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  auto loaded = SolutionFromString(text.value(), schema());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_DOUBLE_EQ(Evaluate(*fixture_.db, loaded.value(), trace).cost(),
+                   Evaluate(*fixture_.db, res.value().solution, trace).cost());
+}
+
+TEST_F(SolutionIoTest, ClassifierSolutionsAreUnsupported) {
+  DatabaseSolution sol(2, schema().num_tables());
+  sol.Set(0, std::make_shared<CallbackPartitioner>(
+                 [](const Database&, TupleId) { return 0; }, "classifier"));
+  auto text = SolutionToString(schema(), sol);
+  ASSERT_FALSE(text.ok());
+  EXPECT_EQ(text.status().code(), StatusCode::kUnsupported);
+}
+
+TEST_F(SolutionIoTest, MalformedInputsRejected) {
+  const Schema& s = schema();
+  EXPECT_FALSE(SolutionFromString("", s).ok());
+  EXPECT_FALSE(SolutionFromString("REPLICATE TRADE\n", s).ok());  // K first
+  EXPECT_FALSE(SolutionFromString("K 0\n", s).ok());
+  EXPECT_FALSE(SolutionFromString("K 2\nREPLICATE NOPE\n", s).ok());
+  EXPECT_FALSE(SolutionFromString("K 2\nPATH TRADE 1 TRADE\n", s).ok());
+  EXPECT_FALSE(
+      SolutionFromString("K 2\nPATH TRADE 0 TRADE.T_ID frobnicate\n", s).ok());
+  EXPECT_FALSE(
+      SolutionFromString("K 2\nPATH TRADE 0 TRADE.T_ID range 5 1\n", s).ok());
+  EXPECT_FALSE(
+      SolutionFromString("K 2\nPATH TRADE 0 TRADE.T_ID lookup 2 i:1 0\n", s).ok());
+  // Lookup partition id out of range.
+  EXPECT_FALSE(
+      SolutionFromString("K 2\nPATH TRADE 0 TRADE.T_ID lookup 1 i:1 7\n", s).ok());
+  // Hop whose foreign key does not exist.
+  EXPECT_FALSE(SolutionFromString(
+                   "K 2\nPATH TRADE 1 TRADE T_QTY CUSTOMER_ACCOUNT.CA_ID hash\n", s)
+                   .ok());
+}
+
+TEST_F(SolutionIoTest, UnlistedTablesDefaultToReplication) {
+  auto loaded = SolutionFromString("K 2\nPATH TRADE 0 TRADE.T_ID hash\n", schema());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().PartitionOf(*fixture_.db, fixture_.customers[0]),
+            kReplicated);
+  EXPECT_GE(loaded.value().PartitionOf(*fixture_.db, fixture_.trades[0]), 0);
+}
+
+}  // namespace
+}  // namespace jecb

@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include "sql/analyzer.h"
+#include "sql/parser.h"
+#include "test_util.h"
+
+namespace jecb::sql {
+namespace {
+
+using jecb::testing::MakeCustInfoSchema;
+
+ProcedureInfo Analyze(const Schema& schema, const std::string& text,
+                      AnalyzerOptions options = {}) {
+  auto proc = ParseProcedure(text);
+  EXPECT_TRUE(proc.ok()) << proc.status().ToString();
+  auto info = AnalyzeProcedure(schema, proc.value(), options);
+  EXPECT_TRUE(info.ok()) << info.status().ToString();
+  return info.value();
+}
+
+bool HasJoin(const Schema& schema, const ProcedureInfo& info, const char* a,
+             const char* b) {
+  ColumnRef ra = schema.ResolveQualified(a).value();
+  ColumnRef rb = schema.ResolveQualified(b).value();
+  if (rb < ra) std::swap(ra, rb);
+  for (const auto& [x, y] : info.equijoins) {
+    if (x == ra && y == rb) return true;
+  }
+  return false;
+}
+
+TEST(AnalyzerTest, CustInfoExplicitJoinsAndCandidates) {
+  Schema schema = MakeCustInfoSchema();
+  ProcedureInfo info = Analyze(schema, jecb::testing::CustInfoSql());
+
+  TableId hs = schema.FindTable("HOLDING_SUMMARY").value();
+  TableId ca = schema.FindTable("CUSTOMER_ACCOUNT").value();
+  TableId trade = schema.FindTable("TRADE").value();
+  EXPECT_TRUE(info.tables_read.count(hs));
+  EXPECT_TRUE(info.tables_read.count(ca));
+  EXPECT_TRUE(info.tables_read.count(trade));
+  EXPECT_TRUE(info.tables_written.empty());
+
+  // The two explicit key-foreign key joins of Example 1.
+  EXPECT_TRUE(HasJoin(schema, info, "HOLDING_SUMMARY.HS_CA_ID",
+                      "CUSTOMER_ACCOUNT.CA_ID"));
+  EXPECT_TRUE(HasJoin(schema, info, "TRADE.T_CA_ID", "CUSTOMER_ACCOUNT.CA_ID"));
+
+  // CA_C_ID appears in WHERE: a candidate attribute.
+  EXPECT_TRUE(info.where_attrs.count(
+      schema.ResolveQualified("CUSTOMER_ACCOUNT.CA_C_ID").value()));
+}
+
+TEST(AnalyzerTest, ImplicitJoinThroughVariable) {
+  // Example 3 rewritten as two statements: the join T_CA_ID = CA_ID is
+  // implicit through @cust_acct.
+  Schema schema = MakeCustInfoSchema();
+  ProcedureInfo info = Analyze(schema, R"SQL(
+PROCEDURE Rewritten(@t_id) {
+  SELECT @cust_acct = T_CA_ID FROM TRADE WHERE T_ID = @t_id;
+  SELECT CA_C_ID FROM CUSTOMER_ACCOUNT WHERE CA_ID = @cust_acct;
+}
+)SQL");
+  EXPECT_TRUE(HasJoin(schema, info, "TRADE.T_CA_ID", "CUSTOMER_ACCOUNT.CA_ID"));
+}
+
+TEST(AnalyzerTest, ParameterSharedAcrossStatementsJoins) {
+  Schema schema = MakeCustInfoSchema();
+  ProcedureInfo info = Analyze(schema, R"SQL(
+PROCEDURE TwoLookups(@acct) {
+  SELECT T_QTY FROM TRADE WHERE T_CA_ID = @acct;
+  SELECT HS_QTY FROM HOLDING_SUMMARY WHERE HS_CA_ID = @acct;
+}
+)SQL");
+  EXPECT_TRUE(HasJoin(schema, info, "TRADE.T_CA_ID", "HOLDING_SUMMARY.HS_CA_ID"));
+}
+
+TEST(AnalyzerTest, InListParameterIsMultiValuedAndDoesNotJoin) {
+  Schema schema = MakeCustInfoSchema();
+  ProcedureInfo info = Analyze(schema, R"SQL(
+PROCEDURE Many(@a, @b) {
+  SELECT T_QTY FROM TRADE WHERE T_CA_ID IN (@a, @b);
+  SELECT HS_QTY FROM HOLDING_SUMMARY WHERE HS_CA_ID = @a;
+}
+)SQL");
+  EXPECT_TRUE(info.multi_valued_params.count("a"));
+  EXPECT_FALSE(HasJoin(schema, info, "TRADE.T_CA_ID", "HOLDING_SUMMARY.HS_CA_ID"));
+  // The IN attribute still counts as a candidate.
+  EXPECT_TRUE(
+      info.where_attrs.count(schema.ResolveQualified("TRADE.T_CA_ID").value()));
+}
+
+TEST(AnalyzerTest, InsertValuesBindParameters) {
+  Schema schema = MakeCustInfoSchema();
+  ProcedureInfo info = Analyze(schema, R"SQL(
+PROCEDURE NewTrade(@t_id, @acct, @qty) {
+  SELECT CA_C_ID FROM CUSTOMER_ACCOUNT WHERE CA_ID = @acct;
+  INSERT INTO TRADE (T_ID, T_CA_ID, T_QTY) VALUES (@t_id, @acct, @qty);
+}
+)SQL");
+  TableId trade = schema.FindTable("TRADE").value();
+  EXPECT_TRUE(info.tables_written.count(trade));
+  EXPECT_TRUE(HasJoin(schema, info, "TRADE.T_CA_ID", "CUSTOMER_ACCOUNT.CA_ID"));
+  EXPECT_TRUE(
+      info.insert_attrs.count(schema.ResolveQualified("TRADE.T_QTY").value()));
+}
+
+TEST(AnalyzerTest, AggregateOutputsDoNotBindVariables) {
+  Schema schema = MakeCustInfoSchema();
+  ProcedureInfo info = Analyze(schema, R"SQL(
+PROCEDURE Agg(@acct) {
+  SELECT @total = SUM(T_QTY) FROM TRADE WHERE T_CA_ID = @acct;
+  SELECT HS_QTY FROM HOLDING_SUMMARY WHERE HS_QTY = @total;
+}
+)SQL");
+  // SUM(T_QTY) is not a key value: no equijoin through @total.
+  EXPECT_FALSE(HasJoin(schema, info, "TRADE.T_QTY", "HOLDING_SUMMARY.HS_QTY"));
+}
+
+TEST(AnalyzerTest, SetClauseDoesNotWitnessEquality) {
+  Schema schema = MakeCustInfoSchema();
+  ProcedureInfo info = Analyze(schema, R"SQL(
+PROCEDURE Upd(@q) {
+  UPDATE TRADE SET T_QTY = @q WHERE T_ID = @q;
+}
+)SQL");
+  // @q is used both as SET value and as key; only the WHERE binds.
+  EXPECT_FALSE(HasJoin(schema, info, "TRADE.T_QTY", "TRADE.T_ID"));
+}
+
+TEST(AnalyzerTest, SelectClauseAttrsToggle) {
+  Schema schema = MakeCustInfoSchema();
+  const char* text = R"SQL(
+PROCEDURE Sel(@t) {
+  SELECT T_CA_ID FROM TRADE WHERE T_ID = @t;
+}
+)SQL";
+  AnalyzerOptions with;
+  with.use_select_clause_attrs = true;
+  AnalyzerOptions without;
+  without.use_select_clause_attrs = false;
+  ColumnRef t_ca = schema.ResolveQualified("TRADE.T_CA_ID").value();
+  EXPECT_TRUE(Analyze(schema, text, with).select_attrs.count(t_ca));
+  EXPECT_TRUE(Analyze(schema, text, without).select_attrs.empty());
+}
+
+TEST(AnalyzerTest, UnknownColumnFails) {
+  Schema schema = MakeCustInfoSchema();
+  auto proc = ParseProcedure("PROCEDURE P() { SELECT NOPE FROM TRADE; }").value();
+  EXPECT_FALSE(AnalyzeProcedure(schema, proc).ok());
+}
+
+TEST(AnalyzerTest, UnknownTableFails) {
+  Schema schema = MakeCustInfoSchema();
+  auto proc = ParseProcedure("PROCEDURE P() { SELECT T_QTY FROM NOPE; }").value();
+  EXPECT_FALSE(AnalyzeProcedure(schema, proc).ok());
+}
+
+TEST(AnalyzerTest, DeleteMarksWrite) {
+  Schema schema = MakeCustInfoSchema();
+  ProcedureInfo info = Analyze(schema, R"SQL(
+PROCEDURE Del(@t) {
+  DELETE FROM TRADE WHERE T_ID = @t;
+}
+)SQL");
+  EXPECT_TRUE(info.tables_written.count(schema.FindTable("TRADE").value()));
+  EXPECT_TRUE(info.AllTables().count(schema.FindTable("TRADE").value()));
+}
+
+}  // namespace
+}  // namespace jecb::sql

@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include "sql/parser.h"
+#include "sql/token.h"
+#include "test_util.h"
+
+namespace jecb::sql {
+namespace {
+
+// ----------------------------------------------------------------- Lexer --
+
+TEST(LexerTest, BasicTokens) {
+  auto tokens = Lex("SELECT a_1 FROM t WHERE x = @p AND y <= 3.5;").value();
+  ASSERT_GE(tokens.size(), 12u);
+  EXPECT_TRUE(tokens[0].IsWord("select"));
+  EXPECT_EQ(tokens[1].type, TokenType::kIdentifier);
+  EXPECT_EQ(tokens[1].text, "a_1");
+  // @p becomes a parameter token without the '@'.
+  bool saw_param = false;
+  for (const auto& t : tokens) {
+    if (t.type == TokenType::kParameter) {
+      EXPECT_EQ(t.text, "p");
+      saw_param = true;
+    }
+  }
+  EXPECT_TRUE(saw_param);
+  EXPECT_EQ(tokens.back().type, TokenType::kEnd);
+}
+
+TEST(LexerTest, TwoCharOperators) {
+  auto tokens = Lex("a <= b >= c != d <> e").value();
+  int ops = 0;
+  for (const auto& t : tokens) {
+    if (t.type == TokenType::kSymbol && t.text.size() == 2) ++ops;
+  }
+  EXPECT_EQ(ops, 4);
+}
+
+TEST(LexerTest, StringsAndComments) {
+  auto tokens = Lex("-- a comment\n'hello world' 42").value();
+  ASSERT_EQ(tokens.size(), 3u);  // string, number, end
+  EXPECT_EQ(tokens[0].type, TokenType::kString);
+  EXPECT_EQ(tokens[0].text, "hello world");
+  EXPECT_EQ(tokens[1].type, TokenType::kNumber);
+}
+
+TEST(LexerTest, Errors) {
+  EXPECT_FALSE(Lex("'unterminated").ok());
+  EXPECT_FALSE(Lex("a @ b").ok());
+  EXPECT_FALSE(Lex("a ? b").ok());
+}
+
+TEST(LexerTest, TracksLineNumbers) {
+  auto tokens = Lex("a\nb\nc").value();
+  EXPECT_EQ(tokens[0].line, 1);
+  EXPECT_EQ(tokens[1].line, 2);
+  EXPECT_EQ(tokens[2].line, 3);
+}
+
+// ---------------------------------------------------------------- Parser --
+
+TEST(ParserTest, SimpleSelect) {
+  auto st = ParseStatement("SELECT A, B FROM T WHERE A = @x AND B > 3").value();
+  EXPECT_EQ(st.kind, StatementKind::kSelect);
+  ASSERT_EQ(st.select_items.size(), 2u);
+  EXPECT_EQ(st.select_items[0].expr.column.column, "A");
+  ASSERT_EQ(st.from.size(), 1u);
+  EXPECT_EQ(st.from[0].table, "T");
+  ASSERT_EQ(st.where.size(), 2u);
+  EXPECT_EQ(st.where[0].op, CompareOp::kEq);
+  EXPECT_EQ(st.where[0].rhs.kind, ExprKind::kParameter);
+  EXPECT_EQ(st.where[1].op, CompareOp::kGt);
+}
+
+TEST(ParserTest, JoinWithOn) {
+  auto st = ParseStatement(
+                "SELECT X FROM A JOIN B ON A_ID = B_A_ID JOIN C ON C_B = B_ID "
+                "WHERE X = 1")
+                .value();
+  ASSERT_EQ(st.from.size(), 3u);
+  EXPECT_EQ(st.from[1].table, "B");
+  ASSERT_EQ(st.from[1].join_on.size(), 1u);
+  EXPECT_EQ(st.from[1].join_on[0].lhs.column.column, "A_ID");
+  EXPECT_EQ(st.from[2].join_on[0].rhs.column.column, "B_ID");
+}
+
+TEST(ParserTest, SelectAssignment) {
+  auto st = ParseStatement("SELECT @v = T_CA_ID FROM TRADE WHERE T_ID = @t").value();
+  ASSERT_EQ(st.select_items.size(), 1u);
+  ASSERT_TRUE(st.select_items[0].assign_to.has_value());
+  EXPECT_EQ(*st.select_items[0].assign_to, "v");
+  EXPECT_EQ(st.select_items[0].expr.column.column, "T_CA_ID");
+}
+
+TEST(ParserTest, Aggregates) {
+  auto st = ParseStatement("SELECT SUM(HS_QTY), COUNT(*) FROM HOLDING_SUMMARY").value();
+  EXPECT_EQ(st.select_items[0].expr.kind, ExprKind::kAggregate);
+  EXPECT_EQ(st.select_items[0].expr.agg_func, "SUM");
+  EXPECT_EQ(st.select_items[1].expr.agg_func, "COUNT");
+  EXPECT_TRUE(st.select_items[1].expr.column.column.empty());
+}
+
+TEST(ParserTest, QualifiedColumns) {
+  auto st = ParseStatement("SELECT T.A FROM T WHERE T.B = 1").value();
+  EXPECT_EQ(st.select_items[0].expr.column.table, "T");
+  EXPECT_EQ(st.select_items[0].expr.column.column, "A");
+}
+
+TEST(ParserTest, InPredicate) {
+  auto st = ParseStatement("SELECT A FROM T WHERE B IN (@x, @y, 3)").value();
+  ASSERT_EQ(st.where.size(), 1u);
+  EXPECT_EQ(st.where[0].op, CompareOp::kIn);
+  ASSERT_EQ(st.where[0].rhs_list.size(), 3u);
+  EXPECT_EQ(st.where[0].rhs_list[0].kind, ExprKind::kParameter);
+  EXPECT_EQ(st.where[0].rhs_list[2].kind, ExprKind::kLiteral);
+}
+
+TEST(ParserTest, InsertWithColumns) {
+  auto st =
+      ParseStatement("INSERT INTO T (A, B) VALUES (@a, 42)").value();
+  EXPECT_EQ(st.kind, StatementKind::kInsert);
+  EXPECT_EQ(st.insert_table, "T");
+  ASSERT_EQ(st.insert_columns.size(), 2u);
+  ASSERT_EQ(st.insert_values.size(), 2u);
+  EXPECT_EQ(st.insert_values[0].kind, ExprKind::kParameter);
+}
+
+TEST(ParserTest, InsertWithoutColumns) {
+  auto st = ParseStatement("INSERT INTO T VALUES (1, 2, 3)").value();
+  EXPECT_TRUE(st.insert_columns.empty());
+  EXPECT_EQ(st.insert_values.size(), 3u);
+}
+
+TEST(ParserTest, Update) {
+  auto st =
+      ParseStatement("UPDATE T SET A = @a, B = B + @delta WHERE C = @c").value();
+  EXPECT_EQ(st.kind, StatementKind::kUpdate);
+  EXPECT_EQ(st.update_table, "T");
+  ASSERT_EQ(st.set_items.size(), 2u);
+  EXPECT_EQ(st.set_items[0].first.column, "A");
+  ASSERT_EQ(st.where.size(), 1u);
+}
+
+TEST(ParserTest, Delete) {
+  auto st = ParseStatement("DELETE FROM T WHERE A = 1").value();
+  EXPECT_EQ(st.kind, StatementKind::kDelete);
+  ASSERT_EQ(st.from.size(), 1u);
+  EXPECT_EQ(st.from[0].table, "T");
+}
+
+TEST(ParserTest, OrderByIsAcceptedAndIgnored) {
+  auto st =
+      ParseStatement("SELECT A FROM T WHERE B = 1 ORDER BY A DESC, C").value();
+  EXPECT_EQ(st.kind, StatementKind::kSelect);
+}
+
+TEST(ParserTest, ProcedureHeader) {
+  auto proc = ParseProcedure(
+                  "PROCEDURE Foo(@a bigint, @b) { SELECT X FROM T WHERE X = @a; }")
+                  .value();
+  EXPECT_EQ(proc.name, "Foo");
+  ASSERT_EQ(proc.parameters.size(), 2u);
+  EXPECT_EQ(proc.parameters[0], "a");
+  EXPECT_EQ(proc.statements.size(), 1u);
+}
+
+TEST(ParserTest, MultipleProcedures) {
+  auto procs = ParseProcedures(
+                   "PROCEDURE A() { SELECT X FROM T; }"
+                   "PROCEDURE B(@p) { DELETE FROM T WHERE X = @p; }")
+                   .value();
+  ASSERT_EQ(procs.size(), 2u);
+  EXPECT_EQ(procs[0].name, "A");
+  EXPECT_EQ(procs[1].name, "B");
+}
+
+TEST(ParserTest, CustInfoFromPaperParses) {
+  auto proc = ParseProcedure(jecb::testing::CustInfoSql());
+  ASSERT_TRUE(proc.ok()) << proc.status().ToString();
+  EXPECT_EQ(proc.value().name, "CustInfo");
+  EXPECT_EQ(proc.value().statements.size(), 2u);
+}
+
+TEST(ParserTest, ErrorsCarryLineNumbers) {
+  auto bad = ParseProcedure("PROCEDURE P() {\n SELECT FROM T; }");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(ParserTest, UnterminatedBodyFails) {
+  EXPECT_FALSE(ParseProcedure("PROCEDURE P() { SELECT A FROM T;").ok());
+}
+
+TEST(ParserTest, MissingKeywordFails) {
+  EXPECT_FALSE(ParseStatement("SELECT A T").ok());
+  EXPECT_FALSE(ParseStatement("INSERT T VALUES (1)").ok());
+  EXPECT_FALSE(ParseStatement("UPDATE T A = 1").ok());
+}
+
+}  // namespace
+}  // namespace jecb::sql

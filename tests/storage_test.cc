@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "storage/database.h"
+#include "test_util.h"
+
+namespace jecb {
+namespace {
+
+TEST(ValueTest, TypePredicatesAndAccessors) {
+  Value i(int64_t{7});
+  Value d(2.5);
+  Value s(std::string("abc"));
+  EXPECT_TRUE(i.is_int());
+  EXPECT_TRUE(d.is_double());
+  EXPECT_TRUE(s.is_string());
+  EXPECT_EQ(i.AsInt(), 7);
+  EXPECT_DOUBLE_EQ(d.AsDouble(), 2.5);
+  EXPECT_EQ(s.AsString(), "abc");
+}
+
+TEST(ValueTest, EqualityAndOrdering) {
+  EXPECT_EQ(Value(1), Value(1));
+  EXPECT_NE(Value(1), Value(2));
+  EXPECT_NE(Value(1), Value("1"));
+  EXPECT_LT(Value(1), Value(2));
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value(42).Hash(), Value(42).Hash());
+  EXPECT_EQ(Value("x").Hash(), Value("x").Hash());
+  EXPECT_NE(Value(42).Hash(), Value(43).Hash());
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value(5).ToString(), "5");
+  EXPECT_EQ(Value("hi").ToString(), "hi");
+  EXPECT_EQ(RowToString({Value(1), Value("a")}), "(1, a)");
+}
+
+class DatabaseTest : public ::testing::Test {
+ protected:
+  DatabaseTest() : fixture_(testing::MakeCustInfoDb()) {}
+  testing::CustInfoDb fixture_;
+  Database& db() { return *fixture_.db; }
+};
+
+TEST_F(DatabaseTest, InsertAndLookupByPk) {
+  TableId trade = db().schema().FindTable("TRADE").value();
+  const TableData& data = db().table_data(trade);
+  EXPECT_EQ(data.num_rows(), 8u);
+  auto row = data.LookupPk({Value(3)});
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(data.At(row.value(), 1).AsInt(), 10);  // T_CA_ID of trade 3
+}
+
+TEST_F(DatabaseTest, DuplicatePrimaryKeyRejected) {
+  TableId trade = db().schema().FindTable("TRADE").value();
+  auto dup = db().Insert(trade, {Value(1), Value(1), Value(9)});
+  EXPECT_FALSE(dup.ok());
+  EXPECT_EQ(dup.status().code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(db().table_data(trade).num_rows(), 8u);
+}
+
+TEST_F(DatabaseTest, DuplicateAlternateKeyRejected) {
+  TableId cust = db().schema().FindTable("CUSTOMER").value();
+  // C_ID 3 is new but C_TAX_ID 901 belongs to customer 1.
+  auto dup = db().Insert(cust, {Value(3), Value(901)});
+  EXPECT_FALSE(dup.ok());
+  // Rollback: inserting with fresh keys still works.
+  EXPECT_TRUE(db().Insert(cust, {Value(3), Value(903)}).ok());
+}
+
+TEST_F(DatabaseTest, ArityMismatchRejected) {
+  TableId trade = db().schema().FindTable("TRADE").value();
+  EXPECT_FALSE(db().Insert(trade, {Value(99)}).ok());
+}
+
+TEST_F(DatabaseTest, CompositeKeyLookup) {
+  TableId hs = db().schema().FindTable("HOLDING_SUMMARY").value();
+  const TableData& data = db().table_data(hs);
+  auto row = data.LookupPk({Value("BLS"), Value(8)});
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(data.At(row.value(), 2).AsInt(), 9);
+  EXPECT_FALSE(data.LookupPk({Value("BLS"), Value(7)}).ok());
+}
+
+TEST_F(DatabaseTest, LookupUniqueOnAlternateKey) {
+  TableId cust = db().schema().FindTable("CUSTOMER").value();
+  const Table& meta = db().schema().table(cust);
+  std::vector<ColumnIdx> alt = {meta.FindColumn("C_TAX_ID").value()};
+  auto row = db().table_data(cust).LookupUnique(alt, {Value(902)});
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(db().table_data(cust).At(row.value(), 0).AsInt(), 2);
+  // No index on a non-key column list.
+  EXPECT_FALSE(db().table_data(cust).LookupUnique({1, 0}, {Value(1), Value(2)}).ok());
+}
+
+TEST_F(DatabaseTest, FollowForeignKey) {
+  const Schema& schema = db().schema();
+  TableId trade = schema.FindTable("TRADE").value();
+  const ForeignKey* fk = schema.ForeignKeysFrom(trade)[0];
+  // Trade 2 (row 1) has T_CA_ID = 7 -> account 7 owned by customer 2.
+  auto parent = db().FollowForeignKey(*fk, fixture_.trades[1]);
+  ASSERT_TRUE(parent.ok());
+  EXPECT_EQ(db().GetValue(parent.value(), 0).AsInt(), 7);
+  EXPECT_EQ(db().GetValue(parent.value(), 1).AsInt(), 2);
+}
+
+TEST_F(DatabaseTest, FollowForeignKeyWrongTable) {
+  const Schema& schema = db().schema();
+  TableId trade = schema.FindTable("TRADE").value();
+  const ForeignKey* fk = schema.ForeignKeysFrom(trade)[0];
+  EXPECT_FALSE(db().FollowForeignKey(*fk, fixture_.customers[0]).ok());
+}
+
+TEST_F(DatabaseTest, FollowDanglingForeignKey) {
+  TableId trade = db().schema().FindTable("TRADE").value();
+  TupleId dangling = db().Insert(trade, {Value(99), Value(404), Value(1)}).value();
+  const ForeignKey* fk = db().schema().ForeignKeysFrom(trade)[0];
+  auto parent = db().FollowForeignKey(*fk, dangling);
+  EXPECT_FALSE(parent.ok());
+  EXPECT_EQ(parent.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(DatabaseTest, TotalRows) {
+  EXPECT_EQ(db().TotalRows(), 2u + 4u + 8u + 8u);
+}
+
+// Property: every foreign key of every stored tuple resolves in the fixture.
+TEST_F(DatabaseTest, ReferentialIntegrityHolds) {
+  const Schema& schema = db().schema();
+  for (const ForeignKey& fk : schema.foreign_keys()) {
+    const TableData& child = db().table_data(fk.table);
+    for (RowId r = 0; r < child.num_rows(); ++r) {
+      EXPECT_TRUE(db().FollowForeignKey(fk, TupleId{fk.table, r}).ok())
+          << schema.table(fk.table).name << " row " << r;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace jecb

@@ -1,0 +1,130 @@
+// Shared fixtures: the paper's Figure 1 example database (HOLDING_SUMMARY,
+// TRADE, CUSTOMER_ACCOUNT + CUSTOMER) with the CustInfo transaction class,
+// used across JECB unit tests exactly as the paper uses it in Examples 1-8.
+#pragma once
+
+#include <memory>
+
+#include "catalog/schema.h"
+#include "sql/parser.h"
+#include "storage/database.h"
+#include "trace/trace.h"
+
+namespace jecb::testing {
+
+/// Schema of the paper's Figure 1 (plus the CUSTOMER table implied by
+/// CA_C_ID and used from Example 5 onward):
+///   CUSTOMER(C_ID pk, C_TAX_ID unique)
+///   CUSTOMER_ACCOUNT(CA_ID pk, CA_C_ID fk -> CUSTOMER)
+///   TRADE(T_ID pk, T_CA_ID fk -> CUSTOMER_ACCOUNT, T_QTY)
+///   HOLDING_SUMMARY((HS_S_SYMB, HS_CA_ID) pk, HS_CA_ID fk -> CA, HS_QTY)
+inline Schema MakeCustInfoSchema() {
+  Schema s;
+  auto add_table = [&](const char* name, std::initializer_list<const char*> int_cols,
+                       std::initializer_list<const char*> str_cols,
+                       std::vector<std::string> pk) {
+    TableId tid = s.AddTable(name).value();
+    for (const char* c : str_cols) {
+      CheckOk(s.AddColumn(tid, c, ValueType::kString), "test schema");
+    }
+    for (const char* c : int_cols) {
+      CheckOk(s.AddColumn(tid, c, ValueType::kInt64), "test schema");
+    }
+    CheckOk(s.SetPrimaryKey(tid, pk), "test schema");
+    return tid;
+  };
+  add_table("CUSTOMER", {"C_ID", "C_TAX_ID"}, {}, {"C_ID"});
+  CheckOk(s.AddUniqueKey(s.FindTable("CUSTOMER").value(), {"C_TAX_ID"}), "test schema");
+  add_table("CUSTOMER_ACCOUNT", {"CA_ID", "CA_C_ID"}, {}, {"CA_ID"});
+  add_table("TRADE", {"T_ID", "T_CA_ID", "T_QTY"}, {}, {"T_ID"});
+  add_table("HOLDING_SUMMARY", {"HS_CA_ID", "HS_QTY"}, {"HS_S_SYMB"},
+            {"HS_S_SYMB", "HS_CA_ID"});
+  CheckOk(s.AddForeignKey("CUSTOMER_ACCOUNT", {"CA_C_ID"}, "CUSTOMER", {"C_ID"}),
+          "test schema");
+  CheckOk(s.AddForeignKey("TRADE", {"T_CA_ID"}, "CUSTOMER_ACCOUNT", {"CA_ID"}),
+          "test schema");
+  CheckOk(s.AddForeignKey("HOLDING_SUMMARY", {"HS_CA_ID"}, "CUSTOMER_ACCOUNT", {"CA_ID"}),
+          "test schema");
+  return s;
+}
+
+/// The exact data of Figure 1. Customer 1 owns accounts {1, 8}; customer 2
+/// owns {7, 10}.
+struct CustInfoDb {
+  std::unique_ptr<Database> db;
+  std::vector<TupleId> customers;         // by C_ID - 1
+  std::vector<TupleId> accounts;          // in insertion order: 1, 7, 8, 10
+  std::vector<TupleId> trades;            // T_ID 1..8
+  std::vector<TupleId> holding_summaries; // Figure 1 order
+};
+
+inline CustInfoDb MakeCustInfoDb() {
+  CustInfoDb out;
+  out.db = std::make_unique<Database>(MakeCustInfoSchema());
+  Database& db = *out.db;
+  out.customers.push_back(db.MustInsert("CUSTOMER", {int64_t(1), int64_t(901)}));
+  out.customers.push_back(db.MustInsert("CUSTOMER", {int64_t(2), int64_t(902)}));
+  for (auto [ca, c] : {std::pair{1, 1}, {7, 2}, {8, 1}, {10, 2}}) {
+    out.accounts.push_back(
+        db.MustInsert("CUSTOMER_ACCOUNT", {int64_t(ca), int64_t(c)}));
+  }
+  // TRADE rows of Figure 1: (T_ID, T_CA_ID, T_QTY).
+  const int trade_rows[8][3] = {{1, 1, 2}, {2, 7, 1},  {3, 10, 3}, {4, 8, 1},
+                                {5, 8, 3}, {6, 7, 4}, {7, 1, 1},  {8, 10, 1}};
+  for (const auto& r : trade_rows) {
+    out.trades.push_back(
+        db.MustInsert("TRADE", {int64_t(r[0]), int64_t(r[1]), int64_t(r[2])}));
+  }
+  // HOLDING_SUMMARY rows of Figure 1: (HS_S_SYMB, HS_CA_ID, HS_QTY).
+  const std::tuple<const char*, int, int> hs_rows[] = {
+      {"ADLAE", 1, 3}, {"APCFY", 1, 5}, {"AQLC", 7, 6},  {"ASTT", 10, 4},
+      {"BEBE", 10, 5}, {"BLS", 8, 9},   {"CAV", 8, 3},   {"CPN", 7, 1}};
+  for (const auto& [symb, ca, qty] : hs_rows) {
+    out.holding_summaries.push_back(db.MustInsert(
+        "HOLDING_SUMMARY", {std::string(symb), int64_t(ca), int64_t(qty)}));
+  }
+  return out;
+}
+
+/// The CustInfo stored procedure from Example 1.
+inline const char* CustInfoSql() {
+  return R"SQL(
+PROCEDURE CustInfo(@cust_id) {
+  SELECT SUM(HS_QTY) FROM HOLDING_SUMMARY JOIN CUSTOMER_ACCOUNT ON HS_CA_ID = CA_ID
+    WHERE CA_C_ID = @cust_id;
+  SELECT AVERAGE(T_QTY) FROM TRADE JOIN CUSTOMER_ACCOUNT ON T_CA_ID = CA_ID
+    WHERE CA_C_ID = @cust_id;
+}
+)SQL";
+}
+
+/// A CustInfo trace: each transaction reads one customer's accounts, trades
+/// and holding summaries (the tuples Figure 1 colors by customer).
+inline Trace MakeCustInfoTrace(const CustInfoDb& fixture, int repetitions = 4) {
+  Trace trace;
+  uint32_t cls = trace.InternClass("CustInfo");
+  const Database& db = *fixture.db;
+  for (int rep = 0; rep < repetitions; ++rep) {
+    for (int64_t cust = 1; cust <= 2; ++cust) {
+      Transaction txn;
+      txn.class_id = cls;
+      for (TupleId ca : fixture.accounts) {
+        if (db.GetValue(ca, 1).AsInt() == cust) txn.Read(ca);
+      }
+      for (TupleId t : fixture.trades) {
+        int64_t ca_id = db.GetValue(t, 1).AsInt();
+        bool mine = (cust == 1) ? (ca_id == 1 || ca_id == 8) : (ca_id == 7 || ca_id == 10);
+        if (mine) txn.Read(t);
+      }
+      for (TupleId hs : fixture.holding_summaries) {
+        int64_t ca_id = db.GetValue(hs, 1).AsInt();
+        bool mine = (cust == 1) ? (ca_id == 1 || ca_id == 8) : (ca_id == 7 || ca_id == 10);
+        if (mine) txn.Read(hs);
+      }
+      trace.Add(std::move(txn));
+    }
+  }
+  return trace;
+}
+
+}  // namespace jecb::testing

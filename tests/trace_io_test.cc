@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "test_util.h"
+#include "trace/trace_io.h"
+
+namespace jecb {
+namespace {
+
+class TraceIoTest : public ::testing::Test {
+ protected:
+  TraceIoTest() : fixture_(testing::MakeCustInfoDb()) {}
+  testing::CustInfoDb fixture_;
+};
+
+TEST_F(TraceIoTest, RoundTripPreservesEverything) {
+  Trace original = testing::MakeCustInfoTrace(fixture_, 3);
+  // Mix in writes and a second class.
+  uint32_t cls = original.InternClass("Writer");
+  Transaction txn;
+  txn.class_id = cls;
+  txn.Write(fixture_.trades[2]);
+  txn.Read(fixture_.holding_summaries[0]);  // composite + string key
+  original.Add(std::move(txn));
+
+  std::string text = TraceToString(*fixture_.db, original);
+  auto loaded = TraceFromString(text, *fixture_.db);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const Trace& got = loaded.value();
+  ASSERT_EQ(got.size(), original.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    const Transaction& a = original.transactions()[i];
+    const Transaction& b = got.transactions()[i];
+    EXPECT_EQ(original.class_name(a.class_id), got.class_name(b.class_id));
+    ASSERT_EQ(a.accesses.size(), b.accesses.size()) << "txn " << i;
+    for (size_t j = 0; j < a.accesses.size(); ++j) {
+      EXPECT_EQ(a.accesses[j].tuple, b.accesses[j].tuple);
+      EXPECT_EQ(a.accesses[j].write, b.accesses[j].write);
+    }
+  }
+}
+
+TEST_F(TraceIoTest, FormatMatchesPaperCollector) {
+  Trace trace;
+  uint32_t cls = trace.InternClass("CustInfo");
+  Transaction txn;
+  txn.class_id = cls;
+  txn.Read(fixture_.trades[0]);               // T_ID = 1
+  txn.Write(fixture_.holding_summaries[5]);   // (BLS, 8)
+  trace.Add(std::move(txn));
+  std::string text = TraceToString(*fixture_.db, trace);
+  EXPECT_NE(text.find("T CustInfo"), std::string::npos);
+  EXPECT_NE(text.find("R TRADE i:1"), std::string::npos);
+  EXPECT_NE(text.find("W HOLDING_SUMMARY s:BLS i:8"), std::string::npos);
+}
+
+TEST_F(TraceIoTest, FileRoundTrip) {
+  Trace original = testing::MakeCustInfoTrace(fixture_, 2);
+  std::string path = ::testing::TempDir() + "/jecb_trace_io_test.trace";
+  ASSERT_TRUE(SaveTrace(path, *fixture_.db, original).ok());
+  auto loaded = LoadTrace(path, *fixture_.db);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().size(), original.size());
+  std::remove(path.c_str());
+}
+
+TEST_F(TraceIoTest, StringsWithSpacesSurvive) {
+  TupleId spaced = fixture_.db->MustInsert(
+      "HOLDING_SUMMARY", {std::string("TWO WORDS"), int64_t(1), int64_t(1)});
+  Trace trace;
+  uint32_t cls = trace.InternClass("C");
+  Transaction txn;
+  txn.class_id = cls;
+  txn.Read(spaced);
+  trace.Add(std::move(txn));
+  auto loaded = TraceFromString(TraceToString(*fixture_.db, trace), *fixture_.db);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().transactions()[0].accesses[0].tuple, spaced);
+}
+
+TEST_F(TraceIoTest, MalformedInputsRejected) {
+  const Database& db = *fixture_.db;
+  // Access before any transaction.
+  EXPECT_FALSE(TraceFromString("R TRADE i:1\n", db).ok());
+  // Unknown record type.
+  EXPECT_FALSE(TraceFromString("T C\nX TRADE i:1\n", db).ok());
+  // Unknown table.
+  EXPECT_FALSE(TraceFromString("T C\nR NOPE i:1\n", db).ok());
+  // Key arity mismatch.
+  EXPECT_FALSE(TraceFromString("T C\nR HOLDING_SUMMARY i:1\n", db).ok());
+  // Bad value syntax.
+  EXPECT_FALSE(TraceFromString("T C\nR TRADE 1\n", db).ok());
+  EXPECT_FALSE(TraceFromString("T C\nR TRADE i:abc\n", db).ok());
+  // Missing tuple.
+  auto missing = TraceFromString("T C\nR TRADE i:999\n", db);
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+  // Missing class name on T.
+  EXPECT_FALSE(TraceFromString("T\nR TRADE i:1\n", db).ok());
+}
+
+TEST_F(TraceIoTest, CommentsAndBlankLinesIgnored) {
+  auto loaded = TraceFromString(
+      "# header\n\nT C\n# mid comment\nR TRADE i:1\n\n", *fixture_.db);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().size(), 1u);
+  EXPECT_EQ(loaded.value().transactions()[0].accesses.size(), 1u);
+}
+
+TEST_F(TraceIoTest, LoadMissingFileFails) {
+  EXPECT_FALSE(LoadTrace("/nonexistent/path.trace", *fixture_.db).ok());
+}
+
+TEST_F(TraceIoTest, EmptyTraceRoundTrips) {
+  Trace empty;
+  auto loaded = TraceFromString(TraceToString(*fixture_.db, empty), *fixture_.db);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded.value().empty());
+}
+
+}  // namespace
+}  // namespace jecb

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "trace/trace.h"
+
+namespace jecb {
+namespace {
+
+TEST(TraceTest, InternClassReusesIds) {
+  Trace t;
+  uint32_t a = t.InternClass("A");
+  uint32_t b = t.InternClass("B");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(t.InternClass("A"), a);
+  EXPECT_EQ(t.num_classes(), 2u);
+  EXPECT_EQ(t.class_name(b), "B");
+  EXPECT_EQ(t.FindClass("B").value(), b);
+  EXPECT_FALSE(t.FindClass("C").ok());
+}
+
+Trace MakeTwoClassTrace(int n_a, int n_b) {
+  Trace t;
+  uint32_t a = t.InternClass("A");
+  uint32_t b = t.InternClass("B");
+  for (int i = 0; i < n_a; ++i) {
+    Transaction txn;
+    txn.class_id = a;
+    txn.Read({0, static_cast<RowId>(i)});
+    t.Add(std::move(txn));
+  }
+  for (int i = 0; i < n_b; ++i) {
+    Transaction txn;
+    txn.class_id = b;
+    txn.Write({1, static_cast<RowId>(i)});
+    t.Add(std::move(txn));
+  }
+  return t;
+}
+
+TEST(TraceTest, FilterClassKeepsNamesAligned) {
+  Trace t = MakeTwoClassTrace(5, 3);
+  Trace only_b = t.FilterClass(t.FindClass("B").value());
+  EXPECT_EQ(only_b.size(), 3u);
+  EXPECT_EQ(only_b.num_classes(), 2u);  // names carried over
+  for (const auto& txn : only_b.transactions()) {
+    EXPECT_EQ(only_b.class_name(txn.class_id), "B");
+  }
+}
+
+TEST(TraceTest, SplitTrainTestFractions) {
+  Trace t = MakeTwoClassTrace(700, 300);
+  auto [train, test] = t.SplitTrainTest(0.3);
+  EXPECT_EQ(train.size() + test.size(), 1000u);
+  EXPECT_NEAR(static_cast<double>(test.size()), 300.0, 5.0);
+}
+
+TEST(TraceTest, SplitZeroFraction) {
+  Trace t = MakeTwoClassTrace(10, 0);
+  auto [train, test] = t.SplitTrainTest(0.0);
+  EXPECT_EQ(train.size(), 10u);
+  EXPECT_TRUE(test.empty());
+}
+
+TEST(TraceTest, HeadTruncates) {
+  Trace t = MakeTwoClassTrace(10, 10);
+  EXPECT_EQ(t.Head(7).size(), 7u);
+  EXPECT_EQ(t.Head(100).size(), 20u);
+  EXPECT_EQ(t.Head(0).size(), 0u);
+}
+
+class ClassifyTest : public ::testing::Test {
+ protected:
+  ClassifyTest() : fixture_(testing::MakeCustInfoDb()) {}
+  testing::CustInfoDb fixture_;
+};
+
+TEST_F(ClassifyTest, ReadOnlyTablesDetected) {
+  const Schema& schema = fixture_.db->schema();
+  Trace trace = testing::MakeCustInfoTrace(fixture_);
+  auto classes = ClassifyTables(schema, trace);
+  // CustInfo only reads: everything it touches is read-only; CUSTOMER is
+  // untouched and also read-only (no writes).
+  for (size_t i = 0; i < classes.size(); ++i) {
+    EXPECT_EQ(classes[i], AccessClass::kReadOnly) << schema.table(i).name;
+  }
+}
+
+TEST_F(ClassifyTest, HeavyWriterStaysPartitioned) {
+  const Schema& schema = fixture_.db->schema();
+  Trace trace;
+  uint32_t cls = trace.InternClass("W");
+  for (int i = 0; i < 100; ++i) {
+    Transaction txn;
+    txn.class_id = cls;
+    txn.Write(fixture_.trades[i % fixture_.trades.size()]);
+    trace.Add(std::move(txn));
+  }
+  auto classes = ClassifyTables(schema, trace);
+  TableId trade = schema.FindTable("TRADE").value();
+  EXPECT_EQ(classes[trade], AccessClass::kPartitioned);
+}
+
+TEST_F(ClassifyTest, RareWriterBecomesReadMostly) {
+  const Schema& schema = fixture_.db->schema();
+  Trace trace;
+  uint32_t reader = trace.InternClass("R");
+  uint32_t writer = trace.InternClass("W");
+  for (int i = 0; i < 999; ++i) {
+    Transaction txn;
+    txn.class_id = reader;
+    txn.Read(fixture_.trades[0]);
+    trace.Add(std::move(txn));
+  }
+  Transaction txn;
+  txn.class_id = writer;
+  txn.Write(fixture_.trades[0]);
+  trace.Add(std::move(txn));
+
+  auto classes = ClassifyTables(schema, trace);
+  TableId trade = schema.FindTable("TRADE").value();
+  EXPECT_EQ(classes[trade], AccessClass::kReadMostly);
+}
+
+TEST_F(ClassifyTest, ThresholdIsConfigurable) {
+  const Schema& schema = fixture_.db->schema();
+  Trace trace;
+  uint32_t writer = trace.InternClass("W");
+  uint32_t reader = trace.InternClass("R");
+  for (int i = 0; i < 100; ++i) {
+    Transaction txn;
+    txn.class_id = (i < 5) ? writer : reader;
+    if (i < 5) {
+      txn.Write(fixture_.trades[0]);
+    } else {
+      txn.Read(fixture_.trades[0]);
+    }
+    trace.Add(std::move(txn));
+  }
+  TableId trade = schema.FindTable("TRADE").value();
+  ClassifyOptions strict;
+  strict.read_mostly_max_write_txn_fraction = 0.01;
+  EXPECT_EQ(ClassifyTables(schema, trace, strict)[trade], AccessClass::kPartitioned);
+  ClassifyOptions loose;
+  loose.read_mostly_max_write_txn_fraction = 0.10;
+  EXPECT_EQ(ClassifyTables(schema, trace, loose)[trade], AccessClass::kReadMostly);
+}
+
+TEST_F(ClassifyTest, ApplyClassificationStampsSchema) {
+  Schema schema = fixture_.db->schema();
+  std::vector<AccessClass> classes(schema.num_tables(), AccessClass::kReadOnly);
+  classes[0] = AccessClass::kPartitioned;
+  ApplyClassification(&schema, classes);
+  EXPECT_EQ(schema.table(0).access_class, AccessClass::kPartitioned);
+  EXPECT_EQ(schema.table(1).access_class, AccessClass::kReadOnly);
+}
+
+TEST_F(ClassifyTest, ComputeTableStatsCountsReadsWritesAndWriters) {
+  const Schema& schema = fixture_.db->schema();
+  Trace trace;
+  uint32_t cls = trace.InternClass("X");
+  Transaction txn;
+  txn.class_id = cls;
+  txn.Read(fixture_.trades[0]);
+  txn.Write(fixture_.trades[1]);
+  txn.Write(fixture_.trades[2]);
+  trace.Add(std::move(txn));
+  auto stats = ComputeTableStats(schema, trace);
+  TableId trade = schema.FindTable("TRADE").value();
+  EXPECT_EQ(stats[trade].reads, 1u);
+  EXPECT_EQ(stats[trade].writes, 2u);
+  EXPECT_EQ(stats[trade].txns_writing, 1u);  // one txn despite two writes
+}
+
+}  // namespace
+}  // namespace jecb

@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "jecb/join_graph.h"
+#include "jecb/tree_enum.h"
+#include "sql/analyzer.h"
+#include "sql/parser.h"
+#include "test_util.h"
+
+namespace jecb {
+namespace {
+
+/// Fixture around the CustInfo example: schema stamped so that CUSTOMER is
+/// replicated (read-only) and the other three tables are partitioned, as in
+/// the paper's discussion of Example 5.
+class TreeEnumTest : public ::testing::Test {
+ protected:
+  TreeEnumTest() : fixture_(testing::MakeCustInfoDb()) {
+    Schema& s = fixture_.db->mutable_schema();
+    s.mutable_table(s.FindTable("CUSTOMER").value()).access_class =
+        AccessClass::kReadOnly;
+    lattice_ = std::make_unique<AttributeLattice>(&fixture_.db->schema());
+    auto proc = sql::ParseProcedure(testing::CustInfoSql());
+    CheckOk(proc.status(), "TreeEnumTest");
+    auto info = sql::AnalyzeProcedure(fixture_.db->schema(), proc.value());
+    CheckOk(info.status(), "TreeEnumTest");
+    info_ = std::move(info).value();
+    graph_ = BuildJoinGraph(fixture_.db->schema(), info_);
+  }
+
+  const Schema& schema() const { return fixture_.db->schema(); }
+  ColumnRef Ref(const char* q) const { return schema().ResolveQualified(q).value(); }
+  TableId Tid(const char* name) const { return schema().FindTable(name).value(); }
+
+  testing::CustInfoDb fixture_;
+  std::unique_ptr<AttributeLattice> lattice_;
+  sql::ProcedureInfo info_;
+  JoinGraph graph_;
+};
+
+TEST_F(TreeEnumTest, JoinGraphActivatesExplicitJoins) {
+  // CustInfo joins TRADE and HOLDING_SUMMARY to CUSTOMER_ACCOUNT.
+  EXPECT_EQ(graph_.tables.size(), 3u);
+  EXPECT_EQ(graph_.partitioned_tables.size(), 3u);
+  ASSERT_EQ(graph_.active_fks.size(), 2u);
+  for (FkIdx f : graph_.active_fks) {
+    EXPECT_EQ(schema().foreign_keys()[f].ref_table, Tid("CUSTOMER_ACCOUNT"));
+  }
+}
+
+TEST_F(TreeEnumTest, ReachabilityFollowsActiveFks) {
+  auto from_trade = ReachableTables(schema(), graph_, Tid("TRADE"));
+  EXPECT_TRUE(from_trade.count(Tid("CUSTOMER_ACCOUNT")));
+  EXPECT_FALSE(from_trade.count(Tid("HOLDING_SUMMARY")));
+  auto from_ca = ReachableTables(schema(), graph_, Tid("CUSTOMER_ACCOUNT"));
+  EXPECT_EQ(from_ca.size(), 1u);  // CUSTOMER fk not active (table not accessed)
+}
+
+TEST_F(TreeEnumTest, RootAttributesAreOnCommonTable) {
+  auto roots = FindRootAttributes(schema(), graph_, *lattice_);
+  // All partitioned tables reach only CUSTOMER_ACCOUNT; candidates there are
+  // CA_ID and CA_C_ID (plus their equivalents deduplicated).
+  std::set<ColumnRef> got(roots.begin(), roots.end());
+  EXPECT_TRUE(got.count(Ref("CUSTOMER_ACCOUNT.CA_ID")) ||
+              got.count(Ref("TRADE.T_CA_ID")) ||
+              got.count(Ref("HOLDING_SUMMARY.HS_CA_ID")))
+      << "the CA_ID granularity must be a root";
+  EXPECT_TRUE(got.count(Ref("CUSTOMER_ACCOUNT.CA_C_ID")));
+  EXPECT_EQ(roots.size(), 2u);
+}
+
+TEST_F(TreeEnumTest, EnumerateFkPaths) {
+  auto paths =
+      EnumerateFkPaths(schema(), graph_, Tid("TRADE"), Tid("CUSTOMER_ACCOUNT"), 8);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0].size(), 1u);
+  // Self-paths are the empty hop list.
+  auto self = EnumerateFkPaths(schema(), graph_, Tid("TRADE"), Tid("TRADE"), 8);
+  ASSERT_EQ(self.size(), 1u);
+  EXPECT_TRUE(self[0].empty());
+  // Unreachable pairs yield nothing.
+  EXPECT_TRUE(
+      EnumerateFkPaths(schema(), graph_, Tid("CUSTOMER_ACCOUNT"), Tid("TRADE"), 8)
+          .empty());
+}
+
+TEST_F(TreeEnumTest, EnumerateTreesBuildsFigureTwoTree) {
+  auto trees = EnumerateTrees(schema(), graph_, *lattice_,
+                              Ref("CUSTOMER_ACCOUNT.CA_C_ID"),
+                              graph_.partitioned_tables);
+  ASSERT_GE(trees.size(), 1u);
+  const JoinTree& tree = trees[0];
+  EXPECT_EQ(tree.paths.size(), 3u);
+  // Every path must evaluate to the owning customer: Figure 2's tree.
+  const JoinPath& trade_path = tree.paths.at(Tid("TRADE"));
+  EXPECT_EQ(trade_path.Evaluate(*fixture_.db, fixture_.trades[0]).value().AsInt(), 1);
+  EXPECT_EQ(trade_path.Evaluate(*fixture_.db, fixture_.trades[1]).value().AsInt(), 2);
+  const JoinPath& ca_path = tree.paths.at(Tid("CUSTOMER_ACCOUNT"));
+  EXPECT_EQ(ca_path.length(), 0u);
+}
+
+TEST_F(TreeEnumTest, EnumerateTreesFailsForUnreachableCover) {
+  // HOLDING_SUMMARY cannot reach TRADE, so a tree rooted at T_ID over all
+  // three tables does not exist.
+  auto trees = EnumerateTrees(schema(), graph_, *lattice_, Ref("TRADE.T_ID"),
+                              graph_.partitioned_tables);
+  EXPECT_TRUE(trees.empty());
+}
+
+TEST_F(TreeEnumTest, SplitGraphOnDisconnectedComponents) {
+  // Deactivate the TRADE join: TRADE becomes its own component.
+  JoinGraph g = graph_;
+  std::vector<FkIdx> kept;
+  for (FkIdx f : g.active_fks) {
+    if (schema().foreign_keys()[f].table != Tid("TRADE")) kept.push_back(f);
+  }
+  g.active_fks = kept;
+  auto parts = SplitGraph(schema(), g);
+  ASSERT_EQ(parts.size(), 2u);
+}
+
+TEST_F(TreeEnumTest, SplitGraphReturnsSelfWhenConnected) {
+  auto parts = SplitGraph(schema(), graph_);
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0].tables, graph_.tables);
+}
+
+// The m-to-n split of Example 6: a table with FK edges into two partitioned
+// regions.
+TEST(SplitGraphTest, MToNSplit) {
+  Schema s;
+  auto add = [&](const char* name, std::initializer_list<const char*> cols,
+                 std::vector<std::string> pk) {
+    TableId t = s.AddTable(name).value();
+    for (const char* c : cols) CheckOk(s.AddColumn(t, c, ValueType::kInt64), "m2n");
+    CheckOk(s.SetPrimaryKey(t, pk), "m2n");
+    return t;
+  };
+  add("LEFT_P", {"L_ID"}, {"L_ID"});
+  add("RIGHT_P", {"R_ID"}, {"R_ID"});
+  TableId mid = add("MID", {"M_ID", "M_L", "M_R"}, {"M_ID"});
+  CheckOk(s.AddForeignKey("MID", {"M_L"}, "LEFT_P", {"L_ID"}), "m2n");
+  CheckOk(s.AddForeignKey("MID", {"M_R"}, "RIGHT_P", {"R_ID"}), "m2n");
+
+  JoinGraph g;
+  g.tables = {0, 1, 2};
+  g.partitioned_tables = {0, 1, 2};
+  g.active_fks = {0, 1};
+  g.candidate_attrs = {ColumnRef{0, 0}, ColumnRef{1, 0}, ColumnRef{mid, 0}};
+
+  AttributeLattice lattice(&s);
+  // No root: LEFT_P cannot reach RIGHT_P.
+  EXPECT_TRUE(FindRootAttributes(s, g, lattice).empty());
+
+  auto parts = SplitGraph(s, g);
+  ASSERT_EQ(parts.size(), 2u);
+  // Each part contains MID plus one side.
+  for (const auto& part : parts) {
+    EXPECT_TRUE(part.tables.count(mid));
+    EXPECT_EQ(part.tables.size(), 2u);
+  }
+}
+
+}  // namespace
+}  // namespace jecb

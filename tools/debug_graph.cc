@@ -1,0 +1,34 @@
+#include <cstdio>
+#include <random>
+#include "graph/partitioner.h"
+
+using namespace jecb;
+
+int main() {
+  std::mt19937_64 rng(5);
+  const int kClusters = 8, kPer = 200;
+  GraphBuilder b(kClusters * kPer, 1);
+  // dense intra-cluster, sparse inter-cluster
+  for (int c = 0; c < kClusters; ++c) {
+    for (int i = 0; i < kPer; ++i)
+      for (int j = 0; j < 8; ++j)
+        b.AddEdge(c * kPer + i, c * kPer + rng() % kPer, 3);
+  }
+  for (int e = 0; e < kClusters * kPer / 2; ++e)
+    b.AddEdge(rng() % (kClusters * kPer), rng() % (kClusters * kPer), 1);
+  Graph g = b.Build();
+  GraphPartitionOptions opt;
+  opt.num_parts = 8;
+  auto part = PartitionGraph(g, opt);
+  auto q = MeasurePartition(g, part, 8);
+  printf("cut=%llu imbalance=%.3f\n", (unsigned long long)q.cut, q.imbalance);
+  // majority partition per cluster + purity
+  for (int c = 0; c < kClusters; ++c) {
+    int count[8] = {0};
+    for (int i = 0; i < kPer; ++i) count[part[c * kPer + i]]++;
+    int best = 0;
+    for (int p = 1; p < 8; ++p) if (count[p] > count[best]) best = p;
+    printf("cluster %d -> part %d purity %.2f\n", c, best, count[best] / double(kPer));
+  }
+  return 0;
+}

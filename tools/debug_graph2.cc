@@ -1,0 +1,73 @@
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <unordered_map>
+#include "graph/partitioner.h"
+#include "storage/database.h"
+#include "trace/trace.h"
+#include "workloads/tpcc.h"
+
+using namespace jecb;
+
+int main(int argc, char** argv) {
+  TpccWorkload w;
+  WorkloadBundle b = w.Make(8000, 321);
+  auto [train, test] = b.trace.SplitTrainTest(0.3);
+  auto classes = ClassifyTables(b.db->schema(), train);
+  std::unordered_map<TupleId, NodeId, TupleIdHash> node_of;
+  std::vector<TupleId> tuples;
+  std::vector<std::vector<NodeId>> txns;
+  for (auto& t : train.transactions()) {
+    std::vector<NodeId> ns;
+    for (auto& a : t.accesses) {
+      if (classes[a.tuple.table] != AccessClass::kPartitioned) continue;
+      auto [it, ins] = node_of.emplace(a.tuple, tuples.size());
+      if (ins) tuples.push_back(a.tuple);
+      if (std::find(ns.begin(), ns.end(), it->second) == ns.end()) ns.push_back(it->second);
+    }
+    txns.push_back(ns);
+  }
+  GraphBuilder gb(tuples.size(), 0);
+  for (auto& ns : txns) {
+    for (auto n : ns) gb.AddNodeWeight(n, 1);
+    for (size_t i = 0; i < ns.size(); ++i)
+      for (size_t j = i + 1; j < ns.size(); ++j) gb.AddEdge(ns[i], ns[j], 1);
+  }
+  Graph g = gb.Build();
+  printf("nodes=%zu edges=%zu total_w=%llu\n", g.num_nodes(), g.num_edges(),
+         (unsigned long long)g.total_node_weight());
+  GraphPartitionOptions opt;
+  opt.num_parts = 8;
+  opt.coarse_target = argc > 1 ? atoi(argv[1]) : 64;
+  opt.balance_tolerance = argc > 2 ? atof(argv[2]) : 1.10;
+  opt.refine_passes = argc > 3 ? atoi(argv[3]) : 6;
+  opt.seed = argc > 4 ? atoi(argv[4]) : 1;
+  auto part = PartitionGraph(g, opt);
+  auto q = MeasurePartition(g, part, 8);
+  printf("cut=%llu imbalance=%.3f\n", (unsigned long long)q.cut, q.imbalance);
+  // warehouse purity: group tuples by the warehouse column (col 0 of most tables)
+  // WAREHOUSE table id:
+  auto wt = b.db->schema().FindTable("WAREHOUSE").value();
+  // per warehouse, weight per partition using first int col as warehouse id when plausible
+  double agree = 0, tot = 0;
+  std::vector<std::array<uint64_t, 8>> wpart(8);
+  for (auto& a : wpart) a.fill(0);
+  for (NodeId n = 0; n < tuples.size(); ++n) {
+    TupleId t = tuples[n];
+    int64_t wid = b.db->table_data(t.table).At(t.row, t.table == wt ? 0 : 0).AsInt();
+    // HISTORY col0 is H_ID not warehouse; skip HISTORY
+    if (b.db->schema().table(t.table).name == "HISTORY") continue;
+    if (wid < 0 || wid >= 8) continue;
+    wpart[wid][part[n]] += g.node_weight(n);
+  }
+  for (int wh = 0; wh < 8; ++wh) {
+    uint64_t best = 0, sum = 0;
+    int bestp = 0;
+    for (int p = 0; p < 8; ++p) { sum += wpart[wh][p]; if (wpart[wh][p] > best) { best = wpart[wh][p]; bestp = p; } }
+    printf("wh %d -> part %d purity %.2f (w=%llu)\n", wh, bestp, double(best)/sum,
+           (unsigned long long)sum);
+    agree += best; tot += sum;
+  }
+  printf("overall purity %.3f\n", agree / tot);
+  return 0;
+}

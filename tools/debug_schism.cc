@@ -1,0 +1,32 @@
+#include <cstdio>
+#include "partition/evaluator.h"
+#include "schism/schism.h"
+#include "workloads/tpcc.h"
+
+using namespace jecb;
+
+int main() {
+  TpccWorkload w;
+  WorkloadBundle b = w.Make(8000, 321);
+  auto [train, test] = b.trace.SplitTrainTest(0.3);
+  Schism schism(SchismOptions{});
+  auto res = schism.Partition(b.db.get(), train);
+  printf("nodes=%zu edges=%zu cut=%llu\n", res.value().graph_nodes, res.value().graph_edges, (unsigned long long)res.value().edge_cut);
+  EvalResult tr = Evaluate(*b.db, res.value().solution, train);
+  EvalResult ev = Evaluate(*b.db, res.value().solution, test);
+  printf("train cost %.3f test cost %.3f acc %.3f\n", tr.cost(), ev.cost(),
+         res.value().explanation_accuracy);
+  for (uint32_t c = 0; c < test.num_classes(); ++c)
+    printf("  %-14s train %.3f test %.3f\n", test.class_name(c).c_str(),
+           tr.class_cost(c), ev.class_cost(c));
+  // Where do warehouse tuples land?
+  auto wt = b.db->schema().FindTable("WAREHOUSE").value();
+  for (RowId r = 0; r < b.db->table_data(wt).num_rows(); ++r)
+    printf("warehouse %u -> %d\n", r, res.value().solution.PartitionOf(*b.db, {wt, r}));
+  auto dt = b.db->schema().FindTable("DISTRICT").value();
+  for (RowId r = 0; r < 16; ++r)
+    printf("district %u (w=%lld) -> %d\n", r,
+           (long long)b.db->table_data(dt).At(r, 0).AsInt(),
+           res.value().solution.PartitionOf(*b.db, {dt, r}));
+  return 0;
+}

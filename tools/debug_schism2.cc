@@ -1,0 +1,27 @@
+#include <cstdio>
+#include "partition/evaluator.h"
+#include "schism/schism.h"
+#include "workloads/tpcc.h"
+using namespace jecb;
+int main() {
+  TpccConfig cfg; cfg.warehouses = 8; cfg.districts_per_warehouse = 6; cfg.customers_per_district = 30;
+  WorkloadBundle b = TpccWorkload(cfg).Make(14000, 77);
+  auto [train, test] = b.trace.SplitTrainTest(0.3);
+  for (size_t n : {900, 2000, 4000, 9800}) {
+    Trace tr = train.Head(n);
+    auto res = Schism(SchismOptions{}).Partition(b.db.get(), tr);
+    EvalResult ev = Evaluate(*b.db, res.value().solution, test);
+    printf("train=%zu nodes=%zu cut=%llu acc=%.3f test=%.3f |", n,
+           res.value().graph_nodes, (unsigned long long)res.value().edge_cut,
+           res.value().explanation_accuracy, ev.cost());
+    for (uint32_t c = 0; c < test.num_classes(); ++c)
+      printf(" %s=%.2f", test.class_name(c).c_str(), ev.class_cost(c));
+    printf("\n");
+    // warehouse tuple placement
+    auto wt = b.db->schema().FindTable("WAREHOUSE").value();
+    printf("  wh parts:");
+    for (RowId r = 0; r < 8; ++r) printf(" %d", res.value().solution.PartitionOf(*b.db, {wt, r}));
+    printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,45 @@
+#include <cstdio>
+#include "jecb/jecb.h"
+#include "partition/evaluator.h"
+#include "workloads/tatp.h"
+#include "workloads/tpcc.h"
+#include "workloads/tpce.h"
+#include "workloads/seats.h"
+#include "workloads/auctionmark.h"
+#include "workloads/synthetic.h"
+
+using namespace jecb;
+
+static void RunOne(const Workload& w, size_t n) {
+  printf("==== %s ====\n", w.name().c_str());
+  WorkloadBundle b = w.Make(n, 123);
+  auto [train, test] = b.trace.SplitTrainTest(0.3);
+  Jecb jecb;
+  auto res = Jecb(JecbOptions{}).Partition(b.db.get(), b.procedures, train);
+  if (!res.ok()) { printf("JECB FAILED: %s\n", res.status().ToString().c_str()); return; }
+  const JecbResult& r = res.value();
+  printf("%s", FormatClassSolutions(b.db->schema(), r.classes).c_str());
+  printf("chosen attr: %s  train cost %.3f  elapsed %.2fs\n",
+         r.combiner_report.chosen_attr.c_str(), r.combiner_report.best_train_cost,
+         r.elapsed_seconds);
+  printf("naive space %.3g -> evaluated %llu combos; candidates:", r.combiner_report.naive_search_space,
+         (unsigned long long)r.combiner_report.evaluated_combinations);
+  for (auto& a : r.combiner_report.candidate_attrs) printf(" %s", a.c_str());
+  printf("\n");
+  EvalResult ev = Evaluate(*b.db, r.solution, test);
+  printf("TEST cost: %.3f (%llu/%llu txns)\n", ev.cost(),
+         (unsigned long long)ev.distributed_txns, (unsigned long long)ev.total_txns);
+  for (uint32_t c = 0; c < test.num_classes(); ++c) {
+    printf("  %-22s %.3f\n", test.class_name(c).c_str(), ev.class_cost(c));
+  }
+}
+
+int main() {
+  RunOne(TatpWorkload(), 8000);
+  RunOne(TpccWorkload(), 8000);
+  RunOne(SeatsWorkload(), 8000);
+  RunOne(AuctionMarkWorkload(), 8000);
+  RunOne(TpceWorkload(), 12000);
+  RunOne(SyntheticWorkload(), 6000);
+  return 0;
+}

@@ -1,0 +1,44 @@
+#include <cstdio>
+#include "horticulture/horticulture.h"
+#include "partition/evaluator.h"
+#include "schism/schism.h"
+#include "workloads/tatp.h"
+#include "workloads/tpcc.h"
+#include "workloads/tpce.h"
+#include "workloads/seats.h"
+
+using namespace jecb;
+
+static void RunOne(const Workload& w, size_t n) {
+  printf("==== %s ====\n", w.name().c_str());
+  WorkloadBundle b = w.Make(n, 321);
+  auto [train, test] = b.trace.SplitTrainTest(0.3);
+  {
+    Schism schism(SchismOptions{});
+    auto res = schism.Partition(b.db.get(), train);
+    if (!res.ok()) { printf("schism failed: %s\n", res.status().ToString().c_str()); return; }
+    EvalResult ev = Evaluate(*b.db, res.value().solution, test);
+    printf("Schism: nodes=%zu edges=%zu cut=%llu acc=%.3f time=%.1fs TEST cost=%.3f\n",
+           res.value().graph_nodes, res.value().graph_edges,
+           (unsigned long long)res.value().edge_cut, res.value().explanation_accuracy,
+           res.value().elapsed_seconds, ev.cost());
+  }
+  {
+    Horticulture hort(HorticultureOptions{});
+    auto res = hort.Partition(b.db.get(), train);
+    if (!res.ok()) { printf("hort failed: %s\n", res.status().ToString().c_str()); return; }
+    EvalResult ev = Evaluate(*b.db, res.value().solution, test);
+    printf("Horticulture: evals=%d train=%.3f time=%.1fs TEST cost=%.3f\n",
+           res.value().evaluations, res.value().train_cost,
+           res.value().elapsed_seconds, ev.cost());
+    printf("%s", res.value().solution.Describe(b.db->schema()).c_str());
+  }
+}
+
+int main() {
+  RunOne(TatpWorkload(), 8000);
+  RunOne(TpccWorkload(), 8000);
+  RunOne(SeatsWorkload(), 8000);
+  RunOne(TpceWorkload(), 10000);
+  return 0;
+}
