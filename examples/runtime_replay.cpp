@@ -1,0 +1,47 @@
+// Minimal tour of the execution runtime: partition a small TPC-C database
+// with JECB, replay the workload through the multi-threaded shard executor,
+// and print the measured report (the JSON line is what the bench harness
+// aggregates into throughput_tpcc.json).
+#include <cstdio>
+
+#include "jecb/jecb.h"
+#include "runtime/replay.h"
+#include "workloads/tpcc.h"
+
+using namespace jecb;
+
+int main() {
+  TpccConfig cfg;
+  cfg.warehouses = 8;
+  cfg.districts_per_warehouse = 2;
+  cfg.customers_per_district = 6;
+  cfg.items = 25;
+  WorkloadBundle bundle = TpccWorkload(cfg).Make(3000, 42);
+
+  JecbOptions jopt;
+  jopt.num_partitions = 4;
+  auto result = Jecb(jopt).Partition(bundle.db.get(), bundle.procedures, bundle.trace);
+  if (!result.ok()) {
+    std::fprintf(stderr, "partitioning failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+
+  RuntimeOptions ropt;
+  ropt.num_clients = 4;
+  ropt.local_work_us = 2;
+  ropt.round_trip_us = 100;
+  ReplayReport report =
+      Replay(*bundle.db, result.value().solution, bundle.trace, ropt, "jecb-tpcc-k4");
+
+  std::printf("replayed %llu txns on %d shards: %.0f txn/s, %.2f%% distributed\n",
+              static_cast<unsigned long long>(report.committed),
+              report.num_partitions, report.throughput_tps,
+              report.distributed_fraction() * 100.0);
+  std::printf("local  p50/p95/p99: %.0f/%.0f/%.0f us\n", report.local.p50_us,
+              report.local.p95_us, report.local.p99_us);
+  std::printf("dist   p50/p95/p99: %.0f/%.0f/%.0f us\n", report.distributed.p50_us,
+              report.distributed.p95_us, report.distributed.p99_us);
+  std::printf("%s\n", report.ToJson().c_str());
+  return 0;
+}

@@ -33,10 +33,18 @@ struct EvalResult {
                            : static_cast<double>(distributed_txns) /
                                  static_cast<double>(total_txns);
   }
+  /// Cost of one class; ids beyond the evaluated trace's class count (e.g.
+  /// a class that never occurred) are 0, not UB.
   double class_cost(uint32_t cls) const {
-    return class_total[cls] == 0 ? 0.0
-                                 : static_cast<double>(class_distributed[cls]) /
-                                       static_cast<double>(class_total[cls]);
+    if (cls >= class_total.size() || class_total[cls] == 0) return 0.0;
+    return static_cast<double>(class_distributed[cls]) /
+           static_cast<double>(class_total[cls]);
+  }
+  uint64_t class_total_of(uint32_t cls) const {
+    return cls < class_total.size() ? class_total[cls] : 0;
+  }
+  uint64_t class_distributed_of(uint32_t cls) const {
+    return cls < class_distributed.size() ? class_distributed[cls] : 0;
   }
 
   /// Coefficient of variation of partition_load; 0 = perfectly balanced.

@@ -1,8 +1,14 @@
 #include "partition/router.h"
 
+#include <algorithm>
+
 namespace jecb {
 
 const Router::LookupTable& Router::TableFor(const ColumnRef& attr) {
+  // Serialize build-on-first-use: a table inserted into the node-based map
+  // never moves, and is never mutated again, so returning a reference out of
+  // the lock is safe for concurrent readers.
+  std::lock_guard<std::mutex> guard(mu_);
   auto it = tables_.find(attr);
   if (it != tables_.end()) return it->second;
   LookupTable table;
@@ -10,7 +16,9 @@ const Router::LookupTable& Router::TableFor(const ColumnRef& attr) {
   for (RowId r = 0; r < data.num_rows(); ++r) {
     TupleId t{attr.table, r};
     int32_t p = solution_->PartitionOf(*db_, t);
-    table[data.At(r, attr.column)].insert(p);
+    PartitionSet& parts = table[data.At(r, attr.column)];
+    auto pos = std::lower_bound(parts.begin(), parts.end(), p);
+    if (pos == parts.end() || *pos != p) parts.insert(pos, p);
   }
   return tables_.emplace(attr, std::move(table)).first->second;
 }
@@ -19,7 +27,7 @@ std::vector<int32_t> Router::RouteValue(const ColumnRef& attr, const Value& valu
   const LookupTable& table = TableFor(attr);
   auto it = table.find(value);
   if (it == table.end()) return Broadcast();
-  return std::vector<int32_t>(it->second.begin(), it->second.end());
+  return it->second;
 }
 
 std::vector<int32_t> Router::Broadcast() const {
@@ -27,6 +35,10 @@ std::vector<int32_t> Router::Broadcast() const {
   all.reserve(solution_->num_partitions());
   for (int32_t p = 0; p < solution_->num_partitions(); ++p) all.push_back(p);
   return all;
+}
+
+void Router::Warm(const std::vector<ColumnRef>& attrs) {
+  for (const ColumnRef& attr : attrs) TableFor(attr);
 }
 
 size_t Router::LookupTableSize(const ColumnRef& attr) {

@@ -4,7 +4,7 @@
 #pragma once
 
 #include <map>
-#include <set>
+#include <mutex>
 #include <vector>
 
 #include "partition/solution.h"
@@ -18,30 +18,43 @@ namespace jecb {
 /// The lookup table for attribute A of table T maps each value of A to the
 /// set of partitions holding a T-tuple with that value — exactly the paper's
 /// "lookup table" mapping; coarser attributes yield smaller tables.
+///
+/// Thread-safe: lazy table construction is serialized behind a mutex and a
+/// built table is immutable, so concurrent RouteValue calls are fine. Call
+/// Warm() with the attributes a workload routes on before spawning worker
+/// threads to keep the build (which walks the solution's non-thread-safe
+/// memo caches) out of the parallel phase entirely.
 class Router {
  public:
   Router(const Database* db, const DatabaseSolution* solution)
       : db_(db), solution_(solution) {}
 
   /// Partitions that hold tuples of `attr`'s table whose `attr` column equals
-  /// `value`. Unknown values (not in the data) return the broadcast set.
-  /// A result containing kReplicated means "any partition".
+  /// `value`, sorted ascending. Unknown values (not in the data) return the
+  /// broadcast set. A result containing kReplicated means "any partition".
   std::vector<int32_t> RouteValue(const ColumnRef& attr, const Value& value);
 
   /// All partitions.
   std::vector<int32_t> Broadcast() const;
+
+  /// Eagerly builds the lookup tables for `attrs` on the calling thread.
+  void Warm(const std::vector<ColumnRef>& attrs);
 
   /// Number of distinct values in the lookup table built for `attr`
   /// (builds it if needed); the paper's lookup-table space metric.
   size_t LookupTableSize(const ColumnRef& attr);
 
  private:
-  using LookupTable = std::unordered_map<Value, std::set<int32_t>, ValueHashFunctor>;
+  /// Values map to the sorted distinct partitions holding a matching tuple;
+  /// tiny and read-only after build, so a sorted vector beats std::set.
+  using PartitionSet = std::vector<int32_t>;
+  using LookupTable = std::unordered_map<Value, PartitionSet, ValueHashFunctor>;
 
   const LookupTable& TableFor(const ColumnRef& attr);
 
   const Database* db_;
   const DatabaseSolution* solution_;
+  std::mutex mu_;  ///< guards tables_; node-based map keeps references stable
   std::map<ColumnRef, LookupTable> tables_;
 };
 

@@ -111,4 +111,10 @@ class DatabaseSolution {
   std::vector<std::shared_ptr<const TablePartitioner>> per_table_;
 };
 
+/// Naive baseline solution: every table hash-partitioned independently by
+/// its primary key (by row id when a table has no PK). Nothing co-locates
+/// across tables, so almost every multi-table transaction is distributed —
+/// the worst case the paper's Fig. 1 throughput cliff is measured against.
+DatabaseSolution MakeNaiveHashSolution(const Database& db, int32_t num_partitions);
+
 }  // namespace jecb

@@ -1,0 +1,78 @@
+#include "runtime/executor.h"
+
+#include <algorithm>
+
+namespace jecb {
+
+ShardExecutor::ShardExecutor(const ShardedDatabase& sharded_db,
+                             const RuntimeOptions& options, RuntimeMetrics* metrics)
+    : sharded_db_(sharded_db), options_(options), metrics_(metrics) {
+  shards_.reserve(sharded_db_.num_shards());
+  for (int32_t i = 0; i < sharded_db_.num_shards(); ++i) {
+    shards_.push_back(std::make_unique<ShardState>());
+  }
+}
+
+ShardExecutor::~ShardExecutor() { Shutdown(); }
+
+void ShardExecutor::Start() {
+  if (started_) return;
+  started_ = true;
+  for (int32_t i = 0; i < num_shards(); ++i) {
+    shards_[i]->worker = std::thread([this, i] { WorkerLoop(i); });
+  }
+}
+
+void ShardExecutor::ExecuteLocal(const ClassifiedTxn& txn) {
+  Job job;
+  job.txn = &txn;
+  job.enqueued = std::chrono::steady_clock::now();
+  shards_[txn.home]->queue.Push(&job);
+  job.done.acquire();
+}
+
+void ShardExecutor::Shutdown() {
+  if (!started_) return;
+  for (auto& shard : shards_) shard->queue.Close();
+  for (auto& shard : shards_) {
+    if (shard->worker.joinable()) shard->worker.join();
+  }
+  started_ = false;
+}
+
+void ShardExecutor::VerifyResidency(const ClassifiedTxn& txn) {
+  uint64_t faults = 0;
+  for (const Access& a : txn.txn->accesses) {
+    int32_t p = sharded_db_.PrimaryShardOf(a.tuple);
+    if (p == kReplicated) continue;  // present on every shard
+    if (!std::binary_search(txn.participants.begin(), txn.participants.end(), p)) {
+      ++faults;
+    }
+  }
+  if (faults > 0) {
+    metrics_->residency_faults.fetch_add(faults, std::memory_order_relaxed);
+  }
+}
+
+void ShardExecutor::WorkerLoop(int32_t shard_id) {
+  ShardState& shard = *shards_[shard_id];
+  ShardMetrics& sm = metrics_->shard(shard_id);
+  while (auto job_opt = shard.queue.Pop()) {
+    Job* job = *job_opt;
+    const ClassifiedTxn& txn = *job->txn;
+    if (options_.verify_residency) VerifyResidency(txn);
+    {
+      std::lock_guard<std::mutex> guard(shard.lock);
+      SimulateCpuWork(options_.local_work_us);
+    }
+    sm.busy_us.fetch_add(options_.local_work_us, std::memory_order_relaxed);
+    uint64_t latency_us = ElapsedUs(job->enqueued);
+    sm.local_txns.fetch_add(1, std::memory_order_relaxed);
+    sm.latency.Record(latency_us);
+    metrics_->local_latency.Record(latency_us);
+    metrics_->committed.fetch_add(1, std::memory_order_relaxed);
+    job->done.release();
+  }
+}
+
+}  // namespace jecb

@@ -1,0 +1,36 @@
+#include "runtime/metrics.h"
+
+namespace jecb {
+
+double LatencyHistogram::Quantile(double q) const {
+  uint64_t n = count();
+  if (n == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the target observation (1-based, ceil).
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(n));
+  if (rank == 0) rank = 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    uint64_t in_bucket = buckets_[i].load(std::memory_order_relaxed);
+    if (in_bucket == 0) continue;
+    if (seen + in_bucket >= rank) {
+      // Linear interpolation inside [lo, hi): bucket 0 is [0, 1).
+      double lo = i == 0 ? 0.0 : static_cast<double>(1ULL << (i - 1));
+      double hi = static_cast<double>(1ULL << i);
+      double frac = static_cast<double>(rank - seen) / static_cast<double>(in_bucket);
+      return lo + (hi - lo) * frac;
+    }
+    seen += in_bucket;
+  }
+  return static_cast<double>(max_us());
+}
+
+RuntimeMetrics::RuntimeMetrics(int32_t num_shards) {
+  shards_.reserve(num_shards);
+  for (int32_t i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<ShardMetrics>());
+  }
+}
+
+}  // namespace jecb

@@ -1,0 +1,91 @@
+// Runtime metrics: lock-free counters and fixed-bucket latency histograms
+// updated by worker/coordinator threads while the replay runs, snapshotted
+// afterwards for reports and JSON export. All mutators are atomic with
+// relaxed ordering — metrics never synchronize the execution itself.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace jecb {
+
+/// Fixed power-of-two-bucket histogram of microsecond latencies.
+///
+/// Bucket i holds values in [2^(i-1), 2^i) µs (bucket 0 holds 0–1 µs), so
+/// quantiles are exact to within one octave and refined by linear
+/// interpolation inside the bucket. 48 buckets cover > 8 years.
+class LatencyHistogram {
+ public:
+  static constexpr size_t kNumBuckets = 48;
+
+  void Record(uint64_t us) {
+    buckets_[BucketOf(us)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_us_.fetch_add(us, std::memory_order_relaxed);
+    uint64_t prev = max_us_.load(std::memory_order_relaxed);
+    while (us > prev &&
+           !max_us_.compare_exchange_weak(prev, us, std::memory_order_relaxed)) {
+    }
+  }
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t max_us() const { return max_us_.load(std::memory_order_relaxed); }
+  double mean_us() const {
+    uint64_t n = count();
+    return n == 0 ? 0.0
+                  : static_cast<double>(sum_us_.load(std::memory_order_relaxed)) /
+                        static_cast<double>(n);
+  }
+
+  /// Approximate quantile in µs; q in [0, 1]. 0 when empty.
+  double Quantile(double q) const;
+
+  static size_t BucketOf(uint64_t us) {
+    if (us == 0) return 0;
+    size_t b = static_cast<size_t>(64 - __builtin_clzll(us));
+    return b >= kNumBuckets ? kNumBuckets - 1 : b;
+  }
+
+ private:
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_us_{0};
+  std::atomic<uint64_t> max_us_{0};
+};
+
+/// Per-shard counters plus the latency distribution of transactions homed
+/// at this shard (single-partition txns, and distributed txns whose lowest
+/// participant id is this shard).
+struct ShardMetrics {
+  std::atomic<uint64_t> local_txns{0};
+  std::atomic<uint64_t> dist_participations{0};
+  std::atomic<uint64_t> busy_us{0};  ///< simulated work done under this shard's lock
+  LatencyHistogram latency;
+};
+
+/// All counters for one replay run. Shards are heap-allocated once up front;
+/// the vector is never resized while workers run.
+class RuntimeMetrics {
+ public:
+  explicit RuntimeMetrics(int32_t num_shards);
+
+  ShardMetrics& shard(int32_t i) { return *shards_[i]; }
+  const ShardMetrics& shard(int32_t i) const { return *shards_[i]; }
+  int32_t num_shards() const { return static_cast<int32_t>(shards_.size()); }
+
+  std::atomic<uint64_t> committed{0};
+  std::atomic<uint64_t> distributed_committed{0};
+  std::atomic<uint64_t> residency_faults{0};
+
+  LatencyHistogram local_latency;
+  LatencyHistogram distributed_latency;
+
+ private:
+  std::vector<std::unique_ptr<ShardMetrics>> shards_;
+};
+
+}  // namespace jecb

@@ -1,0 +1,188 @@
+#include "runtime/replay.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "common/string_util.h"
+#include "partition/evaluator.h"
+#include "runtime/txn_coordinator.h"
+
+namespace jecb {
+
+std::vector<ClassifiedTxn> ClassifyTrace(const Database& db,
+                                         const DatabaseSolution& solution,
+                                         const Trace& trace) {
+  const int32_t k = std::max(solution.num_partitions(), 1);
+  std::vector<ClassifiedTxn> out;
+  out.reserve(trace.size());
+  std::vector<int32_t> parts;
+  size_t index = 0;
+  for (const Transaction& txn : trace.transactions()) {
+    ClassifiedTxn ct;
+    ct.txn = &txn;
+    bool writes_replicated = false;
+    parts.clear();
+    for (const Access& a : txn.accesses) {
+      int32_t p = solution.PartitionOf(db, a.tuple);
+      if (p == kReplicated) {
+        if (a.write) writes_replicated = true;
+        continue;
+      }
+      if (p < 0 || p >= k) {
+        // Same deterministic fallback ShardedDatabase uses for unresolvable
+        // placements, so residency checks still line up.
+        p = static_cast<int32_t>(TupleIdHash{}(a.tuple) % static_cast<size_t>(k));
+      }
+      parts.push_back(p);
+    }
+    std::sort(parts.begin(), parts.end());
+    parts.erase(std::unique(parts.begin(), parts.end()), parts.end());
+    if (writes_replicated) {
+      // A replicated write must apply on every shard.
+      ct.participants.resize(k);
+      for (int32_t p = 0; p < k; ++p) ct.participants[p] = p;
+    } else if (parts.empty()) {
+      // Replicated reads only: executable anywhere; spread round-robin.
+      ct.participants = {static_cast<int32_t>(index % static_cast<size_t>(k))};
+    } else {
+      ct.participants = parts;
+    }
+    ct.home = ct.participants.front();
+    ct.distributed = IsDistributed(db, solution, txn);
+    out.push_back(std::move(ct));
+    ++index;
+  }
+  return out;
+}
+
+namespace {
+
+LatencyReport SnapshotLatency(const LatencyHistogram& h) {
+  LatencyReport r;
+  r.count = h.count();
+  r.mean_us = h.mean_us();
+  r.p50_us = h.Quantile(0.50);
+  r.p95_us = h.Quantile(0.95);
+  r.p99_us = h.Quantile(0.99);
+  r.max_us = static_cast<double>(h.max_us());
+  return r;
+}
+
+void AppendLatencyJson(std::string* out, const char* key, const LatencyReport& l) {
+  *out += "\"";
+  *out += key;
+  *out += "\":{\"count\":" + std::to_string(l.count) +
+          ",\"mean_us\":" + FormatDouble(l.mean_us, 1) +
+          ",\"p50_us\":" + FormatDouble(l.p50_us, 1) +
+          ",\"p95_us\":" + FormatDouble(l.p95_us, 1) +
+          ",\"p99_us\":" + FormatDouble(l.p99_us, 1) +
+          ",\"max_us\":" + FormatDouble(l.max_us, 1) + "}";
+}
+
+}  // namespace
+
+std::string ReplayReport::ToJson() const {
+  std::string out = "{";
+  out += "\"label\":\"" + label + "\"";
+  out += ",\"partitions\":" + std::to_string(num_partitions);
+  out += ",\"total_txns\":" + std::to_string(total_txns);
+  out += ",\"committed\":" + std::to_string(committed);
+  out += ",\"distributed_txns\":" + std::to_string(distributed_committed);
+  out += ",\"distributed_fraction\":" + FormatDouble(distributed_fraction(), 4);
+  out += ",\"residency_faults\":" + std::to_string(residency_faults);
+  out += ",\"wall_seconds\":" + FormatDouble(wall_seconds, 3);
+  out += ",\"throughput_tps\":" + FormatDouble(throughput_tps, 0);
+  out += ",\"replication_factor\":" + FormatDouble(replication_factor, 2);
+  out += ",\"storage_skew\":" + FormatDouble(storage_skew, 3);
+  out += ",\"latency_us\":{";
+  AppendLatencyJson(&out, "local", local);
+  out += ",";
+  AppendLatencyJson(&out, "distributed", distributed);
+  out += "},\"shards\":[";
+  for (size_t i = 0; i < shards.size(); ++i) {
+    const ShardReport& s = shards[i];
+    if (i > 0) out += ",";
+    out += "{\"shard\":" + std::to_string(s.shard) +
+           ",\"stored_tuples\":" + std::to_string(s.stored_tuples) +
+           ",\"local_txns\":" + std::to_string(s.local_txns) +
+           ",\"dist_participations\":" + std::to_string(s.dist_participations) +
+           ",\"busy_us\":" + std::to_string(s.busy_us) +
+           ",\"p50_us\":" + FormatDouble(s.p50_us, 1) +
+           ",\"p95_us\":" + FormatDouble(s.p95_us, 1) +
+           ",\"p99_us\":" + FormatDouble(s.p99_us, 1) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+ReplayReport Replay(const Database& db, const DatabaseSolution& solution,
+                    const Trace& trace, const RuntimeOptions& options,
+                    std::string label) {
+  // Phase A (single-threaded): resolve placements — this also warms the
+  // solution's per-tuple memo caches, which are not safe to fill
+  // concurrently — and materialize the shard layout.
+  std::vector<ClassifiedTxn> classified = ClassifyTrace(db, solution, trace);
+  ShardedDatabase sharded(db, solution);
+
+  RuntimeMetrics metrics(sharded.num_shards());
+  ShardExecutor executor(sharded, options, &metrics);
+  TxnCoordinator coordinator(&executor);
+  executor.Start();
+
+  // Phase B: closed-loop clients race through the classified trace.
+  std::atomic<size_t> next{0};
+  auto run_client = [&] {
+    for (;;) {
+      size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= classified.size()) break;
+      const ClassifiedTxn& ct = classified[i];
+      if (ct.RequiresTwoPhaseCommit()) {
+        coordinator.ExecuteDistributed(ct);
+      } else {
+        executor.ExecuteLocal(ct);
+      }
+    }
+  };
+  const int num_clients = std::max(options.num_clients, 1);
+  auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> clients;
+  clients.reserve(num_clients);
+  for (int c = 0; c < num_clients; ++c) clients.emplace_back(run_client);
+  for (std::thread& c : clients) c.join();
+  executor.Shutdown();
+  double wall = static_cast<double>(ElapsedUs(t0)) / 1e6;
+
+  // Phase C: snapshot.
+  ReplayReport report;
+  report.label = std::move(label);
+  report.num_partitions = sharded.num_shards();
+  report.total_txns = trace.size();
+  report.committed = metrics.committed.load();
+  report.distributed_committed = metrics.distributed_committed.load();
+  report.residency_faults = metrics.residency_faults.load();
+  report.wall_seconds = wall;
+  report.throughput_tps =
+      wall > 0.0 ? static_cast<double>(report.committed) / wall : 0.0;
+  report.replication_factor = sharded.ReplicationFactor();
+  report.storage_skew = sharded.StorageSkew();
+  report.local = SnapshotLatency(metrics.local_latency);
+  report.distributed = SnapshotLatency(metrics.distributed_latency);
+  report.shards.reserve(sharded.num_shards());
+  for (int32_t s = 0; s < sharded.num_shards(); ++s) {
+    const ShardMetrics& sm = metrics.shard(s);
+    ShardReport sr;
+    sr.shard = s;
+    sr.stored_tuples = sharded.shard_tuples(s);
+    sr.local_txns = sm.local_txns.load();
+    sr.dist_participations = sm.dist_participations.load();
+    sr.busy_us = sm.busy_us.load();
+    sr.p50_us = sm.latency.Quantile(0.50);
+    sr.p95_us = sm.latency.Quantile(0.95);
+    sr.p99_us = sm.latency.Quantile(0.99);
+    report.shards.push_back(sr);
+  }
+  return report;
+}
+
+}  // namespace jecb

@@ -1,0 +1,80 @@
+// Trace replay driver: classifies every trace transaction against a
+// solution, materializes the shard layout, and replays the workload through
+// the executor/coordinator with closed-loop client threads. The report
+// carries throughput, the measured distributed fraction (definitionally
+// equal to the static evaluator's), per-shard load and latency quantiles,
+// and a JSON export for downstream plotting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "partition/solution.h"
+#include "runtime/executor.h"
+#include "storage/database.h"
+#include "trace/trace.h"
+
+namespace jecb {
+
+/// Resolves each transaction's participant shards and static classification.
+/// Single-threaded by design: it warms the solution's per-tuple memo caches
+/// (which are not thread-safe) before any worker thread runs.
+std::vector<ClassifiedTxn> ClassifyTrace(const Database& db,
+                                         const DatabaseSolution& solution,
+                                         const Trace& trace);
+
+/// Snapshot of one shard after a replay.
+struct ShardReport {
+  int32_t shard = 0;
+  uint64_t stored_tuples = 0;
+  uint64_t local_txns = 0;
+  uint64_t dist_participations = 0;
+  uint64_t busy_us = 0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+};
+
+/// Snapshot of one latency distribution after a replay.
+struct LatencyReport {
+  uint64_t count = 0;
+  double mean_us = 0.0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+  double max_us = 0.0;
+};
+
+/// Outcome of one replay run.
+struct ReplayReport {
+  std::string label;
+  int32_t num_partitions = 0;
+  uint64_t total_txns = 0;
+  uint64_t committed = 0;
+  uint64_t distributed_committed = 0;
+  uint64_t residency_faults = 0;
+  double wall_seconds = 0.0;
+  double throughput_tps = 0.0;
+  double replication_factor = 1.0;
+  double storage_skew = 0.0;
+  LatencyReport local;
+  LatencyReport distributed;
+  std::vector<ShardReport> shards;
+
+  double distributed_fraction() const {
+    return committed == 0 ? 0.0
+                          : static_cast<double>(distributed_committed) /
+                                static_cast<double>(committed);
+  }
+
+  /// One self-contained JSON object (no trailing newline).
+  std::string ToJson() const;
+};
+
+/// Replays `trace` against `solution` and returns the measured report.
+ReplayReport Replay(const Database& db, const DatabaseSolution& solution,
+                    const Trace& trace, const RuntimeOptions& options,
+                    std::string label = "replay");
+
+}  // namespace jecb

@@ -1,0 +1,29 @@
+// Two-phase commit simulation for multi-partition transactions (the cost
+// the paper's partitioning minimizes). The coordinator runs on the
+// submitting client thread: it locks every participant shard in ascending
+// id order (deadlock-free total order), does the shard-side prepare work
+// under those locks, holds them across the prepare/vote network round trip,
+// applies the commit, releases, and waits out the commit/ack round trip.
+//
+// While a distributed transaction holds a shard's lock, that shard's worker
+// cannot execute local transactions — the mechanism behind the Fig. 1
+// throughput collapse as the distributed fraction grows.
+#pragma once
+
+#include "runtime/executor.h"
+
+namespace jecb {
+
+class TxnCoordinator {
+ public:
+  explicit TxnCoordinator(ShardExecutor* executor) : executor_(executor) {}
+
+  /// Runs one multi-partition transaction to commit. Blocks the calling
+  /// thread for the full simulated 2PC latency.
+  void ExecuteDistributed(const ClassifiedTxn& txn);
+
+ private:
+  ShardExecutor* executor_;
+};
+
+}  // namespace jecb

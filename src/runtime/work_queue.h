@@ -1,0 +1,58 @@
+// Multi-producer single-consumer blocking work queue: the mailbox between
+// transaction submitters (clients, the 2PC coordinator) and a shard's worker
+// thread. Unbounded; the replay driver runs closed-loop so the queue depth
+// never exceeds the number of client threads.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+namespace jecb {
+
+template <typename T>
+class WorkQueue {
+ public:
+  /// Enqueues one item; wakes the consumer. Safe from any thread.
+  void Push(T item) {
+    {
+      std::lock_guard<std::mutex> guard(mu_);
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+  }
+
+  /// Blocks until an item is available or the queue is closed. Returns
+  /// nullopt only when closed AND drained, so no pushed item is ever lost.
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// After Close(), Pop() drains remaining items then returns nullopt.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> guard(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> guard(mu_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace jecb

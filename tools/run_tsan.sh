@@ -1,0 +1,12 @@
+#!/bin/sh
+# Builds the concurrency-sensitive tests under ThreadSanitizer and runs them.
+# Usage: tools/run_tsan.sh [build-dir]   (default: build-tsan)
+set -eu
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-tsan}"
+
+cmake -B "$BUILD_DIR" -S . -DJECB_SANITIZE=thread >/dev/null
+cmake --build "$BUILD_DIR" --target runtime_test router_test -j "$(nproc)"
+cd "$BUILD_DIR"
+exec ctest --output-on-failure -R 'Runtime|Router'
