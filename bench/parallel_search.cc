@@ -1,0 +1,186 @@
+// Parallel-pipeline scaling (paper Sec. 7.5 narrative): JECB's advantage
+// over LNS-style search is that it finds solutions in seconds — this bench
+// measures how far the thread pool pushes that, timing the full
+// Jecb::Partition pipeline and a standalone Evaluate() pass at 1/2/4/8
+// worker threads on TPC-C and TPC-E traces. Besides wall clock it asserts
+// the determinism contract (every thread count must reproduce the
+// single-threaded solution and cost exactly) and writes the measurements to
+// BENCH_parallel_search.json.
+//
+// Speedup is hardware-dependent: on a single-core container every row
+// reports ~1x (the pool adds threads the OS serializes); the JSON records
+// hardware_concurrency so readers can interpret the numbers.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <thread>
+
+#include "bench_util.h"
+#include "workloads/tpcc.h"
+#include "workloads/tpce.h"
+
+using namespace jecb;
+using namespace jecb::bench;
+
+namespace {
+
+double WallSeconds(const std::function<void()>& fn) {
+  auto start = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+struct ScalingRow {
+  int threads = 0;
+  double partition_seconds = 0.0;
+  double evaluate_seconds = 0.0;
+  double partition_speedup = 0.0;
+  double evaluate_speedup = 0.0;
+};
+
+struct WorkloadScaling {
+  std::string workload;
+  size_t trace_txns = 0;
+  double train_cost = 0.0;
+  std::vector<ScalingRow> rows;
+};
+
+WorkloadScaling RunScaling(const std::string& name, WorkloadBundle* bundle,
+                           const std::vector<int>& thread_counts) {
+  WorkloadScaling out;
+  out.workload = name;
+  out.trace_txns = bundle->trace.size();
+
+  std::string baseline_tables;
+  double baseline_cost = 0.0;
+  uint64_t baseline_evaluated = 0;
+  EvalResult baseline_eval;
+
+  AsciiTable table({"threads", "partition (s)", "speedup", "evaluate (s)", "speedup"});
+  for (int threads : thread_counts) {
+    JecbOptions opt;
+    opt.num_partitions = 8;
+    opt.num_threads = threads;
+
+    ScalingRow row;
+    row.threads = threads;
+    Result<JecbResult> result = Status::Internal("not run");
+    row.partition_seconds = WallSeconds([&] {
+      result = Jecb(opt).Partition(bundle->db.get(), bundle->procedures,
+                                   bundle->trace);
+    });
+    CheckOk(result.status(), ("parallel_search " + name).c_str());
+
+    // Standalone chunked evaluation of the found solution over the trace.
+    ThreadPool pool(threads);
+    ThreadPool* eval_pool = threads > 1 ? &pool : nullptr;
+    EvalResult ev;
+    row.evaluate_seconds = WallSeconds([&] {
+      ev = Evaluate(*bundle->db, result.value().solution, bundle->trace, eval_pool);
+    });
+
+    // Determinism contract vs. the 1-thread baseline.
+    const std::string tables = result.value().solution.Describe(bundle->db->schema());
+    if (threads == thread_counts.front()) {
+      baseline_tables = tables;
+      baseline_cost = result.value().combiner_report.best_train_cost;
+      baseline_evaluated = result.value().combiner_report.evaluated_combinations;
+      baseline_eval = ev;
+      out.train_cost = baseline_cost;
+    } else if (tables != baseline_tables ||
+               result.value().combiner_report.best_train_cost != baseline_cost ||
+               result.value().combiner_report.evaluated_combinations !=
+                   baseline_evaluated ||
+               ev.distributed_txns != baseline_eval.distributed_txns ||
+               ev.partition_load != baseline_eval.partition_load) {
+      std::fprintf(stderr,
+                   "FATAL: %s at %d threads diverged from the single-threaded "
+                   "solution\n",
+                   name.c_str(), threads);
+      std::exit(1);
+    }
+
+    row.partition_speedup = out.rows.empty()
+                                ? 1.0
+                                : out.rows.front().partition_seconds /
+                                      row.partition_seconds;
+    row.evaluate_speedup = out.rows.empty()
+                               ? 1.0
+                               : out.rows.front().evaluate_seconds /
+                                     row.evaluate_seconds;
+    table.AddRow({std::to_string(threads),
+                  FormatDouble(row.partition_seconds, 3),
+                  FormatDouble(row.partition_speedup, 2) + "x",
+                  FormatDouble(row.evaluate_seconds, 3),
+                  FormatDouble(row.evaluate_speedup, 2) + "x"});
+    out.rows.push_back(row);
+  }
+  std::printf("%s: %zu txns, train cost %s (identical at every thread count)\n",
+              name.c_str(), out.trace_txns, Pct(out.train_cost).c_str());
+  std::printf("%s\n", table.ToString().c_str());
+  return out;
+}
+
+std::string ToJson(const std::vector<WorkloadScaling>& all) {
+  std::string out = "{\n";
+  out += "  \"bench\": \"parallel_search\",\n";
+  out += "  \"hardware_concurrency\": " +
+         std::to_string(std::thread::hardware_concurrency()) + ",\n";
+  out += "  \"workloads\": [\n";
+  for (size_t w = 0; w < all.size(); ++w) {
+    const WorkloadScaling& ws = all[w];
+    out += "    {\"workload\": \"" + ws.workload + "\", \"trace_txns\": " +
+           std::to_string(ws.trace_txns) + ", \"train_cost\": " +
+           FormatDouble(ws.train_cost, 6) + ", \"rows\": [\n";
+    for (size_t i = 0; i < ws.rows.size(); ++i) {
+      const ScalingRow& r = ws.rows[i];
+      out += "      {\"threads\": " + std::to_string(r.threads) +
+             ", \"partition_seconds\": " + FormatDouble(r.partition_seconds, 6) +
+             ", \"partition_speedup\": " + FormatDouble(r.partition_speedup, 3) +
+             ", \"evaluate_seconds\": " + FormatDouble(r.evaluate_seconds, 6) +
+             ", \"evaluate_speedup\": " + FormatDouble(r.evaluate_speedup, 3) + "}";
+      out += i + 1 < ws.rows.size() ? ",\n" : "\n";
+    }
+    out += "    ]}";
+    out += w + 1 < all.size() ? ",\n" : "\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Parallel pipeline scaling: Jecb::Partition and Evaluate()",
+              "JECB solves in seconds (Sec. 7.5); the thread pool divides "
+              "that further on multi-core hardware while reproducing the "
+              "single-threaded solution bit for bit");
+  std::printf("hardware_concurrency: %u\n\n", std::thread::hardware_concurrency());
+
+  const std::vector<int> thread_counts = {1, 2, 4, 8};
+  std::vector<WorkloadScaling> all;
+
+  {
+    TpccConfig cfg;
+    cfg.warehouses = 8;
+    cfg.districts_per_warehouse = 4;
+    cfg.customers_per_district = 10;
+    cfg.items = 50;
+    cfg.initial_orders_per_district = 3;
+    WorkloadBundle bundle = TpccWorkload(cfg).Make(30000, 5);
+    all.push_back(RunScaling("TPC-C", &bundle, thread_counts));
+  }
+  {
+    TpceConfig cfg;
+    cfg.customers = 400;
+    WorkloadBundle bundle = TpceWorkload(cfg).Make(12000, 5);
+    all.push_back(RunScaling("TPC-E", &bundle, thread_counts));
+  }
+
+  std::ofstream json_out("BENCH_parallel_search.json");
+  json_out << ToJson(all);
+  std::printf("wrote BENCH_parallel_search.json\n");
+  return 0;
+}

@@ -3,6 +3,8 @@
 //
 //   ./jecb_cli <workload> [--approach jecb|schism|horticulture|all]
 //              [--partitions K] [--txns N] [--seed S] [--scale X]
+//              [--threads T]   (0 = all hardware threads; any T yields the
+//                               same solution as --threads 1)
 //
 //   workloads: tpcc tatp seats auctionmark tpce synthetic
 //
@@ -43,7 +45,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: %s <tpcc|tatp|seats|auctionmark|tpce|synthetic>\n"
                  "          [--approach jecb|schism|horticulture|all]\n"
-                 "          [--partitions K] [--txns N] [--seed S] [--scale X]\n",
+                 "          [--partitions K] [--txns N] [--seed S] [--scale X]\n"
+                 "          [--threads T]\n",
                  argv[0]);
     return 2;
   }
@@ -53,6 +56,7 @@ int main(int argc, char** argv) {
   size_t txns = 12000;
   uint64_t seed = 1;
   double scale = 1.0;
+  int32_t threads = 0;
   for (int i = 2; i + 1 < argc; i += 2) {
     std::string flag = argv[i];
     if (flag == "--approach") {
@@ -65,6 +69,8 @@ int main(int argc, char** argv) {
       seed = static_cast<uint64_t>(std::atoll(argv[i + 1]));
     } else if (flag == "--scale") {
       scale = std::atof(argv[i + 1]);
+    } else if (flag == "--threads") {
+      threads = std::atoi(argv[i + 1]);
     } else {
       std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
       return 2;
@@ -88,6 +94,7 @@ int main(int argc, char** argv) {
   if (approach == "jecb" || approach == "all") {
     JecbOptions opt;
     opt.num_partitions = k;
+    opt.num_threads = threads;
     auto res = Jecb(opt).Partition(bundle.db.get(), bundle.procedures, train);
     CheckOk(res.status(), "jecb");
     std::printf("%s\n", FormatClassSolutions(bundle.db->schema(),
@@ -118,6 +125,7 @@ int main(int argc, char** argv) {
   if (approach == "horticulture" || approach == "all") {
     HorticultureOptions opt;
     opt.num_partitions = k;
+    opt.num_threads = threads;
     auto res = Horticulture(opt).Partition(bundle.db.get(), train);
     CheckOk(res.status(), "horticulture");
     std::printf("\nhorticulture: %d cost evaluations\n", res.value().evaluations);

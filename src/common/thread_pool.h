@@ -1,0 +1,61 @@
+// Fixed-size thread pool for the partitioning pipeline's embarrassingly
+// parallel loops (per-class Phase 2, chunked trace evaluation, candidate
+// scoring). Deliberately work-stealing-free: a single mutex-protected FIFO
+// keeps task startup order deterministic and the implementation small enough
+// to audit under TSan. Determinism of *results* never depends on the pool —
+// callers write into preallocated per-index slots and reduce in index order.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace jecb {
+
+class ThreadPool {
+ public:
+  /// `num_threads` <= 0 means std::thread::hardware_concurrency(). A pool of
+  /// one worker still runs tasks on that worker; callers wanting the exact
+  /// legacy single-threaded path should not construct a pool at all (see
+  /// ParallelFor, which runs inline when handed a null pool).
+  explicit ThreadPool(int32_t num_threads = 0);
+
+  /// Drains nothing: joins after finishing every submitted task.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int32_t num_threads() const { return static_cast<int32_t>(workers_.size()); }
+
+  /// Enqueues one task; the future resolves when it finishes. Tasks must not
+  /// throw (the pipeline reports errors through Result/Status values).
+  std::future<void> Submit(std::function<void()> fn);
+
+  /// Resolves a thread-count option: <= 0 becomes hardware_concurrency()
+  /// (at least 1).
+  static int32_t ResolveThreads(int32_t requested);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::packaged_task<void()>> tasks_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Runs fn(i) for every i in [0, n). With a null pool or a single worker the
+/// loop runs inline on the calling thread — byte-for-byte the legacy serial
+/// path, no synchronization. Otherwise indices are submitted to the pool and
+/// the call blocks until all complete. `fn` must handle its own index slot;
+/// the helper imposes no ordering between indices.
+void ParallelFor(ThreadPool* pool, size_t n, const std::function<void(size_t)>& fn);
+
+}  // namespace jecb

@@ -5,6 +5,8 @@
 #include <memory>
 #include <random>
 
+#include "common/thread_pool.h"
+
 namespace jecb {
 
 namespace {
@@ -84,6 +86,11 @@ Result<HorticultureResult> Horticulture::Partition(Database* db,
   double best_plain = 0.0;
   double best_cost = evaluate(design, &best_plain);
 
+  std::unique_ptr<ThreadPool> pool;
+  if (ThreadPool::ResolveThreads(options_.num_threads) > 1) {
+    pool = std::make_unique<ThreadPool>(options_.num_threads);
+  }
+
   std::mt19937_64 rng(options_.seed);
   for (int round = 0; round < options_.rounds; ++round) {
     if (partitioned.empty()) break;
@@ -98,17 +105,32 @@ Result<HorticultureResult> Horticulture::Partition(Database* db,
     double current_plain = best_plain;
     for (TableId t : relaxed) {
       const Table& meta = schema.table(t);
-      int32_t best_choice = current[t];
+      // Score the whole neighborhood of table t concurrently: every trial
+      // differs from `current` only at t, so the evaluations are
+      // independent. The reduction walks trials in column order with the
+      // serial loop's strict-improvement rule, so the chosen column (and
+      // therefore the search trajectory) matches the serial path exactly.
+      std::vector<int32_t> trial_cols;
       for (int32_t c = -1; c < static_cast<int32_t>(meta.columns.size()); ++c) {
-        if (c == current[t]) continue;
+        if (c != current[t]) trial_cols.push_back(c);
+      }
+      std::vector<double> trial_cost(trial_cols.size(), 0.0);
+      std::vector<double> trial_plain(trial_cols.size(), 0.0);
+      ParallelFor(pool.get(), trial_cols.size(), [&](size_t i) {
         Design trial = current;
-        trial[t] = c;
-        double plain = 0.0;
-        double cost = evaluate(trial, &plain);
-        if (cost < current_cost) {
-          current_cost = cost;
-          current_plain = plain;
-          best_choice = c;
+        trial[t] = trial_cols[i];
+        DatabaseSolution sol = materialize(trial);
+        EvalResult ev = Evaluate(*db, sol, sample);
+        trial_plain[i] = ev.cost();
+        trial_cost[i] = model_cost(ev);
+      });
+      result.evaluations += static_cast<int>(trial_cols.size());
+      int32_t best_choice = current[t];
+      for (size_t i = 0; i < trial_cols.size(); ++i) {
+        if (trial_cost[i] < current_cost) {
+          current_cost = trial_cost[i];
+          current_plain = trial_plain[i];
+          best_choice = trial_cols[i];
         }
       }
       current[t] = best_choice;

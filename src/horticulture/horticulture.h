@@ -17,6 +17,11 @@ namespace jecb {
 
 struct HorticultureOptions {
   int32_t num_partitions = 8;
+  /// Worker threads for scoring the LNS neighborhood (each relaxed table's
+  /// per-column trials are independent given the current design). 0 =
+  /// hardware_concurrency(); 1 = the exact legacy serial path. The search
+  /// trajectory is bit-identical at every thread count.
+  int32_t num_threads = 0;
   ClassifyOptions classify;
   /// LNS iterations (each relaxes `relax_tables` tables).
   int rounds = 40;

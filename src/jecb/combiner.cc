@@ -34,7 +34,7 @@ bool CandidateCoarser(const AttributeLattice& lattice, const TableSolutionCandid
 
 Result<DatabaseSolution> Combiner::Combine(
     const std::vector<ClassPartitioningResult>& classes, const Trace& train,
-    CombinerReport* report) const {
+    CombinerReport* report, ThreadPool* pool) const {
   CombinerReport local_report;
   CombinerReport& rep = report != nullptr ? *report : local_report;
 
@@ -119,7 +119,7 @@ Result<DatabaseSolution> Combiner::Combine(
       solution.Set(static_cast<TableId>(t), replicated);
     }
     rep.chosen_attr = "(none: full replication)";
-    EvalResult ev = Evaluate(*db_, solution, train);
+    EvalResult ev = Evaluate(*db_, solution, train, pool);
     rep.best_train_cost = cost_model.Cost(ev);
     return solution;
   }
@@ -190,34 +190,22 @@ Result<DatabaseSolution> Combiner::Combine(
     }
 
     // Enumerate combinations (odometer over per-table choices), capped.
+    // Generation is split from scoring so the candidates can be evaluated
+    // concurrently: the descriptors are produced in the legacy odometer
+    // order, scored in parallel (each worker builds and drops its own
+    // solution), and reduced sequentially by enumeration index — the
+    // strict-improvement reduction then picks the same winner as the
+    // serial loop, ties and all.
+    struct Candidate {
+      std::vector<size_t> choice;  // per-partitioned-table solution index
+      size_t mapping_idx = 0;
+    };
+    std::vector<Candidate> combos;
     std::vector<size_t> choice(partitioned.size(), 0);
     while (true) {
-      for (const auto& mapping : mappings) {
-        DatabaseSolution solution(options_.num_partitions, schema().num_tables());
-        auto replicated = std::make_shared<ReplicatedTable>();
-        for (size_t t = 0; t < schema().num_tables(); ++t) {
-          if (schema().table(static_cast<TableId>(t)).access_class !=
-              AccessClass::kPartitioned) {
-            solution.Set(static_cast<TableId>(t), replicated);
-          }
-        }
-        for (size_t i = 0; i < partitioned.size(); ++i) {
-          const TableSolutionCandidate& c = reduced[partitioned[i]][choice[i]];
-          if (c.replicate) {
-            solution.Set(partitioned[i], replicated);
-          } else {
-            solution.Set(partitioned[i],
-                         std::make_shared<JoinPathPartitioner>(c.path, mapping));
-          }
-        }
-        EvalResult ev = Evaluate(*db_, solution, train);
+      for (size_t m = 0; m < mappings.size(); ++m) {
+        combos.push_back({choice, m});
         ++rep.evaluated_combinations;
-        double cost = cost_model.Cost(ev);
-        if (cost < best_cost) {
-          best_cost = cost;
-          best = std::make_unique<DatabaseSolution>(solution);
-          best_attr = schema().QualifiedName(X);
-        }
       }
       // Odometer increment.
       size_t pos = 0;
@@ -228,6 +216,41 @@ Result<DatabaseSolution> Combiner::Combine(
       }
       if (pos == choice.size()) break;
       if (rep.evaluated_combinations >= options_.max_combinations) break;
+    }
+
+    auto build = [&](const Candidate& cand) {
+      DatabaseSolution solution(options_.num_partitions, schema().num_tables());
+      auto replicated = std::make_shared<ReplicatedTable>();
+      for (size_t t = 0; t < schema().num_tables(); ++t) {
+        if (schema().table(static_cast<TableId>(t)).access_class !=
+            AccessClass::kPartitioned) {
+          solution.Set(static_cast<TableId>(t), replicated);
+        }
+      }
+      for (size_t i = 0; i < partitioned.size(); ++i) {
+        const TableSolutionCandidate& c = reduced[partitioned[i]][cand.choice[i]];
+        if (c.replicate) {
+          solution.Set(partitioned[i], replicated);
+        } else {
+          solution.Set(partitioned[i], std::make_shared<JoinPathPartitioner>(
+                                           c.path, mappings[cand.mapping_idx]));
+        }
+      }
+      return solution;
+    };
+
+    std::vector<double> costs(combos.size(), 0.0);
+    ParallelFor(pool, combos.size(), [&](size_t i) {
+      DatabaseSolution solution = build(combos[i]);
+      EvalResult ev = Evaluate(*db_, solution, train);
+      costs[i] = cost_model.Cost(ev);
+    });
+    for (size_t i = 0; i < combos.size(); ++i) {
+      if (costs[i] < best_cost) {
+        best_cost = costs[i];
+        best = std::make_unique<DatabaseSolution>(build(combos[i]));
+        best_attr = schema().QualifiedName(X);
+      }
     }
   }
 

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "jecb/attr_lattice.h"
 #include "jecb/types.h"
 #include "partition/cost_model.h"
@@ -45,8 +46,13 @@ class Combiner {
       : db_(db), lattice_(lattice), options_(options) {}
 
   /// Runs Phase 3. `train` is the global training trace (all classes).
+  /// With a pool, the enumerated combinations of each candidate attribute
+  /// are scored concurrently (one serial Evaluate per combination) and
+  /// reduced in enumeration order, so the chosen solution, cost, and
+  /// report counters are bit-identical to the serial path.
   Result<DatabaseSolution> Combine(const std::vector<ClassPartitioningResult>& classes,
-                                   const Trace& train, CombinerReport* report) const;
+                                   const Trace& train, CombinerReport* report,
+                                   ThreadPool* pool = nullptr) const;
 
  private:
   const Schema& schema() const { return db_->schema(); }

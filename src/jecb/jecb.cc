@@ -1,9 +1,11 @@
 #include "jecb/jecb.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "common/ascii_table.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "sql/analyzer.h"
 
 namespace jecb {
@@ -30,37 +32,62 @@ Result<JecbResult> Jecb::Partition(Database* db,
   analyzer_options.use_select_clause_attrs = options_.join_graph.use_select_clause_attrs;
 
   // ---- Phase 2: per-class partitioning -----------------------------------
-  ClassPartitioner class_partitioner(db, &lattice, options_.class_partitioner);
-  std::vector<ClassPartitioningResult> classes;
-  for (uint32_t cls = 0; cls < training_trace.num_classes(); ++cls) {
+  // Resolve every class's stored procedure up front so a missing procedure
+  // fails identically at any thread count, before any parallel work starts.
+  const size_t num_classes = training_trace.num_classes();
+  std::vector<const sql::Procedure*> class_procs(num_classes, nullptr);
+  for (uint32_t cls = 0; cls < num_classes; ++cls) {
     const std::string& name = training_trace.class_name(cls);
-    const sql::Procedure* proc = nullptr;
     for (const auto& p : procedures) {
       if (EqualsIgnoreCase(p.name, name)) {
-        proc = &p;
+        class_procs[cls] = &p;
         break;
       }
     }
-    if (proc == nullptr) {
+    if (class_procs[cls] == nullptr) {
       return Status::NotFound("no stored procedure for transaction class " + name);
     }
-    JECB_ASSIGN_OR_RETURN(sql::ProcedureInfo info,
-                          sql::AnalyzeProcedure(db->schema(), *proc, analyzer_options));
-    JoinGraph graph = BuildJoinGraph(db->schema(), info, options_.join_graph);
-    Trace class_trace = training_trace.FilterClass(cls);
+  }
+
+  // Each class's analyze -> join graph -> partition is independent: it reads
+  // only the (now classification-stamped) schema, the lattice, and its slice
+  // of the trace. Results land in per-class slots, so the output never
+  // depends on completion order.
+  std::unique_ptr<ThreadPool> pool;
+  if (ThreadPool::ResolveThreads(options_.num_threads) > 1) {
+    pool = std::make_unique<ThreadPool>(options_.num_threads);
+  }
+
+  ClassPartitioner class_partitioner(db, &lattice, options_.class_partitioner);
+  std::vector<ClassPartitioningResult> classes(num_classes);
+  std::vector<Status> class_status(num_classes, Status::OK());
+  ParallelFor(pool.get(), num_classes, [&](size_t cls) {
+    const std::string& name = training_trace.class_name(static_cast<uint32_t>(cls));
+    Result<sql::ProcedureInfo> info = sql::AnalyzeProcedure(
+        db->schema(), *class_procs[cls], analyzer_options);
+    if (!info.ok()) {
+      class_status[cls] = info.status();
+      return;
+    }
+    JoinGraph graph = BuildJoinGraph(db->schema(), info.value(), options_.join_graph);
+    Trace class_trace = training_trace.FilterClass(static_cast<uint32_t>(cls));
     double mix = training_trace.size() == 0
                      ? 0.0
                      : static_cast<double>(class_trace.size()) /
                            static_cast<double>(training_trace.size());
-    classes.push_back(
-        class_partitioner.Partition(graph, class_trace, name, cls, mix));
+    classes[cls] = class_partitioner.Partition(graph, class_trace, name,
+                                               static_cast<uint32_t>(cls), mix);
+  });
+  // Report the lowest-class-id failure, matching the serial loop's behavior.
+  for (const Status& s : class_status) {
+    if (!s.ok()) return s;
   }
 
   // ---- Phase 3: combining -------------------------------------------------
   Combiner combiner(db, &lattice, options_.combiner);
   CombinerReport report;
   JECB_ASSIGN_OR_RETURN(DatabaseSolution solution,
-                        combiner.Combine(classes, training_trace, &report));
+                        combiner.Combine(classes, training_trace, &report, pool.get()));
 
   JecbResult result{std::move(solution), std::move(table_classes), std::move(classes),
                     std::move(report), 0.0};

@@ -21,6 +21,11 @@ namespace jecb {
 
 struct JecbOptions {
   int32_t num_partitions = 8;
+  /// Worker threads for the pipeline's parallel sections (per-class Phase 2,
+  /// Phase 3 candidate scoring). 0 = hardware_concurrency(); 1 = the exact
+  /// legacy single-threaded path (no pool is created). Results are
+  /// bit-identical at every thread count.
+  int32_t num_threads = 0;
   ClassifyOptions classify;
   JoinGraphOptions join_graph;
   ClassPartitionerOptions class_partitioner;

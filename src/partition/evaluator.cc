@@ -20,49 +20,69 @@ double EvalResult::LoadSkew() const {
   return std::sqrt(var) / mean;
 }
 
+void EvalResult::Merge(const EvalResult& other) {
+  total_txns += other.total_txns;
+  distributed_txns += other.distributed_txns;
+  partitions_touched += other.partitions_touched;
+  auto merge_vec = [](std::vector<uint64_t>* into, const std::vector<uint64_t>& from) {
+    if (into->size() < from.size()) into->resize(from.size(), 0);
+    for (size_t i = 0; i < from.size(); ++i) (*into)[i] += from[i];
+  };
+  merge_vec(&class_total, other.class_total);
+  merge_vec(&class_distributed, other.class_distributed);
+  merge_vec(&partition_load, other.partition_load);
+}
+
 bool IsDistributed(const Database& db, const DatabaseSolution& solution,
                    const Transaction& txn, std::vector<int32_t>* touched) {
-  // Small vector of distinct partitions; transactions touch few partitions.
+  // Small inline buffer of distinct partitions; nearly every transaction
+  // touches few partitions. Beyond 8 distinct partitions (naive-hash
+  // solutions at high k) the tail spills to a heap vector so `touched`
+  // stays complete and load/participation counts stay exact.
   int32_t parts[8];
   size_t nparts = 0;
+  std::vector<int32_t> spill;
   bool writes_replicated = false;
-  bool overflow_distributed = false;
+  auto seen = [&](int32_t p) {
+    for (size_t i = 0; i < nparts; ++i) {
+      if (parts[i] == p) return true;
+    }
+    return std::find(spill.begin(), spill.end(), p) != spill.end();
+  };
   for (const Access& a : txn.accesses) {
     int32_t p = solution.PartitionOf(db, a.tuple);
     if (p == kReplicated) {
       if (a.write) writes_replicated = true;
       continue;  // replicated reads are local everywhere
     }
-    bool seen = false;
-    for (size_t i = 0; i < nparts; ++i) {
-      if (parts[i] == p) {
-        seen = true;
-        break;
-      }
-    }
-    if (!seen) {
-      if (nparts < std::size(parts)) {
-        parts[nparts++] = p;
-      } else {
-        overflow_distributed = true;  // > 8 distinct partitions: distributed
-      }
+    if (seen(p)) continue;
+    if (nparts < std::size(parts)) {
+      parts[nparts++] = p;
+    } else {
+      spill.push_back(p);
     }
   }
   if (touched != nullptr) {
     touched->assign(parts, parts + nparts);
+    touched->insert(touched->end(), spill.begin(), spill.end());
   }
-  return writes_replicated || overflow_distributed || nparts > 1;
+  return writes_replicated || nparts + spill.size() > 1;
 }
 
-EvalResult Evaluate(const Database& db, const DatabaseSolution& solution,
-                    const Trace& trace) {
+namespace {
+
+/// Serial evaluation of the half-open transaction range [begin, end).
+EvalResult EvaluateRange(const Database& db, const DatabaseSolution& solution,
+                         const Trace& trace, size_t begin, size_t end) {
   EvalResult out;
   out.class_total.assign(trace.num_classes(), 0);
   out.class_distributed.assign(trace.num_classes(), 0);
   out.partition_load.assign(std::max(solution.num_partitions(), 1), 0);
 
+  const std::vector<Transaction>& txns = trace.transactions();
   std::vector<int32_t> touched;
-  for (const Transaction& txn : trace.transactions()) {
+  for (size_t i = begin; i < end; ++i) {
+    const Transaction& txn = txns[i];
     bool dist = IsDistributed(db, solution, txn, &touched);
     ++out.total_txns;
     ++out.class_total[txn.class_id];
@@ -77,6 +97,35 @@ EvalResult Evaluate(const Database& db, const DatabaseSolution& solution,
       }
     }
   }
+  return out;
+}
+
+}  // namespace
+
+EvalResult Evaluate(const Database& db, const DatabaseSolution& solution,
+                    const Trace& trace, ThreadPool* pool) {
+  const size_t n = trace.size();
+  if (pool == nullptr || pool->num_threads() <= 1 || n < 2) {
+    return EvaluateRange(db, solution, trace, 0, n);
+  }
+
+  // Oversplit relative to the worker count so a straggler chunk (hot memo
+  // misses) cannot serialize the pass; merge order is by chunk index.
+  const size_t num_chunks =
+      std::min(n, static_cast<size_t>(pool->num_threads()) * 4);
+  const size_t chunk_size = (n + num_chunks - 1) / num_chunks;
+  std::vector<EvalResult> partial(num_chunks);
+  ParallelFor(pool, num_chunks, [&](size_t c) {
+    size_t begin = c * chunk_size;
+    size_t end = std::min(n, begin + chunk_size);
+    partial[c] = EvaluateRange(db, solution, trace, begin, end);
+  });
+
+  EvalResult out;
+  out.class_total.assign(trace.num_classes(), 0);
+  out.class_distributed.assign(trace.num_classes(), 0);
+  out.partition_load.assign(std::max(solution.num_partitions(), 1), 0);
+  for (const EvalResult& p : partial) out.Merge(p);
   return out;
 }
 

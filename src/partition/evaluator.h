@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "partition/solution.h"
 #include "trace/trace.h"
 
@@ -49,6 +50,12 @@ struct EvalResult {
 
   /// Coefficient of variation of partition_load; 0 = perfectly balanced.
   double LoadSkew() const;
+
+  /// Accumulates `other` into this result (element-wise sums; vectors grow
+  /// to the longer length). Every field is an integer count, so merging is
+  /// exact and order-independent — the parallel evaluator still merges in
+  /// chunk-index order to keep the contract auditable.
+  void Merge(const EvalResult& other);
 };
 
 /// Classifies a single transaction under `solution`; returns true when
@@ -57,7 +64,13 @@ bool IsDistributed(const Database& db, const DatabaseSolution& solution,
                    const Transaction& txn, std::vector<int32_t>* touched = nullptr);
 
 /// Evaluates `solution` over every transaction of `trace`.
+///
+/// With a pool of more than one worker the trace is split into fixed
+/// contiguous chunks, each chunk accumulates into its own EvalResult, and
+/// the per-chunk results are merged in chunk-index order — bit-identical to
+/// the serial pass at any thread count (all counters are integers). A null
+/// pool or single-worker pool runs the exact serial path.
 EvalResult Evaluate(const Database& db, const DatabaseSolution& solution,
-                    const Trace& trace);
+                    const Trace& trace, ThreadPool* pool = nullptr);
 
 }  // namespace jecb

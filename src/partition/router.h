@@ -22,8 +22,8 @@ namespace jecb {
 /// Thread-safe: lazy table construction is serialized behind a mutex and a
 /// built table is immutable, so concurrent RouteValue calls are fine. Call
 /// Warm() with the attributes a workload routes on before spawning worker
-/// threads to keep the build (which walks the solution's non-thread-safe
-/// memo caches) out of the parallel phase entirely.
+/// threads to keep the full-table scan (which faults in the solution's
+/// per-tuple memo caches) out of the parallel phase.
 class Router {
  public:
   Router(const Database* db, const DatabaseSolution* solution)

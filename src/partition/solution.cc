@@ -3,12 +3,10 @@
 namespace jecb {
 
 int32_t JoinPathPartitioner::PartitionOf(const Database& db, TupleId tuple) const {
-  auto it = cache_.find(tuple);
-  if (it != cache_.end()) return it->second;
-  Result<Value> v = path_.Evaluate(db, tuple);
-  int32_t p = v.ok() ? mapping_->Map(v.value()) : kUnknownPartition;
-  cache_.emplace(tuple, p);
-  return p;
+  return cache_.GetOrCompute(tuple, [&](TupleId t) {
+    Result<Value> v = path_.Evaluate(db, t);
+    return v.ok() ? mapping_->Map(v.value()) : kUnknownPartition;
+  });
 }
 
 std::string JoinPathPartitioner::Describe(const Schema& schema) const {

@@ -1,0 +1,54 @@
+// Striped concurrent memo cache for per-tuple partition assignments.
+//
+// JoinPathPartitioner and CallbackPartitioner memoize tuple -> partition
+// because traces revisit the same hot tuples constantly. The parallel
+// evaluator shares one solution across worker threads, so the memo must be
+// thread-safe; striping the map over independently locked shards keeps
+// contention negligible (evaluation is dominated by join-path walks, not by
+// cache lookups). Values are pure functions of the tuple, so a racing
+// compute just inserts the same value twice — results never depend on
+// interleaving.
+#pragma once
+
+#include <array>
+#include <mutex>
+#include <unordered_map>
+
+#include "storage/database.h"
+
+namespace jecb {
+
+class ConcurrentTupleCache {
+ public:
+  /// Returns the cached partition for `tuple`, computing it with `compute`
+  /// (a TupleId -> int32_t callable) on a miss. Safe from any thread.
+  template <typename Fn>
+  int32_t GetOrCompute(TupleId tuple, Fn&& compute) const {
+    Shard& shard = shards_[ShardOf(tuple)];
+    {
+      std::lock_guard<std::mutex> guard(shard.mu);
+      auto it = shard.map.find(tuple);
+      if (it != shard.map.end()) return it->second;
+    }
+    // Compute outside the lock: join-path evaluation may be expensive and
+    // is deterministic, so duplicated work under contention is harmless.
+    int32_t p = compute(tuple);
+    std::lock_guard<std::mutex> guard(shard.mu);
+    shard.map.emplace(tuple, p);
+    return p;
+  }
+
+ private:
+  static constexpr size_t kShards = 16;
+
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<TupleId, int32_t, TupleIdHash> map;
+  };
+
+  static size_t ShardOf(TupleId tuple) { return TupleIdHash{}(tuple) % kShards; }
+
+  mutable std::array<Shard, kShards> shards_;
+};
+
+}  // namespace jecb

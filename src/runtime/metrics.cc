@@ -1,5 +1,7 @@
 #include "runtime/metrics.h"
 
+#include <cmath>
+
 namespace jecb {
 
 double LatencyHistogram::Quantile(double q) const {
@@ -7,9 +9,13 @@ double LatencyHistogram::Quantile(double q) const {
   if (n == 0) return 0.0;
   if (q < 0.0) q = 0.0;
   if (q > 1.0) q = 1.0;
-  // Rank of the target observation (1-based, ceil).
-  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(n));
+  // Rank of the target observation (1-based, ceil): the q-quantile of n
+  // observations is the smallest value with at least ceil(q*n) observations
+  // at or below it. Truncating instead of ceiling picked one observation
+  // too low whenever q*n was fractional (q=0.95, n=10 -> rank 9, not 10).
+  uint64_t rank = static_cast<uint64_t>(std::ceil(q * static_cast<double>(n)));
   if (rank == 0) rank = 1;
+  if (rank > n) rank = n;
   uint64_t seen = 0;
   for (size_t i = 0; i < kNumBuckets; ++i) {
     uint64_t in_bucket = buckets_[i].load(std::memory_order_relaxed);

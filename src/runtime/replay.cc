@@ -120,8 +120,8 @@ ReplayReport Replay(const Database& db, const DatabaseSolution& solution,
                     const Trace& trace, const RuntimeOptions& options,
                     std::string label) {
   // Phase A (single-threaded): resolve placements — this also warms the
-  // solution's per-tuple memo caches, which are not safe to fill
-  // concurrently — and materialize the shard layout.
+  // solution's per-tuple memo caches so the parallel replay phase is pure
+  // cache hits — and materialize the shard layout.
   std::vector<ClassifiedTxn> classified = ClassifyTrace(db, solution, trace);
   ShardedDatabase sharded(db, solution);
 

@@ -19,7 +19,7 @@ namespace jecb {
 
 /// Resolves each transaction's participant shards and static classification.
 /// Single-threaded by design: it warms the solution's per-tuple memo caches
-/// (which are not thread-safe) before any worker thread runs.
+/// before any worker thread runs, so the replay phase is pure cache hits.
 std::vector<ClassifiedTxn> ClassifyTrace(const Database& db,
                                          const DatabaseSolution& solution,
                                          const Trace& trace);

@@ -5,23 +5,24 @@
 namespace jecb {
 
 uint32_t Trace::InternClass(const std::string& name) {
-  for (size_t i = 0; i < class_names_.size(); ++i) {
-    if (class_names_[i] == name) return static_cast<uint32_t>(i);
-  }
+  auto it = class_index_.find(name);
+  if (it != class_index_.end()) return it->second;
+  uint32_t id = static_cast<uint32_t>(class_names_.size());
   class_names_.push_back(name);
-  return static_cast<uint32_t>(class_names_.size() - 1);
+  class_index_.emplace(name, id);
+  return id;
 }
 
 Result<uint32_t> Trace::FindClass(const std::string& name) const {
-  for (size_t i = 0; i < class_names_.size(); ++i) {
-    if (class_names_[i] == name) return static_cast<uint32_t>(i);
-  }
+  auto it = class_index_.find(name);
+  if (it != class_index_.end()) return it->second;
   return Status::NotFound("transaction class " + name);
 }
 
 Trace Trace::CloneEmpty() const {
   Trace out;
   out.class_names_ = class_names_;
+  out.class_index_ = class_index_;
   return out;
 }
 

@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "catalog/schema.h"
@@ -63,6 +64,9 @@ class Trace {
   Trace CloneEmpty() const;
 
   std::vector<std::string> class_names_;
+  /// Name -> id index kept in sync with class_names_: interning and lookup
+  /// were linear scans, making trace loading O(classes * txns).
+  std::unordered_map<std::string, uint32_t> class_index_;
   std::vector<Transaction> txns_;
 };
 

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <memory>
+
 #include "partition/evaluator.h"
 #include "test_util.h"
 
@@ -168,6 +171,118 @@ TEST_F(EvaluatorTest, IsDistributedReportsTouchedPartitions) {
   std::vector<int32_t> touched;
   EXPECT_FALSE(IsDistributed(db(), solution_, txn, &touched));
   EXPECT_EQ(touched.size(), 1u);
+}
+
+TEST_F(EvaluatorTest, ParallelEvaluateMatchesSerialBitwise) {
+  Trace trace = testing::MakeCustInfoTrace(fixture_, /*repetitions=*/16);
+  {
+    // A distributed transaction so every counter is exercised.
+    Transaction txn;
+    txn.class_id = trace.FindClass("CustInfo").value();
+    txn.Read(fixture_.trades[0]);
+    txn.Read(fixture_.trades[1]);
+    trace.Add(std::move(txn));
+  }
+  EvalResult serial = Evaluate(db(), solution_, trace);
+  for (int threads : {2, 4, 8}) {
+    ThreadPool pool(threads);
+    EvalResult parallel = Evaluate(db(), solution_, trace, &pool);
+    EXPECT_EQ(parallel.total_txns, serial.total_txns);
+    EXPECT_EQ(parallel.distributed_txns, serial.distributed_txns);
+    EXPECT_EQ(parallel.partitions_touched, serial.partitions_touched);
+    EXPECT_EQ(parallel.class_total, serial.class_total);
+    EXPECT_EQ(parallel.class_distributed, serial.class_distributed);
+    EXPECT_EQ(parallel.partition_load, serial.partition_load);
+  }
+}
+
+/// A 12-row single-table database partitioned row -> partition i, so one
+/// transaction can span arbitrarily many partitions.
+class WidePartitionTest : public ::testing::Test {
+ protected:
+  WidePartitionTest() {
+    Schema s;
+    TableId t = s.AddTable("WIDE").value();
+    CheckOk(s.AddColumn(t, "ID", ValueType::kInt64), "wide schema");
+    CheckOk(s.SetPrimaryKey(t, {"ID"}), "wide schema");
+    db_ = std::make_unique<Database>(std::move(s));
+    for (int64_t i = 0; i < 12; ++i) {
+      rows_.push_back(db_->MustInsert("WIDE", {i}));
+    }
+    solution_ = std::make_unique<DatabaseSolution>(12, db_->schema().num_tables());
+    JoinPath path;
+    path.source_table = 0;
+    path.dest = ColumnRef{0, 0};
+    solution_->Set(0, std::make_shared<JoinPathPartitioner>(
+                          path, std::make_shared<RangeMapping>(12, 0, 11)));
+  }
+
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<DatabaseSolution> solution_;
+  std::vector<TupleId> rows_;
+};
+
+TEST_F(WidePartitionTest, TouchedSpillsBeyondEightPartitions) {
+  // Regression: partitions 9+ used to be dropped from `touched`, so
+  // partition_load and partitions_touched undercounted wide transactions.
+  Transaction txn;
+  for (int i = 0; i < 10; ++i) txn.Read(rows_[i]);
+  std::vector<int32_t> touched;
+  EXPECT_TRUE(IsDistributed(*db_, *solution_, txn, &touched));
+  ASSERT_EQ(touched.size(), 10u);
+  std::sort(touched.begin(), touched.end());
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(touched[i], i);
+}
+
+TEST_F(WidePartitionTest, EvaluateCountsAllSpilledPartitions) {
+  Trace trace;
+  uint32_t cls = trace.InternClass("Wide");
+  Transaction txn;
+  txn.class_id = cls;
+  for (int i = 0; i < 10; ++i) txn.Read(rows_[i]);
+  trace.Add(std::move(txn));
+
+  EvalResult r = Evaluate(*db_, *solution_, trace);
+  EXPECT_EQ(r.distributed_txns, 1u);
+  EXPECT_EQ(r.partitions_touched, 10u);
+  ASSERT_EQ(r.partition_load.size(), 12u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(r.partition_load[i], 1u) << "partition " << i;
+  EXPECT_EQ(r.partition_load[10], 0u);
+  EXPECT_EQ(r.partition_load[11], 0u);
+}
+
+TEST_F(WidePartitionTest, DuplicateAccessesBeyondSpillStayDeduplicated) {
+  Transaction txn;
+  for (int rep = 0; rep < 3; ++rep) {
+    for (int i = 0; i < 12; ++i) txn.Read(rows_[i]);
+  }
+  std::vector<int32_t> touched;
+  EXPECT_TRUE(IsDistributed(*db_, *solution_, txn, &touched));
+  EXPECT_EQ(touched.size(), 12u);
+}
+
+TEST(EvalResultMergeTest, MergeSumsAndGrowsVectors) {
+  EvalResult a;
+  a.total_txns = 3;
+  a.distributed_txns = 1;
+  a.partitions_touched = 2;
+  a.class_total = {2, 1};
+  a.class_distributed = {1, 0};
+  a.partition_load = {1, 1};
+  EvalResult b;
+  b.total_txns = 5;
+  b.distributed_txns = 2;
+  b.partitions_touched = 4;
+  b.class_total = {0, 4, 1};
+  b.class_distributed = {0, 2, 0};
+  b.partition_load = {0, 3, 1};
+  a.Merge(b);
+  EXPECT_EQ(a.total_txns, 8u);
+  EXPECT_EQ(a.distributed_txns, 3u);
+  EXPECT_EQ(a.partitions_touched, 6u);
+  EXPECT_EQ(a.class_total, (std::vector<uint64_t>{2, 5, 1}));
+  EXPECT_EQ(a.class_distributed, (std::vector<uint64_t>{1, 2, 0}));
+  EXPECT_EQ(a.partition_load, (std::vector<uint64_t>{1, 4, 1}));
 }
 
 TEST_F(EvaluatorTest, DescribeListsEveryTable) {

@@ -1,0 +1,136 @@
+// Determinism contract of the parallel pipeline: Evaluate(), Jecb::Partition,
+// and Horticulture::Partition must produce bit-identical results at every
+// thread count (merge by chunk index, reduce in enumeration order — never by
+// completion order).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "horticulture/horticulture.h"
+#include "jecb/jecb.h"
+#include "partition/evaluator.h"
+#include "workloads/tpcc.h"
+
+namespace jecb {
+namespace {
+
+void ExpectEvalEqual(const EvalResult& a, const EvalResult& b) {
+  EXPECT_EQ(a.total_txns, b.total_txns);
+  EXPECT_EQ(a.distributed_txns, b.distributed_txns);
+  EXPECT_EQ(a.partitions_touched, b.partitions_touched);
+  EXPECT_EQ(a.class_total, b.class_total);
+  EXPECT_EQ(a.class_distributed, b.class_distributed);
+  EXPECT_EQ(a.partition_load, b.partition_load);
+}
+
+TEST(ParallelEvaluateTest, FiftyThousandTxnTpccTraceMatchesSerial) {
+  TpccConfig cfg;
+  cfg.warehouses = 8;
+  cfg.districts_per_warehouse = 2;
+  cfg.customers_per_district = 6;
+  cfg.items = 40;
+  cfg.initial_orders_per_district = 2;
+  WorkloadBundle bundle = TpccWorkload(cfg).Make(50000, 11);
+  ASSERT_EQ(bundle.trace.size(), 50000u);
+
+  // Naive hash exercises CallbackPartitioner's shared concurrent memo; the
+  // trace is large enough that every chunk boundary case appears.
+  DatabaseSolution solution = MakeNaiveHashSolution(*bundle.db, 8);
+  EvalResult serial = Evaluate(*bundle.db, solution, bundle.trace);
+  EXPECT_GT(serial.distributed_txns, 0u);
+  for (int threads : {2, 4, 8}) {
+    ThreadPool pool(threads);
+    EvalResult parallel = Evaluate(*bundle.db, solution, bundle.trace, &pool);
+    ExpectEvalEqual(parallel, serial);
+  }
+}
+
+TEST(ParallelPipelineTest, JecbPartitionIsDeterministicAcrossThreadCounts) {
+  TpccConfig cfg;
+  cfg.warehouses = 4;
+  cfg.districts_per_warehouse = 2;
+  cfg.customers_per_district = 6;
+  cfg.items = 30;
+  cfg.initial_orders_per_district = 2;
+  WorkloadBundle bundle = TpccWorkload(cfg).Make(6000, 7);
+
+  struct Run {
+    std::string tables;
+    std::string chosen_attr;
+    uint64_t evaluated = 0;
+    double best_train_cost = 0.0;
+    EvalResult eval;
+    std::vector<size_t> class_shapes;
+  };
+  auto run_with = [&](int32_t threads) {
+    JecbOptions opt;
+    opt.num_partitions = 8;
+    opt.num_threads = threads;
+    Result<JecbResult> res =
+        Jecb(opt).Partition(bundle.db.get(), bundle.procedures, bundle.trace);
+    EXPECT_TRUE(res.ok()) << res.status().ToString();
+    Run run;
+    run.tables = res.value().solution.Describe(bundle.db->schema());
+    run.chosen_attr = res.value().combiner_report.chosen_attr;
+    run.evaluated = res.value().combiner_report.evaluated_combinations;
+    run.best_train_cost = res.value().combiner_report.best_train_cost;
+    run.eval = Evaluate(*bundle.db, res.value().solution, bundle.trace);
+    for (const auto& cls : res.value().classes) {
+      run.class_shapes.push_back(cls.total_solutions.size());
+      run.class_shapes.push_back(cls.partial_solutions.size());
+    }
+    return run;
+  };
+
+  Run serial = run_with(1);
+  EXPECT_FALSE(serial.chosen_attr.empty());
+  for (int32_t threads : {4, 8}) {
+    Run parallel = run_with(threads);
+    EXPECT_EQ(parallel.tables, serial.tables) << "threads=" << threads;
+    EXPECT_EQ(parallel.chosen_attr, serial.chosen_attr) << "threads=" << threads;
+    EXPECT_EQ(parallel.evaluated, serial.evaluated) << "threads=" << threads;
+    // Bit-identical, not approximately equal: the reduction is ordered.
+    EXPECT_EQ(parallel.best_train_cost, serial.best_train_cost)
+        << "threads=" << threads;
+    EXPECT_EQ(parallel.class_shapes, serial.class_shapes) << "threads=" << threads;
+    ExpectEvalEqual(parallel.eval, serial.eval);
+  }
+}
+
+TEST(ParallelPipelineTest, HorticultureIsDeterministicAcrossThreadCounts) {
+  TpccConfig cfg;
+  cfg.warehouses = 4;
+  cfg.districts_per_warehouse = 2;
+  cfg.customers_per_district = 6;
+  cfg.items = 30;
+  cfg.initial_orders_per_district = 2;
+  WorkloadBundle bundle = TpccWorkload(cfg).Make(4000, 7);
+
+  auto run_with = [&](int32_t threads) {
+    HorticultureOptions opt;
+    opt.num_partitions = 8;
+    opt.num_threads = threads;
+    opt.rounds = 8;
+    opt.sample_txns = 2000;
+    Result<HorticultureResult> res =
+        Horticulture(opt).Partition(bundle.db.get(), bundle.trace);
+    EXPECT_TRUE(res.ok()) << res.status().ToString();
+    return res;
+  };
+
+  Result<HorticultureResult> serial = run_with(1);
+  for (int32_t threads : {4, 8}) {
+    Result<HorticultureResult> parallel = run_with(threads);
+    EXPECT_EQ(parallel.value().solution.Describe(bundle.db->schema()),
+              serial.value().solution.Describe(bundle.db->schema()))
+        << "threads=" << threads;
+    EXPECT_EQ(parallel.value().train_cost, serial.value().train_cost);
+    EXPECT_EQ(parallel.value().model_cost, serial.value().model_cost);
+    EXPECT_EQ(parallel.value().evaluations, serial.value().evaluations);
+  }
+}
+
+}  // namespace
+}  // namespace jecb

@@ -110,6 +110,37 @@ TEST(RuntimeMetricsTest, HistogramQuantilesBracketRecordedValues) {
   EXPECT_LE(h.Quantile(0.95), h.Quantile(0.99));
 }
 
+TEST(RuntimeMetricsTest, QuantileRankUsesCeiling) {
+  // Regression: the rank was truncated (q*n cast to integer) instead of
+  // ceiled, picking one observation too low for small counts. With 9
+  // observations of 1us and one of 1000us, p95 must select the 10th
+  // observation (rank ceil(0.95 * 10) = 10), i.e. the [512, 1024) bucket.
+  LatencyHistogram h;
+  for (int i = 0; i < 9; ++i) h.Record(1);
+  h.Record(1000);
+  // rank 10: seen = 9 in bucket [1,2), the 10th is the 1000us observation.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.95), 1024.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 1024.0);
+  // rank ceil(0.9 * 10) = 9: still inside the [1,2) bucket.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.9), 2.0);
+  // rank ceil(0.5 * 10) = 5: interpolated 5/9 into [1,2).
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 1.0 + 5.0 / 9.0);
+}
+
+TEST(RuntimeMetricsTest, QuantileHandComputedSmallCounts) {
+  // 4 observations at 1, 2, 3, 4us: buckets [1,2)x1, [2,4)x2, [4,8)x1.
+  LatencyHistogram h;
+  for (uint64_t v = 1; v <= 4; ++v) h.Record(v);
+  // p25 -> rank 1 -> whole [1,2) bucket interpolated to its upper edge.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.25), 2.0);
+  // p50 -> rank 2 -> first of two observations in [2,4).
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 3.0);
+  // p75 -> rank 3 -> second observation in [2,4).
+  EXPECT_DOUBLE_EQ(h.Quantile(0.75), 4.0);
+  // p99 -> rank ceil(3.96) = 4 -> the [4,8) bucket.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.99), 8.0);
+}
+
 TEST(RuntimeMetricsTest, HistogramEmptyAndZero) {
   LatencyHistogram h;
   EXPECT_EQ(h.Quantile(0.99), 0.0);

@@ -61,6 +61,40 @@ TEST(TraceTest, SplitZeroFraction) {
   EXPECT_TRUE(test.empty());
 }
 
+TEST(TraceTest, SplitFullFraction) {
+  Trace t = MakeTwoClassTrace(7, 3);
+  auto [train, test] = t.SplitTrainTest(1.0);
+  EXPECT_TRUE(train.empty());
+  EXPECT_EQ(test.size(), 10u);
+  // Class names carry over to both halves even when one is empty.
+  EXPECT_EQ(train.num_classes(), 2u);
+  EXPECT_EQ(test.num_classes(), 2u);
+  EXPECT_EQ(test.FindClass("B").value(), t.FindClass("B").value());
+}
+
+TEST(TraceTest, FindClassWorksAfterFilterAndSplit) {
+  // The name -> id index must survive CloneEmpty (FilterClass/Split both
+  // clone); a stale index would resolve names to wrong or missing ids.
+  Trace t = MakeTwoClassTrace(4, 4);
+  Trace only_a = t.FilterClass(t.FindClass("A").value());
+  EXPECT_EQ(only_a.FindClass("A").value(), t.FindClass("A").value());
+  EXPECT_EQ(only_a.FindClass("B").value(), t.FindClass("B").value());
+  EXPECT_FALSE(only_a.FindClass("C").ok());
+  // Interning an existing name in the clone reuses the carried-over id.
+  EXPECT_EQ(only_a.InternClass("B"), t.FindClass("B").value());
+}
+
+TEST(TraceTest, InternManyClassesResolvesEveryName) {
+  Trace t;
+  std::vector<uint32_t> ids;
+  for (int i = 0; i < 200; ++i) ids.push_back(t.InternClass("Class" + std::to_string(i)));
+  EXPECT_EQ(t.num_classes(), 200u);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(t.FindClass("Class" + std::to_string(i)).value(), ids[i]);
+    EXPECT_EQ(t.InternClass("Class" + std::to_string(i)), ids[i]);
+  }
+}
+
 TEST(TraceTest, HeadTruncates) {
   Trace t = MakeTwoClassTrace(10, 10);
   EXPECT_EQ(t.Head(7).size(), 7u);

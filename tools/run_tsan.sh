@@ -1,5 +1,7 @@
 #!/bin/sh
 # Builds the concurrency-sensitive tests under ThreadSanitizer and runs them.
+# Covers the runtime (executor/router) and the parallel partitioning pipeline
+# (thread pool, chunked Evaluate, parallel Combiner/Horticulture search).
 # Usage: tools/run_tsan.sh [build-dir]   (default: build-tsan)
 set -eu
 
@@ -7,6 +9,9 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-tsan}"
 
 cmake -B "$BUILD_DIR" -S . -DJECB_SANITIZE=thread >/dev/null
-cmake --build "$BUILD_DIR" --target runtime_test router_test -j "$(nproc)"
+cmake --build "$BUILD_DIR" --target \
+  runtime_test router_test thread_pool_test parallel_eval_test \
+  evaluator_test combiner_test jecb_e2e_test -j "$(nproc)"
 cd "$BUILD_DIR"
-exec ctest --output-on-failure -R 'Runtime|Router'
+exec ctest --output-on-failure -R \
+  'Runtime|Router|ThreadPool|Parallel|Eval|Combiner|EndToEnd'
