@@ -4,8 +4,11 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <set>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/ascii_table.h"
@@ -115,6 +118,52 @@ inline RunResult RunFixedSolution(const Database& db, const DatabaseSolution& so
 }
 
 inline std::string Pct(double v) { return FormatDouble(v * 100.0, 1) + "%"; }
+
+/// Value of `--flag value` or `--flag=value` in argv, or `def` when absent.
+inline std::string ArgValue(int argc, char** argv, std::string_view flag,
+                            std::string def = "") {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg == flag) {
+      if (i + 1 < argc) return argv[i + 1];
+    } else if (arg.size() > flag.size() + 1 && arg.substr(0, flag.size()) == flag &&
+               arg[flag.size()] == '=') {
+      return std::string(arg.substr(flag.size() + 1));
+    }
+  }
+  return def;
+}
+
+inline int64_t ArgInt(int argc, char** argv, std::string_view flag, int64_t def) {
+  std::string v = ArgValue(argc, argv, flag);
+  return v.empty() ? def : std::strtoll(v.c_str(), nullptr, 10);
+}
+
+/// Output directory for bench JSON: `--out_dir DIR` if given, otherwise the
+/// directory the binary lives in (the build tree) — never the source tree,
+/// so repeated runs cannot litter the repo root with untracked files.
+inline std::string OutDir(int argc, char** argv) {
+  std::string dir = ArgValue(argc, argv, "--out_dir");
+  if (dir.empty()) {
+    std::string self = argv[0];
+    size_t slash = self.find_last_of('/');
+    dir = slash == std::string::npos ? "." : self.substr(0, slash);
+  }
+  if (!dir.empty() && dir.back() == '/') dir.pop_back();
+  return dir;
+}
+
+/// Writes `content` to <out_dir>/BENCH_<bench>.json (the uniform bench
+/// output naming) and returns the path; prints where it wrote.
+inline std::string WriteBenchJson(const std::string& out_dir,
+                                  const std::string& bench,
+                                  const std::string& content) {
+  std::string path = out_dir + "/BENCH_" + bench + ".json";
+  std::ofstream out(path);
+  out << content;
+  std::printf("wrote %s\n", path.c_str());
+  return path;
+}
 
 /// Prints "series <name>: x1=y1 x2=y2 ..." — one line per plotted curve.
 inline void PrintSeries(const std::string& name, const std::vector<int>& xs,

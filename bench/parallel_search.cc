@@ -12,7 +12,6 @@
 // hardware_concurrency so readers can interpret the numbers.
 #include <chrono>
 #include <cstdio>
-#include <fstream>
 #include <functional>
 #include <thread>
 
@@ -152,7 +151,8 @@ std::string ToJson(const std::vector<WorkloadScaling>& all) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string out_dir = OutDir(argc, argv);
   PrintHeader("Parallel pipeline scaling: Jecb::Partition and Evaluate()",
               "JECB solves in seconds (Sec. 7.5); the thread pool divides "
               "that further on multi-core hardware while reproducing the "
@@ -179,8 +179,6 @@ int main() {
     all.push_back(RunScaling("TPC-E", &bundle, thread_counts));
   }
 
-  std::ofstream json_out("BENCH_parallel_search.json");
-  json_out << ToJson(all);
-  std::printf("wrote BENCH_parallel_search.json\n");
+  WriteBenchJson(out_dir, "parallel_search", ToJson(all));
   return 0;
 }

@@ -7,9 +7,10 @@
 // single-machine (1-partition) baseline, at several partition counts.
 //
 // Emits a paper-style ASCII table, throughput series, and a JSON array
-// (one replay report per configuration) to throughput_tpcc.json.
+// (one replay report per configuration) to BENCH_throughput_tpcc.json in
+// --out_dir (default: the build directory). --txns scales the trace for
+// CI smoke runs.
 #include <cstdio>
-#include <fstream>
 
 #include "bench_util.h"
 #include "runtime/replay.h"
@@ -18,11 +19,14 @@
 using namespace jecb;
 using namespace jecb::bench;
 
-int main() {
+int main(int argc, char** argv) {
   PrintHeader("Throughput: TPC-C replay through the partitioned runtime",
               "JECB sustains near-local throughput at every k; naive hash "
               "collapses as almost every transaction becomes distributed "
               "(Fig. 1's cliff)");
+  const std::string out_dir = OutDir(argc, argv);
+  const size_t num_txns =
+      static_cast<size_t>(ArgInt(argc, argv, "--txns", 8000));
 
   TpccConfig cfg;
   cfg.warehouses = 16;
@@ -32,7 +36,7 @@ int main() {
   cfg.initial_orders_per_district = 2;
   TpccWorkload workload(cfg);
 
-  WorkloadBundle bundle = workload.Make(8000, 1);
+  WorkloadBundle bundle = workload.Make(num_txns, 1);
   auto [train, test] = bundle.trace.SplitTrainTest(0.25);
   std::printf("trace: %zu txns total, %zu train / %zu test, coverage %s\n",
               bundle.trace.size(), train.size(), test.size(),
@@ -117,13 +121,12 @@ int main() {
   print_tput_series("Schism", schism_tput);
   print_tput_series("naive-hash", hash_tput);
 
-  std::ofstream json_out("throughput_tpcc.json");
-  json_out << "[\n";
+  std::string json = "[\n";
   for (size_t i = 0; i < json_reports.size(); ++i) {
-    json_out << "  " << json_reports[i] << (i + 1 < json_reports.size() ? ",\n" : "\n");
+    json += "  " + json_reports[i] + (i + 1 < json_reports.size() ? ",\n" : "\n");
   }
-  json_out << "]\n";
-  std::printf("\nwrote %zu replay reports to throughput_tpcc.json\n",
-              json_reports.size());
+  json += "]\n";
+  std::printf("\n%zu replay reports: ", json_reports.size());
+  WriteBenchJson(out_dir, "throughput_tpcc", json);
   return 0;
 }

@@ -102,6 +102,21 @@ EvalResult EvaluateRange(const Database& db, const DatabaseSolution& solution,
 
 }  // namespace
 
+double CoordinationExposure(const EvalResult& result,
+                            double per_participant_rate) {
+  if (result.total_txns == 0 || result.distributed_txns == 0 ||
+      per_participant_rate <= 0.0) {
+    return 0.0;
+  }
+  const double rate = std::min(per_participant_rate, 1.0);
+  const double avg_participants =
+      static_cast<double>(result.partitions_touched) /
+      static_cast<double>(result.distributed_txns);
+  // P(at least one participant faults) for the average distributed txn.
+  const double per_txn = 1.0 - std::pow(1.0 - rate, avg_participants);
+  return result.cost() * per_txn;
+}
+
 EvalResult Evaluate(const Database& db, const DatabaseSolution& solution,
                     const Trace& trace, ThreadPool* pool) {
   const size_t n = trace.size();

@@ -63,6 +63,19 @@ struct EvalResult {
 bool IsDistributed(const Database& db, const DatabaseSolution& solution,
                    const Transaction& txn, std::vector<int32_t>* touched = nullptr);
 
+/// First-order analytic exposure of a workload to per-participant
+/// coordination faults: the expected fraction of transactions that are
+/// distributed AND draw at least one fault during prepare, when each
+/// participant independently faults with probability `per_participant_rate`
+/// (the FaultPlan convention — see runtime/fault_injector.h). Uses the
+/// average participant count `partitions_touched / distributed_txns`, so it
+/// shares the same Definition 5/6 classification the runtime's fault
+/// injector targets. This is the quantity bench/fault_tolerance checks the
+/// measured abort exposure against: fewer distributed transactions means
+/// strictly less exposure at any fault rate.
+double CoordinationExposure(const EvalResult& result,
+                            double per_participant_rate);
+
 /// Evaluates `solution` over every transaction of `trace`.
 ///
 /// With a pool of more than one worker the trace is split into fixed

@@ -10,6 +10,7 @@ ShardExecutor::ShardExecutor(const ShardedDatabase& sharded_db,
   shards_.reserve(sharded_db_.num_shards());
   for (int32_t i = 0; i < sharded_db_.num_shards(); ++i) {
     shards_.push_back(std::make_unique<ShardState>());
+    shards_.back()->queue.SetCapacity(options_.max_queue_depth);
   }
 }
 

@@ -18,6 +18,7 @@
 #include <thread>
 #include <vector>
 
+#include "runtime/fault_injector.h"
 #include "runtime/metrics.h"
 #include "runtime/sharded_database.h"
 #include "runtime/work_queue.h"
@@ -38,12 +39,23 @@ struct RuntimeOptions {
   /// Check every access against the materialized shard layout and count
   /// misplaced tuples in RuntimeMetrics::residency_faults.
   bool verify_residency = true;
+  /// Per-shard work-queue depth cap; 0 = unbounded. With a cap, submitters
+  /// to a stalled shard block (backpressure) instead of growing the queue.
+  uint32_t max_queue_depth = 0;
+  /// Coordination faults to inject on the 2PC path; disabled by default
+  /// (all rates zero). See runtime/fault_injector.h for the determinism
+  /// contract.
+  FaultPlan faults;
 };
 
 /// A trace transaction resolved against a solution: the physical shards it
 /// must run on, and its static Definition 5/6 classification.
 struct ClassifiedTxn {
   const Transaction* txn = nullptr;
+  /// Stable id (the transaction's index in the classified trace): the
+  /// coordinate every fault-injection decision and backoff jitter is keyed
+  /// on, which is what makes fault replays thread-count-independent.
+  uint64_t txn_id = 0;
   /// Sorted distinct shards holding the txn's non-replicated accesses;
   /// all shards for replicated writes; never empty (replicated-read-only
   /// txns are assigned one shard round-robin).

@@ -1,0 +1,75 @@
+#include "runtime/fault_injector.h"
+
+#include "common/hash.h"
+
+namespace jecb {
+
+namespace {
+
+// Stream tags keep the four fault kinds statistically independent even when
+// they share (txn, attempt, shard) coordinates.
+constexpr uint64_t kStreamStall = 0xA11CE;
+constexpr uint64_t kStreamReject = 0xBEEF;
+constexpr uint64_t kStreamTimeout = 0xC0FFEE;
+constexpr uint64_t kStreamDown = 0xD04;
+constexpr uint64_t kStreamBackoff = 0xB0FF;
+
+}  // namespace
+
+double FaultInjector::UnitUniform(uint64_t stream, uint64_t txn_id,
+                                  uint32_t attempt, uint64_t extra) const {
+  uint64_t h = HashCombine(plan_.seed, stream);
+  h = HashCombine(h, txn_id);
+  h = HashCombine(h, (static_cast<uint64_t>(attempt) << 32) ^ extra);
+  // Top 53 bits of the finalized hash -> exact double in [0, 1).
+  return static_cast<double>(HashInt64(h) >> 11) * 0x1.0p-53;
+}
+
+bool FaultInjector::ShardDown(uint64_t txn_id, uint32_t attempt,
+                              int32_t shard) const {
+  if (plan_.shard_down_rate <= 0.0) return false;
+  const uint64_t window = plan_.down_window_txns == 0 ? 1 : plan_.down_window_txns;
+  // Retries re-roll a *shifted* window, not a fresh coin on the same window:
+  // the backoff wait is modeled as the txn arriving `down_recovery_stride`
+  // ids later, when the shard may have recovered.
+  const uint64_t window_index =
+      (txn_id + static_cast<uint64_t>(attempt) * plan_.down_recovery_stride) /
+      window;
+  return UnitUniform(kStreamDown, window_index, 0,
+                     static_cast<uint64_t>(shard)) < plan_.shard_down_rate;
+}
+
+bool FaultInjector::ShardStalls(uint64_t txn_id, uint32_t attempt,
+                                int32_t shard) const {
+  return plan_.stall_rate > 0.0 &&
+         UnitUniform(kStreamStall, txn_id, attempt,
+                     static_cast<uint64_t>(shard)) < plan_.stall_rate;
+}
+
+bool FaultInjector::PrepareRejected(uint64_t txn_id, uint32_t attempt,
+                                    int32_t shard) const {
+  return plan_.prepare_reject_rate > 0.0 &&
+         UnitUniform(kStreamReject, txn_id, attempt,
+                     static_cast<uint64_t>(shard)) < plan_.prepare_reject_rate;
+}
+
+bool FaultInjector::CoordinatorTimesOut(uint64_t txn_id,
+                                        uint32_t attempt) const {
+  return plan_.coordinator_timeout_rate > 0.0 &&
+         UnitUniform(kStreamTimeout, txn_id, attempt, 0) <
+             plan_.coordinator_timeout_rate;
+}
+
+uint32_t FaultInjector::BackoffUs(uint64_t txn_id, uint32_t attempt) const {
+  uint64_t base = plan_.backoff_base_us;
+  if (base == 0) return 0;
+  // Saturating shift, then cap.
+  uint64_t wait = attempt >= 32 ? plan_.backoff_cap_us : base << attempt;
+  if (wait > plan_.backoff_cap_us) wait = plan_.backoff_cap_us;
+  // Jitter in [0.5, 1.0): decorrelates retry storms without ever collapsing
+  // the wait to zero.
+  double jitter = 0.5 + 0.5 * UnitUniform(kStreamBackoff, txn_id, attempt, 0);
+  return static_cast<uint32_t>(static_cast<double>(wait) * jitter);
+}
+
+}  // namespace jecb

@@ -64,6 +64,13 @@ struct ShardMetrics {
   std::atomic<uint64_t> local_txns{0};
   std::atomic<uint64_t> dist_participations{0};
   std::atomic<uint64_t> busy_us{0};  ///< simulated work done under this shard's lock
+  /// Times a coordinator tried to involve this shard in a prepare, whether
+  /// or not the shard was reachable. Availability is derived as
+  /// 1 - down_events / participation_attempts.
+  std::atomic<uint64_t> participation_attempts{0};
+  std::atomic<uint64_t> stalls{0};            ///< injected stalls served
+  std::atomic<uint64_t> prepare_rejects{0};   ///< injected "no" votes
+  std::atomic<uint64_t> down_events{0};       ///< prepares refused while down
   LatencyHistogram latency;
 };
 
@@ -81,8 +88,23 @@ class RuntimeMetrics {
   std::atomic<uint64_t> distributed_committed{0};
   std::atomic<uint64_t> residency_faults{0};
 
+  // Fault/recovery accounting (all zero when no FaultPlan is active).
+  // Invariants the fault tests assert: committed + failed == submitted, and
+  // aborts == retries + failed (every aborted attempt either retried or
+  // exhausted the budget and became a recorded failure).
+  std::atomic<uint64_t> aborts{0};    ///< 2PC attempts that aborted
+  std::atomic<uint64_t> retries{0};   ///< aborted attempts that were retried
+  std::atomic<uint64_t> failed{0};    ///< txns that exhausted the retry budget
+  std::atomic<uint64_t> prepare_rejects{0};
+  std::atomic<uint64_t> coordinator_timeouts{0};
+  std::atomic<uint64_t> shard_down_aborts{0};
+  std::atomic<uint64_t> stalls_injected{0};
+
   LatencyHistogram local_latency;
   LatencyHistogram distributed_latency;
+  /// Commit latency of distributed txns that needed at least one retry —
+  /// the tail the retry/backoff machinery adds on top of distributed_latency.
+  LatencyHistogram retry_latency;
 
  private:
   std::vector<std::unique_ptr<ShardMetrics>> shards_;

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <thread>
 
+#include "common/hash.h"
 #include "common/string_util.h"
 #include "partition/evaluator.h"
 #include "runtime/txn_coordinator.h"
@@ -21,6 +22,7 @@ std::vector<ClassifiedTxn> ClassifyTrace(const Database& db,
   for (const Transaction& txn : trace.transactions()) {
     ClassifiedTxn ct;
     ct.txn = &txn;
+    ct.txn_id = index;  // stable fault-decision coordinate
     bool writes_replicated = false;
     parts.clear();
     for (const Access& a : txn.accesses) {
@@ -82,6 +84,30 @@ void AppendLatencyJson(std::string* out, const char* key, const LatencyReport& l
 
 }  // namespace
 
+uint64_t ReplayReport::OutcomeSignature() const {
+  uint64_t h = HashInt64(total_txns);
+  auto mix = [&h](uint64_t v) { h = HashCombine(h, HashInt64(v)); };
+  mix(committed);
+  mix(distributed_committed);
+  mix(residency_faults);
+  mix(failed);
+  mix(aborts);
+  mix(retries);
+  mix(prepare_rejects);
+  mix(coordinator_timeouts);
+  mix(shard_down_aborts);
+  mix(stalls_injected);
+  for (const ShardReport& s : shards) {
+    mix(s.local_txns);
+    mix(s.dist_participations);
+    mix(s.participation_attempts);
+    mix(s.stalls);
+    mix(s.prepare_rejects);
+    mix(s.down_events);
+  }
+  return h;
+}
+
 std::string ReplayReport::ToJson() const {
   std::string out = "{";
   out += "\"label\":\"" + label + "\"";
@@ -91,14 +117,24 @@ std::string ReplayReport::ToJson() const {
   out += ",\"distributed_txns\":" + std::to_string(distributed_committed);
   out += ",\"distributed_fraction\":" + FormatDouble(distributed_fraction(), 4);
   out += ",\"residency_faults\":" + std::to_string(residency_faults);
+  out += ",\"failed\":" + std::to_string(failed);
+  out += ",\"aborts\":" + std::to_string(aborts);
+  out += ",\"retries\":" + std::to_string(retries);
+  out += ",\"prepare_rejects\":" + std::to_string(prepare_rejects);
+  out += ",\"coordinator_timeouts\":" + std::to_string(coordinator_timeouts);
+  out += ",\"shard_down_aborts\":" + std::to_string(shard_down_aborts);
+  out += ",\"stalls_injected\":" + std::to_string(stalls_injected);
   out += ",\"wall_seconds\":" + FormatDouble(wall_seconds, 3);
   out += ",\"throughput_tps\":" + FormatDouble(throughput_tps, 0);
+  out += ",\"goodput_tps\":" + FormatDouble(goodput_tps, 0);
   out += ",\"replication_factor\":" + FormatDouble(replication_factor, 2);
   out += ",\"storage_skew\":" + FormatDouble(storage_skew, 3);
   out += ",\"latency_us\":{";
   AppendLatencyJson(&out, "local", local);
   out += ",";
   AppendLatencyJson(&out, "distributed", distributed);
+  out += ",";
+  AppendLatencyJson(&out, "retry", retry);
   out += "},\"shards\":[";
   for (size_t i = 0; i < shards.size(); ++i) {
     const ShardReport& s = shards[i];
@@ -108,6 +144,11 @@ std::string ReplayReport::ToJson() const {
            ",\"local_txns\":" + std::to_string(s.local_txns) +
            ",\"dist_participations\":" + std::to_string(s.dist_participations) +
            ",\"busy_us\":" + std::to_string(s.busy_us) +
+           ",\"participation_attempts\":" + std::to_string(s.participation_attempts) +
+           ",\"stalls\":" + std::to_string(s.stalls) +
+           ",\"prepare_rejects\":" + std::to_string(s.prepare_rejects) +
+           ",\"down_events\":" + std::to_string(s.down_events) +
+           ",\"availability\":" + FormatDouble(s.availability(), 4) +
            ",\"p50_us\":" + FormatDouble(s.p50_us, 1) +
            ",\"p95_us\":" + FormatDouble(s.p95_us, 1) +
            ",\"p99_us\":" + FormatDouble(s.p99_us, 1) + "}";
@@ -127,7 +168,8 @@ ReplayReport Replay(const Database& db, const DatabaseSolution& solution,
 
   RuntimeMetrics metrics(sharded.num_shards());
   ShardExecutor executor(sharded, options, &metrics);
-  TxnCoordinator coordinator(&executor);
+  FaultInjector injector(options.faults);
+  TxnCoordinator coordinator(&executor, &injector);
   executor.Start();
 
   // Phase B: closed-loop clients race through the classified trace.
@@ -161,13 +203,25 @@ ReplayReport Replay(const Database& db, const DatabaseSolution& solution,
   report.committed = metrics.committed.load();
   report.distributed_committed = metrics.distributed_committed.load();
   report.residency_faults = metrics.residency_faults.load();
+  report.failed = metrics.failed.load();
+  report.aborts = metrics.aborts.load();
+  report.retries = metrics.retries.load();
+  report.prepare_rejects = metrics.prepare_rejects.load();
+  report.coordinator_timeouts = metrics.coordinator_timeouts.load();
+  report.shard_down_aborts = metrics.shard_down_aborts.load();
+  report.stalls_injected = metrics.stalls_injected.load();
   report.wall_seconds = wall;
-  report.throughput_tps =
+  report.goodput_tps =
       wall > 0.0 ? static_cast<double>(report.committed) / wall : 0.0;
+  report.throughput_tps =
+      wall > 0.0
+          ? static_cast<double>(report.committed + report.failed) / wall
+          : 0.0;
   report.replication_factor = sharded.ReplicationFactor();
   report.storage_skew = sharded.StorageSkew();
   report.local = SnapshotLatency(metrics.local_latency);
   report.distributed = SnapshotLatency(metrics.distributed_latency);
+  report.retry = SnapshotLatency(metrics.retry_latency);
   report.shards.reserve(sharded.num_shards());
   for (int32_t s = 0; s < sharded.num_shards(); ++s) {
     const ShardMetrics& sm = metrics.shard(s);
@@ -177,6 +231,10 @@ ReplayReport Replay(const Database& db, const DatabaseSolution& solution,
     sr.local_txns = sm.local_txns.load();
     sr.dist_participations = sm.dist_participations.load();
     sr.busy_us = sm.busy_us.load();
+    sr.participation_attempts = sm.participation_attempts.load();
+    sr.stalls = sm.stalls.load();
+    sr.prepare_rejects = sm.prepare_rejects.load();
+    sr.down_events = sm.down_events.load();
     sr.p50_us = sm.latency.Quantile(0.50);
     sr.p95_us = sm.latency.Quantile(0.95);
     sr.p99_us = sm.latency.Quantile(0.99);

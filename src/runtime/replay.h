@@ -31,9 +31,22 @@ struct ShardReport {
   uint64_t local_txns = 0;
   uint64_t dist_participations = 0;
   uint64_t busy_us = 0;
+  uint64_t participation_attempts = 0;
+  uint64_t stalls = 0;
+  uint64_t prepare_rejects = 0;
+  uint64_t down_events = 0;
   double p50_us = 0.0;
   double p95_us = 0.0;
   double p99_us = 0.0;
+
+  /// Fraction of prepare attempts that found the shard reachable; 1.0 when
+  /// the shard was never asked to participate (vacuously available).
+  double availability() const {
+    return participation_attempts == 0
+               ? 1.0
+               : 1.0 - static_cast<double>(down_events) /
+                           static_cast<double>(participation_attempts);
+  }
 };
 
 /// Snapshot of one latency distribution after a replay.
@@ -54,12 +67,26 @@ struct ReplayReport {
   uint64_t committed = 0;
   uint64_t distributed_committed = 0;
   uint64_t residency_faults = 0;
+  // Fault/recovery outcomes; all zero without an active FaultPlan.
+  // Invariants: committed + failed == total_txns, aborts == retries + failed.
+  uint64_t failed = 0;
+  uint64_t aborts = 0;
+  uint64_t retries = 0;
+  uint64_t prepare_rejects = 0;
+  uint64_t coordinator_timeouts = 0;
+  uint64_t shard_down_aborts = 0;
+  uint64_t stalls_injected = 0;
   double wall_seconds = 0.0;
+  /// Processed rate: (committed + failed) / wall.
   double throughput_tps = 0.0;
+  /// Useful-work rate: committed / wall. Equals throughput_tps when no
+  /// faults are injected; the fault-tolerance bench compares this.
+  double goodput_tps = 0.0;
   double replication_factor = 1.0;
   double storage_skew = 0.0;
   LatencyReport local;
   LatencyReport distributed;
+  LatencyReport retry;  ///< committed txns that needed >= 1 retry
   std::vector<ShardReport> shards;
 
   double distributed_fraction() const {
@@ -67,6 +94,15 @@ struct ReplayReport {
                           : static_cast<double>(distributed_committed) /
                                 static_cast<double>(committed);
   }
+
+  /// Stable hash of every timing-independent outcome counter (commits,
+  /// failures, aborts, retries, per-shard participation/fault counts —
+  /// never latencies or wall time). Because fault decisions are pure
+  /// functions of (seed, txn id, attempt, shard), two replays of the same
+  /// classified trace under the same FaultPlan produce the same signature
+  /// at ANY client/thread count — the bit-reproducibility contract
+  /// fault_injection_test and bench/fault_tolerance assert.
+  uint64_t OutcomeSignature() const;
 
   /// One self-contained JSON object (no trailing newline).
   std::string ToJson() const;

@@ -1,13 +1,12 @@
 #include "runtime/txn_coordinator.h"
 
+#include <algorithm>
+
 namespace jecb {
 
-void TxnCoordinator::ExecuteDistributed(const ClassifiedTxn& txn) {
+bool TxnCoordinator::AttemptOnce(const ClassifiedTxn& txn, uint32_t attempt) {
   const RuntimeOptions& opt = executor_->options();
   RuntimeMetrics* metrics = executor_->metrics();
-  auto start = std::chrono::steady_clock::now();
-
-  if (opt.verify_residency) executor_->VerifyResidency(txn);
 
   // Prepare phase: lock participants in ascending id order and execute the
   // shard-local work (reads/writes + prepare validation) under each lock.
@@ -15,11 +14,39 @@ void TxnCoordinator::ExecuteDistributed(const ClassifiedTxn& txn) {
   std::vector<std::unique_lock<std::mutex>> held;
   held.reserve(txn.participants.size());
   for (int32_t p : txn.participants) {
+    ShardMetrics& sm = metrics->shard(p);
+    sm.participation_attempts.fetch_add(1, std::memory_order_relaxed);
+    if (injector_ && injector_->ShardDown(txn.txn_id, attempt, p)) {
+      // The shard refuses the connection before any lock is taken; locks
+      // already held release when `held` unwinds. Cheapest abort.
+      sm.down_events.fetch_add(1, std::memory_order_relaxed);
+      metrics->shard_down_aborts.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
     held.emplace_back(executor_->shard_lock(p));
     SimulateCpuWork(prepare_us);
-    ShardMetrics& sm = metrics->shard(p);
     sm.busy_us.fetch_add(prepare_us, std::memory_order_relaxed);
+    if (injector_ && injector_->ShardStalls(txn.txn_id, attempt, p)) {
+      // A stall occupies the shard (lock held, worker blocked) without
+      // burning CPU — the backpressure case, not an abort.
+      sm.stalls.fetch_add(1, std::memory_order_relaxed);
+      metrics->stalls_injected.fetch_add(1, std::memory_order_relaxed);
+      SimulateNetworkDelay(injector_->plan().stall_us);
+    }
+    if (injector_ && injector_->PrepareRejected(txn.txn_id, attempt, p)) {
+      sm.prepare_rejects.fetch_add(1, std::memory_order_relaxed);
+      metrics->prepare_rejects.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
     sm.dist_participations.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  if (injector_ && injector_->CoordinatorTimesOut(txn.txn_id, attempt)) {
+    // The expensive abort: every participant keeps its lock while the
+    // coordinator waits out the vote timeout.
+    metrics->coordinator_timeouts.fetch_add(1, std::memory_order_relaxed);
+    SimulateNetworkDelay(injector_->plan().timeout_us);
+    return false;
   }
 
   // Prepare messages out, votes back: every participant keeps its lock (and
@@ -32,16 +59,43 @@ void TxnCoordinator::ExecuteDistributed(const ClassifiedTxn& txn) {
   // Commit messages out, acks back: latency the client still observes, but
   // the shards are already free.
   SimulateNetworkDelay(opt.round_trip_us);
+  return true;
+}
 
-  uint64_t latency_us = ElapsedUs(start);
-  metrics->shard(txn.home).latency.Record(latency_us);
-  metrics->distributed_latency.Record(latency_us);
-  // Count from the static classification so the measured distributed
-  // fraction agrees with Evaluate() on the same (solution, trace) pair.
-  if (txn.distributed) {
-    metrics->distributed_committed.fetch_add(1, std::memory_order_relaxed);
+void TxnCoordinator::ExecuteDistributed(const ClassifiedTxn& txn) {
+  const RuntimeOptions& opt = executor_->options();
+  RuntimeMetrics* metrics = executor_->metrics();
+  auto start = std::chrono::steady_clock::now();
+
+  if (opt.verify_residency) executor_->VerifyResidency(txn);
+
+  const uint32_t budget =
+      injector_ ? std::max(injector_->plan().max_attempts, 1u) : 1u;
+  for (uint32_t attempt = 0; attempt < budget; ++attempt) {
+    if (AttemptOnce(txn, attempt)) {
+      uint64_t latency_us = ElapsedUs(start);
+      metrics->shard(txn.home).latency.Record(latency_us);
+      metrics->distributed_latency.Record(latency_us);
+      if (attempt > 0) metrics->retry_latency.Record(latency_us);
+      // Count from the static classification so the measured distributed
+      // fraction agrees with Evaluate() on the same (solution, trace) pair.
+      if (txn.distributed) {
+        metrics->distributed_committed.fetch_add(1, std::memory_order_relaxed);
+      }
+      metrics->committed.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    metrics->aborts.fetch_add(1, std::memory_order_relaxed);
+    if (attempt + 1 < budget) {
+      metrics->retries.fetch_add(1, std::memory_order_relaxed);
+      SimulateNetworkDelay(injector_->BackoffUs(txn.txn_id, attempt));
+    }
   }
-  metrics->committed.fetch_add(1, std::memory_order_relaxed);
+
+  // Retry budget exhausted: graceful degradation, not a silent drop — the
+  // failure is recorded and conservation (committed + failed == submitted)
+  // still holds.
+  metrics->failed.fetch_add(1, std::memory_order_relaxed);
 }
 
 }  // namespace jecb

@@ -8,22 +8,41 @@
 // While a distributed transaction holds a shard's lock, that shard's worker
 // cannot execute local transactions — the mechanism behind the Fig. 1
 // throughput collapse as the distributed fraction grows.
+//
+// With a FaultInjector attached, each attempt can abort (prepare rejected,
+// participant down, coordinator timeout) and the coordinator retries under
+// capped exponential backoff with deterministic jitter, up to the plan's
+// attempt budget. Budget exhaustion records the transaction as failed in
+// RuntimeMetrics — never a silent drop — so goodput (committed / wall) and
+// fault exposure are both measurable.
 #pragma once
 
 #include "runtime/executor.h"
+#include "runtime/fault_injector.h"
 
 namespace jecb {
 
 class TxnCoordinator {
  public:
-  explicit TxnCoordinator(ShardExecutor* executor) : executor_(executor) {}
+  /// `injector` may be null (or disabled) for the fault-free fast path; it
+  /// is borrowed, not owned, and must outlive the coordinator.
+  explicit TxnCoordinator(ShardExecutor* executor,
+                          const FaultInjector* injector = nullptr)
+      : executor_(executor),
+        injector_(injector != nullptr && injector->enabled() ? injector
+                                                             : nullptr) {}
 
-  /// Runs one multi-partition transaction to commit. Blocks the calling
-  /// thread for the full simulated 2PC latency.
+  /// Runs one multi-partition transaction to commit or recorded failure.
+  /// Blocks the calling thread for the full simulated 2PC latency including
+  /// any retries and backoff waits.
   void ExecuteDistributed(const ClassifiedTxn& txn);
 
  private:
+  /// One 2PC attempt; true on commit, false on abort (all locks released).
+  bool AttemptOnce(const ClassifiedTxn& txn, uint32_t attempt);
+
   ShardExecutor* executor_;
+  const FaultInjector* injector_;
 };
 
 }  // namespace jecb

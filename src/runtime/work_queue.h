@@ -1,10 +1,14 @@
 // Multi-producer single-consumer blocking work queue: the mailbox between
 // transaction submitters (clients, the 2PC coordinator) and a shard's worker
-// thread. Unbounded; the replay driver runs closed-loop so the queue depth
-// never exceeds the number of client threads.
+// thread. Unbounded by default (the replay driver runs closed-loop so the
+// depth never exceeds the client count); an optional capacity turns Push
+// into a blocking call, which is how a stalled shard backpressures its
+// submitters instead of accumulating unbounded work — and instead of
+// deadlocking: Close() releases blocked pushers as well as the consumer.
 #pragma once
 
 #include <condition_variable>
+#include <cstddef>
 #include <deque>
 #include <mutex>
 #include <optional>
@@ -14,10 +18,19 @@ namespace jecb {
 template <typename T>
 class WorkQueue {
  public:
-  /// Enqueues one item; wakes the consumer. Safe from any thread.
+  /// Caps the queue depth; 0 (default) means unbounded. Not thread-safe:
+  /// call before any producer or the consumer runs.
+  void SetCapacity(size_t capacity) { capacity_ = capacity; }
+
+  /// Enqueues one item; wakes the consumer. Safe from any thread. Blocks
+  /// while the queue is at capacity until the consumer drains it (or the
+  /// queue closes, so shutdown never strands a blocked producer).
   void Push(T item) {
     {
-      std::lock_guard<std::mutex> guard(mu_);
+      std::unique_lock<std::mutex> lock(mu_);
+      not_full_.wait(lock, [&] {
+        return capacity_ == 0 || items_.size() < capacity_ || closed_;
+      });
       items_.push_back(std::move(item));
     }
     cv_.notify_one();
@@ -31,6 +44,8 @@ class WorkQueue {
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
     return item;
   }
 
@@ -41,6 +56,7 @@ class WorkQueue {
       closed_ = true;
     }
     cv_.notify_all();
+    not_full_.notify_all();
   }
 
   size_t size() const {
@@ -51,7 +67,9 @@ class WorkQueue {
  private:
   mutable std::mutex mu_;
   std::condition_variable cv_;
+  std::condition_variable not_full_;
   std::deque<T> items_;
+  size_t capacity_ = 0;
   bool closed_ = false;
 };
 
