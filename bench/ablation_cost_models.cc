@@ -11,7 +11,8 @@
 using namespace jecb;
 using namespace jecb::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  InitObs(argc, argv);
   PrintHeader("Ablation: Phase-3 cost models on TPC-E (k = 8)",
               "all models land on customer-rooted solutions here; the richer "
               "models additionally expose sites-touched and skew differences");
@@ -48,5 +49,6 @@ int main() {
                   FormatDouble(avg_sites, 2), FormatDouble(ev.LoadSkew(), 3)});
   }
   std::printf("%s\n", table.ToString().c_str());
+  FinishObs(argc, argv);
   return 0;
 }

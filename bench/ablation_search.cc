@@ -73,7 +73,8 @@ void RunVariants(const char* title, const Workload& workload, size_t txns) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  InitObs(argc, argv);
   PrintHeader("Ablations: JECB design choices",
               "partial solutions and the quasi tier matter on TPC-E/TPC-C; "
               "the heuristics cut the search space by orders of magnitude");
@@ -87,5 +88,6 @@ int main() {
   tpcc.districts_per_warehouse = 6;
   tpcc.customers_per_district = 20;
   RunVariants("TPC-C", TpccWorkload(tpcc), 10000);
+  FinishObs(argc, argv);
   return 0;
 }

@@ -15,7 +15,8 @@
 using namespace jecb;
 using namespace jecb::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  InitObs(argc, argv);
   PrintHeader("Ablation: skew-aware bin packing (TPC-C, 8 nodes)",
               "equal distributed cost; micro-partitioning + heat packing cuts "
               "node load skew under Zipf warehouse popularity");
@@ -70,5 +71,6 @@ int main() {
                   FormatDouble(hot_ratio(packed_ev), 2)});
   }
   std::printf("%s\n", table.ToString().c_str());
+  FinishObs(argc, argv);
   return 0;
 }

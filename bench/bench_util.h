@@ -14,6 +14,8 @@
 #include "common/ascii_table.h"
 #include "common/string_util.h"
 #include "expr/meter.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace_recorder.h"
 #include "horticulture/horticulture.h"
 #include "jecb/jecb.h"
 #include "partition/evaluator.h"
@@ -163,6 +165,38 @@ inline std::string WriteBenchJson(const std::string& out_dir,
   out << content;
   std::printf("wrote %s\n", path.c_str());
   return path;
+}
+
+/// Turns on the span recorder when `--trace_out PATH` was passed. Call
+/// before any measured work so the whole run lands in the trace. Returns
+/// whether tracing is on.
+inline bool InitObs(int argc, char** argv) {
+  if (ArgValue(argc, argv, "--trace_out").empty()) return false;
+  TraceRecorder::Default().Enable();
+  return true;
+}
+
+/// Writes the Chrome trace (`--trace_out`) and/or the Prometheus metrics
+/// dump (`--metrics_out`) if requested. Call once at the end of main(),
+/// after all workers have quiesced (the collection contract).
+inline void FinishObs(int argc, char** argv) {
+  std::string trace_path = ArgValue(argc, argv, "--trace_out");
+  if (!trace_path.empty()) {
+    if (TraceRecorder::Default().WriteChromeTrace(trace_path)) {
+      std::printf("wrote %s (%llu events dropped)\n", trace_path.c_str(),
+                  static_cast<unsigned long long>(TraceRecorder::Default().dropped()));
+    } else {
+      std::fprintf(stderr, "failed to write trace to %s\n", trace_path.c_str());
+    }
+  }
+  std::string metrics_path = ArgValue(argc, argv, "--metrics_out");
+  if (!metrics_path.empty()) {
+    if (MetricsRegistry::Default().WritePrometheus(metrics_path)) {
+      std::printf("wrote %s\n", metrics_path.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write metrics to %s\n", metrics_path.c_str());
+    }
+  }
 }
 
 /// Prints "series <name>: x1=y1 x2=y2 ..." — one line per plotted curve.

@@ -66,6 +66,7 @@ double MinAvailability(const ReplayReport& r) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  InitObs(argc, argv);
   PrintHeader("Fault tolerance: goodput under injected 2PC coordination faults",
               "JECB's low distributed fraction shields it — its goodput "
               "degrades strictly less than naive-hash at every fault rate");
@@ -115,6 +116,7 @@ int main(int argc, char** argv) {
       row.fault_rate = rate;
       row.report = Replay(*bundle.db, solution, test, opt,
                           label + "-fault" + FormatDouble(rate, 2));
+      row.report.PublishTo(MetricsRegistry::Default());  // for --metrics_out
       if (rate == 0.0) baseline_goodput = row.report.goodput_tps;
       row.degradation = baseline_goodput > 0.0
                             ? 1.0 - row.report.goodput_tps / baseline_goodput
@@ -196,5 +198,6 @@ int main(int argc, char** argv) {
   }
   json += "  ]\n}\n";
   WriteBenchJson(out_dir, "fault_tolerance", json);
+  FinishObs(argc, argv);
   return 0;
 }

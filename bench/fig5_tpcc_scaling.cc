@@ -11,7 +11,8 @@
 using namespace jecb;
 using namespace jecb::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  InitObs(argc, argv);
   PrintHeader("Figure 5: TPC-C 128 warehouses",
               "JECB flat at the remote-access floor for all k; Schism degrades "
               "with more partitions and less coverage");
@@ -61,5 +62,6 @@ int main() {
   for (size_t li = 0; li < 3; ++li) {
     PrintSeries(levels[li].label, ks, schism_series[li]);
   }
+  FinishObs(argc, argv);
   return 0;
 }

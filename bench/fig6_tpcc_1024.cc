@@ -10,7 +10,8 @@
 using namespace jecb;
 using namespace jecb::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  InitObs(argc, argv);
   PrintHeader("Figure 6: TPC-C 1024 warehouses",
               "JECB flat; Schism 0.1%/0.2% coverage far worse at all k");
 
@@ -56,5 +57,6 @@ int main() {
   PrintSeries("JECB", ks, jecb_series);
   PrintSeries(levels[0].label, ks, schism_series[0]);
   PrintSeries(levels[1].label, ks, schism_series[1]);
+  FinishObs(argc, argv);
   return 0;
 }

@@ -18,7 +18,8 @@
 using namespace jecb;
 using namespace jecb::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  InitObs(argc, argv);
   PrintHeader("Figure 7: partitioning quality on five benchmarks (k = 8)",
               "TPC-C tie; TATP Schism errs; SEATS JECB >> Horticulture; "
               "AuctionMark JECB ~= Horticulture; TPC-E JECB ~21%, baselines bad");
@@ -79,5 +80,6 @@ int main() {
     std::printf("%s done\n", bench.workload->name().c_str());
   }
   std::printf("\n%s\n", table.ToString().c_str());
+  FinishObs(argc, argv);
   return 0;
 }

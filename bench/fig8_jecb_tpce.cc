@@ -11,7 +11,8 @@
 using namespace jecb;
 using namespace jecb::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  InitObs(argc, argv);
   PrintHeader("Figure 8: JECB on TPC-E, per-class distributed fraction",
               "bad: BV, MF, TL-F1, TU-F1 (group 1) and TL-F3, TradeResult, "
               "TU-F3 (group 2); the rest ~0");
@@ -33,5 +34,6 @@ int main() {
   }
   std::printf("%s\n", table.ToString().c_str());
   std::printf("overall: %s (paper: 21%%)\n", Pct(ev.cost()).c_str());
+  FinishObs(argc, argv);
   return 0;
 }

@@ -11,7 +11,8 @@
 using namespace jecb;
 using namespace jecb::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  InitObs(argc, argv);
   PrintHeader("Figure 9: Horticulture (paper solution) on TPC-E, per class",
               "good on Broker-Volume; bad on Customer-Position, Market-Watch, "
               "TL-F2, TU-F2 and Trade-Order");
@@ -33,5 +34,6 @@ int main() {
   }
   std::printf("%s\n", table.ToString().c_str());
   std::printf("overall: %s\n", Pct(ev.cost()).c_str());
+  FinishObs(argc, argv);
   return 0;
 }

@@ -6,6 +6,8 @@
 
 #include <random>
 
+#include "bench_util.h"
+
 #include "graph/partitioner.h"
 #include "jecb/jecb.h"
 #include "ml/decision_tree.h"
@@ -162,4 +164,31 @@ BENCHMARK(BM_JecbEndToEndTpcc);
 }  // namespace
 }  // namespace jecb
 
-BENCHMARK_MAIN();
+// Hand-rolled BENCHMARK_MAIN so the shared --trace_out/--metrics_out flags
+// work here too (benchmark's own flag parser would reject them, so strip
+// them before Initialize sees the argv).
+int main(int argc, char** argv) {
+  jecb::bench::InitObs(argc, argv);
+  std::vector<char*> bench_argv;
+  for (int i = 0; i < argc; ++i) {
+    std::string_view a = argv[i];
+    if (a == "--trace_out" || a == "--metrics_out" || a == "--out_dir") {
+      ++i;  // skip the flag's value too
+      continue;
+    }
+    if (a.rfind("--trace_out=", 0) == 0 || a.rfind("--metrics_out=", 0) == 0 ||
+        a.rfind("--out_dir=", 0) == 0) {
+      continue;
+    }
+    bench_argv.push_back(argv[i]);
+  }
+  int bench_argc = static_cast<int>(bench_argv.size());
+  ::benchmark::Initialize(&bench_argc, bench_argv.data());
+  if (::benchmark::ReportUnrecognizedArguments(bench_argc, bench_argv.data())) {
+    return 1;
+  }
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  jecb::bench::FinishObs(argc, argv);
+  return 0;
+}

@@ -152,6 +152,7 @@ std::string ToJson(const std::vector<WorkloadScaling>& all) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  InitObs(argc, argv);
   const std::string out_dir = OutDir(argc, argv);
   PrintHeader("Parallel pipeline scaling: Jecb::Partition and Evaluate()",
               "JECB solves in seconds (Sec. 7.5); the thread pool divides "
@@ -180,5 +181,6 @@ int main(int argc, char** argv) {
   }
 
   WriteBenchJson(out_dir, "parallel_search", ToJson(all));
+  FinishObs(argc, argv);
   return 0;
 }

@@ -14,7 +14,8 @@
 using namespace jecb;
 using namespace jecb::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  InitObs(argc, argv);
   PrintHeader("Section 7.6: synthetic implicit-join sweep (k = 100)",
               "JECB cost grows with the implicit mix; Schism tracks the "
               "smaller side of the conflict");
@@ -43,5 +44,6 @@ int main() {
   std::printf("%s\n", table.ToString().c_str());
   PrintSeries("JECB", mixes, jecb_series);
   PrintSeries("Schism", mixes, schism_series);
+  FinishObs(argc, argv);
   return 0;
 }

@@ -11,7 +11,8 @@
 using namespace jecb;
 using namespace jecb::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  InitObs(argc, argv);
   PrintHeader("Table 1: resource consumption, TPC-C 128 warehouses",
               "Schism RAM/CPU grow steeply with coverage; JECB flat and small");
 
@@ -47,5 +48,6 @@ int main() {
   std::printf("%s\n", table.ToString().c_str());
   std::printf("note: RAM is the process RSS delta across the partitioner run;\n"
               "JECB additionally received the FULL trace yet stays flat.\n");
+  FinishObs(argc, argv);
   return 0;
 }

@@ -9,7 +9,8 @@
 using namespace jecb;
 using namespace jecb::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  InitObs(argc, argv);
   PrintHeader("Table 2: resource consumption, TPC-C 1024 warehouses",
               "Schism grows with coverage x database size; JECB independent of both");
 
@@ -46,5 +47,6 @@ int main() {
                 std::to_string(jecb.rss_delta_mb), FormatDouble(jecb.cpu_seconds, 2),
                 Pct(jecb.test_cost)});
   std::printf("%s\n", table.ToString().c_str());
+  FinishObs(argc, argv);
   return 0;
 }

@@ -14,7 +14,8 @@
 using namespace jecb;
 using namespace jecb::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  InitObs(argc, argv);
   PrintHeader("Table 3: TPC-E transaction classes and JECB Phase-2 solutions",
               "see the class-by-class roots listed in the source header");
 
@@ -45,5 +46,6 @@ int main() {
               Pct(ev.cost()).c_str());
   std::printf("  partitioning time  : %.1f s (paper: < 2 minutes)\n",
               r.elapsed_seconds);
+  FinishObs(argc, argv);
   return 0;
 }

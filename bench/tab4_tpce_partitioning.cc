@@ -13,7 +13,8 @@
 using namespace jecb;
 using namespace jecb::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  InitObs(argc, argv);
   PrintHeader("Table 4: per-table partitioning solutions for TPC-E",
               "JECB: customer-rooted join paths, BROKER replicated; "
               "HC: one local column per table");
@@ -52,5 +53,6 @@ int main() {
   EvalResult hc_ev = Evaluate(*bundle.db, hc, test);
   std::printf("overall test cost: JECB %s vs Horticulture %s\n",
               Pct(jecb_ev.cost()).c_str(), Pct(hc_ev.cost()).c_str());
+  FinishObs(argc, argv);
   return 0;
 }

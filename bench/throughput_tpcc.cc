@@ -20,6 +20,7 @@ using namespace jecb;
 using namespace jecb::bench;
 
 int main(int argc, char** argv) {
+  InitObs(argc, argv);
   PrintHeader("Throughput: TPC-C replay through the partitioned runtime",
               "JECB sustains near-local throughput at every k; naive hash "
               "collapses as almost every transaction becomes distributed "
@@ -72,6 +73,7 @@ int main(int argc, char** argv) {
                   FormatDouble(rep.throughput_tps, 0), lat3(rep.local),
                   lat3(rep.distributed), FormatDouble(rep.replication_factor, 2)});
     json_reports.push_back(rep.ToJson());
+    rep.PublishTo(MetricsRegistry::Default());  // picked up by --metrics_out
     if (rep.distributed_committed != st.distributed_txns) {
       std::printf("WARNING: measured distributed count %llu != static %llu (%s)\n",
                   static_cast<unsigned long long>(rep.distributed_committed),
@@ -128,5 +130,6 @@ int main(int argc, char** argv) {
   json += "]\n";
   std::printf("\n%zu replay reports: ", json_reports.size());
   WriteBenchJson(out_dir, "throughput_tpcc", json);
+  FinishObs(argc, argv);
   return 0;
 }

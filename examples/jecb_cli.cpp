@@ -5,6 +5,9 @@
 //              [--partitions K] [--txns N] [--seed S] [--scale X]
 //              [--threads T]   (0 = all hardware threads; any T yields the
 //                               same solution as --threads 1)
+//              [--trace_out trace.json]   Chrome trace of the whole run —
+//                               load in https://ui.perfetto.dev
+//              [--metrics_out metrics.prom]   Prometheus text dump
 //
 //   workloads: tpcc tatp seats auctionmark tpce synthetic
 //
@@ -19,6 +22,8 @@
 
 #include "horticulture/horticulture.h"
 #include "jecb/jecb.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace_recorder.h"
 #include "partition/evaluator.h"
 #include "schism/schism.h"
 #include "workloads/registry.h"
@@ -57,6 +62,8 @@ int main(int argc, char** argv) {
   uint64_t seed = 1;
   double scale = 1.0;
   int32_t threads = 0;
+  std::string trace_out;
+  std::string metrics_out;
   for (int i = 2; i + 1 < argc; i += 2) {
     std::string flag = argv[i];
     if (flag == "--approach") {
@@ -71,11 +78,16 @@ int main(int argc, char** argv) {
       scale = std::atof(argv[i + 1]);
     } else if (flag == "--threads") {
       threads = std::atoi(argv[i + 1]);
+    } else if (flag == "--trace_out") {
+      trace_out = argv[i + 1];
+    } else if (flag == "--metrics_out") {
+      metrics_out = argv[i + 1];
     } else {
       std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
       return 2;
     }
   }
+  if (!trace_out.empty()) TraceRecorder::Default().Enable();
 
   std::unique_ptr<Workload> workload = MakeWorkloadByName(workload_name, scale);
   if (workload == nullptr) {
@@ -130,6 +142,23 @@ int main(int argc, char** argv) {
     CheckOk(res.status(), "horticulture");
     std::printf("\nhorticulture: %d cost evaluations\n", res.value().evaluations);
     Report("Horticulture:", *bundle.db, res.value().solution, test);
+  }
+  if (!trace_out.empty()) {
+    if (TraceRecorder::Default().WriteChromeTrace(trace_out)) {
+      std::printf("\nwrote %s — open it at https://ui.perfetto.dev\n",
+                  trace_out.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write trace to %s\n", trace_out.c_str());
+      return 1;
+    }
+  }
+  if (!metrics_out.empty()) {
+    if (MetricsRegistry::Default().WritePrometheus(metrics_out)) {
+      std::printf("wrote %s\n", metrics_out.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write metrics to %s\n", metrics_out.c_str());
+      return 1;
+    }
   }
   return 0;
 }

@@ -4,16 +4,38 @@
 // prepare rejections, shard stalls, and transient shard-down windows), and
 // print the measured reports (the JSON line is what the bench harness
 // writes to BENCH_throughput_tpcc.json).
+// Pass --trace_out trace.json to capture the per-txn replay timelines
+// (queue wait, execution, 2PC prepare/commit rounds, retries, fault
+// instants) as a Chrome trace, and --metrics_out metrics.prom for a
+// Prometheus dump of both replays' counters and latency histograms.
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "jecb/jecb.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace_recorder.h"
 #include "runtime/replay.h"
 #include "workloads/tpcc.h"
 
 using namespace jecb;
 
-int main() {
+int main(int argc, char** argv) {
+  std::string trace_out;
+  std::string metrics_out;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    if (std::strcmp(argv[i], "--trace_out") == 0) {
+      trace_out = argv[i + 1];
+    } else if (std::strcmp(argv[i], "--metrics_out") == 0) {
+      metrics_out = argv[i + 1];
+    } else {
+      std::fprintf(stderr, "usage: %s [--trace_out trace.json] [--metrics_out metrics.prom]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (!trace_out.empty()) TraceRecorder::Default().Enable();
   TpccConfig cfg;
   cfg.warehouses = 8;
   cfg.districts_per_warehouse = 2;
@@ -72,5 +94,24 @@ int main() {
       static_cast<unsigned long long>(faulted.retries), min_avail * 100.0);
   std::printf("retry p50/p95/p99: %.0f/%.0f/%.0f us\n", faulted.retry.p50_us,
               faulted.retry.p95_us, faulted.retry.p99_us);
+
+  if (!trace_out.empty()) {
+    if (!TraceRecorder::Default().WriteChromeTrace(trace_out)) {
+      std::fprintf(stderr, "failed to write trace to %s\n", trace_out.c_str());
+      return 1;
+    }
+    std::printf("\nwrote %s — open it at https://ui.perfetto.dev\n",
+                trace_out.c_str());
+  }
+  if (!metrics_out.empty()) {
+    MetricsRegistry& registry = MetricsRegistry::Default();
+    report.PublishTo(registry);
+    faulted.PublishTo(registry);
+    if (!registry.WritePrometheus(metrics_out)) {
+      std::fprintf(stderr, "failed to write metrics to %s\n", metrics_out.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", metrics_out.c_str());
+  }
   return 0;
 }

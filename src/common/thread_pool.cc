@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace_recorder.h"
+
 namespace jecb {
 
 int32_t ThreadPool::ResolveThreads(int32_t requested) {
@@ -53,17 +55,34 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
-void ParallelFor(ThreadPool* pool, size_t n, const std::function<void(size_t)>& fn) {
+void ParallelFor(ThreadPool* pool, size_t n, const std::function<void(size_t)>& fn,
+                 const char* label) {
+  TraceRecorder& rec = TraceRecorder::Default();
+  const bool traced = label != nullptr && rec.enabled();
+  const uint64_t start_ts = traced ? rec.NowUs() : 0;
   if (pool == nullptr || pool->num_threads() <= 1 || n <= 1) {
     for (size_t i = 0; i < n; ++i) fn(i);
-    return;
+  } else {
+    std::vector<std::future<void>> futures;
+    futures.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      futures.push_back(pool->Submit([&fn, &rec, i, label, traced] {
+        if (traced) {
+          ScopedSpan task("pool.task", label, "index", static_cast<int64_t>(i),
+                          rec);
+          fn(i);
+        } else {
+          fn(i);
+        }
+      }));
+    }
+    for (std::future<void>& f : futures) f.get();
   }
-  std::vector<std::future<void>> futures;
-  futures.reserve(n);
-  for (size_t i = 0; i < n; ++i) {
-    futures.push_back(pool->Submit([&fn, i] { fn(i); }));
+  if (traced) {
+    // Fan-out + all tasks + join, as observed by the submitting thread.
+    rec.Span("pool", label, start_ts, rec.NowUs() - start_ts, "n",
+             static_cast<int64_t>(n));
   }
-  for (std::future<void>& f : futures) f.get();
 }
 
 }  // namespace jecb

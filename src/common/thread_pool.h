@@ -56,6 +56,12 @@ class ThreadPool {
 /// path, no synchronization. Otherwise indices are submitted to the pool and
 /// the call blocks until all complete. `fn` must handle its own index slot;
 /// the helper imposes no ordering between indices.
-void ParallelFor(ThreadPool* pool, size_t n, const std::function<void(size_t)>& fn);
+///
+/// `label` (a string literal or interned name) turns on tracing for this
+/// loop when the TraceRecorder is enabled: one ("pool", label) span covers
+/// the whole fan-out/join, and each index gets a ("pool.task", label) span
+/// on the worker that ran it. Null label = never traced.
+void ParallelFor(ThreadPool* pool, size_t n, const std::function<void(size_t)>& fn,
+                 const char* label = nullptr);
 
 }  // namespace jecb

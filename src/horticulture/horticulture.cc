@@ -6,6 +6,8 @@
 #include <random>
 
 #include "common/thread_pool.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace_recorder.h"
 
 namespace jecb {
 
@@ -94,6 +96,9 @@ Result<HorticultureResult> Horticulture::Partition(Database* db,
   std::mt19937_64 rng(options_.seed);
   for (int round = 0; round < options_.rounds; ++round) {
     if (partitioned.empty()) break;
+    // One large-neighborhood-search round: relax, re-optimize, maybe accept.
+    JECB_SPAN2("horticulture", "lns.round", "round", round, "relaxed",
+               options_.relax_tables);
     // Relax a few tables and exhaustively re-optimize them one at a time
     // (coordinate descent within the relaxed neighborhood).
     std::vector<TableId> relaxed;
@@ -116,14 +121,17 @@ Result<HorticultureResult> Horticulture::Partition(Database* db,
       }
       std::vector<double> trial_cost(trial_cols.size(), 0.0);
       std::vector<double> trial_plain(trial_cols.size(), 0.0);
-      ParallelFor(pool.get(), trial_cols.size(), [&](size_t i) {
-        Design trial = current;
-        trial[t] = trial_cols[i];
-        DatabaseSolution sol = materialize(trial);
-        EvalResult ev = Evaluate(*db, sol, sample);
-        trial_plain[i] = ev.cost();
-        trial_cost[i] = model_cost(ev);
-      });
+      ParallelFor(
+          pool.get(), trial_cols.size(),
+          [&](size_t i) {
+            Design trial = current;
+            trial[t] = trial_cols[i];
+            DatabaseSolution sol = materialize(trial);
+            EvalResult ev = Evaluate(*db, sol, sample);
+            trial_plain[i] = ev.cost();
+            trial_cost[i] = model_cost(ev);
+          },
+          "horticulture.trials");
       result.evaluations += static_cast<int>(trial_cols.size());
       int32_t best_choice = current[t];
       for (size_t i = 0; i < trial_cols.size(); ++i) {
@@ -147,6 +155,10 @@ Result<HorticultureResult> Horticulture::Partition(Database* db,
   result.model_cost = best_cost;
   result.elapsed_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  MetricsRegistry::Default().AddCounter("horticulture_evaluations_total",
+                                        static_cast<uint64_t>(result.evaluations));
+  MetricsRegistry::Default().SetGauge("horticulture_partition_seconds",
+                                      result.elapsed_seconds);
   return result;
 }
 

@@ -240,11 +240,14 @@ Result<DatabaseSolution> Combiner::Combine(
     };
 
     std::vector<double> costs(combos.size(), 0.0);
-    ParallelFor(pool, combos.size(), [&](size_t i) {
-      DatabaseSolution solution = build(combos[i]);
-      EvalResult ev = Evaluate(*db_, solution, train);
-      costs[i] = cost_model.Cost(ev);
-    });
+    ParallelFor(
+        pool, combos.size(),
+        [&](size_t i) {
+          DatabaseSolution solution = build(combos[i]);
+          EvalResult ev = Evaluate(*db_, solution, train);
+          costs[i] = cost_model.Cost(ev);
+        },
+        "combiner.score");
     for (size_t i = 0; i < combos.size(); ++i) {
       if (costs[i] < best_cost) {
         best_cost = costs[i];

@@ -6,6 +6,8 @@
 #include "common/ascii_table.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace_recorder.h"
 #include "sql/analyzer.h"
 
 namespace jecb {
@@ -19,13 +21,21 @@ Result<JecbResult> Jecb::Partition(Database* db,
                                    const std::vector<sql::Procedure>& procedures,
                                    const Trace& training_trace) const {
   auto start = std::chrono::steady_clock::now();
+  TraceRecorder& rec = TraceRecorder::Default();
+  JECB_SPAN2("jecb", "partition", "txns", static_cast<int64_t>(training_trace.size()),
+             "partitions", options_.num_partitions);
 
   // ---- Phase 1: pre-processing -------------------------------------------
+  const uint64_t p1_ts = rec.enabled() ? rec.NowUs() : 0;
   std::vector<AccessClass> table_classes =
       ClassifyTables(db->schema(), training_trace, options_.classify);
   ApplyClassification(&db->mutable_schema(), table_classes);
 
   AttributeLattice lattice(&db->schema());
+  if (rec.enabled()) {
+    rec.Span("jecb", "phase1.preprocess", p1_ts, rec.NowUs() - p1_ts, "tables",
+             static_cast<int64_t>(db->schema().num_tables()));
+  }
 
   // Analyze every procedure that has transactions in the trace.
   sql::AnalyzerOptions analyzer_options;
@@ -61,38 +71,69 @@ Result<JecbResult> Jecb::Partition(Database* db,
   ClassPartitioner class_partitioner(db, &lattice, options_.class_partitioner);
   std::vector<ClassPartitioningResult> classes(num_classes);
   std::vector<Status> class_status(num_classes, Status::OK());
-  ParallelFor(pool.get(), num_classes, [&](size_t cls) {
-    const std::string& name = training_trace.class_name(static_cast<uint32_t>(cls));
-    Result<sql::ProcedureInfo> info = sql::AnalyzeProcedure(
-        db->schema(), *class_procs[cls], analyzer_options);
-    if (!info.ok()) {
-      class_status[cls] = info.status();
-      return;
-    }
-    JoinGraph graph = BuildJoinGraph(db->schema(), info.value(), options_.join_graph);
-    Trace class_trace = training_trace.FilterClass(static_cast<uint32_t>(cls));
-    double mix = training_trace.size() == 0
-                     ? 0.0
-                     : static_cast<double>(class_trace.size()) /
-                           static_cast<double>(training_trace.size());
-    classes[cls] = class_partitioner.Partition(graph, class_trace, name,
-                                               static_cast<uint32_t>(cls), mix);
-  });
+  const uint64_t p2_ts = rec.enabled() ? rec.NowUs() : 0;
+  ParallelFor(
+      pool.get(), num_classes,
+      [&](size_t cls) {
+        const std::string& name =
+            training_trace.class_name(static_cast<uint32_t>(cls));
+        // Span named after the transaction class (interned: the name must
+        // outlive the recorder); candidate counts attach before it closes.
+        ScopedSpan span("jecb", rec.enabled() ? rec.Intern(name) : "class", rec);
+        Result<sql::ProcedureInfo> info = sql::AnalyzeProcedure(
+            db->schema(), *class_procs[cls], analyzer_options);
+        if (!info.ok()) {
+          class_status[cls] = info.status();
+          return;
+        }
+        JoinGraph graph =
+            BuildJoinGraph(db->schema(), info.value(), options_.join_graph);
+        Trace class_trace = training_trace.FilterClass(static_cast<uint32_t>(cls));
+        double mix = training_trace.size() == 0
+                         ? 0.0
+                         : static_cast<double>(class_trace.size()) /
+                               static_cast<double>(training_trace.size());
+        classes[cls] = class_partitioner.Partition(graph, class_trace, name,
+                                                   static_cast<uint32_t>(cls), mix);
+        span.Arg("total_solutions",
+                 static_cast<int64_t>(classes[cls].total_solutions.size()));
+        span.Arg("partial_solutions",
+                 static_cast<int64_t>(classes[cls].partial_solutions.size()));
+      },
+      "class.partition");
+  if (rec.enabled()) {
+    rec.Span("jecb", "phase2.classes", p2_ts, rec.NowUs() - p2_ts, "classes",
+             static_cast<int64_t>(num_classes));
+  }
   // Report the lowest-class-id failure, matching the serial loop's behavior.
   for (const Status& s : class_status) {
     if (!s.ok()) return s;
   }
 
   // ---- Phase 3: combining -------------------------------------------------
+  const uint64_t p3_ts = rec.enabled() ? rec.NowUs() : 0;
   Combiner combiner(db, &lattice, options_.combiner);
   CombinerReport report;
   JECB_ASSIGN_OR_RETURN(DatabaseSolution solution,
                         combiner.Combine(classes, training_trace, &report, pool.get()));
+  if (rec.enabled()) {
+    rec.Span("jecb", "phase3.combine", p3_ts, rec.NowUs() - p3_ts, "combinations",
+             static_cast<int64_t>(report.evaluated_combinations), "candidates",
+             static_cast<int64_t>(report.candidate_attrs.size()));
+  }
 
   JecbResult result{std::move(solution), std::move(table_classes), std::move(classes),
                     std::move(report), 0.0};
   result.elapsed_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+
+  MetricsRegistry& registry = MetricsRegistry::Default();
+  registry.SetGauge("jecb_partition_seconds", result.elapsed_seconds);
+  registry.SetGauge("jecb_partition_classes", static_cast<double>(num_classes));
+  registry.SetGauge("jecb_partition_best_train_cost",
+                    result.combiner_report.best_train_cost);
+  registry.AddCounter("jecb_combiner_evaluated_combinations_total",
+                      result.combiner_report.evaluated_combinations);
   return result;
 }
 

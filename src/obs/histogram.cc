@@ -1,0 +1,63 @@
+#include "obs/histogram.h"
+
+#include <cmath>
+
+namespace jecb {
+
+double HistogramData::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the target observation (1-based, ceil): the q-quantile of n
+  // observations is the smallest value with at least ceil(q*n) observations
+  // at or below it. Truncating instead of ceiling picked one observation
+  // too low whenever q*n was fractional (q=0.95, n=10 -> rank 9, not 10).
+  uint64_t rank = static_cast<uint64_t>(std::ceil(q * static_cast<double>(count)));
+  if (rank == 0) rank = 1;
+  if (rank > count) rank = count;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    uint64_t in_bucket = buckets[i];
+    if (in_bucket == 0) continue;
+    if (seen + in_bucket >= rank) {
+      // Linear interpolation inside [lo, hi): bucket 0 is [0, 1).
+      double lo = i == 0 ? 0.0 : static_cast<double>(1ULL << (i - 1));
+      double hi = static_cast<double>(1ULL << i);
+      double frac = static_cast<double>(rank - seen) / static_cast<double>(in_bucket);
+      return lo + (hi - lo) * frac;
+    }
+    seen += in_bucket;
+  }
+  return static_cast<double>(max_us);
+}
+
+void HistogramData::Merge(const HistogramData& other) {
+  for (size_t i = 0; i < kNumBuckets; ++i) buckets[i] += other.buckets[i];
+  count += other.count;
+  sum_us += other.sum_us;
+  if (other.max_us > max_us) max_us = other.max_us;
+}
+
+HistogramData LatencyHistogram::Snapshot() const {
+  HistogramData out;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    out.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  out.count = count_.load(std::memory_order_relaxed);
+  out.sum_us = sum_us_.load(std::memory_order_relaxed);
+  out.max_us = max_us_.load(std::memory_order_relaxed);
+  return out;
+}
+
+void LatencyHistogram::Merge(const HistogramData& data) {
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    if (data.buckets[i] != 0) {
+      buckets_[i].fetch_add(data.buckets[i], std::memory_order_relaxed);
+    }
+  }
+  count_.fetch_add(data.count, std::memory_order_relaxed);
+  sum_us_.fetch_add(data.sum_us, std::memory_order_relaxed);
+  BumpMax(data.max_us);
+}
+
+}  // namespace jecb

@@ -1,0 +1,97 @@
+// Fixed power-of-two-bucket latency histograms, shared by the runtime's
+// per-shard metrics and the process-wide MetricsRegistry. Two shapes:
+// LatencyHistogram is the concurrent accumulator (atomic buckets, relaxed
+// mutators — recording never synchronizes the workload being measured);
+// HistogramData is its plain, copyable snapshot, safe to merge, store in
+// report structs, and render without touching atomics again.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+namespace jecb {
+
+/// Plain snapshot of a latency histogram: bucket i holds values in
+/// [2^(i-1), 2^i) µs (bucket 0 holds 0–1 µs), so quantiles are exact to
+/// within one octave and refined by linear interpolation inside the bucket.
+/// 48 buckets cover > 8 years.
+struct HistogramData {
+  static constexpr size_t kNumBuckets = 48;
+
+  std::array<uint64_t, kNumBuckets> buckets{};
+  uint64_t count = 0;
+  uint64_t sum_us = 0;
+  uint64_t max_us = 0;
+
+  double mean_us() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum_us) / static_cast<double>(count);
+  }
+
+  /// Approximate quantile in µs; q in [0, 1]. 0 when empty.
+  double Quantile(double q) const;
+
+  /// Element-wise accumulation; exact and order-independent (all integers).
+  void Merge(const HistogramData& other);
+};
+
+/// Concurrent histogram of microsecond latencies. All mutators are atomic
+/// with relaxed ordering; readers that need a consistent view should take
+/// one Snapshot() and work from that.
+class LatencyHistogram {
+ public:
+  static constexpr size_t kNumBuckets = HistogramData::kNumBuckets;
+
+  void Record(uint64_t us) {
+    buckets_[BucketOf(us)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_us_.fetch_add(us, std::memory_order_relaxed);
+    BumpMax(us);
+  }
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum_us() const { return sum_us_.load(std::memory_order_relaxed); }
+  uint64_t max_us() const { return max_us_.load(std::memory_order_relaxed); }
+  uint64_t bucket(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  double mean_us() const {
+    uint64_t n = count();
+    return n == 0 ? 0.0 : static_cast<double>(sum_us()) / static_cast<double>(n);
+  }
+
+  /// Approximate quantile in µs; q in [0, 1]. 0 when empty.
+  double Quantile(double q) const { return Snapshot().Quantile(q); }
+
+  /// One consistent copy of the current contents. Counters advance with
+  /// relaxed ordering, so a snapshot taken while writers are live is only
+  /// approximately consistent; quiesce first for exact accounting.
+  HistogramData Snapshot() const;
+
+  /// Accumulates `other` into this histogram. `other` is snapshotted first,
+  /// so self-merge is well-defined (it exactly doubles every counter).
+  void Merge(const LatencyHistogram& other) { Merge(other.Snapshot()); }
+  void Merge(const HistogramData& data);
+
+  static size_t BucketOf(uint64_t us) {
+    if (us == 0) return 0;
+    size_t b = static_cast<size_t>(64 - __builtin_clzll(us));
+    return b >= kNumBuckets ? kNumBuckets - 1 : b;
+  }
+
+ private:
+  void BumpMax(uint64_t us) {
+    uint64_t prev = max_us_.load(std::memory_order_relaxed);
+    while (us > prev &&
+           !max_us_.compare_exchange_weak(prev, us, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_us_{0};
+  std::atomic<uint64_t> max_us_{0};
+};
+
+}  // namespace jecb

@@ -1,0 +1,209 @@
+#include "obs/metrics_registry.h"
+
+#include <cstdio>
+
+#include "obs/trace_export.h"
+
+namespace jecb {
+
+namespace {
+
+/// Shortest round-trip-ish formatting for gauge/sum values: integral values
+/// print without a decimal point, others with up to 6 significant decimals.
+std::string FormatMetricValue(double v) {
+  if (v == static_cast<double>(static_cast<int64_t>(v))) {
+    return std::to_string(static_cast<int64_t>(v));
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+/// Splits "family{label=\"x\"}" into family and the inner label list
+/// ("label=\"x\"", empty when unlabeled).
+void SplitName(std::string_view name, std::string_view* family,
+               std::string_view* labels) {
+  size_t brace = name.find('{');
+  if (brace == std::string_view::npos) {
+    *family = name;
+    *labels = {};
+    return;
+  }
+  *family = name.substr(0, brace);
+  std::string_view rest = name.substr(brace + 1);
+  if (!rest.empty() && rest.back() == '}') rest.remove_suffix(1);
+  *labels = rest;
+}
+
+/// "family_bucket{<labels>,le=\"32\"}" — merging the baked-in labels with
+/// the le label.
+std::string BucketSeries(std::string_view family, std::string_view labels,
+                         const std::string& le) {
+  std::string out(family);
+  out += "_bucket{";
+  if (!labels.empty()) {
+    out += labels;
+    out += ',';
+  }
+  out += "le=\"" + le + "\"}";
+  return out;
+}
+
+std::string Suffixed(std::string_view family, std::string_view labels,
+                     const char* suffix) {
+  std::string out(family);
+  out += suffix;
+  if (!labels.empty()) {
+    out += '{';
+    out += labels;
+    out += '}';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string_view PrometheusFamily(std::string_view name) {
+  size_t brace = name.find('{');
+  return brace == std::string_view::npos ? name : name.substr(0, brace);
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry* instance = new MetricsRegistry();
+  return *instance;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::GetOrCreate(std::string_view name,
+                                                     Kind kind,
+                                                     std::string_view help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    Entry entry;
+    entry.kind = kind;
+    entry.help = std::string(help);
+    switch (kind) {
+      case Kind::kCounter:
+        entry.counter = std::make_unique<std::atomic<uint64_t>>(0);
+        break;
+      case Kind::kGauge:
+        entry.gauge = std::make_unique<std::atomic<double>>(0.0);
+        break;
+      case Kind::kHistogram:
+        entry.histogram = std::make_unique<LatencyHistogram>();
+        break;
+    }
+    it = entries_.emplace(std::string(name), std::move(entry)).first;
+  } else if (it->second.help.empty() && !help.empty()) {
+    it->second.help = std::string(help);
+  }
+  return it->second;
+}
+
+std::atomic<uint64_t>& MetricsRegistry::Counter(std::string_view name,
+                                                std::string_view help) {
+  Entry& e = GetOrCreate(name, Kind::kCounter, help);
+  if (e.counter == nullptr) {
+    // Kind mismatch with an existing metric: fall back to a throwaway so
+    // callers never crash; the original metric keeps its identity.
+    static std::atomic<uint64_t> sink{0};
+    return sink;
+  }
+  return *e.counter;
+}
+
+std::atomic<double>& MetricsRegistry::Gauge(std::string_view name,
+                                            std::string_view help) {
+  Entry& e = GetOrCreate(name, Kind::kGauge, help);
+  if (e.gauge == nullptr) {
+    static std::atomic<double> sink{0.0};
+    return sink;
+  }
+  return *e.gauge;
+}
+
+LatencyHistogram& MetricsRegistry::Histogram(std::string_view name,
+                                             std::string_view help) {
+  Entry& e = GetOrCreate(name, Kind::kHistogram, help);
+  if (e.histogram == nullptr) {
+    static LatencyHistogram sink;
+    return sink;
+  }
+  return *e.histogram;
+}
+
+size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  std::string last_family;
+  for (const auto& [name, entry] : entries_) {
+    std::string_view family;
+    std::string_view labels;
+    SplitName(name, &family, &labels);
+    if (family != last_family) {
+      last_family = std::string(family);
+      if (!entry.help.empty()) {
+        out += "# HELP ";
+        out += family;
+        out += ' ';
+        out += entry.help;
+        out += '\n';
+      }
+      out += "# TYPE ";
+      out += family;
+      switch (entry.kind) {
+        case Kind::kCounter: out += " counter\n"; break;
+        case Kind::kGauge: out += " gauge\n"; break;
+        case Kind::kHistogram: out += " histogram\n"; break;
+      }
+    }
+    switch (entry.kind) {
+      case Kind::kCounter:
+        out += name + ' ' +
+               std::to_string(entry.counter->load(std::memory_order_relaxed)) + '\n';
+        break;
+      case Kind::kGauge:
+        out += name + ' ' +
+               FormatMetricValue(entry.gauge->load(std::memory_order_relaxed)) + '\n';
+        break;
+      case Kind::kHistogram: {
+        const HistogramData data = entry.histogram->Snapshot();
+        size_t highest = 0;
+        for (size_t i = 0; i < HistogramData::kNumBuckets; ++i) {
+          if (data.buckets[i] != 0) highest = i;
+        }
+        uint64_t cumulative = 0;
+        for (size_t i = 0; i <= highest; ++i) {
+          cumulative += data.buckets[i];
+          // Bucket i covers [2^(i-1), 2^i) µs, so its upper bound is 2^i.
+          out += BucketSeries(family, labels, std::to_string(1ULL << i)) + ' ' +
+                 std::to_string(cumulative) + '\n';
+        }
+        out += BucketSeries(family, labels, "+Inf") + ' ' +
+               std::to_string(data.count) + '\n';
+        out += Suffixed(family, labels, "_sum") + ' ' +
+               std::to_string(data.sum_us) + '\n';
+        out += Suffixed(family, labels, "_count") + ' ' +
+               std::to_string(data.count) + '\n';
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+bool MetricsRegistry::WritePrometheus(const std::string& path) const {
+  return WriteTextFile(path, RenderPrometheus());
+}
+
+}  // namespace jecb

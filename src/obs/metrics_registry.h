@@ -1,0 +1,81 @@
+// Process-wide metrics registry: named counters, gauges, and latency
+// histograms with Prometheus text exposition. Registration takes a lock;
+// the returned references are stable for the registry's lifetime, so hot
+// paths grab a handle once and then mutate a bare atomic.
+//
+// Naming convention: Prometheus metric names, optionally with a literal
+// label block baked into the name — e.g.
+//   registry.Counter("jecb_replay_committed_total{label=\"jecb-k8\"}")
+// Series that differ only in labels form one family (the name before '{')
+// and share one HELP/TYPE header in the exposition output.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "obs/histogram.h"
+
+namespace jecb {
+
+/// Family name of a (possibly labeled) metric: everything before '{'.
+std::string_view PrometheusFamily(std::string_view name);
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The registry benches and the CLI dump via --metrics_out.
+  static MetricsRegistry& Default();
+
+  /// Finds or creates the named metric. `help` is attached to the family
+  /// the first time a non-empty value is supplied. If the name already
+  /// exists with a different kind, the existing metric wins (and the
+  /// mismatch is ignored) — callers are expected to keep names unique.
+  std::atomic<uint64_t>& Counter(std::string_view name, std::string_view help = "");
+  std::atomic<double>& Gauge(std::string_view name, std::string_view help = "");
+  LatencyHistogram& Histogram(std::string_view name, std::string_view help = "");
+
+  void AddCounter(std::string_view name, uint64_t delta) {
+    Counter(name).fetch_add(delta, std::memory_order_relaxed);
+  }
+  void SetGauge(std::string_view name, double value) {
+    Gauge(name).store(value, std::memory_order_relaxed);
+  }
+
+  /// Prometheus text exposition (version 0.0.4) of every registered metric,
+  /// sorted by name; deterministic for golden tests. Histograms render as
+  /// cumulative `_bucket{le=...}` series (octave upper bounds, in µs) plus
+  /// `_sum` and `_count`.
+  std::string RenderPrometheus() const;
+  bool WritePrometheus(const std::string& path) const;
+
+  size_t size() const;
+  void Reset();
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  struct Entry {
+    Kind kind;
+    std::string help;
+    std::unique_ptr<std::atomic<uint64_t>> counter;
+    std::unique_ptr<std::atomic<double>> gauge;
+    std::unique_ptr<LatencyHistogram> histogram;
+  };
+
+  Entry& GetOrCreate(std::string_view name, Kind kind, std::string_view help);
+
+  mutable std::mutex mu_;
+  /// Ordered so RenderPrometheus groups label variants of a family together
+  /// without extra work.
+  std::map<std::string, Entry, std::less<>> entries_;
+};
+
+}  // namespace jecb

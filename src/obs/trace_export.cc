@@ -1,0 +1,377 @@
+#include "obs/trace_export.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+
+namespace jecb {
+
+void AppendJsonEscaped(std::string* out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  AppendJsonEscaped(&out, s);
+  return out;
+}
+
+bool WriteTextFile(const std::string& path, std::string_view content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  return static_cast<bool>(out);
+}
+
+namespace {
+
+void AppendQuoted(std::string* out, std::string_view s) {
+  *out += '"';
+  AppendJsonEscaped(out, s);
+  *out += '"';
+}
+
+void AppendArgs(std::string* out, const TraceEvent& e) {
+  if (e.arg1_name == nullptr && e.arg2_name == nullptr) return;
+  *out += ",\"args\":{";
+  bool first = true;
+  if (e.arg1_name != nullptr) {
+    AppendQuoted(out, e.arg1_name);
+    *out += ':' + std::to_string(e.arg1);
+    first = false;
+  }
+  if (e.arg2_name != nullptr) {
+    if (!first) *out += ',';
+    AppendQuoted(out, e.arg2_name);
+    *out += ':' + std::to_string(e.arg2);
+  }
+  *out += '}';
+}
+
+}  // namespace
+
+std::string ChromeTraceJson(const std::vector<CollectedEvent>& events) {
+  std::string out = "{\"traceEvents\":[\n";
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i].event;
+    out += "{\"pid\":0,\"tid\":" + std::to_string(events[i].tid) + ",\"name\":";
+    AppendQuoted(&out, e.name == nullptr ? "?" : e.name);
+    out += ",\"cat\":";
+    AppendQuoted(&out, e.cat == nullptr ? "-" : e.cat);
+    out += ",\"ts\":" + std::to_string(e.ts_us);
+    switch (e.kind) {
+      case TraceEventKind::kSpan:
+        out += ",\"ph\":\"X\",\"dur\":" + std::to_string(e.dur_us);
+        break;
+      case TraceEventKind::kInstant:
+        out += ",\"ph\":\"i\",\"s\":\"t\"";
+        break;
+      case TraceEventKind::kCounter:
+        out += ",\"ph\":\"C\"";
+        break;
+    }
+    AppendArgs(&out, e);
+    out += i + 1 < events.size() ? "},\n" : "}\n";
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+// ---- Minimal JSON subset parser -------------------------------------------
+
+namespace {
+
+class JsonCursor {
+ public:
+  explicit JsonCursor(std::string_view text) : text_(text) {}
+
+  void SkipWs() {
+    while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                                   text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool AtEnd() {
+    SkipWs();
+    return pos_ >= text_.size();
+  }
+
+  char Peek() {
+    SkipWs();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  bool Consume(char c) {
+    if (Peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) return Fail("expected string");
+    out->clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        char esc = text_[pos_++];
+        switch (esc) {
+          case '"': *out += '"'; break;
+          case '\\': *out += '\\'; break;
+          case '/': *out += '/'; break;
+          case 'n': *out += '\n'; break;
+          case 'r': *out += '\r'; break;
+          case 't': *out += '\t'; break;
+          case 'b': *out += '\b'; break;
+          case 'f': *out += '\f'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return Fail("bad \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else return Fail("bad \\u escape");
+            }
+            // Exporter only escapes control characters; keep it simple and
+            // emit the low byte (non-ASCII code points survive as '?').
+            *out += code < 0x100 ? static_cast<char>(code) : '?';
+            break;
+          }
+          default:
+            return Fail("unknown escape");
+        }
+      } else {
+        *out += c;
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseNumber(double* out) {
+    SkipWs();
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Fail("expected number");
+    std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    *out = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') return Fail("bad number");
+    return true;
+  }
+
+  /// Skips any JSON value (for fields the caller does not care about).
+  bool SkipValue() {
+    char c = Peek();
+    if (c == '"') {
+      std::string scratch;
+      return ParseString(&scratch);
+    }
+    if (c == '{' || c == '[') {
+      char open = c;
+      char close = open == '{' ? '}' : ']';
+      Consume(open);
+      if (Consume(close)) return true;
+      for (;;) {
+        if (open == '{') {
+          std::string key;
+          if (!ParseString(&key) || !Consume(':')) return false;
+        }
+        if (!SkipValue()) return false;
+        if (Consume(close)) return true;
+        if (!Consume(',')) return Fail("expected ',' ");
+      }
+    }
+    if (c == 't') return ConsumeWord("true");
+    if (c == 'f') return ConsumeWord("false");
+    if (c == 'n') return ConsumeWord("null");
+    double scratch;
+    return ParseNumber(&scratch);
+  }
+
+  bool ConsumeWord(std::string_view word) {
+    SkipWs();
+    if (text_.substr(pos_, word.size()) != word) return Fail("bad literal");
+    pos_ += word.size();
+    return true;
+  }
+
+  bool Fail(const char* message) {
+    if (error_.empty()) {
+      error_ = std::string(message) + " at offset " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  const std::string& error() const { return error_; }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+  std::string error_;
+};
+
+bool ParseEventObject(JsonCursor* cur, ChromeTraceEvent* event) {
+  if (!cur->Consume('{')) return cur->Fail("expected event object");
+  if (cur->Consume('}')) return true;
+  for (;;) {
+    std::string key;
+    if (!cur->ParseString(&key) || !cur->Consume(':')) return false;
+    if (key == "name" || key == "cat" || key == "ph") {
+      std::string value;
+      if (!cur->ParseString(&value)) return false;
+      if (key == "name") event->name = std::move(value);
+      else if (key == "cat") event->cat = std::move(value);
+      else event->ph = std::move(value);
+    } else if (key == "ts" || key == "dur" || key == "pid" || key == "tid") {
+      double value = 0.0;
+      if (!cur->ParseNumber(&value)) return false;
+      if (key == "ts") event->ts_us = static_cast<uint64_t>(value);
+      else if (key == "dur") event->dur_us = static_cast<uint64_t>(value);
+      else if (key == "pid") event->pid = static_cast<int64_t>(value);
+      else event->tid = static_cast<int64_t>(value);
+    } else if (key == "args") {
+      if (!cur->Consume('{')) return cur->Fail("expected args object");
+      if (!cur->Consume('}')) {
+        for (;;) {
+          std::string arg_name;
+          if (!cur->ParseString(&arg_name) || !cur->Consume(':')) return false;
+          if (cur->Peek() == '-' ||
+              std::isdigit(static_cast<unsigned char>(cur->Peek()))) {
+            double value = 0.0;
+            if (!cur->ParseNumber(&value)) return false;
+            event->args.emplace_back(std::move(arg_name), value);
+          } else if (!cur->SkipValue()) {
+            return false;
+          }
+          if (cur->Consume('}')) break;
+          if (!cur->Consume(',')) return cur->Fail("expected ',' in args");
+        }
+      }
+    } else if (!cur->SkipValue()) {
+      return false;
+    }
+    if (cur->Consume('}')) return true;
+    if (!cur->Consume(',')) return cur->Fail("expected ',' in event");
+  }
+}
+
+bool ParseEventArray(JsonCursor* cur, std::vector<ChromeTraceEvent>* out) {
+  if (!cur->Consume('[')) return cur->Fail("expected event array");
+  if (cur->Consume(']')) return true;
+  for (;;) {
+    ChromeTraceEvent event;
+    if (!ParseEventObject(cur, &event)) return false;
+    out->push_back(std::move(event));
+    if (cur->Consume(']')) return true;
+    if (!cur->Consume(',')) return cur->Fail("expected ',' in array");
+  }
+}
+
+}  // namespace
+
+bool ParseChromeTrace(std::string_view json, std::vector<ChromeTraceEvent>* out,
+                      std::string* error) {
+  out->clear();
+  JsonCursor cur(json);
+  bool ok = false;
+  if (cur.Peek() == '[') {
+    ok = ParseEventArray(&cur, out);
+  } else if (cur.Consume('{')) {
+    bool saw_events = false;
+    if (!cur.Consume('}')) {
+      for (;;) {
+        std::string key;
+        if (!cur.ParseString(&key) || !cur.Consume(':')) break;
+        if (key == "traceEvents") {
+          if (!ParseEventArray(&cur, out)) break;
+          saw_events = true;
+        } else if (!cur.SkipValue()) {
+          break;
+        }
+        if (cur.Consume('}')) {
+          ok = saw_events || cur.Fail("no traceEvents key");
+          break;
+        }
+        if (!cur.Consume(',')) {
+          cur.Fail("expected ',' in document");
+          break;
+        }
+      }
+    } else {
+      cur.Fail("no traceEvents key");
+    }
+  } else {
+    cur.Fail("expected object or array");
+  }
+  if (!ok && error != nullptr) {
+    *error = cur.error().empty() ? "malformed trace" : cur.error();
+  }
+  return ok;
+}
+
+std::vector<SpanRollup> RollupSpans(const std::vector<ChromeTraceEvent>& events) {
+  std::map<std::pair<std::string, std::string>, SpanRollup> grouped;
+  for (const ChromeTraceEvent& e : events) {
+    if (e.ph != "X") continue;
+    SpanRollup& r = grouped[{e.cat, e.name}];
+    if (r.count == 0) {
+      r.cat = e.cat;
+      r.name = e.name;
+    }
+    ++r.count;
+    r.total_us += e.dur_us;
+    r.max_us = std::max(r.max_us, e.dur_us);
+  }
+  std::vector<SpanRollup> out;
+  out.reserve(grouped.size());
+  for (auto& [key, rollup] : grouped) out.push_back(std::move(rollup));
+  std::sort(out.begin(), out.end(), [](const SpanRollup& a, const SpanRollup& b) {
+    if (a.total_us != b.total_us) return a.total_us > b.total_us;
+    if (a.name != b.name) return a.name < b.name;
+    return a.cat < b.cat;
+  });
+  return out;
+}
+
+}  // namespace jecb

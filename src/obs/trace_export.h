@@ -1,0 +1,71 @@
+// Chrome trace-event export and (re-)import.
+//
+// ChromeTraceJson renders collected events in the Trace Event Format that
+// Perfetto and chrome://tracing load directly. ParseChromeTrace reads such a
+// file back (a small, dependency-free JSON subset parser — enough for any
+// file this repo writes plus hand-written fixtures), and RollupSpans folds
+// the parsed spans into per-(category, name) duration totals so tests and
+// tools/trace_stats can validate exporter output without a browser.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/trace_recorder.h"
+
+namespace jecb {
+
+/// Appends `s` to `out` with JSON string escaping (quotes, backslashes,
+/// control characters) — no surrounding quotes.
+void AppendJsonEscaped(std::string* out, std::string_view s);
+std::string JsonEscape(std::string_view s);
+
+/// Writes `content` to `path`; false on I/O failure.
+bool WriteTextFile(const std::string& path, std::string_view content);
+
+/// Renders events (as returned by TraceRecorder::Collect) as one
+/// self-contained Chrome trace JSON object.
+std::string ChromeTraceJson(const std::vector<CollectedEvent>& events);
+
+/// One event read back from a Chrome trace file. Only the fields the
+/// exporter writes are parsed; arg values must be numbers (others are
+/// skipped).
+struct ChromeTraceEvent {
+  std::string name;
+  std::string cat;
+  std::string ph;  ///< "X" span, "i" instant, "C" counter
+  uint64_t ts_us = 0;
+  uint64_t dur_us = 0;
+  int64_t pid = 0;
+  int64_t tid = 0;
+  std::vector<std::pair<std::string, double>> args;
+};
+
+/// Parses a Chrome trace JSON document (either {"traceEvents":[...]} or a
+/// bare top-level array). Returns false and sets `error` on malformed
+/// input.
+bool ParseChromeTrace(std::string_view json, std::vector<ChromeTraceEvent>* out,
+                      std::string* error);
+
+/// Per-(category, name) aggregation of "X" (span) events.
+struct SpanRollup {
+  std::string cat;
+  std::string name;
+  uint64_t count = 0;
+  uint64_t total_us = 0;
+  uint64_t max_us = 0;
+
+  double mean_us() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(total_us) / static_cast<double>(count);
+  }
+};
+
+/// Groups span events by (cat, name), sorted by total duration descending
+/// (ties broken by name, then category, ascending).
+std::vector<SpanRollup> RollupSpans(const std::vector<ChromeTraceEvent>& events);
+
+}  // namespace jecb

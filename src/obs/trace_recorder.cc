@@ -1,0 +1,199 @@
+#include "obs/trace_recorder.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "obs/trace_export.h"
+
+namespace jecb {
+
+namespace {
+
+std::atomic<uint64_t> g_next_recorder_id{1};
+
+/// One-entry per-thread cache of (recorder, generation) -> buffer, so the
+/// hot Emit path touches no lock. A different recorder instance or a Reset()
+/// generation bump falls back to the registry lookup.
+struct TlsCache {
+  uint64_t recorder_id = 0;
+  uint64_t generation = 0;
+  void* buffer = nullptr;
+};
+thread_local TlsCache tls_cache;
+
+}  // namespace
+
+/// Single-producer ring buffer. Only the owning thread writes (slot store
+/// then release-store of count); collectors acquire-load count and read
+/// fully published slots. The buffer outlives its thread: the registry owns
+/// it, so events from joined threads survive until Reset().
+struct TraceRecorder::ThreadBuffer {
+  ThreadBuffer(uint32_t tid, size_t capacity) : tid(tid), slots(capacity) {}
+
+  void Push(const TraceEvent& e) {
+    const uint64_t c = count.load(std::memory_order_relaxed);
+    slots[c % slots.size()] = e;
+    count.store(c + 1, std::memory_order_release);
+  }
+
+  const uint32_t tid;
+  std::atomic<uint64_t> count{0};  ///< total events ever pushed
+  std::vector<TraceEvent> slots;
+};
+
+TraceRecorder::TraceRecorder()
+    : id_(g_next_recorder_id.fetch_add(1, std::memory_order_relaxed)),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+TraceRecorder::~TraceRecorder() = default;
+
+TraceRecorder& TraceRecorder::Default() {
+  static TraceRecorder* instance = new TraceRecorder();
+  return *instance;
+}
+
+void TraceRecorder::Enable(size_t events_per_thread) {
+  if (!kObsCompiledIn) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    events_per_thread_ = std::max<size_t>(events_per_thread, 2);
+  }
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void TraceRecorder::Disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+const char* TraceRecorder::Intern(std::string_view s) {
+  std::lock_guard<std::mutex> lock(intern_mu_);
+  return interned_.emplace(s).first->c_str();
+}
+
+TraceRecorder::ThreadBuffer* TraceRecorder::BufferForThisThread() {
+  TlsCache& cache = tls_cache;
+  const uint64_t gen = generation_.load(std::memory_order_acquire);
+  if (cache.recorder_id == id_ && cache.generation == gen) {
+    return static_cast<ThreadBuffer*>(cache.buffer);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ThreadBuffer* buffer;
+  auto it = by_thread_.find(std::this_thread::get_id());
+  if (it != by_thread_.end()) {
+    buffer = it->second;
+  } else {
+    buffers_.push_back(std::make_unique<ThreadBuffer>(
+        static_cast<uint32_t>(buffers_.size()), events_per_thread_));
+    buffer = buffers_.back().get();
+    by_thread_.emplace(std::this_thread::get_id(), buffer);
+  }
+  cache.recorder_id = id_;
+  cache.generation = generation_.load(std::memory_order_relaxed);
+  cache.buffer = buffer;
+  return buffer;
+}
+
+void TraceRecorder::Emit(const TraceEvent& event) {
+  if (!enabled()) return;
+  BufferForThisThread()->Push(event);
+}
+
+void TraceRecorder::Instant(const char* cat, const char* name, const char* arg1_name,
+                            int64_t arg1, const char* arg2_name, int64_t arg2) {
+  if (!enabled()) return;
+  TraceEvent e;
+  e.kind = TraceEventKind::kInstant;
+  e.cat = cat;
+  e.name = name;
+  e.ts_us = NowUs();
+  e.arg1_name = arg1_name;
+  e.arg1 = arg1;
+  e.arg2_name = arg2_name;
+  e.arg2 = arg2;
+  Emit(e);
+}
+
+void TraceRecorder::Counter(const char* cat, const char* name, int64_t value) {
+  if (!enabled()) return;
+  TraceEvent e;
+  e.kind = TraceEventKind::kCounter;
+  e.cat = cat;
+  e.name = name;
+  e.ts_us = NowUs();
+  e.arg1_name = "value";
+  e.arg1 = value;
+  Emit(e);
+}
+
+void TraceRecorder::Span(const char* cat, const char* name, uint64_t ts_us,
+                         uint64_t dur_us, const char* arg1_name, int64_t arg1,
+                         const char* arg2_name, int64_t arg2) {
+  if (!enabled()) return;
+  TraceEvent e;
+  e.kind = TraceEventKind::kSpan;
+  e.cat = cat;
+  e.name = name;
+  e.ts_us = ts_us;
+  e.dur_us = dur_us;
+  e.arg1_name = arg1_name;
+  e.arg1 = arg1;
+  e.arg2_name = arg2_name;
+  e.arg2 = arg2;
+  Emit(e);
+}
+
+std::vector<CollectedEvent> TraceRecorder::Collect() const {
+  std::vector<CollectedEvent> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& buffer : buffers_) {
+    const uint64_t n = buffer->count.load(std::memory_order_acquire);
+    const uint64_t capacity = buffer->slots.size();
+    const uint64_t kept = std::min(n, capacity);
+    for (uint64_t i = n - kept; i < n; ++i) {
+      CollectedEvent ce;
+      ce.event = buffer->slots[i % capacity];
+      ce.tid = buffer->tid;
+      ce.seq = i;
+      out.push_back(ce);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const CollectedEvent& a, const CollectedEvent& b) {
+              if (a.event.ts_us != b.event.ts_us) return a.event.ts_us < b.event.ts_us;
+              if (a.tid != b.tid) return a.tid < b.tid;
+              return a.seq < b.seq;
+            });
+  return out;
+}
+
+uint64_t TraceRecorder::dropped() const {
+  uint64_t total = 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& buffer : buffers_) {
+    const uint64_t n = buffer->count.load(std::memory_order_acquire);
+    const uint64_t capacity = buffer->slots.size();
+    if (n > capacity) total += n - capacity;
+  }
+  return total;
+}
+
+size_t TraceRecorder::num_thread_buffers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return buffers_.size();
+}
+
+void TraceRecorder::Reset() {
+  enabled_.store(false, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  buffers_.clear();
+  by_thread_.clear();
+  generation_.fetch_add(1, std::memory_order_release);
+}
+
+std::string TraceRecorder::RenderChromeTrace() const {
+  return ChromeTraceJson(Collect());
+}
+
+bool TraceRecorder::WriteChromeTrace(const std::string& path) const {
+  return WriteTextFile(path, RenderChromeTrace());
+}
+
+}  // namespace jecb

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/trace_recorder.h"
+
 namespace jecb {
 
 double EvalResult::LoadSkew() const {
@@ -120,6 +122,7 @@ double CoordinationExposure(const EvalResult& result,
 EvalResult Evaluate(const Database& db, const DatabaseSolution& solution,
                     const Trace& trace, ThreadPool* pool) {
   const size_t n = trace.size();
+  JECB_SPAN1("eval", "evaluate", "txns", static_cast<int64_t>(n));
   if (pool == nullptr || pool->num_threads() <= 1 || n < 2) {
     return EvaluateRange(db, solution, trace, 0, n);
   }
@@ -130,11 +133,14 @@ EvalResult Evaluate(const Database& db, const DatabaseSolution& solution,
       std::min(n, static_cast<size_t>(pool->num_threads()) * 4);
   const size_t chunk_size = (n + num_chunks - 1) / num_chunks;
   std::vector<EvalResult> partial(num_chunks);
-  ParallelFor(pool, num_chunks, [&](size_t c) {
-    size_t begin = c * chunk_size;
-    size_t end = std::min(n, begin + chunk_size);
-    partial[c] = EvaluateRange(db, solution, trace, begin, end);
-  });
+  ParallelFor(
+      pool, num_chunks,
+      [&](size_t c) {
+        size_t begin = c * chunk_size;
+        size_t end = std::min(n, begin + chunk_size);
+        partial[c] = EvaluateRange(db, solution, trace, begin, end);
+      },
+      "eval.chunks");
 
   EvalResult out;
   out.class_total.assign(trace.num_classes(), 0);

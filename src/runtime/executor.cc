@@ -27,6 +27,11 @@ void ShardExecutor::Start() {
 void ShardExecutor::ExecuteLocal(const ClassifiedTxn& txn) {
   Job job;
   job.txn = &txn;
+  // Decide sampling on the client thread so the worker never re-hashes; the
+  // decision is observational only and never alters execution.
+  job.traced = TraceRecorder::Default().enabled() &&
+               TxnTraceSampled(options_.faults.seed, txn.txn_id,
+                               options_.trace_sample_rate);
   job.enqueued = std::chrono::steady_clock::now();
   shards_[txn.home]->queue.Push(&job);
   job.done.acquire();
@@ -58,9 +63,15 @@ void ShardExecutor::VerifyResidency(const ClassifiedTxn& txn) {
 void ShardExecutor::WorkerLoop(int32_t shard_id) {
   ShardState& shard = *shards_[shard_id];
   ShardMetrics& sm = metrics_->shard(shard_id);
+  TraceRecorder& rec = TraceRecorder::Default();
   while (auto job_opt = shard.queue.Pop()) {
     Job* job = *job_opt;
     const ClassifiedTxn& txn = *job->txn;
+    const bool traced = job->traced;
+    // Timeline anchors for sampled txns: enqueue time (came from the client
+    // thread) and dequeue time, both on the recorder's clock.
+    const uint64_t enq_ts = traced ? rec.ToTraceUs(job->enqueued) : 0;
+    const uint64_t exec_ts = traced ? rec.NowUs() : 0;
     if (options_.verify_residency) VerifyResidency(txn);
     {
       std::lock_guard<std::mutex> guard(shard.lock);
@@ -69,9 +80,21 @@ void ShardExecutor::WorkerLoop(int32_t shard_id) {
     sm.busy_us.fetch_add(options_.local_work_us, std::memory_order_relaxed);
     uint64_t latency_us = ElapsedUs(job->enqueued);
     sm.local_txns.fetch_add(1, std::memory_order_relaxed);
-    sm.latency.Record(latency_us);
-    metrics_->local_latency.Record(latency_us);
+    sm.local_latency.Record(latency_us);
     metrics_->committed.fetch_add(1, std::memory_order_relaxed);
+    if (traced) {
+      const int64_t tid = static_cast<int64_t>(txn.txn_id);
+      rec.Span("runtime", "queue_wait", enq_ts,
+               exec_ts > enq_ts ? exec_ts - enq_ts : 0, "txn", tid, "shard",
+               shard_id);
+      rec.Span("runtime", "exec", exec_ts, rec.NowUs() - exec_ts, "txn", tid,
+               "shard", shard_id);
+      // The full client-observed latency: dur equals the value recorded in
+      // local_latency exactly, so trace rollups reconcile with the report's
+      // histograms by construction.
+      rec.Span("runtime", "txn.local", enq_ts, latency_us, "txn", tid, "shard",
+               shard_id);
+    }
     job->done.release();
   }
 }

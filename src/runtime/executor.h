@@ -18,6 +18,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/hash.h"
+#include "obs/trace_recorder.h"
 #include "runtime/fault_injector.h"
 #include "runtime/metrics.h"
 #include "runtime/sharded_database.h"
@@ -46,7 +48,24 @@ struct RuntimeOptions {
   /// (all rates zero). See runtime/fault_injector.h for the determinism
   /// contract.
   FaultPlan faults;
+  /// Fraction of transactions that get a full per-txn span timeline
+  /// (enqueue -> queue wait -> execute -> 2PC rounds -> retries) when the
+  /// TraceRecorder is enabled. The decision is a pure hash of
+  /// (faults.seed, txn id) — the same txn ids are sampled at any client
+  /// count, and sampling never alters execution (OutcomeSignature is
+  /// unchanged). 1.0 traces everything; 0.0 only the replay-level spans.
+  double trace_sample_rate = 1.0;
 };
+
+/// Deterministic per-txn trace-sampling decision; thread-count independent
+/// because it depends only on (seed, txn_id). Reuses the fault machinery's
+/// seed so a traced faulted replay stays bit-identical to an untraced one.
+inline bool TxnTraceSampled(uint64_t seed, uint64_t txn_id, double rate) {
+  if (rate >= 1.0) return true;
+  if (rate <= 0.0) return false;
+  uint64_t h = HashCombine(HashCombine(seed, 0x0B5E7u), txn_id);
+  return static_cast<double>(HashInt64(h) >> 11) * 0x1.0p-53 < rate;
+}
 
 /// A trace transaction resolved against a solution: the physical shards it
 /// must run on, and its static Definition 5/6 classification.
@@ -131,6 +150,9 @@ class ShardExecutor {
   struct Job {
     const ClassifiedTxn* txn = nullptr;
     std::chrono::steady_clock::time_point enqueued;
+    /// Sampled-in for span emission (decided on the client thread so the
+    /// worker does not re-hash).
+    bool traced = false;
     std::binary_semaphore done{0};
   };
 

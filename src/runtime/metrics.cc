@@ -1,42 +1,54 @@
 #include "runtime/metrics.h"
 
-#include <cmath>
-
 namespace jecb {
-
-double LatencyHistogram::Quantile(double q) const {
-  uint64_t n = count();
-  if (n == 0) return 0.0;
-  if (q < 0.0) q = 0.0;
-  if (q > 1.0) q = 1.0;
-  // Rank of the target observation (1-based, ceil): the q-quantile of n
-  // observations is the smallest value with at least ceil(q*n) observations
-  // at or below it. Truncating instead of ceiling picked one observation
-  // too low whenever q*n was fractional (q=0.95, n=10 -> rank 9, not 10).
-  uint64_t rank = static_cast<uint64_t>(std::ceil(q * static_cast<double>(n)));
-  if (rank == 0) rank = 1;
-  if (rank > n) rank = n;
-  uint64_t seen = 0;
-  for (size_t i = 0; i < kNumBuckets; ++i) {
-    uint64_t in_bucket = buckets_[i].load(std::memory_order_relaxed);
-    if (in_bucket == 0) continue;
-    if (seen + in_bucket >= rank) {
-      // Linear interpolation inside [lo, hi): bucket 0 is [0, 1).
-      double lo = i == 0 ? 0.0 : static_cast<double>(1ULL << (i - 1));
-      double hi = static_cast<double>(1ULL << i);
-      double frac = static_cast<double>(rank - seen) / static_cast<double>(in_bucket);
-      return lo + (hi - lo) * frac;
-    }
-    seen += in_bucket;
-  }
-  return static_cast<double>(max_us());
-}
 
 RuntimeMetrics::RuntimeMetrics(int32_t num_shards) {
   shards_.reserve(num_shards);
   for (int32_t i = 0; i < num_shards; ++i) {
     shards_.push_back(std::make_unique<ShardMetrics>());
   }
+}
+
+MetricsSnapshot RuntimeMetrics::Snapshot() const {
+  MetricsSnapshot snap;
+  snap.committed = committed.load(std::memory_order_relaxed);
+  snap.distributed_committed = distributed_committed.load(std::memory_order_relaxed);
+  snap.residency_faults = residency_faults.load(std::memory_order_relaxed);
+  snap.aborts = aborts.load(std::memory_order_relaxed);
+  snap.retries = retries.load(std::memory_order_relaxed);
+  snap.failed = failed.load(std::memory_order_relaxed);
+  snap.prepare_rejects = prepare_rejects.load(std::memory_order_relaxed);
+  snap.coordinator_timeouts = coordinator_timeouts.load(std::memory_order_relaxed);
+  snap.shard_down_aborts = shard_down_aborts.load(std::memory_order_relaxed);
+  snap.stalls_injected = stalls_injected.load(std::memory_order_relaxed);
+  snap.retry_latency = retry_latency.Snapshot();
+
+  // Aggregate the per-shard distributions instead of keeping (and paying
+  // for) duplicate process-wide histograms on the hot path.
+  LatencyHistogram all_local;
+  LatencyHistogram all_dist;
+  snap.shards.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    ShardMetricsSnapshot s;
+    s.local_txns = shard->local_txns.load(std::memory_order_relaxed);
+    s.dist_participations = shard->dist_participations.load(std::memory_order_relaxed);
+    s.busy_us = shard->busy_us.load(std::memory_order_relaxed);
+    s.participation_attempts =
+        shard->participation_attempts.load(std::memory_order_relaxed);
+    s.stalls = shard->stalls.load(std::memory_order_relaxed);
+    s.prepare_rejects = shard->prepare_rejects.load(std::memory_order_relaxed);
+    s.down_events = shard->down_events.load(std::memory_order_relaxed);
+    s.local_latency = shard->local_latency.Snapshot();
+    s.dist_latency = shard->dist_latency.Snapshot();
+    s.latency = s.local_latency;
+    s.latency.Merge(s.dist_latency);
+    all_local.Merge(s.local_latency);
+    all_dist.Merge(s.dist_latency);
+    snap.shards.push_back(std::move(s));
+  }
+  snap.local_latency = all_local.Snapshot();
+  snap.distributed_latency = all_dist.Snapshot();
+  return snap;
 }
 
 }  // namespace jecb

@@ -1,65 +1,24 @@
 // Runtime metrics: lock-free counters and fixed-bucket latency histograms
-// updated by worker/coordinator threads while the replay runs, snapshotted
-// afterwards for reports and JSON export. All mutators are atomic with
-// relaxed ordering — metrics never synchronize the execution itself.
+// (obs/histogram.h) updated by worker/coordinator threads while the replay
+// runs, snapshotted afterwards for reports and JSON export. All mutators are
+// atomic with relaxed ordering — metrics never synchronize the execution
+// itself. Reporting goes through Snapshot(): one quiesced copy of every
+// counter that all renderers (JSON, Prometheus, ASCII) consume, so no two
+// renderings of the same run can disagree.
 #pragma once
 
-#include <array>
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <string>
 #include <vector>
+
+#include "obs/histogram.h"
 
 namespace jecb {
 
-/// Fixed power-of-two-bucket histogram of microsecond latencies.
-///
-/// Bucket i holds values in [2^(i-1), 2^i) µs (bucket 0 holds 0–1 µs), so
-/// quantiles are exact to within one octave and refined by linear
-/// interpolation inside the bucket. 48 buckets cover > 8 years.
-class LatencyHistogram {
- public:
-  static constexpr size_t kNumBuckets = 48;
-
-  void Record(uint64_t us) {
-    buckets_[BucketOf(us)].fetch_add(1, std::memory_order_relaxed);
-    count_.fetch_add(1, std::memory_order_relaxed);
-    sum_us_.fetch_add(us, std::memory_order_relaxed);
-    uint64_t prev = max_us_.load(std::memory_order_relaxed);
-    while (us > prev &&
-           !max_us_.compare_exchange_weak(prev, us, std::memory_order_relaxed)) {
-    }
-  }
-
-  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
-  uint64_t max_us() const { return max_us_.load(std::memory_order_relaxed); }
-  double mean_us() const {
-    uint64_t n = count();
-    return n == 0 ? 0.0
-                  : static_cast<double>(sum_us_.load(std::memory_order_relaxed)) /
-                        static_cast<double>(n);
-  }
-
-  /// Approximate quantile in µs; q in [0, 1]. 0 when empty.
-  double Quantile(double q) const;
-
-  static size_t BucketOf(uint64_t us) {
-    if (us == 0) return 0;
-    size_t b = static_cast<size_t>(64 - __builtin_clzll(us));
-    return b >= kNumBuckets ? kNumBuckets - 1 : b;
-  }
-
- private:
-  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
-  std::atomic<uint64_t> count_{0};
-  std::atomic<uint64_t> sum_us_{0};
-  std::atomic<uint64_t> max_us_{0};
-};
-
-/// Per-shard counters plus the latency distribution of transactions homed
-/// at this shard (single-partition txns, and distributed txns whose lowest
-/// participant id is this shard).
+/// Per-shard counters plus the latency distributions of transactions homed
+/// at this shard (single-partition txns in `local_latency`; distributed
+/// txns whose lowest participant id is this shard in `dist_latency`).
 struct ShardMetrics {
   std::atomic<uint64_t> local_txns{0};
   std::atomic<uint64_t> dist_participations{0};
@@ -71,7 +30,44 @@ struct ShardMetrics {
   std::atomic<uint64_t> stalls{0};            ///< injected stalls served
   std::atomic<uint64_t> prepare_rejects{0};   ///< injected "no" votes
   std::atomic<uint64_t> down_events{0};       ///< prepares refused while down
-  LatencyHistogram latency;
+  LatencyHistogram local_latency;
+  LatencyHistogram dist_latency;
+};
+
+/// Plain copy of one shard's counters at snapshot time.
+struct ShardMetricsSnapshot {
+  uint64_t local_txns = 0;
+  uint64_t dist_participations = 0;
+  uint64_t busy_us = 0;
+  uint64_t participation_attempts = 0;
+  uint64_t stalls = 0;
+  uint64_t prepare_rejects = 0;
+  uint64_t down_events = 0;
+  HistogramData local_latency;
+  HistogramData dist_latency;
+  /// local_latency and dist_latency merged: everything homed at this shard.
+  HistogramData latency;
+};
+
+/// One quiesced copy of every replay counter. The process-wide local and
+/// distributed distributions are aggregated from the per-shard histograms
+/// with LatencyHistogram::Merge — the hot path records each latency exactly
+/// once (into its shard), never twice.
+struct MetricsSnapshot {
+  uint64_t committed = 0;
+  uint64_t distributed_committed = 0;
+  uint64_t residency_faults = 0;
+  uint64_t aborts = 0;
+  uint64_t retries = 0;
+  uint64_t failed = 0;
+  uint64_t prepare_rejects = 0;
+  uint64_t coordinator_timeouts = 0;
+  uint64_t shard_down_aborts = 0;
+  uint64_t stalls_injected = 0;
+  HistogramData local_latency;        ///< merged over shards
+  HistogramData distributed_latency;  ///< merged over shards
+  HistogramData retry_latency;
+  std::vector<ShardMetricsSnapshot> shards;
 };
 
 /// All counters for one replay run. Shards are heap-allocated once up front;
@@ -100,11 +96,15 @@ class RuntimeMetrics {
   std::atomic<uint64_t> shard_down_aborts{0};
   std::atomic<uint64_t> stalls_injected{0};
 
-  LatencyHistogram local_latency;
-  LatencyHistogram distributed_latency;
   /// Commit latency of distributed txns that needed at least one retry —
-  /// the tail the retry/backoff machinery adds on top of distributed_latency.
+  /// the tail the retry/backoff machinery adds on top of the distributed
+  /// distribution.
   LatencyHistogram retry_latency;
+
+  /// Copies every counter once. Call after workers have joined (quiesced)
+  /// for exact accounting; renderers must consume the snapshot, never the
+  /// live atomics, so one report cannot mix values from different moments.
+  MetricsSnapshot Snapshot() const;
 
  private:
   std::vector<std::unique_ptr<ShardMetrics>> shards_;

@@ -4,8 +4,12 @@
 #include <atomic>
 #include <thread>
 
+#include "common/ascii_table.h"
 #include "common/hash.h"
 #include "common/string_util.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace_export.h"
+#include "obs/trace_recorder.h"
 #include "partition/evaluator.h"
 #include "runtime/txn_coordinator.h"
 
@@ -14,6 +18,8 @@ namespace jecb {
 std::vector<ClassifiedTxn> ClassifyTrace(const Database& db,
                                          const DatabaseSolution& solution,
                                          const Trace& trace) {
+  JECB_SPAN1("runtime", "replay.classify", "txns",
+             static_cast<int64_t>(trace.size()));
   const int32_t k = std::max(solution.num_partitions(), 1);
   std::vector<ClassifiedTxn> out;
   out.reserve(trace.size());
@@ -60,14 +66,14 @@ std::vector<ClassifiedTxn> ClassifyTrace(const Database& db,
 
 namespace {
 
-LatencyReport SnapshotLatency(const LatencyHistogram& h) {
+LatencyReport SnapshotLatency(const HistogramData& h) {
   LatencyReport r;
-  r.count = h.count();
+  r.count = h.count;
   r.mean_us = h.mean_us();
   r.p50_us = h.Quantile(0.50);
   r.p95_us = h.Quantile(0.95);
   r.p99_us = h.Quantile(0.99);
-  r.max_us = static_cast<double>(h.max_us());
+  r.max_us = static_cast<double>(h.max_us);
   return r;
 }
 
@@ -110,7 +116,7 @@ uint64_t ReplayReport::OutcomeSignature() const {
 
 std::string ReplayReport::ToJson() const {
   std::string out = "{";
-  out += "\"label\":\"" + label + "\"";
+  out += "\"label\":\"" + JsonEscape(label) + "\"";
   out += ",\"partitions\":" + std::to_string(num_partitions);
   out += ",\"total_txns\":" + std::to_string(total_txns);
   out += ",\"committed\":" + std::to_string(committed);
@@ -157,14 +163,128 @@ std::string ReplayReport::ToJson() const {
   return out;
 }
 
+void ReplayReport::PublishTo(MetricsRegistry& registry) const {
+  // Prometheus label values share JSON's escaping rules for '\', '"' and
+  // '\n', so reuse the JSON escaper for arbitrary labels.
+  const std::string lb = "{label=\"" + JsonEscape(label) + "\"}";
+  auto counter = [&](std::string_view name, uint64_t value,
+                     std::string_view help) {
+    registry.Counter(std::string(name) + lb, help)
+        .store(value, std::memory_order_relaxed);
+  };
+  auto gauge = [&](std::string_view name, double value, std::string_view help) {
+    registry.Gauge(std::string(name) + lb, help)
+        .store(value, std::memory_order_relaxed);
+  };
+  counter("jecb_replay_txns_total", total_txns, "Transactions submitted");
+  counter("jecb_replay_committed_total", committed, "Transactions committed");
+  counter("jecb_replay_distributed_committed_total", distributed_committed,
+          "Committed txns classified distributed (Definition 5/6)");
+  counter("jecb_replay_failed_total", failed,
+          "Transactions that exhausted the retry budget");
+  counter("jecb_replay_aborts_total", aborts, "2PC attempts that aborted");
+  counter("jecb_replay_retries_total", retries, "Aborted attempts retried");
+  counter("jecb_replay_residency_faults_total", residency_faults,
+          "Accesses served by a shard not holding the tuple");
+  counter("jecb_replay_prepare_rejects_total", prepare_rejects,
+          "Injected prepare 'no' votes");
+  counter("jecb_replay_coordinator_timeouts_total", coordinator_timeouts,
+          "Injected coordinator vote timeouts");
+  counter("jecb_replay_shard_down_aborts_total", shard_down_aborts,
+          "Aborts from unreachable participants");
+  counter("jecb_replay_stalls_injected_total", stalls_injected,
+          "Injected participant stalls");
+  gauge("jecb_replay_wall_seconds", wall_seconds, "Replay wall-clock time");
+  gauge("jecb_replay_throughput_tps", throughput_tps,
+        "Processed rate: (committed + failed) / wall");
+  gauge("jecb_replay_goodput_tps", goodput_tps, "Useful-work rate: committed / wall");
+  gauge("jecb_replay_distributed_fraction", distributed_fraction(),
+        "Committed distributed fraction (equals the static evaluator's)");
+  gauge("jecb_replay_replication_factor", replication_factor,
+        "Stored tuples / distinct tuples");
+  gauge("jecb_replay_storage_skew", storage_skew,
+        "Max shard tuples / mean shard tuples");
+  registry
+      .Histogram("jecb_replay_local_latency_us" + lb,
+                 "Client-observed latency of single-partition txns")
+      .Merge(local_hist);
+  registry
+      .Histogram("jecb_replay_distributed_latency_us" + lb,
+                 "Client-observed latency of 2PC txns")
+      .Merge(distributed_hist);
+  registry
+      .Histogram("jecb_replay_retry_latency_us" + lb,
+                 "Latency of committed txns that needed >= 1 retry")
+      .Merge(retry_hist);
+  for (const ShardReport& s : shards) {
+    const std::string slb = "{label=\"" + JsonEscape(label) + "\",shard=\"" +
+                            std::to_string(s.shard) + "\"}";
+    registry.Counter("jecb_shard_local_txns_total" + slb, "Local txns per shard")
+        .store(s.local_txns, std::memory_order_relaxed);
+    registry
+        .Counter("jecb_shard_dist_participations_total" + slb,
+                 "2PC participations per shard")
+        .store(s.dist_participations, std::memory_order_relaxed);
+    registry.Counter("jecb_shard_busy_us_total" + slb, "Simulated busy time")
+        .store(s.busy_us, std::memory_order_relaxed);
+    registry.Gauge("jecb_shard_availability" + slb, "1 - down / attempts")
+        .store(s.availability(), std::memory_order_relaxed);
+  }
+}
+
+std::string ReplayReport::ToPrometheus() const {
+  MetricsRegistry registry;
+  PublishTo(registry);
+  return registry.RenderPrometheus();
+}
+
+std::string ReplayReport::ToAscii() const {
+  AsciiTable summary({"metric", "value"});
+  summary.AddRow({"label", label});
+  summary.AddRow({"partitions", std::to_string(num_partitions)});
+  summary.AddRow({"total_txns", std::to_string(total_txns)});
+  summary.AddRow({"committed", std::to_string(committed)});
+  summary.AddRow({"failed", std::to_string(failed)});
+  summary.AddRow({"distributed_fraction", FormatDouble(distributed_fraction(), 4)});
+  summary.AddRow({"throughput_tps", FormatDouble(throughput_tps, 0)});
+  summary.AddRow({"goodput_tps", FormatDouble(goodput_tps, 0)});
+  summary.AddRow({"wall_seconds", FormatDouble(wall_seconds, 3)});
+  summary.AddRow({"local_p50/p95/p99_us",
+                  FormatDouble(local.p50_us, 1) + " / " +
+                      FormatDouble(local.p95_us, 1) + " / " +
+                      FormatDouble(local.p99_us, 1)});
+  summary.AddRow({"dist_p50/p95/p99_us",
+                  FormatDouble(distributed.p50_us, 1) + " / " +
+                      FormatDouble(distributed.p95_us, 1) + " / " +
+                      FormatDouble(distributed.p99_us, 1)});
+  AsciiTable per_shard({"shard", "tuples", "local", "dist", "busy_us", "avail",
+                        "p50_us", "p95_us", "p99_us"});
+  for (const ShardReport& s : shards) {
+    per_shard.AddRow({std::to_string(s.shard), std::to_string(s.stored_tuples),
+                      std::to_string(s.local_txns),
+                      std::to_string(s.dist_participations),
+                      std::to_string(s.busy_us), FormatDouble(s.availability(), 3),
+                      FormatDouble(s.p50_us, 1), FormatDouble(s.p95_us, 1),
+                      FormatDouble(s.p99_us, 1)});
+  }
+  return summary.ToString() + "\n" + per_shard.ToString();
+}
+
 ReplayReport Replay(const Database& db, const DatabaseSolution& solution,
                     const Trace& trace, const RuntimeOptions& options,
                     std::string label) {
+  TraceRecorder& rec = TraceRecorder::Default();
   // Phase A (single-threaded): resolve placements — this also warms the
   // solution's per-tuple memo caches so the parallel replay phase is pure
   // cache hits — and materialize the shard layout.
   std::vector<ClassifiedTxn> classified = ClassifyTrace(db, solution, trace);
+  const uint64_t layout_ts = rec.enabled() ? rec.NowUs() : 0;
   ShardedDatabase sharded(db, solution);
+  if (rec.enabled()) {
+    rec.Span("runtime", "replay.shard_layout", layout_ts,
+             rec.NowUs() - layout_ts, "shards",
+             static_cast<int64_t>(sharded.num_shards()));
+  }
 
   RuntimeMetrics metrics(sharded.num_shards());
   ShardExecutor executor(sharded, options, &metrics);
@@ -190,26 +310,33 @@ ReplayReport Replay(const Database& db, const DatabaseSolution& solution,
   auto t0 = std::chrono::steady_clock::now();
   std::vector<std::thread> clients;
   clients.reserve(num_clients);
-  for (int c = 0; c < num_clients; ++c) clients.emplace_back(run_client);
-  for (std::thread& c : clients) c.join();
-  executor.Shutdown();
+  {
+    JECB_SPAN2("runtime", "replay.run", "clients", num_clients, "txns",
+               static_cast<int64_t>(classified.size()));
+    for (int c = 0; c < num_clients; ++c) clients.emplace_back(run_client);
+    for (std::thread& c : clients) c.join();
+    executor.Shutdown();
+  }
   double wall = static_cast<double>(ElapsedUs(t0)) / 1e6;
 
-  // Phase C: snapshot.
+  // Phase C: one quiesced snapshot feeds every field of the report, so no
+  // renderer can observe a counter from a different moment.
+  JECB_SPAN("runtime", "replay.snapshot");
+  MetricsSnapshot snap = metrics.Snapshot();
   ReplayReport report;
   report.label = std::move(label);
   report.num_partitions = sharded.num_shards();
   report.total_txns = trace.size();
-  report.committed = metrics.committed.load();
-  report.distributed_committed = metrics.distributed_committed.load();
-  report.residency_faults = metrics.residency_faults.load();
-  report.failed = metrics.failed.load();
-  report.aborts = metrics.aborts.load();
-  report.retries = metrics.retries.load();
-  report.prepare_rejects = metrics.prepare_rejects.load();
-  report.coordinator_timeouts = metrics.coordinator_timeouts.load();
-  report.shard_down_aborts = metrics.shard_down_aborts.load();
-  report.stalls_injected = metrics.stalls_injected.load();
+  report.committed = snap.committed;
+  report.distributed_committed = snap.distributed_committed;
+  report.residency_faults = snap.residency_faults;
+  report.failed = snap.failed;
+  report.aborts = snap.aborts;
+  report.retries = snap.retries;
+  report.prepare_rejects = snap.prepare_rejects;
+  report.coordinator_timeouts = snap.coordinator_timeouts;
+  report.shard_down_aborts = snap.shard_down_aborts;
+  report.stalls_injected = snap.stalls_injected;
   report.wall_seconds = wall;
   report.goodput_tps =
       wall > 0.0 ? static_cast<double>(report.committed) / wall : 0.0;
@@ -219,22 +346,25 @@ ReplayReport Replay(const Database& db, const DatabaseSolution& solution,
           : 0.0;
   report.replication_factor = sharded.ReplicationFactor();
   report.storage_skew = sharded.StorageSkew();
-  report.local = SnapshotLatency(metrics.local_latency);
-  report.distributed = SnapshotLatency(metrics.distributed_latency);
-  report.retry = SnapshotLatency(metrics.retry_latency);
+  report.local_hist = snap.local_latency;
+  report.distributed_hist = snap.distributed_latency;
+  report.retry_hist = snap.retry_latency;
+  report.local = SnapshotLatency(report.local_hist);
+  report.distributed = SnapshotLatency(report.distributed_hist);
+  report.retry = SnapshotLatency(report.retry_hist);
   report.shards.reserve(sharded.num_shards());
   for (int32_t s = 0; s < sharded.num_shards(); ++s) {
-    const ShardMetrics& sm = metrics.shard(s);
+    const ShardMetricsSnapshot& sm = snap.shards[s];
     ShardReport sr;
     sr.shard = s;
     sr.stored_tuples = sharded.shard_tuples(s);
-    sr.local_txns = sm.local_txns.load();
-    sr.dist_participations = sm.dist_participations.load();
-    sr.busy_us = sm.busy_us.load();
-    sr.participation_attempts = sm.participation_attempts.load();
-    sr.stalls = sm.stalls.load();
-    sr.prepare_rejects = sm.prepare_rejects.load();
-    sr.down_events = sm.down_events.load();
+    sr.local_txns = sm.local_txns;
+    sr.dist_participations = sm.dist_participations;
+    sr.busy_us = sm.busy_us;
+    sr.participation_attempts = sm.participation_attempts;
+    sr.stalls = sm.stalls;
+    sr.prepare_rejects = sm.prepare_rejects;
+    sr.down_events = sm.down_events;
     sr.p50_us = sm.latency.Quantile(0.50);
     sr.p95_us = sm.latency.Quantile(0.95);
     sr.p99_us = sm.latency.Quantile(0.99);

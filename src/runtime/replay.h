@@ -10,12 +10,15 @@
 #include <string>
 #include <vector>
 
+#include "obs/histogram.h"
 #include "partition/solution.h"
 #include "runtime/executor.h"
 #include "storage/database.h"
 #include "trace/trace.h"
 
 namespace jecb {
+
+class MetricsRegistry;
 
 /// Resolves each transaction's participant shards and static classification.
 /// Single-threaded by design: it warms the solution's per-tuple memo caches
@@ -87,6 +90,14 @@ struct ReplayReport {
   LatencyReport local;
   LatencyReport distributed;
   LatencyReport retry;  ///< committed txns that needed >= 1 retry
+  /// Full bucket data behind the summaries above, kept so renderers
+  /// (Prometheus histograms) and aggregation across runs never have to
+  /// recompute from live atomics. Everything in this report comes from one
+  /// RuntimeMetrics::Snapshot() taken after workers joined, so ToJson(),
+  /// ToPrometheus(), and ToAscii() always agree with each other.
+  HistogramData local_hist;
+  HistogramData distributed_hist;
+  HistogramData retry_hist;
   std::vector<ShardReport> shards;
 
   double distributed_fraction() const {
@@ -104,8 +115,22 @@ struct ReplayReport {
   /// fault_injection_test and bench/fault_tolerance assert.
   uint64_t OutcomeSignature() const;
 
-  /// One self-contained JSON object (no trailing newline).
+  /// One self-contained JSON object (no trailing newline). The label is
+  /// JSON-escaped, so arbitrary bench names cannot corrupt the document.
   std::string ToJson() const;
+
+  /// Prometheus text exposition of this report: counters, gauges, and
+  /// cumulative latency histograms, every series labeled {label="..."}.
+  std::string ToPrometheus() const;
+
+  /// Human-readable summary + per-shard AsciiTable.
+  std::string ToAscii() const;
+
+  /// Registers this report's series (counters, gauges, latency histograms,
+  /// per-shard series with a shard label) in `registry` — used both by
+  /// ToPrometheus() and to fold replay results into the process-wide
+  /// MetricsRegistry::Default() for --metrics_out dumps.
+  void PublishTo(MetricsRegistry& registry) const;
 };
 
 /// Replays `trace` against `solution` and returns the measured report.

@@ -4,9 +4,13 @@
 
 namespace jecb {
 
-bool TxnCoordinator::AttemptOnce(const ClassifiedTxn& txn, uint32_t attempt) {
+bool TxnCoordinator::AttemptOnce(const ClassifiedTxn& txn, uint32_t attempt,
+                                 bool traced) {
   const RuntimeOptions& opt = executor_->options();
   RuntimeMetrics* metrics = executor_->metrics();
+  TraceRecorder& rec = TraceRecorder::Default();
+  const int64_t tid = static_cast<int64_t>(txn.txn_id);
+  const uint64_t prepare_ts = traced ? rec.NowUs() : 0;
 
   // Prepare phase: lock participants in ascending id order and execute the
   // shard-local work (reads/writes + prepare validation) under each lock.
@@ -21,6 +25,7 @@ bool TxnCoordinator::AttemptOnce(const ClassifiedTxn& txn, uint32_t attempt) {
       // already held release when `held` unwinds. Cheapest abort.
       sm.down_events.fetch_add(1, std::memory_order_relaxed);
       metrics->shard_down_aborts.fetch_add(1, std::memory_order_relaxed);
+      if (traced) rec.Instant("fault", "fault.shard_down", "txn", tid, "shard", p);
       return false;
     }
     held.emplace_back(executor_->shard_lock(p));
@@ -31,11 +36,15 @@ bool TxnCoordinator::AttemptOnce(const ClassifiedTxn& txn, uint32_t attempt) {
       // burning CPU — the backpressure case, not an abort.
       sm.stalls.fetch_add(1, std::memory_order_relaxed);
       metrics->stalls_injected.fetch_add(1, std::memory_order_relaxed);
+      if (traced) rec.Instant("fault", "fault.stall", "txn", tid, "shard", p);
       SimulateNetworkDelay(injector_->plan().stall_us);
     }
     if (injector_ && injector_->PrepareRejected(txn.txn_id, attempt, p)) {
       sm.prepare_rejects.fetch_add(1, std::memory_order_relaxed);
       metrics->prepare_rejects.fetch_add(1, std::memory_order_relaxed);
+      if (traced) {
+        rec.Instant("fault", "fault.prepare_reject", "txn", tid, "shard", p);
+      }
       return false;
     }
     sm.dist_participations.fetch_add(1, std::memory_order_relaxed);
@@ -45,6 +54,10 @@ bool TxnCoordinator::AttemptOnce(const ClassifiedTxn& txn, uint32_t attempt) {
     // The expensive abort: every participant keeps its lock while the
     // coordinator waits out the vote timeout.
     metrics->coordinator_timeouts.fetch_add(1, std::memory_order_relaxed);
+    if (traced) {
+      rec.Instant("fault", "fault.timeout", "txn", tid, "attempt",
+                  static_cast<int64_t>(attempt));
+    }
     SimulateNetworkDelay(injector_->plan().timeout_us);
     return false;
   }
@@ -52,6 +65,13 @@ bool TxnCoordinator::AttemptOnce(const ClassifiedTxn& txn, uint32_t attempt) {
   // Prepare messages out, votes back: every participant keeps its lock (and
   // thus blocks its worker) for the full round trip.
   SimulateNetworkDelay(opt.round_trip_us);
+  if (traced) {
+    // Lock acquisition + shard-local prepare work + prepare/vote round trip:
+    // the window in which this txn blocked its participants' workers.
+    rec.Span("runtime", "2pc.prepare", prepare_ts, rec.NowUs() - prepare_ts,
+             "txn", tid, "attempt", static_cast<int64_t>(attempt));
+  }
+  const uint64_t commit_ts = traced ? rec.NowUs() : 0;
 
   // All voted yes — commit applies at each participant, locks release.
   for (auto& lock : held) lock.unlock();
@@ -59,23 +79,32 @@ bool TxnCoordinator::AttemptOnce(const ClassifiedTxn& txn, uint32_t attempt) {
   // Commit messages out, acks back: latency the client still observes, but
   // the shards are already free.
   SimulateNetworkDelay(opt.round_trip_us);
+  if (traced) {
+    rec.Span("runtime", "2pc.commit", commit_ts, rec.NowUs() - commit_ts, "txn",
+             tid, "attempt", static_cast<int64_t>(attempt));
+  }
   return true;
 }
 
 void TxnCoordinator::ExecuteDistributed(const ClassifiedTxn& txn) {
   const RuntimeOptions& opt = executor_->options();
   RuntimeMetrics* metrics = executor_->metrics();
+  TraceRecorder& rec = TraceRecorder::Default();
+  const bool traced =
+      rec.enabled() &&
+      TxnTraceSampled(opt.faults.seed, txn.txn_id, opt.trace_sample_rate);
+  const int64_t tid = static_cast<int64_t>(txn.txn_id);
   auto start = std::chrono::steady_clock::now();
+  const uint64_t start_ts = traced ? rec.ToTraceUs(start) : 0;
 
   if (opt.verify_residency) executor_->VerifyResidency(txn);
 
   const uint32_t budget =
       injector_ ? std::max(injector_->plan().max_attempts, 1u) : 1u;
   for (uint32_t attempt = 0; attempt < budget; ++attempt) {
-    if (AttemptOnce(txn, attempt)) {
+    if (AttemptOnce(txn, attempt, traced)) {
       uint64_t latency_us = ElapsedUs(start);
-      metrics->shard(txn.home).latency.Record(latency_us);
-      metrics->distributed_latency.Record(latency_us);
+      metrics->shard(txn.home).dist_latency.Record(latency_us);
       if (attempt > 0) metrics->retry_latency.Record(latency_us);
       // Count from the static classification so the measured distributed
       // fraction agrees with Evaluate() on the same (solution, trace) pair.
@@ -83,12 +112,23 @@ void TxnCoordinator::ExecuteDistributed(const ClassifiedTxn& txn) {
         metrics->distributed_committed.fetch_add(1, std::memory_order_relaxed);
       }
       metrics->committed.fetch_add(1, std::memory_order_relaxed);
+      if (traced) {
+        // Full client-observed latency; dur equals the value recorded in
+        // dist_latency exactly, so trace rollups reconcile with the report.
+        rec.Span("runtime", "txn.dist", start_ts, latency_us, "txn", tid,
+                 "attempts", static_cast<int64_t>(attempt) + 1);
+      }
       return;
     }
     metrics->aborts.fetch_add(1, std::memory_order_relaxed);
     if (attempt + 1 < budget) {
       metrics->retries.fetch_add(1, std::memory_order_relaxed);
+      const uint64_t backoff_ts = traced ? rec.NowUs() : 0;
       SimulateNetworkDelay(injector_->BackoffUs(txn.txn_id, attempt));
+      if (traced) {
+        rec.Span("runtime", "backoff", backoff_ts, rec.NowUs() - backoff_ts,
+                 "txn", tid, "attempt", static_cast<int64_t>(attempt));
+      }
     }
   }
 
@@ -96,6 +136,10 @@ void TxnCoordinator::ExecuteDistributed(const ClassifiedTxn& txn) {
   // failure is recorded and conservation (committed + failed == submitted)
   // still holds.
   metrics->failed.fetch_add(1, std::memory_order_relaxed);
+  if (traced) {
+    rec.Span("runtime", "txn.failed", start_ts, ElapsedUs(start), "txn", tid,
+             "attempts", static_cast<int64_t>(budget));
+  }
 }
 
 }  // namespace jecb

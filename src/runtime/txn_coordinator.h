@@ -39,7 +39,8 @@ class TxnCoordinator {
 
  private:
   /// One 2PC attempt; true on commit, false on abort (all locks released).
-  bool AttemptOnce(const ClassifiedTxn& txn, uint32_t attempt);
+  /// `traced` gates span/fault-instant emission for this txn's timeline.
+  bool AttemptOnce(const ClassifiedTxn& txn, uint32_t attempt, bool traced);
 
   ShardExecutor* executor_;
   const FaultInjector* injector_;

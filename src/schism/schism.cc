@@ -6,6 +6,9 @@
 #include <memory>
 #include <unordered_map>
 
+#include "obs/metrics_registry.h"
+#include "obs/trace_recorder.h"
+
 namespace jecb {
 
 std::vector<int64_t> TupleFeatures(const Database& db, TupleId tuple) {
@@ -26,12 +29,15 @@ std::vector<int64_t> TupleFeatures(const Database& db, TupleId tuple) {
 
 Result<SchismResult> Schism::Partition(Database* db, const Trace& training) const {
   auto start = std::chrono::steady_clock::now();
+  TraceRecorder& rec = TraceRecorder::Default();
+  JECB_SPAN1("schism", "partition", "txns", static_cast<int64_t>(training.size()));
 
   std::vector<AccessClass> classes =
       ClassifyTables(db->schema(), training, options_.classify);
   ApplyClassification(&db->mutable_schema(), classes);
 
   // ---- Tuple graph ---------------------------------------------------------
+  const uint64_t graph_ts = rec.enabled() ? rec.NowUs() : 0;
   std::unordered_map<TupleId, NodeId, TupleIdHash> node_of;
   std::vector<TupleId> tuples;
   auto intern = [&](TupleId t) {
@@ -89,6 +95,11 @@ Result<SchismResult> Schism::Partition(Database* db, const Trace& training) cons
   txn_nodes.shrink_to_fit();
 
   Graph graph = builder.Build();
+  if (rec.enabled()) {
+    rec.Span("schism", "graph.build", graph_ts, rec.NowUs() - graph_ts, "nodes",
+             static_cast<int64_t>(graph.num_nodes()), "edges",
+             static_cast<int64_t>(graph.num_edges()));
+  }
 
   SchismResult result{DatabaseSolution(options_.num_partitions, db->schema().num_tables()),
                       graph.num_nodes(), graph.num_edges(), 0, 0.0, 0.0};
@@ -96,10 +107,16 @@ Result<SchismResult> Schism::Partition(Database* db, const Trace& training) cons
   GraphPartitionOptions gopt = options_.graph;
   gopt.num_parts = options_.num_partitions;
   gopt.seed = options_.seed;
+  const uint64_t cut_ts = rec.enabled() ? rec.NowUs() : 0;
   std::vector<int32_t> assignment = PartitionGraph(graph, gopt);
   result.edge_cut = CutWeight(graph, assignment);
+  if (rec.enabled()) {
+    rec.Span("schism", "min_cut", cut_ts, rec.NowUs() - cut_ts, "parts",
+             gopt.num_parts, "edge_cut", static_cast<int64_t>(result.edge_cut));
+  }
 
   // ---- Explanation phase ---------------------------------------------------
+  const uint64_t explain_ts = rec.enabled() ? rec.NowUs() : 0;
   auto replicated = std::make_shared<ReplicatedTable>();
   for (size_t t = 0; t < db->schema().num_tables(); ++t) {
     if (classes[t] != AccessClass::kPartitioned) {
@@ -154,8 +171,18 @@ Result<SchismResult> Schism::Partition(Database* db, const Trace& training) cons
   }
   result.explanation_accuracy =
       total == 0 ? 1.0 : static_cast<double>(correct) / static_cast<double>(total);
+  if (rec.enabled()) {
+    rec.Span("schism", "decision_tree", explain_ts, rec.NowUs() - explain_ts,
+             "samples", static_cast<int64_t>(total));
+  }
   result.elapsed_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  MetricsRegistry& registry = MetricsRegistry::Default();
+  registry.SetGauge("schism_graph_nodes", static_cast<double>(result.graph_nodes));
+  registry.SetGauge("schism_graph_edges", static_cast<double>(result.graph_edges));
+  registry.SetGauge("schism_edge_cut", static_cast<double>(result.edge_cut));
+  registry.SetGauge("schism_explanation_accuracy", result.explanation_accuracy);
+  registry.SetGauge("schism_partition_seconds", result.elapsed_seconds);
   return result;
 }
 

@@ -1,0 +1,494 @@
+// Tests for the observability layer: the lock-free thread-local span
+// recorder (wraparound, cross-thread collection, disabled-mode inertness),
+// the Chrome-trace exporter round trip, histogram merging, the Prometheus
+// renderer (golden output — MetricsRegistry iterates an ordered map, so the
+// exposition text is deterministic), and the replay integration contracts:
+// per-txn sampling is a pure function of (seed, txn id) so the sampled set
+// is identical at any client count, tracing never changes a replay's
+// outcome signature, and traced txn span durations reconcile exactly with
+// the report's latency histograms. Runs under ThreadSanitizer via the
+// `tsan` ctest label.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <set>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "obs/histogram.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace_export.h"
+#include "obs/trace_recorder.h"
+#include "runtime/replay.h"
+#include "workloads/tpcc.h"
+
+namespace jecb {
+namespace {
+
+WorkloadBundle SmallTpcc(size_t txns = 600, uint64_t seed = 7) {
+  TpccConfig cfg;
+  cfg.warehouses = 4;
+  cfg.districts_per_warehouse = 2;
+  cfg.customers_per_district = 6;
+  cfg.items = 20;
+  cfg.initial_orders_per_district = 2;
+  return TpccWorkload(cfg).Make(txns, seed);
+}
+
+RuntimeOptions FastOptions() {
+  RuntimeOptions opt;
+  opt.num_clients = 4;
+  opt.local_work_us = 0;
+  opt.round_trip_us = 0;
+  opt.lock_hold_us = 0;
+  return opt;
+}
+
+TraceEvent MakeSpan(const char* name, uint64_t ts, uint64_t dur) {
+  TraceEvent e;
+  e.name = name;
+  e.cat = "test";
+  e.ts_us = ts;
+  e.dur_us = dur;
+  e.kind = TraceEventKind::kSpan;
+  return e;
+}
+
+TEST(TraceRecorderTest, RingBufferWrapsAndCountsDrops) {
+  TraceRecorder rec;
+  rec.Enable(/*events_per_thread=*/64);
+  for (uint64_t i = 0; i < 200; ++i) {
+    rec.Emit(MakeSpan("wrap", i, 1));
+  }
+  std::vector<CollectedEvent> events = rec.Collect();
+  ASSERT_EQ(events.size(), 64u);
+  EXPECT_EQ(rec.dropped(), 200u - 64u);
+  EXPECT_EQ(rec.num_thread_buffers(), 1u);
+  // The ring keeps the newest events, in order.
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].event.ts_us, 200 - 64 + i);
+  }
+}
+
+TEST(TraceRecorderTest, CollectMergesThreadsSortedByTimestamp) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 100;
+  TraceRecorder rec;
+  rec.Enable();
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&rec, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        ScopedSpan span("test", "work", "thread", t, rec);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  std::vector<CollectedEvent> events = rec.Collect();
+  ASSERT_EQ(events.size(), static_cast<size_t>(kThreads * kPerThread));
+  EXPECT_EQ(rec.num_thread_buffers(), static_cast<size_t>(kThreads));
+  EXPECT_EQ(rec.dropped(), 0u);
+
+  std::set<uint32_t> tids;
+  for (size_t i = 0; i < events.size(); ++i) {
+    tids.insert(events[i].tid);
+    if (i > 0) {
+      EXPECT_GE(events[i].event.ts_us, events[i - 1].event.ts_us);
+    }
+  }
+  EXPECT_EQ(tids.size(), static_cast<size_t>(kThreads));
+  // Each thread attached its index as arg1, so every index shows up
+  // kPerThread times.
+  std::array<int, kThreads> per_thread{};
+  for (const CollectedEvent& e : events) {
+    ASSERT_STREQ(e.event.arg1_name, "thread");
+    per_thread[static_cast<size_t>(e.event.arg1)]++;
+  }
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(per_thread[t], kPerThread);
+}
+
+TEST(TraceRecorderTest, DisabledRecorderAllocatesNothing) {
+  TraceRecorder rec;  // never enabled
+  EXPECT_FALSE(rec.enabled());
+  rec.Emit(MakeSpan("ignored", 0, 1));
+  rec.Instant("test", "ignored");
+  rec.Counter("test", "ignored", 7);
+  { ScopedSpan span("test", "ignored", rec); }
+  EXPECT_EQ(rec.num_thread_buffers(), 0u);
+  EXPECT_TRUE(rec.Collect().empty());
+  EXPECT_EQ(rec.dropped(), 0u);
+}
+
+TEST(TraceRecorderTest, MacrosAreInertWhileDefaultRecorderDisabled) {
+  TraceRecorder& rec = TraceRecorder::Default();
+  rec.Reset();  // disables and drops any buffers earlier tests created
+  ASSERT_FALSE(rec.enabled());
+  {
+    JECB_SPAN("test", "inert");
+    JECB_SPAN2("test", "inert2", "a", 1, "b", 2);
+    JECB_INSTANT1("test", "inert3", "a", 1);
+    JECB_COUNTER("test", "inert4", 42);
+  }
+  EXPECT_EQ(rec.num_thread_buffers(), 0u);
+  EXPECT_TRUE(rec.Collect().empty());
+}
+
+TEST(TraceRecorderTest, InternIsIdempotentAndSurvivesReset) {
+  TraceRecorder rec;
+  const char* a = rec.Intern("NewOrder/5");
+  const char* b = rec.Intern(std::string("NewOrder/") + "5");
+  EXPECT_EQ(a, b);
+  rec.Enable(16);
+  rec.Emit(MakeSpan(a, 1, 2));
+  rec.Reset();
+  EXPECT_EQ(rec.Intern("NewOrder/5"), a);
+}
+
+TEST(TraceRecorderTest, ScopedSpanLateArgsAttachInOrder) {
+  TraceRecorder rec;
+  rec.Enable(16);
+  {
+    ScopedSpan span("test", "late", rec);
+    span.Arg("first", 11);
+    span.Arg("second", 22);
+    span.Arg("ignored", 33);  // both slots taken
+  }
+  std::vector<CollectedEvent> events = rec.Collect();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].event.arg1_name, "first");
+  EXPECT_EQ(events[0].event.arg1, 11);
+  EXPECT_STREQ(events[0].event.arg2_name, "second");
+  EXPECT_EQ(events[0].event.arg2, 22);
+}
+
+TEST(TraceExportTest, ChromeTraceRoundTripsThroughParser) {
+  TraceRecorder rec;
+  rec.Enable(256);
+  rec.Span("runtime", "txn.local", 10, 5, "txn", 1, "shard", 2);
+  rec.Span("runtime", "txn.local", 20, 7, "txn", 3, "shard", 0);
+  rec.Span("jecb", "phase1.preprocess", 5, 100, "tables", 9);
+  rec.Instant("fault", "fault.stall", "txn", 4, "shard", 1);
+  rec.Counter("runtime", "queue_depth", 17);
+
+  std::string json = rec.RenderChromeTrace();
+  std::vector<ChromeTraceEvent> parsed;
+  std::string error;
+  ASSERT_TRUE(ParseChromeTrace(json, &parsed, &error)) << error;
+  ASSERT_EQ(parsed.size(), 5u);
+
+  size_t spans = 0, instants = 0, counters = 0;
+  for (const ChromeTraceEvent& e : parsed) {
+    if (e.ph == "X") ++spans;
+    if (e.ph == "i" || e.ph == "I") ++instants;
+    if (e.ph == "C") ++counters;
+  }
+  EXPECT_EQ(spans, 3u);
+  EXPECT_EQ(instants, 1u);
+  EXPECT_EQ(counters, 1u);
+
+  std::vector<SpanRollup> rollups = RollupSpans(parsed);
+  ASSERT_EQ(rollups.size(), 2u);
+  // Sorted by total duration descending: phase1 (100us) before txn.local
+  // (12us total across two spans).
+  EXPECT_EQ(rollups[0].name, "phase1.preprocess");
+  EXPECT_EQ(rollups[0].count, 1u);
+  EXPECT_EQ(rollups[0].total_us, 100u);
+  EXPECT_EQ(rollups[1].name, "txn.local");
+  EXPECT_EQ(rollups[1].count, 2u);
+  EXPECT_EQ(rollups[1].total_us, 12u);
+  EXPECT_EQ(rollups[1].max_us, 7u);
+
+  // Arg values survive the round trip.
+  for (const ChromeTraceEvent& e : parsed) {
+    if (e.ph == "X" && e.ts_us == 10) {
+      ASSERT_EQ(e.args.size(), 2u);
+      EXPECT_EQ(e.args[0].first, "txn");
+      EXPECT_EQ(e.args[0].second, 1.0);
+      EXPECT_EQ(e.args[1].first, "shard");
+      EXPECT_EQ(e.args[1].second, 2.0);
+    }
+  }
+}
+
+TEST(TraceExportTest, JsonEscapingRoundTripsHostileNames) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(JsonEscape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+  EXPECT_EQ(JsonEscape(std::string_view("nul\0byte", 8)), "nul\\u0000byte");
+
+  // An interned class name containing quotes/newlines must not corrupt the
+  // trace document.
+  TraceRecorder rec;
+  rec.Enable(16);
+  const char* hostile = rec.Intern("class \"A\"\njoins B");
+  rec.Span("jecb", hostile, 1, 2);
+  std::vector<ChromeTraceEvent> parsed;
+  std::string error;
+  ASSERT_TRUE(ParseChromeTrace(rec.RenderChromeTrace(), &parsed, &error)) << error;
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].name, "class \"A\"\njoins B");
+}
+
+TEST(HistogramTest, MergeAccumulatesExactly) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  a.Record(0);
+  a.Record(3);
+  a.Record(100);
+  b.Record(7);
+  b.Record(5000);
+
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 5u);
+  EXPECT_EQ(a.sum_us(), 0u + 3 + 100 + 7 + 5000);
+  EXPECT_EQ(a.max_us(), 5000u);
+  EXPECT_GE(a.Quantile(0.99), a.Quantile(0.5));
+
+  // Merging an empty histogram is a no-op.
+  LatencyHistogram empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 5u);
+  EXPECT_EQ(a.sum_us(), 5110u);
+
+  // Self-merge snapshots first, so it exactly doubles every counter.
+  a.Merge(a);
+  EXPECT_EQ(a.count(), 10u);
+  EXPECT_EQ(a.sum_us(), 2u * 5110u);
+  EXPECT_EQ(a.max_us(), 5000u);
+}
+
+TEST(HistogramTest, MergeOfDataSnapshotsMatchesDirectRecording) {
+  LatencyHistogram direct;
+  LatencyHistogram left;
+  LatencyHistogram right;
+  for (uint64_t v : {1u, 2u, 17u, 300u}) {
+    direct.Record(v);
+    left.Record(v);
+  }
+  for (uint64_t v : {4u, 9000u}) {
+    direct.Record(v);
+    right.Record(v);
+  }
+  HistogramData merged = left.Snapshot();
+  merged.Merge(right.Snapshot());
+  HistogramData expected = direct.Snapshot();
+  EXPECT_EQ(merged.count, expected.count);
+  EXPECT_EQ(merged.sum_us, expected.sum_us);
+  EXPECT_EQ(merged.buckets, expected.buckets);
+  EXPECT_DOUBLE_EQ(merged.Quantile(0.5), expected.Quantile(0.5));
+}
+
+TEST(MetricsRegistryTest, PrometheusGoldenOutput) {
+  MetricsRegistry reg;
+  reg.Counter("jecb_test_total{label=\"a\"}", "things counted")
+      .fetch_add(3, std::memory_order_relaxed);
+  reg.Counter("jecb_test_total{label=\"b\"}")
+      .fetch_add(5, std::memory_order_relaxed);
+  reg.SetGauge("jecb_test_ratio", 0.25);
+  reg.Gauge("jecb_test_ratio", "fraction of things");  // attach help
+  LatencyHistogram& h = reg.Histogram("jecb_test_us", "latency");
+  h.Record(0);
+  h.Record(3);
+  h.Record(100);
+
+  const char* expected =
+      "# HELP jecb_test_ratio fraction of things\n"
+      "# TYPE jecb_test_ratio gauge\n"
+      "jecb_test_ratio 0.25\n"
+      "# HELP jecb_test_total things counted\n"
+      "# TYPE jecb_test_total counter\n"
+      "jecb_test_total{label=\"a\"} 3\n"
+      "jecb_test_total{label=\"b\"} 5\n"
+      "# HELP jecb_test_us latency\n"
+      "# TYPE jecb_test_us histogram\n"
+      "jecb_test_us_bucket{le=\"1\"} 1\n"
+      "jecb_test_us_bucket{le=\"2\"} 1\n"
+      "jecb_test_us_bucket{le=\"4\"} 2\n"
+      "jecb_test_us_bucket{le=\"8\"} 2\n"
+      "jecb_test_us_bucket{le=\"16\"} 2\n"
+      "jecb_test_us_bucket{le=\"32\"} 2\n"
+      "jecb_test_us_bucket{le=\"64\"} 2\n"
+      "jecb_test_us_bucket{le=\"128\"} 3\n"
+      "jecb_test_us_bucket{le=\"+Inf\"} 3\n"
+      "jecb_test_us_sum 103\n"
+      "jecb_test_us_count 3\n";
+  EXPECT_EQ(reg.RenderPrometheus(), expected);
+}
+
+TEST(MetricsRegistryTest, LabeledHistogramMergesLabelsWithLe) {
+  MetricsRegistry reg;
+  reg.Histogram("jecb_lat_us{label=\"x\"}").Record(2);
+  std::string out = reg.RenderPrometheus();
+  EXPECT_NE(out.find("jecb_lat_us_bucket{label=\"x\",le=\"4\"} 1"),
+            std::string::npos);
+  EXPECT_NE(out.find("jecb_lat_us_bucket{label=\"x\",le=\"+Inf\"} 1"),
+            std::string::npos);
+  EXPECT_NE(out.find("jecb_lat_us_sum{label=\"x\"} 2"), std::string::npos);
+  EXPECT_NE(out.find("jecb_lat_us_count{label=\"x\"} 1"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, KindMismatchKeepsOriginalMetric) {
+  MetricsRegistry reg;
+  reg.Counter("jecb_mismatch").fetch_add(4, std::memory_order_relaxed);
+  // Asking for the same name as a gauge must not crash or clobber.
+  reg.SetGauge("jecb_mismatch", 99.0);
+  EXPECT_EQ(reg.size(), 1u);
+  EXPECT_NE(reg.RenderPrometheus().find("jecb_mismatch 4"), std::string::npos);
+}
+
+TEST(SamplingTest, TxnTraceSampledIsPureAndRateBounded) {
+  // Pure function: identical inputs, identical verdicts.
+  for (uint64_t txn = 0; txn < 100; ++txn) {
+    EXPECT_EQ(TxnTraceSampled(0x5ECB, txn, 0.5), TxnTraceSampled(0x5ECB, txn, 0.5));
+  }
+  // Degenerate rates short-circuit.
+  EXPECT_TRUE(TxnTraceSampled(1, 42, 1.0));
+  EXPECT_TRUE(TxnTraceSampled(1, 42, 2.0));
+  EXPECT_FALSE(TxnTraceSampled(1, 42, 0.0));
+  EXPECT_FALSE(TxnTraceSampled(1, 42, -1.0));
+  // The hash keeps the sampled fraction near the requested rate.
+  size_t sampled = 0;
+  for (uint64_t txn = 0; txn < 10000; ++txn) {
+    sampled += TxnTraceSampled(7, txn, 0.25) ? 1 : 0;
+  }
+  EXPECT_GT(sampled, 2000u);
+  EXPECT_LT(sampled, 3000u);
+  // Different seeds pick different subsets.
+  size_t agree = 0;
+  for (uint64_t txn = 0; txn < 1000; ++txn) {
+    agree += TxnTraceSampled(1, txn, 0.5) == TxnTraceSampled(2, txn, 0.5) ? 1 : 0;
+  }
+  EXPECT_LT(agree, 1000u);
+}
+
+/// Replays with the default recorder enabled and returns the set of txn ids
+/// that produced a terminal span (txn.local / txn.dist / txn.failed), plus
+/// the report, resetting the recorder afterwards.
+std::pair<std::set<int64_t>, ReplayReport> TracedReplay(
+    const WorkloadBundle& b, const DatabaseSolution& solution,
+    RuntimeOptions opt) {
+  TraceRecorder& rec = TraceRecorder::Default();
+  rec.Reset();
+  rec.Enable();
+  ReplayReport report = Replay(*b.db, solution, b.trace, opt, "obs-test");
+  std::set<int64_t> sampled;
+  for (const CollectedEvent& e : rec.Collect()) {
+    std::string_view name = e.event.name;
+    if (name == "txn.local" || name == "txn.dist" || name == "txn.failed") {
+      sampled.insert(e.event.arg1);  // arg1 is the txn id
+    }
+  }
+  EXPECT_EQ(rec.dropped(), 0u);
+  rec.Reset();
+  return {std::move(sampled), std::move(report)};
+}
+
+TEST(SamplingTest, SampledSetIdenticalAcrossClientCountsAndOutcomeUnchanged) {
+  WorkloadBundle b = SmallTpcc();
+  DatabaseSolution solution = MakeNaiveHashSolution(*b.db, 4);
+
+  RuntimeOptions base = FastOptions();
+  base.trace_sample_rate = 0.5;
+  base.faults.seed = 0xBEEF;
+
+  // Baseline outcome with tracing fully off.
+  TraceRecorder::Default().Reset();
+  ReplayReport untraced = Replay(*b.db, solution, b.trace, base, "obs-test");
+  const uint64_t untraced_sig = untraced.OutcomeSignature();
+
+  std::set<int64_t> first_set;
+  for (int clients : {1, 4, 8}) {
+    RuntimeOptions opt = base;
+    opt.num_clients = clients;
+    auto [sampled, report] = TracedReplay(b, solution, opt);
+    // Sampling is keyed on (seed, txn id) only — the sampled set cannot
+    // depend on scheduling.
+    if (clients == 1) {
+      first_set = sampled;
+      EXPECT_GT(sampled.size(), b.trace.size() / 4);
+      EXPECT_LT(sampled.size(), 3 * b.trace.size() / 4);
+    } else {
+      EXPECT_EQ(sampled, first_set) << "sampled txn set diverged at "
+                                    << clients << " clients";
+    }
+    // Tracing is observational: the outcome signature matches the untraced
+    // replay at every client count.
+    EXPECT_EQ(report.OutcomeSignature(), untraced_sig);
+  }
+}
+
+TEST(SamplingTest, SampleRateZeroEmitsNoTxnSpans) {
+  WorkloadBundle b = SmallTpcc(300);
+  DatabaseSolution solution = MakeNaiveHashSolution(*b.db, 4);
+  RuntimeOptions opt = FastOptions();
+  opt.trace_sample_rate = 0.0;
+  auto [sampled, report] = TracedReplay(b, solution, opt);
+  EXPECT_TRUE(sampled.empty());
+  EXPECT_EQ(report.committed, 300u);
+}
+
+TEST(ReconciliationTest, TxnSpanDurationsMatchReportHistograms) {
+  WorkloadBundle b = SmallTpcc();
+  DatabaseSolution solution = MakeNaiveHashSolution(*b.db, 4);
+  RuntimeOptions opt = FastOptions();
+  opt.trace_sample_rate = 1.0;  // trace every txn
+
+  TraceRecorder& rec = TraceRecorder::Default();
+  rec.Reset();
+  rec.Enable();
+  ReplayReport report = Replay(*b.db, solution, b.trace, opt, "obs-test");
+  std::vector<CollectedEvent> events = rec.Collect();
+  EXPECT_EQ(rec.dropped(), 0u);
+  rec.Reset();
+
+  uint64_t local_spans = 0, local_dur = 0;
+  uint64_t dist_spans = 0, dist_dur = 0;
+  for (const CollectedEvent& e : events) {
+    std::string_view name = e.event.name;
+    if (name == "txn.local") {
+      ++local_spans;
+      local_dur += e.event.dur_us;
+    } else if (name == "txn.dist") {
+      ++dist_spans;
+      dist_dur += e.event.dur_us;
+    }
+  }
+  // Every committed txn produced exactly one terminal span whose duration
+  // is the same latency value the report's histograms recorded — the trace
+  // and the metrics cannot disagree.
+  EXPECT_EQ(local_spans, report.local.count);
+  EXPECT_EQ(local_dur, report.local_hist.sum_us);
+  EXPECT_EQ(dist_spans, report.distributed.count);
+  EXPECT_EQ(dist_dur, report.distributed_hist.sum_us);
+  EXPECT_EQ(local_spans + dist_spans, report.committed);
+  EXPECT_GT(dist_spans, 0u);  // naive hash makes plenty of distributed txns
+}
+
+TEST(ReplayRenderersTest, PrometheusAndAsciiAgreeWithReport) {
+  WorkloadBundle b = SmallTpcc(300);
+  DatabaseSolution solution = MakeNaiveHashSolution(*b.db, 2);
+  TraceRecorder::Default().Reset();
+  ReplayReport report = Replay(*b.db, solution, b.trace, FastOptions(), "r\"x");
+
+  std::string prom = report.ToPrometheus();
+  // The label is JSON-escaped so the quote cannot break the series name.
+  EXPECT_NE(prom.find("label=\"r\\\"x\""), std::string::npos);
+  EXPECT_NE(prom.find("jecb_replay_txns_total{label=\"r\\\"x\"} 300"),
+            std::string::npos);
+  EXPECT_NE(prom.find("jecb_replay_local_latency_us_count"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE jecb_replay_local_latency_us histogram"),
+            std::string::npos);
+  // Per-shard series carry both labels.
+  EXPECT_NE(prom.find("shard=\"0\""), std::string::npos);
+  EXPECT_NE(prom.find("shard=\"1\""), std::string::npos);
+
+  std::string ascii = report.ToAscii();
+  EXPECT_NE(ascii.find("r\"x"), std::string::npos);
+  EXPECT_NE(ascii.find("committed"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace jecb

@@ -1,0 +1,108 @@
+// trace_stats: per-phase duration rollups for a Chrome trace-event JSON
+// file (the --trace_out output of jecb_cli, runtime_replay and the bench
+// binaries).
+//
+//   ./trace_stats trace.json [--cat runtime] [--top N]
+//
+// Prints one AsciiTable of span groups — (category, name) pairs — sorted by
+// total time, plus instant-event (fault annotation) counts. The obs tests
+// also run this path to validate the exporter output end to end.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/ascii_table.h"
+#include "common/string_util.h"
+#include "obs/trace_export.h"
+
+using namespace jecb;
+
+int main(int argc, char** argv) {
+  std::string path;
+  std::string cat_filter;
+  size_t top = 0;  // 0 = all
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--cat" && i + 1 < argc) {
+      cat_filter = argv[++i];
+    } else if (arg == "--top" && i + 1 < argc) {
+      top = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (!arg.empty() && arg[0] != '-' && path.empty()) {
+      path = arg;
+    } else {
+      std::fprintf(stderr, "usage: %s <trace.json> [--cat CATEGORY] [--top N]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr, "usage: %s <trace.json> [--cat CATEGORY] [--top N]\n",
+                 argv[0]);
+    return 2;
+  }
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string json = buf.str();
+
+  std::vector<ChromeTraceEvent> events;
+  std::string error;
+  if (!ParseChromeTrace(json, &events, &error)) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), error.c_str());
+    return 1;
+  }
+
+  if (!cat_filter.empty()) {
+    std::vector<ChromeTraceEvent> kept;
+    for (ChromeTraceEvent& e : events) {
+      if (e.cat == cat_filter) kept.push_back(std::move(e));
+    }
+    events = std::move(kept);
+  }
+
+  size_t spans = 0;
+  size_t instants = 0;
+  size_t counters = 0;
+  std::map<std::pair<std::string, std::string>, uint64_t> instant_counts;
+  for (const ChromeTraceEvent& e : events) {
+    if (e.ph == "X") {
+      ++spans;
+    } else if (e.ph == "i" || e.ph == "I") {
+      ++instants;
+      ++instant_counts[{e.cat, e.name}];
+    } else if (e.ph == "C") {
+      ++counters;
+    }
+  }
+  std::printf("%s: %zu events (%zu spans, %zu instants, %zu counters)\n\n",
+              path.c_str(), events.size(), spans, instants, counters);
+
+  std::vector<SpanRollup> rollups = RollupSpans(events);
+  if (top > 0 && rollups.size() > top) rollups.resize(top);
+  AsciiTable table({"category", "span", "count", "total_ms", "mean_us", "max_us"});
+  for (const SpanRollup& r : rollups) {
+    table.AddRow({r.cat, r.name, std::to_string(r.count),
+                  FormatDouble(static_cast<double>(r.total_us) / 1000.0, 2),
+                  FormatDouble(r.mean_us(), 1),
+                  std::to_string(r.max_us)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+
+  if (!instant_counts.empty()) {
+    AsciiTable itable({"category", "instant", "count"});
+    for (const auto& [key, count] : instant_counts) {
+      itable.AddRow({key.first, key.second, std::to_string(count)});
+    }
+    std::printf("%s\n", itable.ToString().c_str());
+  }
+  return 0;
+}
