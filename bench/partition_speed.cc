@@ -1,0 +1,240 @@
+// Columnar-pipeline speed: end-to-end Jecb::Partition plus standalone
+// Evaluate(), legacy row-oriented scan vs. the FlatTrace + shared-resolver
+// path, at 1/2/4/8 worker threads on TPC-C. Both modes must produce the
+// same solution bit for bit — the bench asserts identical table solutions,
+// train cost, combiner counters, EvalResults, and the replay
+// OutcomeSignature at every thread count, and exits non-zero on any
+// divergence. Measurements land in BENCH_partition_speed.json.
+//
+// Mode toggle: --mode=both|legacy|columnar (or env JECB_PARTITION_MODE);
+// single modes time one path only and skip the cross-mode assertions.
+// Speedups are hardware-dependent; the JSON records hardware_concurrency.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <thread>
+
+#include "bench_util.h"
+#include "runtime/replay.h"
+#include "trace/flat_trace.h"
+#include "workloads/tpcc.h"
+
+using namespace jecb;
+using namespace jecb::bench;
+
+namespace {
+
+constexpr int kEvalIters = 5;
+
+double WallSeconds(const std::function<void()>& fn) {
+  auto start = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// One mode's measurements and identity fingerprint at one thread count.
+struct ModeRun {
+  double partition_seconds = 0.0;
+  double evaluate_seconds = 0.0;  // per Evaluate() pass
+  std::string tables;
+  double train_cost = 0.0;
+  uint64_t evaluated_combinations = 0;
+  EvalResult eval;
+  uint64_t outcome_signature = 0;
+};
+
+bool EvalEqual(const EvalResult& a, const EvalResult& b) {
+  return a.total_txns == b.total_txns && a.distributed_txns == b.distributed_txns &&
+         a.partitions_touched == b.partitions_touched &&
+         a.class_total == b.class_total &&
+         a.class_distributed == b.class_distributed &&
+         a.partition_load == b.partition_load;
+}
+
+ModeRun RunMode(WorkloadBundle* bundle, const FlatTrace& flat, bool columnar,
+                int threads) {
+  JecbOptions opt;
+  opt.num_partitions = 8;
+  opt.num_threads = threads;
+  opt.columnar = columnar;
+
+  ModeRun run;
+  Result<JecbResult> result = Status::Internal("not run");
+  run.partition_seconds = WallSeconds([&] {
+    result =
+        Jecb(opt).Partition(bundle->db.get(), bundle->procedures, bundle->trace);
+  });
+  CheckOk(result.status(), "partition_speed");
+  run.tables = result.value().solution.Describe(bundle->db->schema());
+  run.train_cost = result.value().combiner_report.best_train_cost;
+  run.evaluated_combinations = result.value().combiner_report.evaluated_combinations;
+
+  ThreadPool pool(threads);
+  ThreadPool* eval_pool = threads > 1 ? &pool : nullptr;
+  const DatabaseSolution& solution = result.value().solution;
+  run.evaluate_seconds = WallSeconds([&] {
+                           for (int i = 0; i < kEvalIters; ++i) {
+                             run.eval = columnar
+                                            ? Evaluate(*bundle->db, solution, flat,
+                                                       eval_pool)
+                                            : Evaluate(*bundle->db, solution,
+                                                       bundle->trace, eval_pool);
+                           }
+                         }) /
+                         kEvalIters;
+
+  // Replay outcome fingerprint: thread-count and layout invariant.
+  RuntimeOptions ropt;
+  ropt.num_clients = 4;
+  ropt.local_work_us = 0;
+  ropt.round_trip_us = 0;
+  run.outcome_signature =
+      Replay(*bundle->db, solution, bundle->trace, ropt, "partition_speed")
+          .OutcomeSignature();
+  return run;
+}
+
+struct BenchRow {
+  int threads = 0;
+  ModeRun legacy;
+  ModeRun columnar;
+};
+
+std::string ToJson(const std::vector<BenchRow>& rows, size_t txns, bool both,
+                   double flatten_seconds) {
+  std::string out = "{\n";
+  out += "  \"bench\": \"partition_speed\",\n";
+  out += "  \"workload\": \"TPC-C\",\n";
+  out += "  \"trace_txns\": " + std::to_string(txns) + ",\n";
+  out += "  \"hardware_concurrency\": " +
+         std::to_string(std::thread::hardware_concurrency()) + ",\n";
+  out += "  \"flatten_seconds\": " + FormatDouble(flatten_seconds, 6) + ",\n";
+  double max_partition_speedup = 0.0;
+  double max_evaluate_speedup = 0.0;
+  out += "  \"rows\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const BenchRow& r = rows[i];
+    out += "    {\"threads\": " + std::to_string(r.threads);
+    if (r.legacy.partition_seconds > 0.0) {
+      out += ", \"legacy_partition_seconds\": " +
+             FormatDouble(r.legacy.partition_seconds, 6) +
+             ", \"legacy_evaluate_seconds\": " +
+             FormatDouble(r.legacy.evaluate_seconds, 6);
+    }
+    if (r.columnar.partition_seconds > 0.0) {
+      out += ", \"columnar_partition_seconds\": " +
+             FormatDouble(r.columnar.partition_seconds, 6) +
+             ", \"columnar_evaluate_seconds\": " +
+             FormatDouble(r.columnar.evaluate_seconds, 6);
+    }
+    if (both) {
+      const double ps = r.legacy.partition_seconds / r.columnar.partition_seconds;
+      const double es = r.legacy.evaluate_seconds / r.columnar.evaluate_seconds;
+      max_partition_speedup = std::max(max_partition_speedup, ps);
+      max_evaluate_speedup = std::max(max_evaluate_speedup, es);
+      out += ", \"partition_speedup\": " + FormatDouble(ps, 3) +
+             ", \"evaluate_speedup\": " + FormatDouble(es, 3) +
+             ", \"identical\": true";
+    }
+    out += "}";
+    out += i + 1 < rows.size() ? ",\n" : "\n";
+  }
+  out += "  ]";
+  if (both) {
+    out += ",\n  \"max_partition_speedup\": " +
+           FormatDouble(max_partition_speedup, 3) +
+           ",\n  \"max_evaluate_speedup\": " + FormatDouble(max_evaluate_speedup, 3);
+  }
+  out += "\n}\n";
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  InitObs(argc, argv);
+  const std::string out_dir = OutDir(argc, argv);
+  const size_t txns = static_cast<size_t>(ArgInt(argc, argv, "--txns", 20000));
+
+  std::string mode = ArgValue(argc, argv, "--mode", "");
+  if (mode.empty()) {
+    const char* env = std::getenv("JECB_PARTITION_MODE");
+    mode = env != nullptr ? env : "both";
+  }
+  const bool run_legacy = mode == "both" || mode == "legacy";
+  const bool run_columnar = mode == "both" || mode == "columnar";
+  if (!run_legacy && !run_columnar) {
+    std::fprintf(stderr, "unknown --mode %s (both|legacy|columnar)\n", mode.c_str());
+    return 2;
+  }
+
+  PrintHeader("Columnar partitioning speed: FlatTrace + shared join-path resolver",
+              "the hot loop scans contiguous access arrays and resolves each "
+              "distinct tuple once per join path; the legacy row-oriented scan "
+              "is kept as the baseline and must agree bit for bit");
+  std::printf("hardware_concurrency: %u, txns: %zu, mode: %s\n\n",
+              std::thread::hardware_concurrency(), txns, mode.c_str());
+
+  TpccConfig cfg;
+  cfg.warehouses = 8;
+  cfg.districts_per_warehouse = 4;
+  cfg.customers_per_district = 10;
+  cfg.items = 50;
+  cfg.initial_orders_per_district = 3;
+  WorkloadBundle bundle = TpccWorkload(cfg).Make(txns, 5);
+
+  FlatTrace flat;
+  const double flatten_seconds =
+      WallSeconds([&] { flat = FlatTrace::FromTrace(bundle.trace); });
+
+  AsciiTable table({"threads", "legacy part (s)", "columnar part (s)", "speedup",
+                    "legacy eval (s)", "columnar eval (s)", "speedup"});
+  std::vector<BenchRow> rows;
+  for (int threads : {1, 2, 4, 8}) {
+    BenchRow row;
+    row.threads = threads;
+    if (run_legacy) row.legacy = RunMode(&bundle, flat, /*columnar=*/false, threads);
+    if (run_columnar) {
+      row.columnar = RunMode(&bundle, flat, /*columnar=*/true, threads);
+    }
+
+    if (run_legacy && run_columnar) {
+      const ModeRun& l = row.legacy;
+      const ModeRun& c = row.columnar;
+      if (l.tables != c.tables || l.train_cost != c.train_cost ||
+          l.evaluated_combinations != c.evaluated_combinations ||
+          !EvalEqual(l.eval, c.eval) ||
+          l.outcome_signature != c.outcome_signature) {
+        std::fprintf(stderr,
+                     "FATAL: columnar diverged from legacy at %d threads\n",
+                     threads);
+        return 1;
+      }
+    }
+
+    auto fmt = [](double s) { return s > 0.0 ? FormatDouble(s, 3) : std::string("-"); };
+    auto ratio = [&](double l, double c) {
+      return (l > 0.0 && c > 0.0) ? FormatDouble(l / c, 2) + "x" : std::string("-");
+    };
+    table.AddRow({std::to_string(threads), fmt(row.legacy.partition_seconds),
+                  fmt(row.columnar.partition_seconds),
+                  ratio(row.legacy.partition_seconds, row.columnar.partition_seconds),
+                  fmt(row.legacy.evaluate_seconds), fmt(row.columnar.evaluate_seconds),
+                  ratio(row.legacy.evaluate_seconds, row.columnar.evaluate_seconds)});
+    rows.push_back(std::move(row));
+  }
+  if (run_legacy && run_columnar) {
+    std::printf("solutions, EvalResults, and replay outcome signatures identical "
+                "across modes and thread counts\n");
+  }
+  std::printf("flatten: %s s (once per pipeline)\n%s\n",
+              FormatDouble(flatten_seconds, 4).c_str(), table.ToString().c_str());
+
+  WriteBenchJson(out_dir, "partition_speed",
+                 ToJson(rows, txns, run_legacy && run_columnar, flatten_seconds));
+  FinishObs(argc, argv);
+  return 0;
+}

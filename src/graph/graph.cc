@@ -4,32 +4,54 @@
 
 namespace jecb {
 
+namespace {
+
+// First coalesce happens once the buffer could hold a few thousand
+// duplicates; below this, one final sort in Build() is cheaper.
+constexpr size_t kMinCoalesceThreshold = 1 << 14;
+
+}  // namespace
+
 GraphBuilder::GraphBuilder(size_t num_nodes, uint64_t default_node_weight)
-    : node_weight_(num_nodes, default_node_weight) {}
+    : node_weight_(num_nodes, default_node_weight),
+      coalesce_threshold_(kMinCoalesceThreshold) {}
 
 void GraphBuilder::AddEdge(NodeId a, NodeId b, uint64_t weight) {
   if (a == b) return;
   if (b < a) std::swap(a, b);
   edges_.push_back({a, b, weight});
+  if (edges_.size() >= coalesce_threshold_) {
+    Coalesce();
+    // A stream with few duplicates shrinks little; doubling relative to the
+    // surviving size keeps the amortized sort cost linear either way.
+    coalesce_threshold_ = std::max(kMinCoalesceThreshold, edges_.size() * 2);
+  }
+}
+
+void GraphBuilder::Coalesce() {
+  std::sort(edges_.begin(), edges_.end(), [](const RawEdge& x, const RawEdge& y) {
+    return x.a != y.a ? x.a < y.a : x.b < y.b;
+  });
+  size_t out = 0;
+  for (size_t i = 0; i < edges_.size(); ++i) {
+    if (out > 0 && edges_[out - 1].a == edges_[i].a &&
+        edges_[out - 1].b == edges_[i].b) {
+      edges_[out - 1].w += edges_[i].w;
+    } else {
+      edges_[out++] = edges_[i];
+    }
+  }
+  edges_.resize(out);
 }
 
 Graph GraphBuilder::Build() {
   // Merge duplicate (a, b) pairs by sorting; then expand into both
-  // directions for CSR adjacency.
-  std::sort(edges_.begin(), edges_.end(), [](const RawEdge& x, const RawEdge& y) {
-    return x.a != y.a ? x.a < y.a : x.b < y.b;
-  });
-  std::vector<RawEdge> merged;
-  merged.reserve(edges_.size());
-  for (const RawEdge& e : edges_) {
-    if (!merged.empty() && merged.back().a == e.a && merged.back().b == e.b) {
-      merged.back().w += e.w;
-    } else {
-      merged.push_back(e);
-    }
-  }
-  edges_.clear();
-  edges_.shrink_to_fit();
+  // directions for CSR adjacency. Incremental coalescing keeps relative
+  // order of distinct pairs irrelevant (weights just sum), so the result
+  // never depends on when merges happened.
+  Coalesce();
+  std::vector<RawEdge> merged = std::move(edges_);
+  edges_ = {};
 
   Graph g;
   g.node_weight_ = std::move(node_weight_);

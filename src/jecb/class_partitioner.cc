@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <climits>
+#include <functional>
 #include <optional>
 #include <unordered_map>
 
@@ -12,7 +13,10 @@ namespace jecb {
 
 namespace {
 
-/// Memoizes join-path evaluations per covered table while scanning a trace.
+/// Legacy row-oriented tree evaluator: memoizes join-path evaluations per
+/// covered table while scanning a Trace. One instance lives per metric pass
+/// (nothing is shared across trees) — this is exactly the pre-columnar scan
+/// the `columnar` toggle benchmarks against.
 class TreeEvaluator {
  public:
   TreeEvaluator(const Database& db, const JoinTree& tree) : db_(db), tree_(tree) {}
@@ -34,6 +38,13 @@ class TreeEvaluator {
     return true;
   }
 
+  bool Touches(const Transaction& txn) const {
+    for (const Access& a : txn.accesses) {
+      if (tree_.paths.count(a.tuple.table) > 0) return true;
+    }
+    return false;
+  }
+
  private:
   const Value* Lookup(const JoinPath& path, TupleId tuple) {
     auto& cache = cache_[tuple.table];
@@ -48,6 +59,215 @@ class TreeEvaluator {
   const Database& db_;
   const JoinTree& tree_;
   std::unordered_map<TableId, std::unordered_map<RowId, std::optional<Value>>> cache_;
+};
+
+/// Columnar tree evaluator: scans SoA accesses of a FlatTrace and resolves
+/// root values through the class's shared JoinPathResolver. Construction
+/// binds each covered table to its shared path cache once, so the per-access
+/// hot path is an array index plus a flat-table probe.
+class FlatTreeEvaluator {
+ public:
+  FlatTreeEvaluator(const Database& db, const FlatTrace& flat, const JoinTree& tree,
+                    JoinPathResolver* resolver)
+      : flat_(flat), per_table_(db.schema().num_tables(), nullptr) {
+    for (const auto& [table, path] : tree.paths) {
+      per_table_[table] = resolver->Cache(path);
+    }
+  }
+
+  bool Touches(uint32_t txn) const {
+    for (const PackedAccess a : flat_.accesses(txn)) {
+      if (per_table_[flat_.tuple(a.tuple_index()).table] != nullptr) return true;
+    }
+    return false;
+  }
+
+  /// Same contract (and the same access order) as TreeEvaluator::Collect.
+  bool Collect(uint32_t txn, size_t max_values, std::vector<Value>* out) {
+    out->clear();
+    for (const PackedAccess a : flat_.accesses(txn)) {
+      const TupleId tuple = flat_.tuple(a.tuple_index());
+      JoinPathResolver::PathCache* cache = per_table_[tuple.table];
+      if (cache == nullptr) continue;
+      const Value* v = cache->Resolve(tuple.row);
+      if (v == nullptr) return false;
+      if (std::find(out->begin(), out->end(), *v) == out->end()) {
+        out->push_back(*v);
+        if (out->size() > max_values) return true;  // caller treats as violation
+      }
+    }
+    return true;
+  }
+
+ private:
+  const FlatTrace& flat_;
+  std::vector<JoinPathResolver::PathCache*> per_table_;
+};
+
+}  // namespace
+
+/// The trace-scanning operations Phase 2 needs, factored out so SolveGraph /
+/// StatsFallback run unchanged over either data layout. Costing several
+/// mappings shares one root-value resolution pass (the mappings only differ
+/// after resolution), which is what keeps StatsFallback from rebuilding the
+/// cache once per mapping.
+class ClassScan {
+ public:
+  virtual ~ClassScan() = default;
+
+  virtual bool TrainEmpty() const = 0;
+
+  /// Definition-7 fit of `tree` over the training part.
+  virtual TreeFit MeasureFit(const JoinTree& tree) const = 0;
+
+  /// Calls `fn` once per training transaction whose covered accesses all
+  /// resolve to a non-empty set of at most `max_values` distinct root
+  /// values (the statistics-fallback gathering pass).
+  virtual void ForEachTrainValueSet(
+      const JoinTree& tree, size_t max_values,
+      const std::function<void(const std::vector<Value>&)>& fn) const = 0;
+
+  /// Distributed fraction of each mapping over the validation part (holdout
+  /// when non-empty, train otherwise), resolving each transaction's root
+  /// values once and reusing them for every mapping.
+  virtual std::vector<double> CostMappings(
+      const JoinTree& tree, size_t max_values,
+      const std::vector<const MappingFunction*>& mappings) const = 0;
+};
+
+namespace {
+
+/// Shared mapping-costing arithmetic: the per-transaction loop body after
+/// the root values have been collected. Mirrors the legacy TreeCost exactly.
+void CostCollected(const std::vector<Value>& values,
+                   const std::vector<const MappingFunction*>& mappings,
+                   std::vector<uint64_t>* distributed) {
+  for (size_t m = 0; m < mappings.size(); ++m) {
+    int32_t part = kUnknownPartition;
+    bool multi = false;
+    for (const Value& v : values) {
+      int32_t p = mappings[m]->Map(v);
+      if (part == kUnknownPartition) {
+        part = p;
+      } else if (p != part) {
+        multi = true;
+        break;
+      }
+    }
+    if (multi) ++(*distributed)[m];
+  }
+}
+
+std::vector<double> FinishCosts(uint64_t total,
+                                const std::vector<uint64_t>& distributed) {
+  std::vector<double> costs(distributed.size(), 0.0);
+  for (size_t m = 0; m < distributed.size(); ++m) {
+    costs[m] = total == 0 ? 0.0
+                          : static_cast<double>(distributed[m]) /
+                                static_cast<double>(total);
+  }
+  return costs;
+}
+
+class LegacyScan : public ClassScan {
+ public:
+  LegacyScan(const Database& db, const Trace& train, const Trace& holdout)
+      : db_(db), train_(train), holdout_(holdout) {}
+
+  bool TrainEmpty() const override { return train_.empty(); }
+
+  TreeFit MeasureFit(const JoinTree& tree) const override {
+    return MeasureTreeFit(db_, tree, train_);
+  }
+
+  void ForEachTrainValueSet(
+      const JoinTree& tree, size_t max_values,
+      const std::function<void(const std::vector<Value>&)>& fn) const override {
+    TreeEvaluator eval(db_, tree);
+    std::vector<Value> values;
+    for (const Transaction& txn : train_.transactions()) {
+      if (!eval.Collect(txn, max_values, &values)) continue;
+      if (values.empty() || values.size() > max_values) continue;
+      fn(values);
+    }
+  }
+
+  std::vector<double> CostMappings(
+      const JoinTree& tree, size_t max_values,
+      const std::vector<const MappingFunction*>& mappings) const override {
+    const Trace& validation = holdout_.empty() ? train_ : holdout_;
+    TreeEvaluator eval(db_, tree);
+    std::vector<Value> values;
+    uint64_t total = 0;
+    std::vector<uint64_t> distributed(mappings.size(), 0);
+    for (const Transaction& txn : validation.transactions()) {
+      if (!eval.Touches(txn)) continue;
+      ++total;
+      if (!eval.Collect(txn, max_values, &values) || values.size() > max_values) {
+        for (uint64_t& d : distributed) ++d;
+        continue;
+      }
+      CostCollected(values, mappings, &distributed);
+    }
+    return FinishCosts(total, distributed);
+  }
+
+ private:
+  const Database& db_;
+  const Trace& train_;
+  const Trace& holdout_;
+};
+
+class FlatScan : public ClassScan {
+ public:
+  FlatScan(const Database& db, TraceView train, TraceView holdout,
+           JoinPathResolver* resolver)
+      : db_(db), train_(train), holdout_(holdout), resolver_(resolver) {}
+
+  bool TrainEmpty() const override { return train_.empty(); }
+
+  TreeFit MeasureFit(const JoinTree& tree) const override {
+    return MeasureTreeFit(db_, tree, train_, resolver_);
+  }
+
+  void ForEachTrainValueSet(
+      const JoinTree& tree, size_t max_values,
+      const std::function<void(const std::vector<Value>&)>& fn) const override {
+    FlatTreeEvaluator eval(db_, train_.trace(), tree, resolver_);
+    std::vector<Value> values;
+    for (size_t i = 0; i < train_.size(); ++i) {
+      if (!eval.Collect(train_.txn(i), max_values, &values)) continue;
+      if (values.empty() || values.size() > max_values) continue;
+      fn(values);
+    }
+  }
+
+  std::vector<double> CostMappings(
+      const JoinTree& tree, size_t max_values,
+      const std::vector<const MappingFunction*>& mappings) const override {
+    const TraceView& validation = holdout_.empty() ? train_ : holdout_;
+    FlatTreeEvaluator eval(db_, validation.trace(), tree, resolver_);
+    std::vector<Value> values;
+    uint64_t total = 0;
+    std::vector<uint64_t> distributed(mappings.size(), 0);
+    for (size_t i = 0; i < validation.size(); ++i) {
+      const uint32_t txn = validation.txn(i);
+      if (!eval.Touches(txn)) continue;
+      ++total;
+      if (!eval.Collect(txn, max_values, &values) || values.size() > max_values) {
+        for (uint64_t& d : distributed) ++d;
+        continue;
+      }
+      CostCollected(values, mappings, &distributed);
+    }
+    return FinishCosts(total, distributed);
+  }
+
+ private:
+  const Database& db_;
+  TraceView train_;
+  TraceView holdout_;
+  JoinPathResolver* resolver_;
 };
 
 }  // namespace
@@ -69,14 +289,21 @@ TreeFit MeasureTreeFit(const Database& db, const JoinTree& tree, const Trace& tr
   TreeEvaluator eval(db, tree);
   std::vector<Value> values;
   for (const Transaction& txn : trace.transactions()) {
-    bool touches = false;
-    for (const Access& a : txn.accesses) {
-      if (tree.paths.count(a.tuple.table) > 0) {
-        touches = true;
-        break;
-      }
-    }
-    if (!touches) continue;
+    if (!eval.Touches(txn)) continue;
+    ++fit.txns;
+    if (!eval.Collect(txn, 1, &values) || values.size() > 1) ++fit.violations;
+  }
+  return fit;
+}
+
+TreeFit MeasureTreeFit(const Database& db, const JoinTree& tree,
+                       const TraceView& view, JoinPathResolver* resolver) {
+  TreeFit fit;
+  FlatTreeEvaluator eval(db, view.trace(), tree, resolver);
+  std::vector<Value> values;
+  for (size_t i = 0; i < view.size(); ++i) {
+    const uint32_t txn = view.txn(i);
+    if (!eval.Touches(txn)) continue;
     ++fit.txns;
     if (!eval.Collect(txn, 1, &values) || values.size() > 1) ++fit.violations;
   }
@@ -96,68 +323,27 @@ bool IsCoarserTree(const AttributeLattice& lattice, const JoinTree& a,
   return any_longer && lattice.Equivalent(a.root, b.root);
 }
 
-double ClassPartitioner::TreeCost(const JoinTree& tree, const MappingFunction& mapping,
-                                  const Trace& trace) const {
-  TreeEvaluator eval(*db_, tree);
-  std::vector<Value> values;
-  uint64_t total = 0;
-  uint64_t distributed = 0;
-  for (const Transaction& txn : trace.transactions()) {
-    bool touches = false;
-    for (const Access& a : txn.accesses) {
-      if (tree.paths.count(a.tuple.table) > 0) {
-        touches = true;
-        break;
-      }
-    }
-    if (!touches) continue;
-    ++total;
-    if (!eval.Collect(txn, options_.max_values_per_txn, &values) ||
-        values.size() > options_.max_values_per_txn) {
-      ++distributed;
-      continue;
-    }
-    int32_t part = kUnknownPartition;
-    bool multi = false;
-    for (const Value& v : values) {
-      int32_t p = mapping.Map(v);
-      if (part == kUnknownPartition) {
-        part = p;
-      } else if (p != part) {
-        multi = true;
-        break;
-      }
-    }
-    if (multi) ++distributed;
-  }
-  return total == 0 ? 0.0 : static_cast<double>(distributed) / static_cast<double>(total);
-}
-
 Result<ClassSolution> ClassPartitioner::StatsFallback(const JoinTree& tree,
-                                                      const Trace& train,
-                                                      const Trace& holdout) const {
-  // Gather per-transaction root value sets.
-  TreeEvaluator eval(*db_, tree);
+                                                      const ClassScan& scan) const {
+  // Gather per-transaction root value sets (one shared resolution pass).
   std::vector<std::vector<Value>> txn_values;
   std::unordered_map<Value, NodeId, ValueHashFunctor> node_of;
   std::vector<Value> node_values;
   int64_t min_int = INT64_MAX;
   int64_t max_int = INT64_MIN;
-  std::vector<Value> values;
-  for (const Transaction& txn : train.transactions()) {
-    if (!eval.Collect(txn, options_.max_values_per_txn, &values)) continue;
-    if (values.empty() || values.size() > options_.max_values_per_txn) continue;
-    for (const Value& v : values) {
-      if (node_of.emplace(v, static_cast<NodeId>(node_values.size())).second) {
-        node_values.push_back(v);
-      }
-      if (v.is_int()) {
-        min_int = std::min(min_int, v.AsInt());
-        max_int = std::max(max_int, v.AsInt());
-      }
-    }
-    txn_values.push_back(values);
-  }
+  scan.ForEachTrainValueSet(
+      tree, options_.max_values_per_txn, [&](const std::vector<Value>& values) {
+        for (const Value& v : values) {
+          if (node_of.emplace(v, static_cast<NodeId>(node_values.size())).second) {
+            node_values.push_back(v);
+          }
+          if (v.is_int()) {
+            min_int = std::min(min_int, v.AsInt());
+            max_int = std::max(max_int, v.AsInt());
+          }
+        }
+        txn_values.push_back(values);
+      });
   if (node_values.empty()) {
     return Status::NotFound("no root values observed for statistics fallback");
   }
@@ -188,10 +374,15 @@ Result<ClassSolution> ClassPartitioner::StatsFallback(const JoinTree& tree,
                              min_int == INT64_MAX ? 0 : min_int,
                              max_int == INT64_MIN ? 1 : max_int);
 
-  const Trace& validation = holdout.empty() ? train : holdout;
-  double lookup_cost = TreeCost(tree, *lookup_mapping, validation);
-  double hash_cost = TreeCost(tree, hash_mapping, validation);
-  double range_cost = TreeCost(tree, range_mapping, validation);
+  // One validation pass costs all three mapping candidates: the root-value
+  // resolution is mapping-independent, so lookup/hash/range share it
+  // instead of each rebuilding the cache from scratch.
+  const std::vector<double> costs =
+      scan.CostMappings(tree, options_.max_values_per_txn,
+                        {lookup_mapping.get(), &hash_mapping, &range_mapping});
+  const double lookup_cost = costs[0];
+  const double hash_cost = costs[1];
+  const double range_cost = costs[2];
 
   ClassSolution sol;
   sol.tree = tree;
@@ -216,8 +407,7 @@ Result<ClassSolution> ClassPartitioner::StatsFallback(const JoinTree& tree,
 }
 
 std::vector<ClassSolution> ClassPartitioner::SolveGraph(const JoinGraph& graph,
-                                                        const Trace& train,
-                                                        const Trace& holdout,
+                                                        const ClassScan& scan,
                                                         bool as_total, int depth) const {
   std::vector<ClassSolution> out;
   if (graph.partitioned_tables.empty()) return out;
@@ -230,7 +420,7 @@ std::vector<ClassSolution> ClassPartitioner::SolveGraph(const JoinGraph& graph,
     std::vector<JoinGraph> parts = SplitGraph(schema(), graph);
     if (parts.size() <= 1) return out;
     for (const JoinGraph& part : parts) {
-      auto partial = SolveGraph(part, train, holdout, /*as_total=*/false, depth + 1);
+      auto partial = SolveGraph(part, scan, /*as_total=*/false, depth + 1);
       for (auto& s : partial) out.push_back(std::move(s));
     }
     return out;
@@ -247,7 +437,7 @@ std::vector<ClassSolution> ClassPartitioner::SolveGraph(const JoinGraph& graph,
     auto trees = EnumerateTrees(schema(), graph, *lattice_, root,
                                 graph.partitioned_tables, options_.tree_enum);
     for (auto& tree : trees) {
-      TreeFit fit = MeasureTreeFit(*db_, tree, train);
+      TreeFit fit = scan.MeasureFit(tree);
       double viol = fit.violation_fraction();
       if (fit.txns == 0) continue;
       if (fit.violations == 0) {
@@ -299,7 +489,7 @@ std::vector<ClassSolution> ClassPartitioner::SolveGraph(const JoinGraph& graph,
     for (const Scored& scored : all_trees) {
       std::string key = schema().QualifiedName(scored.tree.root);
       if (!tried_roots.insert(key).second) continue;
-      Result<ClassSolution> sol = StatsFallback(scored.tree, train, holdout);
+      Result<ClassSolution> sol = StatsFallback(scored.tree, scan);
       if (sol.ok()) {
         ClassSolution s = std::move(sol).value();
         s.total = as_total;
@@ -310,22 +500,18 @@ std::vector<ClassSolution> ClassPartitioner::SolveGraph(const JoinGraph& graph,
   return out;
 }
 
-ClassPartitioningResult ClassPartitioner::Partition(const JoinGraph& graph,
-                                                    const Trace& class_trace,
-                                                    const std::string& name,
-                                                    uint32_t class_id,
-                                                    double mix_fraction) const {
+ClassPartitioningResult ClassPartitioner::PartitionWithScan(
+    const JoinGraph& graph, const ClassScan& scan, const std::string& name,
+    uint32_t class_id, double mix_fraction) const {
   ClassPartitioningResult result;
   result.class_name = name;
   result.class_id = class_id;
   result.mix_fraction = mix_fraction;
   result.read_only = graph.partitioned_tables.empty();
 
-  auto [train, holdout] = class_trace.SplitTrainTest(options_.holdout_fraction);
-  if (train.empty()) return result;
+  if (scan.TrainEmpty()) return result;
 
-  result.total_solutions =
-      SolveGraph(graph, train, holdout, /*as_total=*/true, /*depth=*/0);
+  result.total_solutions = SolveGraph(graph, scan, /*as_total=*/true, /*depth=*/0);
 
   // Some of the "total" solutions may actually be partial (Case-2 splits
   // mark as_total=false and land here with total == false).
@@ -364,7 +550,7 @@ ClassPartitioningResult ClassPartitioner::Partition(const JoinGraph& graph,
       auto trees = EnumerateTrees(schema(), graph, *lattice_, c, cover,
                                   options_.tree_enum);
       for (auto& tree : trees) {
-        TreeFit fit = MeasureTreeFit(*db_, tree, train);
+        TreeFit fit = scan.MeasureFit(tree);
         if (fit.txns == 0 || fit.violations != 0) continue;
         ClassSolution sol;
         sol.tree = std::move(tree);
@@ -388,6 +574,27 @@ ClassPartitioningResult ClassPartitioner::Partition(const JoinGraph& graph,
     }
   }
   return result;
+}
+
+ClassPartitioningResult ClassPartitioner::Partition(const JoinGraph& graph,
+                                                    const Trace& class_trace,
+                                                    const std::string& name,
+                                                    uint32_t class_id,
+                                                    double mix_fraction) const {
+  auto [train, holdout] = class_trace.SplitTrainTest(options_.holdout_fraction);
+  LegacyScan scan(*db_, train, holdout);
+  return PartitionWithScan(graph, scan, name, class_id, mix_fraction);
+}
+
+ClassPartitioningResult ClassPartitioner::Partition(const JoinGraph& graph,
+                                                    const TraceView& class_view,
+                                                    JoinPathResolver* resolver,
+                                                    const std::string& name,
+                                                    uint32_t class_id,
+                                                    double mix_fraction) const {
+  auto [train, holdout] = class_view.SplitTrainTest(options_.holdout_fraction);
+  FlatScan scan(*db_, train, holdout, resolver);
+  return PartitionWithScan(graph, scan, name, class_id, mix_fraction);
 }
 
 }  // namespace jecb

@@ -20,9 +20,15 @@
 #include "jecb/join_graph.h"
 #include "jecb/tree_enum.h"
 #include "jecb/types.h"
+#include "partition/join_path_resolver.h"
+#include "trace/flat_trace.h"
 #include "trace/trace.h"
 
 namespace jecb {
+
+/// Internal trace-scan backend for one class (defined in the .cc): either
+/// the legacy row-oriented scan or the columnar view + shared-resolver scan.
+class ClassScan;
 
 struct ClassPartitionerOptions {
   int32_t num_partitions = 8;
@@ -55,6 +61,12 @@ struct TreeFit {
 /// tables the tree covers.
 TreeFit MeasureTreeFit(const Database& db, const JoinTree& tree, const Trace& trace);
 
+/// Columnar variant over a zero-copy view; `resolver` memoizes every
+/// join-path resolution so repeated calls (other trees, other metrics) never
+/// re-extend a tuple already seen. Bit-identical to the Trace overload.
+TreeFit MeasureTreeFit(const Database& db, const JoinTree& tree,
+                       const TraceView& view, JoinPathResolver* resolver);
+
 /// True when `a` is coarser than `b` (Definition 9): same per-table hop
 /// prefixes and a root that is coarser (or an equal-granularity root reached
 /// through strictly longer paths).
@@ -67,26 +79,39 @@ class ClassPartitioner {
                    ClassPartitionerOptions options)
       : db_(db), lattice_(lattice), options_(std::move(options)) {}
 
-  /// Runs Phase 2 for one class. `class_trace` must contain only this
-  /// class's transactions.
+  /// Runs Phase 2 for one class over the legacy row-oriented trace.
+  /// `class_trace` must contain only this class's transactions.
   ClassPartitioningResult Partition(const JoinGraph& graph, const Trace& class_trace,
                                     const std::string& name, uint32_t class_id,
                                     double mix_fraction) const;
 
+  /// Columnar Phase 2: the same search over a zero-copy view of the shared
+  /// FlatTrace. `resolver` carries the class's join-path resolution cache
+  /// across every enumerated tree and every metric (fit measuring, mapping
+  /// costing, statistics fallback), so each distinct tuple is join-extended
+  /// once per distinct path instead of once per tree per metric. Results are
+  /// bit-identical to the Trace overload.
+  ClassPartitioningResult Partition(const JoinGraph& graph, const TraceView& class_view,
+                                    JoinPathResolver* resolver,
+                                    const std::string& name, uint32_t class_id,
+                                    double mix_fraction) const;
+
  private:
+  /// Shared Phase-2 body over either scan backend.
+  ClassPartitioningResult PartitionWithScan(const JoinGraph& graph,
+                                            const ClassScan& scan,
+                                            const std::string& name,
+                                            uint32_t class_id,
+                                            double mix_fraction) const;
+
   /// Solutions over a (sub)graph; `cover` lists the partitioned tables a
   /// solution must span to count as total for this (sub)graph.
-  std::vector<ClassSolution> SolveGraph(const JoinGraph& graph, const Trace& train,
-                                        const Trace& holdout, bool as_total,
-                                        int depth) const;
+  std::vector<ClassSolution> SolveGraph(const JoinGraph& graph, const ClassScan& scan,
+                                        bool as_total, int depth) const;
 
   /// Tier 3: statistics fallback for one tree.
-  Result<ClassSolution> StatsFallback(const JoinTree& tree, const Trace& train,
-                                      const Trace& holdout) const;
-
-  /// Cost of (tree, mapping) on `trace`, counting only covered tables.
-  double TreeCost(const JoinTree& tree, const MappingFunction& mapping,
-                  const Trace& trace) const;
+  Result<ClassSolution> StatsFallback(const JoinTree& tree,
+                                      const ClassScan& scan) const;
 
   const Schema& schema() const { return db_->schema(); }
 

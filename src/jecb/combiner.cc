@@ -34,7 +34,7 @@ bool CandidateCoarser(const AttributeLattice& lattice, const TableSolutionCandid
 
 Result<DatabaseSolution> Combiner::Combine(
     const std::vector<ClassPartitioningResult>& classes, const Trace& train,
-    CombinerReport* report, ThreadPool* pool) const {
+    CombinerReport* report, ThreadPool* pool, const FlatTrace* flat) const {
   CombinerReport local_report;
   CombinerReport& rep = report != nullptr ? *report : local_report;
 
@@ -119,7 +119,8 @@ Result<DatabaseSolution> Combiner::Combine(
       solution.Set(static_cast<TableId>(t), replicated);
     }
     rep.chosen_attr = "(none: full replication)";
-    EvalResult ev = Evaluate(*db_, solution, train, pool);
+    EvalResult ev = flat != nullptr ? Evaluate(*db_, solution, *flat, pool)
+                                    : Evaluate(*db_, solution, train, pool);
     rep.best_train_cost = cost_model.Cost(ev);
     return solution;
   }
@@ -244,7 +245,8 @@ Result<DatabaseSolution> Combiner::Combine(
         pool, combos.size(),
         [&](size_t i) {
           DatabaseSolution solution = build(combos[i]);
-          EvalResult ev = Evaluate(*db_, solution, train);
+          EvalResult ev = flat != nullptr ? Evaluate(*db_, solution, *flat)
+                                          : Evaluate(*db_, solution, train);
           costs[i] = cost_model.Cost(ev);
         },
         "combiner.score");

@@ -50,9 +50,14 @@ class Combiner {
   /// are scored concurrently (one serial Evaluate per combination) and
   /// reduced in enumeration order, so the chosen solution, cost, and
   /// report counters are bit-identical to the serial path.
+  ///
+  /// When `flat` is non-null it must be the columnar image of `train`;
+  /// combination scoring then uses the resolve-once columnar evaluator
+  /// (identical EvalResults, so the chosen solution does not change).
   Result<DatabaseSolution> Combine(const std::vector<ClassPartitioningResult>& classes,
                                    const Trace& train, CombinerReport* report,
-                                   ThreadPool* pool = nullptr) const;
+                                   ThreadPool* pool = nullptr,
+                                   const FlatTrace* flat = nullptr) const;
 
  private:
   const Schema& schema() const { return db_->schema(); }

@@ -26,6 +26,12 @@ struct JecbOptions {
   /// legacy single-threaded path (no pool is created). Results are
   /// bit-identical at every thread count.
   int32_t num_threads = 0;
+  /// Use the columnar pipeline: the training trace is flattened once into a
+  /// FlatTrace, Phase 2 scans zero-copy per-class views with a shared
+  /// join-path resolution cache per class, and Phase 3 scores combinations
+  /// with the resolve-once evaluator. Results are bit-identical to the
+  /// row-oriented path (false), which is kept for comparison benchmarks.
+  bool columnar = true;
   ClassifyOptions classify;
   JoinGraphOptions join_graph;
   ClassPartitionerOptions class_partitioner;

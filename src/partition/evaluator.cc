@@ -35,15 +35,21 @@ void EvalResult::Merge(const EvalResult& other) {
   merge_vec(&partition_load, other.partition_load);
 }
 
-bool IsDistributed(const Database& db, const DatabaseSolution& solution,
-                   const Transaction& txn, std::vector<int32_t>* touched) {
+namespace {
+
+/// Spill-aware IsDistributed core. `spill` is caller-provided scratch for
+/// the rare >8-distinct-partition tail (naive-hash solutions at high k) so
+/// the per-transaction hot path never constructs a heap vector: the
+/// evaluator loops thread one buffer through every call of a range.
+bool IsDistributedImpl(const Database& db, const DatabaseSolution& solution,
+                       const Transaction& txn, std::vector<int32_t>* touched,
+                       std::vector<int32_t>& spill) {
   // Small inline buffer of distinct partitions; nearly every transaction
-  // touches few partitions. Beyond 8 distinct partitions (naive-hash
-  // solutions at high k) the tail spills to a heap vector so `touched`
-  // stays complete and load/participation counts stay exact.
+  // touches few partitions. Beyond 8 distinct partitions the tail spills to
+  // `spill` so `touched` stays complete and load counts stay exact.
   int32_t parts[8];
   size_t nparts = 0;
-  std::vector<int32_t> spill;
+  spill.clear();
   bool writes_replicated = false;
   auto seen = [&](int32_t p) {
     for (size_t i = 0; i < nparts; ++i) {
@@ -71,6 +77,14 @@ bool IsDistributed(const Database& db, const DatabaseSolution& solution,
   return writes_replicated || nparts + spill.size() > 1;
 }
 
+}  // namespace
+
+bool IsDistributed(const Database& db, const DatabaseSolution& solution,
+                   const Transaction& txn, std::vector<int32_t>* touched) {
+  std::vector<int32_t> spill;
+  return IsDistributedImpl(db, solution, txn, touched, spill);
+}
+
 namespace {
 
 /// Serial evaluation of the half-open transaction range [begin, end).
@@ -83,9 +97,10 @@ EvalResult EvaluateRange(const Database& db, const DatabaseSolution& solution,
 
   const std::vector<Transaction>& txns = trace.transactions();
   std::vector<int32_t> touched;
+  std::vector<int32_t> spill;  // shared scratch for the rare >8-partition tail
   for (size_t i = begin; i < end; ++i) {
     const Transaction& txn = txns[i];
-    bool dist = IsDistributed(db, solution, txn, &touched);
+    bool dist = IsDistributedImpl(db, solution, txn, &touched, spill);
     ++out.total_txns;
     ++out.class_total[txn.class_id];
     if (dist) {
@@ -117,6 +132,145 @@ double CoordinationExposure(const EvalResult& result,
   // P(at least one participant faults) for the average distributed txn.
   const double per_txn = 1.0 - std::pow(1.0 - rate, avg_participants);
   return result.cost() * per_txn;
+}
+
+namespace {
+
+/// Resolve-once pass: PartitionOf for every tuple of the dictionary, into a
+/// flat array indexed by PackedAccess::tuple_index(). Each slot is written
+/// by exactly one chunk and the value is a pure function of the tuple, so
+/// the array's contents never depend on thread count.
+std::vector<int32_t> ResolvePartitions(const Database& db,
+                                       const DatabaseSolution& solution,
+                                       const FlatTrace& trace, ThreadPool* pool) {
+  const size_t n = trace.num_tuples();
+  std::vector<int32_t> part(n);
+  auto resolve_range = [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      part[i] = solution.PartitionOf(db, trace.tuple(static_cast<uint32_t>(i)));
+    }
+  };
+  if (pool == nullptr || pool->num_threads() <= 1 || n < 2) {
+    resolve_range(0, n);
+    return part;
+  }
+  const size_t num_chunks =
+      std::min(n, static_cast<size_t>(pool->num_threads()) * 4);
+  const size_t chunk_size = (n + num_chunks - 1) / num_chunks;
+  ParallelFor(
+      pool, num_chunks,
+      [&](size_t c) {
+        size_t begin = c * chunk_size;
+        resolve_range(begin, std::min(n, begin + chunk_size));
+      },
+      "eval.resolve");
+  return part;
+}
+
+/// Branch-light SoA scan of the view's half-open position range [begin,
+/// end): same per-transaction accounting as EvaluateRange, reading partition
+/// ids out of the materialized `part` array instead of re-resolving.
+EvalResult EvaluateFlatRange(const TraceView& view,
+                             const std::vector<int32_t>& part,
+                             size_t num_classes, int32_t num_partitions,
+                             size_t begin, size_t end) {
+  EvalResult out;
+  out.class_total.assign(num_classes, 0);
+  out.class_distributed.assign(num_classes, 0);
+  out.partition_load.assign(std::max(num_partitions, 1), 0);
+
+  const FlatTrace& trace = view.trace();
+  int32_t parts[8];
+  std::vector<int32_t> spill;  // rare >8-distinct-partition tail
+  for (size_t i = begin; i < end; ++i) {
+    const uint32_t txn = view.txn(i);
+    size_t nparts = 0;
+    spill.clear();
+    bool writes_replicated = false;
+    for (const PackedAccess a : trace.accesses(txn)) {
+      const int32_t p = part[a.tuple_index()];
+      if (p == kReplicated) {
+        if (a.write()) writes_replicated = true;
+        continue;
+      }
+      bool seen = false;
+      for (size_t j = 0; j < nparts; ++j) {
+        if (parts[j] == p) {
+          seen = true;
+          break;
+        }
+      }
+      if (seen || std::find(spill.begin(), spill.end(), p) != spill.end()) {
+        continue;
+      }
+      if (nparts < std::size(parts)) {
+        parts[nparts++] = p;
+      } else {
+        spill.push_back(p);
+      }
+    }
+    const size_t distinct = nparts + spill.size();
+    const bool dist = writes_replicated || distinct > 1;
+    const uint32_t cls = trace.class_of(txn);
+    ++out.total_txns;
+    ++out.class_total[cls];
+    if (dist) {
+      ++out.distributed_txns;
+      ++out.class_distributed[cls];
+      out.partitions_touched += distinct;
+    }
+    auto count_load = [&](int32_t p) {
+      if (p >= 0 && p < static_cast<int32_t>(out.partition_load.size())) {
+        ++out.partition_load[p];
+      }
+    };
+    for (size_t j = 0; j < nparts; ++j) count_load(parts[j]);
+    for (int32_t p : spill) count_load(p);
+  }
+  return out;
+}
+
+}  // namespace
+
+EvalResult Evaluate(const Database& db, const DatabaseSolution& solution,
+                    const TraceView& view, ThreadPool* pool) {
+  const size_t n = view.size();
+  JECB_SPAN1("eval", "evaluate.flat", "txns", static_cast<int64_t>(n));
+  const std::vector<int32_t> part =
+      ResolvePartitions(db, solution, view.trace(), pool);
+  const size_t num_classes = view.trace().num_classes();
+  if (pool == nullptr || pool->num_threads() <= 1 || n < 2) {
+    return EvaluateFlatRange(view, part, num_classes, solution.num_partitions(),
+                             0, n);
+  }
+
+  // Chunked exactly like the Trace overload: same chunk count, same
+  // contiguous ranges, merged in chunk-index order.
+  const size_t num_chunks =
+      std::min(n, static_cast<size_t>(pool->num_threads()) * 4);
+  const size_t chunk_size = (n + num_chunks - 1) / num_chunks;
+  std::vector<EvalResult> partial(num_chunks);
+  ParallelFor(
+      pool, num_chunks,
+      [&](size_t c) {
+        size_t begin = c * chunk_size;
+        size_t end = std::min(n, begin + chunk_size);
+        partial[c] = EvaluateFlatRange(view, part, num_classes,
+                                       solution.num_partitions(), begin, end);
+      },
+      "eval.chunks");
+
+  EvalResult out;
+  out.class_total.assign(num_classes, 0);
+  out.class_distributed.assign(num_classes, 0);
+  out.partition_load.assign(std::max(solution.num_partitions(), 1), 0);
+  for (const EvalResult& p : partial) out.Merge(p);
+  return out;
+}
+
+EvalResult Evaluate(const Database& db, const DatabaseSolution& solution,
+                    const FlatTrace& trace, ThreadPool* pool) {
+  return Evaluate(db, solution, TraceView(&trace), pool);
 }
 
 EvalResult Evaluate(const Database& db, const DatabaseSolution& solution,

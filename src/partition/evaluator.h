@@ -11,6 +11,7 @@
 
 #include "common/thread_pool.h"
 #include "partition/solution.h"
+#include "trace/flat_trace.h"
 #include "trace/trace.h"
 
 namespace jecb {
@@ -85,5 +86,22 @@ double CoordinationExposure(const EvalResult& result,
 /// pool or single-worker pool runs the exact serial path.
 EvalResult Evaluate(const Database& db, const DatabaseSolution& solution,
                     const Trace& trace, ThreadPool* pool = nullptr);
+
+/// Columnar resolve-once evaluation. `PartitionOf` is materialized exactly
+/// once per distinct tuple of the trace's dictionary (a flat int32 array,
+/// resolved in parallel chunks), then the per-transaction accounting runs
+/// as a branch-light scan over the SoA access arrays — chunked and merged
+/// exactly like the Trace overload. Because PartitionOf is a pure function
+/// of the tuple, every EvalResult field is bit-identical to the row-oriented
+/// path at any thread count.
+EvalResult Evaluate(const Database& db, const DatabaseSolution& solution,
+                    const FlatTrace& trace, ThreadPool* pool = nullptr);
+
+/// Same, over a zero-copy view. The resolve pass covers the underlying
+/// trace's whole dictionary (results only depend on the tuples the view
+/// touches, so this is exact; it only does extra resolution work when the
+/// view is much smaller than its trace).
+EvalResult Evaluate(const Database& db, const DatabaseSolution& solution,
+                    const TraceView& view, ThreadPool* pool = nullptr);
 
 }  // namespace jecb

@@ -1,0 +1,169 @@
+// Shared join-path resolution cache for the Phase-2 search.
+//
+// Every enumerated tree of a class re-resolves the same (table, row) pairs
+// through JoinPath::Evaluate — and did so behind a freshly built
+// unordered_map<TableId, unordered_map<RowId, optional<Value>>> per
+// MeasureTreeFit / TreeCost / StatsFallback call, so one hot tuple was
+// join-extended once per tree per metric. Join paths are functional
+// dependencies, so a resolution is a pure property of (path, row): this
+// resolver memoizes it once per distinct path signature for the lifetime of
+// the resolver (one class partitioning), across every tree and metric.
+//
+// The per-path store is a flat open-addressing table keyed by RowId — one
+// cache line per probe, no per-node allocation, no nested-map double hash.
+// Resolved Values live in a deque so the `const Value*` handles stay stable
+// while the table grows. A remembered failure (dangling FK) is a null value
+// with the key present, so failing rows are also resolved only once.
+//
+// Not thread-safe: the pipeline gives each class (one Phase-2 task) its own
+// resolver, which also keeps hot caches NUMA/core-local under ParallelFor.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "partition/join_path.h"
+#include "storage/database.h"
+
+namespace jecb {
+
+/// Flat open-addressing map RowId -> resolved root value. Power-of-two
+/// capacity, linear probing, keys stored as row + 1 so 0 means empty.
+class RowValueCache {
+ public:
+  /// True when `row` has been resolved before; `*value` is then the cached
+  /// root value, or nullptr for a remembered failure.
+  bool Find(RowId row, const Value** value) const {
+    if (slots_.empty()) return false;
+    const uint32_t key = row + 1;
+    for (size_t i = HashInt64(row) & mask_;; i = (i + 1) & mask_) {
+      const Slot& s = slots_[i];
+      if (s.key == 0) return false;
+      if (s.key == key) {
+        *value = s.value;
+        return true;
+      }
+    }
+  }
+
+  /// Records the resolution of `row` (pass nullopt-like nullptr via
+  /// `failed`); returns the stable cached pointer (null for a failure).
+  /// `row` must not already be present.
+  const Value* Insert(RowId row, Value value) {
+    const Value* stable = &values_.emplace_back(std::move(value));
+    InsertSlot(row, stable);
+    return stable;
+  }
+  void InsertFailure(RowId row) { InsertSlot(row, nullptr); }
+
+  size_t size() const { return size_; }
+
+ private:
+  struct Slot {
+    uint32_t key = 0;  // row + 1; 0 = empty
+    const Value* value = nullptr;
+  };
+
+  void InsertSlot(RowId row, const Value* value) {
+    if (size_ + 1 > (slots_.size() * 7) / 10) Grow();
+    const uint32_t key = row + 1;
+    for (size_t i = HashInt64(row) & mask_;; i = (i + 1) & mask_) {
+      if (slots_[i].key == 0) {
+        slots_[i] = {key, value};
+        ++size_;
+        return;
+      }
+    }
+  }
+
+  void Grow() {
+    size_t cap = slots_.empty() ? 64 : slots_.size() * 2;
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(cap, Slot{});
+    mask_ = cap - 1;
+    for (const Slot& s : old) {
+      if (s.key == 0) continue;
+      for (size_t i = HashInt64(s.key - 1) & mask_;; i = (i + 1) & mask_) {
+        if (slots_[i].key == 0) {
+          slots_[i] = s;
+          break;
+        }
+      }
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::deque<Value> values_;  // deque: stable addresses across growth
+  size_t size_ = 0;
+  size_t mask_ = 0;
+};
+
+/// Memoizes JoinPath::Evaluate per (path signature, row), shared across
+/// every tree/metric that asks for the same path.
+class JoinPathResolver {
+ public:
+  explicit JoinPathResolver(const Database* db) : db_(db) {}
+
+  JoinPathResolver(const JoinPathResolver&) = delete;
+  JoinPathResolver& operator=(const JoinPathResolver&) = delete;
+
+  /// The resolution cache of one join path. Handles stay valid for the
+  /// resolver's lifetime, so a tree evaluator looks its paths up once and
+  /// then resolves rows with no per-access path matching.
+  class PathCache {
+   public:
+    /// Root value of `row` of the path's source table, or nullptr when the
+    /// path dangles there. Each distinct row is evaluated at most once.
+    const Value* Resolve(RowId row) {
+      const Value* v = nullptr;
+      if (cache_.Find(row, &v)) return v;
+      Result<Value> r = path_.Evaluate(*db_, {path_.source_table, row});
+      if (!r.ok()) {
+        cache_.InsertFailure(row);
+        return nullptr;
+      }
+      return cache_.Insert(row, std::move(r).value());
+    }
+
+    const JoinPath& path() const { return path_; }
+    size_t resolved() const { return cache_.size(); }
+
+   private:
+    friend class JoinPathResolver;
+    PathCache(const Database* db, JoinPath path)
+        : db_(db), path_(std::move(path)) {}
+
+    const Database* db_;
+    JoinPath path_;
+    RowValueCache cache_;
+  };
+
+  /// The shared cache for `path`; two equal paths get the same cache.
+  PathCache* Cache(const JoinPath& path) {
+    const uint64_t sig = Signature(path);
+    for (size_t i = 0; i < caches_.size(); ++i) {
+      if (sigs_[i] == sig && caches_[i]->path_ == path) return caches_[i].get();
+    }
+    sigs_.push_back(sig);
+    caches_.push_back(std::unique_ptr<PathCache>(new PathCache(db_, path)));
+    return caches_.back().get();
+  }
+
+  size_t num_paths() const { return caches_.size(); }
+
+ private:
+  static uint64_t Signature(const JoinPath& path) {
+    uint64_t h = HashInt64(path.source_table);
+    for (FkIdx hop : path.hops) h = HashCombine(h, HashInt64(hop));
+    h = HashCombine(h, HashInt64(path.dest.table));
+    return HashCombine(h, HashInt64(path.dest.column));
+  }
+
+  const Database* db_;
+  std::vector<uint64_t> sigs_;
+  std::vector<std::unique_ptr<PathCache>> caches_;
+};
+
+}  // namespace jecb

@@ -1,0 +1,71 @@
+#include "trace/flat_trace.h"
+
+#include <unordered_map>
+
+namespace jecb {
+
+FlatTrace FlatTrace::FromTrace(const Trace& trace) {
+  FlatTrace out;
+  out.class_names_ = trace.class_names();
+
+  size_t total_accesses = 0;
+  for (const Transaction& t : trace.transactions()) {
+    total_accesses += t.accesses.size();
+  }
+  out.accesses_.reserve(total_accesses);
+  out.txn_offset_.reserve(trace.size() + 1);
+  out.txn_class_.reserve(trace.size());
+
+  std::unordered_map<TupleId, uint32_t, TupleIdHash> intern;
+  intern.reserve(total_accesses / 4 + 16);
+
+  out.txn_offset_.push_back(0);
+  for (const Transaction& t : trace.transactions()) {
+    out.txn_class_.push_back(t.class_id);
+    for (const Access& a : t.accesses) {
+      auto [it, inserted] =
+          intern.emplace(a.tuple, static_cast<uint32_t>(out.tuples_.size()));
+      if (inserted) out.tuples_.push_back(a.tuple);
+      out.accesses_.push_back(
+          {it->second | (a.write ? PackedAccess::kWriteBit : 0u)});
+    }
+    out.txn_offset_.push_back(static_cast<uint32_t>(out.accesses_.size()));
+  }
+  return out;
+}
+
+TraceView TraceView::FilterClass(uint32_t class_id) const {
+  auto selected = std::make_shared<std::vector<uint32_t>>();
+  for (size_t i = 0; i < count_; ++i) {
+    uint32_t t = txn(i);
+    if (trace_->class_of(t) == class_id) selected->push_back(t);
+  }
+  size_t n = selected->size();
+  return TraceView(trace_, std::move(selected), 0, n);
+}
+
+std::pair<TraceView, TraceView> TraceView::SplitTrainTest(
+    double test_fraction) const {
+  auto train = std::make_shared<std::vector<uint32_t>>();
+  auto test = std::make_shared<std::vector<uint32_t>>();
+  double acc = 0.0;
+  for (size_t i = 0; i < count_; ++i) {
+    acc += test_fraction;
+    if (acc >= 1.0) {
+      acc -= 1.0;
+      test->push_back(txn(i));
+    } else {
+      train->push_back(txn(i));
+    }
+  }
+  size_t train_n = train->size();
+  size_t test_n = test->size();
+  return {TraceView(trace_, std::move(train), 0, train_n),
+          TraceView(trace_, std::move(test), 0, test_n)};
+}
+
+TraceView TraceView::Head(size_t n) const {
+  return TraceView(trace_, selection_, first_, std::min(n, count_));
+}
+
+}  // namespace jecb
