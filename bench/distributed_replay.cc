@@ -1,0 +1,152 @@
+// Distributed replay: the same JECB-partitioned TPC-C replay through the
+// in-process transport and through the real multi-process socket transport
+// (forked shard servers, length-prefixed frames over Unix-domain sockets),
+// at 2/4/8 shards. Reports throughput and goodput side by side along with
+// the wire accounting (messages, bytes, per-shard RTT percentiles), and
+// asserts the ISSUE contract: for a fixed seed the outcome signature —
+// commits, failures, aborts, per-shard fault counts — is bit-identical
+// between the two backends at every shard count, so the socket runtime is
+// a faithful (just slower) realization of the simulated one.
+//
+// A small 2PC fault plan runs on both backends so goodput is a real number
+// rather than an alias of throughput. Emits BENCH_distributed_replay.json
+// to --out_dir (default: the build directory); --txns scales the trace and
+// --shards N restricts the sweep to a single shard count (CI smoke runs
+// `--shards 2 --txns 600`); --with_tcp 1 adds a TCP-loopback row per count.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "dist/replay.h"
+#include "workloads/tpcc.h"
+
+using namespace jecb;
+using namespace jecb::bench;
+
+namespace {
+
+struct BenchRow {
+  int shards = 0;
+  ReplayReport report;
+};
+
+RuntimeOptions OptionsFor(TransportKind transport, int clients) {
+  RuntimeOptions opt;
+  opt.transport = transport;
+  opt.num_clients = clients;
+  opt.local_work_us = 2;
+  opt.round_trip_us = 60;
+  opt.lock_hold_us = 2;
+  // Modest deterministic 2PC faults so goodput < throughput on both
+  // backends; zero-duration stalls/timeouts keep wall time honest.
+  opt.faults.stall_rate = 0.02;
+  opt.faults.stall_us = 50;
+  opt.faults.prepare_reject_rate = 0.02;
+  opt.faults.shard_down_rate = 0.02;
+  opt.faults.max_attempts = 3;
+  opt.faults.backoff_base_us = 20;
+  opt.faults.backoff_cap_us = 200;
+  return opt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  InitObs(argc, argv);
+  PrintHeader("Distributed replay: in-process vs multi-process socket backend",
+              "identical outcome signatures, real fork/socket/2PC overhead "
+              "visible as the tps gap between the two transports");
+  const std::string out_dir = OutDir(argc, argv);
+  const size_t num_txns = static_cast<size_t>(ArgInt(argc, argv, "--txns", 3000));
+  const int clients = static_cast<int>(ArgInt(argc, argv, "--clients", 4));
+  const int only_shards = static_cast<int>(ArgInt(argc, argv, "--shards", 0));
+  const bool with_tcp = ArgInt(argc, argv, "--with_tcp", 0) != 0;
+
+  TpccConfig cfg;
+  cfg.warehouses = 8;
+  cfg.districts_per_warehouse = 2;
+  cfg.customers_per_district = 6;
+  cfg.items = 25;
+  WorkloadBundle bundle = TpccWorkload(cfg).Make(num_txns, 42);
+  std::printf("trace: %zu txns, %d clients\n\n", bundle.trace.size(), clients);
+
+  std::vector<int> shard_counts;
+  for (int k : {2, 4, 8}) {
+    if (only_shards == 0 || only_shards == k) shard_counts.push_back(k);
+  }
+  if (shard_counts.empty()) {
+    std::fprintf(stderr, "FATAL: --shards must be one of 2, 4, 8 (or 0 for all)\n");
+    return 2;
+  }
+
+  std::vector<TransportKind> transports = {TransportKind::kInProcess,
+                                           TransportKind::kUnixSocket};
+  if (with_tcp) transports.push_back(TransportKind::kTcpSocket);
+
+  AsciiTable table({"shards", "transport", "throughput (txn/s)",
+                    "goodput (txn/s)", "dist frac", "wire msgs", "wire MB",
+                    "rtt p50/p99 us", "signature"});
+  std::vector<std::pair<std::string, BenchRow>> rows;
+
+  for (int k : shard_counts) {
+    JecbOptions jopt;
+    jopt.num_partitions = k;
+    auto res = Jecb(jopt).Partition(bundle.db.get(), bundle.procedures,
+                                    bundle.trace);
+    CheckOk(res.status(), "jecb");
+    const DatabaseSolution& solution = res.value().solution;
+
+    uint64_t reference_signature = 0;
+    for (TransportKind transport : transports) {
+      const std::string name(TransportKindName(transport));
+      BenchRow row;
+      row.shards = k;
+      row.report = Replay(*bundle.db, solution, bundle.trace,
+                          OptionsFor(transport, clients),
+                          name + "-k" + std::to_string(k));
+      row.report.PublishTo(MetricsRegistry::Default());
+      const TransportCounters& c = row.report.transport_counters;
+      const uint64_t signature = row.report.OutcomeSignature();
+      table.AddRow(
+          {std::to_string(k), name,
+           FormatDouble(row.report.throughput_tps, 0),
+           FormatDouble(row.report.goodput_tps, 0),
+           Pct(row.report.distributed_fraction()),
+           std::to_string(c.messages_sent),
+           FormatDouble(static_cast<double>(c.bytes_sent) / (1024.0 * 1024.0), 2),
+           FormatDouble(row.report.transport_rtt.p50_us, 0) + "/" +
+               FormatDouble(row.report.transport_rtt.p99_us, 0),
+           std::to_string(signature)});
+      rows.emplace_back(name, row);
+
+      // Acceptance check: every backend reproduces the in-process outcome
+      // bit-for-bit at this shard count — same seed, same decisions, same
+      // commits/aborts/fault counts, regardless of what the wire did.
+      if (transport == TransportKind::kInProcess) {
+        reference_signature = signature;
+      } else if (signature != reference_signature) {
+        std::fprintf(stderr,
+                     "FATAL: %s outcome signature %llx != in-process %llx "
+                     "at %d shards\n",
+                     name.c_str(), static_cast<unsigned long long>(signature),
+                     static_cast<unsigned long long>(reference_signature), k);
+        return 1;
+      }
+    }
+    std::printf("k=%d: outcome signature identical across %zu transports\n", k,
+                transports.size());
+  }
+  std::printf("\n%s\n", table.ToString().c_str());
+
+  std::string json = "{\n  \"bench\": \"distributed_replay\",\n  \"clients\": " +
+                     std::to_string(clients) + ",\n  \"rows\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    json += "    {\"transport\": \"" + rows[i].first +
+            "\", \"shards\": " + std::to_string(rows[i].second.shards) +
+            ",\n     \"report\": " + rows[i].second.report.ToJson() + "}";
+    json += i + 1 < rows.size() ? ",\n" : "\n";
+  }
+  json += "  ]\n}\n";
+  WriteBenchJson(out_dir, "distributed_replay", json);
+  FinishObs(argc, argv);
+  return 0;
+}

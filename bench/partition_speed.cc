@@ -17,7 +17,7 @@
 #include <thread>
 
 #include "bench_util.h"
-#include "runtime/replay.h"
+#include "dist/replay.h"
 #include "trace/flat_trace.h"
 #include "workloads/tpcc.h"
 

@@ -13,7 +13,7 @@
 #include <cstdio>
 
 #include "bench_util.h"
-#include "runtime/replay.h"
+#include "dist/replay.h"
 #include "workloads/tpcc.h"
 
 using namespace jecb;

@@ -8,6 +8,11 @@
 // (queue wait, execution, 2PC prepare/commit rounds, retries, fault
 // instants) as a Chrome trace, and --metrics_out metrics.prom for a
 // Prometheus dump of both replays' counters and latency histograms.
+// Pass --transport unix (or tcp) to run the same replay through the real
+// multi-process backend: Replay() forks one shard-server process per
+// partition, drives 2PC over length-prefixed socket frames, and reaps the
+// children on drain — the reported outcome is bit-identical to the default
+// in-process backend for the same seed.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -16,7 +21,7 @@
 #include "jecb/jecb.h"
 #include "obs/metrics_registry.h"
 #include "obs/trace_recorder.h"
-#include "runtime/replay.h"
+#include "dist/replay.h"
 #include "workloads/tpcc.h"
 
 using namespace jecb;
@@ -24,13 +29,28 @@ using namespace jecb;
 int main(int argc, char** argv) {
   std::string trace_out;
   std::string metrics_out;
+  TransportKind transport = TransportKind::kInProcess;
   for (int i = 1; i + 1 < argc; i += 2) {
     if (std::strcmp(argv[i], "--trace_out") == 0) {
       trace_out = argv[i + 1];
     } else if (std::strcmp(argv[i], "--metrics_out") == 0) {
       metrics_out = argv[i + 1];
+    } else if (std::strcmp(argv[i], "--transport") == 0) {
+      if (std::strcmp(argv[i + 1], "inproc") == 0) {
+        transport = TransportKind::kInProcess;
+      } else if (std::strcmp(argv[i + 1], "unix") == 0) {
+        transport = TransportKind::kUnixSocket;
+      } else if (std::strcmp(argv[i + 1], "tcp") == 0) {
+        transport = TransportKind::kTcpSocket;
+      } else {
+        std::fprintf(stderr, "unknown --transport %s (inproc|unix|tcp)\n",
+                     argv[i + 1]);
+        return 2;
+      }
     } else {
-      std::fprintf(stderr, "usage: %s [--trace_out trace.json] [--metrics_out metrics.prom]\n",
+      std::fprintf(stderr,
+                   "usage: %s [--transport inproc|unix|tcp] "
+                   "[--trace_out trace.json] [--metrics_out metrics.prom]\n",
                    argv[0]);
       return 2;
     }
@@ -53,16 +73,28 @@ int main(int argc, char** argv) {
   }
 
   RuntimeOptions ropt;
+  ropt.transport = transport;
   ropt.num_clients = 4;
   ropt.local_work_us = 2;
   ropt.round_trip_us = 100;
   ReplayReport report =
       Replay(*bundle.db, result.value().solution, bundle.trace, ropt, "jecb-tpcc-k4");
 
-  std::printf("replayed %llu txns on %d shards: %.0f txn/s, %.2f%% distributed\n",
-              static_cast<unsigned long long>(report.committed),
-              report.num_partitions, report.throughput_tps,
-              report.distributed_fraction() * 100.0);
+  std::printf(
+      "replayed %llu txns on %d shards (%s transport): %.0f txn/s, "
+      "%.2f%% distributed\n",
+      static_cast<unsigned long long>(report.committed), report.num_partitions,
+      std::string(TransportKindName(report.transport)).c_str(),
+      report.throughput_tps,
+      report.distributed_fraction() * 100.0);
+  if (report.transport != TransportKind::kInProcess) {
+    std::printf("wire: %llu msgs / %llu bytes sent, rtt p50/p99 %.0f/%.0f us\n",
+                static_cast<unsigned long long>(
+                    report.transport_counters.messages_sent),
+                static_cast<unsigned long long>(
+                    report.transport_counters.bytes_sent),
+                report.transport_rtt.p50_us, report.transport_rtt.p99_us);
+  }
   std::printf("local  p50/p95/p99: %.0f/%.0f/%.0f us\n", report.local.p50_us,
               report.local.p95_us, report.local.p99_us);
   std::printf("dist   p50/p95/p99: %.0f/%.0f/%.0f us\n", report.distributed.p50_us,

@@ -1,7 +1,9 @@
-#include "runtime/replay.h"
+#include "dist/replay.h"
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
+#include <cstdlib>
 #include <thread>
 
 #include "common/ascii_table.h"
@@ -135,7 +137,24 @@ std::string ReplayReport::ToJson() const {
   out += ",\"goodput_tps\":" + FormatDouble(goodput_tps, 0);
   out += ",\"replication_factor\":" + FormatDouble(replication_factor, 2);
   out += ",\"storage_skew\":" + FormatDouble(storage_skew, 3);
-  out += ",\"latency_us\":{";
+  out += ",\"outcome_signature\":\"" + std::to_string(OutcomeSignature()) + "\"";
+  out += ",\"transport\":{";
+  out += "\"kind\":\"" + std::string(TransportKindName(transport)) + "\"";
+  out += ",\"messages_sent\":" + std::to_string(transport_counters.messages_sent);
+  out +=
+      ",\"messages_received\":" + std::to_string(transport_counters.messages_received);
+  out += ",\"bytes_sent\":" + std::to_string(transport_counters.bytes_sent);
+  out += ",\"bytes_received\":" + std::to_string(transport_counters.bytes_received);
+  out += ",\"reconnects\":" + std::to_string(transport_counters.reconnects);
+  out += ",\"wire_drops\":" + std::to_string(transport_counters.wire_drops);
+  out += ",\"wire_delays\":" + std::to_string(transport_counters.wire_delays);
+  out += ",\"wire_duplicates\":" + std::to_string(transport_counters.wire_duplicates);
+  out += ",\"dedup_drops\":" + std::to_string(transport_counters.dedup_drops);
+  out += ",\"shard_frames\":" + std::to_string(transport_counters.shard_frames);
+  out += ",\"shard_bytes\":" + std::to_string(transport_counters.shard_bytes);
+  out += ",";
+  AppendLatencyJson(&out, "rtt_us", transport_rtt);
+  out += "},\"latency_us\":{";
   AppendLatencyJson(&out, "local", local);
   out += ",";
   AppendLatencyJson(&out, "distributed", distributed);
@@ -157,7 +176,10 @@ std::string ReplayReport::ToJson() const {
            ",\"availability\":" + FormatDouble(s.availability(), 4) +
            ",\"p50_us\":" + FormatDouble(s.p50_us, 1) +
            ",\"p95_us\":" + FormatDouble(s.p95_us, 1) +
-           ",\"p99_us\":" + FormatDouble(s.p99_us, 1) + "}";
+           ",\"p99_us\":" + FormatDouble(s.p99_us, 1) +
+           ",\"rtt_count\":" + std::to_string(s.rtt_count) +
+           ",\"rtt_p50_us\":" + FormatDouble(s.rtt_p50_us, 1) +
+           ",\"rtt_p99_us\":" + FormatDouble(s.rtt_p99_us, 1) + "}";
   }
   out += "]}";
   return out;
@@ -194,6 +216,28 @@ void ReplayReport::PublishTo(MetricsRegistry& registry) const {
           "Aborts from unreachable participants");
   counter("jecb_replay_stalls_injected_total", stalls_injected,
           "Injected participant stalls");
+  counter("jecb_transport_messages_sent_total", transport_counters.messages_sent,
+          "Wire messages sent by coordinators");
+  counter("jecb_transport_messages_received_total",
+          transport_counters.messages_received,
+          "Wire messages received by coordinators");
+  counter("jecb_transport_bytes_sent_total", transport_counters.bytes_sent,
+          "Wire bytes sent by coordinators");
+  counter("jecb_transport_bytes_received_total", transport_counters.bytes_received,
+          "Wire bytes received by coordinators");
+  counter("jecb_transport_reconnects_total", transport_counters.reconnects,
+          "Channel reconnects (injected peer disconnects)");
+  counter("jecb_transport_wire_drops_total", transport_counters.wire_drops,
+          "Injected dropped messages (all retransmitted)");
+  counter("jecb_transport_wire_delays_total", transport_counters.wire_delays,
+          "Injected message send delays");
+  counter("jecb_transport_wire_duplicates_total",
+          transport_counters.wire_duplicates,
+          "Injected duplicate sends (suppressed by receivers)");
+  counter("jecb_transport_dedup_drops_total", transport_counters.dedup_drops,
+          "Duplicate frames the shard servers suppressed");
+  counter("jecb_transport_shard_frames_total", transport_counters.shard_frames,
+          "Frames the shard server processes received");
   gauge("jecb_replay_wall_seconds", wall_seconds, "Replay wall-clock time");
   gauge("jecb_replay_throughput_tps", throughput_tps,
         "Processed rate: (committed + failed) / wall");
@@ -216,6 +260,12 @@ void ReplayReport::PublishTo(MetricsRegistry& registry) const {
       .Histogram("jecb_replay_retry_latency_us" + lb,
                  "Latency of committed txns that needed >= 1 retry")
       .Merge(retry_hist);
+  if (transport_rtt_hist.count > 0) {
+    registry
+        .Histogram("jecb_transport_rtt_us" + lb,
+                   "Wire request->response latency, all shards merged")
+        .Merge(transport_rtt_hist);
+  }
   for (const ShardReport& s : shards) {
     const std::string slb = "{label=\"" + JsonEscape(label) + "\",shard=\"" +
                             std::to_string(s.shard) + "\"}";
@@ -229,6 +279,16 @@ void ReplayReport::PublishTo(MetricsRegistry& registry) const {
         .store(s.busy_us, std::memory_order_relaxed);
     registry.Gauge("jecb_shard_availability" + slb, "1 - down / attempts")
         .store(s.availability(), std::memory_order_relaxed);
+    if (s.rtt_count > 0) {
+      registry
+          .Counter("jecb_shard_transport_rtt_count" + slb,
+                   "Wire round trips against this shard")
+          .store(s.rtt_count, std::memory_order_relaxed);
+      registry
+          .Gauge("jecb_shard_transport_rtt_p99_us" + slb,
+                 "p99 wire request->response latency")
+          .store(s.rtt_p99_us, std::memory_order_relaxed);
+    }
   }
 }
 
@@ -241,6 +301,7 @@ std::string ReplayReport::ToPrometheus() const {
 std::string ReplayReport::ToAscii() const {
   AsciiTable summary({"metric", "value"});
   summary.AddRow({"label", label});
+  summary.AddRow({"transport", std::string(TransportKindName(transport))});
   summary.AddRow({"partitions", std::to_string(num_partitions)});
   summary.AddRow({"total_txns", std::to_string(total_txns)});
   summary.AddRow({"committed", std::to_string(committed)});
@@ -257,15 +318,37 @@ std::string ReplayReport::ToAscii() const {
                   FormatDouble(distributed.p50_us, 1) + " / " +
                       FormatDouble(distributed.p95_us, 1) + " / " +
                       FormatDouble(distributed.p99_us, 1)});
+  if (transport != TransportKind::kInProcess) {
+    summary.AddRow({"wire_messages",
+                    std::to_string(transport_counters.messages_sent) + " out / " +
+                        std::to_string(transport_counters.messages_received) +
+                        " in"});
+    summary.AddRow({"wire_bytes",
+                    std::to_string(transport_counters.bytes_sent) + " out / " +
+                        std::to_string(transport_counters.bytes_received) + " in"});
+    summary.AddRow(
+        {"wire_faults", std::to_string(transport_counters.wire_drops) +
+                            " drop / " +
+                            std::to_string(transport_counters.wire_delays) +
+                            " delay / " +
+                            std::to_string(transport_counters.wire_duplicates) +
+                            " dup / " +
+                            std::to_string(transport_counters.reconnects) +
+                            " reconnect"});
+    summary.AddRow({"rtt_p50/p95/p99_us",
+                    FormatDouble(transport_rtt.p50_us, 1) + " / " +
+                        FormatDouble(transport_rtt.p95_us, 1) + " / " +
+                        FormatDouble(transport_rtt.p99_us, 1)});
+  }
   AsciiTable per_shard({"shard", "tuples", "local", "dist", "busy_us", "avail",
-                        "p50_us", "p95_us", "p99_us"});
+                        "p50_us", "p95_us", "p99_us", "rtt_p99_us"});
   for (const ShardReport& s : shards) {
     per_shard.AddRow({std::to_string(s.shard), std::to_string(s.stored_tuples),
                       std::to_string(s.local_txns),
                       std::to_string(s.dist_participations),
                       std::to_string(s.busy_us), FormatDouble(s.availability(), 3),
                       FormatDouble(s.p50_us, 1), FormatDouble(s.p95_us, 1),
-                      FormatDouble(s.p99_us, 1)});
+                      FormatDouble(s.p99_us, 1), FormatDouble(s.rtt_p99_us, 1)});
   }
   return summary.ToString() + "\n" + per_shard.ToString();
 }
@@ -287,24 +370,36 @@ ReplayReport Replay(const Database& db, const DatabaseSolution& solution,
   }
 
   RuntimeMetrics metrics(sharded.num_shards());
-  ShardExecutor executor(sharded, options, &metrics);
-  FaultInjector injector(options.faults);
-  TxnCoordinator coordinator(&executor, &injector);
-  executor.Start();
+  std::unique_ptr<Transport> transport = MakeTransport(sharded, options, &metrics);
+  // Start() must precede client threads: the socket backends fork their
+  // shard-server processes here, and the children must never inherit a
+  // multi-threaded address space.
+  Status started = transport->Start();
+  if (!started.ok()) {
+    // A degraded replay would silently report wrong numbers; die loudly.
+    std::fprintf(stderr, "jecb: replay backend failed to start (%s): %s\n",
+                 std::string(TransportKindName(options.transport)).c_str(),
+                 started.ToString().c_str());
+    std::abort();
+  }
 
-  // Phase B: closed-loop clients race through the classified trace.
+  // Phase B: closed-loop clients race through the classified trace, each
+  // through its own transport session.
   std::atomic<size_t> next{0};
-  auto run_client = [&] {
+  auto run_client = [&](int client_id) {
+    std::unique_ptr<TransportSession> session = transport->NewSession(client_id);
     for (;;) {
       size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= classified.size()) break;
       const ClassifiedTxn& ct = classified[i];
       if (ct.RequiresTwoPhaseCommit()) {
-        coordinator.ExecuteDistributed(ct);
+        session->ExecuteDistributed(ct);
       } else {
-        executor.ExecuteLocal(ct);
+        session->ExecuteLocal(ct);
       }
     }
+    // The session dies with this scope, folding its wire counters into the
+    // transport before Drain() snapshots them.
   };
   const int num_clients = std::max(options.num_clients, 1);
   auto t0 = std::chrono::steady_clock::now();
@@ -313,16 +408,29 @@ ReplayReport Replay(const Database& db, const DatabaseSolution& solution,
   {
     JECB_SPAN2("runtime", "replay.run", "clients", num_clients, "txns",
                static_cast<int64_t>(classified.size()));
-    for (int c = 0; c < num_clients; ++c) clients.emplace_back(run_client);
+    for (int c = 0; c < num_clients; ++c) clients.emplace_back(run_client, c);
     for (std::thread& c : clients) c.join();
-    executor.Shutdown();
   }
+  // Every transaction has completed once the closed-loop clients join; the
+  // wall clock stops here so backend teardown cost never pollutes
+  // throughput numbers.
   double wall = static_cast<double>(ElapsedUs(t0)) / 1e6;
+
+  // Graceful shutdown, strictly ordered: clients joined above -> Drain()
+  // quiesces the backend (queues drain and workers join in-process; shard
+  // processes serve their final frames, ship their stats and get reaped
+  // over sockets) -> only THEN the metrics snapshot. A snapshot taken any
+  // earlier could miss completions still in flight inside the backend.
+  {
+    JECB_SPAN("runtime", "replay.drain");
+    transport->Drain();
+  }
 
   // Phase C: one quiesced snapshot feeds every field of the report, so no
   // renderer can observe a counter from a different moment.
   JECB_SPAN("runtime", "replay.snapshot");
   MetricsSnapshot snap = metrics.Snapshot();
+  TransportReport treport = transport->Report();
   ReplayReport report;
   report.label = std::move(label);
   report.num_partitions = sharded.num_shards();
@@ -352,6 +460,10 @@ ReplayReport Replay(const Database& db, const DatabaseSolution& solution,
   report.local = SnapshotLatency(report.local_hist);
   report.distributed = SnapshotLatency(report.distributed_hist);
   report.retry = SnapshotLatency(report.retry_hist);
+  report.transport = treport.kind;
+  report.transport_counters = treport.counters;
+  report.transport_rtt_hist = treport.rtt;
+  report.transport_rtt = SnapshotLatency(report.transport_rtt_hist);
   report.shards.reserve(sharded.num_shards());
   for (int32_t s = 0; s < sharded.num_shards(); ++s) {
     const ShardMetricsSnapshot& sm = snap.shards[s];
@@ -368,6 +480,12 @@ ReplayReport Replay(const Database& db, const DatabaseSolution& solution,
     sr.p50_us = sm.latency.Quantile(0.50);
     sr.p95_us = sm.latency.Quantile(0.95);
     sr.p99_us = sm.latency.Quantile(0.99);
+    if (static_cast<size_t>(s) < treport.shard_rtt.size()) {
+      const HistogramData& rtt = treport.shard_rtt[static_cast<size_t>(s)];
+      sr.rtt_count = rtt.count;
+      sr.rtt_p50_us = rtt.Quantile(0.50);
+      sr.rtt_p99_us = rtt.Quantile(0.99);
+    }
     report.shards.push_back(sr);
   }
   return report;

@@ -1,15 +1,24 @@
 // Trace replay driver: classifies every trace transaction against a
 // solution, materializes the shard layout, and replays the workload through
-// the executor/coordinator with closed-loop client threads. The report
-// carries throughput, the measured distributed fraction (definitionally
-// equal to the static evaluator's), per-shard load and latency quantiles,
-// and a JSON export for downstream plotting.
+// an execution backend (in-process worker pool, or forked shard-server
+// processes over real sockets — see dist/transport.h) with closed-loop
+// client threads. The report carries throughput, the measured distributed
+// fraction (definitionally equal to the static evaluator's), per-shard load
+// and latency quantiles, wire-level transport accounting, and JSON /
+// Prometheus / ASCII exports for downstream plotting.
+//
+// Shutdown ordering (the contract every backend honors): client threads
+// join first, then Transport::Drain() quiesces the backend — in-process
+// queues drain and workers join; shard processes serve their last frames,
+// report their counters and exit — and only then is the metrics snapshot
+// taken. No late completion can ever be missing from the report.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "dist/transport.h"
 #include "obs/histogram.h"
 #include "partition/solution.h"
 #include "runtime/executor.h"
@@ -41,6 +50,11 @@ struct ShardReport {
   double p50_us = 0.0;
   double p95_us = 0.0;
   double p99_us = 0.0;
+  /// Wire request->response latency against this shard's server (socket
+  /// backends only; zero in-process).
+  uint64_t rtt_count = 0;
+  double rtt_p50_us = 0.0;
+  double rtt_p99_us = 0.0;
 
   /// Fraction of prepare attempts that found the shard reachable; 1.0 when
   /// the shard was never asked to participate (vacuously available).
@@ -100,6 +114,15 @@ struct ReplayReport {
   HistogramData retry_hist;
   std::vector<ShardReport> shards;
 
+  /// Which backend executed the replay, its wire-level accounting, and the
+  /// merged request->response latency distribution. All zero for the
+  /// in-process backend; excluded from OutcomeSignature() by design (wire
+  /// traffic differs between backends even when outcomes are identical).
+  TransportKind transport = TransportKind::kInProcess;
+  TransportCounters transport_counters;
+  HistogramData transport_rtt_hist;
+  LatencyReport transport_rtt;
+
   double distributed_fraction() const {
     return committed == 0 ? 0.0
                           : static_cast<double>(distributed_committed) /
@@ -108,11 +131,13 @@ struct ReplayReport {
 
   /// Stable hash of every timing-independent outcome counter (commits,
   /// failures, aborts, retries, per-shard participation/fault counts —
-  /// never latencies or wall time). Because fault decisions are pure
-  /// functions of (seed, txn id, attempt, shard), two replays of the same
-  /// classified trace under the same FaultPlan produce the same signature
-  /// at ANY client/thread count — the bit-reproducibility contract
-  /// fault_injection_test and bench/fault_tolerance assert.
+  /// never latencies, wall time, or transport traffic). Because fault
+  /// decisions are pure functions of (seed, txn id, attempt, shard), two
+  /// replays of the same classified trace under the same FaultPlan produce
+  /// the same signature at ANY client/thread count AND through ANY backend
+  /// (in-process or socket, wire faults on or off) — the
+  /// bit-reproducibility contract fault_injection_test, dist_runtime_test
+  /// and bench/fault_tolerance assert.
   uint64_t OutcomeSignature() const;
 
   /// One self-contained JSON object (no trailing newline). The label is
@@ -134,6 +159,10 @@ struct ReplayReport {
 };
 
 /// Replays `trace` against `solution` and returns the measured report.
+/// `options.transport` selects the backend; the socket backends fork one
+/// shard-server process per shard before any client thread starts and reap
+/// them before returning. A backend that fails to start aborts loudly — a
+/// silently degraded replay would report wrong numbers.
 ReplayReport Replay(const Database& db, const DatabaseSolution& solution,
                     const Trace& trace, const RuntimeOptions& options,
                     std::string label = "replay");

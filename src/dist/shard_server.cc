@@ -1,0 +1,166 @@
+#include "dist/shard_server.h"
+
+#include <string>
+#include <utility>
+
+namespace jecb {
+
+using net::EventLoop;
+using net::Frame;
+using net::MsgType;
+
+ShardServer::ShardServer(int32_t shard_id, const ShardedDatabase& sharded,
+                         const RuntimeOptions& options)
+    : shard_id_(shard_id),
+      sharded_(sharded),
+      options_(options),
+      injector_(options.faults),
+      prepare_us_(options.local_work_us + options.lock_hold_us) {
+  (void)sharded_;
+}
+
+void ShardServer::Reply(EventLoop& loop, int64_t peer, MsgType type,
+                        const std::string& payload) {
+  loop.Send(peer, type, ++reply_seq_, payload);
+}
+
+net::ShardStatsMsg ShardServer::FinalStats(const EventLoop& loop) const {
+  net::ShardStatsMsg out = stats_;
+  const net::EventLoopStats& ls = loop.stats();
+  out.frames_received = ls.frames_received;
+  out.frames_sent = ls.frames_sent;
+  out.bytes_received = ls.bytes_received;
+  out.bytes_sent = ls.bytes_sent;
+  out.dedup_dropped = ls.dedup_dropped;
+  out.peer_disconnects = ls.peer_disconnects;
+  return out;
+}
+
+void ShardServer::HandleExecute(EventLoop& loop, int64_t peer,
+                                const Frame& frame) {
+  net::FragmentMsg frag;
+  if (!frag.Decode(frame.payload)) {
+    // Structurally invalid beyond what the CRC caught: the peer is confused,
+    // not the wire. Drop it rather than guess at an answer.
+    loop.ClosePeer(peer);
+    return;
+  }
+  ++stats_.executed_local;
+  SimulateCpuWork(options_.local_work_us);
+  net::TxnRefMsg ack;
+  ack.txn_id = frag.txn_id;
+  ack.attempt = frag.attempt;
+  Reply(loop, peer, MsgType::kExecuteAck, ack.Encode());
+}
+
+void ShardServer::HandlePrepare(EventLoop& loop, int64_t peer,
+                                const Frame& frame) {
+  net::FragmentMsg frag;
+  if (!frag.Decode(frame.payload)) {
+    loop.ClosePeer(peer);
+    return;
+  }
+  ++stats_.prepares_served;
+
+  net::VoteMsg vote;
+  vote.txn_id = frag.txn_id;
+  vote.attempt = frag.attempt;
+
+  // Same decision coordinates, same injector, same plan as the coordinator's
+  // in-process path — so this shard votes down/reject on exactly the
+  // (txn, attempt) pairs TxnCoordinator::AttemptOnce would have.
+  if (injector_.ShardDown(frag.txn_id, frag.attempt, shard_id_)) {
+    // Down shards refuse before doing any work (no CPU burned, no hold) —
+    // mirrors the in-process path checking ShardDown before taking the lock.
+    vote.decision = net::VoteDecision::kDown;
+    Reply(loop, peer, MsgType::kVote, vote.Encode());
+    return;
+  }
+
+  SimulateCpuWork(prepare_us_);
+  if (injector_.ShardStalls(frag.txn_id, frag.attempt, shard_id_)) {
+    // The stall occupies the shard without burning CPU: this loop is the
+    // shard's only worker, so sleeping here backpressures every other client
+    // the same way the in-process stall sleeps under the shard lock.
+    vote.stalled = 1;
+    ++stats_.stalls_served;
+    SimulateNetworkDelay(injector_.plan().stall_us);
+  }
+  if (injector_.PrepareRejected(frag.txn_id, frag.attempt, shard_id_)) {
+    vote.decision = net::VoteDecision::kReject;
+    Reply(loop, peer, MsgType::kVote, vote.Encode());
+    return;
+  }
+
+  // Vote yes, then HOLD: block on this one peer until its coordinator
+  // resolves the transaction. Every other connection queues in the kernel —
+  // the real-wire equivalent of keeping the shard mutex across the vote
+  // round trip.
+  vote.decision = net::VoteDecision::kYes;
+  Reply(loop, peer, MsgType::kVote, vote.Encode());
+
+  Frame resolution;
+  while (loop.NextFrom(peer, &resolution)) {
+    if (resolution.type == MsgType::kCommit) {
+      ++stats_.commits_applied;
+      net::TxnRefMsg ack;
+      ack.txn_id = frag.txn_id;
+      ack.attempt = frag.attempt;
+      Reply(loop, peer, MsgType::kCommitAck, ack.Encode());
+      return;
+    }
+    if (resolution.type == MsgType::kAbort) {
+      // Fire-and-forget from the coordinator (aborts release locks without a
+      // round trip in the in-process backend too).
+      ++stats_.aborts_observed;
+      return;
+    }
+    // Anything else mid-hold is a stray; keep waiting for the resolution.
+  }
+  // Peer vanished (or we were stopped) while holding: presume abort, release.
+  ++stats_.aborts_observed;
+}
+
+net::ShardStatsMsg ShardServer::Serve(net::Socket listener) {
+  EventLoop loop(std::move(listener));
+  int64_t peer = 0;
+  Frame frame;
+  while (loop.Next(&peer, &frame)) {
+    switch (frame.type) {
+      case MsgType::kHello: {
+        net::HelloMsg hello;
+        if (!hello.Decode(frame.payload) || hello.shard_id != shard_id_) {
+          loop.ClosePeer(peer);
+          break;
+        }
+        net::HelloAckMsg ack;
+        ack.shard_id = shard_id_;
+        ack.num_shards = sharded_.num_shards();
+        Reply(loop, peer, MsgType::kHelloAck, ack.Encode());
+        break;
+      }
+      case MsgType::kExecute:
+        HandleExecute(loop, peer, frame);
+        break;
+      case MsgType::kPrepare:
+        HandlePrepare(loop, peer, frame);
+        break;
+      case MsgType::kShutdown: {
+        // Harvest counters BEFORE the stats reply so the reply reflects
+        // everything up to and including the shutdown request itself.
+        net::ShardStatsMsg final_stats = FinalStats(loop);
+        Reply(loop, peer, MsgType::kShardStats, final_stats.Encode());
+        loop.RequestStop();
+        break;
+      }
+      default:
+        // kCommit/kAbort outside a hold: a resolution for a transaction we
+        // already released (e.g. after a coordinator-side timeout abort).
+        // Nothing to do — the release already happened.
+        break;
+    }
+  }
+  return FinalStats(loop);
+}
+
+}  // namespace jecb

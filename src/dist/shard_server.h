@@ -1,0 +1,79 @@
+// ShardServer: the process that owns one shard of a ShardedDatabase and
+// executes transaction fragments it receives over the wire. Replay()'s
+// socket backend forks one of these per shard (the child inherits the
+// immutable shard layout copy-on-write, so no database serialization is
+// needed); the coordinator side talks to it through net/wire.h frames.
+//
+// Protocol state machine (per connection; see DESIGN.md "Distributed
+// runtime" for the message flow diagrams):
+//
+//   Hello            -> HelloAck       identity + wire-version handshake
+//   Execute(frag)    -> ExecuteAck     run a single-partition txn fragment
+//   Prepare(frag)    -> Vote(yes)      run the shard-local prepare work,
+//                       ... HOLD ...   then block this shard on that one
+//   Commit           -> CommitAck      connection until the coordinator's
+//                       (or Abort)     commit/abort releases it
+//   Prepare(frag)    -> Vote(reject|down)   injected 2PC faults: no hold
+//   Shutdown         -> ShardStats     reply final counters, stop serving
+//
+// The hold is the distributed equivalent of the in-process backend holding a
+// shard's mutex across the prepare/vote round trip: the server is a
+// single-threaded event loop, so while it waits for one coordinator's
+// commit, every other client of this shard queues — exactly how distributed
+// transactions steal throughput from local ones (paper Fig. 1), now paid in
+// real socket latency instead of a sleep constant.
+//
+// Deadlock freedom: coordinators prepare participants in ascending shard-id
+// order. A holding shard waits only for its holder's commit/abort; that
+// holder can only be waiting on votes from HIGHER-numbered shards, so the
+// wait-for graph follows a strict total order and has no cycles — the same
+// argument that makes the in-process lock order deadlock-free.
+//
+// Fault injection: the server rebuilds the deterministic FaultInjector from
+// the same FaultPlan the coordinator holds, so its down/stall/reject
+// decisions for (txn, attempt, shard) are bit-identical to the ones the
+// in-process backend would have made — the foundation of the cross-backend
+// OutcomeSignature oracle. SIGTERM/SIGINT set the event loop's stop flag,
+// so an orphaned or force-killed server drains and exits cleanly.
+#pragma once
+
+#include <cstdint>
+
+#include "net/event_loop.h"
+#include "net/socket.h"
+#include "net/wire.h"
+#include "runtime/executor.h"
+#include "runtime/fault_injector.h"
+#include "runtime/sharded_database.h"
+
+namespace jecb {
+
+class ShardServer {
+ public:
+  ShardServer(int32_t shard_id, const ShardedDatabase& sharded,
+              const RuntimeOptions& options);
+
+  /// Serves `listener` until a Shutdown frame or SIGTERM/SIGINT. Returns
+  /// the final shard-side counters (also sent to the Shutdown peer).
+  net::ShardStatsMsg Serve(net::Socket listener);
+
+ private:
+  void HandleExecute(net::EventLoop& loop, int64_t peer, const net::Frame& frame);
+  void HandlePrepare(net::EventLoop& loop, int64_t peer, const net::Frame& frame);
+  net::ShardStatsMsg FinalStats(const net::EventLoop& loop) const;
+
+  /// Replies on `peer`, assigning the next server-side sequence number.
+  void Reply(net::EventLoop& loop, int64_t peer, net::MsgType type,
+             const std::string& payload);
+
+  const int32_t shard_id_;
+  const ShardedDatabase& sharded_;
+  const RuntimeOptions options_;
+  const FaultInjector injector_;
+  const uint32_t prepare_us_;
+
+  uint64_t reply_seq_ = 0;
+  net::ShardStatsMsg stats_;
+};
+
+}  // namespace jecb

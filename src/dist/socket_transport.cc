@@ -1,0 +1,622 @@
+#include "dist/socket_transport.h"
+
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <utility>
+
+#include "dist/shard_server.h"
+#include "obs/trace_recorder.h"
+
+namespace jecb {
+
+namespace {
+
+using net::Frame;
+using net::MsgType;
+
+/// A transport failure the protocol cannot mask (shard process died
+/// unexpectedly, stream went corrupt). Any silent recovery here would skew
+/// the outcome counters away from the in-process backend, so fail loudly
+/// instead — determinism bugs must never look like flaky throughput.
+[[noreturn]] void TransportPanic(const char* what, int32_t shard,
+                                 const Status& status) {
+  std::fprintf(stderr, "jecb: fatal transport error (%s, shard %d): %s\n",
+               what, shard, status.ToString().c_str());
+  std::abort();
+}
+
+std::string DefaultSocketDir() {
+  const char* tmp = std::getenv("TMPDIR");
+  std::string tmpl = (tmp != nullptr && *tmp != '\0') ? tmp : "/tmp";
+  tmpl += "/jecb-dist-XXXXXX";
+  std::vector<char> buf(tmpl.begin(), tmpl.end());
+  buf.push_back('\0');
+  if (mkdtemp(buf.data()) == nullptr) return {};
+  return std::string(buf.data());
+}
+
+}  // namespace
+
+SocketTransport::SocketTransport(const ShardedDatabase& sharded,
+                                 const RuntimeOptions& options,
+                                 RuntimeMetrics* metrics)
+    : sharded_(sharded),
+      options_(options),
+      metrics_(metrics),
+      injector_(options.faults) {}
+
+SocketTransport::~SocketTransport() { Drain(); }
+
+Status SocketTransport::Start() {
+  if (started_) return Status::OK();
+  const int32_t n = sharded_.num_shards();
+  addrs_.resize(static_cast<size_t>(n));
+  procs_.resize(static_cast<size_t>(n));
+  shard_rtt_.clear();
+  for (int32_t i = 0; i < n; ++i) {
+    shard_rtt_.push_back(std::make_unique<LatencyHistogram>());
+  }
+
+  std::string dir;
+  if (options_.transport == TransportKind::kUnixSocket) {
+    dir = options_.socket_dir;
+    if (dir.empty()) {
+      owned_socket_dir_ = DefaultSocketDir();
+      if (owned_socket_dir_.empty()) {
+        return Status::Internal("mkdtemp failed for socket dir");
+      }
+      dir = owned_socket_dir_;
+    }
+  }
+
+  // Bind every listener first: by the time any child serves, every address
+  // exists, so cross-shard connection order can never flake.
+  std::vector<net::Socket> listeners;
+  listeners.reserve(static_cast<size_t>(n));
+  for (int32_t i = 0; i < n; ++i) {
+    net::SocketAddr& addr = addrs_[static_cast<size_t>(i)];
+    if (options_.transport == TransportKind::kUnixSocket) {
+      addr.is_unix = true;
+      addr.path = dir + "/shard-" + std::to_string(i) + ".sock";
+    } else {
+      addr.is_unix = false;
+      addr.port = 0;  // kernel-assigned
+    }
+    Result<net::Socket> listener = Listen(addr);
+    if (!listener.ok()) return listener.status();
+    if (!addr.is_unix) {
+      Result<uint16_t> port = BoundTcpPort(listener.value());
+      if (!port.ok()) return port.status();
+      addr.port = port.value();
+    }
+    listeners.push_back(std::move(listener).value());
+  }
+
+  // Fork the shard servers while this process is still single-threaded:
+  // Replay() only spawns client threads after Start() returns, so the
+  // children never inherit a multi-threaded address space (which keeps the
+  // fork sanitizer-clean) and see the ShardedDatabase copy-on-write.
+  for (int32_t i = 0; i < n; ++i) {
+    pid_t pid = fork();
+    if (pid < 0) {
+      return Status::Internal("fork failed for shard " + std::to_string(i));
+    }
+    if (pid == 0) {
+      // Child: keep only this shard's listener; serve until kShutdown or
+      // SIGTERM; _Exit so no parent-owned state (atexit hooks, buffers,
+      // sanitizer end-of-process checks) runs twice.
+      net::Socket own = std::move(listeners[static_cast<size_t>(i)]);
+      listeners.clear();
+      net::InstallStopSignalHandler();
+      ShardServer server(i, sharded_, options_);
+      server.Serve(std::move(own));
+      std::_Exit(0);
+    }
+    procs_[static_cast<size_t>(i)].pid = pid;
+  }
+  listeners.clear();  // parent: children own the listening fds now
+  started_ = true;
+  return Status::OK();
+}
+
+void SocketTransport::MergeCounters(const TransportCounters& c) {
+  std::lock_guard<std::mutex> guard(counters_mu_);
+  counters_.Merge(c);
+}
+
+void SocketTransport::ShutdownShard(int32_t i) {
+  Result<net::Socket> conn = Connect(addrs_[static_cast<size_t>(i)], 10);
+  if (!conn.ok()) return;  // already dead; ReapShard collects the corpse
+  net::Socket control = std::move(conn).value();
+
+  // A wedged shard must not hang Drain(): bound the stats wait, then let the
+  // reap ladder escalate to SIGTERM/SIGKILL.
+  struct timeval tv{};
+  tv.tv_sec = 5;
+  setsockopt(control.fd(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+
+  TransportCounters local;
+  std::string req = net::EncodeFrame(MsgType::kShutdown, 1, {});
+  if (!net::SendAll(control, req.data(), req.size()).ok()) return;
+  local.messages_sent += 1;
+  local.bytes_sent += req.size();
+
+  net::FrameBuffer in;
+  Frame frame;
+  char chunk[4096];
+  for (;;) {
+    net::FrameBuffer::NextResult res = in.Next(&frame);
+    if (res == net::FrameBuffer::NextResult::kFrame) break;
+    if (res == net::FrameBuffer::NextResult::kCorrupt) return;
+    net::RecvSomeResult r = net::RecvSome(control, chunk, sizeof(chunk));
+    if (r.n <= 0) return;  // timeout, EOF or error: give up on the stats
+    in.Feed(chunk, static_cast<size_t>(r.n));
+    local.bytes_received += static_cast<uint64_t>(r.n);
+  }
+  local.messages_received += 1;
+
+  net::ShardStatsMsg stats;
+  if (frame.type == MsgType::kShardStats && stats.Decode(frame.payload)) {
+    local.shard_frames += stats.frames_received;
+    local.shard_bytes += stats.bytes_received;
+    local.dedup_drops += stats.dedup_dropped;
+  }
+  MergeCounters(local);
+}
+
+void SocketTransport::ReapShard(int32_t i) {
+  pid_t pid = procs_[static_cast<size_t>(i)].pid;
+  if (pid <= 0) return;
+  procs_[static_cast<size_t>(i)].pid = -1;
+
+  // Escalation ladder: grace period for the kShutdown drain, then SIGTERM
+  // (the server's signal handler turns it into a clean stop), then SIGKILL.
+  auto wait_for = [pid](int millis) {
+    for (int waited = 0; waited < millis; waited += 10) {
+      int status = 0;
+      pid_t r = waitpid(pid, &status, WNOHANG);
+      if (r == pid || (r < 0 && errno == ECHILD)) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    return false;
+  };
+  if (wait_for(2000)) return;
+  kill(pid, SIGTERM);
+  if (wait_for(1000)) return;
+  kill(pid, SIGKILL);
+  int status = 0;
+  waitpid(pid, &status, 0);
+}
+
+void SocketTransport::Drain() {
+  if (!started_ || drained_) return;
+  drained_ = true;
+  for (int32_t i = 0; i < sharded_.num_shards(); ++i) {
+    ShutdownShard(i);
+    ReapShard(i);
+  }
+  if (options_.transport == TransportKind::kUnixSocket) {
+    for (const net::SocketAddr& addr : addrs_) unlink(addr.path.c_str());
+    if (!owned_socket_dir_.empty()) rmdir(owned_socket_dir_.c_str());
+  }
+}
+
+TransportReport SocketTransport::Report() const {
+  TransportReport report;
+  report.kind = options_.transport;
+  {
+    std::lock_guard<std::mutex> guard(counters_mu_);
+    report.counters = counters_;
+  }
+  report.shard_rtt.reserve(shard_rtt_.size());
+  for (const auto& hist : shard_rtt_) {
+    report.shard_rtt.push_back(hist->Snapshot());
+    report.rtt.Merge(report.shard_rtt.back());
+  }
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// DistCoordinatorSession: one client thread's coordinator. Owns one lazily
+// connected channel per shard and mirrors TxnCoordinator's accounting with
+// the simulated message sleeps replaced by real wire round trips.
+
+class DistCoordinatorSession : public TransportSession {
+ public:
+  DistCoordinatorSession(SocketTransport* transport, int client_id)
+      : transport_(transport),
+        client_id_(static_cast<uint32_t>(client_id)),
+        options_(transport->options_),
+        injector_(transport->injector_),
+        metrics_(transport->metrics_),
+        prepare_us_(options_.local_work_us + options_.lock_hold_us),
+        wire_faults_(options_.faults.wire_enabled()),
+        channels_(static_cast<size_t>(transport->sharded_.num_shards())) {}
+
+  ~DistCoordinatorSession() override { transport_->MergeCounters(counters_); }
+
+  void ExecuteLocal(const ClassifiedTxn& txn) override;
+  void ExecuteDistributed(const ClassifiedTxn& txn) override;
+
+ private:
+  struct Channel {
+    net::Socket sock;
+    net::FrameBuffer in;
+    uint64_t send_seq = 0;
+    uint64_t last_txn_id = 0;
+    bool has_txn = false;
+    bool connected = false;
+  };
+
+  bool AttemptOnce(const ClassifiedTxn& txn, uint32_t attempt, bool traced);
+  void AbortPrepared(const std::vector<int32_t>& prepared,
+                     const ClassifiedTxn& txn, uint32_t attempt);
+
+  void EnsureConnected(int32_t shard);
+  /// Applies the per-txn disconnect fault: the channel may be torn down and
+  /// re-established, but only before the txn's first message on it.
+  void TouchChannelForTxn(int32_t shard, uint64_t txn_id);
+  void RawSend(int32_t shard, const std::string& bytes);
+  void SendWithFaults(int32_t shard, MsgType type, const std::string& payload,
+                      uint64_t txn_id, uint32_t attempt);
+  /// Blocks until the next non-stray frame of `want` arrives from `shard`.
+  Frame RecvType(int32_t shard, MsgType want);
+  /// One request/response round trip, RTT recorded against `shard`.
+  Frame Call(int32_t shard, MsgType type, const std::string& payload,
+             uint64_t txn_id, uint32_t attempt, MsgType want);
+
+  net::FragmentMsg WholeFragment(const ClassifiedTxn& txn, uint32_t attempt) const;
+  /// Only the accesses shard `p` stores (replicated writes included): the
+  /// slice of the transaction that shard actually prepares.
+  net::FragmentMsg SliceFragment(const ClassifiedTxn& txn, uint32_t attempt,
+                                 int32_t p) const;
+
+  SocketTransport* transport_;
+  const uint32_t client_id_;
+  const RuntimeOptions& options_;
+  const FaultInjector& injector_;
+  RuntimeMetrics* metrics_;
+  const uint32_t prepare_us_;
+  const bool wire_faults_;
+
+  std::vector<Channel> channels_;
+  TransportCounters counters_;
+};
+
+void DistCoordinatorSession::EnsureConnected(int32_t shard) {
+  Channel& ch = channels_[static_cast<size_t>(shard)];
+  if (ch.connected) return;
+  Result<net::Socket> conn = Connect(transport_->addrs_[static_cast<size_t>(shard)]);
+  if (!conn.ok()) TransportPanic("connect", shard, conn.status());
+  ch.sock = std::move(conn).value();
+  ch.in = net::FrameBuffer();
+  ch.send_seq = 0;
+  ch.connected = true;
+
+  net::HelloMsg hello;
+  hello.client_id = client_id_;
+  hello.shard_id = shard;
+  std::string frame =
+      net::EncodeFrame(MsgType::kHello, ++ch.send_seq, hello.Encode());
+  RawSend(shard, frame);
+  Frame ack = RecvType(shard, MsgType::kHelloAck);
+  net::HelloAckMsg am;
+  if (!am.Decode(ack.payload) || am.shard_id != shard) {
+    TransportPanic("hello", shard, Status::Internal("bad HelloAck"));
+  }
+}
+
+void DistCoordinatorSession::TouchChannelForTxn(int32_t shard, uint64_t txn_id) {
+  Channel& ch = channels_[static_cast<size_t>(shard)];
+  const bool first_msg_of_txn = !ch.has_txn || ch.last_txn_id != txn_id;
+  ch.has_txn = true;
+  ch.last_txn_id = txn_id;
+  if (!first_msg_of_txn || !wire_faults_ || !ch.connected) return;
+  if (!injector_.WireDisconnects(txn_id, shard)) return;
+  // Tear the connection down between transactions only: the reconnect is
+  // pure wire churn, invisible to 2PC outcomes by construction.
+  ch.sock.Close();
+  ch.connected = false;
+  counters_.reconnects += 1;
+}
+
+void DistCoordinatorSession::RawSend(int32_t shard, const std::string& bytes) {
+  Channel& ch = channels_[static_cast<size_t>(shard)];
+  Status s = net::SendAll(ch.sock, bytes.data(), bytes.size());
+  if (!s.ok()) TransportPanic("send", shard, s);
+  counters_.messages_sent += 1;
+  counters_.bytes_sent += bytes.size();
+}
+
+void DistCoordinatorSession::SendWithFaults(int32_t shard, MsgType type,
+                                            const std::string& payload,
+                                            uint64_t txn_id, uint32_t attempt) {
+  TouchChannelForTxn(shard, txn_id);
+  EnsureConnected(shard);
+  Channel& ch = channels_[static_cast<size_t>(shard)];
+  const uint8_t kind = static_cast<uint8_t>(type);
+  if (wire_faults_ && injector_.WireDelays(txn_id, attempt, shard, kind)) {
+    counters_.wire_delays += 1;
+    SimulateNetworkDelay(injector_.plan().wire_delay_us);
+  }
+  const std::string bytes = net::EncodeFrame(type, ++ch.send_seq, payload);
+  if (wire_faults_ && injector_.WireDrops(txn_id, attempt, shard, kind)) {
+    // The first copy is "lost on the wire": account it as sent, never write
+    // it, wait out the retransmit timer, then send for real.
+    counters_.wire_drops += 1;
+    counters_.messages_sent += 1;
+    counters_.bytes_sent += bytes.size();
+    SimulateNetworkDelay(injector_.plan().wire_retransmit_us);
+  }
+  RawSend(shard, bytes);
+  if (wire_faults_ && injector_.WireDuplicates(txn_id, attempt, shard, kind)) {
+    // Same sequence number on purpose: the shard's dedup watermark drops it.
+    counters_.wire_duplicates += 1;
+    RawSend(shard, bytes);
+  }
+}
+
+Frame DistCoordinatorSession::RecvType(int32_t shard, MsgType want) {
+  Channel& ch = channels_[static_cast<size_t>(shard)];
+  char chunk[64 * 1024];
+  Frame frame;
+  for (;;) {
+    net::FrameBuffer::NextResult res = ch.in.Next(&frame);
+    if (res == net::FrameBuffer::NextResult::kFrame) {
+      counters_.messages_received += 1;
+      if (frame.type == want) return frame;
+      continue;  // stray (late ack of an aborted attempt): skip
+    }
+    if (res == net::FrameBuffer::NextResult::kCorrupt) {
+      TransportPanic("recv", shard, ch.in.error());
+    }
+    net::RecvSomeResult r = net::RecvSome(ch.sock, chunk, sizeof(chunk));
+    if (r.n == 0) TransportPanic("recv", shard, Status::Internal("peer closed"));
+    if (r.n < 0 && !r.status.ok()) TransportPanic("recv", shard, r.status);
+    if (r.n > 0) {
+      ch.in.Feed(chunk, static_cast<size_t>(r.n));
+      counters_.bytes_received += static_cast<uint64_t>(r.n);
+    }
+  }
+}
+
+Frame DistCoordinatorSession::Call(int32_t shard, MsgType type,
+                                   const std::string& payload, uint64_t txn_id,
+                                   uint32_t attempt, MsgType want) {
+  auto start = std::chrono::steady_clock::now();
+  SendWithFaults(shard, type, payload, txn_id, attempt);
+  Frame reply = RecvType(shard, want);
+  transport_->shard_rtt_[static_cast<size_t>(shard)]->Record(ElapsedUs(start));
+  return reply;
+}
+
+net::FragmentMsg DistCoordinatorSession::WholeFragment(const ClassifiedTxn& txn,
+                                                       uint32_t attempt) const {
+  net::FragmentMsg frag;
+  frag.txn_id = txn.txn_id;
+  frag.attempt = attempt;
+  frag.class_id = txn.txn->class_id;
+  frag.accesses.reserve(txn.txn->accesses.size());
+  for (const Access& a : txn.txn->accesses) {
+    frag.accesses.push_back({static_cast<uint32_t>(a.tuple.table),
+                             static_cast<uint64_t>(a.tuple.row),
+                             static_cast<uint8_t>(a.write ? 1 : 0)});
+  }
+  return frag;
+}
+
+net::FragmentMsg DistCoordinatorSession::SliceFragment(const ClassifiedTxn& txn,
+                                                       uint32_t attempt,
+                                                       int32_t p) const {
+  net::FragmentMsg frag;
+  frag.txn_id = txn.txn_id;
+  frag.attempt = attempt;
+  frag.class_id = txn.txn->class_id;
+  for (const Access& a : txn.txn->accesses) {
+    int32_t owner = transport_->sharded_.PrimaryShardOf(a.tuple);
+    // Replicated reads are satisfied by any copy; replicated writes must be
+    // applied on every participant, so every slice carries them.
+    if (owner != p && !(owner == kReplicated && a.write)) continue;
+    frag.accesses.push_back({static_cast<uint32_t>(a.tuple.table),
+                             static_cast<uint64_t>(a.tuple.row),
+                             static_cast<uint8_t>(a.write ? 1 : 0)});
+  }
+  return frag;
+}
+
+void DistCoordinatorSession::ExecuteLocal(const ClassifiedTxn& txn) {
+  TraceRecorder& rec = TraceRecorder::Default();
+  const bool traced =
+      rec.enabled() &&
+      TxnTraceSampled(options_.faults.seed, txn.txn_id, options_.trace_sample_rate);
+  auto start = std::chrono::steady_clock::now();
+  const uint64_t start_ts = traced ? rec.ToTraceUs(start) : 0;
+
+  if (options_.verify_residency) {
+    uint64_t faults = CountResidencyFaults(transport_->sharded_, txn);
+    if (faults > 0) {
+      metrics_->residency_faults.fetch_add(faults, std::memory_order_relaxed);
+    }
+  }
+
+  Call(txn.home, MsgType::kExecute, WholeFragment(txn, 0).Encode(), txn.txn_id,
+       0, MsgType::kExecuteAck);
+
+  // The shard burned local_work_us executing the fragment; account it to the
+  // shard exactly as the in-process worker does for itself.
+  ShardMetrics& sm = metrics_->shard(txn.home);
+  sm.busy_us.fetch_add(options_.local_work_us, std::memory_order_relaxed);
+  uint64_t latency_us = ElapsedUs(start);
+  sm.local_txns.fetch_add(1, std::memory_order_relaxed);
+  sm.local_latency.Record(latency_us);
+  metrics_->committed.fetch_add(1, std::memory_order_relaxed);
+  if (traced) {
+    rec.Span("runtime", "txn.local", start_ts, latency_us, "txn",
+             static_cast<int64_t>(txn.txn_id), "shard", txn.home);
+  }
+}
+
+void DistCoordinatorSession::AbortPrepared(const std::vector<int32_t>& prepared,
+                                           const ClassifiedTxn& txn,
+                                           uint32_t attempt) {
+  // Fire-and-forget, like the in-process backend releasing locks without a
+  // round trip. Delivery is still guaranteed: the drop fault retransmits.
+  net::TxnRefMsg ref;
+  ref.txn_id = txn.txn_id;
+  ref.attempt = attempt;
+  const std::string payload = ref.Encode();
+  for (int32_t p : prepared) {
+    SendWithFaults(p, MsgType::kAbort, payload, txn.txn_id, attempt);
+  }
+}
+
+bool DistCoordinatorSession::AttemptOnce(const ClassifiedTxn& txn,
+                                         uint32_t attempt, bool traced) {
+  TraceRecorder& rec = TraceRecorder::Default();
+  const int64_t tid = static_cast<int64_t>(txn.txn_id);
+  const uint64_t prepare_ts = traced ? rec.NowUs() : 0;
+
+  // Prepare phase: participants in ascending id order (deadlock freedom —
+  // see dist/shard_server.h). Each Call's vote round trip replaces one
+  // in-process SimulateNetworkDelay with real wire latency; the metric
+  // updates below mirror TxnCoordinator::AttemptOnce line for line, driven
+  // by the shard's reported decisions instead of local injector calls (the
+  // two agree bit-for-bit: same plan, same pure decision function).
+  std::vector<int32_t> prepared;
+  prepared.reserve(txn.participants.size());
+  for (int32_t p : txn.participants) {
+    ShardMetrics& sm = metrics_->shard(p);
+    sm.participation_attempts.fetch_add(1, std::memory_order_relaxed);
+    Frame vote_frame = Call(p, MsgType::kPrepare,
+                            SliceFragment(txn, attempt, p).Encode(), txn.txn_id,
+                            attempt, MsgType::kVote);
+    net::VoteMsg vote;
+    if (!vote.Decode(vote_frame.payload)) {
+      TransportPanic("vote", p, Status::Internal("undecodable VoteMsg"));
+    }
+    if (vote.decision == net::VoteDecision::kDown) {
+      sm.down_events.fetch_add(1, std::memory_order_relaxed);
+      metrics_->shard_down_aborts.fetch_add(1, std::memory_order_relaxed);
+      if (traced) rec.Instant("fault", "fault.shard_down", "txn", tid, "shard", p);
+      AbortPrepared(prepared, txn, attempt);
+      return false;
+    }
+    sm.busy_us.fetch_add(prepare_us_, std::memory_order_relaxed);
+    if (vote.stalled != 0) {
+      sm.stalls.fetch_add(1, std::memory_order_relaxed);
+      metrics_->stalls_injected.fetch_add(1, std::memory_order_relaxed);
+      if (traced) rec.Instant("fault", "fault.stall", "txn", tid, "shard", p);
+    }
+    if (vote.decision == net::VoteDecision::kReject) {
+      sm.prepare_rejects.fetch_add(1, std::memory_order_relaxed);
+      metrics_->prepare_rejects.fetch_add(1, std::memory_order_relaxed);
+      if (traced) {
+        rec.Instant("fault", "fault.prepare_reject", "txn", tid, "shard", p);
+      }
+      AbortPrepared(prepared, txn, attempt);
+      return false;
+    }
+    sm.dist_participations.fetch_add(1, std::memory_order_relaxed);
+    prepared.push_back(p);
+  }
+
+  if (injector_.enabled() && injector_.CoordinatorTimesOut(txn.txn_id, attempt)) {
+    // Every prepared shard keeps holding (blocked in its NextFrom) while the
+    // coordinator waits out the vote timeout — the expensive abort, with the
+    // hold now enforced by real blocked event loops instead of mutexes.
+    metrics_->coordinator_timeouts.fetch_add(1, std::memory_order_relaxed);
+    if (traced) {
+      rec.Instant("fault", "fault.timeout", "txn", tid, "attempt",
+                  static_cast<int64_t>(attempt));
+    }
+    SimulateNetworkDelay(injector_.plan().timeout_us);
+    AbortPrepared(prepared, txn, attempt);
+    return false;
+  }
+  if (traced) {
+    rec.Span("runtime", "2pc.prepare", prepare_ts, rec.NowUs() - prepare_ts,
+             "txn", tid, "attempt", static_cast<int64_t>(attempt));
+  }
+  const uint64_t commit_ts = traced ? rec.NowUs() : 0;
+
+  // Commit round: each ack releases that shard's hold. Latency the client
+  // observes; the shards free up one by one as the acks come back.
+  net::TxnRefMsg ref;
+  ref.txn_id = txn.txn_id;
+  ref.attempt = attempt;
+  const std::string payload = ref.Encode();
+  for (int32_t p : prepared) {
+    Call(p, MsgType::kCommit, payload, txn.txn_id, attempt, MsgType::kCommitAck);
+  }
+  if (traced) {
+    rec.Span("runtime", "2pc.commit", commit_ts, rec.NowUs() - commit_ts, "txn",
+             tid, "attempt", static_cast<int64_t>(attempt));
+  }
+  return true;
+}
+
+void DistCoordinatorSession::ExecuteDistributed(const ClassifiedTxn& txn) {
+  TraceRecorder& rec = TraceRecorder::Default();
+  const bool traced =
+      rec.enabled() &&
+      TxnTraceSampled(options_.faults.seed, txn.txn_id, options_.trace_sample_rate);
+  const int64_t tid = static_cast<int64_t>(txn.txn_id);
+  auto start = std::chrono::steady_clock::now();
+  const uint64_t start_ts = traced ? rec.ToTraceUs(start) : 0;
+
+  if (options_.verify_residency) {
+    uint64_t faults = CountResidencyFaults(transport_->sharded_, txn);
+    if (faults > 0) {
+      metrics_->residency_faults.fetch_add(faults, std::memory_order_relaxed);
+    }
+  }
+
+  const uint32_t budget = std::max(injector_.plan().max_attempts, 1u);
+  for (uint32_t attempt = 0; attempt < budget; ++attempt) {
+    if (AttemptOnce(txn, attempt, traced)) {
+      uint64_t latency_us = ElapsedUs(start);
+      metrics_->shard(txn.home).dist_latency.Record(latency_us);
+      if (attempt > 0) metrics_->retry_latency.Record(latency_us);
+      if (txn.distributed) {
+        metrics_->distributed_committed.fetch_add(1, std::memory_order_relaxed);
+      }
+      metrics_->committed.fetch_add(1, std::memory_order_relaxed);
+      if (traced) {
+        rec.Span("runtime", "txn.dist", start_ts, latency_us, "txn", tid,
+                 "attempts", static_cast<int64_t>(attempt) + 1);
+      }
+      return;
+    }
+    metrics_->aborts.fetch_add(1, std::memory_order_relaxed);
+    if (attempt + 1 < budget) {
+      metrics_->retries.fetch_add(1, std::memory_order_relaxed);
+      const uint64_t backoff_ts = traced ? rec.NowUs() : 0;
+      SimulateNetworkDelay(injector_.BackoffUs(txn.txn_id, attempt));
+      if (traced) {
+        rec.Span("runtime", "backoff", backoff_ts, rec.NowUs() - backoff_ts,
+                 "txn", tid, "attempt", static_cast<int64_t>(attempt));
+      }
+    }
+  }
+
+  metrics_->failed.fetch_add(1, std::memory_order_relaxed);
+  if (traced) {
+    rec.Span("runtime", "txn.failed", start_ts, ElapsedUs(start), "txn", tid,
+             "attempts", static_cast<int64_t>(budget));
+  }
+}
+
+std::unique_ptr<TransportSession> SocketTransport::NewSession(int client_id) {
+  return std::make_unique<DistCoordinatorSession>(this, client_id);
+}
+
+}  // namespace jecb

@@ -1,0 +1,108 @@
+// The real-wire backend: one forked ShardServer process per shard, one
+// socket connection per (client session, shard), and a DistCoordinator on
+// each client thread driving actual prepare/vote/commit/ack message rounds
+// instead of the in-process backend's simulated sleeps.
+//
+// Process model: Start() binds every shard's listener and THEN forks, while
+// the parent is still single-threaded — the children inherit the immutable
+// ShardedDatabase copy-on-write (no serialization) and a clean address
+// space (fork before client threads is what keeps this sanitizer-safe).
+// Each child keeps only its own listener, installs the SIGTERM handler and
+// serves until the Drain() control round sends it kShutdown; the parent
+// reaps it with an escalating waitpid -> SIGTERM -> SIGKILL ladder so a
+// wedged shard can never hang the replay.
+//
+// Accounting: the parent mirrors TxnCoordinator's metric updates step for
+// step, keyed off the shard's VoteMsg (which carries the shard-side
+// fault decisions), so RuntimeMetrics — and therefore
+// ReplayReport::OutcomeSignature() — is bit-identical to the in-process
+// backend for the same seed. Wire-level traffic lands in TransportCounters
+// instead, which the signature deliberately excludes.
+//
+// Wire fault injection (FaultPlan::wire_*) is applied in the coordinator's
+// send path: drops are retransmitted after a simulated timer, duplicates
+// are re-sent with the same sequence number (the shard's event loop dedups
+// them), delays sleep before the send, and disconnects tear the channel
+// down between transactions only. All four perturb timing and transport
+// counters, never outcomes — see FaultPlan for the masking contract.
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "dist/transport.h"
+#include "net/socket.h"
+#include "net/wire.h"
+#include "obs/histogram.h"
+#include "runtime/executor.h"
+#include "runtime/fault_injector.h"
+#include "runtime/metrics.h"
+#include "runtime/sharded_database.h"
+
+namespace jecb {
+
+class SocketTransport : public Transport {
+ public:
+  SocketTransport(const ShardedDatabase& sharded, const RuntimeOptions& options,
+                  RuntimeMetrics* metrics);
+  ~SocketTransport() override;
+
+  /// Binds one listener per shard and forks the shard-server processes.
+  /// Must run before any client thread exists (the children must never
+  /// inherit a multi-threaded address space).
+  Status Start() override;
+
+  std::unique_ptr<TransportSession> NewSession(int client_id) override;
+
+  /// Shuts the shards down over a control connection (kShutdown ->
+  /// kShardStats harvests their counters), reaps every child process, and
+  /// removes the socket files. Idempotent.
+  void Drain() override;
+
+  TransportReport Report() const override;
+  TransportKind kind() const override { return options_.transport; }
+
+  /// Address of shard `i`'s listener (valid after Start()).
+  const net::SocketAddr& shard_addr(int32_t i) const { return addrs_[i]; }
+
+ private:
+  friend class DistCoordinatorSession;
+
+  struct ShardProc {
+    pid_t pid = -1;
+  };
+
+  /// Sessions fold their local wire counters in here when they die;
+  /// Drain() adds the shard-reported stats.
+  void MergeCounters(const TransportCounters& c);
+
+  /// Sends kShutdown to shard `i` and folds its kShardStats reply into the
+  /// transport counters. Best effort: a dead shard is simply reaped.
+  void ShutdownShard(int32_t i);
+  void ReapShard(int32_t i);
+
+  const ShardedDatabase& sharded_;
+  const RuntimeOptions options_;
+  RuntimeMetrics* metrics_;
+  const FaultInjector injector_;
+
+  std::vector<net::SocketAddr> addrs_;
+  std::vector<ShardProc> procs_;
+  std::string owned_socket_dir_;  ///< mkdtemp'd; removed by Drain()
+  bool started_ = false;
+  bool drained_ = false;
+
+  /// Request->response latency per shard, recorded by every session
+  /// (LatencyHistogram is concurrent).
+  std::vector<std::unique_ptr<LatencyHistogram>> shard_rtt_;
+
+  mutable std::mutex counters_mu_;
+  TransportCounters counters_;
+};
+
+}  // namespace jecb

@@ -1,0 +1,57 @@
+#include "dist/transport.h"
+
+#include "dist/socket_transport.h"
+
+namespace jecb {
+
+void TransportCounters::Merge(const TransportCounters& o) {
+  messages_sent += o.messages_sent;
+  messages_received += o.messages_received;
+  bytes_sent += o.bytes_sent;
+  bytes_received += o.bytes_received;
+  reconnects += o.reconnects;
+  wire_drops += o.wire_drops;
+  wire_delays += o.wire_delays;
+  wire_duplicates += o.wire_duplicates;
+  dedup_drops += o.dedup_drops;
+  shard_frames += o.shard_frames;
+  shard_bytes += o.shard_bytes;
+}
+
+namespace {
+
+/// Forwards to the shared executor/coordinator pair — the in-process
+/// backend was already thread-safe, so every session is a thin view.
+class InProcessSession : public TransportSession {
+ public:
+  InProcessSession(ShardExecutor* executor, TxnCoordinator* coordinator)
+      : executor_(executor), coordinator_(coordinator) {}
+
+  void ExecuteLocal(const ClassifiedTxn& txn) override {
+    executor_->ExecuteLocal(txn);
+  }
+  void ExecuteDistributed(const ClassifiedTxn& txn) override {
+    coordinator_->ExecuteDistributed(txn);
+  }
+
+ private:
+  ShardExecutor* executor_;
+  TxnCoordinator* coordinator_;
+};
+
+}  // namespace
+
+std::unique_ptr<TransportSession> InProcessTransport::NewSession(int /*client_id*/) {
+  return std::make_unique<InProcessSession>(&executor_, &coordinator_);
+}
+
+std::unique_ptr<Transport> MakeTransport(const ShardedDatabase& sharded,
+                                         const RuntimeOptions& options,
+                                         RuntimeMetrics* metrics) {
+  if (options.transport == TransportKind::kInProcess) {
+    return std::make_unique<InProcessTransport>(sharded, options, metrics);
+  }
+  return std::make_unique<SocketTransport>(sharded, options, metrics);
+}
+
+}  // namespace jecb

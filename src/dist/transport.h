@@ -1,0 +1,148 @@
+// Transport: the seam between the replay driver and an execution backend.
+// Replay() classifies the trace and spins up closed-loop clients; every
+// transaction then goes through a TransportSession, which either forwards to
+// the in-process executor/coordinator (the deterministic-test backend) or
+// drives real 2PC message rounds to forked shard-server processes over
+// sockets (dist/socket_transport.h). Both backends update the SAME
+// RuntimeMetrics with the SAME accounting rules, which is what makes
+// ReplayReport::OutcomeSignature() backend-invariant.
+//
+// Lifecycle contract (Replay() enforces the order):
+//   Start() -> NewSession() per client thread -> sessions destroyed ->
+//   Drain() -> metrics snapshot.
+// Drain() must not return until every submitted transaction's counters are
+// final and all backend resources (worker threads, shard processes, socket
+// files) are released — the graceful-shutdown ordering that guarantees late
+// completions are never dropped from the report.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/histogram.h"
+#include "runtime/executor.h"
+#include "runtime/fault_injector.h"
+#include "runtime/metrics.h"
+#include "runtime/sharded_database.h"
+#include "runtime/txn_coordinator.h"
+
+namespace jecb {
+
+/// Wire-level accounting, all measured at the coordinator side of each
+/// connection (plus shard-reported dedup/disconnect counts harvested at
+/// shutdown). All zero for the in-process backend. Deliberately NOT part of
+/// OutcomeSignature(): the signature is the cross-backend outcome oracle,
+/// and transport traffic differs between backends by construction.
+struct TransportCounters {
+  uint64_t messages_sent = 0;
+  uint64_t messages_received = 0;
+  uint64_t bytes_sent = 0;
+  uint64_t bytes_received = 0;
+  uint64_t reconnects = 0;
+  uint64_t wire_drops = 0;       ///< injected drops (retransmitted)
+  uint64_t wire_delays = 0;      ///< injected send delays
+  uint64_t wire_duplicates = 0;  ///< injected duplicate sends
+  uint64_t dedup_drops = 0;      ///< duplicates the receivers suppressed
+  uint64_t shard_frames = 0;     ///< frames the shard servers processed
+  uint64_t shard_bytes = 0;      ///< bytes the shard servers received
+
+  void Merge(const TransportCounters& o);
+};
+
+/// Snapshot of a transport after Drain(): identity, counters, and the
+/// per-shard request->response latency distributions (merged into one
+/// overall histogram via LatencyHistogram::Merge for the report summary).
+struct TransportReport {
+  TransportKind kind = TransportKind::kInProcess;
+  TransportCounters counters;
+  std::vector<HistogramData> shard_rtt;  ///< indexed by shard id
+  HistogramData rtt;                     ///< all shards merged
+
+  bool real_wire() const { return kind != TransportKind::kInProcess; }
+};
+
+/// One client thread's handle onto the backend. Sessions are not
+/// thread-safe; each closed-loop client owns exactly one.
+class TransportSession {
+ public:
+  virtual ~TransportSession() = default;
+
+  /// Runs a single-partition transaction to commit; blocks (closed loop).
+  virtual void ExecuteLocal(const ClassifiedTxn& txn) = 0;
+
+  /// Runs a multi-partition transaction through 2PC to commit or recorded
+  /// failure, including retries and backoff.
+  virtual void ExecuteDistributed(const ClassifiedTxn& txn) = 0;
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Brings the backend up (spawns worker threads / shard processes).
+  virtual Status Start() = 0;
+
+  /// A session for one client thread. `client_id` identifies the client in
+  /// handshakes and diagnostics. Only valid between Start() and Drain().
+  virtual std::unique_ptr<TransportSession> NewSession(int client_id) = 0;
+
+  /// Quiesces and tears down the backend: drains queues, joins workers,
+  /// shuts down and reaps shard processes. Idempotent. Every counter is
+  /// final once this returns — call it BEFORE RuntimeMetrics::Snapshot().
+  virtual void Drain() = 0;
+
+  /// Final transport accounting; meaningful after Drain().
+  virtual TransportReport Report() const = 0;
+
+  virtual TransportKind kind() const = 0;
+};
+
+/// Builds the backend selected by `options.transport`. The returned
+/// transport borrows `sharded`, `options` and `metrics`, which must outlive
+/// it. Socket backends fork their shard processes inside Start() — call it
+/// before spawning any client thread so the children never inherit a
+/// multi-threaded address space.
+std::unique_ptr<Transport> MakeTransport(const ShardedDatabase& sharded,
+                                         const RuntimeOptions& options,
+                                         RuntimeMetrics* metrics);
+
+/// The deterministic-test backend: wraps the per-shard worker pool and the
+/// in-process 2PC coordinator, exactly the pre-distributed code path.
+class InProcessTransport : public Transport {
+ public:
+  InProcessTransport(const ShardedDatabase& sharded,
+                     const RuntimeOptions& options, RuntimeMetrics* metrics)
+      : executor_(sharded, options, metrics),
+        injector_(options.faults),
+        coordinator_(&executor_, &injector_) {}
+
+  Status Start() override {
+    executor_.Start();
+    return Status::OK();
+  }
+
+  std::unique_ptr<TransportSession> NewSession(int client_id) override;
+
+  /// Closes the shard queues and joins every worker; queued transactions
+  /// all execute before this returns (WorkQueue drains on Close).
+  void Drain() override { executor_.Shutdown(); }
+
+  TransportReport Report() const override {
+    TransportReport r;
+    r.kind = TransportKind::kInProcess;
+    r.shard_rtt.resize(static_cast<size_t>(executor_.num_shards()));
+    return r;
+  }
+
+  TransportKind kind() const override { return TransportKind::kInProcess; }
+
+ private:
+  ShardExecutor executor_;
+  FaultInjector injector_;
+  TxnCoordinator coordinator_;
+};
+
+}  // namespace jecb

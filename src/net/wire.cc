@@ -1,0 +1,239 @@
+#include "net/wire.h"
+
+#include <array>
+#include <cstring>
+
+namespace jecb::net {
+
+namespace {
+
+std::array<uint32_t, 256> BuildCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& CrcTable() {
+  static const std::array<uint32_t, 256> table = BuildCrcTable();
+  return table;
+}
+
+bool ValidType(uint8_t t) {
+  return t >= static_cast<uint8_t>(MsgType::kHello) &&
+         t <= static_cast<uint8_t>(MsgType::kShardStats);
+}
+
+}  // namespace
+
+std::string_view MsgTypeName(MsgType t) {
+  switch (t) {
+    case MsgType::kHello: return "hello";
+    case MsgType::kHelloAck: return "hello_ack";
+    case MsgType::kExecute: return "execute";
+    case MsgType::kExecuteAck: return "execute_ack";
+    case MsgType::kPrepare: return "prepare";
+    case MsgType::kVote: return "vote";
+    case MsgType::kCommit: return "commit";
+    case MsgType::kCommitAck: return "commit_ack";
+    case MsgType::kAbort: return "abort";
+    case MsgType::kShutdown: return "shutdown";
+    case MsgType::kShardStats: return "shard_stats";
+  }
+  return "unknown";
+}
+
+uint32_t Crc32(const void* data, size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  const auto& table = CrcTable();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < len; ++i) crc = table[(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::string EncodeFrame(MsgType type, uint64_t seq, std::string_view payload) {
+  WireWriter w;
+  w.U32(static_cast<uint32_t>(payload.size()));
+  w.U8(kWireVersion);
+  w.U8(static_cast<uint8_t>(type));
+  w.U16(0);  // flags, reserved
+  w.U64(seq);
+  w.U32(Crc32(payload.data(), payload.size()));
+  std::string out = w.Take();
+  out.append(payload.data(), payload.size());
+  return out;
+}
+
+FrameBuffer::NextResult FrameBuffer::Next(Frame* out) {
+  if (!error_.ok()) return NextResult::kCorrupt;
+  if (buf_.size() < kFrameHeaderBytes) return NextResult::kNeedMore;
+  WireReader header(std::string_view(buf_).substr(0, kFrameHeaderBytes));
+  uint32_t payload_len = 0, crc = 0;
+  uint8_t version = 0, type = 0;
+  uint16_t flags = 0;
+  uint64_t seq = 0;
+  header.U32(&payload_len);
+  header.U8(&version);
+  header.U8(&type);
+  header.U16(&flags);
+  header.U64(&seq);
+  header.U32(&crc);
+  if (version != kWireVersion) {
+    error_ = Status::ParseError("wire version mismatch: got " +
+                                std::to_string(version) + ", want " +
+                                std::to_string(kWireVersion));
+    return NextResult::kCorrupt;
+  }
+  if (!ValidType(type)) {
+    error_ = Status::ParseError("unknown frame type " + std::to_string(type));
+    return NextResult::kCorrupt;
+  }
+  if (payload_len > kMaxPayloadBytes) {
+    error_ = Status::ParseError("frame payload of " + std::to_string(payload_len) +
+                                " bytes exceeds the " +
+                                std::to_string(kMaxPayloadBytes) + " byte cap");
+    return NextResult::kCorrupt;
+  }
+  const size_t total = kFrameHeaderBytes + payload_len;
+  if (buf_.size() < total) return NextResult::kNeedMore;
+  std::string_view payload = std::string_view(buf_).substr(kFrameHeaderBytes, payload_len);
+  if (Crc32(payload.data(), payload.size()) != crc) {
+    error_ = Status::ParseError("frame CRC mismatch on " +
+                                std::string(MsgTypeName(static_cast<MsgType>(type))) +
+                                " seq " + std::to_string(seq));
+    return NextResult::kCorrupt;
+  }
+  out->type = static_cast<MsgType>(type);
+  out->seq = seq;
+  out->payload.assign(payload.data(), payload.size());
+  buf_.erase(0, total);
+  return NextResult::kFrame;
+}
+
+// ---------------------------------------------------------------------------
+
+std::string HelloMsg::Encode() const {
+  WireWriter w;
+  w.U32(client_id);
+  w.U32(static_cast<uint32_t>(shard_id));
+  return w.Take();
+}
+
+bool HelloMsg::Decode(std::string_view payload) {
+  WireReader r(payload);
+  uint32_t shard = 0;
+  if (!r.U32(&client_id) || !r.U32(&shard)) return false;
+  shard_id = static_cast<int32_t>(shard);
+  return r.AtEnd();
+}
+
+std::string HelloAckMsg::Encode() const {
+  WireWriter w;
+  w.U32(static_cast<uint32_t>(shard_id));
+  w.U32(static_cast<uint32_t>(num_shards));
+  return w.Take();
+}
+
+bool HelloAckMsg::Decode(std::string_view payload) {
+  WireReader r(payload);
+  uint32_t shard = 0, n = 0;
+  if (!r.U32(&shard) || !r.U32(&n)) return false;
+  shard_id = static_cast<int32_t>(shard);
+  num_shards = static_cast<int32_t>(n);
+  return r.AtEnd();
+}
+
+std::string FragmentMsg::Encode() const {
+  WireWriter w;
+  w.U64(txn_id);
+  w.U32(attempt);
+  w.U32(class_id);
+  w.U32(static_cast<uint32_t>(accesses.size()));
+  for (const WireAccess& a : accesses) {
+    w.U32(a.table);
+    w.U64(a.row);
+    w.U8(a.write);
+  }
+  return w.Take();
+}
+
+bool FragmentMsg::Decode(std::string_view payload) {
+  WireReader r(payload);
+  uint32_t count = 0;
+  if (!r.U64(&txn_id) || !r.U32(&attempt) || !r.U32(&class_id) || !r.U32(&count)) {
+    return false;
+  }
+  // Each access takes 13 bytes; reject counts the remaining payload cannot
+  // possibly hold before reserving anything.
+  if (static_cast<uint64_t>(count) * 13 > r.remaining()) return false;
+  accesses.clear();
+  accesses.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    WireAccess a;
+    if (!r.U32(&a.table) || !r.U64(&a.row) || !r.U8(&a.write)) return false;
+    accesses.push_back(a);
+  }
+  return r.AtEnd();
+}
+
+std::string VoteMsg::Encode() const {
+  WireWriter w;
+  w.U64(txn_id);
+  w.U32(attempt);
+  w.U8(static_cast<uint8_t>(decision));
+  w.U8(stalled);
+  return w.Take();
+}
+
+bool VoteMsg::Decode(std::string_view payload) {
+  WireReader r(payload);
+  uint8_t d = 0;
+  if (!r.U64(&txn_id) || !r.U32(&attempt) || !r.U8(&d) || !r.U8(&stalled)) {
+    return false;
+  }
+  if (d > static_cast<uint8_t>(VoteDecision::kDown)) return false;
+  decision = static_cast<VoteDecision>(d);
+  return r.AtEnd();
+}
+
+std::string TxnRefMsg::Encode() const {
+  WireWriter w;
+  w.U64(txn_id);
+  w.U32(attempt);
+  return w.Take();
+}
+
+bool TxnRefMsg::Decode(std::string_view payload) {
+  WireReader r(payload);
+  return r.U64(&txn_id) && r.U32(&attempt) && r.AtEnd();
+}
+
+std::string ShardStatsMsg::Encode() const {
+  WireWriter w;
+  w.U64(executed_local);
+  w.U64(prepares_served);
+  w.U64(commits_applied);
+  w.U64(aborts_observed);
+  w.U64(stalls_served);
+  w.U64(frames_received);
+  w.U64(frames_sent);
+  w.U64(bytes_received);
+  w.U64(bytes_sent);
+  w.U64(dedup_dropped);
+  w.U64(peer_disconnects);
+  return w.Take();
+}
+
+bool ShardStatsMsg::Decode(std::string_view payload) {
+  WireReader r(payload);
+  return r.U64(&executed_local) && r.U64(&prepares_served) &&
+         r.U64(&commits_applied) && r.U64(&aborts_observed) &&
+         r.U64(&stalls_served) && r.U64(&frames_received) &&
+         r.U64(&frames_sent) && r.U64(&bytes_received) && r.U64(&bytes_sent) &&
+         r.U64(&dedup_dropped) && r.U64(&peer_disconnects) && r.AtEnd();
+}
+
+}  // namespace jecb::net

@@ -4,6 +4,28 @@
 
 namespace jecb {
 
+std::string_view TransportKindName(TransportKind kind) {
+  switch (kind) {
+    case TransportKind::kInProcess: return "inproc";
+    case TransportKind::kUnixSocket: return "unix";
+    case TransportKind::kTcpSocket: return "tcp";
+  }
+  return "unknown";
+}
+
+uint64_t CountResidencyFaults(const ShardedDatabase& sharded,
+                              const ClassifiedTxn& txn) {
+  uint64_t faults = 0;
+  for (const Access& a : txn.txn->accesses) {
+    int32_t p = sharded.PrimaryShardOf(a.tuple);
+    if (p == kReplicated) continue;  // present on every shard
+    if (!std::binary_search(txn.participants.begin(), txn.participants.end(), p)) {
+      ++faults;
+    }
+  }
+  return faults;
+}
+
 ShardExecutor::ShardExecutor(const ShardedDatabase& sharded_db,
                              const RuntimeOptions& options, RuntimeMetrics* metrics)
     : sharded_db_(sharded_db), options_(options), metrics_(metrics) {
@@ -47,14 +69,7 @@ void ShardExecutor::Shutdown() {
 }
 
 void ShardExecutor::VerifyResidency(const ClassifiedTxn& txn) {
-  uint64_t faults = 0;
-  for (const Access& a : txn.txn->accesses) {
-    int32_t p = sharded_db_.PrimaryShardOf(a.tuple);
-    if (p == kReplicated) continue;  // present on every shard
-    if (!std::binary_search(txn.participants.begin(), txn.participants.end(), p)) {
-      ++faults;
-    }
-  }
+  uint64_t faults = CountResidencyFaults(sharded_db_, txn);
   if (faults > 0) {
     metrics_->residency_faults.fetch_add(faults, std::memory_order_relaxed);
   }

@@ -15,6 +15,8 @@
 #include <memory>
 #include <mutex>
 #include <semaphore>
+#include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -28,8 +30,27 @@
 
 namespace jecb {
 
+/// Which execution backend Replay() drives the classified trace through.
+/// The in-process backend is the deterministic-test reference; the socket
+/// backends fork one ShardServer process per shard and run real 2PC message
+/// rounds over the wire (src/dist). All backends share the fault-decision
+/// machinery, so ReplayReport::OutcomeSignature() is backend-invariant —
+/// the cross-backend correctness oracle tests/dist_runtime_test.cc asserts.
+enum class TransportKind : uint8_t {
+  kInProcess = 0,   ///< per-shard worker threads + simulated latencies
+  kUnixSocket = 1,  ///< shard-per-process over Unix-domain sockets
+  kTcpSocket = 2,   ///< shard-per-process over TCP loopback
+};
+
+std::string_view TransportKindName(TransportKind kind);
+
 /// Knobs of the simulated cluster.
 struct RuntimeOptions {
+  /// Execution backend (see TransportKind).
+  TransportKind transport = TransportKind::kInProcess;
+  /// Directory for Unix-domain socket files; empty picks a fresh private
+  /// directory under $TMPDIR so concurrent replays never collide.
+  std::string socket_dir;
   /// Closed-loop client threads submitting transactions.
   int num_clients = 4;
   /// Shard-side CPU cost of executing one transaction's local work.
@@ -90,6 +111,13 @@ struct ClassifiedTxn {
     return distributed || participants.size() > 1;
   }
 };
+
+/// Accesses of `txn` whose owning shard is not among `txn.participants`
+/// (replicated tuples are resident everywhere and never count). Shared by
+/// every backend so residency accounting is identical in-process and over
+/// sockets. Lock-free: the shard layout is immutable.
+uint64_t CountResidencyFaults(const ShardedDatabase& sharded,
+                              const ClassifiedTxn& txn);
 
 /// Burns CPU for `us` microseconds: simulated transaction execution work.
 inline void SimulateCpuWork(uint32_t us) {

@@ -13,6 +13,10 @@ constexpr uint64_t kStreamReject = 0xBEEF;
 constexpr uint64_t kStreamTimeout = 0xC0FFEE;
 constexpr uint64_t kStreamDown = 0xD04;
 constexpr uint64_t kStreamBackoff = 0xB0FF;
+constexpr uint64_t kStreamWireDrop = 0xDE1E7E;
+constexpr uint64_t kStreamWireDelay = 0x510;
+constexpr uint64_t kStreamWireDup = 0xD0B1E;
+constexpr uint64_t kStreamWireDisc = 0xD15C;
 
 }  // namespace
 
@@ -58,6 +62,37 @@ bool FaultInjector::CoordinatorTimesOut(uint64_t txn_id,
   return plan_.coordinator_timeout_rate > 0.0 &&
          UnitUniform(kStreamTimeout, txn_id, attempt, 0) <
              plan_.coordinator_timeout_rate;
+}
+
+bool FaultInjector::WireDrops(uint64_t txn_id, uint32_t attempt, int32_t shard,
+                              uint8_t kind) const {
+  return plan_.wire_drop_rate > 0.0 &&
+         UnitUniform(kStreamWireDrop, txn_id, attempt,
+                     (static_cast<uint64_t>(kind) << 32) ^
+                         static_cast<uint64_t>(shard)) < plan_.wire_drop_rate;
+}
+
+bool FaultInjector::WireDelays(uint64_t txn_id, uint32_t attempt, int32_t shard,
+                               uint8_t kind) const {
+  return plan_.wire_delay_rate > 0.0 &&
+         UnitUniform(kStreamWireDelay, txn_id, attempt,
+                     (static_cast<uint64_t>(kind) << 32) ^
+                         static_cast<uint64_t>(shard)) < plan_.wire_delay_rate;
+}
+
+bool FaultInjector::WireDuplicates(uint64_t txn_id, uint32_t attempt,
+                                   int32_t shard, uint8_t kind) const {
+  return plan_.wire_duplicate_rate > 0.0 &&
+         UnitUniform(kStreamWireDup, txn_id, attempt,
+                     (static_cast<uint64_t>(kind) << 32) ^
+                         static_cast<uint64_t>(shard)) <
+             plan_.wire_duplicate_rate;
+}
+
+bool FaultInjector::WireDisconnects(uint64_t txn_id, int32_t shard) const {
+  return plan_.wire_disconnect_rate > 0.0 &&
+         UnitUniform(kStreamWireDisc, txn_id, 0, static_cast<uint64_t>(shard)) <
+             plan_.wire_disconnect_rate;
 }
 
 uint32_t FaultInjector::BackoffUs(uint64_t txn_id, uint32_t attempt) const {

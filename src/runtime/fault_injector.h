@@ -65,9 +65,34 @@ struct FaultPlan {
   uint32_t backoff_base_us = 50;
   uint32_t backoff_cap_us = 2000;
 
+  /// (e) Transport-layer faults, consulted per *message send* by the socket
+  /// backend only (the in-process backend has no wire). These are masked by
+  /// the transport's reliability machinery — an injected drop is immediately
+  /// retransmitted, duplicates are suppressed by per-connection sequence
+  /// numbers, a disconnect reconnects before the message goes out — so they
+  /// perturb timing and the transport counters but never the 2PC outcome:
+  /// ReplayReport::OutcomeSignature stays identical with wire faults on or
+  /// off, and identical to the in-process backend's. That separation is what
+  /// keeps the cross-backend signature oracle meaningful.
+  double wire_drop_rate = 0.0;
+  uint32_t wire_retransmit_us = 30;  ///< pause modeling the retransmit timer
+  double wire_delay_rate = 0.0;
+  uint32_t wire_delay_us = 100;
+  double wire_duplicate_rate = 0.0;
+  /// Evaluated once per transaction per channel, before its first message:
+  /// the connection is torn down and re-established (a reconnect), never cut
+  /// mid-2PC where it would change the outcome.
+  double wire_disconnect_rate = 0.0;
+
   bool enabled() const {
     return stall_rate > 0.0 || prepare_reject_rate > 0.0 ||
            coordinator_timeout_rate > 0.0 || shard_down_rate > 0.0;
+  }
+
+  /// True when any transport-layer fault is active (socket backend only).
+  bool wire_enabled() const {
+    return wire_drop_rate > 0.0 || wire_delay_rate > 0.0 ||
+           wire_duplicate_rate > 0.0 || wire_disconnect_rate > 0.0;
   }
 };
 
@@ -95,6 +120,19 @@ class FaultInjector {
   /// Backoff before attempt `attempt + 1`: capped exponential with
   /// deterministic jitter (see FaultPlan::backoff_base_us).
   uint32_t BackoffUs(uint64_t txn_id, uint32_t attempt) const;
+
+  // Transport-layer decisions (socket backend). `kind` is the wire message
+  // type, so drops/delays/dupes of prepares, commits and executes are
+  // independent coin flips. Same purity contract as the 2PC decisions.
+  bool WireDrops(uint64_t txn_id, uint32_t attempt, int32_t shard,
+                 uint8_t kind) const;
+  bool WireDelays(uint64_t txn_id, uint32_t attempt, int32_t shard,
+                  uint8_t kind) const;
+  bool WireDuplicates(uint64_t txn_id, uint32_t attempt, int32_t shard,
+                      uint8_t kind) const;
+  /// Per (txn, shard), attempt-independent: at most one reconnect per
+  /// transaction per channel.
+  bool WireDisconnects(uint64_t txn_id, int32_t shard) const;
 
  private:
   /// Uniform double in [0, 1) from the decision coordinates; `stream`

@@ -1,0 +1,235 @@
+// Tests for the multi-process distributed shard runtime (src/dist): the
+// cross-backend outcome oracle — ReplayReport::OutcomeSignature() must be
+// bit-identical between the in-process backend and the forked shard-server
+// socket backends for the same seed, at any client count, with and without
+// injected 2PC faults, and with wire faults (drops, delays, duplicates,
+// disconnects) layered on top — plus transport accounting, conservation
+// invariants, and clean shard-process shutdown. Runs under ThreadSanitizer
+// via tools/run_tsan.sh (label: tsan); the fork-per-shard design keeps the
+// children single-threaded, so the whole protocol is sanitizer-clean.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "dist/replay.h"
+#include "dist/transport.h"
+#include "net/wire.h"
+#include "partition/evaluator.h"
+#include "workloads/tpcc.h"
+
+namespace jecb {
+namespace {
+
+WorkloadBundle SmallTpcc(size_t txns = 300, uint64_t seed = 7) {
+  TpccConfig cfg;
+  cfg.warehouses = 4;
+  cfg.districts_per_warehouse = 2;
+  cfg.customers_per_district = 6;
+  cfg.items = 20;
+  cfg.initial_orders_per_district = 2;
+  return TpccWorkload(cfg).Make(txns, seed);
+}
+
+/// Hash everything except WAREHOUSE, which is replicated — so the replay
+/// mixes local txns, ordinary multi-shard 2PC, and replicated-write
+/// (all-shards 2PC) traffic over the wire.
+DatabaseSolution MixedSolution(const Database& db, int32_t k) {
+  DatabaseSolution s = MakeNaiveHashSolution(db, k);
+  TableId wh = db.schema().FindTable("WAREHOUSE").value();
+  s.Set(wh, std::make_shared<ReplicatedTable>());
+  return s;
+}
+
+RuntimeOptions FastOptions(TransportKind transport, int clients) {
+  RuntimeOptions opt;
+  opt.transport = transport;
+  opt.num_clients = clients;
+  opt.local_work_us = 0;
+  opt.round_trip_us = 0;
+  opt.lock_hold_us = 0;
+  return opt;
+}
+
+/// 2PC faults at meaningful rates but near-zero simulated durations, so the
+/// fault *logic* crosses the wire without spending wall time.
+FaultPlan CoordinationFaults() {
+  FaultPlan plan;
+  plan.stall_rate = 0.10;
+  plan.stall_us = 0;
+  plan.prepare_reject_rate = 0.15;
+  plan.coordinator_timeout_rate = 0.10;
+  plan.timeout_us = 0;
+  plan.shard_down_rate = 0.10;
+  plan.max_attempts = 3;
+  plan.backoff_base_us = 0;
+  plan.backoff_cap_us = 0;
+  return plan;
+}
+
+FaultPlan WireFaults(FaultPlan plan = {}) {
+  plan.wire_drop_rate = 0.05;
+  plan.wire_retransmit_us = 0;
+  plan.wire_delay_rate = 0.05;
+  plan.wire_delay_us = 0;
+  plan.wire_duplicate_rate = 0.05;
+  plan.wire_disconnect_rate = 0.02;
+  return plan;
+}
+
+ReplayReport RunReplay(const WorkloadBundle& b, const DatabaseSolution& solution,
+                 TransportKind transport, int clients, const FaultPlan& faults,
+                 const std::string& label) {
+  RuntimeOptions opt = FastOptions(transport, clients);
+  opt.faults = faults;
+  return Replay(*b.db, solution, b.trace, opt, label);
+}
+
+void ExpectConservation(const ReplayReport& r) {
+  EXPECT_EQ(r.committed + r.failed, r.total_txns);
+  EXPECT_EQ(r.aborts, r.retries + r.failed);
+}
+
+TEST(DistRuntimeTest, SocketBackendMatchesInProcessSignatureWithoutFaults) {
+  WorkloadBundle b = SmallTpcc();
+  DatabaseSolution solution = MixedSolution(*b.db, 4);
+  ReplayReport ref =
+      RunReplay(b, solution, TransportKind::kInProcess, 4, {}, "inproc");
+  ExpectConservation(ref);
+  EXPECT_EQ(ref.committed, ref.total_txns);
+  EXPECT_GT(ref.distributed_committed, 0u);
+
+  // ISSUE contract: equality at 1, 4 and 8 clients — the signature must be
+  // independent of both the backend and the client count.
+  for (int clients : {1, 4, 8}) {
+    ReplayReport dist = RunReplay(b, solution, TransportKind::kUnixSocket, clients,
+                            {}, "unix-" + std::to_string(clients));
+    ExpectConservation(dist);
+    EXPECT_EQ(dist.OutcomeSignature(), ref.OutcomeSignature())
+        << "clients=" << clients;
+    EXPECT_EQ(dist.committed, ref.committed);
+    EXPECT_EQ(dist.distributed_committed, ref.distributed_committed);
+    EXPECT_EQ(dist.residency_faults, ref.residency_faults);
+  }
+}
+
+TEST(DistRuntimeTest, SocketBackendMatchesInProcessSignatureUnderFaults) {
+  WorkloadBundle b = SmallTpcc();
+  DatabaseSolution solution = MixedSolution(*b.db, 4);
+  const FaultPlan faults = CoordinationFaults();
+  ReplayReport ref =
+      RunReplay(b, solution, TransportKind::kInProcess, 4, faults, "inproc-faults");
+  ExpectConservation(ref);
+  // The plan's rates must actually bite for this test to mean anything.
+  EXPECT_GT(ref.aborts, 0u);
+  EXPECT_GT(ref.prepare_rejects, 0u);
+  EXPECT_GT(ref.shard_down_aborts, 0u);
+  EXPECT_GT(ref.stalls_injected, 0u);
+
+  for (int clients : {1, 4, 8}) {
+    ReplayReport dist = RunReplay(b, solution, TransportKind::kUnixSocket, clients,
+                            faults, "unix-faults-" + std::to_string(clients));
+    ExpectConservation(dist);
+    EXPECT_EQ(dist.OutcomeSignature(), ref.OutcomeSignature())
+        << "clients=" << clients;
+    EXPECT_EQ(dist.coordinator_timeouts, ref.coordinator_timeouts);
+    EXPECT_EQ(dist.shard_down_aborts, ref.shard_down_aborts);
+    EXPECT_EQ(dist.failed, ref.failed);
+  }
+}
+
+TEST(DistRuntimeTest, WireFaultsPerturbTransportCountersButNeverOutcomes) {
+  WorkloadBundle b = SmallTpcc();
+  DatabaseSolution solution = MixedSolution(*b.db, 4);
+  const FaultPlan coordination = CoordinationFaults();
+  ReplayReport ref = RunReplay(b, solution, TransportKind::kInProcess, 4,
+                         coordination, "inproc-ref");
+
+  ReplayReport wired = RunReplay(b, solution, TransportKind::kUnixSocket, 4,
+                           WireFaults(coordination), "unix-wire-faults");
+  ExpectConservation(wired);
+  // The masking contract: drops retransmit, duplicates dedup, disconnects
+  // reconnect between transactions — so the wire chaos shows up ONLY in the
+  // transport counters, never in the 2PC outcome.
+  EXPECT_EQ(wired.OutcomeSignature(), ref.OutcomeSignature());
+  EXPECT_GT(wired.transport_counters.wire_drops, 0u);
+  EXPECT_GT(wired.transport_counters.wire_delays, 0u);
+  EXPECT_GT(wired.transport_counters.wire_duplicates, 0u);
+  EXPECT_GT(wired.transport_counters.reconnects, 0u);
+  // Every injected duplicate must have been suppressed by a shard server.
+  EXPECT_GE(wired.transport_counters.dedup_drops,
+            wired.transport_counters.wire_duplicates);
+}
+
+TEST(DistRuntimeTest, TcpBackendMatchesInProcessSignature) {
+  WorkloadBundle b = SmallTpcc(200);
+  DatabaseSolution solution = MixedSolution(*b.db, 2);
+  ReplayReport ref =
+      RunReplay(b, solution, TransportKind::kInProcess, 2, {}, "inproc-tcp-ref");
+  ReplayReport tcp = RunReplay(b, solution, TransportKind::kTcpSocket, 2, {}, "tcp");
+  ExpectConservation(tcp);
+  EXPECT_EQ(tcp.OutcomeSignature(), ref.OutcomeSignature());
+  EXPECT_EQ(tcp.transport, TransportKind::kTcpSocket);
+  EXPECT_GT(tcp.transport_counters.messages_sent, 0u);
+}
+
+TEST(DistRuntimeTest, SocketTransportReportsWireAccounting) {
+  WorkloadBundle b = SmallTpcc(200);
+  DatabaseSolution solution = MixedSolution(*b.db, 4);
+  ReplayReport r =
+      RunReplay(b, solution, TransportKind::kUnixSocket, 4, {}, "unix-accounting");
+
+  EXPECT_EQ(r.transport, TransportKind::kUnixSocket);
+  const TransportCounters& c = r.transport_counters;
+  // Every local txn is one Execute/Ack pair; every 2PC participant costs a
+  // Prepare/Vote plus a Commit/Ack — so traffic must dominate txn count.
+  EXPECT_GT(c.messages_sent, r.total_txns);
+  EXPECT_GT(c.messages_received, r.total_txns);
+  EXPECT_GT(c.bytes_sent, c.messages_sent * net::kFrameHeaderBytes);
+  EXPECT_GT(c.bytes_received, 0u);
+  // The shard servers confirmed processing what the coordinators sent
+  // (shutdown-control frames are not echoed in shard_frames' sender count,
+  // so allow the harvested number to exceed the sessions' sends).
+  EXPECT_GE(c.shard_frames, c.messages_sent);
+  EXPECT_GT(c.shard_bytes, 0u);
+  EXPECT_EQ(c.wire_drops, 0u);
+  EXPECT_EQ(c.reconnects, 0u);
+
+  // Per-shard wire RTT histograms made it into the report and its renderers.
+  EXPECT_GT(r.transport_rtt.count, 0u);
+  uint64_t per_shard = 0;
+  for (const ShardReport& s : r.shards) per_shard += s.rtt_count;
+  EXPECT_EQ(per_shard, r.transport_rtt.count);
+  EXPECT_NE(r.ToJson().find("\"transport\":{\"kind\":\"unix\""), std::string::npos);
+  EXPECT_NE(r.ToPrometheus().find("jecb_transport_rtt_us"), std::string::npos);
+  EXPECT_NE(r.ToAscii().find("rtt_p50/p95/p99_us"), std::string::npos);
+}
+
+TEST(DistRuntimeTest, InProcessBackendHasNoWireTraffic) {
+  WorkloadBundle b = SmallTpcc(100);
+  DatabaseSolution solution = MixedSolution(*b.db, 2);
+  ReplayReport r =
+      RunReplay(b, solution, TransportKind::kInProcess, 2, {}, "inproc-quiet");
+  EXPECT_EQ(r.transport, TransportKind::kInProcess);
+  EXPECT_EQ(r.transport_counters.messages_sent, 0u);
+  EXPECT_EQ(r.transport_counters.bytes_sent, 0u);
+  EXPECT_EQ(r.transport_rtt.count, 0u);
+  for (const ShardReport& s : r.shards) EXPECT_EQ(s.rtt_count, 0u);
+}
+
+TEST(DistRuntimeTest, BackToBackSocketReplaysReuseNothingStale) {
+  // Two consecutive socket replays: the first Drain() must have reaped its
+  // shard processes and unlinked its socket files, or the second would
+  // collide (bind failure -> loud abort) or talk to orphaned servers.
+  WorkloadBundle b = SmallTpcc(120);
+  DatabaseSolution solution = MixedSolution(*b.db, 2);
+  ReplayReport a =
+      RunReplay(b, solution, TransportKind::kUnixSocket, 2, {}, "unix-a");
+  ReplayReport c =
+      RunReplay(b, solution, TransportKind::kUnixSocket, 2, {}, "unix-b");
+  EXPECT_EQ(a.OutcomeSignature(), c.OutcomeSignature());
+  EXPECT_EQ(a.committed, c.committed);
+}
+
+}  // namespace
+}  // namespace jecb

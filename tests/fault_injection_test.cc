@@ -10,7 +10,7 @@
 
 #include "partition/evaluator.h"
 #include "runtime/fault_injector.h"
-#include "runtime/replay.h"
+#include "dist/replay.h"
 #include "workloads/tpcc.h"
 
 namespace jecb {

@@ -21,7 +21,7 @@
 #include "obs/metrics_registry.h"
 #include "obs/trace_export.h"
 #include "obs/trace_recorder.h"
-#include "runtime/replay.h"
+#include "dist/replay.h"
 #include "workloads/tpcc.h"
 
 namespace jecb {

@@ -12,7 +12,7 @@
 #include "partition/evaluator.h"
 #include "partition/router.h"
 #include "runtime/metrics.h"
-#include "runtime/replay.h"
+#include "dist/replay.h"
 #include "runtime/sharded_database.h"
 #include "workloads/tpcc.h"
 

@@ -8,7 +8,10 @@
 #
 # Covers the runtime (executor/coordinator/fault injector), the parallel
 # partitioning pipeline (thread pool, chunked Evaluate, parallel
-# Combiner search), and the fault-injection suites.
+# Combiner search), the fault-injection suites, and the distributed
+# runtime (net wire/event-loop suite plus the multi-process socket
+# transport — forked shard servers stay single-threaded, so the whole
+# 2PC-over-sockets path runs cleanly under both sanitizers).
 #
 # Usage: tools/run_tsan.sh [build-dir] [sanitizer]
 #   build-dir  defaults to build-tsan
