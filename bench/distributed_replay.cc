@@ -118,6 +118,25 @@ int main(int argc, char** argv) {
            std::to_string(signature)});
       rows.emplace_back(name, row);
 
+      // A shard child that exited abnormally (nonzero code, signaled, or
+      // needed SIGKILL) invalidates the whole row even if the numbers look
+      // plausible — the reap ladder records the status so we can fail here
+      // instead of silently benchmarking a crashed replay.
+      if (row.report.abnormal_shard_exits() > 0) {
+        for (const ShardExitStatus& e : row.report.shard_exits) {
+          if (e.shard >= 0 && !e.clean()) {
+            std::fprintf(stderr,
+                         "FATAL: shard %d exited abnormally (exit_code=%d "
+                         "term_signal=%d forced_term=%d forced_kill=%d) at "
+                         "%d shards on %s\n",
+                         e.shard, e.exit_code, e.term_signal,
+                         e.forced_term ? 1 : 0, e.forced_kill ? 1 : 0, k,
+                         name.c_str());
+          }
+        }
+        return 1;
+      }
+
       // Acceptance check: every backend reproduces the in-process outcome
       // bit-for-bit at this shard count — same seed, same decisions, same
       // commits/aborts/fault counts, regardless of what the wire did.

@@ -1,0 +1,204 @@
+// Exchange throughput: rows/sec shipped by the exchange-style tuple routing
+// layer versus the slice-only baseline (exchange disabled — 2PC votes cross
+// the wire but read payloads never do), on the same JECB-partitioned TPC-C
+// trace at 2/4/8 shards over Unix-domain sockets.
+//
+// Three rows per shard count: an in-process reference (exchange on), the
+// socket backend with exchange on, and the socket backend with exchange off.
+// The bench is also an acceptance gate — it exits non-zero when the socket
+// backend's outcome signature OR assembled-payload digest diverges from the
+// in-process reference, or when any shard child exits abnormally. Emits
+// BENCH_exchange_throughput.json to --out_dir (default: the build
+// directory); --txns scales the trace, --shards N restricts the sweep
+// (CI smoke runs `--shards 4 --txns 800`), --batch_bytes overrides the
+// per-batch payload budget.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "dist/replay.h"
+#include "workloads/tpcc.h"
+
+using namespace jecb;
+using namespace jecb::bench;
+
+namespace {
+
+struct BenchRow {
+  int shards = 0;
+  bool exchange = false;
+  ReplayReport report;
+};
+
+RuntimeOptions OptionsFor(TransportKind transport, int clients, bool exchange,
+                          uint32_t batch_bytes) {
+  RuntimeOptions opt;
+  opt.transport = transport;
+  opt.num_clients = clients;
+  opt.local_work_us = 2;
+  opt.round_trip_us = 60;
+  opt.lock_hold_us = 2;
+  opt.exchange_enabled = exchange;
+  if (batch_bytes != 0) opt.exchange_batch_bytes = batch_bytes;
+  return opt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  InitObs(argc, argv);
+  PrintHeader("Exchange throughput: tuple routing vs slice-only baseline",
+              "rows/sec and MB/sec of actual read payloads shipped shard-to-"
+              "shard and home-to-coordinator, with the slice-only replay as "
+              "the no-payload control");
+  const std::string out_dir = OutDir(argc, argv);
+  const size_t num_txns = static_cast<size_t>(ArgInt(argc, argv, "--txns", 3000));
+  const int clients = static_cast<int>(ArgInt(argc, argv, "--clients", 4));
+  const int only_shards = static_cast<int>(ArgInt(argc, argv, "--shards", 0));
+  const uint32_t batch_bytes =
+      static_cast<uint32_t>(ArgInt(argc, argv, "--batch_bytes", 0));
+
+  TpccConfig cfg;
+  cfg.warehouses = 8;
+  cfg.districts_per_warehouse = 2;
+  cfg.customers_per_district = 6;
+  cfg.items = 25;
+  WorkloadBundle bundle = TpccWorkload(cfg).Make(num_txns, 42);
+  std::printf("trace: %zu txns, %d clients\n\n", bundle.trace.size(), clients);
+
+  std::vector<int> shard_counts;
+  for (int k : {2, 4, 8}) {
+    if (only_shards == 0 || only_shards == k) shard_counts.push_back(k);
+  }
+  if (shard_counts.empty()) {
+    std::fprintf(stderr, "FATAL: --shards must be one of 2, 4, 8 (or 0 for all)\n");
+    return 2;
+  }
+
+  AsciiTable table({"shards", "mode", "throughput (txn/s)", "exch rows/s",
+                    "exch MB/s", "remote frac", "batches", "fanout p99",
+                    "digest"});
+  std::vector<BenchRow> rows;
+
+  for (int k : shard_counts) {
+    JecbOptions jopt;
+    jopt.num_partitions = k;
+    auto res = Jecb(jopt).Partition(bundle.db.get(), bundle.procedures,
+                                    bundle.trace);
+    CheckOk(res.status(), "jecb");
+    const DatabaseSolution& solution = res.value().solution;
+
+    // In-process reference: the exchange accounting is backend-invariant, so
+    // this run defines the digest and signature the socket rows must match.
+    ReplayReport ref = Replay(
+        *bundle.db, solution, bundle.trace,
+        OptionsFor(TransportKind::kInProcess, clients, true, batch_bytes),
+        "inproc-exchange-k" + std::to_string(k));
+
+    struct Mode {
+      const char* name;
+      bool exchange;
+    };
+    for (const Mode& mode : {Mode{"exchange", true}, Mode{"slice-only", false}}) {
+      BenchRow row;
+      row.shards = k;
+      row.exchange = mode.exchange;
+      row.report = Replay(*bundle.db, solution, bundle.trace,
+                          OptionsFor(TransportKind::kUnixSocket, clients,
+                                     mode.exchange, batch_bytes),
+                          std::string(mode.name) + "-k" + std::to_string(k));
+      row.report.PublishTo(MetricsRegistry::Default());
+      const ReplayReport& r = row.report;
+      const double rows_per_s =
+          r.wall_seconds > 0.0
+              ? static_cast<double>(r.exchange_tuples) / r.wall_seconds
+              : 0.0;
+      const double mb_per_s =
+          r.wall_seconds > 0.0 ? static_cast<double>(r.exchange_bytes) /
+                                     (1024.0 * 1024.0) / r.wall_seconds
+                               : 0.0;
+      const double remote_frac =
+          r.exchange_tuples > 0
+              ? static_cast<double>(r.exchange_remote_tuples) /
+                    static_cast<double>(r.exchange_tuples)
+              : 0.0;
+      table.AddRow({std::to_string(k), mode.name,
+                    FormatDouble(r.throughput_tps, 0),
+                    FormatDouble(rows_per_s, 0), FormatDouble(mb_per_s, 2),
+                    Pct(remote_frac), std::to_string(r.exchange_batches),
+                    FormatDouble(r.exchange_fanout_hist.count > 0
+                                     ? r.exchange_fanout_hist.Quantile(0.99)
+                                     : 0.0,
+                                 1),
+                    std::to_string(r.exchange_digest)});
+      rows.push_back(row);
+
+      if (r.abnormal_shard_exits() > 0) {
+        for (const ShardExitStatus& e : r.shard_exits) {
+          if (e.shard >= 0 && !e.clean()) {
+            std::fprintf(stderr,
+                         "FATAL: shard %d exited abnormally (exit_code=%d "
+                         "term_signal=%d forced_kill=%d) in %s at %d shards\n",
+                         e.shard, e.exit_code, e.term_signal,
+                         e.forced_kill ? 1 : 0, mode.name, k);
+          }
+        }
+        return 1;
+      }
+      // Outcome parity: exchange is pure payload movement, so the signature
+      // must match the reference whether exchange is on or off.
+      if (r.OutcomeSignature() != ref.OutcomeSignature()) {
+        std::fprintf(stderr,
+                     "FATAL: %s outcome signature %llx != in-process %llx "
+                     "at %d shards\n",
+                     mode.name,
+                     static_cast<unsigned long long>(r.OutcomeSignature()),
+                     static_cast<unsigned long long>(ref.OutcomeSignature()),
+                     k);
+        return 1;
+      }
+      // Payload parity: with exchange on, the socket backend must assemble
+      // byte-identical read sets (same digest, same row/byte totals) as the
+      // in-process reference; with it off, everything must be zero.
+      if (mode.exchange) {
+        if (r.exchange_digest != ref.exchange_digest ||
+            r.exchange_tuples != ref.exchange_tuples ||
+            r.exchange_bytes != ref.exchange_bytes) {
+          std::fprintf(stderr,
+                       "FATAL: exchange payload divergence at %d shards: "
+                       "digest %llx/%llx tuples %llu/%llu bytes %llu/%llu\n",
+                       k, static_cast<unsigned long long>(r.exchange_digest),
+                       static_cast<unsigned long long>(ref.exchange_digest),
+                       static_cast<unsigned long long>(r.exchange_tuples),
+                       static_cast<unsigned long long>(ref.exchange_tuples),
+                       static_cast<unsigned long long>(r.exchange_bytes),
+                       static_cast<unsigned long long>(ref.exchange_bytes));
+          return 1;
+        }
+      } else if (r.exchange_tuples != 0 || r.exchange_digest != 0) {
+        std::fprintf(stderr,
+                     "FATAL: slice-only run shipped %llu exchange tuples at "
+                     "%d shards\n",
+                     static_cast<unsigned long long>(r.exchange_tuples), k);
+        return 1;
+      }
+    }
+    std::printf(
+        "k=%d: signature + exchange digest identical to in-process reference\n",
+        k);
+  }
+  std::printf("\n%s\n", table.ToString().c_str());
+
+  std::string json = "{\n  \"bench\": \"exchange_throughput\",\n  \"clients\": " +
+                     std::to_string(clients) + ",\n  \"rows\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    json += std::string("    {\"mode\": \"") +
+            (rows[i].exchange ? "exchange" : "slice-only") +
+            "\", \"shards\": " + std::to_string(rows[i].shards) +
+            ",\n     \"report\": " + rows[i].report.ToJson() + "}";
+    json += i + 1 < rows.size() ? ",\n" : "\n";
+  }
+  json += "  ]\n}\n";
+  WriteBenchJson(out_dir, "exchange_throughput", json);
+  FinishObs(argc, argv);
+  return 0;
+}

@@ -95,6 +95,17 @@ int main(int argc, char** argv) {
                     report.transport_counters.bytes_sent),
                 report.transport_rtt.p50_us, report.transport_rtt.p99_us);
   }
+  if (report.exchange_txns > 0) {
+    std::printf(
+        "exchange: %llu read sets assembled, %llu tuples / %llu bytes shipped "
+        "(%llu remote) in %llu batches, digest %016llx\n",
+        static_cast<unsigned long long>(report.exchange_txns),
+        static_cast<unsigned long long>(report.exchange_tuples),
+        static_cast<unsigned long long>(report.exchange_bytes),
+        static_cast<unsigned long long>(report.exchange_remote_tuples),
+        static_cast<unsigned long long>(report.exchange_batches),
+        static_cast<unsigned long long>(report.exchange_digest));
+  }
   std::printf("local  p50/p95/p99: %.0f/%.0f/%.0f us\n", report.local.p50_us,
               report.local.p95_us, report.local.p99_us);
   std::printf("dist   p50/p95/p99: %.0f/%.0f/%.0f us\n", report.distributed.p50_us,

@@ -152,9 +152,41 @@ std::string ReplayReport::ToJson() const {
   out += ",\"dedup_drops\":" + std::to_string(transport_counters.dedup_drops);
   out += ",\"shard_frames\":" + std::to_string(transport_counters.shard_frames);
   out += ",\"shard_bytes\":" + std::to_string(transport_counters.shard_bytes);
+  out += ",\"exchange_requests\":" +
+         std::to_string(transport_counters.exchange_requests);
+  out += ",\"exchange_batches\":" +
+         std::to_string(transport_counters.exchange_batches);
+  out += ",\"exchange_tuples\":" +
+         std::to_string(transport_counters.exchange_tuples);
+  out += ",\"exchange_bytes\":" +
+         std::to_string(transport_counters.exchange_bytes);
   out += ",";
   AppendLatencyJson(&out, "rtt_us", transport_rtt);
-  out += "},\"latency_us\":{";
+  out += "},\"exchange\":{";
+  out += "\"txns\":" + std::to_string(exchange_txns);
+  out += ",\"tuples\":" + std::to_string(exchange_tuples);
+  out += ",\"bytes\":" + std::to_string(exchange_bytes);
+  out += ",\"remote_tuples\":" + std::to_string(exchange_remote_tuples);
+  out += ",\"remote_bytes\":" + std::to_string(exchange_remote_bytes);
+  out += ",\"batches\":" + std::to_string(exchange_batches);
+  out += ",\"digest\":\"" + std::to_string(exchange_digest) + "\"";
+  out += ",\"fanout_p50\":" + FormatDouble(exchange_fanout_hist.Quantile(0.50), 1);
+  out += ",\"fanout_p99\":" + FormatDouble(exchange_fanout_hist.Quantile(0.99), 1);
+  out += ",\"fanout_max\":" + std::to_string(exchange_fanout_hist.max_us);
+  out += "},\"shard_exits\":[";
+  for (size_t i = 0; i < shard_exits.size(); ++i) {
+    const ShardExitStatus& e = shard_exits[i];
+    if (i > 0) out += ",";
+    out += "{\"shard\":" + std::to_string(e.shard) +
+           ",\"exited\":" + (e.exited ? "true" : "false") +
+           ",\"exit_code\":" + std::to_string(e.exit_code) +
+           ",\"term_signal\":" + std::to_string(e.term_signal) +
+           ",\"forced_term\":" + (e.forced_term ? "true" : "false") +
+           ",\"forced_kill\":" + (e.forced_kill ? "true" : "false") +
+           ",\"clean\":" + (e.clean() ? "true" : "false") + "}";
+  }
+  out += "],\"abnormal_shard_exits\":" + std::to_string(abnormal_shard_exits());
+  out += ",\"latency_us\":{";
   AppendLatencyJson(&out, "local", local);
   out += ",";
   AppendLatencyJson(&out, "distributed", distributed);
@@ -179,7 +211,10 @@ std::string ReplayReport::ToJson() const {
            ",\"p99_us\":" + FormatDouble(s.p99_us, 1) +
            ",\"rtt_count\":" + std::to_string(s.rtt_count) +
            ",\"rtt_p50_us\":" + FormatDouble(s.rtt_p50_us, 1) +
-           ",\"rtt_p99_us\":" + FormatDouble(s.rtt_p99_us, 1) + "}";
+           ",\"rtt_p99_us\":" + FormatDouble(s.rtt_p99_us, 1) +
+           ",\"exchange_tuples_out\":" + std::to_string(s.exchange_tuples_out) +
+           ",\"exchange_bytes_out\":" + std::to_string(s.exchange_bytes_out) +
+           "}";
   }
   out += "]}";
   return out;
@@ -238,6 +273,32 @@ void ReplayReport::PublishTo(MetricsRegistry& registry) const {
           "Duplicate frames the shard servers suppressed");
   counter("jecb_transport_shard_frames_total", transport_counters.shard_frames,
           "Frames the shard server processes received");
+  counter("jecb_transport_exchange_requests_total",
+          transport_counters.exchange_requests,
+          "Data-plane pull requests served by shard exchange nodes");
+  counter("jecb_transport_exchange_batches_total",
+          transport_counters.exchange_batches,
+          "Tuple batches shipped over shard data planes and commit streams");
+  counter("jecb_transport_exchange_tuples_total",
+          transport_counters.exchange_tuples,
+          "Tuples shipped over shard data planes and commit streams");
+  counter("jecb_transport_exchange_bytes_total",
+          transport_counters.exchange_bytes,
+          "Encoded row bytes shipped over shard data planes and commit streams");
+  counter("jecb_exchange_txns_total", exchange_txns,
+          "Committed txns whose read set was assembled via exchange");
+  counter("jecb_exchange_tuples_total", exchange_tuples,
+          "Rows in assembled read sets");
+  counter("jecb_exchange_bytes_total", exchange_bytes,
+          "Encoded bytes of assembled read sets");
+  counter("jecb_exchange_remote_tuples_total", exchange_remote_tuples,
+          "Assembled rows owned by a non-home shard");
+  counter("jecb_exchange_remote_bytes_total", exchange_remote_bytes,
+          "Encoded bytes shipped shard-to-shard");
+  counter("jecb_exchange_batches_total", exchange_batches,
+          "Bounded tuple batches (greedy span rule)");
+  counter("jecb_replay_abnormal_shard_exits_total", abnormal_shard_exits(),
+          "Shard child processes that did not exit cleanly");
   gauge("jecb_replay_wall_seconds", wall_seconds, "Replay wall-clock time");
   gauge("jecb_replay_throughput_tps", throughput_tps,
         "Processed rate: (committed + failed) / wall");
@@ -266,6 +327,12 @@ void ReplayReport::PublishTo(MetricsRegistry& registry) const {
                    "Wire request->response latency, all shards merged")
         .Merge(transport_rtt_hist);
   }
+  if (exchange_fanout_hist.count > 0) {
+    registry
+        .Histogram("jecb_exchange_fanout" + lb,
+                   "Distinct remote source shards per assembled read set")
+        .Merge(exchange_fanout_hist);
+  }
   for (const ShardReport& s : shards) {
     const std::string slb = "{label=\"" + JsonEscape(label) + "\",shard=\"" +
                             std::to_string(s.shard) + "\"}";
@@ -288,6 +355,16 @@ void ReplayReport::PublishTo(MetricsRegistry& registry) const {
           .Gauge("jecb_shard_transport_rtt_p99_us" + slb,
                  "p99 wire request->response latency")
           .store(s.rtt_p99_us, std::memory_order_relaxed);
+    }
+    if (s.exchange_tuples_out > 0) {
+      registry
+          .Counter("jecb_shard_exchange_tuples_out_total" + slb,
+                   "Exchange rows this shard owned and shipped")
+          .store(s.exchange_tuples_out, std::memory_order_relaxed);
+      registry
+          .Counter("jecb_shard_exchange_bytes_out_total" + slb,
+                   "Encoded bytes of exchange rows this shard shipped")
+          .store(s.exchange_bytes_out, std::memory_order_relaxed);
     }
   }
 }
@@ -318,6 +395,20 @@ std::string ReplayReport::ToAscii() const {
                   FormatDouble(distributed.p50_us, 1) + " / " +
                       FormatDouble(distributed.p95_us, 1) + " / " +
                       FormatDouble(distributed.p99_us, 1)});
+  if (exchange_txns > 0) {
+    summary.AddRow({"exchange_tuples",
+                    std::to_string(exchange_tuples) + " (" +
+                        std::to_string(exchange_remote_tuples) + " remote)"});
+    summary.AddRow({"exchange_bytes",
+                    std::to_string(exchange_bytes) + " (" +
+                        std::to_string(exchange_remote_bytes) + " remote)"});
+    summary.AddRow({"exchange_batches", std::to_string(exchange_batches)});
+    summary.AddRow({"exchange_digest", std::to_string(exchange_digest)});
+  }
+  if (!shard_exits.empty()) {
+    summary.AddRow({"abnormal_shard_exits",
+                    std::to_string(abnormal_shard_exits())});
+  }
   if (transport != TransportKind::kInProcess) {
     summary.AddRow({"wire_messages",
                     std::to_string(transport_counters.messages_sent) + " out / " +
@@ -341,14 +432,16 @@ std::string ReplayReport::ToAscii() const {
                         FormatDouble(transport_rtt.p99_us, 1)});
   }
   AsciiTable per_shard({"shard", "tuples", "local", "dist", "busy_us", "avail",
-                        "p50_us", "p95_us", "p99_us", "rtt_p99_us"});
+                        "p50_us", "p95_us", "p99_us", "rtt_p99_us",
+                        "exch_out"});
   for (const ShardReport& s : shards) {
     per_shard.AddRow({std::to_string(s.shard), std::to_string(s.stored_tuples),
                       std::to_string(s.local_txns),
                       std::to_string(s.dist_participations),
                       std::to_string(s.busy_us), FormatDouble(s.availability(), 3),
                       FormatDouble(s.p50_us, 1), FormatDouble(s.p95_us, 1),
-                      FormatDouble(s.p99_us, 1), FormatDouble(s.rtt_p99_us, 1)});
+                      FormatDouble(s.p99_us, 1), FormatDouble(s.rtt_p99_us, 1),
+                      std::to_string(s.exchange_tuples_out)});
   }
   return summary.ToString() + "\n" + per_shard.ToString();
 }
@@ -464,6 +557,15 @@ ReplayReport Replay(const Database& db, const DatabaseSolution& solution,
   report.transport_counters = treport.counters;
   report.transport_rtt_hist = treport.rtt;
   report.transport_rtt = SnapshotLatency(report.transport_rtt_hist);
+  report.exchange_txns = snap.exchange_txns;
+  report.exchange_tuples = snap.exchange_tuples;
+  report.exchange_bytes = snap.exchange_bytes;
+  report.exchange_remote_tuples = snap.exchange_remote_tuples;
+  report.exchange_remote_bytes = snap.exchange_remote_bytes;
+  report.exchange_batches = snap.exchange_batches;
+  report.exchange_digest = snap.exchange_digest;
+  report.exchange_fanout_hist = snap.exchange_fanout;
+  report.shard_exits = treport.shard_exits;
   report.shards.reserve(sharded.num_shards());
   for (int32_t s = 0; s < sharded.num_shards(); ++s) {
     const ShardMetricsSnapshot& sm = snap.shards[s];
@@ -480,6 +582,8 @@ ReplayReport Replay(const Database& db, const DatabaseSolution& solution,
     sr.p50_us = sm.latency.Quantile(0.50);
     sr.p95_us = sm.latency.Quantile(0.95);
     sr.p99_us = sm.latency.Quantile(0.99);
+    sr.exchange_tuples_out = sm.exchange_tuples_out;
+    sr.exchange_bytes_out = sm.exchange_bytes_out;
     if (static_cast<size_t>(s) < treport.shard_rtt.size()) {
       const HistogramData& rtt = treport.shard_rtt[static_cast<size_t>(s)];
       sr.rtt_count = rtt.count;

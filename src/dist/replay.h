@@ -55,6 +55,11 @@ struct ShardReport {
   uint64_t rtt_count = 0;
   double rtt_p50_us = 0.0;
   double rtt_p99_us = 0.0;
+  /// Exchange rows this shard OWNED and shipped to other shards' read-set
+  /// assemblies (backend-invariant: the in-process backend accounts the
+  /// same rows it would have shipped).
+  uint64_t exchange_tuples_out = 0;
+  uint64_t exchange_bytes_out = 0;
 
   /// Fraction of prepare attempts that found the shard reachable; 1.0 when
   /// the shard was never asked to participate (vacuously available).
@@ -113,6 +118,39 @@ struct ReplayReport {
   HistogramData distributed_hist;
   HistogramData retry_hist;
   std::vector<ShardReport> shards;
+
+  /// Exchange-style tuple routing totals (runtime/exchange.h). All
+  /// backend-invariant: every counter and the digest are computed by
+  /// BuildExchangeOutcome from the committed read sets alone, so they match
+  /// bit-for-bit across inproc/unix/tcp at any client count. Deliberately
+  /// NOT folded into OutcomeSignature() — the parity tests compare
+  /// exchange_digest separately so a payload bug is distinguishable from an
+  /// outcome bug.
+  uint64_t exchange_txns = 0;
+  uint64_t exchange_tuples = 0;
+  uint64_t exchange_bytes = 0;
+  uint64_t exchange_remote_tuples = 0;
+  uint64_t exchange_remote_bytes = 0;
+  uint64_t exchange_batches = 0;
+  uint64_t exchange_digest = 0;
+  /// Distinct remote source shards per assembled read set.
+  HistogramData exchange_fanout_hist;
+
+  /// Per-shard child process exit statuses (socket backends only, recorded
+  /// by the reap ladder; empty in-process).
+  std::vector<ShardExitStatus> shard_exits;
+
+  /// Shards whose child process did not exit cleanly (nonzero code, killed
+  /// by a signal, or needed SIGKILL). Benches fail the run on this being
+  /// nonzero: a shard that died in a TransportPanic abort must never look
+  /// like a healthy replay.
+  uint64_t abnormal_shard_exits() const {
+    uint64_t n = 0;
+    for (const ShardExitStatus& e : shard_exits) {
+      if (e.shard >= 0 && !e.clean()) ++n;
+    }
+    return n;
+  }
 
   /// Which backend executed the replay, its wire-level accounting, and the
   /// merged request->response latency distribution. All zero for the

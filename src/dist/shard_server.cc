@@ -10,18 +10,47 @@ using net::Frame;
 using net::MsgType;
 
 ShardServer::ShardServer(int32_t shard_id, const ShardedDatabase& sharded,
-                         const RuntimeOptions& options)
+                         const RuntimeOptions& options,
+                         std::vector<net::SocketAddr> data_addrs)
     : shard_id_(shard_id),
       sharded_(sharded),
       options_(options),
       injector_(options.faults),
-      prepare_us_(options.local_work_us + options.lock_hold_us) {
-  (void)sharded_;
+      prepare_us_(options.local_work_us + options.lock_hold_us),
+      exchange_on_(options.exchange_enabled && !data_addrs.empty()),
+      node_(shard_id, sharded.db(), options.exchange_batch_bytes) {
+  if (exchange_on_) {
+    client_.Configure(shard_id, std::move(data_addrs), &injector_,
+                      options_.faults.wire_enabled());
+  }
 }
 
 void ShardServer::Reply(EventLoop& loop, int64_t peer, MsgType type,
                         const std::string& payload) {
   loop.Send(peer, type, ++reply_seq_, payload);
+}
+
+void ShardServer::MergeExchangeStats(net::ShardStatsMsg& out) const {
+  // Only valid after node_.Stop() (the join makes the node's counters
+  // visible); the client is control-thread-local so its counters are ours.
+  const ExchangeNode::Stats& ns = node_.stats();
+  out.exchange_reqs_served = ns.reqs_served;
+  out.exchange_batches_sent = ns.batches_sent + stream_batches_;
+  out.exchange_tuples_sent = ns.tuples_sent + stream_tuples_;
+  out.exchange_bytes_sent = ns.bytes_sent + stream_bytes_;
+  out.frames_received += ns.loop.frames_received;
+  out.frames_sent += ns.loop.frames_sent;
+  out.bytes_received += ns.loop.bytes_received;
+  out.bytes_sent += ns.loop.bytes_sent;
+  out.dedup_dropped += ns.loop.dedup_dropped;
+  out.peer_disconnects += ns.loop.peer_disconnects;
+
+  const TransportCounters& cc = client_.counters();
+  out.exchange_reqs_sent = cc.messages_sent;
+  out.exchange_wire_drops = cc.wire_drops;
+  out.exchange_wire_delays = cc.wire_delays;
+  out.exchange_wire_duplicates = cc.wire_duplicates;
+  out.exchange_reconnects = cc.reconnects;
 }
 
 net::ShardStatsMsg ShardServer::FinalStats(const EventLoop& loop) const {
@@ -33,6 +62,7 @@ net::ShardStatsMsg ShardServer::FinalStats(const EventLoop& loop) const {
   out.bytes_sent = ls.bytes_sent;
   out.dedup_dropped = ls.dedup_dropped;
   out.peer_disconnects = ls.peer_disconnects;
+  if (exchange_on_) MergeExchangeStats(out);
   return out;
 }
 
@@ -103,6 +133,15 @@ void ShardServer::HandlePrepare(EventLoop& loop, int64_t peer,
   while (loop.NextFrom(peer, &resolution)) {
     if (resolution.type == MsgType::kCommit) {
       ++stats_.commits_applied;
+      // Exchange fires on the committing attempt only: the home shard's
+      // prepare carried the full read set, so pull the remote rows now and
+      // stream the assembly before the ack. Non-home participants (empty
+      // exchange_reads... unless the txn reads nothing, in which case the
+      // stream is just absent and the coordinator collects zero batches)
+      // ack immediately.
+      if (exchange_on_ && !frag.exchange_reads.empty()) {
+        StreamAssembledReads(loop, peer, frag);
+      }
       net::TxnRefMsg ack;
       ack.txn_id = frag.txn_id;
       ack.attempt = frag.attempt;
@@ -121,7 +160,69 @@ void ShardServer::HandlePrepare(EventLoop& loop, int64_t peer,
   ++stats_.aborts_observed;
 }
 
-net::ShardStatsMsg ShardServer::Serve(net::Socket listener) {
+void ShardServer::StreamAssembledReads(EventLoop& loop, int64_t peer,
+                                       const net::FragmentMsg& frag) {
+  const std::vector<net::WireAccess>& reads = frag.exchange_reads;
+  std::vector<ExchangeEntry> entries(reads.size());
+
+  // Partition the read set by owner, preserving access order within each
+  // owner. Rows this shard stores (own or replicated copies) materialize
+  // locally; the rest are pulled from their owners' data planes in
+  // ascending shard order.
+  std::vector<std::vector<size_t>> remote_pos(
+      static_cast<size_t>(sharded_.num_shards()));
+  for (size_t i = 0; i < reads.size(); ++i) {
+    TupleId t{static_cast<TableId>(reads[i].table),
+              static_cast<RowId>(reads[i].row)};
+    int32_t owner = sharded_.PrimaryShardOf(t);
+    if (owner == kReplicated || owner == shard_id_) {
+      entries[i] = {t, EncodeRowBytes(sharded_.db().table_data(t.table).row(t.row))};
+    } else {
+      remote_pos[static_cast<size_t>(owner)].push_back(i);
+    }
+  }
+  for (int32_t owner = 0; owner < sharded_.num_shards(); ++owner) {
+    const std::vector<size_t>& pos = remote_pos[static_cast<size_t>(owner)];
+    if (pos.empty()) continue;
+    std::vector<net::WireAccess> want;
+    want.reserve(pos.size());
+    for (size_t i : pos) want.push_back(reads[i]);
+    std::vector<net::TupleBatchEntry> pulled =
+        client_.Pull(owner, frag.txn_id, frag.attempt, want);
+    for (size_t j = 0; j < pos.size(); ++j) {
+      entries[pos[j]] = {TupleId{static_cast<TableId>(pulled[j].table),
+                                 static_cast<RowId>(pulled[j].row)},
+                         std::move(pulled[j].bytes)};
+    }
+  }
+
+  // Stream the assembled read set (access order) to the coordinator. The
+  // CommitAck the caller sends right after is the stream terminator, so an
+  // empty-span stream needs no special casing coordinator-side.
+  for (const net::TupleBatchMsg& batch :
+       BuildTupleBatches(frag.txn_id, frag.attempt, shard_id_, entries,
+                         options_.exchange_batch_bytes)) {
+    ++stream_batches_;
+    stream_tuples_ += batch.entries.size();
+    for (const net::TupleBatchEntry& e : batch.entries) {
+      stream_bytes_ += e.bytes.size();
+    }
+    Reply(loop, peer, MsgType::kTupleBatch, batch.Encode());
+  }
+}
+
+net::ShardStatsMsg ShardServer::Serve(net::Socket listener,
+                                      net::Socket data_listener) {
+  if (exchange_on_ && data_listener.valid()) {
+    // The node thread is spawned here, AFTER fork (the child was
+    // single-threaded at fork, which keeps sanitizers happy), and serves
+    // the data plane for the whole control-loop lifetime.
+    node_.Start(std::move(data_listener));
+    // Peers' data listeners were all bound before fork, so these connects
+    // cannot flake; established now, the steady-state pull path never pays
+    // connection setup.
+    client_.ConnectAll();
+  }
   EventLoop loop(std::move(listener));
   int64_t peer = 0;
   Frame frame;
@@ -146,6 +247,11 @@ net::ShardStatsMsg ShardServer::Serve(net::Socket listener) {
         HandlePrepare(loop, peer, frame);
         break;
       case MsgType::kShutdown: {
+        // Stop the exchange node FIRST: Drain() only shuts shards down
+        // after every client session is gone, so no exchange traffic can be
+        // in flight — and the join makes the node's counters safe to fold
+        // into the stats reply below.
+        node_.Stop();
         // Harvest counters BEFORE the stats reply so the reply reflects
         // everything up to and including the shutdown request itself.
         net::ShardStatsMsg final_stats = FinalStats(loop);
@@ -160,6 +266,9 @@ net::ShardStatsMsg ShardServer::Serve(net::Socket listener) {
         break;
     }
   }
+  // SIGTERM path (no kShutdown frame): the node's loop saw the same
+  // process-wide stop flag; join it before touching its counters.
+  node_.Stop();
   return FinalStats(loop);
 }
 

@@ -11,10 +11,22 @@
 //   Execute(frag)    -> ExecuteAck     run a single-partition txn fragment
 //   Prepare(frag)    -> Vote(yes)      run the shard-local prepare work,
 //                       ... HOLD ...   then block this shard on that one
-//   Commit           -> CommitAck      connection until the coordinator's
-//                       (or Abort)     commit/abort releases it
+//   Commit           -> [TupleBatch*]  connection until the coordinator's
+//                       CommitAck      commit/abort releases it; if this
+//                       (or Abort)     shard is the txn's home and exchange
+//                                      is on, the commit first pulls remote
+//                                      read rows over the data plane and
+//                                      streams the assembled read set back
 //   Prepare(frag)    -> Vote(reject|down)   injected 2PC faults: no hold
 //   Shutdown         -> ShardStats     reply final counters, stop serving
+//
+// Exchange data plane: each child also serves a second listener from a
+// dedicated ExchangeNode thread (dist/exchange.h) and owns an ExchangeClient
+// with channels to every peer's data listener, established at fork time.
+// The control thread is the only user of the client; the node thread only
+// reads immutable storage — the two never share mutable state, so the child
+// stays data-race-free with exactly one deliberate synchronization point:
+// Stop()'s join at shutdown.
 //
 // The hold is the distributed equivalent of the in-process backend holding a
 // shard's mutex across the prepare/vote round trip: the server is a
@@ -38,7 +50,9 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
+#include "dist/exchange.h"
 #include "net/event_loop.h"
 #include "net/socket.h"
 #include "net/wire.h"
@@ -50,16 +64,30 @@ namespace jecb {
 
 class ShardServer {
  public:
+  /// `data_addrs[i]` is shard i's data-plane listener address; empty
+  /// disables exchange (the control protocol then behaves exactly as PR 6).
   ShardServer(int32_t shard_id, const ShardedDatabase& sharded,
-              const RuntimeOptions& options);
+              const RuntimeOptions& options,
+              std::vector<net::SocketAddr> data_addrs = {});
 
-  /// Serves `listener` until a Shutdown frame or SIGTERM/SIGINT. Returns
-  /// the final shard-side counters (also sent to the Shutdown peer).
-  net::ShardStatsMsg Serve(net::Socket listener);
+  /// Serves `listener` until a Shutdown frame or SIGTERM/SIGINT; when
+  /// `data_listener` is valid it is served by the ExchangeNode thread for
+  /// the same lifetime. Returns the final shard-side counters (also sent to
+  /// the Shutdown peer).
+  net::ShardStatsMsg Serve(net::Socket listener,
+                           net::Socket data_listener = net::Socket());
 
  private:
   void HandleExecute(net::EventLoop& loop, int64_t peer, const net::Frame& frame);
   void HandlePrepare(net::EventLoop& loop, int64_t peer, const net::Frame& frame);
+  /// Home-shard commit work: pull remote read rows over the data plane,
+  /// stream the assembled read set (access order) to `peer` as kTupleBatch
+  /// frames. The CommitAck the caller sends afterwards terminates the
+  /// stream on the coordinator side.
+  void StreamAssembledReads(net::EventLoop& loop, int64_t peer,
+                            const net::FragmentMsg& frag);
+  /// Folds exchange node/client accounting into `out`'s exchange tail.
+  void MergeExchangeStats(net::ShardStatsMsg& out) const;
   net::ShardStatsMsg FinalStats(const net::EventLoop& loop) const;
 
   /// Replies on `peer`, assigning the next server-side sequence number.
@@ -71,6 +99,15 @@ class ShardServer {
   const RuntimeOptions options_;
   const FaultInjector injector_;
   const uint32_t prepare_us_;
+  const bool exchange_on_;
+
+  ExchangeNode node_;
+  ExchangeClient client_;
+  /// kTupleBatch frames streamed to coordinators over the control plane
+  /// (the node counts its own data-plane batches separately).
+  uint64_t stream_batches_ = 0;
+  uint64_t stream_tuples_ = 0;
+  uint64_t stream_bytes_ = 0;
 
   uint64_t reply_seq_ = 0;
   net::ShardStatsMsg stats_;

@@ -14,7 +14,9 @@
 #include <utility>
 
 #include "dist/shard_server.h"
+#include "dist/wire_channel.h"
 #include "obs/trace_recorder.h"
+#include "runtime/exchange.h"
 
 namespace jecb {
 
@@ -22,17 +24,6 @@ namespace {
 
 using net::Frame;
 using net::MsgType;
-
-/// A transport failure the protocol cannot mask (shard process died
-/// unexpectedly, stream went corrupt). Any silent recovery here would skew
-/// the outcome counters away from the in-process backend, so fail loudly
-/// instead — determinism bugs must never look like flaky throughput.
-[[noreturn]] void TransportPanic(const char* what, int32_t shard,
-                                 const Status& status) {
-  std::fprintf(stderr, "jecb: fatal transport error (%s, shard %d): %s\n",
-               what, shard, status.ToString().c_str());
-  std::abort();
-}
 
 std::string DefaultSocketDir() {
   const char* tmp = std::getenv("TMPDIR");
@@ -59,8 +50,11 @@ SocketTransport::~SocketTransport() { Drain(); }
 Status SocketTransport::Start() {
   if (started_) return Status::OK();
   const int32_t n = sharded_.num_shards();
+  const bool exchange = options_.exchange_enabled;
   addrs_.resize(static_cast<size_t>(n));
+  data_addrs_.resize(exchange ? static_cast<size_t>(n) : 0);
   procs_.resize(static_cast<size_t>(n));
+  shard_exits_.assign(static_cast<size_t>(n), ShardExitStatus{});
   shard_rtt_.clear();
   for (int32_t i = 0; i < n; ++i) {
     shard_rtt_.push_back(std::make_unique<LatencyHistogram>());
@@ -79,14 +73,15 @@ Status SocketTransport::Start() {
   }
 
   // Bind every listener first: by the time any child serves, every address
-  // exists, so cross-shard connection order can never flake.
-  std::vector<net::Socket> listeners;
-  listeners.reserve(static_cast<size_t>(n));
-  for (int32_t i = 0; i < n; ++i) {
-    net::SocketAddr& addr = addrs_[static_cast<size_t>(i)];
+  // exists, so cross-shard connection order can never flake. Crucially this
+  // covers the exchange DATA listeners too — a child's ExchangeClient
+  // connects to its peers right after fork, and pre-fork binding is what
+  // guarantees those connects can never race a peer that hasn't bound yet.
+  auto bind_one = [&](int32_t i, const char* suffix, net::SocketAddr& addr,
+                      std::vector<net::Socket>& out) -> Status {
     if (options_.transport == TransportKind::kUnixSocket) {
       addr.is_unix = true;
-      addr.path = dir + "/shard-" + std::to_string(i) + ".sock";
+      addr.path = dir + "/shard-" + std::to_string(i) + suffix;
     } else {
       addr.is_unix = false;
       addr.port = 0;  // kernel-assigned
@@ -98,7 +93,20 @@ Status SocketTransport::Start() {
       if (!port.ok()) return port.status();
       addr.port = port.value();
     }
-    listeners.push_back(std::move(listener).value());
+    out.push_back(std::move(listener).value());
+    return Status::OK();
+  };
+  std::vector<net::Socket> listeners;
+  std::vector<net::Socket> data_listeners;
+  listeners.reserve(static_cast<size_t>(n));
+  for (int32_t i = 0; i < n; ++i) {
+    Status s = bind_one(i, ".sock", addrs_[static_cast<size_t>(i)], listeners);
+    if (!s.ok()) return s;
+    if (exchange) {
+      s = bind_one(i, ".data.sock", data_addrs_[static_cast<size_t>(i)],
+                   data_listeners);
+      if (!s.ok()) return s;
+    }
   }
 
   // Fork the shard servers while this process is still single-threaded:
@@ -111,19 +119,25 @@ Status SocketTransport::Start() {
       return Status::Internal("fork failed for shard " + std::to_string(i));
     }
     if (pid == 0) {
-      // Child: keep only this shard's listener; serve until kShutdown or
-      // SIGTERM; _Exit so no parent-owned state (atexit hooks, buffers,
-      // sanitizer end-of-process checks) runs twice.
+      // Child: keep only this shard's listeners (control + data); serve
+      // until kShutdown or SIGTERM; _Exit so no parent-owned state (atexit
+      // hooks, buffers, sanitizer end-of-process checks) runs twice.
       net::Socket own = std::move(listeners[static_cast<size_t>(i)]);
+      net::Socket own_data;
+      if (exchange) {
+        own_data = std::move(data_listeners[static_cast<size_t>(i)]);
+      }
       listeners.clear();
+      data_listeners.clear();
       net::InstallStopSignalHandler();
-      ShardServer server(i, sharded_, options_);
-      server.Serve(std::move(own));
+      ShardServer server(i, sharded_, options_, data_addrs_);
+      server.Serve(std::move(own), std::move(own_data));
       std::_Exit(0);
     }
     procs_[static_cast<size_t>(i)].pid = pid;
   }
   listeners.clear();  // parent: children own the listening fds now
+  data_listeners.clear();
   started_ = true;
   return Status::OK();
 }
@@ -169,6 +183,19 @@ void SocketTransport::ShutdownShard(int32_t i) {
     local.shard_frames += stats.frames_received;
     local.shard_bytes += stats.bytes_received;
     local.dedup_drops += stats.dedup_dropped;
+    // Exchange tail: data-plane serving totals, plus the shard-to-shard
+    // wire-fault events the shard's ExchangeClient absorbed. The latter fold
+    // into the same wire_* counters as coordinator-channel faults — one
+    // fault discipline, one ledger (exchange_reqs_sent stays out of
+    // messages_sent: that counter is coordinator-originated traffic only).
+    local.exchange_requests += stats.exchange_reqs_served;
+    local.exchange_batches += stats.exchange_batches_sent;
+    local.exchange_tuples += stats.exchange_tuples_sent;
+    local.exchange_bytes += stats.exchange_bytes_sent;
+    local.wire_drops += stats.exchange_wire_drops;
+    local.wire_delays += stats.exchange_wire_delays;
+    local.wire_duplicates += stats.exchange_wire_duplicates;
+    local.reconnects += stats.exchange_reconnects;
   }
   MergeCounters(local);
 }
@@ -177,24 +204,50 @@ void SocketTransport::ReapShard(int32_t i) {
   pid_t pid = procs_[static_cast<size_t>(i)].pid;
   if (pid <= 0) return;
   procs_[static_cast<size_t>(i)].pid = -1;
+  ShardExitStatus& ex = shard_exits_[static_cast<size_t>(i)];
+  ex.shard = i;
 
   // Escalation ladder: grace period for the kShutdown drain, then SIGTERM
   // (the server's signal handler turns it into a clean stop), then SIGKILL.
-  auto wait_for = [pid](int millis) {
+  // Every rung records the child's wait status: a shard that died in a
+  // TransportPanic abort exits here as a SIGABRT corpse, and discarding that
+  // would let a determinism bug masquerade as a clean run.
+  auto record = [&ex](int status) {
+    if (WIFEXITED(status)) {
+      ex.exited = true;
+      ex.exit_code = WEXITSTATUS(status);
+    } else if (WIFSIGNALED(status)) {
+      ex.term_signal = WTERMSIG(status);
+    }
+  };
+  auto wait_for = [pid, &ex, &record](int millis) {
     for (int waited = 0; waited < millis; waited += 10) {
       int status = 0;
       pid_t r = waitpid(pid, &status, WNOHANG);
-      if (r == pid || (r < 0 && errno == ECHILD)) return true;
+      if (r == pid) {
+        record(status);
+        return true;
+      }
+      if (r < 0 && errno == ECHILD) {
+        // Already reaped — nothing else waits on our children, so this
+        // should not happen; with no status available, record a clean exit
+        // rather than invent a failure.
+        ex.exited = true;
+        ex.exit_code = 0;
+        return true;
+      }
       std::this_thread::sleep_for(std::chrono::milliseconds(10));
     }
     return false;
   };
   if (wait_for(2000)) return;
+  ex.forced_term = true;
   kill(pid, SIGTERM);
   if (wait_for(1000)) return;
+  ex.forced_kill = true;
   kill(pid, SIGKILL);
   int status = 0;
-  waitpid(pid, &status, 0);
+  if (waitpid(pid, &status, 0) == pid) record(status);
 }
 
 void SocketTransport::Drain() {
@@ -206,6 +259,7 @@ void SocketTransport::Drain() {
   }
   if (options_.transport == TransportKind::kUnixSocket) {
     for (const net::SocketAddr& addr : addrs_) unlink(addr.path.c_str());
+    for (const net::SocketAddr& addr : data_addrs_) unlink(addr.path.c_str());
     if (!owned_socket_dir_.empty()) rmdir(owned_socket_dir_.c_str());
   }
 }
@@ -222,13 +276,17 @@ TransportReport SocketTransport::Report() const {
     report.shard_rtt.push_back(hist->Snapshot());
     report.rtt.Merge(report.shard_rtt.back());
   }
+  // Exit statuses are recorded by Drain()'s reap pass; before that the
+  // entries are default (shard = -1) and callers should not judge them.
+  report.shard_exits = shard_exits_;
   return report;
 }
 
 // ---------------------------------------------------------------------------
 // DistCoordinatorSession: one client thread's coordinator. Owns one lazily
-// connected channel per shard and mirrors TxnCoordinator's accounting with
-// the simulated message sleeps replaced by real wire round trips.
+// connected FaultyChannel per shard (dist/wire_channel.h carries the shared
+// connect/fault/framing discipline) and mirrors TxnCoordinator's accounting
+// with the simulated message sleeps replaced by real wire round trips.
 
 class DistCoordinatorSession : public TransportSession {
  public:
@@ -240,7 +298,13 @@ class DistCoordinatorSession : public TransportSession {
         metrics_(transport->metrics_),
         prepare_us_(options_.local_work_us + options_.lock_hold_us),
         wire_faults_(options_.faults.wire_enabled()),
-        channels_(static_cast<size_t>(transport->sharded_.num_shards())) {}
+        exchange_on_(options_.exchange_enabled),
+        channels_(static_cast<size_t>(transport->sharded_.num_shards())) {
+    for (size_t i = 0; i < channels_.size(); ++i) {
+      channels_[i].Configure(transport->addrs_[i], static_cast<int32_t>(i),
+                             &injector_, wire_faults_, &counters_, "coord");
+    }
+  }
 
   ~DistCoordinatorSession() override { transport_->MergeCounters(counters_); }
 
@@ -248,35 +312,59 @@ class DistCoordinatorSession : public TransportSession {
   void ExecuteDistributed(const ClassifiedTxn& txn) override;
 
  private:
-  struct Channel {
-    net::Socket sock;
-    net::FrameBuffer in;
-    uint64_t send_seq = 0;
-    uint64_t last_txn_id = 0;
-    bool has_txn = false;
-    bool connected = false;
-  };
-
   bool AttemptOnce(const ClassifiedTxn& txn, uint32_t attempt, bool traced);
   void AbortPrepared(const std::vector<int32_t>& prepared,
                      const ClassifiedTxn& txn, uint32_t attempt);
+  /// Commits the home shard and collects the kTupleBatch stream it assembles
+  /// (terminated by the CommitAck), then feeds the entries through the same
+  /// BuildExchangeOutcome accounting the in-process backend uses.
+  void CommitHomeAndCollect(const ClassifiedTxn& txn, uint32_t attempt,
+                            const std::string& payload);
 
-  void EnsureConnected(int32_t shard);
-  /// Applies the per-txn disconnect fault: the channel may be torn down and
-  /// re-established, but only before the txn's first message on it.
-  void TouchChannelForTxn(int32_t shard, uint64_t txn_id);
-  void RawSend(int32_t shard, const std::string& bytes);
-  void SendWithFaults(int32_t shard, MsgType type, const std::string& payload,
-                      uint64_t txn_id, uint32_t attempt);
-  /// Blocks until the next non-stray frame of `want` arrives from `shard`.
-  Frame RecvType(int32_t shard, MsgType want);
+  /// Readies `shard`'s channel for a message of `txn_id`: disconnect fault,
+  /// (re)connect, Hello handshake on a fresh connection.
+  FaultyChannel& Ready(int32_t shard, uint64_t txn_id) {
+    FaultyChannel& ch = channels_[static_cast<size_t>(shard)];
+    ch.TouchForTxn(txn_id);
+    if (ch.EnsureConnected()) {
+      // Fresh connection (first use, or after a disconnect fault): the
+      // server side starts a new dedup watermark, our side restarted at
+      // seq 1 — run the identity handshake before any protocol traffic.
+      net::HelloMsg hello;
+      hello.client_id = client_id_;
+      hello.shard_id = shard;
+      ch.RawSend(net::EncodeFrame(MsgType::kHello, ch.NextSeq(), hello.Encode()));
+      Frame ack = ch.RecvType(MsgType::kHelloAck);
+      net::HelloAckMsg am;
+      if (!am.Decode(ack.payload) || am.shard_id != shard) {
+        TransportPanic("hello", shard, Status::Internal("bad HelloAck"));
+      }
+    }
+    return ch;
+  }
+
+  /// Fire-and-forget send with the full fault discipline.
+  void Send(int32_t shard, MsgType type, const std::string& payload,
+            uint64_t txn_id, uint32_t attempt) {
+    Ready(shard, txn_id).SendWithFaults(type, payload, txn_id, attempt);
+  }
+
   /// One request/response round trip, RTT recorded against `shard`.
   Frame Call(int32_t shard, MsgType type, const std::string& payload,
-             uint64_t txn_id, uint32_t attempt, MsgType want);
+             uint64_t txn_id, uint32_t attempt, MsgType want) {
+    auto start = std::chrono::steady_clock::now();
+    FaultyChannel& ch = Ready(shard, txn_id);
+    ch.SendWithFaults(type, payload, txn_id, attempt);
+    Frame reply = ch.RecvType(want);
+    transport_->shard_rtt_[static_cast<size_t>(shard)]->Record(ElapsedUs(start));
+    return reply;
+  }
 
   net::FragmentMsg WholeFragment(const ClassifiedTxn& txn, uint32_t attempt) const;
   /// Only the accesses shard `p` stores (replicated writes included): the
-  /// slice of the transaction that shard actually prepares.
+  /// slice of the transaction that shard actually prepares. When exchange is
+  /// on, the HOME shard's slice additionally carries the txn's full read set
+  /// so a commit can assemble it without a second coordinator round trip.
   net::FragmentMsg SliceFragment(const ClassifiedTxn& txn, uint32_t attempt,
                                  int32_t p) const;
 
@@ -287,116 +375,60 @@ class DistCoordinatorSession : public TransportSession {
   RuntimeMetrics* metrics_;
   const uint32_t prepare_us_;
   const bool wire_faults_;
+  const bool exchange_on_;
 
-  std::vector<Channel> channels_;
+  std::vector<FaultyChannel> channels_;
   TransportCounters counters_;
 };
 
-void DistCoordinatorSession::EnsureConnected(int32_t shard) {
-  Channel& ch = channels_[static_cast<size_t>(shard)];
-  if (ch.connected) return;
-  Result<net::Socket> conn = Connect(transport_->addrs_[static_cast<size_t>(shard)]);
-  if (!conn.ok()) TransportPanic("connect", shard, conn.status());
-  ch.sock = std::move(conn).value();
-  ch.in = net::FrameBuffer();
-  ch.send_seq = 0;
-  ch.connected = true;
-
-  net::HelloMsg hello;
-  hello.client_id = client_id_;
-  hello.shard_id = shard;
-  std::string frame =
-      net::EncodeFrame(MsgType::kHello, ++ch.send_seq, hello.Encode());
-  RawSend(shard, frame);
-  Frame ack = RecvType(shard, MsgType::kHelloAck);
-  net::HelloAckMsg am;
-  if (!am.Decode(ack.payload) || am.shard_id != shard) {
-    TransportPanic("hello", shard, Status::Internal("bad HelloAck"));
-  }
-}
-
-void DistCoordinatorSession::TouchChannelForTxn(int32_t shard, uint64_t txn_id) {
-  Channel& ch = channels_[static_cast<size_t>(shard)];
-  const bool first_msg_of_txn = !ch.has_txn || ch.last_txn_id != txn_id;
-  ch.has_txn = true;
-  ch.last_txn_id = txn_id;
-  if (!first_msg_of_txn || !wire_faults_ || !ch.connected) return;
-  if (!injector_.WireDisconnects(txn_id, shard)) return;
-  // Tear the connection down between transactions only: the reconnect is
-  // pure wire churn, invisible to 2PC outcomes by construction.
-  ch.sock.Close();
-  ch.connected = false;
-  counters_.reconnects += 1;
-}
-
-void DistCoordinatorSession::RawSend(int32_t shard, const std::string& bytes) {
-  Channel& ch = channels_[static_cast<size_t>(shard)];
-  Status s = net::SendAll(ch.sock, bytes.data(), bytes.size());
-  if (!s.ok()) TransportPanic("send", shard, s);
-  counters_.messages_sent += 1;
-  counters_.bytes_sent += bytes.size();
-}
-
-void DistCoordinatorSession::SendWithFaults(int32_t shard, MsgType type,
-                                            const std::string& payload,
-                                            uint64_t txn_id, uint32_t attempt) {
-  TouchChannelForTxn(shard, txn_id);
-  EnsureConnected(shard);
-  Channel& ch = channels_[static_cast<size_t>(shard)];
-  const uint8_t kind = static_cast<uint8_t>(type);
-  if (wire_faults_ && injector_.WireDelays(txn_id, attempt, shard, kind)) {
-    counters_.wire_delays += 1;
-    SimulateNetworkDelay(injector_.plan().wire_delay_us);
-  }
-  const std::string bytes = net::EncodeFrame(type, ++ch.send_seq, payload);
-  if (wire_faults_ && injector_.WireDrops(txn_id, attempt, shard, kind)) {
-    // The first copy is "lost on the wire": account it as sent, never write
-    // it, wait out the retransmit timer, then send for real.
-    counters_.wire_drops += 1;
-    counters_.messages_sent += 1;
-    counters_.bytes_sent += bytes.size();
-    SimulateNetworkDelay(injector_.plan().wire_retransmit_us);
-  }
-  RawSend(shard, bytes);
-  if (wire_faults_ && injector_.WireDuplicates(txn_id, attempt, shard, kind)) {
-    // Same sequence number on purpose: the shard's dedup watermark drops it.
-    counters_.wire_duplicates += 1;
-    RawSend(shard, bytes);
-  }
-}
-
-Frame DistCoordinatorSession::RecvType(int32_t shard, MsgType want) {
-  Channel& ch = channels_[static_cast<size_t>(shard)];
-  char chunk[64 * 1024];
-  Frame frame;
-  for (;;) {
-    net::FrameBuffer::NextResult res = ch.in.Next(&frame);
-    if (res == net::FrameBuffer::NextResult::kFrame) {
-      counters_.messages_received += 1;
-      if (frame.type == want) return frame;
-      continue;  // stray (late ack of an aborted attempt): skip
-    }
-    if (res == net::FrameBuffer::NextResult::kCorrupt) {
-      TransportPanic("recv", shard, ch.in.error());
-    }
-    net::RecvSomeResult r = net::RecvSome(ch.sock, chunk, sizeof(chunk));
-    if (r.n == 0) TransportPanic("recv", shard, Status::Internal("peer closed"));
-    if (r.n < 0 && !r.status.ok()) TransportPanic("recv", shard, r.status);
-    if (r.n > 0) {
-      ch.in.Feed(chunk, static_cast<size_t>(r.n));
-      counters_.bytes_received += static_cast<uint64_t>(r.n);
-    }
-  }
-}
-
-Frame DistCoordinatorSession::Call(int32_t shard, MsgType type,
-                                   const std::string& payload, uint64_t txn_id,
-                                   uint32_t attempt, MsgType want) {
+void DistCoordinatorSession::CommitHomeAndCollect(const ClassifiedTxn& txn,
+                                                  uint32_t attempt,
+                                                  const std::string& payload) {
   auto start = std::chrono::steady_clock::now();
-  SendWithFaults(shard, type, payload, txn_id, attempt);
-  Frame reply = RecvType(shard, want);
-  transport_->shard_rtt_[static_cast<size_t>(shard)]->Record(ElapsedUs(start));
-  return reply;
+  FaultyChannel& ch = Ready(txn.home, txn.txn_id);
+  ch.SendWithFaults(MsgType::kCommit, payload, txn.txn_id, attempt);
+
+  // Collect the assembled read set: zero or more in-order kTupleBatch
+  // frames, terminated by the CommitAck (a read-free txn streams nothing, so
+  // the terminator doubles as the empty-stream case).
+  std::vector<ExchangeEntry> entries;
+  uint32_t expect_index = 0;
+  for (;;) {
+    Frame frame = ch.RecvAny();
+    if (frame.type == MsgType::kCommitAck) break;
+    if (frame.type != MsgType::kTupleBatch) continue;  // stray: skip
+    net::TupleBatchMsg batch;
+    if (!batch.Decode(frame.payload)) {
+      TransportPanic("exchange", txn.home,
+                     Status::Internal("bad TupleBatchMsg"));
+    }
+    if (batch.txn_id != txn.txn_id || batch.batch_index != expect_index) {
+      TransportPanic("exchange", txn.home,
+                     Status::Internal("tuple batch stream out of order"));
+    }
+    ++expect_index;
+    entries.reserve(entries.size() + batch.entries.size());
+    for (net::TupleBatchEntry& e : batch.entries) {
+      entries.push_back({TupleId{static_cast<TableId>(e.table),
+                                 static_cast<RowId>(e.row)},
+                         std::move(e.bytes)});
+    }
+  }
+  transport_->shard_rtt_[static_cast<size_t>(txn.home)]->Record(ElapsedUs(start));
+
+  size_t want = 0;
+  for (const Access& a : txn.txn->accesses) {
+    if (!a.write) ++want;
+  }
+  if (entries.size() != want) {
+    TransportPanic("exchange", txn.home,
+                   Status::Internal("assembled read set truncated"));
+  }
+  // Same accounting path as the in-process backend, fed with the bytes that
+  // actually crossed the wire — the parity tests compare digests to prove
+  // the two are identical.
+  BuildExchangeOutcome(transport_->sharded_, txn, entries,
+                       options_.exchange_batch_bytes, metrics_);
 }
 
 net::FragmentMsg DistCoordinatorSession::WholeFragment(const ClassifiedTxn& txn,
@@ -429,6 +461,17 @@ net::FragmentMsg DistCoordinatorSession::SliceFragment(const ClassifiedTxn& txn,
     frag.accesses.push_back({static_cast<uint32_t>(a.tuple.table),
                              static_cast<uint64_t>(a.tuple.row),
                              static_cast<uint8_t>(a.write ? 1 : 0)});
+  }
+  if (exchange_on_ && p == txn.home) {
+    // The home shard assembles the read set at commit time; its prepare
+    // carries the FULL read set (access order, duplicates preserved) so no
+    // extra coordinator round is needed. Other slices leave the tail empty,
+    // keeping their frames byte-identical to the exchange-off protocol.
+    for (const Access& a : txn.txn->accesses) {
+      if (a.write) continue;
+      frag.exchange_reads.push_back({static_cast<uint32_t>(a.tuple.table),
+                                     static_cast<uint64_t>(a.tuple.row), 0});
+    }
   }
   return frag;
 }
@@ -475,7 +518,7 @@ void DistCoordinatorSession::AbortPrepared(const std::vector<int32_t>& prepared,
   ref.attempt = attempt;
   const std::string payload = ref.Encode();
   for (int32_t p : prepared) {
-    SendWithFaults(p, MsgType::kAbort, payload, txn.txn_id, attempt);
+    Send(p, MsgType::kAbort, payload, txn.txn_id, attempt);
   }
 }
 
@@ -549,13 +592,22 @@ bool DistCoordinatorSession::AttemptOnce(const ClassifiedTxn& txn,
   const uint64_t commit_ts = traced ? rec.NowUs() : 0;
 
   // Commit round: each ack releases that shard's hold. Latency the client
-  // observes; the shards free up one by one as the acks come back.
+  // observes; the shards free up one by one as the acks come back. The home
+  // shard's commit is the exchange trigger: it streams the assembled read
+  // set (pulling remote rows over the data plane while still holding) before
+  // its ack, and the coordinator accounts the collected entries through the
+  // same BuildExchangeOutcome path the in-process backend uses.
   net::TxnRefMsg ref;
   ref.txn_id = txn.txn_id;
   ref.attempt = attempt;
   const std::string payload = ref.Encode();
   for (int32_t p : prepared) {
-    Call(p, MsgType::kCommit, payload, txn.txn_id, attempt, MsgType::kCommitAck);
+    if (exchange_on_ && p == txn.home) {
+      CommitHomeAndCollect(txn, attempt, payload);
+    } else {
+      Call(p, MsgType::kCommit, payload, txn.txn_id, attempt,
+           MsgType::kCommitAck);
+    }
   }
   if (traced) {
     rec.Span("runtime", "2pc.commit", commit_ts, rec.NowUs() - commit_ts, "txn",

@@ -3,14 +3,19 @@
 // each client thread driving actual prepare/vote/commit/ack message rounds
 // instead of the in-process backend's simulated sleeps.
 //
-// Process model: Start() binds every shard's listener and THEN forks, while
-// the parent is still single-threaded — the children inherit the immutable
-// ShardedDatabase copy-on-write (no serialization) and a clean address
-// space (fork before client threads is what keeps this sanitizer-safe).
-// Each child keeps only its own listener, installs the SIGTERM handler and
-// serves until the Drain() control round sends it kShutdown; the parent
+// Process model: Start() binds every shard's listener — the control
+// listener, plus a second DATA listener per shard when exchange is enabled —
+// and THEN forks, while the parent is still single-threaded: the children
+// inherit the immutable ShardedDatabase copy-on-write (no serialization)
+// and a clean address space (fork before client threads is what keeps this
+// sanitizer-safe). Each child keeps only its own listeners plus the full
+// data-address table (so its ExchangeClient can reach every peer's data
+// plane directly, bypassing the coordinator), installs the SIGTERM handler
+// and serves until the Drain() control round sends it kShutdown; the parent
 // reaps it with an escalating waitpid -> SIGTERM -> SIGKILL ladder so a
-// wedged shard can never hang the replay.
+// wedged shard can never hang the replay, and records each child's exit
+// status in TransportReport::shard_exits so abnormal deaths (a TransportPanic
+// abort, an OOM kill) are never silently absorbed by the ladder.
 //
 // Accounting: the parent mirrors TxnCoordinator's metric updates step for
 // step, keyed off the shard's VoteMsg (which carries the shard-side
@@ -81,9 +86,13 @@ class SocketTransport : public Transport {
   /// Drain() adds the shard-reported stats.
   void MergeCounters(const TransportCounters& c);
 
-  /// Sends kShutdown to shard `i` and folds its kShardStats reply into the
-  /// transport counters. Best effort: a dead shard is simply reaped.
+  /// Sends kShutdown to shard `i` and folds its kShardStats reply (control
+  /// loop + exchange tail) into the transport counters. Best effort: a dead
+  /// shard is simply reaped.
   void ShutdownShard(int32_t i);
+  /// Waits for child `i`, escalating WNOHANG -> SIGTERM -> SIGKILL, and
+  /// records its exit status (code, signal, which rung forced it) in
+  /// shard_exits_.
   void ReapShard(int32_t i);
 
   const ShardedDatabase& sharded_;
@@ -92,7 +101,11 @@ class SocketTransport : public Transport {
   const FaultInjector injector_;
 
   std::vector<net::SocketAddr> addrs_;
+  /// Exchange data-plane listener addresses (empty when exchange is off);
+  /// every child gets the full table at fork time.
+  std::vector<net::SocketAddr> data_addrs_;
   std::vector<ShardProc> procs_;
+  std::vector<ShardExitStatus> shard_exits_;
   std::string owned_socket_dir_;  ///< mkdtemp'd; removed by Drain()
   bool started_ = false;
   bool drained_ = false;

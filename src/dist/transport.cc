@@ -16,6 +16,10 @@ void TransportCounters::Merge(const TransportCounters& o) {
   dedup_drops += o.dedup_drops;
   shard_frames += o.shard_frames;
   shard_bytes += o.shard_bytes;
+  exchange_requests += o.exchange_requests;
+  exchange_batches += o.exchange_batches;
+  exchange_tuples += o.exchange_tuples;
+  exchange_bytes += o.exchange_bytes;
 }
 
 namespace {

@@ -48,8 +48,34 @@ struct TransportCounters {
   uint64_t dedup_drops = 0;      ///< duplicates the receivers suppressed
   uint64_t shard_frames = 0;     ///< frames the shard servers processed
   uint64_t shard_bytes = 0;      ///< bytes the shard servers received
+  // Exchange data plane (shard-to-shard pulls + home->coordinator batch
+  // streams), harvested from the shards' ShardStatsMsg tails at shutdown.
+  // Wire-level like everything else here: the backend-invariant exchange
+  // accounting lives in RuntimeMetrics (jecb_exchange_*), not in these.
+  uint64_t exchange_requests = 0;  ///< unique kExchangeReq served
+  uint64_t exchange_batches = 0;   ///< kTupleBatch frames shards emitted
+  uint64_t exchange_tuples = 0;    ///< rows shards materialized for peers
+  uint64_t exchange_bytes = 0;     ///< encoded row bytes shards shipped
 
   void Merge(const TransportCounters& o);
+};
+
+/// What actually happened to one forked shard-server process at reap time.
+/// `clean()` is the contract a healthy drain must meet: the child exited by
+/// itself (before SIGKILL) with status 0. A SIGTERM that the child turned
+/// into a clean exit still reports forced_term for visibility but stays
+/// clean-able only via exit_code 0 — see ReapShard.
+struct ShardExitStatus {
+  int32_t shard = -1;
+  bool exited = false;      ///< waitpid observed the child end
+  int exit_code = -1;       ///< WEXITSTATUS when exited normally
+  int term_signal = 0;      ///< WTERMSIG when signal-killed (0 otherwise)
+  bool forced_term = false; ///< parent had to escalate to SIGTERM
+  bool forced_kill = false; ///< parent had to escalate to SIGKILL
+
+  bool clean() const {
+    return exited && exit_code == 0 && term_signal == 0 && !forced_kill;
+  }
 };
 
 /// Snapshot of a transport after Drain(): identity, counters, and the
@@ -60,6 +86,10 @@ struct TransportReport {
   TransportCounters counters;
   std::vector<HistogramData> shard_rtt;  ///< indexed by shard id
   HistogramData rtt;                     ///< all shards merged
+  /// Per-shard process exit records (socket backends only; empty in-process).
+  /// A non-clean() entry means a shard server crashed or had to be killed —
+  /// bench/distributed_replay fails the run on it.
+  std::vector<ShardExitStatus> shard_exits;
 
   bool real_wire() const { return kind != TransportKind::kInProcess; }
 };

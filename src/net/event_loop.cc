@@ -42,7 +42,8 @@ EventLoop::EventLoop(Socket listener) : listener_(std::move(listener)) {
 }
 
 bool EventLoop::stopped() const {
-  return stop_requested_ || g_stop_flag.load(std::memory_order_relaxed) != 0;
+  return stop_requested_.load(std::memory_order_relaxed) ||
+         g_stop_flag.load(std::memory_order_relaxed) != 0;
 }
 
 bool EventLoop::PopReady(int64_t focus, int64_t* peer, Frame* frame) {

@@ -21,11 +21,24 @@
 // the transport fault injector's deliberate re-sends invisible to the
 // protocol layer.
 //
-// Stop conditions: RequestStop() (same thread) or the process-wide stop flag
+// Watermark scope contract (load-bearing for reconnects): the dedup
+// watermark lives in the per-connection Peer and every accepted connection
+// starts a fresh Peer with last_seq = 0. Senders must therefore reset their
+// send_seq to 0 together with the socket and FrameBuffer whenever they
+// reconnect (dist/wire_channel.h's Reset() is the one place that does all
+// three) — then a reconnected sender's frames always start above the new
+// watermark (nothing legitimate is dropped) and an injected duplicate,
+// re-sent with its original seq on the SAME connection, is always at or
+// below it (nothing duplicated is re-accepted). A duplicate can never cross
+// a reconnect: the old connection's queue dies with its Peer.
+//
+// Stop conditions: RequestStop() (atomic, callable from another thread — the
+// shard's exchange node is stopped this way) or the process-wide stop flag
 // (async-signal-safe; see InstallStopSignalHandler) — both make Next()
 // return false after at most one poll timeout.
 #pragma once
 
+#include <atomic>
 #include <csignal>
 #include <cstdint>
 #include <deque>
@@ -85,7 +98,10 @@ class EventLoop {
   void Send(int64_t peer, MsgType type, uint64_t seq, std::string_view payload);
 
   void ClosePeer(int64_t peer);
-  void RequestStop() { stop_requested_ = true; }
+  /// Safe to call from another thread: the owning thread observes it within
+  /// one poll timeout. Joining that thread afterwards is the happens-before
+  /// edge that makes its stats() safe to read.
+  void RequestStop() { stop_requested_.store(true, std::memory_order_relaxed); }
   bool stopped() const;
 
   const EventLoopStats& stats() const { return stats_; }
@@ -109,7 +125,7 @@ class EventLoop {
   Socket listener_;
   std::map<int64_t, Peer> peers_;
   int64_t next_peer_id_ = 1;
-  bool stop_requested_ = false;
+  std::atomic<bool> stop_requested_{false};
   EventLoopStats stats_;
 };
 

@@ -24,7 +24,7 @@ const std::array<uint32_t, 256>& CrcTable() {
 
 bool ValidType(uint8_t t) {
   return t >= static_cast<uint8_t>(MsgType::kHello) &&
-         t <= static_cast<uint8_t>(MsgType::kShardStats);
+         t <= static_cast<uint8_t>(MsgType::kTupleBatch);
 }
 
 }  // namespace
@@ -42,6 +42,8 @@ std::string_view MsgTypeName(MsgType t) {
     case MsgType::kAbort: return "abort";
     case MsgType::kShutdown: return "shutdown";
     case MsgType::kShardStats: return "shard_stats";
+    case MsgType::kExchangeReq: return "exchange_req";
+    case MsgType::kTupleBatch: return "tuple_batch";
   }
   return "unknown";
 }
@@ -81,6 +83,18 @@ FrameBuffer::NextResult FrameBuffer::Next(Frame* out) {
   header.U16(&flags);
   header.U64(&seq);
   header.U32(&crc);
+  // The length prefix is the one header field that controls how many bytes
+  // we are willing to buffer, so it is checked FIRST, against kMaxFrameBytes,
+  // before trusting version or type: a corrupted/hostile length is rejected
+  // as sticky corruption from the 20-byte header alone — never a near-4GiB
+  // wait for payload that will not come (and buffering is additionally
+  // bounded by bytes actually fed, never by the prefix).
+  if (kFrameHeaderBytes + static_cast<size_t>(payload_len) > kMaxFrameBytes) {
+    error_ = Status::ParseError("frame payload of " + std::to_string(payload_len) +
+                                " bytes exceeds the " +
+                                std::to_string(kMaxPayloadBytes) + " byte cap");
+    return NextResult::kCorrupt;
+  }
   if (version != kWireVersion) {
     error_ = Status::ParseError("wire version mismatch: got " +
                                 std::to_string(version) + ", want " +
@@ -89,12 +103,6 @@ FrameBuffer::NextResult FrameBuffer::Next(Frame* out) {
   }
   if (!ValidType(type)) {
     error_ = Status::ParseError("unknown frame type " + std::to_string(type));
-    return NextResult::kCorrupt;
-  }
-  if (payload_len > kMaxPayloadBytes) {
-    error_ = Status::ParseError("frame payload of " + std::to_string(payload_len) +
-                                " bytes exceeds the " +
-                                std::to_string(kMaxPayloadBytes) + " byte cap");
     return NextResult::kCorrupt;
   }
   const size_t total = kFrameHeaderBytes + payload_len;
@@ -146,36 +154,54 @@ bool HelloAckMsg::Decode(std::string_view payload) {
   return r.AtEnd();
 }
 
+namespace {
+
+void EncodeAccessList(WireWriter& w, const std::vector<WireAccess>& list) {
+  w.U32(static_cast<uint32_t>(list.size()));
+  for (const WireAccess& a : list) {
+    w.U32(a.table);
+    w.U64(a.row);
+    w.U8(a.write);
+  }
+}
+
+bool DecodeAccessList(WireReader& r, std::vector<WireAccess>* out) {
+  uint32_t count = 0;
+  if (!r.U32(&count)) return false;
+  // Each access takes 13 bytes; reject counts the remaining payload cannot
+  // possibly hold before reserving anything.
+  if (static_cast<uint64_t>(count) * 13 > r.remaining()) return false;
+  out->clear();
+  out->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    WireAccess a;
+    if (!r.U32(&a.table) || !r.U64(&a.row) || !r.U8(&a.write)) return false;
+    out->push_back(a);
+  }
+  return true;
+}
+
+}  // namespace
+
 std::string FragmentMsg::Encode() const {
   WireWriter w;
   w.U64(txn_id);
   w.U32(attempt);
   w.U32(class_id);
-  w.U32(static_cast<uint32_t>(accesses.size()));
-  for (const WireAccess& a : accesses) {
-    w.U32(a.table);
-    w.U64(a.row);
-    w.U8(a.write);
-  }
+  EncodeAccessList(w, accesses);
+  // Back-compat tail: only present when there is an exchange plan, so
+  // non-exchange frames stay byte-identical to the PR 6 encoding.
+  if (!exchange_reads.empty()) EncodeAccessList(w, exchange_reads);
   return w.Take();
 }
 
 bool FragmentMsg::Decode(std::string_view payload) {
   WireReader r(payload);
-  uint32_t count = 0;
-  if (!r.U64(&txn_id) || !r.U32(&attempt) || !r.U32(&class_id) || !r.U32(&count)) {
-    return false;
-  }
-  // Each access takes 13 bytes; reject counts the remaining payload cannot
-  // possibly hold before reserving anything.
-  if (static_cast<uint64_t>(count) * 13 > r.remaining()) return false;
-  accesses.clear();
-  accesses.reserve(count);
-  for (uint32_t i = 0; i < count; ++i) {
-    WireAccess a;
-    if (!r.U32(&a.table) || !r.U64(&a.row) || !r.U8(&a.write)) return false;
-    accesses.push_back(a);
-  }
+  if (!r.U64(&txn_id) || !r.U32(&attempt) || !r.U32(&class_id)) return false;
+  if (!DecodeAccessList(r, &accesses)) return false;
+  exchange_reads.clear();
+  if (r.AtEnd()) return true;  // legacy frame: no exchange plan
+  if (!DecodeAccessList(r, &exchange_reads)) return false;
   return r.AtEnd();
 }
 
@@ -224,16 +250,99 @@ std::string ShardStatsMsg::Encode() const {
   w.U64(bytes_sent);
   w.U64(dedup_dropped);
   w.U64(peer_disconnects);
+  w.U64(exchange_reqs_served);
+  w.U64(exchange_batches_sent);
+  w.U64(exchange_tuples_sent);
+  w.U64(exchange_bytes_sent);
+  w.U64(exchange_reqs_sent);
+  w.U64(exchange_wire_drops);
+  w.U64(exchange_wire_delays);
+  w.U64(exchange_wire_duplicates);
+  w.U64(exchange_reconnects);
   return w.Take();
 }
 
 bool ShardStatsMsg::Decode(std::string_view payload) {
   WireReader r(payload);
-  return r.U64(&executed_local) && r.U64(&prepares_served) &&
-         r.U64(&commits_applied) && r.U64(&aborts_observed) &&
-         r.U64(&stalls_served) && r.U64(&frames_received) &&
-         r.U64(&frames_sent) && r.U64(&bytes_received) && r.U64(&bytes_sent) &&
-         r.U64(&dedup_dropped) && r.U64(&peer_disconnects) && r.AtEnd();
+  if (!(r.U64(&executed_local) && r.U64(&prepares_served) &&
+        r.U64(&commits_applied) && r.U64(&aborts_observed) &&
+        r.U64(&stalls_served) && r.U64(&frames_received) &&
+        r.U64(&frames_sent) && r.U64(&bytes_received) && r.U64(&bytes_sent) &&
+        r.U64(&dedup_dropped) && r.U64(&peer_disconnects))) {
+    return false;
+  }
+  exchange_reqs_served = exchange_batches_sent = exchange_tuples_sent = 0;
+  exchange_bytes_sent = exchange_reqs_sent = 0;
+  exchange_wire_drops = exchange_wire_delays = 0;
+  exchange_wire_duplicates = exchange_reconnects = 0;
+  if (r.AtEnd()) return true;  // legacy encoder: no exchange tail
+  return r.U64(&exchange_reqs_served) && r.U64(&exchange_batches_sent) &&
+         r.U64(&exchange_tuples_sent) && r.U64(&exchange_bytes_sent) &&
+         r.U64(&exchange_reqs_sent) && r.U64(&exchange_wire_drops) &&
+         r.U64(&exchange_wire_delays) && r.U64(&exchange_wire_duplicates) &&
+         r.U64(&exchange_reconnects) && r.AtEnd();
+}
+
+std::string ExchangeMsg::Encode() const {
+  WireWriter w;
+  w.U8(version);
+  w.U64(txn_id);
+  w.U32(attempt);
+  w.U32(static_cast<uint32_t>(from_shard));
+  EncodeAccessList(w, reads);
+  return w.Take();
+}
+
+bool ExchangeMsg::Decode(std::string_view payload) {
+  WireReader r(payload);
+  uint32_t from = 0;
+  if (!r.U8(&version) || version != kExchangeVersion) return false;
+  if (!r.U64(&txn_id) || !r.U32(&attempt) || !r.U32(&from)) return false;
+  from_shard = static_cast<int32_t>(from);
+  return DecodeAccessList(r, &reads) && r.AtEnd();
+}
+
+std::string TupleBatchMsg::Encode() const {
+  WireWriter w;
+  w.U8(version);
+  w.U64(txn_id);
+  w.U32(attempt);
+  w.U32(static_cast<uint32_t>(source_shard));
+  w.U32(batch_index);
+  w.U8(last);
+  w.U32(static_cast<uint32_t>(entries.size()));
+  for (const TupleBatchEntry& e : entries) {
+    w.U32(e.table);
+    w.U64(e.row);
+    w.U32(static_cast<uint32_t>(e.bytes.size()));
+    w.Raw(e.bytes);
+  }
+  return w.Take();
+}
+
+bool TupleBatchMsg::Decode(std::string_view payload) {
+  WireReader r(payload);
+  uint32_t source = 0, count = 0;
+  if (!r.U8(&version) || version != kExchangeVersion) return false;
+  if (!r.U64(&txn_id) || !r.U32(&attempt) || !r.U32(&source) ||
+      !r.U32(&batch_index) || !r.U8(&last) || !r.U32(&count)) {
+    return false;
+  }
+  source_shard = static_cast<int32_t>(source);
+  // Each entry takes at least 16 bytes (table + row + length prefix); reject
+  // counts the remaining payload cannot possibly hold before reserving.
+  if (static_cast<uint64_t>(count) * 16 > r.remaining()) return false;
+  entries.clear();
+  entries.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    TupleBatchEntry e;
+    uint32_t len = 0;
+    if (!r.U32(&e.table) || !r.U64(&e.row) || !r.U32(&len)) return false;
+    if (len > r.remaining()) return false;
+    if (!r.Bytes(&e.bytes, len)) return false;
+    entries.push_back(std::move(e));
+  }
+  return r.AtEnd();
 }
 
 }  // namespace jecb::net

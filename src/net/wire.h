@@ -26,10 +26,18 @@
 namespace jecb::net {
 
 inline constexpr uint8_t kWireVersion = 1;
-/// Hard cap on payload size: anything larger is corruption, not a message
-/// (the largest legal frame is a replicated-write fragment, well under 1 MB).
+/// Hard cap on payload size: anything larger is corruption, not a message.
+/// The largest legal frame is a full exchange tuple batch: batch payloads
+/// are clamped well below this (see RuntimeOptions::exchange_batch_bytes),
+/// so a length prefix above the cap can only mean a corrupted or hostile
+/// header — it is rejected from the header alone, before any allocation or
+/// wait for payload bytes.
 inline constexpr uint32_t kMaxPayloadBytes = 1u << 20;
 inline constexpr size_t kFrameHeaderBytes = 4 + 1 + 1 + 2 + 8 + 4;
+/// Upper bound on a whole frame (header + payload). FrameBuffer enforces it
+/// against the untrusted u32 length prefix BEFORE trusting any other header
+/// field, so a corrupted length can never trigger a near-4 GiB buffer wait.
+inline constexpr size_t kMaxFrameBytes = kFrameHeaderBytes + kMaxPayloadBytes;
 
 /// Message types of the shard protocol (dist/shard_server.h documents the
 /// state machine). Values are wire-stable: append, never renumber.
@@ -45,6 +53,8 @@ enum class MsgType : uint8_t {
   kAbort = 9,       ///< coordinator -> shard: release without applying
   kShutdown = 10,   ///< control -> shard: stop serving after replying
   kShardStats = 11, ///< shard -> control: final shard-side counters
+  kExchangeReq = 12,  ///< shard -> shard (data plane): pull remote read rows
+  kTupleBatch = 13,   ///< data plane: one bounded batch of materialized rows
 };
 
 std::string_view MsgTypeName(MsgType t);
@@ -59,6 +69,8 @@ class WireWriter {
   void U16(uint16_t v) { AppendLE(v, 2); }
   void U32(uint32_t v) { AppendLE(v, 4); }
   void U64(uint64_t v) { AppendLE(v, 8); }
+  /// Appends raw bytes verbatim (length must be conveyed separately).
+  void Raw(std::string_view bytes) { buf_.append(bytes.data(), bytes.size()); }
 
   const std::string& str() const { return buf_; }
   std::string Take() { return std::move(buf_); }
@@ -82,6 +94,13 @@ class WireReader {
   bool U16(uint16_t* v) { return ReadLE(v, 2); }
   bool U32(uint32_t* v) { return ReadLE(v, 4); }
   bool U64(uint64_t* v) { return ReadLE(v, 8); }
+  /// Copies exactly `len` raw bytes into `*out` (replacing its contents).
+  bool Bytes(std::string* out, size_t len) {
+    if (data_.size() - pos_ < len) return false;
+    out->assign(data_.data() + pos_, len);
+    pos_ += len;
+    return true;
+  }
   bool AtEnd() const { return pos_ == data_.size(); }
   size_t remaining() const { return data_.size() - pos_; }
 
@@ -174,6 +193,13 @@ struct FragmentMsg {
   uint32_t attempt = 0;
   uint32_t class_id = 0;
   std::vector<WireAccess> accesses;
+  /// Exchange plan, carried only on the home shard's kPrepare: the full read
+  /// set of the transaction in access order. At commit time the home shard
+  /// pulls the remote rows over the data plane and streams the assembled
+  /// read set to the coordinator. Encoded as a back-compat tail — absent
+  /// (old encoders / non-home participants / exchange disabled) decodes as
+  /// empty.
+  std::vector<WireAccess> exchange_reads;
 
   std::string Encode() const;
   bool Decode(std::string_view payload);
@@ -203,7 +229,8 @@ struct TxnRefMsg {
 
 /// Shard-side counters returned on shutdown: the coordinator folds them into
 /// the replay's transport report and cross-checks them against its own
-/// request accounting.
+/// request accounting. The exchange_* block is a back-compat tail (absent
+/// decodes as zero): data-plane traffic served/initiated by this shard.
 struct ShardStatsMsg {
   uint64_t executed_local = 0;
   uint64_t prepares_served = 0;
@@ -216,6 +243,59 @@ struct ShardStatsMsg {
   uint64_t bytes_sent = 0;
   uint64_t dedup_dropped = 0;
   uint64_t peer_disconnects = 0;
+  // --- exchange data plane (tail; all-or-nothing) ---
+  uint64_t exchange_reqs_served = 0;   ///< unique kExchangeReq handled
+  uint64_t exchange_batches_sent = 0;  ///< kTupleBatch frames emitted
+  uint64_t exchange_tuples_sent = 0;   ///< rows materialized for peers
+  uint64_t exchange_bytes_sent = 0;    ///< encoded row bytes shipped to peers
+  uint64_t exchange_reqs_sent = 0;     ///< kExchangeReq this shard initiated
+  uint64_t exchange_wire_drops = 0;      ///< injected drops on data channels
+  uint64_t exchange_wire_delays = 0;     ///< injected delays on data channels
+  uint64_t exchange_wire_duplicates = 0; ///< injected dups on data channels
+  uint64_t exchange_reconnects = 0;      ///< data-channel reconnects
+
+  std::string Encode() const;
+  bool Decode(std::string_view payload);
+};
+
+/// Version byte for the exchange data-plane payloads. Independent of
+/// kWireVersion so the data plane can evolve (compression, columnar batches)
+/// without invalidating the control protocol.
+inline constexpr uint8_t kExchangeVersion = 1;
+
+/// shard -> shard (data plane): "send me these rows". `from_shard` is the
+/// requesting (home) shard; `txn_id`/`attempt` are the fault-decision
+/// coordinates so injected data-channel faults are reproducible.
+struct ExchangeMsg {
+  uint8_t version = kExchangeVersion;
+  uint64_t txn_id = 0;
+  uint32_t attempt = 0;
+  int32_t from_shard = 0;
+  std::vector<WireAccess> reads;  ///< write flag unused; rows to materialize
+
+  std::string Encode() const;
+  bool Decode(std::string_view payload);
+};
+
+/// One entry of a tuple batch: a materialized row, encoded by
+/// runtime/exchange.h's EncodeRowBytes. Wire cost: 16 bytes + the row bytes.
+struct TupleBatchEntry {
+  uint32_t table = 0;
+  uint64_t row = 0;
+  std::string bytes;
+};
+
+/// Data plane: one bounded batch of materialized rows. A multi-batch
+/// response sets `last` only on the final batch; `batch_index` increases
+/// from 0 so the receiver can detect a truncated stream.
+struct TupleBatchMsg {
+  uint8_t version = kExchangeVersion;
+  uint64_t txn_id = 0;
+  uint32_t attempt = 0;
+  int32_t source_shard = 0;
+  uint32_t batch_index = 0;
+  uint8_t last = 1;
+  std::vector<TupleBatchEntry> entries;
 
   std::string Encode() const;
   bool Decode(std::string_view payload);

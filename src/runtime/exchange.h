@@ -1,0 +1,91 @@
+// Exchange core: materializing a committed transaction's read set as actual
+// tuple bytes, and accounting for what that movement costs. This is the
+// backend-independent half of exchange-style tuple routing — it knows rows,
+// shard ownership, batching arithmetic, and the payload digest, but nothing
+// about sockets. The wire half (dist/exchange.h) ships the same entries over
+// shard-to-shard data channels; the in-process backend materializes them
+// directly from storage. Both funnel through BuildExchangeOutcome, the ONE
+// place exchange metrics are computed, which is what makes every
+// jecb_exchange_* counter and the digest bit-identical across backends.
+//
+// Timing: exchange happens on the COMMITTING attempt only. Aborted or
+// timed-out attempts ship nothing, so rows move exactly once per committed
+// transaction — the property that keeps the counters independent of fault
+// wiring, client count, and transport.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/executor.h"
+#include "runtime/metrics.h"
+#include "runtime/sharded_database.h"
+#include "storage/database.h"
+
+namespace jecb {
+
+/// Wire-accounting overhead per batch entry: table (u32) + row (u64) +
+/// length prefix (u32). Kept in lockstep with net::TupleBatchMsg's encoding
+/// so batch math agrees with what actually crosses the wire.
+inline constexpr uint64_t kExchangeEntryOverheadBytes = 16;
+
+/// Valid range for RuntimeOptions::exchange_batch_bytes.
+uint32_t ClampExchangeBatchBytes(uint32_t requested);
+
+/// One materialized row of a read set: where it lives and its encoded bytes.
+struct ExchangeEntry {
+  TupleId tuple;
+  std::string bytes;
+};
+
+/// Deterministic, platform-independent encoding of one row: per value a tag
+/// byte (0 int, 1 double, 2 string) followed by the LE u64 / double bits /
+/// u32 length + bytes. This IS the payload the socket backends ship, so the
+/// digest below covers real wire bytes, not an abstraction of them.
+std::string EncodeRowBytes(const Row& row);
+
+/// The read set of `txn` in access order (duplicates preserved — a row read
+/// twice ships twice, on every backend identically).
+std::vector<TupleId> ExchangeReadSet(const Transaction& txn);
+
+/// Materializes `reads` from storage in order. Shared by the in-process
+/// backend (assembling directly) and the shard-side ExchangeNode (serving a
+/// peer's pull), so byte content cannot diverge between them.
+std::vector<ExchangeEntry> MaterializeReads(const Database& db,
+                                            const std::vector<TupleId>& reads);
+
+/// Greedy batch split: entries are packed in order until adding the next one
+/// would push the batch past `batch_bytes` (a batch always takes at least
+/// one entry, so an oversized row still ships). Returns [begin, end) index
+/// spans. Both the wire encoder and the in-process accounting use this one
+/// rule, which is why jecb_exchange_batches is backend-invariant.
+std::vector<std::pair<size_t, size_t>> ExchangeBatchSpans(
+    const std::vector<ExchangeEntry>& entries, size_t begin, size_t end,
+    uint32_t batch_bytes);
+
+/// Per-transaction digest over the assembled read set: HashInt64(txn_id)
+/// folded with every entry's (table, row, bytes). Commutatively accumulated
+/// across transactions (fetch_add), so the replay-level digest is identical
+/// at any client count and commit interleaving.
+uint64_t ExchangePayloadDigest(uint64_t txn_id,
+                               const std::vector<ExchangeEntry>& entries);
+
+/// The ONE accounting path for a committed transaction's assembled read set.
+/// Counts totals, remote (owner != home, non-replicated) tuples/bytes,
+/// batches per remote source shard (greedy rule above), the fan-out
+/// histogram sample, the digest, and the per-owning-shard out counters.
+/// `entries` must be in access order. Returns the per-txn digest.
+uint64_t BuildExchangeOutcome(const ShardedDatabase& sharded,
+                              const ClassifiedTxn& txn,
+                              const std::vector<ExchangeEntry>& entries,
+                              uint32_t batch_bytes, RuntimeMetrics* metrics);
+
+/// In-process assembly: materialize + account in one step. The socket
+/// coordinator instead feeds BuildExchangeOutcome the entries it received
+/// over the wire; the parity tests assert the two agree byte-for-byte.
+uint64_t AssembleLocalExchange(const ShardedDatabase& sharded,
+                               const ClassifiedTxn& txn, uint32_t batch_bytes,
+                               RuntimeMetrics* metrics);
+
+}  // namespace jecb

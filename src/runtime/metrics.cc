@@ -21,6 +21,16 @@ MetricsSnapshot RuntimeMetrics::Snapshot() const {
   snap.coordinator_timeouts = coordinator_timeouts.load(std::memory_order_relaxed);
   snap.shard_down_aborts = shard_down_aborts.load(std::memory_order_relaxed);
   snap.stalls_injected = stalls_injected.load(std::memory_order_relaxed);
+  snap.exchange_txns = exchange_txns.load(std::memory_order_relaxed);
+  snap.exchange_tuples = exchange_tuples.load(std::memory_order_relaxed);
+  snap.exchange_bytes = exchange_bytes.load(std::memory_order_relaxed);
+  snap.exchange_remote_tuples =
+      exchange_remote_tuples.load(std::memory_order_relaxed);
+  snap.exchange_remote_bytes =
+      exchange_remote_bytes.load(std::memory_order_relaxed);
+  snap.exchange_batches = exchange_batches.load(std::memory_order_relaxed);
+  snap.exchange_digest = exchange_digest.load(std::memory_order_relaxed);
+  snap.exchange_fanout = exchange_fanout.Snapshot();
   snap.retry_latency = retry_latency.Snapshot();
 
   // Aggregate the per-shard distributions instead of keeping (and paying
@@ -38,6 +48,10 @@ MetricsSnapshot RuntimeMetrics::Snapshot() const {
     s.stalls = shard->stalls.load(std::memory_order_relaxed);
     s.prepare_rejects = shard->prepare_rejects.load(std::memory_order_relaxed);
     s.down_events = shard->down_events.load(std::memory_order_relaxed);
+    s.exchange_tuples_out =
+        shard->exchange_tuples_out.load(std::memory_order_relaxed);
+    s.exchange_bytes_out =
+        shard->exchange_bytes_out.load(std::memory_order_relaxed);
     s.local_latency = shard->local_latency.Snapshot();
     s.dist_latency = shard->dist_latency.Snapshot();
     s.latency = s.local_latency;

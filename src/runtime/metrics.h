@@ -30,6 +30,10 @@ struct ShardMetrics {
   std::atomic<uint64_t> stalls{0};            ///< injected stalls served
   std::atomic<uint64_t> prepare_rejects{0};   ///< injected "no" votes
   std::atomic<uint64_t> down_events{0};       ///< prepares refused while down
+  /// Exchange data plane, attributed to the shard that OWNS the tuples (the
+  /// shard the bytes were pulled from), not the home that assembled them.
+  std::atomic<uint64_t> exchange_tuples_out{0};
+  std::atomic<uint64_t> exchange_bytes_out{0};
   LatencyHistogram local_latency;
   LatencyHistogram dist_latency;
 };
@@ -43,6 +47,8 @@ struct ShardMetricsSnapshot {
   uint64_t stalls = 0;
   uint64_t prepare_rejects = 0;
   uint64_t down_events = 0;
+  uint64_t exchange_tuples_out = 0;
+  uint64_t exchange_bytes_out = 0;
   HistogramData local_latency;
   HistogramData dist_latency;
   /// local_latency and dist_latency merged: everything homed at this shard.
@@ -64,6 +70,17 @@ struct MetricsSnapshot {
   uint64_t coordinator_timeouts = 0;
   uint64_t shard_down_aborts = 0;
   uint64_t stalls_injected = 0;
+  // Exchange (tuple routing) accounting — backend-invariant: rows ship
+  // exactly once per committed transaction, on every backend, so these
+  // match bit-for-bit across inproc/unix/tcp for a fixed seed.
+  uint64_t exchange_txns = 0;          ///< committed txns that assembled reads
+  uint64_t exchange_tuples = 0;        ///< rows in assembled read sets
+  uint64_t exchange_bytes = 0;         ///< encoded bytes of assembled rows
+  uint64_t exchange_remote_tuples = 0; ///< rows pulled from a non-home shard
+  uint64_t exchange_remote_bytes = 0;  ///< encoded bytes shipped shard-to-shard
+  uint64_t exchange_batches = 0;       ///< bounded batches (greedy span rule)
+  uint64_t exchange_digest = 0;        ///< order-independent payload digest
+  HistogramData exchange_fanout;       ///< distinct remote source shards/txn
   HistogramData local_latency;        ///< merged over shards
   HistogramData distributed_latency;  ///< merged over shards
   HistogramData retry_latency;
@@ -95,6 +112,20 @@ class RuntimeMetrics {
   std::atomic<uint64_t> coordinator_timeouts{0};
   std::atomic<uint64_t> shard_down_aborts{0};
   std::atomic<uint64_t> stalls_injected{0};
+
+  // Exchange accounting (see MetricsSnapshot for semantics). The digest is
+  // accumulated commutatively (fetch_add of per-txn hashes) so it is
+  // independent of commit order and therefore of client count.
+  std::atomic<uint64_t> exchange_txns{0};
+  std::atomic<uint64_t> exchange_tuples{0};
+  std::atomic<uint64_t> exchange_bytes{0};
+  std::atomic<uint64_t> exchange_remote_tuples{0};
+  std::atomic<uint64_t> exchange_remote_bytes{0};
+  std::atomic<uint64_t> exchange_batches{0};
+  std::atomic<uint64_t> exchange_digest{0};
+  /// Distinct remote source shards per assembled read set (the exchange
+  /// fan-out of one committed transaction).
+  LatencyHistogram exchange_fanout;
 
   /// Commit latency of distributed txns that needed at least one retry —
   /// the tail the retry/backoff machinery adds on top of the distributed

@@ -7,7 +7,8 @@
 namespace jecb {
 
 ShardedDatabase::ShardedDatabase(const Database& db,
-                                 const DatabaseSolution& solution) {
+                                 const DatabaseSolution& solution)
+    : db_(&db) {
   const size_t num_tables = db.schema().num_tables();
   const int32_t k = std::max(solution.num_partitions(), 1);
   shards_.resize(k);

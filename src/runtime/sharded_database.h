@@ -53,6 +53,12 @@ class ShardedDatabase {
   /// Coefficient of variation of per-shard tuple counts (storage skew).
   double StorageSkew() const;
 
+  /// The backing storage this layout was materialized from. Shard-server
+  /// children reach rows through this after fork (copy-on-write snapshot);
+  /// the exchange path materializes tuple bytes from it. Never null; the
+  /// caller of the constructor owns the Database and must outlive this.
+  const Database& db() const { return *db_; }
+
   std::string Describe() const;
 
  private:
@@ -61,6 +67,7 @@ class ShardedDatabase {
     std::vector<uint64_t> per_table_count;
   };
 
+  const Database* db_ = nullptr;
   std::vector<Shard> shards_;
   /// assignment_[table][row]: owning shard, or kReplicated.
   std::vector<std::vector<int32_t>> assignment_;

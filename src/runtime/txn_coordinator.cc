@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "runtime/exchange.h"
+
 namespace jecb {
 
 bool TxnCoordinator::AttemptOnce(const ClassifiedTxn& txn, uint32_t attempt,
@@ -75,6 +77,17 @@ bool TxnCoordinator::AttemptOnce(const ClassifiedTxn& txn, uint32_t attempt,
 
   // All voted yes — commit applies at each participant, locks release.
   for (auto& lock : held) lock.unlock();
+
+  // Exchange: the committing attempt (and only it) assembles the txn's full
+  // read set as tuple bytes. The socket backends do this at the home shard
+  // by pulling remote rows over data channels during the commit round; here
+  // the rows come straight from storage. Same entries, same accounting path
+  // (BuildExchangeOutcome), so the jecb_exchange_* counters and the payload
+  // digest match the wire backends bit-for-bit.
+  if (opt.exchange_enabled) {
+    AssembleLocalExchange(executor_->sharded_db(), txn, opt.exchange_batch_bytes,
+                          metrics);
+  }
 
   // Commit messages out, acks back: latency the client still observes, but
   // the shards are already free.

@@ -4,9 +4,13 @@
 // socket backends for the same seed, at any client count, with and without
 // injected 2PC faults, and with wire faults (drops, delays, duplicates,
 // disconnects) layered on top — plus transport accounting, conservation
-// invariants, and clean shard-process shutdown. Runs under ThreadSanitizer
-// via tools/run_tsan.sh (label: tsan); the fork-per-shard design keeps the
-// children single-threaded, so the whole protocol is sanitizer-clean.
+// invariants, exchange-style tuple routing parity (identical assembled
+// read-set digests and jecb_exchange_* counters across backends), and clean
+// shard-process shutdown with per-child exit statuses. Runs under
+// ThreadSanitizer via tools/run_tsan.sh (label: tsan); children are forked
+// single-threaded and only afterwards spawn their one exchange data-plane
+// thread, which shares no mutable state with the control loop except the
+// join at shutdown — so the whole protocol stays sanitizer-clean.
 #include <gtest/gtest.h>
 
 #include <string>
@@ -215,6 +219,175 @@ TEST(DistRuntimeTest, InProcessBackendHasNoWireTraffic) {
   EXPECT_EQ(r.transport_counters.bytes_sent, 0u);
   EXPECT_EQ(r.transport_rtt.count, 0u);
   for (const ShardReport& s : r.shards) EXPECT_EQ(s.rtt_count, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Exchange-style tuple routing
+
+/// Compares every backend-invariant exchange quantity, the payload digest
+/// chief among them: equal digests mean the assembled tuple BYTES were
+/// identical entry for entry (the digest hashes table, row and encoded bytes
+/// of every read, folded per txn), which is the cross-backend contract.
+void ExpectExchangeParity(const ReplayReport& got, const ReplayReport& ref,
+                          const std::string& ctx) {
+  EXPECT_EQ(got.exchange_digest, ref.exchange_digest) << ctx;
+  EXPECT_EQ(got.exchange_txns, ref.exchange_txns) << ctx;
+  EXPECT_EQ(got.exchange_tuples, ref.exchange_tuples) << ctx;
+  EXPECT_EQ(got.exchange_bytes, ref.exchange_bytes) << ctx;
+  EXPECT_EQ(got.exchange_remote_tuples, ref.exchange_remote_tuples) << ctx;
+  EXPECT_EQ(got.exchange_remote_bytes, ref.exchange_remote_bytes) << ctx;
+  EXPECT_EQ(got.exchange_batches, ref.exchange_batches) << ctx;
+  EXPECT_EQ(got.exchange_fanout_hist.count, ref.exchange_fanout_hist.count)
+      << ctx;
+  ASSERT_EQ(got.shards.size(), ref.shards.size()) << ctx;
+  for (size_t s = 0; s < got.shards.size(); ++s) {
+    EXPECT_EQ(got.shards[s].exchange_tuples_out, ref.shards[s].exchange_tuples_out)
+        << ctx << " shard=" << s;
+    EXPECT_EQ(got.shards[s].exchange_bytes_out, ref.shards[s].exchange_bytes_out)
+        << ctx << " shard=" << s;
+  }
+}
+
+TEST(DistRuntimeTest, ExchangeParityAcrossBackendsAndClientCounts) {
+  WorkloadBundle b = SmallTpcc();
+  DatabaseSolution solution = MixedSolution(*b.db, 4);
+  ReplayReport ref =
+      RunReplay(b, solution, TransportKind::kInProcess, 4, {}, "inproc-exch");
+  // The workload must actually move rows for this test to mean anything.
+  EXPECT_GT(ref.exchange_txns, 0u);
+  EXPECT_GT(ref.exchange_tuples, 0u);
+  EXPECT_GT(ref.exchange_remote_tuples, 0u);
+  EXPECT_GT(ref.exchange_batches, 0u);
+  EXPECT_NE(ref.exchange_digest, 0u);
+
+  for (TransportKind kind : {TransportKind::kUnixSocket, TransportKind::kTcpSocket}) {
+    for (int clients : {1, 4, 8}) {
+      const std::string ctx = std::string(TransportKindName(kind)) + "-" +
+                              std::to_string(clients);
+      ReplayReport dist = RunReplay(b, solution, kind, clients, {}, ctx);
+      EXPECT_EQ(dist.OutcomeSignature(), ref.OutcomeSignature()) << ctx;
+      ExpectExchangeParity(dist, ref, ctx);
+      // The wire actually carried the rows: the home shards streamed every
+      // assembled read set to their coordinators, and rows owned elsewhere
+      // crossed the shard-to-shard data plane.
+      EXPECT_GE(dist.transport_counters.exchange_tuples, dist.exchange_tuples)
+          << ctx;
+      EXPECT_GT(dist.transport_counters.exchange_requests, 0u) << ctx;
+      EXPECT_GT(dist.transport_counters.exchange_batches, 0u) << ctx;
+      EXPECT_GT(dist.transport_counters.exchange_bytes, 0u) << ctx;
+    }
+  }
+}
+
+TEST(DistRuntimeTest, ExchangeParitySurvivesWireFaultMixes) {
+  WorkloadBundle b = SmallTpcc();
+  DatabaseSolution solution = MixedSolution(*b.db, 4);
+  const FaultPlan coordination = CoordinationFaults();
+  ReplayReport ref = RunReplay(b, solution, TransportKind::kInProcess, 4,
+                               coordination, "inproc-exch-faults");
+  EXPECT_GT(ref.exchange_txns, 0u);
+  EXPECT_GT(ref.aborts, 0u);  // exchange must fire on committing attempts only
+
+  for (int clients : {1, 4, 8}) {
+    const std::string ctx = "unix-wire-exch-" + std::to_string(clients);
+    ReplayReport dist = RunReplay(b, solution, TransportKind::kUnixSocket,
+                                  clients, WireFaults(coordination), ctx);
+    EXPECT_EQ(dist.OutcomeSignature(), ref.OutcomeSignature()) << ctx;
+    ExpectExchangeParity(dist, ref, ctx);
+    // Every injected duplicate — control plane AND data plane — was
+    // suppressed by a receiver's watermark.
+    EXPECT_GE(dist.transport_counters.dedup_drops,
+              dist.transport_counters.wire_duplicates)
+        << ctx;
+  }
+}
+
+TEST(DistRuntimeTest, ExchangeBatchesStraddleFrameBoundaries) {
+  WorkloadBundle b = SmallTpcc(150);
+  DatabaseSolution solution = MixedSolution(*b.db, 4);
+  RuntimeOptions tiny = FastOptions(TransportKind::kInProcess, 2);
+  tiny.exchange_batch_bytes = 64;  // clamp floor: nearly every row its own batch
+  ReplayReport ref = Replay(*b.db, solution, b.trace, tiny, "inproc-tiny-batch");
+  RuntimeOptions coarse = FastOptions(TransportKind::kInProcess, 2);
+  ReplayReport coarse_ref =
+      Replay(*b.db, solution, b.trace, coarse, "inproc-default-batch");
+  // Same rows, same digest; the tiny budget only fragments the stream.
+  EXPECT_EQ(ref.exchange_digest, coarse_ref.exchange_digest);
+  EXPECT_EQ(ref.exchange_tuples, coarse_ref.exchange_tuples);
+  EXPECT_GT(ref.exchange_batches, coarse_ref.exchange_batches);
+
+  // The wire backend splits identically: multi-batch streams straddle
+  // CommitAck-terminated frame sequences without losing or reordering rows.
+  tiny.transport = TransportKind::kUnixSocket;
+  ReplayReport dist = Replay(*b.db, solution, b.trace, tiny, "unix-tiny-batch");
+  EXPECT_EQ(dist.OutcomeSignature(), ref.OutcomeSignature());
+  ExpectExchangeParity(dist, ref, "unix-tiny-batch");
+}
+
+TEST(DistRuntimeTest, ExchangeOffBaselineKeepsSignatureAndZeroCounters) {
+  WorkloadBundle b = SmallTpcc(150);
+  DatabaseSolution solution = MixedSolution(*b.db, 4);
+  RuntimeOptions on = FastOptions(TransportKind::kUnixSocket, 2);
+  ReplayReport with = Replay(*b.db, solution, b.trace, on, "unix-exch-on");
+  RuntimeOptions off = FastOptions(TransportKind::kUnixSocket, 2);
+  off.exchange_enabled = false;
+  ReplayReport without = Replay(*b.db, solution, b.trace, off, "unix-exch-off");
+  // Exchange is pure payload movement: 2PC outcomes are identical with it
+  // on or off, and off means genuinely off — no counters, no digest, no
+  // data-plane traffic.
+  EXPECT_EQ(with.OutcomeSignature(), without.OutcomeSignature());
+  EXPECT_GT(with.exchange_txns, 0u);
+  EXPECT_EQ(without.exchange_txns, 0u);
+  EXPECT_EQ(without.exchange_tuples, 0u);
+  EXPECT_EQ(without.exchange_digest, 0u);
+  EXPECT_EQ(without.transport_counters.exchange_requests, 0u);
+  EXPECT_EQ(without.transport_counters.exchange_tuples, 0u);
+  for (const ShardReport& s : without.shards) {
+    EXPECT_EQ(s.exchange_tuples_out, 0u);
+  }
+}
+
+TEST(DistRuntimeTest, ForcedReconnectsMidReplayKeepParity) {
+  // Satellite regression for the watermark-vs-reconnect contract: tear every
+  // channel down between transactions (disconnect rate 1.0) so the replay is
+  // wall-to-wall reconnects. If a reconnected channel kept its old send
+  // sequence — or the server kept the old connection's watermark — frames
+  // after the reconnect would be swallowed as duplicates and the replay
+  // would hang or diverge.
+  WorkloadBundle b = SmallTpcc(150);
+  DatabaseSolution solution = MixedSolution(*b.db, 4);
+  ReplayReport ref =
+      RunReplay(b, solution, TransportKind::kInProcess, 2, {}, "inproc-reconn");
+  FaultPlan always_reconnect;
+  always_reconnect.wire_disconnect_rate = 1.0;
+  ReplayReport dist = RunReplay(b, solution, TransportKind::kUnixSocket, 2,
+                                always_reconnect, "unix-reconn");
+  ExpectConservation(dist);
+  EXPECT_EQ(dist.OutcomeSignature(), ref.OutcomeSignature());
+  ExpectExchangeParity(dist, ref, "unix-reconn");
+  EXPECT_GT(dist.transport_counters.reconnects, 0u);
+}
+
+TEST(DistRuntimeTest, ShardExitStatusesAreRecordedAndClean) {
+  WorkloadBundle b = SmallTpcc(120);
+  DatabaseSolution solution = MixedSolution(*b.db, 4);
+  ReplayReport r =
+      RunReplay(b, solution, TransportKind::kUnixSocket, 2, {}, "unix-exits");
+  ASSERT_EQ(r.shard_exits.size(), r.shards.size());
+  for (const ShardExitStatus& e : r.shard_exits) {
+    EXPECT_GE(e.shard, 0);
+    EXPECT_TRUE(e.clean()) << "shard=" << e.shard
+                           << " exit_code=" << e.exit_code
+                           << " term_signal=" << e.term_signal;
+    EXPECT_FALSE(e.forced_kill);
+  }
+  EXPECT_EQ(r.abnormal_shard_exits(), 0u);
+  EXPECT_NE(r.ToJson().find("\"shard_exits\":["), std::string::npos);
+
+  ReplayReport inproc =
+      RunReplay(b, solution, TransportKind::kInProcess, 2, {}, "inproc-exits");
+  EXPECT_TRUE(inproc.shard_exits.empty());
+  EXPECT_EQ(inproc.abnormal_shard_exits(), 0u);
 }
 
 TEST(DistRuntimeTest, BackToBackSocketReplaysReuseNothingStale) {

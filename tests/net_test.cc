@@ -91,11 +91,101 @@ TEST(WireTest, PayloadStructsRoundTrip) {
   stats.commits_applied = 3;
   stats.bytes_received = 1 << 20;
   stats.dedup_dropped = 5;
+  stats.exchange_reqs_served = 6;
+  stats.exchange_tuples_sent = 7;
+  stats.exchange_reconnects = 8;
   ShardStatsMsg stats2;
   ASSERT_TRUE(stats2.Decode(stats.Encode()));
   EXPECT_EQ(stats2.prepares_served, 2u);
   EXPECT_EQ(stats2.bytes_received, 1u << 20);
   EXPECT_EQ(stats2.dedup_dropped, 5u);
+  EXPECT_EQ(stats2.exchange_reqs_served, 6u);
+  EXPECT_EQ(stats2.exchange_tuples_sent, 7u);
+  EXPECT_EQ(stats2.exchange_reconnects, 8u);
+}
+
+TEST(WireTest, FragmentExchangeTailRoundTripsAndStaysBackCompat) {
+  FragmentMsg frag;
+  frag.txn_id = 77;
+  frag.attempt = 1;
+  frag.accesses = {{1, 10, 1}};
+  // No exchange reads: the encoding must be byte-identical to the
+  // pre-exchange format (older-style frames decode to an empty tail).
+  std::string legacy = frag.Encode();
+  frag.exchange_reads = {{1, 10, 0}, {2, 20, 0}};
+  std::string tailed = frag.Encode();
+  EXPECT_GT(tailed.size(), legacy.size());
+  EXPECT_EQ(tailed.substr(0, legacy.size()), legacy);
+
+  FragmentMsg out;
+  ASSERT_TRUE(out.Decode(legacy));
+  EXPECT_TRUE(out.exchange_reads.empty());
+  ASSERT_TRUE(out.Decode(tailed));
+  ASSERT_EQ(out.exchange_reads.size(), 2u);
+  EXPECT_EQ(out.exchange_reads[1].table, 2u);
+  EXPECT_EQ(out.exchange_reads[1].row, 20u);
+}
+
+TEST(WireTest, ExchangeMsgRoundTripAndRejects) {
+  ExchangeMsg req;
+  req.txn_id = 991;
+  req.attempt = 2;
+  req.from_shard = 3;
+  req.reads = {{5, 50, 0}, {6, 60, 0}};
+  std::string good = req.Encode();
+  ExchangeMsg out;
+  ASSERT_TRUE(out.Decode(good));
+  EXPECT_EQ(out.version, kExchangeVersion);
+  EXPECT_EQ(out.txn_id, 991u);
+  EXPECT_EQ(out.from_shard, 3);
+  ASSERT_EQ(out.reads.size(), 2u);
+  EXPECT_EQ(out.reads[1].row, 60u);
+
+  for (size_t cut = 0; cut < good.size(); ++cut) {
+    EXPECT_FALSE(out.Decode(good.substr(0, cut))) << "cut=" << cut;
+  }
+  EXPECT_FALSE(out.Decode(good + "x"));
+  std::string bad_version = good;
+  bad_version[0] = static_cast<char>(kExchangeVersion + 1);
+  EXPECT_FALSE(out.Decode(bad_version));
+}
+
+TEST(WireTest, TupleBatchMsgRoundTripAndRejectsLyingCounts) {
+  TupleBatchMsg batch;
+  batch.txn_id = 4242;
+  batch.attempt = 1;
+  batch.source_shard = 2;
+  batch.batch_index = 3;
+  batch.last = 0;
+  batch.entries = {{1, 100, std::string("\x00\x01\x02", 3)},
+                   {2, 200, ""},
+                   {3, 300, std::string(500, 'z')}};
+  std::string good = batch.Encode();
+  TupleBatchMsg out;
+  ASSERT_TRUE(out.Decode(good));
+  EXPECT_EQ(out.txn_id, 4242u);
+  EXPECT_EQ(out.batch_index, 3u);
+  EXPECT_EQ(out.last, 0);
+  ASSERT_EQ(out.entries.size(), 3u);
+  EXPECT_EQ(out.entries[0].bytes.size(), 3u);
+  EXPECT_EQ(out.entries[1].bytes, "");
+  EXPECT_EQ(out.entries[2].bytes, std::string(500, 'z'));
+
+  for (size_t cut = 0; cut < good.size(); ++cut) {
+    EXPECT_FALSE(out.Decode(good.substr(0, cut))) << "cut=" << cut;
+  }
+  EXPECT_FALSE(out.Decode(good + "x"));
+  // An entry count pointing past the payload must be rejected before any
+  // allocation, and so must a per-entry byte length lying about its size.
+  std::string lying_count = good;
+  lying_count[22] = '\xFF';  // entry count u32 LE at offset 22
+  EXPECT_FALSE(out.Decode(lying_count));
+  std::string lying_len = good;
+  lying_len[41] = '\x7F';  // high byte of entry 0's length prefix (u32 at 38)
+  EXPECT_FALSE(out.Decode(lying_len));
+  std::string bad_version = good;
+  bad_version[0] = static_cast<char>(kExchangeVersion + 3);
+  EXPECT_FALSE(out.Decode(bad_version));
 }
 
 TEST(WireTest, StructDecodeRejectsTruncationAndTrailingBytes) {
@@ -186,6 +276,42 @@ TEST(FrameBufferTest, RejectsBadVersionUnknownTypeAndOversizedLength) {
     bytes[3] = '\x3F';
     FrameBuffer buf;
     buf.Feed(bytes.data(), bytes.size());
+    EXPECT_EQ(buf.Next(&f), FrameBuffer::NextResult::kCorrupt);
+  }
+}
+
+TEST(FrameBufferTest, HostileLengthPrefixRejectedFromHeaderAlone) {
+  // A hostile peer sends a 20-byte header claiming a huge payload. The old
+  // check order trusted the u32 length before looking at anything else, so a
+  // garbage frame with a sane-looking length could park the decoder in
+  // kNeedMore waiting for gigabytes that never come (while buffering
+  // everything fed to it). The cap check must run FIRST, from the header
+  // alone: no payload bytes, no allocation, immediate sticky corruption.
+  uint64_t rng = 0xFEED;
+  auto next_rand = [&rng] {
+    rng = HashInt64(rng + 0x9E3779B97F4A7C15ull);
+    return rng;
+  };
+  for (int iter = 0; iter < 200; ++iter) {
+    std::string header(kFrameHeaderBytes, '\0');
+    for (char& c : header) c = static_cast<char>(next_rand());
+    // Length prefix: anything strictly past the cap, up to 0xFFFFFFFF.
+    const uint64_t span = 0xFFFFFFFFull - kMaxPayloadBytes;
+    uint32_t evil_len =
+        static_cast<uint32_t>(kMaxPayloadBytes + 1 + next_rand() % span);
+    header[0] = static_cast<char>(evil_len & 0xFF);
+    header[1] = static_cast<char>((evil_len >> 8) & 0xFF);
+    header[2] = static_cast<char>((evil_len >> 16) & 0xFF);
+    header[3] = static_cast<char>((evil_len >> 24) & 0xFF);
+    FrameBuffer buf;
+    buf.Feed(header.data(), header.size());
+    Frame f;
+    ASSERT_EQ(buf.Next(&f), FrameBuffer::NextResult::kCorrupt)
+        << "iter=" << iter << " len=" << evil_len;
+    EXPECT_FALSE(buf.error().ok());
+    // Sticky: later pristine frames must not resurrect the stream.
+    std::string good = EncodeFrame(MsgType::kHello, 1, "x");
+    buf.Feed(good.data(), good.size());
     EXPECT_EQ(buf.Next(&f), FrameBuffer::NextResult::kCorrupt);
   }
 }
@@ -321,6 +447,78 @@ TEST(EventLoopTest, UnixSocketEchoWithDedupAndShutdown) {
   EXPECT_EQ(server_stats.peers_accepted, 1u);
   unlink(addr.path.c_str());
   rmdir(dir.c_str());
+}
+
+TEST(EventLoopTest, ReconnectGetsFreshDedupWatermark) {
+  // The watermark contract (net/event_loop.h): dedup state is per
+  // CONNECTION, not per peer identity. A sender that reconnects restarts its
+  // sequence at 1 (FaultyChannel::Reset clears socket + buffer + send_seq
+  // together), and the server must NOT mistake the restarted seq 1 for a
+  // duplicate of the old connection's seq 1 — otherwise every frame after a
+  // reconnect fault would be silently swallowed mid-replay.
+  SocketAddr addr;
+  addr.is_unix = false;
+  addr.port = 0;
+  Result<Socket> listener = Listen(addr);
+  ASSERT_TRUE(listener.ok()) << listener.status().ToString();
+  Result<uint16_t> port = BoundTcpPort(listener.value());
+  ASSERT_TRUE(port.ok());
+  addr.port = port.value();
+
+  ClearStopFlag();
+  EventLoopStats server_stats;
+  std::thread server([&listener, &server_stats] {
+    EventLoop loop(std::move(listener).value());
+    int64_t peer = 0;
+    Frame frame;
+    uint64_t out_seq = 0;
+    while (loop.Next(&peer, &frame)) {
+      if (frame.type == MsgType::kShutdown) {
+        loop.RequestStop();
+        continue;
+      }
+      loop.Send(peer, MsgType::kExecuteAck, ++out_seq, frame.payload);
+    }
+    server_stats = loop.stats();
+  });
+
+  auto exchange_once = [&addr](const std::string& tag, bool send_dup) {
+    Result<Socket> conn = Connect(addr);
+    ASSERT_TRUE(conn.ok()) << conn.status().ToString();
+    Socket client = std::move(conn).value();
+    // Fresh connection, fresh sequence: seq restarts at 1 on purpose.
+    std::string req = EncodeFrame(MsgType::kExecute, 1, tag);
+    ASSERT_TRUE(SendAll(client, req.data(), req.size()).ok());
+    if (send_dup) ASSERT_TRUE(SendAll(client, req.data(), req.size()).ok());
+    FrameBuffer in;
+    Frame f;
+    char chunk[4096];
+    for (;;) {
+      FrameBuffer::NextResult res = in.Next(&f);
+      if (res == FrameBuffer::NextResult::kFrame) break;
+      ASSERT_EQ(res, FrameBuffer::NextResult::kNeedMore);
+      RecvSomeResult r = RecvSome(client, chunk, sizeof(chunk));
+      ASSERT_GT(r.n, 0) << r.status.ToString();
+      in.Feed(chunk, static_cast<size_t>(r.n));
+    }
+    EXPECT_EQ(f.payload, tag);  // echoed, i.e. NOT dedup-dropped
+    // client closes here: the next call reconnects from scratch
+  };
+  exchange_once("first-conn", /*send_dup=*/true);
+  exchange_once("second-conn", /*send_dup=*/false);
+  exchange_once("third-conn", /*send_dup=*/false);
+
+  Result<Socket> conn = Connect(addr);
+  ASSERT_TRUE(conn.ok());
+  Socket client = std::move(conn).value();
+  std::string bye = EncodeFrame(MsgType::kShutdown, 1, {});
+  ASSERT_TRUE(SendAll(client, bye.data(), bye.size()).ok());
+  server.join();
+  // Three connections, one echo each: only the intra-connection duplicate
+  // was dropped; the restarted seq-1 frames were all served.
+  EXPECT_EQ(server_stats.dedup_dropped, 1u);
+  EXPECT_EQ(server_stats.frames_sent, 3u);
+  EXPECT_EQ(server_stats.peers_accepted, 4u);
 }
 
 TEST(EventLoopTest, StopFlagUnblocksNext) {
