@@ -5,6 +5,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <set>
 #include <string>
@@ -160,9 +161,18 @@ inline std::string OutDir(int argc, char** argv) {
 inline std::string WriteBenchJson(const std::string& out_dir,
                                   const std::string& bench,
                                   const std::string& content) {
+  // The CI perf gate (tools/bench_compare) treats a missing BENCH file as
+  // "the bench did not run", so a silent write failure here would turn into
+  // a confusing downstream failure — create the directory and fail loudly.
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir, ec);
   std::string path = out_dir + "/BENCH_" + bench + ".json";
   std::ofstream out(path);
   out << content;
+  if (!out) {
+    std::fprintf(stderr, "FATAL: cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
   std::printf("wrote %s\n", path.c_str());
   return path;
 }

@@ -154,11 +154,23 @@ std::string ToJson(const std::vector<WorkloadScaling>& all) {
 int main(int argc, char** argv) {
   InitObs(argc, argv);
   const std::string out_dir = OutDir(argc, argv);
+  // --quick shrinks both traces for CI smoke runs; --tpcc_txns/--tpce_txns
+  // override either directly.
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--quick") quick = true;
+  }
+  const size_t tpcc_txns = static_cast<size_t>(
+      ArgInt(argc, argv, "--tpcc_txns", quick ? 8000 : 30000));
+  const size_t tpce_txns = static_cast<size_t>(
+      ArgInt(argc, argv, "--tpce_txns", quick ? 4000 : 12000));
+
   PrintHeader("Parallel pipeline scaling: Jecb::Partition and Evaluate()",
               "JECB solves in seconds (Sec. 7.5); the thread pool divides "
               "that further on multi-core hardware while reproducing the "
               "single-threaded solution bit for bit");
-  std::printf("hardware_concurrency: %u\n\n", std::thread::hardware_concurrency());
+  std::printf("hardware_concurrency: %u%s\n\n", std::thread::hardware_concurrency(),
+              quick ? " (quick)" : "");
 
   const std::vector<int> thread_counts = {1, 2, 4, 8};
   std::vector<WorkloadScaling> all;
@@ -170,13 +182,13 @@ int main(int argc, char** argv) {
     cfg.customers_per_district = 10;
     cfg.items = 50;
     cfg.initial_orders_per_district = 3;
-    WorkloadBundle bundle = TpccWorkload(cfg).Make(30000, 5);
+    WorkloadBundle bundle = TpccWorkload(cfg).Make(tpcc_txns, 5);
     all.push_back(RunScaling("TPC-C", &bundle, thread_counts));
   }
   {
     TpceConfig cfg;
     cfg.customers = 400;
-    WorkloadBundle bundle = TpceWorkload(cfg).Make(12000, 5);
+    WorkloadBundle bundle = TpceWorkload(cfg).Make(tpce_txns, 5);
     all.push_back(RunScaling("TPC-E", &bundle, thread_counts));
   }
 

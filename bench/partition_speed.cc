@@ -1,14 +1,18 @@
-// Columnar-pipeline speed: end-to-end Jecb::Partition plus standalone
-// Evaluate(), legacy row-oriented scan vs. the FlatTrace + shared-resolver
-// path, at 1/2/4/8 worker threads on TPC-C. Both modes must produce the
-// same solution bit for bit — the bench asserts identical table solutions,
-// train cost, combiner counters, EvalResults, and the replay
-// OutcomeSignature at every thread count, and exits non-zero on any
-// divergence. Measurements land in BENCH_partition_speed.json.
+// Search hot-loop speed on end-to-end TPC-C Jecb::Partition plus standalone
+// Evaluate(), across the evaluation variants {full, delta} x {scalar, SIMD}
+// at 1/2/4/8 worker threads (the default --mode=matrix), and the older
+// legacy-row vs columnar comparison (--mode=both|legacy|columnar). Every
+// variant must produce the same solution bit for bit — the bench asserts
+// identical table solutions, train cost, combiner counters, EvalResults,
+// and the replay OutcomeSignature across all variants and thread counts,
+// and exits non-zero on any divergence. Measurements land in
+// BENCH_partition_speed.json; tools/bench_compare.py diffs that against the
+// committed baseline in CI and fails the build on regressions.
 //
-// Mode toggle: --mode=both|legacy|columnar (or env JECB_PARTITION_MODE);
-// single modes time one path only and skip the cross-mode assertions.
-// Speedups are hardware-dependent; the JSON records hardware_concurrency.
+// --quick shrinks the trace for CI smoke runs; JECB_PARTITION_MODE is the
+// env equivalent of --mode. Speedups are hardware-dependent; the JSON
+// records hardware_concurrency.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -18,6 +22,7 @@
 
 #include "bench_util.h"
 #include "dist/replay.h"
+#include "partition/partition_scan.h"
 #include "trace/flat_trace.h"
 #include "workloads/tpcc.h"
 
@@ -26,7 +31,7 @@ using namespace jecb::bench;
 
 namespace {
 
-constexpr int kEvalIters = 5;
+int g_eval_iters = 5;
 
 double WallSeconds(const std::function<void()>& fn) {
   auto start = std::chrono::steady_clock::now();
@@ -35,7 +40,7 @@ double WallSeconds(const std::function<void()>& fn) {
       .count();
 }
 
-/// One mode's measurements and identity fingerprint at one thread count.
+/// One variant's measurements and identity fingerprint at one thread count.
 struct ModeRun {
   double partition_seconds = 0.0;
   double evaluate_seconds = 0.0;  // per Evaluate() pass
@@ -54,12 +59,18 @@ bool EvalEqual(const EvalResult& a, const EvalResult& b) {
          a.partition_load == b.partition_load;
 }
 
-ModeRun RunMode(WorkloadBundle* bundle, const FlatTrace& flat, bool columnar,
-                int threads) {
-  JecbOptions opt;
+bool RunsIdentical(const ModeRun& a, const ModeRun& b) {
+  return a.tables == b.tables && a.train_cost == b.train_cost &&
+         a.evaluated_combinations == b.evaluated_combinations &&
+         EvalEqual(a.eval, b.eval) && a.outcome_signature == b.outcome_signature;
+}
+
+ModeRun RunConfig(WorkloadBundle* bundle, const FlatTrace& flat, int threads,
+                  const JecbOptions& base_opt, ScanKernel eval_kernel,
+                  bool row_evaluate) {
+  JecbOptions opt = base_opt;
   opt.num_partitions = 8;
   opt.num_threads = threads;
-  opt.columnar = columnar;
 
   ModeRun run;
   Result<JecbResult> result = Status::Internal("not run");
@@ -76,17 +87,17 @@ ModeRun RunMode(WorkloadBundle* bundle, const FlatTrace& flat, bool columnar,
   ThreadPool* eval_pool = threads > 1 ? &pool : nullptr;
   const DatabaseSolution& solution = result.value().solution;
   run.evaluate_seconds = WallSeconds([&] {
-                           for (int i = 0; i < kEvalIters; ++i) {
-                             run.eval = columnar
-                                            ? Evaluate(*bundle->db, solution, flat,
-                                                       eval_pool)
-                                            : Evaluate(*bundle->db, solution,
-                                                       bundle->trace, eval_pool);
+                           for (int i = 0; i < g_eval_iters; ++i) {
+                             run.eval = row_evaluate
+                                            ? Evaluate(*bundle->db, solution,
+                                                       bundle->trace, eval_pool)
+                                            : Evaluate(*bundle->db, solution, flat,
+                                                       eval_pool, eval_kernel);
                            }
                          }) /
-                         kEvalIters;
+                         g_eval_iters;
 
-  // Replay outcome fingerprint: thread-count and layout invariant.
+  // Replay outcome fingerprint: thread-count, layout and kernel invariant.
   RuntimeOptions ropt;
   ropt.num_clients = 4;
   ropt.local_work_us = 0;
@@ -96,6 +107,146 @@ ModeRun RunMode(WorkloadBundle* bundle, const FlatTrace& flat, bool columnar,
           .OutcomeSignature();
   return run;
 }
+
+ModeRun RunMode(WorkloadBundle* bundle, const FlatTrace& flat, bool columnar,
+                int threads) {
+  JecbOptions opt;
+  opt.columnar = columnar;
+  // The legacy comparison isolates the row-vs-columnar layout change: both
+  // sides score combinations with full evaluation on the scalar kernel.
+  opt.delta = false;
+  opt.simd = false;
+  return RunConfig(bundle, flat, threads, opt, ScanKernel::kScalar,
+                   /*row_evaluate=*/!columnar);
+}
+
+ModeRun RunVariant(WorkloadBundle* bundle, const FlatTrace& flat, int threads,
+                   bool delta, bool simd) {
+  JecbOptions opt;
+  opt.columnar = true;
+  opt.delta = delta;
+  opt.simd = simd;
+  return RunConfig(bundle, flat, threads, opt,
+                   simd ? ScanKernel::kAuto : ScanKernel::kScalar,
+                   /*row_evaluate=*/false);
+}
+
+// ---------------------------------------------------------------------------
+// matrix mode: {full, delta} x {scalar, simd}
+// ---------------------------------------------------------------------------
+
+struct MatrixRow {
+  int threads = 0;
+  ModeRun full_scalar, full_simd, delta_scalar, delta_simd;
+};
+
+std::string MatrixJson(const std::vector<MatrixRow>& rows, size_t txns,
+                       double flatten_seconds) {
+  std::string out = "{\n";
+  out += "  \"bench\": \"partition_speed\",\n";
+  out += "  \"workload\": \"TPC-C\",\n";
+  out += "  \"mode\": \"matrix\",\n";
+  out += "  \"trace_txns\": " + std::to_string(txns) + ",\n";
+  out += "  \"hardware_concurrency\": " +
+         std::to_string(std::thread::hardware_concurrency()) + ",\n";
+  out += "  \"scan_kernel\": \"" + std::string(ScanKernelName(BestScanKernel())) +
+         "\",\n";
+  out += "  \"flatten_seconds\": " + FormatDouble(flatten_seconds, 6) + ",\n";
+  double max_partition_speedup = 0.0;
+  double max_evaluate_speedup = 0.0;
+  out += "  \"rows\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const MatrixRow& r = rows[i];
+    const double ps =
+        r.full_scalar.partition_seconds / r.delta_simd.partition_seconds;
+    const double es =
+        r.full_scalar.evaluate_seconds / r.delta_simd.evaluate_seconds;
+    max_partition_speedup = std::max(max_partition_speedup, ps);
+    max_evaluate_speedup = std::max(max_evaluate_speedup, es);
+    out += "    {\"threads\": " + std::to_string(r.threads) +
+           ", \"full_scalar_partition_seconds\": " +
+           FormatDouble(r.full_scalar.partition_seconds, 6) +
+           ", \"full_simd_partition_seconds\": " +
+           FormatDouble(r.full_simd.partition_seconds, 6) +
+           ", \"delta_scalar_partition_seconds\": " +
+           FormatDouble(r.delta_scalar.partition_seconds, 6) +
+           ", \"delta_simd_partition_seconds\": " +
+           FormatDouble(r.delta_simd.partition_seconds, 6) +
+           ", \"full_scalar_evaluate_seconds\": " +
+           FormatDouble(r.full_scalar.evaluate_seconds, 6) +
+           ", \"delta_simd_evaluate_seconds\": " +
+           FormatDouble(r.delta_simd.evaluate_seconds, 6) +
+           ", \"partition_speedup\": " + FormatDouble(ps, 3) +
+           ", \"evaluate_speedup\": " + FormatDouble(es, 3) +
+           ", \"identical\": true}";
+    out += i + 1 < rows.size() ? ",\n" : "\n";
+  }
+  out += "  ],\n";
+  out += "  \"max_partition_speedup\": " + FormatDouble(max_partition_speedup, 3) +
+         ",\n";
+  out += "  \"max_evaluate_speedup\": " + FormatDouble(max_evaluate_speedup, 3) +
+         ",\n";
+  out += "  \"identical\": true\n";
+  out += "}\n";
+  return out;
+}
+
+int RunMatrix(WorkloadBundle* bundle, const FlatTrace& flat, size_t txns,
+              double flatten_seconds, const std::string& out_dir) {
+  AsciiTable table({"threads", "full+scalar (s)", "full+simd (s)",
+                    "delta+scalar (s)", "delta+simd (s)", "speedup"});
+  std::vector<MatrixRow> rows;
+  for (int threads : {1, 2, 4, 8}) {
+    MatrixRow row;
+    row.threads = threads;
+    row.full_scalar = RunVariant(bundle, flat, threads, false, false);
+    row.full_simd = RunVariant(bundle, flat, threads, false, true);
+    row.delta_scalar = RunVariant(bundle, flat, threads, true, false);
+    row.delta_simd = RunVariant(bundle, flat, threads, true, true);
+
+    // The identity contract: every variant at every thread count agrees with
+    // full+scalar at this thread count, and full+scalar agrees across thread
+    // counts with the first row.
+    const ModeRun* variants[] = {&row.full_simd, &row.delta_scalar,
+                                 &row.delta_simd};
+    const char* names[] = {"full+simd", "delta+scalar", "delta+simd"};
+    for (size_t v = 0; v < std::size(variants); ++v) {
+      if (!RunsIdentical(row.full_scalar, *variants[v])) {
+        std::fprintf(stderr, "FATAL: %s diverged from full+scalar at %d threads\n",
+                     names[v], threads);
+        return 1;
+      }
+    }
+    if (!rows.empty() && !RunsIdentical(rows.front().full_scalar, row.full_scalar)) {
+      std::fprintf(stderr,
+                   "FATAL: full+scalar at %d threads diverged from 1 thread\n",
+                   threads);
+      return 1;
+    }
+
+    table.AddRow(
+        {std::to_string(threads), FormatDouble(row.full_scalar.partition_seconds, 3),
+         FormatDouble(row.full_simd.partition_seconds, 3),
+         FormatDouble(row.delta_scalar.partition_seconds, 3),
+         FormatDouble(row.delta_simd.partition_seconds, 3),
+         FormatDouble(row.full_scalar.partition_seconds /
+                          row.delta_simd.partition_seconds,
+                      2) +
+             "x"});
+    rows.push_back(std::move(row));
+  }
+  std::printf("solutions, EvalResults, combiner counters, and replay outcome "
+              "signatures identical across all variants and thread counts\n");
+  std::printf("flatten: %s s (once per pipeline)\n%s\n",
+              FormatDouble(flatten_seconds, 4).c_str(), table.ToString().c_str());
+  WriteBenchJson(out_dir, "partition_speed",
+                 MatrixJson(rows, txns, flatten_seconds));
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// legacy comparison mode: row-oriented vs columnar
+// ---------------------------------------------------------------------------
 
 struct BenchRow {
   int threads = 0;
@@ -108,6 +259,7 @@ std::string ToJson(const std::vector<BenchRow>& rows, size_t txns, bool both,
   std::string out = "{\n";
   out += "  \"bench\": \"partition_speed\",\n";
   out += "  \"workload\": \"TPC-C\",\n";
+  out += "  \"mode\": \"legacy_columnar\",\n";
   out += "  \"trace_txns\": " + std::to_string(txns) + ",\n";
   out += "  \"hardware_concurrency\": " +
          std::to_string(std::thread::hardware_concurrency()) + ",\n";
@@ -152,67 +304,25 @@ std::string ToJson(const std::vector<BenchRow>& rows, size_t txns, bool both,
   return out;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  InitObs(argc, argv);
-  const std::string out_dir = OutDir(argc, argv);
-  const size_t txns = static_cast<size_t>(ArgInt(argc, argv, "--txns", 20000));
-
-  std::string mode = ArgValue(argc, argv, "--mode", "");
-  if (mode.empty()) {
-    const char* env = std::getenv("JECB_PARTITION_MODE");
-    mode = env != nullptr ? env : "both";
-  }
-  const bool run_legacy = mode == "both" || mode == "legacy";
-  const bool run_columnar = mode == "both" || mode == "columnar";
-  if (!run_legacy && !run_columnar) {
-    std::fprintf(stderr, "unknown --mode %s (both|legacy|columnar)\n", mode.c_str());
-    return 2;
-  }
-
-  PrintHeader("Columnar partitioning speed: FlatTrace + shared join-path resolver",
-              "the hot loop scans contiguous access arrays and resolves each "
-              "distinct tuple once per join path; the legacy row-oriented scan "
-              "is kept as the baseline and must agree bit for bit");
-  std::printf("hardware_concurrency: %u, txns: %zu, mode: %s\n\n",
-              std::thread::hardware_concurrency(), txns, mode.c_str());
-
-  TpccConfig cfg;
-  cfg.warehouses = 8;
-  cfg.districts_per_warehouse = 4;
-  cfg.customers_per_district = 10;
-  cfg.items = 50;
-  cfg.initial_orders_per_district = 3;
-  WorkloadBundle bundle = TpccWorkload(cfg).Make(txns, 5);
-
-  FlatTrace flat;
-  const double flatten_seconds =
-      WallSeconds([&] { flat = FlatTrace::FromTrace(bundle.trace); });
-
+int RunLegacyComparison(WorkloadBundle* bundle, const FlatTrace& flat,
+                        bool run_legacy, bool run_columnar, size_t txns,
+                        double flatten_seconds, const std::string& out_dir) {
   AsciiTable table({"threads", "legacy part (s)", "columnar part (s)", "speedup",
                     "legacy eval (s)", "columnar eval (s)", "speedup"});
   std::vector<BenchRow> rows;
   for (int threads : {1, 2, 4, 8}) {
     BenchRow row;
     row.threads = threads;
-    if (run_legacy) row.legacy = RunMode(&bundle, flat, /*columnar=*/false, threads);
+    if (run_legacy) row.legacy = RunMode(bundle, flat, /*columnar=*/false, threads);
     if (run_columnar) {
-      row.columnar = RunMode(&bundle, flat, /*columnar=*/true, threads);
+      row.columnar = RunMode(bundle, flat, /*columnar=*/true, threads);
     }
 
-    if (run_legacy && run_columnar) {
-      const ModeRun& l = row.legacy;
-      const ModeRun& c = row.columnar;
-      if (l.tables != c.tables || l.train_cost != c.train_cost ||
-          l.evaluated_combinations != c.evaluated_combinations ||
-          !EvalEqual(l.eval, c.eval) ||
-          l.outcome_signature != c.outcome_signature) {
-        std::fprintf(stderr,
-                     "FATAL: columnar diverged from legacy at %d threads\n",
-                     threads);
-        return 1;
-      }
+    if (run_legacy && run_columnar &&
+        !RunsIdentical(row.legacy, row.columnar)) {
+      std::fprintf(stderr, "FATAL: columnar diverged from legacy at %d threads\n",
+                   threads);
+      return 1;
     }
 
     auto fmt = [](double s) { return s > 0.0 ? FormatDouble(s, 3) : std::string("-"); };
@@ -235,6 +345,69 @@ int main(int argc, char** argv) {
 
   WriteBenchJson(out_dir, "partition_speed",
                  ToJson(rows, txns, run_legacy && run_columnar, flatten_seconds));
+  return 0;
+}
+
+bool HasFlag(int argc, char** argv, std::string_view flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (flag == argv[i]) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  InitObs(argc, argv);
+  const std::string out_dir = OutDir(argc, argv);
+  const bool quick = HasFlag(argc, argv, "--quick");
+  const size_t txns =
+      static_cast<size_t>(ArgInt(argc, argv, "--txns", quick ? 6000 : 20000));
+  if (quick) g_eval_iters = 3;
+
+  std::string mode = ArgValue(argc, argv, "--mode", "");
+  if (mode.empty()) {
+    const char* env = std::getenv("JECB_PARTITION_MODE");
+    mode = env != nullptr ? env : "matrix";
+  }
+  const bool run_matrix = mode == "matrix";
+  const bool run_legacy = mode == "both" || mode == "legacy";
+  const bool run_columnar = mode == "both" || mode == "columnar";
+  if (!run_matrix && !run_legacy && !run_columnar) {
+    std::fprintf(stderr, "unknown --mode %s (matrix|both|legacy|columnar)\n",
+                 mode.c_str());
+    return 2;
+  }
+
+  PrintHeader("Search hot-loop speed: delta evaluation + SIMD partition scan",
+              "candidate scoring rescans only affected transactions on a "
+              "vectorized kernel; every variant must agree with the full "
+              "scalar evaluation bit for bit");
+  std::printf("hardware_concurrency: %u, txns: %zu, mode: %s, best kernel: %s%s\n\n",
+              std::thread::hardware_concurrency(), txns, mode.c_str(),
+              std::string(ScanKernelName(BestScanKernel())).c_str(),
+              quick ? " (quick)" : "");
+
+  TpccConfig cfg;
+  cfg.warehouses = 8;
+  cfg.districts_per_warehouse = 4;
+  cfg.customers_per_district = 10;
+  cfg.items = 50;
+  cfg.initial_orders_per_district = 3;
+  WorkloadBundle bundle = TpccWorkload(cfg).Make(txns, 5);
+
+  FlatTrace flat;
+  const double flatten_seconds =
+      WallSeconds([&] { flat = FlatTrace::FromTrace(bundle.trace); });
+
+  int rc;
+  if (run_matrix) {
+    rc = RunMatrix(&bundle, flat, txns, flatten_seconds, out_dir);
+  } else {
+    rc = RunLegacyComparison(&bundle, flat, run_legacy, run_columnar, txns,
+                             flatten_seconds, out_dir);
+  }
+  if (rc != 0) return rc;
   FinishObs(argc, argv);
   return 0;
 }

@@ -1,13 +1,17 @@
 #include "horticulture/horticulture.h"
 
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <memory>
+#include <optional>
 #include <random>
 
 #include "common/thread_pool.h"
 #include "obs/metrics_registry.h"
 #include "obs/trace_recorder.h"
+#include "partition/delta_evaluator.h"
+#include "trace/flat_trace.h"
 
 namespace jecb {
 
@@ -47,6 +51,26 @@ Result<HorticultureResult> Horticulture::Partition(Database* db,
   auto mapping = std::make_shared<HashMapping>(options_.num_partitions);
   auto replicated = std::make_shared<ReplicatedTable>();
 
+  // One partitioner per (table, column), shared by every design that picks
+  // it: the per-tuple memo inside JoinPathPartitioner warms across the whole
+  // search instead of restarting cold on every trial, and identical designs
+  // materialize to pointer-identical solutions (which is what lets the delta
+  // evaluator's DiffTables see "unchanged" as a pointer comparison).
+  // PartitionOf is a pure function of the tuple, so sharing cannot change
+  // any EvalResult.
+  std::vector<std::vector<std::shared_ptr<const TablePartitioner>>> col_parts(
+      schema.num_tables());
+  for (TableId t : partitioned) {
+    const Table& meta = schema.table(t);
+    col_parts[t].resize(meta.columns.size());
+    for (size_t c = 0; c < meta.columns.size(); ++c) {
+      JoinPath path;
+      path.source_table = t;
+      path.dest = ColumnRef{t, static_cast<ColumnIdx>(c)};
+      col_parts[t][c] = std::make_shared<JoinPathPartitioner>(path, mapping);
+    }
+  }
+
   auto materialize = [&](const Design& d) {
     DatabaseSolution sol(options_.num_partitions, schema.num_tables());
     for (size_t t = 0; t < schema.num_tables(); ++t) {
@@ -55,10 +79,7 @@ Result<HorticultureResult> Horticulture::Partition(Database* db,
         sol.Set(tid, replicated);
         continue;
       }
-      JoinPath path;
-      path.source_table = tid;
-      path.dest = ColumnRef{tid, static_cast<ColumnIdx>(d[t])};
-      sol.Set(tid, std::make_shared<JoinPathPartitioner>(path, mapping));
+      sol.Set(tid, col_parts[tid][d[t]]);
     }
     return sol;
   };
@@ -77,20 +98,37 @@ Result<HorticultureResult> Horticulture::Partition(Database* db,
            (1.0 + options_.skew_weight * ev.LoadSkew());
   };
 
-  auto evaluate = [&](const Design& d, double* plain) {
-    DatabaseSolution sol = materialize(d);
-    EvalResult ev = Evaluate(*db, sol, sample);
-    ++result.evaluations;
-    if (plain != nullptr) *plain = ev.cost();
-    return model_cost(ev);
-  };
-
-  double best_plain = 0.0;
-  double best_cost = evaluate(design, &best_plain);
-
   std::unique_ptr<ThreadPool> pool;
   if (ThreadPool::ResolveThreads(options_.num_threads) > 1) {
     pool = std::make_unique<ThreadPool>(options_.num_threads);
+  }
+
+  // Incremental scoring state: the incumbent design stays fully evaluated in
+  // the delta evaluator; trials (one changed table) rescan only that table's
+  // affected transactions. `base_design` tracks which design the evaluator
+  // is rebased on so unchanged incumbents skip the re-evaluation entirely.
+  std::optional<FlatTrace> flat;
+  std::optional<DeltaEvaluator> delta_eval;
+  Design base_design;
+  if (options_.delta) {
+    flat.emplace(FlatTrace::FromTrace(sample));
+    delta_eval.emplace(db, &*flat, pool.get(), options_.scan_kernel);
+    delta_eval->set_self_check(options_.delta_self_check);
+  }
+
+  double best_plain = 0.0;
+  double best_cost = 0.0;
+  {
+    EvalResult ev;
+    if (delta_eval.has_value()) {
+      ev = delta_eval->Rebase(materialize(design));
+      base_design = design;
+    } else {
+      ev = Evaluate(*db, materialize(design), sample);
+    }
+    ++result.evaluations;
+    best_plain = ev.cost();
+    best_cost = model_cost(ev);
   }
 
   std::mt19937_64 rng(options_.seed);
@@ -121,13 +159,23 @@ Result<HorticultureResult> Horticulture::Partition(Database* db,
       }
       std::vector<double> trial_cost(trial_cols.size(), 0.0);
       std::vector<double> trial_plain(trial_cols.size(), 0.0);
+      if (delta_eval.has_value() && current != base_design) {
+        delta_eval->Rebase(materialize(current));
+        base_design = current;
+      }
       ParallelFor(
           pool.get(), trial_cols.size(),
           [&](size_t i) {
             Design trial = current;
             trial[t] = trial_cols[i];
             DatabaseSolution sol = materialize(trial);
-            EvalResult ev = Evaluate(*db, sol, sample);
+            EvalResult ev;
+            if (delta_eval.has_value()) {
+              const std::array<TableId, 1> changed = {t};
+              ev = delta_eval->EvaluateCandidate(sol, changed);
+            } else {
+              ev = Evaluate(*db, sol, sample);
+            }
             trial_plain[i] = ev.cost();
             trial_cost[i] = model_cost(ev);
           },

@@ -44,6 +44,11 @@ struct ClassPartitionerOptions {
   /// building the statistics co-access graph.
   size_t max_values_per_txn = 16;
   TreeEnumOptions tree_enum;
+  /// Accelerate the per-tree fit scans with the class-local value-id layout
+  /// and the path-set memo (columnar pipeline only). Off reproduces the
+  /// pre-incremental scan bit for bit — the toggle exists as the oracle for
+  /// the delta/incremental A/B in bench/partition_speed.
+  bool incremental = true;
   uint64_t seed = 7;
 };
 

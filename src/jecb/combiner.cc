@@ -4,6 +4,9 @@
 #include <limits>
 #include <map>
 #include <memory>
+#include <optional>
+
+#include "partition/delta_evaluator.h"
 
 namespace jecb {
 
@@ -119,8 +122,10 @@ Result<DatabaseSolution> Combiner::Combine(
       solution.Set(static_cast<TableId>(t), replicated);
     }
     rep.chosen_attr = "(none: full replication)";
-    EvalResult ev = flat != nullptr ? Evaluate(*db_, solution, *flat, pool)
-                                    : Evaluate(*db_, solution, train, pool);
+    EvalResult ev =
+        flat != nullptr
+            ? Evaluate(*db_, solution, *flat, pool, options_.scan_kernel)
+            : Evaluate(*db_, solution, train, pool);
     rep.best_train_cost = cost_model.Cost(ev);
     return solution;
   }
@@ -130,6 +135,14 @@ Result<DatabaseSolution> Combiner::Combine(
   double best_cost = std::numeric_limits<double>::infinity();
   std::unique_ptr<DatabaseSolution> best;
   std::string best_attr;
+
+  // The trace-side delta indexes are attribute-independent: build them once,
+  // rebase per candidate attribute.
+  std::optional<DeltaEvaluator> delta_eval;
+  if (options_.delta && flat != nullptr) {
+    delta_eval.emplace(db_, flat, pool, options_.scan_kernel);
+    delta_eval->set_self_check(options_.delta_self_check);
+  }
 
   for (ColumnRef X : attrs) {
     // Reduced solution sets.
@@ -219,9 +232,31 @@ Result<DatabaseSolution> Combiner::Combine(
       if (rep.evaluated_combinations >= options_.max_combinations) break;
     }
 
+    // One partitioner object per (table, choice, mapping), shared by every
+    // combination (and worker thread) that picks it: the ConcurrentTupleCache
+    // memo inside each JoinPathPartitioner then warms across combinations
+    // instead of being rebuilt per scored solution. PartitionOf is a pure
+    // function of the tuple, so sharing cannot change any EvalResult.
+    auto replicated = std::make_shared<ReplicatedTable>();
+    std::vector<std::vector<std::vector<std::shared_ptr<const TablePartitioner>>>>
+        shared_parts(partitioned.size());
+    for (size_t i = 0; i < partitioned.size(); ++i) {
+      const auto& set = reduced[partitioned[i]];
+      shared_parts[i].resize(set.size());
+      for (size_t c = 0; c < set.size(); ++c) {
+        shared_parts[i][c].resize(mappings.size());
+        for (size_t m = 0; m < mappings.size(); ++m) {
+          shared_parts[i][c][m] =
+              set[c].replicate
+                  ? std::static_pointer_cast<const TablePartitioner>(replicated)
+                  : std::make_shared<JoinPathPartitioner>(set[c].path,
+                                                          mappings[m]);
+        }
+      }
+    }
+
     auto build = [&](const Candidate& cand) {
       DatabaseSolution solution(options_.num_partitions, schema().num_tables());
-      auto replicated = std::make_shared<ReplicatedTable>();
       for (size_t t = 0; t < schema().num_tables(); ++t) {
         if (schema().table(static_cast<TableId>(t)).access_class !=
             AccessClass::kPartitioned) {
@@ -229,24 +264,37 @@ Result<DatabaseSolution> Combiner::Combine(
         }
       }
       for (size_t i = 0; i < partitioned.size(); ++i) {
-        const TableSolutionCandidate& c = reduced[partitioned[i]][cand.choice[i]];
-        if (c.replicate) {
-          solution.Set(partitioned[i], replicated);
-        } else {
-          solution.Set(partitioned[i], std::make_shared<JoinPathPartitioner>(
-                                           c.path, mappings[cand.mapping_idx]));
-        }
+        solution.Set(partitioned[i],
+                     shared_parts[i][cand.choice[i]][cand.mapping_idx]);
       }
       return solution;
     };
+
+    // Delta scoring: fully evaluate the first enumerated combination once,
+    // then score every combination as base +/- the contribution of the
+    // transactions touching tables whose partitioner differs from it.
+    // Because solutions share partitioner objects, DiffTables reduces to
+    // pointer comparisons for unchanged tables.
+    std::optional<DatabaseSolution> delta_base;
+    if (delta_eval.has_value() && !combos.empty()) {
+      delta_base.emplace(build(combos[0]));
+      delta_eval->Rebase(*delta_base);
+    }
 
     std::vector<double> costs(combos.size(), 0.0);
     ParallelFor(
         pool, combos.size(),
         [&](size_t i) {
           DatabaseSolution solution = build(combos[i]);
-          EvalResult ev = flat != nullptr ? Evaluate(*db_, solution, *flat)
-                                          : Evaluate(*db_, solution, train);
+          EvalResult ev;
+          if (delta_base.has_value()) {
+            ev = delta_eval->EvaluateCandidate(
+                solution, DeltaEvaluator::DiffTables(*delta_base, solution));
+          } else if (flat != nullptr) {
+            ev = Evaluate(*db_, solution, *flat, nullptr, options_.scan_kernel);
+          } else {
+            ev = Evaluate(*db_, solution, train);
+          }
           costs[i] = cost_model.Cost(ev);
         },
         "combiner.score");

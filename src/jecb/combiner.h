@@ -26,6 +26,19 @@ struct CombinerOptions {
   /// cost (fraction of distributed transactions). The conclusion's richer
   /// models (SitesTouchedCost, WeightedRuntimeCost) plug in here.
   std::shared_ptr<const CostModel> cost_model;
+  /// Score combinations incrementally (delta_evaluator.h): rebase once per
+  /// candidate attribute on the first enumerated combination, then score
+  /// every other combination by rescanning only the transactions touching
+  /// tables whose partitioner differs. Requires the columnar trace (`flat`);
+  /// EvalResults are bit-identical to full evaluation, so the chosen
+  /// solution, cost, and report never change.
+  bool delta = true;
+  /// Partition-scan kernel for combination scoring (every kernel is
+  /// bit-identical to kScalar; see partition_scan.h).
+  ScanKernel scan_kernel = ScanKernel::kAuto;
+  /// Re-proves the delta == full identity on every scored combination
+  /// (aborts on divergence). For tests; defeats the speedup.
+  bool delta_self_check = false;
 };
 
 /// Search-space accounting for Example 10-style reporting.

@@ -14,7 +14,12 @@ namespace jecb {
 
 Jecb::Jecb(JecbOptions options) : options_(std::move(options)) {
   options_.class_partitioner.num_partitions = options_.num_partitions;
+  options_.class_partitioner.incremental = options_.delta;
   options_.combiner.num_partitions = options_.num_partitions;
+  options_.combiner.delta = options_.delta;
+  options_.combiner.scan_kernel =
+      options_.simd ? ScanKernel::kAuto : ScanKernel::kScalar;
+  options_.combiner.delta_self_check = options_.delta_self_check;
 }
 
 Result<JecbResult> Jecb::Partition(Database* db,
@@ -109,8 +114,11 @@ Result<JecbResult> Jecb::Partition(Database* db,
                            : static_cast<double>(class_view.size()) /
                                  static_cast<double>(training_trace.size());
           // One resolver per class: caches stay core-local under the pool
-          // and are shared across every tree/metric of this class.
-          JoinPathResolver resolver(db);
+          // and are shared across every tree/metric of this class. The
+          // per-FK hop memo rides the same delta/incremental toggle as the
+          // rest of the incremental machinery so `delta = false` reproduces
+          // the pre-incremental resolution path exactly.
+          JoinPathResolver resolver(db, options_.delta);
           classes[cls] =
               class_partitioner.Partition(graph, class_view, &resolver, name,
                                           static_cast<uint32_t>(cls), mix);

@@ -35,6 +35,20 @@ void EvalResult::Merge(const EvalResult& other) {
   merge_vec(&partition_load, other.partition_load);
 }
 
+void EvalResult::Subtract(const EvalResult& other) {
+  total_txns -= other.total_txns;
+  distributed_txns -= other.distributed_txns;
+  partitions_touched -= other.partitions_touched;
+  auto sub_vec = [](std::vector<uint64_t>* from, const std::vector<uint64_t>& what) {
+    for (size_t i = 0; i < what.size() && i < from->size(); ++i) {
+      (*from)[i] -= what[i];
+    }
+  };
+  sub_vec(&class_total, other.class_total);
+  sub_vec(&class_distributed, other.class_distributed);
+  sub_vec(&partition_load, other.partition_load);
+}
+
 namespace {
 
 /// Spill-aware IsDistributed core. `spill` is caller-provided scratch for
@@ -134,8 +148,6 @@ double CoordinationExposure(const EvalResult& result,
   return result.cost() * per_txn;
 }
 
-namespace {
-
 /// Resolve-once pass: PartitionOf for every tuple of the dictionary, into a
 /// flat array indexed by PackedAccess::tuple_index(). Each slot is written
 /// by exactly one chunk and the value is a pure function of the tuple, so
@@ -167,81 +179,15 @@ std::vector<int32_t> ResolvePartitions(const Database& db,
   return part;
 }
 
-/// Branch-light SoA scan of the view's half-open position range [begin,
-/// end): same per-transaction accounting as EvaluateRange, reading partition
-/// ids out of the materialized `part` array instead of re-resolving.
-EvalResult EvaluateFlatRange(const TraceView& view,
-                             const std::vector<int32_t>& part,
-                             size_t num_classes, int32_t num_partitions,
-                             size_t begin, size_t end) {
-  EvalResult out;
-  out.class_total.assign(num_classes, 0);
-  out.class_distributed.assign(num_classes, 0);
-  out.partition_load.assign(std::max(num_partitions, 1), 0);
-
-  const FlatTrace& trace = view.trace();
-  int32_t parts[8];
-  std::vector<int32_t> spill;  // rare >8-distinct-partition tail
-  for (size_t i = begin; i < end; ++i) {
-    const uint32_t txn = view.txn(i);
-    size_t nparts = 0;
-    spill.clear();
-    bool writes_replicated = false;
-    for (const PackedAccess a : trace.accesses(txn)) {
-      const int32_t p = part[a.tuple_index()];
-      if (p == kReplicated) {
-        if (a.write()) writes_replicated = true;
-        continue;
-      }
-      bool seen = false;
-      for (size_t j = 0; j < nparts; ++j) {
-        if (parts[j] == p) {
-          seen = true;
-          break;
-        }
-      }
-      if (seen || std::find(spill.begin(), spill.end(), p) != spill.end()) {
-        continue;
-      }
-      if (nparts < std::size(parts)) {
-        parts[nparts++] = p;
-      } else {
-        spill.push_back(p);
-      }
-    }
-    const size_t distinct = nparts + spill.size();
-    const bool dist = writes_replicated || distinct > 1;
-    const uint32_t cls = trace.class_of(txn);
-    ++out.total_txns;
-    ++out.class_total[cls];
-    if (dist) {
-      ++out.distributed_txns;
-      ++out.class_distributed[cls];
-      out.partitions_touched += distinct;
-    }
-    auto count_load = [&](int32_t p) {
-      if (p >= 0 && p < static_cast<int32_t>(out.partition_load.size())) {
-        ++out.partition_load[p];
-      }
-    };
-    for (size_t j = 0; j < nparts; ++j) count_load(parts[j]);
-    for (int32_t p : spill) count_load(p);
-  }
-  return out;
-}
-
-}  // namespace
-
-EvalResult Evaluate(const Database& db, const DatabaseSolution& solution,
-                    const TraceView& view, ThreadPool* pool) {
+EvalResult EvaluateWithPartitions(const TraceView& view,
+                                  std::span<const int32_t> part,
+                                  int32_t num_partitions, ThreadPool* pool,
+                                  ScanKernel kernel) {
   const size_t n = view.size();
-  JECB_SPAN1("eval", "evaluate.flat", "txns", static_cast<int64_t>(n));
-  const std::vector<int32_t> part =
-      ResolvePartitions(db, solution, view.trace(), pool);
   const size_t num_classes = view.trace().num_classes();
   if (pool == nullptr || pool->num_threads() <= 1 || n < 2) {
-    return EvaluateFlatRange(view, part, num_classes, solution.num_partitions(),
-                             0, n);
+    return ScanPartitionRange(view, part, num_classes, num_partitions, 0, n,
+                              kernel);
   }
 
   // Chunked exactly like the Trace overload: same chunk count, same
@@ -255,22 +201,32 @@ EvalResult Evaluate(const Database& db, const DatabaseSolution& solution,
       [&](size_t c) {
         size_t begin = c * chunk_size;
         size_t end = std::min(n, begin + chunk_size);
-        partial[c] = EvaluateFlatRange(view, part, num_classes,
-                                       solution.num_partitions(), begin, end);
+        partial[c] = ScanPartitionRange(view, part, num_classes, num_partitions,
+                                        begin, end, kernel);
       },
       "eval.chunks");
 
   EvalResult out;
   out.class_total.assign(num_classes, 0);
   out.class_distributed.assign(num_classes, 0);
-  out.partition_load.assign(std::max(solution.num_partitions(), 1), 0);
+  out.partition_load.assign(std::max(num_partitions, 1), 0);
   for (const EvalResult& p : partial) out.Merge(p);
   return out;
 }
 
 EvalResult Evaluate(const Database& db, const DatabaseSolution& solution,
-                    const FlatTrace& trace, ThreadPool* pool) {
-  return Evaluate(db, solution, TraceView(&trace), pool);
+                    const TraceView& view, ThreadPool* pool, ScanKernel kernel) {
+  const size_t n = view.size();
+  JECB_SPAN1("eval", "evaluate.flat", "txns", static_cast<int64_t>(n));
+  const std::vector<int32_t> part =
+      ResolvePartitions(db, solution, view.trace(), pool);
+  return EvaluateWithPartitions(view, part, solution.num_partitions(), pool,
+                                kernel);
+}
+
+EvalResult Evaluate(const Database& db, const DatabaseSolution& solution,
+                    const FlatTrace& trace, ThreadPool* pool, ScanKernel kernel) {
+  return Evaluate(db, solution, TraceView(&trace), pool, kernel);
 }
 
 EvalResult Evaluate(const Database& db, const DatabaseSolution& solution,

@@ -7,9 +7,11 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "partition/partition_scan.h"
 #include "partition/solution.h"
 #include "trace/flat_trace.h"
 #include "trace/trace.h"
@@ -57,6 +59,18 @@ struct EvalResult {
   /// exact and order-independent — the parallel evaluator still merges in
   /// chunk-index order to keep the contract auditable.
   void Merge(const EvalResult& other);
+
+  /// Removes `other`'s contribution: the exact inverse of Merge (integer
+  /// counters subtract without rounding, so Merge(x) followed by Subtract(x)
+  /// restores this result bit for bit). `other` must be a sub-workload of
+  /// this result — its counters element-wise <= ours and its vectors no
+  /// longer; vector sizes here are unchanged. This is what makes delta
+  /// evaluation reversible: base - base_contribution + new_contribution.
+  void Subtract(const EvalResult& other);
+
+  /// Bit-exact comparison — every field is an integer, so "equal" is
+  /// well-defined and is the identity the delta/SIMD paths are held to.
+  bool operator==(const EvalResult&) const = default;
 };
 
 /// Classifies a single transaction under `solution`; returns true when
@@ -93,15 +107,39 @@ EvalResult Evaluate(const Database& db, const DatabaseSolution& solution,
 /// as a branch-light scan over the SoA access arrays — chunked and merged
 /// exactly like the Trace overload. Because PartitionOf is a pure function
 /// of the tuple, every EvalResult field is bit-identical to the row-oriented
-/// path at any thread count.
+/// path at any thread count. `kernel` picks the partition-scan kernel
+/// (partition_scan.h); every kernel is bit-identical to kScalar.
 EvalResult Evaluate(const Database& db, const DatabaseSolution& solution,
-                    const FlatTrace& trace, ThreadPool* pool = nullptr);
+                    const FlatTrace& trace, ThreadPool* pool = nullptr,
+                    ScanKernel kernel = ScanKernel::kAuto);
 
 /// Same, over a zero-copy view. The resolve pass covers the underlying
 /// trace's whole dictionary (results only depend on the tuples the view
 /// touches, so this is exact; it only does extra resolution work when the
 /// view is much smaller than its trace).
 EvalResult Evaluate(const Database& db, const DatabaseSolution& solution,
-                    const TraceView& view, ThreadPool* pool = nullptr);
+                    const TraceView& view, ThreadPool* pool = nullptr,
+                    ScanKernel kernel = ScanKernel::kAuto);
+
+/// The resolve pass of the columnar evaluator, exposed for callers that
+/// reuse the array across many scans (the delta evaluator): PartitionOf of
+/// every tuple of the trace's dictionary, indexed by
+/// PackedAccess::tuple_index(). Each slot is a pure function of its tuple,
+/// so the contents never depend on thread count.
+std::vector<int32_t> ResolvePartitions(const Database& db,
+                                       const DatabaseSolution& solution,
+                                       const FlatTrace& trace,
+                                       ThreadPool* pool = nullptr);
+
+/// The scan half of the columnar evaluator against an externally resolved
+/// partition array (`part` must cover the view's whole dictionary):
+/// chunked into the same contiguous ranges and merged in the same chunk
+/// order as Evaluate, so Evaluate(view) == EvaluateWithPartitions(view,
+/// ResolvePartitions(...)) bit for bit at any thread count and kernel.
+EvalResult EvaluateWithPartitions(const TraceView& view,
+                                  std::span<const int32_t> part,
+                                  int32_t num_partitions,
+                                  ThreadPool* pool = nullptr,
+                                  ScanKernel kernel = ScanKernel::kAuto);
 
 }  // namespace jecb

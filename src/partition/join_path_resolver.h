@@ -100,11 +100,79 @@ class RowValueCache {
   size_t mask_ = 0;
 };
 
+/// Flat open-addressing memo of FollowForeignKey for one foreign key:
+/// RowId -> parent RowId, kDangling for a remembered dangling key. A hop is
+/// a pure function of (fk, child row), so every path that walks the same
+/// foreign key shares the resolved edge — after the first path warms an
+/// edge, later paths cross it with one integer probe instead of a Row
+/// allocation + value-hash index lookup.
+class FkRowCache {
+ public:
+  static constexpr RowId kDangling = UINT32_MAX;
+
+  bool Find(RowId row, RowId* out) const {
+    if (slots_.empty()) return false;
+    const uint32_t key = row + 1;
+    for (size_t i = HashInt64(row) & mask_;; i = (i + 1) & mask_) {
+      const Slot& s = slots_[i];
+      if (s.key == 0) return false;
+      if (s.key == key) {
+        *out = s.parent;
+        return true;
+      }
+    }
+  }
+
+  /// `row` must not already be present; `parent` may be kDangling.
+  void Insert(RowId row, RowId parent) {
+    if (size_ + 1 > (slots_.size() * 7) / 10) Grow();
+    const uint32_t key = row + 1;
+    for (size_t i = HashInt64(row) & mask_;; i = (i + 1) & mask_) {
+      if (slots_[i].key == 0) {
+        slots_[i] = {key, parent};
+        ++size_;
+        return;
+      }
+    }
+  }
+
+ private:
+  struct Slot {
+    uint32_t key = 0;  // row + 1; 0 = empty
+    RowId parent = kDangling;
+  };
+
+  void Grow() {
+    size_t cap = slots_.empty() ? 64 : slots_.size() * 2;
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(cap, Slot{});
+    mask_ = cap - 1;
+    for (const Slot& s : old) {
+      if (s.key == 0) continue;
+      for (size_t i = HashInt64(s.key - 1) & mask_;; i = (i + 1) & mask_) {
+        if (slots_[i].key == 0) {
+          slots_[i] = s;
+          break;
+        }
+      }
+    }
+  }
+
+  std::vector<Slot> slots_;
+  size_t size_ = 0;
+  size_t mask_ = 0;
+};
+
 /// Memoizes JoinPath::Evaluate per (path signature, row), shared across
 /// every tree/metric that asks for the same path.
 class JoinPathResolver {
  public:
-  explicit JoinPathResolver(const Database* db) : db_(db) {}
+  /// `hop_cache` additionally memoizes each foreign-key edge once per
+  /// resolver (exact: hops are pure), so paths sharing hops share the row
+  /// walk. Off reproduces the per-path JoinPath::Evaluate resolution of the
+  /// pre-incremental pipeline.
+  explicit JoinPathResolver(const Database* db, bool hop_cache = true)
+      : db_(db), hop_cache_(hop_cache) {}
 
   JoinPathResolver(const JoinPathResolver&) = delete;
   JoinPathResolver& operator=(const JoinPathResolver&) = delete;
@@ -119,6 +187,21 @@ class JoinPathResolver {
     const Value* Resolve(RowId row) {
       const Value* v = nullptr;
       if (cache_.Find(row, &v)) return v;
+      if (resolver_->hop_cache_) {
+        // Same walk as JoinPath::Evaluate, but each hop goes through the
+        // resolver's per-FK edge memo. A path fails exactly when a hop
+        // dangles, so the memoized walk fails on exactly the same rows.
+        RowId cur = row;
+        for (FkIdx idx : path_.hops) {
+          cur = resolver_->FollowCached(idx, cur);
+          if (cur == FkRowCache::kDangling) {
+            cache_.InsertFailure(row);
+            return nullptr;
+          }
+        }
+        return cache_.Insert(
+            row, db_->GetValue({path_.dest.table, cur}, path_.dest.column));
+      }
       Result<Value> r = path_.Evaluate(*db_, {path_.source_table, row});
       if (!r.ok()) {
         cache_.InsertFailure(row);
@@ -132,13 +215,30 @@ class JoinPathResolver {
 
    private:
     friend class JoinPathResolver;
-    PathCache(const Database* db, JoinPath path)
-        : db_(db), path_(std::move(path)) {}
+    PathCache(const Database* db, JoinPathResolver* resolver, JoinPath path)
+        : db_(db), resolver_(resolver), path_(std::move(path)) {}
 
     const Database* db_;
+    JoinPathResolver* resolver_;
     JoinPath path_;
     RowValueCache cache_;
   };
+
+  /// The parent row `row` reaches across foreign key `idx`, memoized per
+  /// resolver; kDangling when the key dangles.
+  RowId FollowCached(FkIdx idx, RowId row) {
+    if (fk_caches_.size() <= idx) {
+      fk_caches_.resize(db_->schema().foreign_keys().size());
+    }
+    FkRowCache& cache = fk_caches_[idx];
+    RowId out = FkRowCache::kDangling;
+    if (cache.Find(row, &out)) return out;
+    const ForeignKey& fk = db_->schema().foreign_keys()[idx];
+    Result<TupleId> r = db_->FollowForeignKey(fk, TupleId{fk.table, row});
+    out = r.ok() ? r.value().row : FkRowCache::kDangling;
+    cache.Insert(row, out);
+    return out;
+  }
 
   /// The shared cache for `path`; two equal paths get the same cache.
   PathCache* Cache(const JoinPath& path) {
@@ -147,7 +247,7 @@ class JoinPathResolver {
       if (sigs_[i] == sig && caches_[i]->path_ == path) return caches_[i].get();
     }
     sigs_.push_back(sig);
-    caches_.push_back(std::unique_ptr<PathCache>(new PathCache(db_, path)));
+    caches_.push_back(std::unique_ptr<PathCache>(new PathCache(db_, this, path)));
     return caches_.back().get();
   }
 
@@ -162,8 +262,10 @@ class JoinPathResolver {
   }
 
   const Database* db_;
+  const bool hop_cache_;
   std::vector<uint64_t> sigs_;
   std::vector<std::unique_ptr<PathCache>> caches_;
+  std::vector<FkRowCache> fk_caches_;  // indexed by FkIdx, built on demand
 };
 
 }  // namespace jecb

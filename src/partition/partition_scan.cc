@@ -1,0 +1,376 @@
+#include "partition/partition_scan.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <vector>
+
+#include "obs/metrics_registry.h"
+#include "partition/evaluator.h"
+#include "partition/mapping.h"
+
+// The vector kernels are x86-64 only (SSE2 is baseline there; AVX2 is
+// selected by CPUID at runtime and compiled via the target attribute, so no
+// global -mavx2 flag is needed). JECB_SIMD=OFF removes them entirely and
+// every request resolves to the scalar oracle.
+#if !defined(JECB_SIMD_DISABLED) && (defined(__x86_64__) || defined(__amd64__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define JECB_SCAN_X86 1
+#include <immintrin.h>
+#else
+#define JECB_SCAN_X86 0
+#endif
+
+namespace jecb {
+
+namespace {
+
+/// Per-range scan statistics, flushed to the metrics registry once per
+/// range (never per transaction — the hot loop stays counter-free).
+struct ScanStats {
+  uint64_t fast = 0;      // transactions fully classified by the SIMD pass
+  uint64_t fallback = 0;  // transactions re-run through the scalar oracle
+};
+
+/// Distinct-partition classification of one transaction. Distinct
+/// non-replicated partitions land in `parts` (first 8) and `spill` (the
+/// rare >8 tail) — the same inline-buffer-plus-heap-spill structure as
+/// IsDistributed, so heavy broadcast transactions stay exact.
+struct TxnClass {
+  size_t nparts = 0;  // filled entries of parts[8]
+  bool writes_replicated = false;
+};
+
+/// The reference classifier and bit-identity oracle: every vector kernel
+/// must reproduce these outputs exactly (the accounting below only consumes
+/// the distinct *set*, so the vector kernels are free to find it any way
+/// they like — but counts, spill contents, and flags must match).
+inline TxnClass ClassifyScalar(std::span<const PackedAccess> accesses,
+                               const int32_t* part, int32_t parts[8],
+                               std::vector<int32_t>& spill) {
+  TxnClass out;
+  spill.clear();
+  for (const PackedAccess a : accesses) {
+    const int32_t p = part[a.tuple_index()];
+    if (p == kReplicated) {
+      if (a.write()) out.writes_replicated = true;
+      continue;  // replicated reads are local everywhere
+    }
+    bool seen = false;
+    for (size_t j = 0; j < out.nparts; ++j) {
+      if (parts[j] == p) {
+        seen = true;
+        break;
+      }
+    }
+    if (seen || std::find(spill.begin(), spill.end(), p) != spill.end()) {
+      continue;
+    }
+    if (out.nparts < 8) {
+      parts[out.nparts++] = p;
+    } else {
+      spill.push_back(p);
+    }
+  }
+  return out;
+}
+
+#if JECB_SCAN_X86
+
+// SSE2 helpers: epi32 min/max/blend predate SSE4.1, so build them from
+// compares. Blend32(a, b, mask) = mask ? b : a, lane-wise.
+inline __m128i Blend32(__m128i a, __m128i b, __m128i mask) {
+  return _mm_or_si128(_mm_and_si128(mask, b), _mm_andnot_si128(mask, a));
+}
+inline __m128i Min32(__m128i a, __m128i b) {
+  return Blend32(a, b, _mm_cmpgt_epi32(a, b));
+}
+inline __m128i Max32(__m128i a, __m128i b) {
+  return Blend32(a, b, _mm_cmpgt_epi32(b, a));
+}
+
+/// Shared epilogue of both vector kernels: a reduced (min, max) over the
+/// non-replicated partitions plus the replicated-write flag classify the
+/// transaction completely unless it straddles partitions (min != max), in
+/// which case the scalar oracle recovers the exact distinct set.
+inline TxnClass FinishMinMax(std::span<const PackedAccess> accesses,
+                             const int32_t* part, int32_t parts[8],
+                             std::vector<int32_t>& spill, int32_t mn, int32_t mx,
+                             bool writes_replicated, ScanStats& stats) {
+  if (mn > mx) {  // every access was replicated
+    ++stats.fast;
+    spill.clear();
+    return TxnClass{0, writes_replicated};
+  }
+  if (mn == mx) {  // single-home transaction: the overwhelmingly common case
+    ++stats.fast;
+    spill.clear();
+    parts[0] = mn;
+    return TxnClass{1, writes_replicated};
+  }
+  ++stats.fallback;
+  return ClassifyScalar(accesses, part, parts, spill);
+}
+
+/// SSE2 baseline kernel: 4 lanes, scalar gathers (SSE2 has no hardware
+/// gather), vector min/max/replicated-write accumulation.
+TxnClass ClassifySse2(std::span<const PackedAccess> accesses, const int32_t* part,
+                      int32_t parts[8], std::vector<int32_t>& spill,
+                      ScanStats& stats) {
+  const size_t n = accesses.size();
+  if (n < 4) {
+    ++stats.fallback;
+    return ClassifyScalar(accesses, part, parts, spill);
+  }
+  const PackedAccess* acc = accesses.data();
+  const __m128i repl_v = _mm_set1_epi32(kReplicated);
+  const __m128i int_max = _mm_set1_epi32(INT32_MAX);
+  const __m128i int_min = _mm_set1_epi32(INT32_MIN);
+  __m128i vmin = int_max;
+  __m128i vmax = int_min;
+  __m128i vreplw = _mm_setzero_si128();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128i bits = _mm_loadu_si128(reinterpret_cast<const __m128i*>(acc + i));
+    const __m128i p = _mm_set_epi32(part[acc[i + 3].tuple_index()],
+                                    part[acc[i + 2].tuple_index()],
+                                    part[acc[i + 1].tuple_index()],
+                                    part[acc[i].tuple_index()]);
+    const __m128i wr = _mm_srai_epi32(bits, 31);  // write bit -> lane mask
+    const __m128i repl = _mm_cmpeq_epi32(p, repl_v);
+    vreplw = _mm_or_si128(vreplw, _mm_and_si128(wr, repl));
+    vmin = Min32(vmin, Blend32(p, int_max, repl));
+    vmax = Max32(vmax, Blend32(p, int_min, repl));
+  }
+  vmin = Min32(vmin, _mm_shuffle_epi32(vmin, _MM_SHUFFLE(1, 0, 3, 2)));
+  vmin = Min32(vmin, _mm_shuffle_epi32(vmin, _MM_SHUFFLE(2, 3, 0, 1)));
+  vmax = Max32(vmax, _mm_shuffle_epi32(vmax, _MM_SHUFFLE(1, 0, 3, 2)));
+  vmax = Max32(vmax, _mm_shuffle_epi32(vmax, _MM_SHUFFLE(2, 3, 0, 1)));
+  int32_t mn = _mm_cvtsi128_si32(vmin);
+  int32_t mx = _mm_cvtsi128_si32(vmax);
+  bool writes_replicated = _mm_movemask_epi8(vreplw) != 0;
+  for (; i < n; ++i) {  // scalar tail
+    const int32_t p = part[acc[i].tuple_index()];
+    if (p == kReplicated) {
+      if (acc[i].write()) writes_replicated = true;
+      continue;
+    }
+    mn = std::min(mn, p);
+    mx = std::max(mx, p);
+  }
+  return FinishMinMax(accesses, part, parts, spill, mn, mx, writes_replicated,
+                      stats);
+}
+
+/// AVX2 kernel: 8 lanes with hardware gathers. Compiled with the target
+/// attribute so the translation unit itself needs no -mavx2; only reachable
+/// after a CPUID check.
+__attribute__((target("avx2"))) TxnClass ClassifyAvx2(
+    std::span<const PackedAccess> accesses, const int32_t* part, int32_t parts[8],
+    std::vector<int32_t>& spill, ScanStats& stats) {
+  const size_t n = accesses.size();
+  if (n < 8) {
+    return ClassifySse2(accesses, part, parts, spill, stats);
+  }
+  const PackedAccess* acc = accesses.data();
+  const __m256i repl_v = _mm256_set1_epi32(kReplicated);
+  const __m256i idx_mask = _mm256_set1_epi32(0x7fffffff);
+  const __m256i int_max = _mm256_set1_epi32(INT32_MAX);
+  const __m256i int_min = _mm256_set1_epi32(INT32_MIN);
+  __m256i vmin = int_max;
+  __m256i vmax = int_min;
+  __m256i vreplw = _mm256_setzero_si256();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i bits =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc + i));
+    const __m256i idx = _mm256_and_si256(bits, idx_mask);
+    const __m256i wr = _mm256_srai_epi32(bits, 31);  // write bit -> lane mask
+    const __m256i p = _mm256_i32gather_epi32(part, idx, 4);
+    const __m256i repl = _mm256_cmpeq_epi32(p, repl_v);
+    vreplw = _mm256_or_si256(vreplw, _mm256_and_si256(wr, repl));
+    vmin = _mm256_min_epi32(vmin, _mm256_blendv_epi8(p, int_max, repl));
+    vmax = _mm256_max_epi32(vmax, _mm256_blendv_epi8(p, int_min, repl));
+  }
+  __m128i m = _mm_min_epi32(_mm256_castsi256_si128(vmin),
+                            _mm256_extracti128_si256(vmin, 1));
+  m = _mm_min_epi32(m, _mm_shuffle_epi32(m, _MM_SHUFFLE(1, 0, 3, 2)));
+  m = _mm_min_epi32(m, _mm_shuffle_epi32(m, _MM_SHUFFLE(2, 3, 0, 1)));
+  int32_t mn = _mm_cvtsi128_si32(m);
+  __m128i x = _mm_max_epi32(_mm256_castsi256_si128(vmax),
+                            _mm256_extracti128_si256(vmax, 1));
+  x = _mm_max_epi32(x, _mm_shuffle_epi32(x, _MM_SHUFFLE(1, 0, 3, 2)));
+  x = _mm_max_epi32(x, _mm_shuffle_epi32(x, _MM_SHUFFLE(2, 3, 0, 1)));
+  int32_t mx = _mm_cvtsi128_si32(x);
+  bool writes_replicated = _mm256_movemask_epi8(vreplw) != 0;
+  for (; i < n; ++i) {  // scalar tail
+    const int32_t p = part[acc[i].tuple_index()];
+    if (p == kReplicated) {
+      if (acc[i].write()) writes_replicated = true;
+      continue;
+    }
+    mn = std::min(mn, p);
+    mx = std::max(mx, p);
+  }
+  return FinishMinMax(accesses, part, parts, spill, mn, mx, writes_replicated,
+                      stats);
+}
+
+#endif  // JECB_SCAN_X86
+
+ScanKernel DetectBestKernel() {
+#if JECB_SCAN_X86
+  if (__builtin_cpu_supports("avx2")) return ScanKernel::kAvx2;
+  return ScanKernel::kSse2;  // baseline on every x86-64
+#else
+  return ScanKernel::kScalar;
+#endif
+}
+
+/// JECB_SIMD environment override, parsed once: "scalar"/"off"/"0" force the
+/// oracle, "sse2"/"avx2" request a specific kernel (clamped to what the CPU
+/// supports), anything else keeps CPUID selection.
+ScanKernel EnvKernel() {
+  const char* env = std::getenv("JECB_SIMD");
+  if (env == nullptr) return ScanKernel::kAuto;
+  const std::string_view v(env);
+  if (v == "scalar" || v == "off" || v == "0") return ScanKernel::kScalar;
+  if (v == "sse2") return ScanKernel::kSse2;
+  if (v == "avx2") return ScanKernel::kAvx2;
+  return ScanKernel::kAuto;
+}
+
+std::atomic<ScanKernel> g_kernel_override{ScanKernel::kAuto};
+
+ScanKernel Clamp(ScanKernel k) {
+  return static_cast<int32_t>(k) > static_cast<int32_t>(BestScanKernel())
+             ? BestScanKernel()
+             : k;
+}
+
+/// The per-transaction accounting shared by every kernel (and byte-for-byte
+/// the accounting the row-oriented evaluator performs): Definition 5/6
+/// classification plus per-class and per-partition counters.
+template <typename Classify>
+EvalResult ScanRangeImpl(const TraceView& view, size_t num_classes,
+                         int32_t num_partitions, size_t begin, size_t end,
+                         Classify&& classify) {
+  EvalResult out;
+  out.class_total.assign(num_classes, 0);
+  out.class_distributed.assign(num_classes, 0);
+  out.partition_load.assign(std::max(num_partitions, 1), 0);
+
+  const FlatTrace& trace = view.trace();
+  int32_t parts[8];
+  std::vector<int32_t> spill;  // rare >8-distinct-partition tail
+  for (size_t i = begin; i < end; ++i) {
+    const uint32_t txn = view.txn(i);
+    const TxnClass tc = classify(trace.accesses(txn), parts, spill);
+    const size_t distinct = tc.nparts + spill.size();
+    const bool dist = tc.writes_replicated || distinct > 1;
+    const uint32_t cls = trace.class_of(txn);
+    ++out.total_txns;
+    ++out.class_total[cls];
+    if (dist) {
+      ++out.distributed_txns;
+      ++out.class_distributed[cls];
+      out.partitions_touched += distinct;
+    }
+    auto count_load = [&](int32_t p) {
+      if (p >= 0 && p < static_cast<int32_t>(out.partition_load.size())) {
+        ++out.partition_load[p];
+      }
+    };
+    for (size_t j = 0; j < tc.nparts; ++j) count_load(parts[j]);
+    for (int32_t p : spill) count_load(p);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string_view ScanKernelName(ScanKernel kernel) {
+  switch (kernel) {
+    case ScanKernel::kAuto:
+      return "auto";
+    case ScanKernel::kScalar:
+      return "scalar";
+    case ScanKernel::kSse2:
+      return "sse2";
+    case ScanKernel::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+ScanKernel BestScanKernel() {
+  static const ScanKernel best = DetectBestKernel();
+  return best;
+}
+
+ScanKernel ActiveScanKernel() {
+  const ScanKernel override_k = g_kernel_override.load(std::memory_order_relaxed);
+  if (override_k != ScanKernel::kAuto) return Clamp(override_k);
+  static const ScanKernel env = EnvKernel();
+  if (env != ScanKernel::kAuto) return Clamp(env);
+  return BestScanKernel();
+}
+
+void SetScanKernel(ScanKernel kernel) {
+  g_kernel_override.store(kernel, std::memory_order_relaxed);
+}
+
+ScanKernel ResolveScanKernel(ScanKernel kernel) {
+  if (kernel == ScanKernel::kAuto) return ActiveScanKernel();
+  return Clamp(kernel);
+}
+
+EvalResult ScanPartitionRange(const TraceView& view, std::span<const int32_t> part,
+                              size_t num_classes, int32_t num_partitions,
+                              size_t begin, size_t end, ScanKernel kernel) {
+  const int32_t* p = part.data();
+  ScanStats stats;
+  EvalResult out;
+  switch (ResolveScanKernel(kernel)) {
+#if JECB_SCAN_X86
+    case ScanKernel::kAvx2:
+      out = ScanRangeImpl(
+          view, num_classes, num_partitions, begin, end,
+          [&](std::span<const PackedAccess> a, int32_t parts[8],
+              std::vector<int32_t>& spill) {
+            return ClassifyAvx2(a, p, parts, spill, stats);
+          });
+      break;
+    case ScanKernel::kSse2:
+      out = ScanRangeImpl(
+          view, num_classes, num_partitions, begin, end,
+          [&](std::span<const PackedAccess> a, int32_t parts[8],
+              std::vector<int32_t>& spill) {
+            return ClassifySse2(a, p, parts, spill, stats);
+          });
+      break;
+#endif
+    default:
+      out = ScanRangeImpl(view, num_classes, num_partitions, begin, end,
+                          [&](std::span<const PackedAccess> a, int32_t parts[8],
+                              std::vector<int32_t>& spill) {
+                            return ClassifyScalar(a, p, parts, spill);
+                          });
+      stats.fallback = 0;
+      stats.fast = 0;
+      MetricsRegistry::Default().AddCounter("jecb_scan_scalar_txns_total",
+                                            end - begin);
+      return out;
+  }
+  if (stats.fast != 0) {
+    MetricsRegistry::Default().AddCounter("jecb_scan_simd_fast_txns_total",
+                                          stats.fast);
+  }
+  if (stats.fallback != 0) {
+    MetricsRegistry::Default().AddCounter("jecb_scan_simd_fallback_txns_total",
+                                          stats.fallback);
+  }
+  return out;
+}
+
+}  // namespace jecb

@@ -1,0 +1,78 @@
+// Partition-scan kernels for the evaluation hot loop.
+//
+// The inner loop of Evaluate() classifies one transaction at a time: gather
+// the partition of every accessed tuple out of the resolved per-dictionary
+// array, dedupe the non-replicated partitions, and flag replicated writes
+// (paper Definitions 5/6). That scan runs once per candidate solution, so
+// Phase-3 combination scoring and the Horticulture LNS execute it millions
+// of times per search.
+//
+// This header owns the scan in three interchangeable kernels over the same
+// 4-byte PackedAccess SoA rows:
+//   kScalar — the reference implementation, kept verbatim as the
+//             bit-identity oracle every other kernel is asserted against;
+//   kSse2   — 4-lane min/max classification (baseline on every x86-64);
+//   kAvx2   — 8-lane with hardware gathers, selected by runtime CPUID.
+// The vector kernels exploit that almost every transaction is single-home:
+// one pass computes min/max over the non-replicated partitions and the
+// replicated-write flag; when min == max the transaction is fully
+// classified without any dedupe. Transactions that straddle partitions
+// (min != max) fall back to the scalar dedupe for the exact distinct set,
+// so every kernel produces byte-identical EvalResults — the SIMD path is an
+// optimization of the common case, never an approximation.
+//
+// Kernels are compiled behind the JECB_SIMD CMake option (scalar is always
+// built); selection is runtime CPUID with a process-wide override
+// (SetScanKernel / the JECB_SIMD environment variable) and a per-call
+// ScanKernel argument threaded down from JecbOptions::simd.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "trace/flat_trace.h"
+
+namespace jecb {
+
+struct EvalResult;
+
+enum class ScanKernel : int32_t {
+  /// Resolve to ActiveScanKernel() at the call site.
+  kAuto = 0,
+  kScalar = 1,
+  kSse2 = 2,
+  kAvx2 = 3,
+};
+
+std::string_view ScanKernelName(ScanKernel kernel);
+
+/// Widest kernel both compiled in (JECB_SIMD) and supported by this CPU
+/// (CPUID, checked once). kScalar when JECB_SIMD=OFF or off x86-64.
+ScanKernel BestScanKernel();
+
+/// The kernel kAuto resolves to: BestScanKernel() unless overridden by
+/// SetScanKernel or the JECB_SIMD environment variable (read once; values
+/// "scalar"/"off"/"0", "sse2", "avx2", "auto"/"on"). Requests wider than
+/// BestScanKernel() clamp down, so callers can always ask for kAvx2.
+ScanKernel ActiveScanKernel();
+
+/// Process-wide override for kAuto (kAuto itself restores env/CPUID
+/// selection). Thread-safe; takes effect on the next scan.
+void SetScanKernel(ScanKernel kernel);
+
+/// Resolves kAuto and clamps unsupported requests down to BestScanKernel().
+ScanKernel ResolveScanKernel(ScanKernel kernel);
+
+/// Scans the view's half-open position range [begin, end) against an
+/// externally resolved partition array (`part`, indexed by
+/// PackedAccess::tuple_index(), covering the view's whole dictionary) and
+/// returns the Definition 5/6 accounting of exactly those transactions.
+/// The EvalResult is byte-identical for every kernel; divergence is a bug,
+/// not a tolerance. Thread-safe (read-only inputs, per-call scratch).
+EvalResult ScanPartitionRange(const TraceView& view, std::span<const int32_t> part,
+                              size_t num_classes, int32_t num_partitions,
+                              size_t begin, size_t end,
+                              ScanKernel kernel = ScanKernel::kAuto);
+
+}  // namespace jecb

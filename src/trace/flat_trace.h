@@ -100,6 +100,16 @@ class TraceView {
   explicit TraceView(const FlatTrace* trace)
       : trace_(trace), count_(trace->size()) {}
 
+  /// View of an explicit transaction selection (global txn indices into
+  /// `trace`, shared without copying). The delta evaluator uses this to
+  /// scan precomputed per-table affected-transaction lists.
+  static TraceView FromSelection(
+      const FlatTrace* trace,
+      std::shared_ptr<const std::vector<uint32_t>> txns) {
+    const size_t n = txns->size();
+    return TraceView(trace, std::move(txns), 0, n);
+  }
+
   const FlatTrace& trace() const { return *trace_; }
   size_t size() const { return count_; }
   bool empty() const { return count_ == 0; }

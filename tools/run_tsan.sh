@@ -34,4 +34,6 @@ if [ -z "$COUNT" ] || [ "$COUNT" -eq 0 ]; then
   exit 1
 fi
 echo "running $COUNT sanitizer-labeled tests ($SANITIZER)"
+# exec replaces the shell, so ctest's exit code IS the script's exit code —
+# no trap/wrapper can swallow a sanitizer failure between ctest and CI.
 exec ctest --output-on-failure -j "$(nproc)" -L tsan
