@@ -15,6 +15,7 @@
 #include "common/ascii_table.h"
 #include "common/string_util.h"
 #include "expr/meter.h"
+#include "obs/cluster_telemetry.h"
 #include "obs/metrics_registry.h"
 #include "obs/trace_recorder.h"
 #include "horticulture/horticulture.h"
@@ -188,12 +189,22 @@ inline bool InitObs(int argc, char** argv) {
 
 /// Writes the Chrome trace (`--trace_out`) and/or the Prometheus metrics
 /// dump (`--metrics_out`) if requested. Call once at the end of main(),
-/// after all workers have quiesced (the collection contract).
+/// after all workers have quiesced (the collection contract). When the run
+/// harvested telemetry from shard child processes (multi-process replay),
+/// the trace is the merged cluster trace — one process track per pid — and
+/// the metrics dump appends the shard-labeled remote series after the local
+/// registry, so the artifacts cover the whole cluster, not just this
+/// process.
 inline void FinishObs(int argc, char** argv) {
+  const ClusterTelemetry& cluster = ClusterTelemetry::Default();
   std::string trace_path = ArgValue(argc, argv, "--trace_out");
   if (!trace_path.empty()) {
-    if (TraceRecorder::Default().WriteChromeTrace(trace_path)) {
-      std::printf("wrote %s (%llu events dropped)\n", trace_path.c_str(),
+    const bool merged = cluster.num_processes() > 0;
+    const bool ok = merged ? cluster.WriteClusterTrace(trace_path)
+                           : TraceRecorder::Default().WriteChromeTrace(trace_path);
+    if (ok) {
+      std::printf("wrote %s (%zu remote processes, %llu local events dropped)\n",
+                  trace_path.c_str(), cluster.num_processes(),
                   static_cast<unsigned long long>(TraceRecorder::Default().dropped()));
     } else {
       std::fprintf(stderr, "failed to write trace to %s\n", trace_path.c_str());
@@ -201,7 +212,10 @@ inline void FinishObs(int argc, char** argv) {
   }
   std::string metrics_path = ArgValue(argc, argv, "--metrics_out");
   if (!metrics_path.empty()) {
-    if (MetricsRegistry::Default().WritePrometheus(metrics_path)) {
+    std::ofstream out(metrics_path);
+    out << MetricsRegistry::Default().RenderPrometheus()
+        << cluster.RenderRemoteMetrics();
+    if (out) {
       std::printf("wrote %s\n", metrics_path.c_str());
     } else {
       std::fprintf(stderr, "failed to write metrics to %s\n", metrics_path.c_str());

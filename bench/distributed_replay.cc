@@ -13,9 +13,28 @@
 // to --out_dir (default: the build directory); --txns scales the trace and
 // --shards N restricts the sweep to a single shard count (CI smoke runs
 // `--shards 2 --txns 600`); --with_tcp 1 adds a TCP-loopback row per count.
+//
+// Observability flags (all off by default, none affect outcomes):
+//   --telemetry_period_ms N   poll shard children's span rings + metrics
+//                             every N ms during socket replays (shutdown
+//                             harvest runs regardless)
+//   --telemetry_harvest 0     disable even the shutdown harvest — the
+//                             no-telemetry baseline for overhead runs
+//   --trace_sample_pct P      sample P% of txn ids for timeline spans
+//                             (default 100; the sampled set is a pure hash
+//                             of (seed, txn id), so outcomes never move)
+//   --trace_out PATH          write the trace; with harvested shard
+//                             telemetry this is the merged multi-process
+//                             cluster trace (one Perfetto track per pid)
+//   --metrics_http_port P     serve live GET /metrics on 127.0.0.1:P
+//                             (0 = kernel-assigned) for the whole run
+//   --scrape_out PATH         scrape that live endpoint once, right after
+//                             the last replay, and save the body (the CI
+//                             dist-smoke artifact)
 #include <cstdio>
 
 #include "bench_util.h"
+#include "dist/metrics_http.h"
 #include "dist/replay.h"
 #include "workloads/tpcc.h"
 
@@ -29,7 +48,9 @@ struct BenchRow {
   ReplayReport report;
 };
 
-RuntimeOptions OptionsFor(TransportKind transport, int clients) {
+RuntimeOptions OptionsFor(TransportKind transport, int clients,
+                          uint32_t telemetry_period_ms,
+                          bool telemetry_harvest, double trace_sample_rate) {
   RuntimeOptions opt;
   opt.transport = transport;
   opt.num_clients = clients;
@@ -45,6 +66,9 @@ RuntimeOptions OptionsFor(TransportKind transport, int clients) {
   opt.faults.max_attempts = 3;
   opt.faults.backoff_base_us = 20;
   opt.faults.backoff_cap_us = 200;
+  opt.telemetry_period_ms = telemetry_period_ms;
+  opt.telemetry_harvest = telemetry_harvest;
+  opt.trace_sample_rate = trace_sample_rate;
   return opt;
 }
 
@@ -60,6 +84,30 @@ int main(int argc, char** argv) {
   const int clients = static_cast<int>(ArgInt(argc, argv, "--clients", 4));
   const int only_shards = static_cast<int>(ArgInt(argc, argv, "--shards", 0));
   const bool with_tcp = ArgInt(argc, argv, "--with_tcp", 0) != 0;
+  const uint32_t telemetry_period_ms =
+      static_cast<uint32_t>(ArgInt(argc, argv, "--telemetry_period_ms", 0));
+  const bool telemetry_harvest =
+      ArgInt(argc, argv, "--telemetry_harvest", 1) != 0;
+  const double trace_sample_rate =
+      static_cast<double>(ArgInt(argc, argv, "--trace_sample_pct", 100)) / 100.0;
+  const int64_t metrics_http_port = ArgInt(argc, argv, "--metrics_http_port", -1);
+  const std::string scrape_out = ArgValue(argc, argv, "--scrape_out");
+
+  // Live cluster-wide /metrics for the whole run: the default renderer
+  // concatenates this process's registry with whatever shard snapshots the
+  // socket replays harvest, so a scrape mid-run sees coordinator + shards.
+  dist::MetricsHttpServer metrics_http;
+  if (metrics_http_port >= 0 || !scrape_out.empty()) {
+    uint16_t want = metrics_http_port > 0
+                        ? static_cast<uint16_t>(metrics_http_port)
+                        : 0;
+    Status s = metrics_http.Start(want);
+    if (!s.ok()) {
+      std::fprintf(stderr, "FATAL: metrics http: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("live /metrics on 127.0.0.1:%u\n", metrics_http.port());
+  }
 
   TpccConfig cfg;
   cfg.warehouses = 8;
@@ -101,7 +149,8 @@ int main(int argc, char** argv) {
       BenchRow row;
       row.shards = k;
       row.report = Replay(*bundle.db, solution, bundle.trace,
-                          OptionsFor(transport, clients),
+                          OptionsFor(transport, clients, telemetry_period_ms,
+                                     telemetry_harvest, trace_sample_rate),
                           name + "-k" + std::to_string(k));
       row.report.PublishTo(MetricsRegistry::Default());
       const TransportCounters& c = row.report.transport_counters;
@@ -166,6 +215,26 @@ int main(int argc, char** argv) {
   }
   json += "  ]\n}\n";
   WriteBenchJson(out_dir, "distributed_replay", json);
+
+  // The scrape goes through the real HTTP path (socket connect, GET,
+  // response parse) while the server is still up — the saved body is what a
+  // Prometheus poller would have seen at this moment.
+  if (!scrape_out.empty()) {
+    Result<std::string> body = dist::ScrapeMetricsOnce(metrics_http.port());
+    if (!body.ok()) {
+      std::fprintf(stderr, "FATAL: /metrics scrape: %s\n",
+                   body.status().ToString().c_str());
+      return 1;
+    }
+    std::ofstream scrape(scrape_out);
+    scrape << body.value();
+    if (!scrape) {
+      std::fprintf(stderr, "FATAL: cannot write %s\n", scrape_out.c_str());
+      return 1;
+    }
+    std::printf("wrote %s (%zu bytes)\n", scrape_out.c_str(), body.value().size());
+  }
+
   FinishObs(argc, argv);
   return 0;
 }

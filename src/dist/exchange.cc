@@ -62,6 +62,8 @@ void ExchangeNode::Stop() {
 }
 
 void ExchangeNode::Run() {
+  TraceRecorder::Default().SetThreadName("shard-" + std::to_string(shard_id_) +
+                                         "/exchange");
   int64_t peer = 0;
   Frame frame;
   while (loop_->Next(&peer, &frame)) {

@@ -1,0 +1,138 @@
+#include "dist/metrics_http.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+
+#include <cstring>
+
+#include "obs/cluster_telemetry.h"
+#include "obs/metrics_registry.h"
+
+namespace jecb::dist {
+
+namespace {
+
+constexpr size_t kMaxRequestBytes = 8 * 1024;
+
+std::string DefaultMetricsBody() {
+  return MetricsRegistry::Default().RenderPrometheus() +
+         ClusterTelemetry::Default().RenderRemoteMetrics();
+}
+
+void SetRecvTimeout(const net::Socket& sock, int ms) {
+  struct timeval tv;
+  tv.tv_sec = ms / 1000;
+  tv.tv_usec = (ms % 1000) * 1000;
+  setsockopt(sock.fd(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+/// Reads until the header terminator, EOF, cap, or timeout; returns the
+/// request line (up to the first CR/LF), empty on anything unusable.
+std::string ReadRequestLine(const net::Socket& sock) {
+  std::string buf;
+  char chunk[1024];
+  while (buf.size() < kMaxRequestBytes &&
+         buf.find("\r\n\r\n") == std::string::npos) {
+    const ssize_t n = recv(sock.fd(), chunk, sizeof(chunk), 0);
+    if (n <= 0) break;
+    buf.append(chunk, static_cast<size_t>(n));
+  }
+  const size_t eol = buf.find_first_of("\r\n");
+  return eol == std::string::npos ? buf : buf.substr(0, eol);
+}
+
+}  // namespace
+
+Status MetricsHttpServer::Start(uint16_t port, Renderer renderer) {
+  if (running()) return Status::AlreadyExists("metrics server already running");
+  net::SocketAddr addr;
+  addr.is_unix = false;
+  addr.host = "127.0.0.1";
+  addr.port = port;
+  Result<net::Socket> listener = net::Listen(addr);
+  if (!listener.ok()) return listener.status();
+  listener_ = std::move(listener).value();
+  Result<uint16_t> bound = net::BoundTcpPort(listener_);
+  if (!bound.ok()) return bound.status();
+  port_ = bound.value();
+  renderer_ = renderer ? std::move(renderer) : Renderer(DefaultMetricsBody);
+  stop_.store(false, std::memory_order_relaxed);
+  running_.store(true, std::memory_order_relaxed);
+  thread_ = std::thread([this] { Serve(); });
+  return Status::OK();
+}
+
+void MetricsHttpServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_relaxed)) {
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  stop_.store(true, std::memory_order_relaxed);
+  if (thread_.joinable()) thread_.join();
+  listener_.Close();
+  port_ = 0;
+}
+
+void MetricsHttpServer::Serve() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    struct pollfd pfd;
+    pfd.fd = listener_.fd();
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int rc = poll(&pfd, 1, 100);
+    if (rc <= 0 || (pfd.revents & POLLIN) == 0) continue;
+    Result<net::Socket> conn = net::Accept(listener_);
+    if (!conn.ok()) continue;
+    net::Socket sock = std::move(conn).value();
+    SetRecvTimeout(sock, 1000);
+    const std::string request = ReadRequestLine(sock);
+    std::string response;
+    if (request.rfind("GET /metrics", 0) == 0 || request.rfind("GET / ", 0) == 0) {
+      const std::string body = renderer_();
+      response = "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4; "
+                 "charset=utf-8\r\nContent-Length: " +
+                 std::to_string(body.size()) + "\r\nConnection: close\r\n\r\n" +
+                 body;
+    } else {
+      response =
+          "HTTP/1.0 404 Not Found\r\nContent-Length: 0\r\nConnection: "
+          "close\r\n\r\n";
+    }
+    (void)net::SendAll(sock, response.data(), response.size());
+  }
+}
+
+Result<std::string> ScrapeMetricsOnce(uint16_t port, const std::string& host) {
+  net::SocketAddr addr;
+  addr.is_unix = false;
+  addr.host = host;
+  addr.port = port;
+  Result<net::Socket> conn = net::Connect(addr);
+  if (!conn.ok()) return conn.status();
+  net::Socket sock = std::move(conn).value();
+  SetRecvTimeout(sock, 5000);
+  const std::string request =
+      "GET /metrics HTTP/1.0\r\nHost: " + host + "\r\n\r\n";
+  Status sent = net::SendAll(sock, request.data(), request.size());
+  if (!sent.ok()) return sent;
+  std::string response;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = recv(sock.fd(), chunk, sizeof(chunk), 0);
+    if (n < 0) return Status::Internal("metrics scrape read failed");
+    if (n == 0) break;
+    response.append(chunk, static_cast<size_t>(n));
+  }
+  if (response.rfind("HTTP/1.0 200", 0) != 0 &&
+      response.rfind("HTTP/1.1 200", 0) != 0) {
+    return Status::Internal("metrics scrape: non-200 response");
+  }
+  const size_t body_at = response.find("\r\n\r\n");
+  if (body_at == std::string::npos) {
+    return Status::ParseError("metrics scrape: malformed response");
+  }
+  return response.substr(body_at + 4);
+}
+
+}  // namespace jecb::dist

@@ -1,0 +1,59 @@
+// Minimal live Prometheus scrape endpoint for the coordinator: a single
+// background thread serving "GET /metrics" over TCP loopback while a replay
+// runs. The default renderer concatenates the coordinator's own registry
+// with the latest shard snapshots harvested into ClusterTelemetry, so one
+// scrape sees the whole cluster (`jecb_*` series, shard-labeled by their
+// senders). Anything that is not a well-formed GET of /metrics gets a 404;
+// requests are handled one at a time (a scrape every few seconds, not a web
+// server). Entirely out-of-band: serving scrapes never touches replay
+// control flow.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "net/socket.h"
+
+namespace jecb::dist {
+
+class MetricsHttpServer {
+ public:
+  using Renderer = std::function<std::string()>;
+
+  MetricsHttpServer() = default;
+  ~MetricsHttpServer() { Stop(); }
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 = kernel-assigned, read back via port())
+  /// and starts the serving thread. `renderer` produces the /metrics body;
+  /// the default renders local registry + remote shard series.
+  Status Start(uint16_t port, Renderer renderer = {});
+  /// The bound port, valid after a successful Start().
+  uint16_t port() const { return port_; }
+  bool running() const { return running_.load(std::memory_order_relaxed); }
+  /// Stops and joins the serving thread. Idempotent.
+  void Stop();
+
+ private:
+  void Serve();
+
+  net::Socket listener_;
+  uint16_t port_ = 0;
+  Renderer renderer_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+};
+
+/// One-shot scrape client (tests, CI artifact capture): GETs
+/// http://`host`:`port`/metrics and returns the response body on a 200.
+Result<std::string> ScrapeMetricsOnce(uint16_t port,
+                                      const std::string& host = "127.0.0.1");
+
+}  // namespace jecb::dist

@@ -183,6 +183,7 @@ std::string ReplayReport::ToJson() const {
            ",\"term_signal\":" + std::to_string(e.term_signal) +
            ",\"forced_term\":" + (e.forced_term ? "true" : "false") +
            ",\"forced_kill\":" + (e.forced_kill ? "true" : "false") +
+           ",\"postmortem\":\"" + JsonEscape(e.postmortem_path) + "\"" +
            ",\"clean\":" + (e.clean() ? "true" : "false") + "}";
   }
   out += "],\"abnormal_shard_exits\":" + std::to_string(abnormal_shard_exits());

@@ -1,7 +1,13 @@
 #include "dist/shard_server.h"
 
+#include <cstdlib>
 #include <string>
 #include <utility>
+
+#include "dist/telemetry.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace_recorder.h"
 
 namespace jecb {
 
@@ -53,7 +59,7 @@ void ShardServer::MergeExchangeStats(net::ShardStatsMsg& out) const {
   out.exchange_reconnects = cc.reconnects;
 }
 
-net::ShardStatsMsg ShardServer::FinalStats(const EventLoop& loop) const {
+net::ShardStatsMsg ShardServer::ControlStats(const EventLoop& loop) const {
   net::ShardStatsMsg out = stats_;
   const net::EventLoopStats& ls = loop.stats();
   out.frames_received = ls.frames_received;
@@ -62,8 +68,39 @@ net::ShardStatsMsg ShardServer::FinalStats(const EventLoop& loop) const {
   out.bytes_sent = ls.bytes_sent;
   out.dedup_dropped = ls.dedup_dropped;
   out.peer_disconnects = ls.peer_disconnects;
+  return out;
+}
+
+net::ShardStatsMsg ShardServer::FinalStats(const EventLoop& loop) const {
+  net::ShardStatsMsg out = ControlStats(loop);
   if (exchange_on_) MergeExchangeStats(out);
   return out;
+}
+
+void ShardServer::SendTelemetry(EventLoop& loop, int64_t peer,
+                                const net::ShardStatsMsg& snapshot) {
+  // Publish the protocol counters into the child's registry so the metrics
+  // snapshot ships them. Snapshot-stores (not adds) keep periodic harvests
+  // idempotent; the shard label makes every series cluster-unique when the
+  // coordinator re-renders them.
+  MetricsRegistry& m = MetricsRegistry::Default();
+  const std::string label = "{shard=\"" + std::to_string(shard_id_) + "\"}";
+  auto put = [&](const char* family, uint64_t v) {
+    m.Counter(std::string(family) + label).store(v, std::memory_order_relaxed);
+  };
+  put("jecb_shard_executed_local_total", snapshot.executed_local);
+  put("jecb_shard_prepares_served_total", snapshot.prepares_served);
+  put("jecb_shard_commits_applied_total", snapshot.commits_applied);
+  put("jecb_shard_aborts_observed_total", snapshot.aborts_observed);
+  put("jecb_shard_stalls_served_total", snapshot.stalls_served);
+  put("jecb_shard_frames_received_total", snapshot.frames_received);
+  put("jecb_shard_frames_sent_total", snapshot.frames_sent);
+  put("jecb_shard_bytes_received_total", snapshot.bytes_received);
+  put("jecb_shard_bytes_sent_total", snapshot.bytes_sent);
+
+  for (const net::TelemetryMsg& batch : dist::BuildTelemetryBatches(shard_id_)) {
+    Reply(loop, peer, MsgType::kTelemetry, batch.Encode());
+  }
 }
 
 void ShardServer::HandleExecute(EventLoop& loop, int64_t peer,
@@ -76,11 +113,20 @@ void ShardServer::HandleExecute(EventLoop& loop, int64_t peer,
     return;
   }
   ++stats_.executed_local;
+  TraceRecorder& rec = TraceRecorder::Default();
+  const bool traced =
+      rec.enabled() && TxnTraceSampled(options_.faults.seed, frag.txn_id,
+                                       options_.trace_sample_rate);
+  const uint64_t t0 = traced ? rec.NowUs() : 0;
   SimulateCpuWork(options_.local_work_us);
   net::TxnRefMsg ack;
   ack.txn_id = frag.txn_id;
   ack.attempt = frag.attempt;
   Reply(loop, peer, MsgType::kExecuteAck, ack.Encode());
+  if (traced) {
+    rec.Span("shard", "shard.execute", t0, rec.NowUs() - t0, "txn",
+             static_cast<int64_t>(frag.txn_id), "shard", shard_id_);
+  }
 }
 
 void ShardServer::HandlePrepare(EventLoop& loop, int64_t peer,
@@ -91,6 +137,11 @@ void ShardServer::HandlePrepare(EventLoop& loop, int64_t peer,
     return;
   }
   ++stats_.prepares_served;
+  TraceRecorder& rec = TraceRecorder::Default();
+  const bool traced =
+      rec.enabled() && TxnTraceSampled(options_.faults.seed, frag.txn_id,
+                                       options_.trace_sample_rate);
+  const uint64_t prepare_t0 = traced ? rec.NowUs() : 0;
 
   net::VoteMsg vote;
   vote.txn_id = frag.txn_id;
@@ -128,11 +179,20 @@ void ShardServer::HandlePrepare(EventLoop& loop, int64_t peer,
   // round trip.
   vote.decision = net::VoteDecision::kYes;
   Reply(loop, peer, MsgType::kVote, vote.Encode());
+  if (traced) {
+    rec.Span("shard", "shard.prepare", prepare_t0, rec.NowUs() - prepare_t0,
+             "txn", static_cast<int64_t>(frag.txn_id), "shard", shard_id_);
+  }
+  const uint64_t hold_t0 = traced ? rec.NowUs() : 0;
 
   Frame resolution;
   while (loop.NextFrom(peer, &resolution)) {
     if (resolution.type == MsgType::kCommit) {
       ++stats_.commits_applied;
+      if (traced) {
+        rec.Span("shard", "shard.hold", hold_t0, rec.NowUs() - hold_t0, "txn",
+                 static_cast<int64_t>(frag.txn_id), "shard", shard_id_);
+      }
       // Exchange fires on the committing attempt only: the home shard's
       // prepare carried the full read set, so pull the remote rows now and
       // stream the assembly before the ack. Non-home participants (empty
@@ -152,6 +212,10 @@ void ShardServer::HandlePrepare(EventLoop& loop, int64_t peer,
       // Fire-and-forget from the coordinator (aborts release locks without a
       // round trip in the in-process backend too).
       ++stats_.aborts_observed;
+      if (traced) {
+        rec.Span("shard", "shard.hold", hold_t0, rec.NowUs() - hold_t0, "txn",
+                 static_cast<int64_t>(frag.txn_id), "shard", shard_id_);
+      }
       return;
     }
     // Anything else mid-hold is a stray; keep waiting for the resolution.
@@ -223,6 +287,8 @@ net::ShardStatsMsg ShardServer::Serve(net::Socket listener,
     // connection setup.
     client_.ConnectAll();
   }
+  TraceRecorder::Default().SetThreadName("shard-" + std::to_string(shard_id_) +
+                                         "/control");
   EventLoop loop(std::move(listener));
   int64_t peer = 0;
   Frame frame;
@@ -237,6 +303,9 @@ net::ShardStatsMsg ShardServer::Serve(net::Socket listener,
         net::HelloAckMsg ack;
         ack.shard_id = shard_id_;
         ack.num_shards = sharded_.num_shards();
+        // Clock sample for the peer's offset estimate (it timestamps the
+        // Hello round trip on its own recorder clock).
+        ack.now_us = TraceRecorder::Default().NowUs();
         Reply(loop, peer, MsgType::kHelloAck, ack.Encode());
         break;
       }
@@ -246,7 +315,26 @@ net::ShardStatsMsg ShardServer::Serve(net::Socket listener,
       case MsgType::kPrepare:
         HandlePrepare(loop, peer, frame);
         break;
+      case MsgType::kTelemetryReq:
+        // Live harvest: drain the span ring + metrics snapshot to this
+        // peer. Purely observational — no outcome counter moves.
+        SendTelemetry(loop, peer, ControlStats(loop));
+        break;
       case MsgType::kShutdown: {
+        if (options_.debug_crash_on_shutdown_shard == shard_id_) {
+          // Injected abnormal exit (tests): leave a postmortem dump and die
+          // without the stats reply, exactly like a real crash after all
+          // transactions completed.
+          node_.Stop();
+          DumpFlightRecorder("injected-crash");
+          std::_Exit(3);
+        }
+        if (options_.debug_wedge_shard == shard_id_) {
+          // Injected wedge (tests): ignore the shutdown request so the
+          // parent's reap ladder escalates to SIGTERM, exercising the
+          // flight recorder's signal path below.
+          break;
+        }
         // Stop the exchange node FIRST: Drain() only shuts shards down
         // after every client session is gone, so no exchange traffic can be
         // in flight — and the join makes the node's counters safe to fold
@@ -255,6 +343,11 @@ net::ShardStatsMsg ShardServer::Serve(net::Socket listener,
         // Harvest counters BEFORE the stats reply so the reply reflects
         // everything up to and including the shutdown request itself.
         net::ShardStatsMsg final_stats = FinalStats(loop);
+        // Final telemetry flush rides in front of the stats reply: the
+        // coordinator ingests kTelemetry frames until kShardStats arrives.
+        if (options_.telemetry_harvest) {
+          SendTelemetry(loop, peer, final_stats);
+        }
         Reply(loop, peer, MsgType::kShardStats, final_stats.Encode());
         loop.RequestStop();
         break;
@@ -269,6 +362,10 @@ net::ShardStatsMsg ShardServer::Serve(net::Socket listener,
   // SIGTERM path (no kShutdown frame): the node's loop saw the same
   // process-wide stop flag; join it before touching its counters.
   node_.Stop();
+  if (net::StopFlagRaised()) {
+    // Killed (reap-ladder SIGTERM, orphaned child): preserve the evidence.
+    DumpFlightRecorder("sigterm");
+  }
   return FinalStats(loop);
 }
 

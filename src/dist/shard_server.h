@@ -88,7 +88,15 @@ class ShardServer {
                             const net::FragmentMsg& frag);
   /// Folds exchange node/client accounting into `out`'s exchange tail.
   void MergeExchangeStats(net::ShardStatsMsg& out) const;
+  /// Control-plane counters only — safe while the exchange node is live.
+  net::ShardStatsMsg ControlStats(const net::EventLoop& loop) const;
   net::ShardStatsMsg FinalStats(const net::EventLoop& loop) const;
+  /// Publishes `snapshot` into the child's metrics registry (shard-labeled)
+  /// and streams the recorder drain + metrics snapshot to `peer` as
+  /// kTelemetry batches. Used for both periodic harvests (kTelemetryReq)
+  /// and the final pre-ShardStats flush at shutdown.
+  void SendTelemetry(net::EventLoop& loop, int64_t peer,
+                     const net::ShardStatsMsg& snapshot);
 
   /// Replies on `peer`, assigning the next server-side sequence number.
   void Reply(net::EventLoop& loop, int64_t peer, net::MsgType type,

@@ -14,7 +14,9 @@
 #include <utility>
 
 #include "dist/shard_server.h"
+#include "dist/telemetry.h"
 #include "dist/wire_channel.h"
+#include "obs/flight_recorder.h"
 #include "obs/trace_recorder.h"
 #include "runtime/exchange.h"
 
@@ -25,14 +27,45 @@ namespace {
 using net::Frame;
 using net::MsgType;
 
-std::string DefaultSocketDir() {
+std::string MakeTempDir(const char* leaf_template) {
   const char* tmp = std::getenv("TMPDIR");
   std::string tmpl = (tmp != nullptr && *tmp != '\0') ? tmp : "/tmp";
-  tmpl += "/jecb-dist-XXXXXX";
+  tmpl += "/";
+  tmpl += leaf_template;
   std::vector<char> buf(tmpl.begin(), tmpl.end());
   buf.push_back('\0');
   if (mkdtemp(buf.data()) == nullptr) return {};
   return std::string(buf.data());
+}
+
+std::string DefaultSocketDir() { return MakeTempDir("jecb-dist-XXXXXX"); }
+
+std::string PostmortemPath(const std::string& dir, int32_t shard) {
+  return dir + "/shard-" + std::to_string(shard) + ".postmortem.json";
+}
+
+/// Receives one complete frame from a blocking socket, feeding leftover
+/// bytes through `in` (which must persist across calls on the same
+/// connection). Counts raw received bytes into *bytes when non-null.
+/// Returns false on timeout, EOF, or a corrupt stream.
+bool RecvFrameBlocking(net::Socket& sock, net::FrameBuffer& in, Frame* frame,
+                       uint64_t* bytes) {
+  char chunk[4096];
+  for (;;) {
+    net::FrameBuffer::NextResult res = in.Next(frame);
+    if (res == net::FrameBuffer::NextResult::kFrame) return true;
+    if (res == net::FrameBuffer::NextResult::kCorrupt) return false;
+    net::RecvSomeResult r = net::RecvSome(sock, chunk, sizeof(chunk));
+    if (r.n <= 0) return false;
+    in.Feed(chunk, static_cast<size_t>(r.n));
+    if (bytes != nullptr) *bytes += static_cast<uint64_t>(r.n);
+  }
+}
+
+void SetRecvTimeout(net::Socket& sock, int seconds) {
+  struct timeval tv{};
+  tv.tv_sec = seconds;
+  setsockopt(sock.fd(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
 }
 
 }  // namespace
@@ -59,6 +92,24 @@ Status SocketTransport::Start() {
   for (int32_t i = 0; i < n; ++i) {
     shard_rtt_.push_back(std::make_unique<LatencyHistogram>());
   }
+  clock_offsets_us_.assign(static_cast<size_t>(n), 0);
+  offset_rtts_us_.assign(static_cast<size_t>(n), UINT64_MAX);
+
+  // Where the children's flight recorders dump on abnormal exit. A private
+  // temp dir when the caller did not pick one; Drain() removes it only if it
+  // stayed empty, so postmortems survive the run for the report to point at.
+  postmortem_dir_ = options_.postmortem_dir;
+  if (postmortem_dir_.empty()) {
+    postmortem_dir_ = MakeTempDir("jecb-post-XXXXXX");
+    owned_postmortem_dir_ = !postmortem_dir_.empty();
+  } else {
+    mkdir(postmortem_dir_.c_str(), 0755);  // best effort; EEXIST is fine
+  }
+
+  // Construct the recorder singleton (fixing its trace-time epoch) before
+  // forking, so parent and children share one origin and the Hello clock
+  // offset estimate only has residual drift to correct.
+  (void)TraceRecorder::Default().NowUs();
 
   std::string dir;
   if (options_.transport == TransportKind::kUnixSocket) {
@@ -130,6 +181,9 @@ Status SocketTransport::Start() {
       listeners.clear();
       data_listeners.clear();
       net::InstallStopSignalHandler();
+      if (!postmortem_dir_.empty()) {
+        ConfigureFlightRecorder(PostmortemPath(postmortem_dir_, i), i);
+      }
       ShardServer server(i, sharded_, options_, data_addrs_);
       server.Serve(std::move(own), std::move(own_data));
       std::_Exit(0);
@@ -139,7 +193,93 @@ Status SocketTransport::Start() {
   listeners.clear();  // parent: children own the listening fds now
   data_listeners.clear();
   started_ = true;
+
+  // The live-telemetry poller starts AFTER every fork: the children must
+  // never inherit a second thread. It uses its own control connections, so
+  // replay traffic — and OutcomeSignature — never sees it.
+  if (options_.telemetry_harvest && options_.telemetry_period_ms > 0) {
+    poller_stop_.store(false, std::memory_order_relaxed);
+    poller_ = std::thread([this] { PollTelemetry(); });
+  }
   return Status::OK();
+}
+
+void SocketTransport::RecordOffsetSample(int32_t shard, uint64_t t0,
+                                         uint64_t t1, uint64_t shard_now_us) {
+  if (shard_now_us == 0) return;  // pre-telemetry server: no estimate
+  const uint64_t rtt = t1 >= t0 ? t1 - t0 : 0;
+  const int64_t offset = static_cast<int64_t>(shard_now_us) -
+                         static_cast<int64_t>(t0 + rtt / 2);
+  std::lock_guard<std::mutex> guard(offsets_mu_);
+  // Best (lowest-RTT) sample wins: the midpoint error is bounded by rtt/2.
+  if (rtt <= offset_rtts_us_[static_cast<size_t>(shard)]) {
+    offset_rtts_us_[static_cast<size_t>(shard)] = rtt;
+    clock_offsets_us_[static_cast<size_t>(shard)] = offset;
+  }
+}
+
+int64_t SocketTransport::ClockOffsetUs(int32_t shard) const {
+  std::lock_guard<std::mutex> guard(offsets_mu_);
+  return clock_offsets_us_[static_cast<size_t>(shard)];
+}
+
+bool SocketTransport::HandshakeAndMeasureOffset(net::Socket& control,
+                                                net::FrameBuffer& in,
+                                                int32_t i, uint64_t* seq) {
+  TraceRecorder& rec = TraceRecorder::Default();
+  net::HelloMsg hello;
+  hello.client_id = 0xFFFFFFFFu;  // harvest connection, not a client session
+  hello.shard_id = i;
+  std::string req = net::EncodeFrame(MsgType::kHello, ++*seq, hello.Encode());
+  const uint64_t t0 = rec.NowUs();
+  if (!net::SendAll(control, req.data(), req.size()).ok()) return false;
+  Frame frame;
+  if (!RecvFrameBlocking(control, in, &frame, nullptr)) return false;
+  const uint64_t t1 = rec.NowUs();
+  net::HelloAckMsg ack;
+  if (frame.type != MsgType::kHelloAck || !ack.Decode(frame.payload) ||
+      ack.shard_id != i) {
+    return false;
+  }
+  RecordOffsetSample(i, t0, t1, ack.now_us);
+  return true;
+}
+
+void SocketTransport::PollTelemetry() {
+  const auto period = std::chrono::milliseconds(
+      options_.telemetry_period_ms > 0 ? options_.telemetry_period_ms : 1000);
+  for (;;) {
+    // Sleep in small slices so Drain()'s stop request lands fast.
+    auto deadline = std::chrono::steady_clock::now() + period;
+    while (std::chrono::steady_clock::now() < deadline) {
+      if (poller_stop_.load(std::memory_order_relaxed)) return;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    for (int32_t i = 0; i < sharded_.num_shards(); ++i) {
+      if (poller_stop_.load(std::memory_order_relaxed)) return;
+      // Best effort throughout: a dead, wedged, or mid-hold shard just means
+      // this round's harvest is skipped; the shutdown flush catches up.
+      Result<net::Socket> conn = Connect(addrs_[static_cast<size_t>(i)], 1);
+      if (!conn.ok()) continue;
+      net::Socket control = std::move(conn).value();
+      SetRecvTimeout(control, 2);
+      net::FrameBuffer in;
+      uint64_t seq = 0;
+      if (!HandshakeAndMeasureOffset(control, in, i, &seq)) continue;
+      std::string req = net::EncodeFrame(MsgType::kTelemetryReq, ++seq, {});
+      if (!net::SendAll(control, req.data(), req.size()).ok()) continue;
+      const int64_t offset = ClockOffsetUs(i);
+      for (;;) {
+        Frame frame;
+        if (!RecvFrameBlocking(control, in, &frame, nullptr)) break;
+        if (frame.type != MsgType::kTelemetry) break;
+        net::TelemetryMsg msg;
+        if (!msg.Decode(frame.payload)) break;
+        dist::IngestTelemetry(msg, offset);
+        if (msg.last != 0) break;
+      }
+    }
+  }
 }
 
 void SocketTransport::MergeCounters(const TransportCounters& c) {
@@ -154,32 +294,41 @@ void SocketTransport::ShutdownShard(int32_t i) {
 
   // A wedged shard must not hang Drain(): bound the stats wait, then let the
   // reap ladder escalate to SIGTERM/SIGKILL.
-  struct timeval tv{};
-  tv.tv_sec = 5;
-  setsockopt(control.fd(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  SetRecvTimeout(control, 5);
 
   TransportCounters local;
-  std::string req = net::EncodeFrame(MsgType::kShutdown, 1, {});
+  net::FrameBuffer in;
+  uint64_t seq = 0;
+  // Hello first: one last (quiet-wire, so usually best-RTT) clock offset
+  // sample before the final telemetry flush that needs it. Best effort — a
+  // pre-telemetry server still answers, just without the now_us tail.
+  HandshakeAndMeasureOffset(control, in, i, &seq);
+  const int64_t offset = ClockOffsetUs(i);
+
+  std::string req = net::EncodeFrame(MsgType::kShutdown, ++seq, {});
   if (!net::SendAll(control, req.data(), req.size()).ok()) return;
   local.messages_sent += 1;
   local.bytes_sent += req.size();
 
-  net::FrameBuffer in;
-  Frame frame;
-  char chunk[4096];
-  for (;;) {
-    net::FrameBuffer::NextResult res = in.Next(&frame);
-    if (res == net::FrameBuffer::NextResult::kFrame) break;
-    if (res == net::FrameBuffer::NextResult::kCorrupt) return;
-    net::RecvSomeResult r = net::RecvSome(control, chunk, sizeof(chunk));
-    if (r.n <= 0) return;  // timeout, EOF or error: give up on the stats
-    in.Feed(chunk, static_cast<size_t>(r.n));
-    local.bytes_received += static_cast<uint64_t>(r.n);
-  }
-  local.messages_received += 1;
-
+  // The shard streams zero or more kTelemetry batches (its final recorder
+  // drain + metrics snapshot), terminated by the kShardStats reply.
   net::ShardStatsMsg stats;
-  if (frame.type == MsgType::kShardStats && stats.Decode(frame.payload)) {
+  bool have_stats = false;
+  for (;;) {
+    Frame frame;
+    if (!RecvFrameBlocking(control, in, &frame, &local.bytes_received)) break;
+    if (frame.type == MsgType::kTelemetry) {
+      net::TelemetryMsg msg;
+      if (msg.Decode(frame.payload)) dist::IngestTelemetry(msg, offset);
+      continue;
+    }
+    if (frame.type == MsgType::kShardStats && stats.Decode(frame.payload)) {
+      local.messages_received += 1;
+      have_stats = true;
+    }
+    break;  // stats, or something unexpected: either way the stream is over
+  }
+  if (have_stats) {
     local.shard_frames += stats.frames_received;
     local.shard_bytes += stats.bytes_received;
     local.dedup_drops += stats.dedup_dropped;
@@ -253,15 +402,28 @@ void SocketTransport::ReapShard(int32_t i) {
 void SocketTransport::Drain() {
   if (!started_ || drained_) return;
   drained_ = true;
+  // Stop the live-telemetry poller before the shutdown rounds so it can
+  // never race a shard's final drain on a second connection.
+  poller_stop_.store(true, std::memory_order_relaxed);
+  if (poller_.joinable()) poller_.join();
   for (int32_t i = 0; i < sharded_.num_shards(); ++i) {
     ShutdownShard(i);
     ReapShard(i);
+    if (!postmortem_dir_.empty()) {
+      std::string path = PostmortemPath(postmortem_dir_, i);
+      struct stat st{};
+      if (stat(path.c_str(), &st) == 0 && st.st_size > 0) {
+        shard_exits_[static_cast<size_t>(i)].postmortem_path = path;
+      }
+    }
   }
   if (options_.transport == TransportKind::kUnixSocket) {
     for (const net::SocketAddr& addr : addrs_) unlink(addr.path.c_str());
     for (const net::SocketAddr& addr : data_addrs_) unlink(addr.path.c_str());
     if (!owned_socket_dir_.empty()) rmdir(owned_socket_dir_.c_str());
   }
+  // Succeeds only when no child dumped: postmortems outlive the transport.
+  if (owned_postmortem_dir_) rmdir(postmortem_dir_.c_str());
 }
 
 TransportReport SocketTransport::Report() const {
@@ -333,12 +495,17 @@ class DistCoordinatorSession : public TransportSession {
       net::HelloMsg hello;
       hello.client_id = client_id_;
       hello.shard_id = shard;
+      const uint64_t t0 = TraceRecorder::Default().NowUs();
       ch.RawSend(net::EncodeFrame(MsgType::kHello, ch.NextSeq(), hello.Encode()));
       Frame ack = ch.RecvType(MsgType::kHelloAck);
+      const uint64_t t1 = TraceRecorder::Default().NowUs();
       net::HelloAckMsg am;
       if (!am.Decode(ack.payload) || am.shard_id != shard) {
         TransportPanic("hello", shard, Status::Internal("bad HelloAck"));
       }
+      // Every session handshake doubles as a clock-offset sample for the
+      // merged trace (best RTT wins, so early quiet-wire Hellos dominate).
+      transport_->RecordOffsetSample(shard, t0, t1, am.now_us);
     }
     return ch;
   }

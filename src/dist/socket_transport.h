@@ -34,10 +34,12 @@
 
 #include <sys/types.h>
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "dist/transport.h"
@@ -86,9 +88,28 @@ class SocketTransport : public Transport {
   /// Drain() adds the shard-reported stats.
   void MergeCounters(const TransportCounters& c);
 
+  /// Runs the Hello handshake on `control` and refines shard `i`'s clock
+  /// offset from the HelloAck's now_us tail (midpoint estimate, best RTT
+  /// kept). `in` must be the connection's persistent frame buffer. Returns
+  /// false if the handshake fails.
+  bool HandshakeAndMeasureOffset(net::Socket& control, net::FrameBuffer& in,
+                                 int32_t i, uint64_t* seq);
+  /// Folds one Hello round-trip sample (t0 send, t1 ack receipt, shard
+  /// recorder clock at ack) into the per-shard offset estimate.
+  void RecordOffsetSample(int32_t shard, uint64_t t0, uint64_t t1,
+                          uint64_t shard_now_us);
+  int64_t ClockOffsetUs(int32_t shard) const;
+  /// Background harvest thread: every telemetry_period_ms, connects to each
+  /// live shard, sends kTelemetryReq and ingests the kTelemetry batches into
+  /// the process-wide ClusterTelemetry sink. Runs on its own control
+  /// connections — never touches session channels, so replay traffic (and
+  /// therefore OutcomeSignature) is unaffected.
+  void PollTelemetry();
+
   /// Sends kShutdown to shard `i` and folds its kShardStats reply (control
-  /// loop + exchange tail) into the transport counters. Best effort: a dead
-  /// shard is simply reaped.
+  /// loop + exchange tail) into the transport counters; kTelemetry frames
+  /// arriving before the stats are ingested into ClusterTelemetry. Best
+  /// effort: a dead shard is simply reaped.
   void ShutdownShard(int32_t i);
   /// Waits for child `i`, escalating WNOHANG -> SIGTERM -> SIGKILL, and
   /// records its exit status (code, signal, which rung forced it) in
@@ -107,8 +128,22 @@ class SocketTransport : public Transport {
   std::vector<ShardProc> procs_;
   std::vector<ShardExitStatus> shard_exits_;
   std::string owned_socket_dir_;  ///< mkdtemp'd; removed by Drain()
+  /// Where each child's flight recorder dumps (options_.postmortem_dir, or a
+  /// mkdtemp'd fallback removed by Drain() when it stayed empty).
+  std::string postmortem_dir_;
+  bool owned_postmortem_dir_ = false;
   bool started_ = false;
   bool drained_ = false;
+
+  /// Best (lowest-RTT) shard-clock-minus-coordinator-clock estimate per
+  /// shard, in microseconds, refreshed on every Hello round trip the
+  /// telemetry paths run. Guarded by offsets_mu_ (poller vs Drain).
+  mutable std::mutex offsets_mu_;
+  std::vector<int64_t> clock_offsets_us_;
+  std::vector<uint64_t> offset_rtts_us_;
+
+  std::thread poller_;
+  std::atomic<bool> poller_stop_{false};
 
   /// Request->response latency per shard, recorded by every session
   /// (LatencyHistogram is concurrent).

@@ -1,0 +1,139 @@
+#include "dist/telemetry.h"
+
+#include <unistd.h>
+
+#include <cstring>
+
+namespace jecb::dist {
+
+namespace {
+
+uint64_t DoubleBits(double v) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+double BitsToDouble(uint64_t bits) {
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+size_t EventWireBytes(const net::TelemetryEvent& e) {
+  return 45 + e.name.size() + e.cat.size() + e.arg1_name.size() +
+         e.arg2_name.size();
+}
+
+net::TelemetryEvent ToWire(const CollectedEvent& ce) {
+  const TraceEvent& e = ce.event;
+  net::TelemetryEvent out;
+  out.kind = static_cast<uint8_t>(e.kind);
+  out.tid = ce.tid;
+  out.ts_us = e.ts_us;
+  out.dur_us = e.dur_us;
+  if (e.name != nullptr) out.name = e.name;
+  if (e.cat != nullptr) out.cat = e.cat;
+  if (e.arg1_name != nullptr) {
+    out.arg1_name = e.arg1_name;
+    out.arg1 = e.arg1;
+  }
+  if (e.arg2_name != nullptr) {
+    out.arg2_name = e.arg2_name;
+    out.arg2 = e.arg2;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<net::TelemetryMsg> BuildTelemetryBatches(int32_t shard,
+                                                     TraceRecorder& recorder,
+                                                     MetricsRegistry& metrics) {
+  const std::vector<CollectedEvent> events = recorder.Drain();
+  const uint32_t pid = static_cast<uint32_t>(getpid());
+
+  std::vector<net::TelemetryMsg> out;
+  net::TelemetryMsg cur;
+  size_t cur_bytes = 0;
+  auto flush = [&] {
+    cur.pid = pid;
+    cur.shard = shard;
+    cur.batch_index = static_cast<uint32_t>(out.size());
+    cur.last = 0;
+    cur.now_us = recorder.NowUs();
+    cur.dropped = recorder.dropped();
+    out.push_back(std::move(cur));
+    cur = net::TelemetryMsg();
+    cur_bytes = 0;
+  };
+  for (const CollectedEvent& ce : events) {
+    net::TelemetryEvent e = ToWire(ce);
+    cur_bytes += EventWireBytes(e);
+    cur.events.push_back(std::move(e));
+    if (cur_bytes >= kTelemetryBatchBytes ||
+        cur.events.size() >= kTelemetryBatchEvents) {
+      flush();
+    }
+  }
+  // The final batch (possibly empty of events) carries the metrics snapshot
+  // and thread names.
+  for (const MetricsRegistry::ScalarSample& s : metrics.SnapshotScalars()) {
+    net::TelemetryMetric m;
+    m.name = s.name;
+    m.kind = s.is_gauge ? 1 : 0;
+    m.value_bits = s.is_gauge ? DoubleBits(s.value) : s.count;
+    cur.metrics.push_back(std::move(m));
+  }
+  cur.thread_names = recorder.ThreadNames();
+  flush();
+  out.back().last = 1;
+  return out;
+}
+
+void IngestTelemetry(const net::TelemetryMsg& msg, int64_t clock_offset_us,
+                     ClusterTelemetry& sink, TraceRecorder& interner) {
+  RemoteProcessTelemetry batch;
+  batch.pid = static_cast<int64_t>(msg.pid);
+  batch.shard = msg.shard;
+  if (msg.shard >= 0) batch.name = "shard-" + std::to_string(msg.shard);
+  batch.clock_offset_us = clock_offset_us;
+  batch.dropped = msg.dropped;
+  batch.last_now_us = msg.now_us;
+  batch.thread_names = msg.thread_names;
+  batch.metrics.reserve(msg.metrics.size());
+  for (const net::TelemetryMetric& m : msg.metrics) {
+    MetricsRegistry::ScalarSample s;
+    s.name = m.name;
+    if (m.kind == 1) {
+      s.is_gauge = true;
+      s.value = BitsToDouble(m.value_bits);
+    } else {
+      s.count = m.value_bits;
+    }
+    batch.metrics.push_back(std::move(s));
+  }
+  batch.events.reserve(msg.events.size());
+  for (const net::TelemetryEvent& e : msg.events) {
+    CollectedEvent ce;
+    ce.tid = e.tid;
+    ce.event.kind = e.kind <= 2 ? static_cast<TraceEventKind>(e.kind)
+                                : TraceEventKind::kInstant;
+    ce.event.ts_us = e.ts_us;
+    ce.event.dur_us = e.dur_us;
+    ce.event.name = interner.Intern(e.name);
+    ce.event.cat = interner.Intern(e.cat);
+    if (!e.arg1_name.empty()) {
+      ce.event.arg1_name = interner.Intern(e.arg1_name);
+      ce.event.arg1 = e.arg1;
+    }
+    if (!e.arg2_name.empty()) {
+      ce.event.arg2_name = interner.Intern(e.arg2_name);
+      ce.event.arg2 = e.arg2;
+    }
+    batch.events.push_back(ce);
+  }
+  sink.Ingest(std::move(batch));
+}
+
+}  // namespace jecb::dist

@@ -1,0 +1,43 @@
+// Bridges the wire-level TelemetryMsg (src/net) and the in-process obs
+// layer (src/obs), which are deliberately unaware of each other: the shard
+// child drains its recorder + metrics registry into bounded TelemetryMsg
+// batches here, and the coordinator converts decoded batches back into the
+// ClusterTelemetry sink (re-interning event names, whose wire strings die
+// with the payload).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/wire.h"
+#include "obs/cluster_telemetry.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace_recorder.h"
+
+namespace jecb::dist {
+
+/// Soft per-batch payload budget. Worst-case telemetry names are capped at
+/// kMaxTelemetryStrBytes, but real span names are tens of bytes; flushing a
+/// batch once its estimated encoding passes this keeps every frame far
+/// below net::kMaxPayloadBytes.
+inline constexpr size_t kTelemetryBatchBytes = 200 * 1024;
+/// Hard per-batch event cap (stays well under net::kMaxTelemetryEntries).
+inline constexpr size_t kTelemetryBatchEvents = 4096;
+
+/// Shard-side harvest: drains every event the recorder has not shipped yet
+/// (TraceRecorder::Drain watermark — periodic harvests never resend spans)
+/// plus a scalar metrics snapshot, chunked into batches with increasing
+/// batch_index; `last` is set on the final batch, which also carries the
+/// metrics and thread-name table. Always returns at least one batch.
+std::vector<net::TelemetryMsg> BuildTelemetryBatches(
+    int32_t shard, TraceRecorder& recorder = TraceRecorder::Default(),
+    MetricsRegistry& metrics = MetricsRegistry::Default());
+
+/// Coordinator-side: converts one decoded batch and merges it into `sink`.
+/// `clock_offset_us` is the sender's recorder clock minus the local one
+/// (Hello handshake estimate). Event names are interned into `interner`.
+void IngestTelemetry(const net::TelemetryMsg& msg, int64_t clock_offset_us,
+                     ClusterTelemetry& sink = ClusterTelemetry::Default(),
+                     TraceRecorder& interner = TraceRecorder::Default());
+
+}  // namespace jecb::dist

@@ -72,6 +72,10 @@ struct ShardExitStatus {
   int term_signal = 0;      ///< WTERMSIG when signal-killed (0 otherwise)
   bool forced_term = false; ///< parent had to escalate to SIGTERM
   bool forced_kill = false; ///< parent had to escalate to SIGKILL
+  /// Path of the flight-recorder dump the child wrote (empty when none).
+  /// Written on SIGTERM-driven exits and injected crashes; deliberately not
+  /// part of clean() — a postmortem is evidence, not a verdict.
+  std::string postmortem_path;
 
   bool clean() const {
     return exited && exit_code == 0 && term_signal == 0 && !forced_kill;

@@ -35,6 +35,7 @@ void InstallStopSignalHandler() {
 
 void RaiseStopFlag() { g_stop_flag.store(1, std::memory_order_relaxed); }
 void ClearStopFlag() { g_stop_flag.store(0, std::memory_order_relaxed); }
+bool StopFlagRaised() { return g_stop_flag.load(std::memory_order_relaxed) != 0; }
 
 EventLoop::EventLoop(Socket listener) : listener_(std::move(listener)) {
   // The loop multiplexes with poll(); reads must never block it.

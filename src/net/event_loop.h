@@ -75,6 +75,11 @@ void RaiseStopFlag();
 /// Clears the flag (call before reusing a loop in the same process).
 void ClearStopFlag();
 
+/// Whether the process-wide stop flag is currently raised — lets post-loop
+/// code distinguish a SIGTERM-driven exit (flight-recorder dump) from a
+/// protocol-driven one.
+bool StopFlagRaised();
+
 class EventLoop {
  public:
   explicit EventLoop(Socket listener);

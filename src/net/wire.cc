@@ -1,5 +1,6 @@
 #include "net/wire.h"
 
+#include <algorithm>
 #include <array>
 #include <cstring>
 
@@ -24,7 +25,7 @@ const std::array<uint32_t, 256>& CrcTable() {
 
 bool ValidType(uint8_t t) {
   return t >= static_cast<uint8_t>(MsgType::kHello) &&
-         t <= static_cast<uint8_t>(MsgType::kTupleBatch);
+         t <= static_cast<uint8_t>(MsgType::kTelemetry);
 }
 
 }  // namespace
@@ -44,6 +45,8 @@ std::string_view MsgTypeName(MsgType t) {
     case MsgType::kShardStats: return "shard_stats";
     case MsgType::kExchangeReq: return "exchange_req";
     case MsgType::kTupleBatch: return "tuple_batch";
+    case MsgType::kTelemetryReq: return "telemetry_req";
+    case MsgType::kTelemetry: return "telemetry";
   }
   return "unknown";
 }
@@ -142,6 +145,7 @@ std::string HelloAckMsg::Encode() const {
   WireWriter w;
   w.U32(static_cast<uint32_t>(shard_id));
   w.U32(static_cast<uint32_t>(num_shards));
+  w.U64(now_us);
   return w.Take();
 }
 
@@ -151,7 +155,9 @@ bool HelloAckMsg::Decode(std::string_view payload) {
   if (!r.U32(&shard) || !r.U32(&n)) return false;
   shard_id = static_cast<int32_t>(shard);
   num_shards = static_cast<int32_t>(n);
-  return r.AtEnd();
+  now_us = 0;
+  if (r.AtEnd()) return true;  // legacy encoder: no clock tail
+  return r.U64(&now_us) && r.AtEnd();
 }
 
 namespace {
@@ -341,6 +347,119 @@ bool TupleBatchMsg::Decode(std::string_view payload) {
     if (len > r.remaining()) return false;
     if (!r.Bytes(&e.bytes, len)) return false;
     entries.push_back(std::move(e));
+  }
+  return r.AtEnd();
+}
+
+namespace {
+
+void EncodeStr(WireWriter& w, const std::string& s) {
+  const size_t n = std::min(s.size(), kMaxTelemetryStrBytes);
+  w.U16(static_cast<uint16_t>(n));
+  w.Raw(std::string_view(s).substr(0, n));
+}
+
+bool DecodeStr(WireReader& r, std::string* out) {
+  uint16_t len = 0;
+  if (!r.U16(&len)) return false;
+  if (len > kMaxTelemetryStrBytes || len > r.remaining()) return false;
+  return r.Bytes(out, len);
+}
+
+}  // namespace
+
+std::string TelemetryMsg::Encode() const {
+  WireWriter w;
+  w.U8(version);
+  w.U32(pid);
+  w.U32(static_cast<uint32_t>(shard));
+  w.U32(batch_index);
+  w.U8(last);
+  w.U64(now_us);
+  w.U64(dropped);
+  w.U32(static_cast<uint32_t>(thread_names.size()));
+  for (const auto& [tid, name] : thread_names) {
+    w.U32(tid);
+    EncodeStr(w, name);
+  }
+  w.U32(static_cast<uint32_t>(metrics.size()));
+  for (const TelemetryMetric& m : metrics) {
+    EncodeStr(w, m.name);
+    w.U8(m.kind);
+    w.U64(m.value_bits);
+  }
+  w.U32(static_cast<uint32_t>(events.size()));
+  for (const TelemetryEvent& e : events) {
+    w.U8(e.kind);
+    w.U32(e.tid);
+    w.U64(e.ts_us);
+    w.U64(e.dur_us);
+    EncodeStr(w, e.name);
+    EncodeStr(w, e.cat);
+    EncodeStr(w, e.arg1_name);
+    w.U64(static_cast<uint64_t>(e.arg1));
+    EncodeStr(w, e.arg2_name);
+    w.U64(static_cast<uint64_t>(e.arg2));
+  }
+  return w.Take();
+}
+
+bool TelemetryMsg::Decode(std::string_view payload) {
+  WireReader r(payload);
+  uint32_t shard_u = 0, count = 0;
+  if (!r.U8(&version) || version != kTelemetryVersion) return false;
+  if (!r.U32(&pid) || !r.U32(&shard_u) || !r.U32(&batch_index) ||
+      !r.U8(&last) || !r.U64(&now_us) || !r.U64(&dropped)) {
+    return false;
+  }
+  shard = static_cast<int32_t>(shard_u);
+  // Thread names: at least 6 bytes each (tid + empty-string prefix). Reject
+  // counts the remaining payload cannot possibly hold before reserving.
+  if (!r.U32(&count)) return false;
+  if (count > kMaxTelemetryEntries) return false;
+  if (static_cast<uint64_t>(count) * 6 > r.remaining()) return false;
+  thread_names.clear();
+  thread_names.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t tid = 0;
+    std::string name;
+    if (!r.U32(&tid) || !DecodeStr(r, &name)) return false;
+    thread_names.emplace_back(tid, std::move(name));
+  }
+  // Metrics: at least 11 bytes each (name prefix + kind + value).
+  if (!r.U32(&count)) return false;
+  if (count > kMaxTelemetryEntries) return false;
+  if (static_cast<uint64_t>(count) * 11 > r.remaining()) return false;
+  metrics.clear();
+  metrics.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    TelemetryMetric m;
+    if (!DecodeStr(r, &m.name) || !r.U8(&m.kind) || !r.U64(&m.value_bits)) {
+      return false;
+    }
+    if (m.kind > 1) return false;
+    metrics.push_back(std::move(m));
+  }
+  // Events: at least 45 bytes each (fixed fields + four empty-string
+  // prefixes + two arg values).
+  if (!r.U32(&count)) return false;
+  if (count > kMaxTelemetryEntries) return false;
+  if (static_cast<uint64_t>(count) * 45 > r.remaining()) return false;
+  events.clear();
+  events.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    TelemetryEvent e;
+    uint64_t a1 = 0, a2 = 0;
+    if (!r.U8(&e.kind) || !r.U32(&e.tid) || !r.U64(&e.ts_us) ||
+        !r.U64(&e.dur_us) || !DecodeStr(r, &e.name) || !DecodeStr(r, &e.cat) ||
+        !DecodeStr(r, &e.arg1_name) || !r.U64(&a1) ||
+        !DecodeStr(r, &e.arg2_name) || !r.U64(&a2)) {
+      return false;
+    }
+    if (e.kind > 2) return false;
+    e.arg1 = static_cast<int64_t>(a1);
+    e.arg2 = static_cast<int64_t>(a2);
+    events.push_back(std::move(e));
   }
   return r.AtEnd();
 }

@@ -55,6 +55,8 @@ enum class MsgType : uint8_t {
   kShardStats = 11, ///< shard -> control: final shard-side counters
   kExchangeReq = 12,  ///< shard -> shard (data plane): pull remote read rows
   kTupleBatch = 13,   ///< data plane: one bounded batch of materialized rows
+  kTelemetryReq = 14, ///< control -> shard: drain spans + metrics snapshot
+  kTelemetry = 15,    ///< shard -> control: one bounded telemetry batch
 };
 
 std::string_view MsgTypeName(MsgType t);
@@ -171,6 +173,12 @@ struct HelloMsg {
 struct HelloAckMsg {
   int32_t shard_id = 0;
   int32_t num_shards = 0;
+  /// The shard's monotonic telemetry clock (TraceRecorder::NowUs) sampled
+  /// while building the ack. Back-compat tail — absent decodes as zero. The
+  /// coordinator timestamps the Hello round-trip on its own clock and uses
+  /// the midpoint to estimate the per-process clock offset that aligns
+  /// remote span timestamps in merged cluster traces.
+  uint64_t now_us = 0;
 
   std::string Encode() const;
   bool Decode(std::string_view payload);
@@ -296,6 +304,65 @@ struct TupleBatchMsg {
   uint32_t batch_index = 0;
   uint8_t last = 1;
   std::vector<TupleBatchEntry> entries;
+
+  std::string Encode() const;
+  bool Decode(std::string_view payload);
+};
+
+/// Version byte for telemetry payloads, independent of kWireVersion (same
+/// rationale as kExchangeVersion: the telemetry plane can evolve without
+/// invalidating the control protocol).
+inline constexpr uint8_t kTelemetryVersion = 1;
+/// Hard cap on any single string carried by a telemetry payload (span/metric
+/// names, thread names). Real names are tens of bytes; anything longer is
+/// hostile or corrupt and is rejected before allocation.
+inline constexpr size_t kMaxTelemetryStrBytes = 1024;
+/// Hard cap on entry counts in one telemetry batch, checked against the
+/// declared count before any reserve. The encoder chunks well below this.
+inline constexpr uint32_t kMaxTelemetryEntries = 1u << 16;
+
+/// One span/counter event drained from a shard's trace ring. `kind` mirrors
+/// obs TraceEventKind (0 = span, 1 = instant, 2 = counter). Up to two
+/// integer args ride along; an empty arg name means "absent".
+struct TelemetryEvent {
+  uint8_t kind = 0;
+  uint32_t tid = 0;
+  uint64_t ts_us = 0;
+  uint64_t dur_us = 0;
+  std::string name;
+  std::string cat;
+  std::string arg1_name;
+  int64_t arg1 = 0;
+  std::string arg2_name;
+  int64_t arg2 = 0;
+};
+
+/// One scalar metric series from a shard's registry snapshot. `kind` 0 is a
+/// counter (value_bits holds the u64 count), 1 is a gauge (value_bits holds
+/// the IEEE-754 bits of the double).
+struct TelemetryMetric {
+  std::string name;
+  uint8_t kind = 0;
+  uint64_t value_bits = 0;
+};
+
+/// shard -> control: one bounded batch of telemetry. A drain response is a
+/// stream of batches with increasing `batch_index`; `last` is set only on
+/// the final batch, which also carries the metrics snapshot and thread-name
+/// table. `now_us` is the sender's recorder clock at encode time and
+/// `dropped` its ring-overwrite loss counter, so the coordinator can report
+/// both staleness and loss per process.
+struct TelemetryMsg {
+  uint8_t version = kTelemetryVersion;
+  uint32_t pid = 0;
+  int32_t shard = -1;
+  uint32_t batch_index = 0;
+  uint8_t last = 1;
+  uint64_t now_us = 0;
+  uint64_t dropped = 0;
+  std::vector<std::pair<uint32_t, std::string>> thread_names;
+  std::vector<TelemetryMetric> metrics;
+  std::vector<TelemetryEvent> events;
 
   std::string Encode() const;
   bool Decode(std::string_view payload);

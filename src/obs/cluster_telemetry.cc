@@ -1,0 +1,117 @@
+#include "obs/cluster_telemetry.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+
+namespace jecb {
+
+ClusterTelemetry& ClusterTelemetry::Default() {
+  static ClusterTelemetry* instance = new ClusterTelemetry();
+  return *instance;
+}
+
+void ClusterTelemetry::Ingest(RemoteProcessTelemetry&& batch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RemoteProcessTelemetry& rec = by_pid_[batch.pid];
+  rec.pid = batch.pid;
+  if (batch.shard >= 0) rec.shard = batch.shard;
+  if (!batch.name.empty()) rec.name = std::move(batch.name);
+  rec.clock_offset_us = batch.clock_offset_us;
+  rec.dropped = std::max(rec.dropped, batch.dropped);
+  rec.last_now_us = std::max(rec.last_now_us, batch.last_now_us);
+  for (auto& tn : batch.thread_names) {
+    const bool known =
+        std::any_of(rec.thread_names.begin(), rec.thread_names.end(),
+                    [&](const auto& p) { return p.first == tn.first; });
+    if (!known) rec.thread_names.push_back(std::move(tn));
+  }
+  if (!batch.metrics.empty()) rec.metrics = std::move(batch.metrics);
+  rec.events.insert(rec.events.end(),
+                    std::make_move_iterator(batch.events.begin()),
+                    std::make_move_iterator(batch.events.end()));
+  if (rec.events.size() > kMaxEventsPerProcess) {
+    const size_t excess = rec.events.size() - kMaxEventsPerProcess;
+    rec.events.erase(rec.events.begin(),
+                     rec.events.begin() + static_cast<ptrdiff_t>(excess));
+    rec.dropped += excess;
+  }
+}
+
+std::vector<RemoteProcessTelemetry> ClusterTelemetry::Snapshot() const {
+  std::vector<RemoteProcessTelemetry> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.reserve(by_pid_.size());
+    for (const auto& [pid, rec] : by_pid_) out.push_back(rec);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const RemoteProcessTelemetry& a, const RemoteProcessTelemetry& b) {
+              if (a.shard != b.shard) return a.shard < b.shard;
+              return a.pid < b.pid;
+            });
+  return out;
+}
+
+size_t ClusterTelemetry::num_processes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return by_pid_.size();
+}
+
+size_t ClusterTelemetry::num_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t total = 0;
+  for (const auto& [pid, rec] : by_pid_) total += rec.events.size();
+  return total;
+}
+
+void ClusterTelemetry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  by_pid_.clear();
+}
+
+std::string ClusterTelemetry::RenderRemoteMetrics() const {
+  // Replay every remote snapshot into a scratch registry and let the
+  // existing renderer handle family grouping / formatting. Senders label
+  // their series with the shard, so names are cluster-unique.
+  MetricsRegistry scratch;
+  for (const RemoteProcessTelemetry& rec : Snapshot()) {
+    scratch.ImportScalars(rec.metrics);
+  }
+  return scratch.RenderPrometheus();
+}
+
+std::vector<ProcessTrace> ClusterTelemetry::BuildProcessTraces(
+    std::string_view local_name, const TraceRecorder& recorder) const {
+  std::vector<ProcessTrace> out;
+  ProcessTrace local;
+  local.pid = static_cast<int64_t>(getpid());
+  local.name = std::string(local_name);
+  local.clock_offset_us = 0;
+  local.thread_names = recorder.ThreadNames();
+  local.events = recorder.Collect();
+  out.push_back(std::move(local));
+  for (RemoteProcessTelemetry& rec : Snapshot()) {
+    ProcessTrace p;
+    p.pid = rec.pid;
+    p.name = rec.name.empty() ? "shard-" + std::to_string(rec.shard) : rec.name;
+    p.clock_offset_us = rec.clock_offset_us;
+    p.thread_names = std::move(rec.thread_names);
+    p.events = std::move(rec.events);
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+std::string ClusterTelemetry::RenderClusterTrace(
+    std::string_view local_name, const TraceRecorder& recorder) const {
+  return ClusterTraceJson(BuildProcessTraces(local_name, recorder));
+}
+
+bool ClusterTelemetry::WriteClusterTrace(const std::string& path,
+                                         std::string_view local_name,
+                                         const TraceRecorder& recorder) const {
+  return WriteTextFile(path, RenderClusterTrace(local_name, recorder));
+}
+
+}  // namespace jecb

@@ -1,0 +1,100 @@
+// Coordinator-side sink for telemetry harvested from shard child processes.
+//
+// Each forked ShardServer records spans and metrics into its own process's
+// TraceRecorder / MetricsRegistry; the transport drains them over the wire
+// (periodically and at shutdown) and feeds the decoded batches here as plain
+// data — this layer is deliberately wire-agnostic so src/obs keeps zero
+// dependencies (the TelemetryMsg <-> RemoteProcessTelemetry conversion lives
+// in src/dist/telemetry.h). The sink merges batches per pid, keeps the
+// clock-offset estimate from the Hello handshake, and can render:
+//   * one merged multi-process Chrome trace (ClusterTraceJson) where every
+//     remote timestamp is shifted into the coordinator's timebase, and
+//   * the remote Prometheus series (shard-labeled) for the live /metrics
+//     scrape endpoint, alongside the coordinator's own registry.
+//
+// Telemetry is observational only: nothing here feeds back into replay
+// control flow, so OutcomeSignature() is identical with harvesting on or
+// off.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics_registry.h"
+#include "obs/trace_export.h"
+#include "obs/trace_recorder.h"
+
+namespace jecb {
+
+/// Accumulated telemetry of one remote process. Event name/cat/arg-name
+/// pointers must be interned (TraceRecorder::Intern) by whoever builds the
+/// batch — they are borrowed, exactly like live TraceEvents.
+struct RemoteProcessTelemetry {
+  int64_t pid = 0;
+  int32_t shard = -1;
+  std::string name;  ///< process_name used in the merged trace
+  /// Remote recorder clock minus the coordinator recorder clock, estimated
+  /// from the Hello round-trip midpoint.
+  int64_t clock_offset_us = 0;
+  uint64_t dropped = 0;      ///< remote ring-overwrite losses
+  uint64_t last_now_us = 0;  ///< remote clock at the latest batch
+  std::vector<std::pair<uint32_t, std::string>> thread_names;
+  std::vector<MetricsRegistry::ScalarSample> metrics;  ///< latest snapshot
+  std::vector<CollectedEvent> events;
+};
+
+class ClusterTelemetry {
+ public:
+  /// Oldest events beyond this many per process are discarded at ingest, so
+  /// a long periodic-harvest run stays bounded (mirrors the ring-buffer
+  /// bound remote processes already have).
+  static constexpr size_t kMaxEventsPerProcess = 1 << 18;
+
+  ClusterTelemetry() = default;
+  ClusterTelemetry(const ClusterTelemetry&) = delete;
+  ClusterTelemetry& operator=(const ClusterTelemetry&) = delete;
+
+  /// The process-wide sink the socket transport feeds.
+  static ClusterTelemetry& Default();
+
+  /// Merges one decoded batch into the per-pid record: events append,
+  /// a non-empty metrics snapshot replaces the previous one, thread names
+  /// union, clock offset / staleness update.
+  void Ingest(RemoteProcessTelemetry&& batch);
+
+  /// Copies of every remote process record, sorted by (shard, pid).
+  std::vector<RemoteProcessTelemetry> Snapshot() const;
+  size_t num_processes() const;
+  /// Total remote events currently buffered (tests / capacity checks).
+  size_t num_events() const;
+  void Reset();
+
+  /// Prometheus text exposition of the latest remote metric snapshots
+  /// (already shard-labeled by the sender). Concatenate after the local
+  /// registry's RenderPrometheus() for the full cluster view.
+  std::string RenderRemoteMetrics() const;
+
+  /// The merged cluster trace: one process track for the calling process
+  /// (its live recorder) plus one per remote process, timestamps aligned to
+  /// the local timebase.
+  std::vector<ProcessTrace> BuildProcessTraces(
+      std::string_view local_name = "coordinator",
+      const TraceRecorder& recorder = TraceRecorder::Default()) const;
+  std::string RenderClusterTrace(
+      std::string_view local_name = "coordinator",
+      const TraceRecorder& recorder = TraceRecorder::Default()) const;
+  bool WriteClusterTrace(
+      const std::string& path, std::string_view local_name = "coordinator",
+      const TraceRecorder& recorder = TraceRecorder::Default()) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<int64_t, RemoteProcessTelemetry> by_pid_;
+};
+
+}  // namespace jecb

@@ -1,0 +1,131 @@
+#include "obs/flight_recorder.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+#include "obs/metrics_registry.h"
+#include "obs/trace_export.h"
+#include "obs/trace_recorder.h"
+
+namespace jecb {
+
+namespace {
+
+std::mutex g_mu;
+std::string g_path;
+int32_t g_shard = -1;
+
+/// Parses the integer following `key` inside `obj`.
+bool FindInt(std::string_view obj, std::string_view key, int64_t* out) {
+  size_t at = obj.find(key);
+  if (at == std::string_view::npos) return false;
+  at += key.size();
+  while (at < obj.size() && (obj[at] == ' ' || obj[at] == ':')) ++at;
+  bool neg = false;
+  if (at < obj.size() && obj[at] == '-') {
+    neg = true;
+    ++at;
+  }
+  if (at >= obj.size() || obj[at] < '0' || obj[at] > '9') return false;
+  int64_t v = 0;
+  while (at < obj.size() && obj[at] >= '0' && obj[at] <= '9') {
+    v = v * 10 + (obj[at] - '0');
+    ++at;
+  }
+  *out = neg ? -v : v;
+  return true;
+}
+
+bool FindString(std::string_view obj, std::string_view key, std::string* out) {
+  size_t at = obj.find(key);
+  if (at == std::string_view::npos) return false;
+  at = obj.find('"', at + key.size());
+  if (at == std::string_view::npos) return false;
+  ++at;
+  out->clear();
+  while (at < obj.size() && obj[at] != '"') {
+    if (obj[at] == '\\' && at + 1 < obj.size()) ++at;
+    *out += obj[at++];
+  }
+  return at < obj.size();
+}
+
+}  // namespace
+
+void ConfigureFlightRecorder(std::string path, int32_t shard) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  g_path = std::move(path);
+  g_shard = shard;
+}
+
+bool FlightRecorderConfigured() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  return !g_path.empty();
+}
+
+std::string FlightRecorderPath() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  return g_path;
+}
+
+bool DumpFlightRecorder(std::string_view reason) {
+  std::string path;
+  int32_t shard;
+  {
+    std::lock_guard<std::mutex> lock(g_mu);
+    if (g_path.empty()) return false;
+    path = g_path;
+    shard = g_shard;
+  }
+  const TraceRecorder& rec = TraceRecorder::Default();
+
+  ProcessTrace p;
+  p.pid = static_cast<int64_t>(getpid());
+  p.name = "shard-" + std::to_string(shard) + " (postmortem)";
+  p.thread_names = rec.ThreadNames();
+  p.events = rec.Collect();
+
+  std::string head = "{\"postmortem\":{\"pid\":" + std::to_string(p.pid) +
+                     ",\"shard\":" + std::to_string(shard) + ",\"reason\":\"" +
+                     JsonEscape(reason) +
+                     "\",\"dropped\":" + std::to_string(rec.dropped()) +
+                     ",\"now_us\":" + std::to_string(rec.NowUs()) +
+                     "},\n\"metrics\":\"" +
+                     JsonEscape(MetricsRegistry::Default().RenderPrometheus()) +
+                     "\",\n";
+  // ClusterTraceJson renders a complete {"traceEvents":...} object; splice
+  // its body after our extra keys so the dump stays one JSON document that
+  // both Perfetto and ParseChromeTrace accept.
+  std::vector<ProcessTrace> procs;
+  procs.push_back(std::move(p));
+  std::string trace = ClusterTraceJson(procs);
+  head += std::string_view(trace).substr(1);
+
+  const std::string tmp = path + ".tmp";
+  if (!WriteTextFile(tmp, head)) return false;
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+bool ParsePostmortemHeader(std::string_view json, PostmortemHeader* out) {
+  size_t at = json.find("\"postmortem\"");
+  if (at == std::string_view::npos) return false;
+  at = json.find('{', at);
+  if (at == std::string_view::npos) return false;
+  size_t end = json.find('}', at);
+  if (end == std::string_view::npos) return false;
+  std::string_view obj = json.substr(at, end - at + 1);
+  int64_t v = 0;
+  if (!FindInt(obj, "\"pid\"", &v)) return false;
+  out->pid = v;
+  if (!FindInt(obj, "\"shard\"", &v)) return false;
+  out->shard = static_cast<int32_t>(v);
+  if (!FindString(obj, "\"reason\"", &out->reason)) return false;
+  if (FindInt(obj, "\"dropped\"", &v)) out->dropped = static_cast<uint64_t>(v);
+  if (FindInt(obj, "\"now_us\"", &v)) out->now_us = static_cast<uint64_t>(v);
+  return true;
+}
+
+}  // namespace jecb

@@ -1,0 +1,52 @@
+// Postmortem flight recorder: when a shard child dies abnormally (SIGTERM
+// from the reap ladder, an injected crash, a transport panic), whatever its
+// trace ring and metrics registry held at that moment is the only evidence
+// of what it was doing. Configure() points the process at a per-shard dump
+// file; Dump() writes the recent-span ring plus a metrics snapshot there as
+// a Chrome-trace-compatible JSON document with extra top-level keys:
+//
+//   {"postmortem":{"pid":..,"shard":..,"reason":"..","dropped":..,
+//                  "now_us":..},
+//    "metrics":"<Prometheus text>",
+//    "traceEvents":[...], "displayTimeUnit":"ms"}
+//
+// ParseChromeTrace skips unknown keys, so the dump loads in Perfetto AND
+// round-trips through the in-repo parser; ParsePostmortemHeader recovers
+// the extra fields. Dumps are written to a temp file and renamed into
+// place, so a reader that sees the file sees a complete document.
+//
+// Dump() is called from normal (post-event-loop / pre-abort) context, never
+// from a signal handler — the SIGTERM path relies on the runtime's stop
+// flag, which the existing handler already sets.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace jecb {
+
+/// Arms the flight recorder: dumps go to `path`. Call once in the child
+/// after fork. An empty path disarms.
+void ConfigureFlightRecorder(std::string path, int32_t shard);
+bool FlightRecorderConfigured();
+std::string FlightRecorderPath();
+
+/// Writes the dump (ring + metrics + reason). Returns false when disarmed
+/// or on I/O failure. Safe to call more than once; the last dump wins.
+bool DumpFlightRecorder(std::string_view reason);
+
+/// Fields recovered from a dump's "postmortem" header.
+struct PostmortemHeader {
+  int64_t pid = 0;
+  int32_t shard = -1;
+  std::string reason;
+  uint64_t dropped = 0;
+  uint64_t now_us = 0;
+};
+
+/// Parses the "postmortem" object out of a dump document. Returns false if
+/// the key is missing or malformed.
+bool ParsePostmortemHeader(std::string_view json, PostmortemHeader* out);
+
+}  // namespace jecb

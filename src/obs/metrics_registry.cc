@@ -132,6 +132,39 @@ LatencyHistogram& MetricsRegistry::Histogram(std::string_view name,
   return *e.histogram;
 }
 
+std::vector<MetricsRegistry::ScalarSample> MetricsRegistry::SnapshotScalars() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ScalarSample> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) {
+    ScalarSample s;
+    s.name = name;
+    switch (entry.kind) {
+      case Kind::kCounter:
+        s.count = entry.counter->load(std::memory_order_relaxed);
+        break;
+      case Kind::kGauge:
+        s.is_gauge = true;
+        s.value = entry.gauge->load(std::memory_order_relaxed);
+        break;
+      case Kind::kHistogram:
+        continue;
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+void MetricsRegistry::ImportScalars(const std::vector<ScalarSample>& samples) {
+  for (const ScalarSample& s : samples) {
+    if (s.is_gauge) {
+      Gauge(s.name).store(s.value, std::memory_order_relaxed);
+    } else {
+      Counter(s.name).store(s.count, std::memory_order_relaxed);
+    }
+  }
+}
+
 size_t MetricsRegistry::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return entries_.size();

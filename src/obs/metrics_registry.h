@@ -17,6 +17,7 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "obs/histogram.h"
 
@@ -55,6 +56,20 @@ class MetricsRegistry {
   /// `_sum` and `_count`.
   std::string RenderPrometheus() const;
   bool WritePrometheus(const std::string& path) const;
+
+  /// One scalar series as captured by SnapshotScalars.
+  struct ScalarSample {
+    std::string name;
+    bool is_gauge = false;
+    uint64_t count = 0;  ///< counters
+    double value = 0.0;  ///< gauges
+  };
+  /// Quiesced snapshot of every counter and gauge, sorted by name.
+  /// Histograms are skipped (they don't ship over the telemetry wire).
+  std::vector<ScalarSample> SnapshotScalars() const;
+  /// Replays a snapshot into this registry (counter stores, gauge stores) —
+  /// used to rebuild a shard's series on the coordinator side.
+  void ImportScalars(const std::vector<ScalarSample>& samples);
 
   size_t size() const;
   void Reset();

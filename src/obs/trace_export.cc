@@ -79,32 +79,74 @@ void AppendArgs(std::string* out, const TraceEvent& e) {
   *out += '}';
 }
 
+void AppendEvent(std::string* out, int64_t pid, uint32_t tid, const TraceEvent& e,
+                 uint64_t ts_us) {
+  *out += "{\"pid\":" + std::to_string(pid) + ",\"tid\":" + std::to_string(tid) +
+          ",\"name\":";
+  AppendQuoted(out, e.name == nullptr ? "?" : e.name);
+  *out += ",\"cat\":";
+  AppendQuoted(out, e.cat == nullptr ? "-" : e.cat);
+  *out += ",\"ts\":" + std::to_string(ts_us);
+  switch (e.kind) {
+    case TraceEventKind::kSpan:
+      *out += ",\"ph\":\"X\",\"dur\":" + std::to_string(e.dur_us);
+      break;
+    case TraceEventKind::kInstant:
+      *out += ",\"ph\":\"i\",\"s\":\"t\"";
+      break;
+    case TraceEventKind::kCounter:
+      *out += ",\"ph\":\"C\"";
+      break;
+  }
+  AppendArgs(out, e);
+  *out += '}';
+}
+
+void AppendMetadata(std::string* out, int64_t pid, uint32_t tid, const char* what,
+                    std::string_view name) {
+  *out += "{\"pid\":" + std::to_string(pid) + ",\"tid\":" + std::to_string(tid) +
+          ",\"ph\":\"M\",\"ts\":0,\"name\":\"" + what + "\",\"args\":{\"name\":";
+  AppendQuoted(out, name);
+  *out += "}}";
+}
+
 }  // namespace
 
 std::string ChromeTraceJson(const std::vector<CollectedEvent>& events) {
   std::string out = "{\"traceEvents\":[\n";
   for (size_t i = 0; i < events.size(); ++i) {
-    const TraceEvent& e = events[i].event;
-    out += "{\"pid\":0,\"tid\":" + std::to_string(events[i].tid) + ",\"name\":";
-    AppendQuoted(&out, e.name == nullptr ? "?" : e.name);
-    out += ",\"cat\":";
-    AppendQuoted(&out, e.cat == nullptr ? "-" : e.cat);
-    out += ",\"ts\":" + std::to_string(e.ts_us);
-    switch (e.kind) {
-      case TraceEventKind::kSpan:
-        out += ",\"ph\":\"X\",\"dur\":" + std::to_string(e.dur_us);
-        break;
-      case TraceEventKind::kInstant:
-        out += ",\"ph\":\"i\",\"s\":\"t\"";
-        break;
-      case TraceEventKind::kCounter:
-        out += ",\"ph\":\"C\"";
-        break;
-    }
-    AppendArgs(&out, e);
-    out += i + 1 < events.size() ? "},\n" : "}\n";
+    AppendEvent(&out, 0, events[i].tid, events[i].event, events[i].event.ts_us);
+    out += i + 1 < events.size() ? ",\n" : "\n";
   }
   out += "],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+std::string ClusterTraceJson(const std::vector<ProcessTrace>& processes) {
+  std::string out = "{\"traceEvents\":[\n";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) out += ",\n";
+    first = false;
+  };
+  for (const ProcessTrace& p : processes) {
+    if (!p.name.empty()) {
+      sep();
+      AppendMetadata(&out, p.pid, 0, "process_name", p.name);
+    }
+    for (const auto& [tid, name] : p.thread_names) {
+      sep();
+      AppendMetadata(&out, p.pid, tid, "thread_name", name);
+    }
+    for (const CollectedEvent& ce : p.events) {
+      const int64_t shifted =
+          static_cast<int64_t>(ce.event.ts_us) - p.clock_offset_us;
+      sep();
+      AppendEvent(&out, p.pid, ce.tid, ce.event,
+                  shifted < 0 ? 0 : static_cast<uint64_t>(shifted));
+    }
+  }
+  out += first ? "],\"displayTimeUnit\":\"ms\"}\n" : "\n],\"displayTimeUnit\":\"ms\"}\n";
   return out;
 }
 
@@ -281,6 +323,10 @@ bool ParseEventObject(JsonCursor* cur, ChromeTraceEvent* event) {
             double value = 0.0;
             if (!cur->ParseNumber(&value)) return false;
             event->args.emplace_back(std::move(arg_name), value);
+          } else if (cur->Peek() == '"') {
+            std::string value;
+            if (!cur->ParseString(&value)) return false;
+            event->sargs.emplace_back(std::move(arg_name), std::move(value));
           } else if (!cur->SkipValue()) {
             return false;
           }

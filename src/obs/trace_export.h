@@ -30,6 +30,26 @@ bool WriteTextFile(const std::string& path, std::string_view content);
 /// self-contained Chrome trace JSON object.
 std::string ChromeTraceJson(const std::vector<CollectedEvent>& events);
 
+/// One process track of a merged cluster trace: the events of one OS
+/// process, plus the metadata Perfetto uses to label its track.
+struct ProcessTrace {
+  int64_t pid = 0;
+  std::string name;  ///< Perfetto process_name ("coordinator", "shard-2", ...)
+  /// This process's recorder clock minus the reference (coordinator) clock,
+  /// as estimated from the Hello handshake round-trip. Subtracted from every
+  /// event timestamp at export so all tracks share one timebase.
+  int64_t clock_offset_us = 0;
+  std::vector<std::pair<uint32_t, std::string>> thread_names;
+  std::vector<CollectedEvent> events;
+};
+
+/// Renders a merged multi-process Chrome trace: one process track per
+/// ProcessTrace (real pids, "M" process_name/thread_name metadata) with
+/// every event timestamp shifted into the reference timebase via
+/// clock_offset_us (clamped at zero). Loadable in Perfetto; spans carrying a
+/// "txn" arg correlate across tracks.
+std::string ClusterTraceJson(const std::vector<ProcessTrace>& processes);
+
 /// One event read back from a Chrome trace file. Only the fields the
 /// exporter writes are parsed; arg values must be numbers (others are
 /// skipped).
@@ -42,6 +62,8 @@ struct ChromeTraceEvent {
   int64_t pid = 0;
   int64_t tid = 0;
   std::vector<std::pair<std::string, double>> args;
+  /// String-valued args (e.g. the "name" of "M" metadata events).
+  std::vector<std::pair<std::string, std::string>> sargs;
 };
 
 /// Parses a Chrome trace JSON document (either {"traceEvents":[...]} or a

@@ -38,6 +38,7 @@ struct TraceRecorder::ThreadBuffer {
 
   const uint32_t tid;
   std::atomic<uint64_t> count{0};  ///< total events ever pushed
+  uint64_t drained = 0;  ///< Drain() watermark; guarded by the recorder's mu_
   std::vector<TraceEvent> slots;
 };
 
@@ -164,6 +165,43 @@ std::vector<CollectedEvent> TraceRecorder::Collect() const {
   return out;
 }
 
+std::vector<CollectedEvent> TraceRecorder::Drain() {
+  std::vector<CollectedEvent> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& buffer : buffers_) {
+    const uint64_t n = buffer->count.load(std::memory_order_acquire);
+    const uint64_t capacity = buffer->slots.size();
+    const uint64_t oldest = n - std::min(n, capacity);
+    for (uint64_t i = std::max(buffer->drained, oldest); i < n; ++i) {
+      CollectedEvent ce;
+      ce.event = buffer->slots[i % capacity];
+      ce.tid = buffer->tid;
+      ce.seq = i;
+      out.push_back(ce);
+    }
+    buffer->drained = n;
+  }
+  std::sort(out.begin(), out.end(),
+            [](const CollectedEvent& a, const CollectedEvent& b) {
+              if (a.event.ts_us != b.event.ts_us) return a.event.ts_us < b.event.ts_us;
+              if (a.tid != b.tid) return a.tid < b.tid;
+              return a.seq < b.seq;
+            });
+  return out;
+}
+
+void TraceRecorder::SetThreadName(std::string_view name) {
+  if (!kObsCompiledIn) return;
+  ThreadBuffer* buffer = BufferForThisThread();
+  std::lock_guard<std::mutex> lock(mu_);
+  thread_names_[buffer->tid] = std::string(name);
+}
+
+std::vector<std::pair<uint32_t, std::string>> TraceRecorder::ThreadNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {thread_names_.begin(), thread_names_.end()};
+}
+
 uint64_t TraceRecorder::dropped() const {
   uint64_t total = 0;
   std::lock_guard<std::mutex> lock(mu_);
@@ -185,6 +223,7 @@ void TraceRecorder::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
   buffers_.clear();
   by_thread_.clear();
+  thread_names_.clear();
   generation_.fetch_add(1, std::memory_order_release);
 }
 

@@ -136,6 +136,20 @@ class TraceRecorder {
 
   /// Snapshot of every thread's surviving events, sorted by (ts, tid, seq).
   std::vector<CollectedEvent> Collect() const;
+  /// Incremental collection for telemetry shipping: returns every surviving
+  /// event not returned by a previous Drain() call (per-buffer watermark),
+  /// sorted like Collect(). Events are delivered at most once across drains;
+  /// ring overwrites between drains are lost and show up in dropped().
+  /// Drain() does not erase the ring, so a later Collect() — e.g. a
+  /// postmortem dump — still sees the full surviving window. Same quiescence
+  /// caveats as Collect().
+  std::vector<CollectedEvent> Drain();
+  /// Names the calling thread's buffer for trace export (Perfetto
+  /// thread_name metadata). Creates the buffer if needed; cheap, call once
+  /// per thread. No-op when compiled out.
+  void SetThreadName(std::string_view name);
+  /// tid -> name pairs registered via SetThreadName, unsorted.
+  std::vector<std::pair<uint32_t, std::string>> ThreadNames() const;
   /// Events lost to ring wraparound so far.
   uint64_t dropped() const;
   size_t num_thread_buffers() const;
@@ -162,6 +176,7 @@ class TraceRecorder {
   size_t events_per_thread_ = kDefaultEventsPerThread;
   std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
   std::unordered_map<std::thread::id, ThreadBuffer*> by_thread_;
+  std::unordered_map<uint32_t, std::string> thread_names_;  ///< guarded by mu_
   mutable std::mutex intern_mu_;
   std::unordered_set<std::string> interned_;  ///< node-based: stable c_str()
 };

@@ -24,6 +24,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/metrics_registry.h"
 #include "partition/join_path.h"
 #include "storage/database.h"
 
@@ -174,6 +175,17 @@ class JoinPathResolver {
   explicit JoinPathResolver(const Database* db, bool hop_cache = true)
       : db_(db), hop_cache_(hop_cache) {}
 
+  /// Flushes the FK-hop memo tallies once per resolver lifetime (one class
+  /// partitioning), so the hot loop pays two local increments, never a
+  /// registry lookup.
+  ~JoinPathResolver() {
+    if (fk_hop_hits_ != 0 || fk_hop_misses_ != 0) {
+      MetricsRegistry& m = MetricsRegistry::Default();
+      m.AddCounter("jecb_fk_hop_memo_hits_total", fk_hop_hits_);
+      m.AddCounter("jecb_fk_hop_memo_misses_total", fk_hop_misses_);
+    }
+  }
+
   JoinPathResolver(const JoinPathResolver&) = delete;
   JoinPathResolver& operator=(const JoinPathResolver&) = delete;
 
@@ -232,7 +244,11 @@ class JoinPathResolver {
     }
     FkRowCache& cache = fk_caches_[idx];
     RowId out = FkRowCache::kDangling;
-    if (cache.Find(row, &out)) return out;
+    if (cache.Find(row, &out)) {
+      ++fk_hop_hits_;
+      return out;
+    }
+    ++fk_hop_misses_;
     const ForeignKey& fk = db_->schema().foreign_keys()[idx];
     Result<TupleId> r = db_->FollowForeignKey(fk, TupleId{fk.table, row});
     out = r.ok() ? r.value().row : FkRowCache::kDangling;
@@ -266,6 +282,8 @@ class JoinPathResolver {
   std::vector<uint64_t> sigs_;
   std::vector<std::unique_ptr<PathCache>> caches_;
   std::vector<FkRowCache> fk_caches_;  // indexed by FkIdx, built on demand
+  uint64_t fk_hop_hits_ = 0;    // flushed to the registry by the destructor
+  uint64_t fk_hop_misses_ = 0;
 };
 
 }  // namespace jecb

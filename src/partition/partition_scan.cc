@@ -331,7 +331,15 @@ EvalResult ScanPartitionRange(const TraceView& view, std::span<const int32_t> pa
   const int32_t* p = part.data();
   ScanStats stats;
   EvalResult out;
-  switch (ResolveScanKernel(kernel)) {
+  const ScanKernel resolved = ResolveScanKernel(kernel);
+  // One labeled tick per dispatched range: makes the kernel the search
+  // actually ran (auto-detection, env override, clamping) visible in
+  // /metrics without guessing from build flags.
+  std::string dispatch_series = "jecb_scan_dispatch_total{kernel=\"";
+  dispatch_series += ScanKernelName(resolved);
+  dispatch_series += "\"}";
+  MetricsRegistry::Default().AddCounter(dispatch_series, 1);
+  switch (resolved) {
 #if JECB_SCAN_X86
     case ScanKernel::kAvx2:
       out = ScanRangeImpl(

@@ -87,6 +87,27 @@ struct RuntimeOptions {
   /// count, and sampling never alters execution (OutcomeSignature is
   /// unchanged). 1.0 traces everything; 0.0 only the replay-level spans.
   double trace_sample_rate = 1.0;
+  /// Socket backends: harvest each shard child's span ring + metrics
+  /// snapshot over the wire (kTelemetryReq/kTelemetry) into the
+  /// coordinator's ClusterTelemetry sink. The shutdown-time harvest always
+  /// runs when this is on; a non-zero telemetry_period_ms additionally
+  /// polls live during the replay. Telemetry rides out-of-band on its own
+  /// control connections and never touches outcome counters, so
+  /// OutcomeSignature() is identical with it on or off.
+  bool telemetry_harvest = true;
+  /// Live-harvest period in milliseconds; 0 = shutdown-only.
+  uint32_t telemetry_period_ms = 0;
+  /// Directory for per-shard postmortem flight-recorder dumps; empty picks
+  /// a fresh private directory under $TMPDIR. Unlike socket_dir, the
+  /// directory survives Drain() whenever a dump was written — the dump path
+  /// is surfaced through ReplayReport::shard_exits.
+  std::string postmortem_dir;
+  /// Test knob: this shard ignores kShutdown, forcing the reap ladder to
+  /// SIGTERM it — exercising the flight recorder's signal path. -1 = off.
+  int32_t debug_wedge_shard = -1;
+  /// Test knob: this shard dumps its flight recorder and _Exit(3)s on
+  /// kShutdown — a reproducible abnormal exit. -1 = off.
+  int32_t debug_crash_on_shutdown_shard = -1;
 };
 
 /// Deterministic per-txn trace-sampling decision; thread-count independent

@@ -13,12 +13,23 @@
 // join at shutdown — so the whole protocol stays sanitizer-clean.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "dist/metrics_http.h"
 #include "dist/replay.h"
 #include "dist/transport.h"
 #include "net/wire.h"
+#include "obs/cluster_telemetry.h"
+#include "obs/flight_recorder.h"
+#include "obs/trace_export.h"
+#include "obs/trace_recorder.h"
 #include "partition/evaluator.h"
 #include "workloads/tpcc.h"
 
@@ -388,6 +399,213 @@ TEST(DistRuntimeTest, ShardExitStatusesAreRecordedAndClean) {
       RunReplay(b, solution, TransportKind::kInProcess, 2, {}, "inproc-exits");
   EXPECT_TRUE(inproc.shard_exits.empty());
   EXPECT_EQ(inproc.abnormal_shard_exits(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Distributed telemetry, merged cluster traces, and the flight recorder
+
+TEST(DistTelemetryTest, ShutdownHarvestBuildsMergedClusterTrace) {
+  WorkloadBundle b = SmallTpcc();
+  DatabaseSolution solution = MixedSolution(*b.db, 4);
+  ClusterTelemetry::Default().Reset();
+  TraceRecorder& rec = TraceRecorder::Default();
+  rec.Reset();
+  rec.Enable();
+  rec.SetThreadName("coordinator/main");
+
+  ReplayReport r = RunReplay(b, solution, TransportKind::kUnixSocket, 4, {},
+                             "unix-cluster-trace");
+  EXPECT_EQ(r.abnormal_shard_exits(), 0u);
+  // The shutdown harvest delivered one telemetry record per shard child.
+  EXPECT_EQ(ClusterTelemetry::Default().num_processes(), 4u);
+
+  std::string json = ClusterTelemetry::Default().RenderClusterTrace();
+  rec.Reset();
+  ClusterTelemetry::Default().Reset();
+
+  std::vector<ChromeTraceEvent> events;
+  std::string error;
+  ASSERT_TRUE(ParseChromeTrace(json, &events, &error)) << error;
+
+  std::map<int64_t, std::string> process_names;
+  std::set<int64_t> span_pids;
+  std::set<int64_t> txn_pids;  // pids contributing txn-correlated spans
+  for (const ChromeTraceEvent& e : events) {
+    if (e.ph == "M" && e.name == "process_name") {
+      for (const auto& [k, v] : e.sargs) {
+        if (k == "name") process_names[e.pid] = v;
+      }
+    } else if (e.ph == "X") {
+      span_pids.insert(e.pid);
+      for (const auto& [k, v] : e.args) {
+        if (k == "txn") txn_pids.insert(e.pid);
+      }
+    }
+  }
+  // One labeled track per process: the coordinator plus all 4 shard children.
+  ASSERT_EQ(process_names.size(), 5u);
+  size_t shard_tracks = 0;
+  bool has_coordinator = false;
+  for (const auto& [pid, name] : process_names) {
+    if (name == "coordinator") has_coordinator = true;
+    if (name.rfind("shard-", 0) == 0) ++shard_tracks;
+  }
+  EXPECT_TRUE(has_coordinator);
+  EXPECT_EQ(shard_tracks, 4u);
+
+  if (kObsCompiledIn) {
+    // The acceptance bar: actual spans from the coordinator AND every shard
+    // child in one loadable document, correlated by txn id across tracks.
+    EXPECT_EQ(span_pids.size(), 5u);
+    EXPECT_GE(txn_pids.size(), 5u);
+  } else {
+    EXPECT_TRUE(span_pids.empty());
+  }
+}
+
+TEST(DistTelemetryTest, TelemetryOnOffAndLivePollingKeepSignature) {
+  WorkloadBundle b = SmallTpcc(200);
+  DatabaseSolution solution = MixedSolution(*b.db, 4);
+  const FaultPlan faults = CoordinationFaults();
+
+  // The full acceptance matrix: inproc/unix/tcp at 1/4/8 clients, with the
+  // shutdown harvest on (the default), off, and an aggressive live poller.
+  // Outcomes are a pure function of (seed, txn id, attempt), so every cell
+  // must land on the same signature as the 1-client in-process reference.
+  RuntimeOptions base = FastOptions(TransportKind::kInProcess, 1);
+  base.faults = faults;
+  ASSERT_TRUE(base.telemetry_harvest);  // harvest-at-shutdown is the default
+  const uint64_t ref =
+      Replay(*b.db, solution, b.trace, base, "inproc-tel-ref").OutcomeSignature();
+
+  for (TransportKind t : {TransportKind::kInProcess, TransportKind::kUnixSocket,
+                          TransportKind::kTcpSocket}) {
+    for (int clients : {1, 4, 8}) {
+      for (int mode = 0; mode < 3; ++mode) {
+        // Socket-only telemetry modes are no-ops in-process; one inproc pass
+        // per client count is enough.
+        if (t == TransportKind::kInProcess && mode > 0) continue;
+        RuntimeOptions opt = FastOptions(t, clients);
+        opt.faults = faults;
+        if (mode == 1) opt.telemetry_harvest = false;
+        if (mode == 2) opt.telemetry_period_ms = 5;  // live poll during replay
+        const std::string label = std::string(TransportKindName(t)) + "-c" +
+                                  std::to_string(clients) + "-m" +
+                                  std::to_string(mode);
+        ReplayReport r = Replay(*b.db, solution, b.trace, opt, label);
+        EXPECT_EQ(r.OutcomeSignature(), ref) << label;
+      }
+    }
+  }
+}
+
+TEST(DistTelemetryTest, InjectedCrashLeavesParseablePostmortem) {
+  WorkloadBundle b = SmallTpcc(150);
+  DatabaseSolution solution = MixedSolution(*b.db, 2);
+  ReplayReport ref =
+      RunReplay(b, solution, TransportKind::kInProcess, 2, {}, "inproc-crash-ref");
+
+  RuntimeOptions opt = FastOptions(TransportKind::kUnixSocket, 2);
+  opt.debug_crash_on_shutdown_shard = 1;
+  ReplayReport r = Replay(*b.db, solution, b.trace, opt, "unix-crash");
+
+  // The crash fires at shutdown, after the workload — outcomes are intact,
+  // the exit record is not.
+  EXPECT_EQ(r.OutcomeSignature(), ref.OutcomeSignature());
+  EXPECT_GT(r.abnormal_shard_exits(), 0u);
+  ASSERT_EQ(r.shard_exits.size(), 2u);
+  const ShardExitStatus& crashed = r.shard_exits[1];
+  EXPECT_FALSE(crashed.clean());
+  EXPECT_EQ(crashed.exit_code, 3);
+  ASSERT_FALSE(crashed.postmortem_path.empty());
+  // The healthy shard shut down normally and left no dump.
+  EXPECT_TRUE(r.shard_exits[0].clean());
+  EXPECT_TRUE(r.shard_exits[0].postmortem_path.empty());
+  // The report surfaces the path.
+  EXPECT_NE(r.ToJson().find("\"postmortem\":"), std::string::npos);
+
+  std::ifstream in(crashed.postmortem_path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << crashed.postmortem_path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string doc = buf.str();
+
+  std::vector<ChromeTraceEvent> events;
+  std::string error;
+  EXPECT_TRUE(ParseChromeTrace(doc, &events, &error)) << error;
+  PostmortemHeader header;
+  ASSERT_TRUE(ParsePostmortemHeader(doc, &header));
+  EXPECT_EQ(header.shard, 1);
+  EXPECT_EQ(header.reason, "injected-crash");
+  EXPECT_GT(header.pid, 0);
+
+  std::remove(crashed.postmortem_path.c_str());
+}
+
+TEST(DistTelemetryTest, WedgedShardIsTermedAndLeavesSigtermPostmortem) {
+  WorkloadBundle b = SmallTpcc(100);
+  DatabaseSolution solution = MixedSolution(*b.db, 2);
+  RuntimeOptions opt = FastOptions(TransportKind::kUnixSocket, 2);
+  opt.debug_wedge_shard = 0;  // ignores kShutdown; reap ladder must SIGTERM
+  ReplayReport r = Replay(*b.db, solution, b.trace, opt, "unix-wedge");
+
+  ASSERT_EQ(r.shard_exits.size(), 2u);
+  const ShardExitStatus& wedged = r.shard_exits[0];
+  EXPECT_TRUE(wedged.forced_term);
+  EXPECT_FALSE(wedged.forced_kill);  // SIGTERM sufficed: dump, then exit
+  ASSERT_FALSE(wedged.postmortem_path.empty());
+
+  std::ifstream in(wedged.postmortem_path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << wedged.postmortem_path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  PostmortemHeader header;
+  ASSERT_TRUE(ParsePostmortemHeader(buf.str(), &header));
+  EXPECT_EQ(header.shard, 0);
+  EXPECT_EQ(header.reason, "sigterm");
+
+  std::remove(wedged.postmortem_path.c_str());
+}
+
+TEST(DistTelemetryTest, LiveMetricsEndpointServesClusterSeriesMidReplay) {
+  WorkloadBundle b = SmallTpcc(200);
+  DatabaseSolution solution = MixedSolution(*b.db, 2);
+  ClusterTelemetry::Default().Reset();
+
+  dist::MetricsHttpServer server;
+  ASSERT_TRUE(server.Start(0).ok());
+  ASSERT_GT(server.port(), 0);
+
+  // Scrape WHILE the replay runs (the poller feeds shard snapshots in), and
+  // again after shutdown when the final harvest has landed.
+  std::string mid_body;
+  bool mid_ok = false;
+  std::thread scraper([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    Result<std::string> res = dist::ScrapeMetricsOnce(server.port());
+    mid_ok = res.ok();
+    if (res.ok()) mid_body = std::move(res).value();
+  });
+  RuntimeOptions opt = FastOptions(TransportKind::kUnixSocket, 2);
+  opt.telemetry_period_ms = 10;
+  ReplayReport r = Replay(*b.db, solution, b.trace, opt, "unix-live-scrape");
+  scraper.join();
+  EXPECT_EQ(r.abnormal_shard_exits(), 0u);
+  EXPECT_TRUE(mid_ok);
+
+  Result<std::string> final_scrape = dist::ScrapeMetricsOnce(server.port());
+  ASSERT_TRUE(final_scrape.ok());
+  // After the shutdown harvest, the aggregated body carries shard-labeled
+  // series rebuilt from the children's registries.
+  EXPECT_NE(final_scrape.value().find(
+                "jecb_shard_executed_local_total{shard=\"0\"}"),
+            std::string::npos);
+  EXPECT_NE(final_scrape.value().find(
+                "jecb_shard_executed_local_total{shard=\"1\"}"),
+            std::string::npos);
+  server.Stop();
+  EXPECT_FALSE(dist::ScrapeMetricsOnce(server.port()).ok());
+  ClusterTelemetry::Default().Reset();
 }
 
 TEST(DistRuntimeTest, BackToBackSocketReplaysReuseNothingStale) {

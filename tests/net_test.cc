@@ -188,6 +188,159 @@ TEST(WireTest, TupleBatchMsgRoundTripAndRejectsLyingCounts) {
   EXPECT_FALSE(out.Decode(bad_version));
 }
 
+TEST(WireTest, HelloAckNowUsTailRoundTripsAndStaysBackCompat) {
+  HelloAckMsg ack;
+  ack.shard_id = 4;
+  ack.num_shards = 8;
+  ack.now_us = 123456789ull;
+  std::string tailed = ack.Encode();
+  HelloAckMsg out;
+  ASSERT_TRUE(out.Decode(tailed));
+  EXPECT_EQ(out.shard_id, 4);
+  EXPECT_EQ(out.now_us, 123456789ull);
+  // A pre-telemetry peer's ack lacks the 8-byte now_us tail; it must decode
+  // with now_us = 0 (the "no estimate" sentinel).
+  out.now_us = 99;
+  ASSERT_TRUE(out.Decode(std::string_view(tailed).substr(0, tailed.size() - 8)));
+  EXPECT_EQ(out.now_us, 0u);
+}
+
+TEST(WireTest, TelemetryMsgRoundTripPreservesEverything) {
+  TelemetryMsg msg;
+  msg.pid = 4321;
+  msg.shard = 2;
+  msg.batch_index = 7;
+  msg.last = 0;
+  msg.now_us = 1ull << 40;
+  msg.dropped = 13;
+  msg.thread_names = {{100, "shard-2/control"}, {101, "shard-2/exchange"}};
+  TelemetryMetric counter;
+  counter.name = "jecb_test_total{shard=\"2\"}";
+  counter.kind = 0;
+  counter.value_bits = 42;
+  TelemetryMetric gauge;
+  gauge.name = "jecb_test_gauge";
+  gauge.kind = 1;
+  gauge.value_bits = 0x3FF0000000000000ull;  // 1.0
+  msg.metrics = {counter, gauge};
+  TelemetryEvent span;
+  span.kind = 0;
+  span.tid = 100;
+  span.ts_us = 5000;
+  span.dur_us = 250;
+  span.name = "shard.prepare";
+  span.cat = "shard";
+  span.arg1_name = "txn";
+  span.arg1 = -9;  // signed args must survive the u64 transit
+  span.arg2_name = "shard";
+  span.arg2 = 2;
+  TelemetryEvent instant;
+  instant.kind = 1;
+  instant.tid = 100;
+  instant.ts_us = 6000;
+  instant.name = "fault.stall";
+  instant.cat = "fault";  // both arg names empty: args absent
+  msg.events = {span, instant};
+
+  TelemetryMsg out;
+  ASSERT_TRUE(out.Decode(msg.Encode()));
+  EXPECT_EQ(out.pid, 4321u);
+  EXPECT_EQ(out.shard, 2);
+  EXPECT_EQ(out.batch_index, 7u);
+  EXPECT_EQ(out.last, 0);
+  EXPECT_EQ(out.now_us, 1ull << 40);
+  EXPECT_EQ(out.dropped, 13u);
+  ASSERT_EQ(out.thread_names.size(), 2u);
+  EXPECT_EQ(out.thread_names[1].second, "shard-2/exchange");
+  ASSERT_EQ(out.metrics.size(), 2u);
+  EXPECT_EQ(out.metrics[0].name, "jecb_test_total{shard=\"2\"}");
+  EXPECT_EQ(out.metrics[0].value_bits, 42u);
+  EXPECT_EQ(out.metrics[1].kind, 1);
+  ASSERT_EQ(out.events.size(), 2u);
+  EXPECT_EQ(out.events[0].name, "shard.prepare");
+  EXPECT_EQ(out.events[0].arg1, -9);
+  EXPECT_EQ(out.events[0].arg2, 2);
+  EXPECT_EQ(out.events[1].kind, 1);
+  EXPECT_TRUE(out.events[1].arg1_name.empty());
+}
+
+TEST(WireTest, TelemetryMsgRejectsTruncationTrailingBytesAndBadVersion) {
+  TelemetryMsg msg;
+  msg.pid = 1;
+  msg.shard = 0;
+  msg.thread_names = {{7, "t"}};
+  TelemetryMetric m;
+  m.name = "n";
+  msg.metrics = {m};
+  TelemetryEvent e;
+  e.name = "s";
+  e.cat = "c";
+  msg.events = {e};
+  std::string good = msg.Encode();
+  TelemetryMsg out;
+  ASSERT_TRUE(out.Decode(good));
+  for (size_t cut = 0; cut < good.size(); ++cut) {
+    EXPECT_FALSE(out.Decode(good.substr(0, cut))) << "cut=" << cut;
+  }
+  EXPECT_FALSE(out.Decode(good + "x"));
+  std::string bad_version = good;
+  bad_version[0] = static_cast<char>(kTelemetryVersion + 1);
+  EXPECT_FALSE(out.Decode(bad_version));
+}
+
+TEST(WireTest, TelemetryMsgRejectsLyingCountsAndOversizedRings) {
+  // Fixed header is 30 bytes; with all three sections empty the section
+  // counts sit at offsets 30 (thread names), 34 (metrics), 38 (events).
+  TelemetryMsg empty;
+  std::string good = empty.Encode();
+  ASSERT_EQ(good.size(), 42u);
+  TelemetryMsg out;
+  ASSERT_TRUE(out.Decode(good));
+
+  // Counts the remaining payload cannot possibly hold: rejected before any
+  // reserve, for each of the three sections.
+  for (size_t off : {30u, 34u, 38u}) {
+    std::string lying = good;
+    lying[off] = '\xFF';
+    EXPECT_FALSE(out.Decode(lying)) << "count offset " << off;
+  }
+  // A count above kMaxTelemetryEntries is hostile regardless of payload
+  // size (an "oversized ring" claim).
+  std::string oversized = good;
+  oversized[32] = '\x02';  // thread count u32 LE = 0x00020000 > 1 << 16
+  EXPECT_FALSE(out.Decode(oversized));
+
+  // A string length prefix above kMaxTelemetryStrBytes is rejected before
+  // allocation. One thread name: count at 30, tid at 34, len u16 at 38.
+  TelemetryMsg named;
+  named.thread_names = {{7, "ab"}};
+  std::string strlie = named.Encode();
+  strlie[38] = '\xFF';
+  strlie[39] = '\xFF';
+  EXPECT_FALSE(out.Decode(strlie));
+
+  // Unknown kinds are rejected even when the sizes all line up.
+  TelemetryMsg badkind;
+  TelemetryMetric m;
+  m.name = "n";
+  m.kind = 2;
+  badkind.metrics = {m};
+  EXPECT_FALSE(out.Decode(badkind.Encode()));
+  TelemetryMsg badevent;
+  TelemetryEvent e;
+  e.kind = 3;
+  badevent.events = {e};
+  EXPECT_FALSE(out.Decode(badevent.Encode()));
+
+  // The encoder clamps hostile-length strings instead of emitting an
+  // undecodable payload.
+  TelemetryMsg huge;
+  huge.thread_names = {{1, std::string(kMaxTelemetryStrBytes * 4, 'x')}};
+  ASSERT_TRUE(out.Decode(huge.Encode()));
+  ASSERT_EQ(out.thread_names.size(), 1u);
+  EXPECT_EQ(out.thread_names[0].second.size(), kMaxTelemetryStrBytes);
+}
+
 TEST(WireTest, StructDecodeRejectsTruncationAndTrailingBytes) {
   FragmentMsg frag;
   frag.txn_id = 1;

@@ -12,11 +12,18 @@
 
 #include <algorithm>
 #include <array>
+#include <cstdio>
+#include <fstream>
+#include <map>
 #include <set>
+#include <sstream>
 #include <string_view>
 #include <thread>
+#include <utility>
 #include <vector>
 
+#include "obs/cluster_telemetry.h"
+#include "obs/flight_recorder.h"
 #include "obs/histogram.h"
 #include "obs/metrics_registry.h"
 #include "obs/trace_export.h"
@@ -57,6 +64,7 @@ TraceEvent MakeSpan(const char* name, uint64_t ts, uint64_t dur) {
 }
 
 TEST(TraceRecorderTest, RingBufferWrapsAndCountsDrops) {
+  if (!kObsCompiledIn) GTEST_SKIP() << "obs compiled out";
   TraceRecorder rec;
   rec.Enable(/*events_per_thread=*/64);
   for (uint64_t i = 0; i < 200; ++i) {
@@ -73,6 +81,7 @@ TEST(TraceRecorderTest, RingBufferWrapsAndCountsDrops) {
 }
 
 TEST(TraceRecorderTest, CollectMergesThreadsSortedByTimestamp) {
+  if (!kObsCompiledIn) GTEST_SKIP() << "obs compiled out";
   constexpr int kThreads = 4;
   constexpr int kPerThread = 100;
   TraceRecorder rec;
@@ -148,6 +157,7 @@ TEST(TraceRecorderTest, InternIsIdempotentAndSurvivesReset) {
 }
 
 TEST(TraceRecorderTest, ScopedSpanLateArgsAttachInOrder) {
+  if (!kObsCompiledIn) GTEST_SKIP() << "obs compiled out";
   TraceRecorder rec;
   rec.Enable(16);
   {
@@ -165,6 +175,7 @@ TEST(TraceRecorderTest, ScopedSpanLateArgsAttachInOrder) {
 }
 
 TEST(TraceExportTest, ChromeTraceRoundTripsThroughParser) {
+  if (!kObsCompiledIn) GTEST_SKIP() << "obs compiled out";
   TraceRecorder rec;
   rec.Enable(256);
   rec.Span("runtime", "txn.local", 10, 5, "txn", 1, "shard", 2);
@@ -221,15 +232,17 @@ TEST(TraceExportTest, JsonEscapingRoundTripsHostileNames) {
 
   // An interned class name containing quotes/newlines must not corrupt the
   // trace document.
-  TraceRecorder rec;
-  rec.Enable(16);
-  const char* hostile = rec.Intern("class \"A\"\njoins B");
-  rec.Span("jecb", hostile, 1, 2);
-  std::vector<ChromeTraceEvent> parsed;
-  std::string error;
-  ASSERT_TRUE(ParseChromeTrace(rec.RenderChromeTrace(), &parsed, &error)) << error;
-  ASSERT_EQ(parsed.size(), 1u);
-  EXPECT_EQ(parsed[0].name, "class \"A\"\njoins B");
+  if (kObsCompiledIn) {
+    TraceRecorder rec;
+    rec.Enable(16);
+    const char* hostile = rec.Intern("class \"A\"\njoins B");
+    rec.Span("jecb", hostile, 1, 2);
+    std::vector<ChromeTraceEvent> parsed;
+    std::string error;
+    ASSERT_TRUE(ParseChromeTrace(rec.RenderChromeTrace(), &parsed, &error)) << error;
+    ASSERT_EQ(parsed.size(), 1u);
+    EXPECT_EQ(parsed[0].name, "class \"A\"\njoins B");
+  }
 }
 
 TEST(HistogramTest, MergeAccumulatesExactly) {
@@ -408,8 +421,10 @@ TEST(SamplingTest, SampledSetIdenticalAcrossClientCountsAndOutcomeUnchanged) {
     // depend on scheduling.
     if (clients == 1) {
       first_set = sampled;
-      EXPECT_GT(sampled.size(), b.trace.size() / 4);
-      EXPECT_LT(sampled.size(), 3 * b.trace.size() / 4);
+      if (kObsCompiledIn) {
+        EXPECT_GT(sampled.size(), b.trace.size() / 4);
+        EXPECT_LT(sampled.size(), 3 * b.trace.size() / 4);
+      }
     } else {
       EXPECT_EQ(sampled, first_set) << "sampled txn set diverged at "
                                     << clients << " clients";
@@ -431,6 +446,7 @@ TEST(SamplingTest, SampleRateZeroEmitsNoTxnSpans) {
 }
 
 TEST(ReconciliationTest, TxnSpanDurationsMatchReportHistograms) {
+  if (!kObsCompiledIn) GTEST_SKIP() << "obs compiled out";
   WorkloadBundle b = SmallTpcc();
   DatabaseSolution solution = MakeNaiveHashSolution(*b.db, 4);
   RuntimeOptions opt = FastOptions();
@@ -488,6 +504,171 @@ TEST(ReplayRenderersTest, PrometheusAndAsciiAgreeWithReport) {
   std::string ascii = report.ToAscii();
   EXPECT_NE(ascii.find("r\"x"), std::string::npos);
   EXPECT_NE(ascii.find("committed"), std::string::npos);
+}
+
+TEST(TraceRecorderTest, DrainDeliversEachEventOnceAndKeepsCollectIntact) {
+  if (!kObsCompiledIn) GTEST_SKIP() << "obs compiled out";
+  TraceRecorder rec;
+  rec.Enable(64);
+  for (uint64_t i = 0; i < 3; ++i) rec.Emit(MakeSpan("first", i, 1));
+  EXPECT_EQ(rec.Drain().size(), 3u);
+  // The watermark advanced: nothing new means nothing drained.
+  EXPECT_TRUE(rec.Drain().empty());
+  for (uint64_t i = 10; i < 12; ++i) rec.Emit(MakeSpan("second", i, 1));
+  std::vector<CollectedEvent> second = rec.Drain();
+  ASSERT_EQ(second.size(), 2u);
+  EXPECT_STREQ(second[0].event.name, "second");
+  // Drain is non-destructive: the postmortem path (Collect) still sees the
+  // full surviving window.
+  EXPECT_EQ(rec.Collect().size(), 5u);
+}
+
+TEST(TraceRecorderTest, ThreadNamesRegisterPerBuffer) {
+  if (!kObsCompiledIn) GTEST_SKIP() << "obs compiled out";
+  TraceRecorder rec;
+  rec.Enable(16);
+  rec.SetThreadName("control-loop");
+  rec.Emit(MakeSpan("named", 1, 1));
+  std::vector<std::pair<uint32_t, std::string>> names = rec.ThreadNames();
+  ASSERT_EQ(names.size(), 1u);
+  EXPECT_EQ(names[0].second, "control-loop");
+  std::vector<CollectedEvent> events = rec.Collect();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].tid, names[0].first);
+}
+
+TEST(ClusterTraceTest, MergedTraceCarriesProcessTracksAndShiftsClocks) {
+  // Hand-built tracks, so this is exporter-only and runs in both configs.
+  ProcessTrace coord;
+  coord.pid = 100;
+  coord.name = "coordinator";
+  CollectedEvent e;
+  e.event = MakeSpan("drive", 500, 10);
+  e.tid = 1;
+  coord.events.push_back(e);
+
+  ProcessTrace shard;
+  shard.pid = 200;
+  shard.name = "shard-3";
+  shard.clock_offset_us = 400;  // shard clock runs 400us ahead
+  shard.thread_names = {{7, "control"}};
+  e.event = MakeSpan("serve", 900, 10);  // = 500 in coordinator time
+  e.tid = 7;
+  shard.events.push_back(e);
+
+  std::string json = ClusterTraceJson({coord, shard});
+  std::vector<ChromeTraceEvent> parsed;
+  std::string error;
+  ASSERT_TRUE(ParseChromeTrace(json, &parsed, &error)) << error;
+
+  std::map<int64_t, std::string> process_names;
+  std::map<std::pair<int64_t, int64_t>, std::string> thread_names;
+  std::map<int64_t, uint64_t> span_ts;
+  for (const ChromeTraceEvent& ev : parsed) {
+    if (ev.ph == "M" && ev.name == "process_name") {
+      for (const auto& [k, v] : ev.sargs) {
+        if (k == "name") process_names[ev.pid] = v;
+      }
+    } else if (ev.ph == "M" && ev.name == "thread_name") {
+      for (const auto& [k, v] : ev.sargs) {
+        if (k == "name") thread_names[{ev.pid, ev.tid}] = v;
+      }
+    } else if (ev.ph == "X") {
+      span_ts[ev.pid] = ev.ts_us;
+    }
+  }
+  EXPECT_EQ(process_names[100], "coordinator");
+  EXPECT_EQ(process_names[200], "shard-3");
+  EXPECT_EQ((thread_names[{200, 7}]), "control");
+  // The remote track was shifted into the coordinator timebase.
+  EXPECT_EQ(span_ts[100], 500u);
+  EXPECT_EQ(span_ts[200], 500u);
+}
+
+TEST(ClusterTelemetryTest, IngestMergesBatchesAndRendersRemoteMetrics) {
+  ClusterTelemetry sink;
+  TraceRecorder interner;
+
+  RemoteProcessTelemetry batch;
+  batch.pid = 4242;
+  batch.shard = 1;
+  batch.name = "shard-1";
+  batch.clock_offset_us = -25;
+  CollectedEvent e;
+  e.event = MakeSpan(interner.Intern("exec"), 100, 5);
+  batch.events.push_back(e);
+  MetricsRegistry::ScalarSample s;
+  s.name = "jecb_shard_frames_total{shard=\"1\"}";
+  s.is_gauge = false;
+  s.count = 17;
+  batch.metrics.push_back(s);
+  sink.Ingest(std::move(batch));
+
+  // A second batch from the same pid appends events, replaces metrics, and
+  // carries the latest clock-offset estimate (latest wins — every harvest
+  // ships the coordinator's current best estimate for that shard).
+  RemoteProcessTelemetry more;
+  more.pid = 4242;
+  more.shard = 1;
+  more.name = "shard-1";
+  more.clock_offset_us = -30;
+  e.event = MakeSpan(interner.Intern("exec"), 200, 5);
+  more.events.push_back(e);
+  s.count = 34;
+  more.metrics.push_back(s);
+  sink.Ingest(std::move(more));
+
+  EXPECT_EQ(sink.num_processes(), 1u);
+  EXPECT_EQ(sink.num_events(), 2u);
+  std::vector<RemoteProcessTelemetry> snap = sink.Snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].pid, 4242);
+  EXPECT_EQ(snap[0].clock_offset_us, -30);
+  std::string prom = sink.RenderRemoteMetrics();
+  EXPECT_NE(prom.find("jecb_shard_frames_total{shard=\"1\"} 34"),
+            std::string::npos);
+  EXPECT_EQ(prom.find(" 17"), std::string::npos);
+}
+
+TEST(FlightRecorderTest, DumpWritesParseableDocumentWithHeader) {
+  std::string path = "obs_test_postmortem.json";
+  ConfigureFlightRecorder(path, /*shard=*/3);
+  ASSERT_TRUE(FlightRecorderConfigured());
+  EXPECT_EQ(FlightRecorderPath(), path);
+
+  TraceRecorder& rec = TraceRecorder::Default();
+  rec.Reset();
+  rec.Enable(64);
+  rec.Emit(MakeSpan("last.words", 1, 2));
+  ASSERT_TRUE(DumpFlightRecorder("test sigterm"));
+  rec.Reset();
+
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string doc = buf.str();
+  std::remove(path.c_str());
+
+  // Perfetto-compatible: the extra keys do not break the trace parser.
+  std::vector<ChromeTraceEvent> events;
+  std::string error;
+  ASSERT_TRUE(ParseChromeTrace(doc, &events, &error)) << error;
+  if (kObsCompiledIn) {
+    bool found = false;
+    for (const ChromeTraceEvent& ev : events) found |= ev.name == "last.words";
+    EXPECT_TRUE(found);
+  }
+
+  PostmortemHeader header;
+  ASSERT_TRUE(ParsePostmortemHeader(doc, &header));
+  EXPECT_EQ(header.shard, 3);
+  EXPECT_EQ(header.reason, "test sigterm");
+  EXPECT_GT(header.pid, 0);
+
+  ConfigureFlightRecorder("", -1);  // disarm
+  EXPECT_FALSE(FlightRecorderConfigured());
+  EXPECT_FALSE(DumpFlightRecorder("disarmed"));
 }
 
 }  // namespace

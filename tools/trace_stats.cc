@@ -1,12 +1,19 @@
 // trace_stats: per-phase duration rollups for a Chrome trace-event JSON
 // file (the --trace_out output of jecb_cli, runtime_replay and the bench
-// binaries).
+// binaries), including the merged multi-process cluster traces the
+// distributed replay writes.
 //
-//   ./trace_stats trace.json [--cat runtime] [--top N]
+//   ./trace_stats trace.json [--cat runtime] [--top N] [--txns N]
 //
 // Prints one AsciiTable of span groups — (category, name) pairs — sorted by
-// total time, plus instant-event (fault annotation) counts. The obs tests
+// total time, plus instant-event (fault annotation) counts. For a
+// multi-process trace it additionally prints a per-process breakdown (tracks
+// labeled by the "M" process_name metadata) and a cross-process transaction
+// summary: every span carrying a "txn" arg is folded into that txn's
+// critical path, so the txns that spent the longest wall time — and how many
+// processes they touched — surface without opening Perfetto. The obs tests
 // also run this path to validate the exporter output end to end.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -21,26 +28,63 @@
 
 using namespace jecb;
 
+namespace {
+
+struct TxnPath {
+  uint64_t first_ts = UINT64_MAX;  ///< earliest span start across processes
+  uint64_t last_ts = 0;            ///< latest span end across processes
+  uint64_t span_us = 0;            ///< summed span durations
+  uint64_t spans = 0;
+  std::vector<int64_t> pids;  ///< distinct processes touched (sorted)
+
+  uint64_t makespan_us() const {
+    return last_ts > first_ts ? last_ts - first_ts : 0;
+  }
+};
+
+void PrintRollups(const std::vector<ChromeTraceEvent>& events, size_t top,
+                  const char* heading) {
+  std::vector<SpanRollup> rollups = RollupSpans(events);
+  if (rollups.empty()) return;
+  if (top > 0 && rollups.size() > top) rollups.resize(top);
+  AsciiTable table({"category", "span", "count", "total_ms", "mean_us", "max_us"});
+  for (const SpanRollup& r : rollups) {
+    table.AddRow({r.cat, r.name, std::to_string(r.count),
+                  FormatDouble(static_cast<double>(r.total_us) / 1000.0, 2),
+                  FormatDouble(r.mean_us(), 1),
+                  std::to_string(r.max_us)});
+  }
+  if (heading != nullptr) std::printf("%s\n", heading);
+  std::printf("%s\n", table.ToString().c_str());
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   std::string path;
   std::string cat_filter;
-  size_t top = 0;  // 0 = all
+  size_t top = 0;       // 0 = all
+  size_t txn_top = 10;  // rows of the cross-process txn table
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--cat" && i + 1 < argc) {
       cat_filter = argv[++i];
     } else if (arg == "--top" && i + 1 < argc) {
       top = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--txns" && i + 1 < argc) {
+      txn_top = static_cast<size_t>(std::atoll(argv[++i]));
     } else if (!arg.empty() && arg[0] != '-' && path.empty()) {
       path = arg;
     } else {
-      std::fprintf(stderr, "usage: %s <trace.json> [--cat CATEGORY] [--top N]\n",
+      std::fprintf(stderr,
+                   "usage: %s <trace.json> [--cat CATEGORY] [--top N] [--txns N]\n",
                    argv[0]);
       return 2;
     }
   }
   if (path.empty()) {
-    std::fprintf(stderr, "usage: %s <trace.json> [--cat CATEGORY] [--top N]\n",
+    std::fprintf(stderr,
+                 "usage: %s <trace.json> [--cat CATEGORY] [--top N] [--txns N]\n",
                  argv[0]);
     return 2;
   }
@@ -61,6 +105,15 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // Track labels come from metadata, which a --cat filter must not drop.
+  std::map<int64_t, std::string> process_names;
+  for (const ChromeTraceEvent& e : events) {
+    if (e.ph != "M" || e.name != "process_name") continue;
+    for (const auto& [key, value] : e.sargs) {
+      if (key == "name") process_names[e.pid] = value;
+    }
+  }
+
   if (!cat_filter.empty()) {
     std::vector<ChromeTraceEvent> kept;
     for (ChromeTraceEvent& e : events) {
@@ -73,9 +126,24 @@ int main(int argc, char** argv) {
   size_t instants = 0;
   size_t counters = 0;
   std::map<std::pair<std::string, std::string>, uint64_t> instant_counts;
+  std::map<int64_t, std::vector<ChromeTraceEvent>> by_pid;
+  std::map<int64_t, TxnPath> txns;
   for (const ChromeTraceEvent& e : events) {
     if (e.ph == "X") {
       ++spans;
+      by_pid[e.pid].push_back(e);
+      for (const auto& [key, value] : e.args) {
+        if (key != "txn") continue;
+        TxnPath& t = txns[static_cast<int64_t>(value)];
+        t.first_ts = std::min(t.first_ts, e.ts_us);
+        t.last_ts = std::max(t.last_ts, e.ts_us + e.dur_us);
+        t.span_us += e.dur_us;
+        ++t.spans;
+        if (!std::binary_search(t.pids.begin(), t.pids.end(), e.pid)) {
+          t.pids.insert(std::lower_bound(t.pids.begin(), t.pids.end(), e.pid),
+                        e.pid);
+        }
+      }
     } else if (e.ph == "i" || e.ph == "I") {
       ++instants;
       ++instant_counts[{e.cat, e.name}];
@@ -83,19 +151,48 @@ int main(int argc, char** argv) {
       ++counters;
     }
   }
-  std::printf("%s: %zu events (%zu spans, %zu instants, %zu counters)\n\n",
-              path.c_str(), events.size(), spans, instants, counters);
+  std::printf("%s: %zu events (%zu spans, %zu instants, %zu counters, "
+              "%zu processes)\n\n",
+              path.c_str(), events.size(), spans, instants, counters,
+              by_pid.size());
 
-  std::vector<SpanRollup> rollups = RollupSpans(events);
-  if (top > 0 && rollups.size() > top) rollups.resize(top);
-  AsciiTable table({"category", "span", "count", "total_ms", "mean_us", "max_us"});
-  for (const SpanRollup& r : rollups) {
-    table.AddRow({r.cat, r.name, std::to_string(r.count),
-                  FormatDouble(static_cast<double>(r.total_us) / 1000.0, 2),
-                  FormatDouble(r.mean_us(), 1),
-                  std::to_string(r.max_us)});
+  PrintRollups(events, top, nullptr);
+
+  // Per-process tables only when the trace actually has multiple tracks —
+  // a single-process trace keeps the old one-table output.
+  if (by_pid.size() > 1) {
+    for (const auto& [pid, pid_events] : by_pid) {
+      auto it = process_names.find(pid);
+      std::string label = it != process_names.end()
+                              ? it->second
+                              : "pid " + std::to_string(pid);
+      std::string heading = "process " + std::to_string(pid) + " (" + label + ")";
+      PrintRollups(pid_events, top, heading.c_str());
+    }
   }
-  std::printf("%s\n", table.ToString().c_str());
+
+  // Cross-process critical paths: makespan is first span start to last span
+  // end across every track, so coordinator wait and shard hold both count.
+  if (!txns.empty() && txn_top > 0) {
+    std::vector<std::pair<int64_t, TxnPath>> ranked(txns.begin(), txns.end());
+    std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+      if (a.second.makespan_us() != b.second.makespan_us()) {
+        return a.second.makespan_us() > b.second.makespan_us();
+      }
+      return a.first < b.first;
+    });
+    if (ranked.size() > txn_top) ranked.resize(txn_top);
+    AsciiTable ttable(
+        {"txn", "spans", "processes", "makespan_us", "span_total_us"});
+    for (const auto& [id, t] : ranked) {
+      ttable.AddRow({std::to_string(id), std::to_string(t.spans),
+                     std::to_string(t.pids.size()),
+                     std::to_string(t.makespan_us()),
+                     std::to_string(t.span_us)});
+    }
+    std::printf("slowest transactions (%zu of %zu traced)\n%s\n", ranked.size(),
+                txns.size(), ttable.ToString().c_str());
+  }
 
   if (!instant_counts.empty()) {
     AsciiTable itable({"category", "instant", "count"});
