@@ -14,6 +14,7 @@
 
 #include "common/ascii_table.h"
 #include "common/string_util.h"
+#include "common/topology.h"
 #include "expr/meter.h"
 #include "obs/cluster_telemetry.h"
 #include "obs/metrics_registry.h"
@@ -168,8 +169,16 @@ inline std::string WriteBenchJson(const std::string& out_dir,
   std::error_code ec;
   std::filesystem::create_directories(out_dir, ec);
   std::string path = out_dir + "/BENCH_" + bench + ".json";
+  // Stamp the machine's topology fingerprint into every bench artifact so
+  // cross-machine baseline drift is explainable from the JSON alone. The
+  // "machine" keys are deliberately outside bench_compare's gated/identity
+  // name sets, so the stamp never participates in the perf gate.
+  std::string stamped = content;
+  if (!stamped.empty() && stamped.front() == '{') {
+    stamped.insert(1, "\"machine\":" + TopologyFingerprintJson() + ",");
+  }
   std::ofstream out(path);
-  out << content;
+  out << stamped;
   if (!out) {
     std::fprintf(stderr, "FATAL: cannot write %s\n", path.c_str());
     std::exit(1);

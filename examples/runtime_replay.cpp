@@ -29,12 +29,26 @@ using namespace jecb;
 int main(int argc, char** argv) {
   std::string trace_out;
   std::string metrics_out;
+  double target_tps = 0.0;
+  bool pin_threads = false;
   TransportKind transport = TransportKind::kInProcess;
-  for (int i = 1; i + 1 < argc; i += 2) {
+  for (int i = 1; i < argc; i += 2) {
+    // --pin_threads takes no value; everything else is --flag value.
+    if (std::strcmp(argv[i], "--pin_threads") == 0) {
+      pin_threads = true;
+      i -= 1;
+      continue;
+    }
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for %s\n", argv[i]);
+      return 2;
+    }
     if (std::strcmp(argv[i], "--trace_out") == 0) {
       trace_out = argv[i + 1];
     } else if (std::strcmp(argv[i], "--metrics_out") == 0) {
       metrics_out = argv[i + 1];
+    } else if (std::strcmp(argv[i], "--target_tps") == 0) {
+      target_tps = std::strtod(argv[i + 1], nullptr);
     } else if (std::strcmp(argv[i], "--transport") == 0) {
       if (std::strcmp(argv[i + 1], "inproc") == 0) {
         transport = TransportKind::kInProcess;
@@ -50,6 +64,7 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--transport inproc|unix|tcp] "
+                   "[--target_tps N] [--pin_threads] "
                    "[--trace_out trace.json] [--metrics_out metrics.prom]\n",
                    argv[0]);
       return 2;
@@ -77,6 +92,11 @@ int main(int argc, char** argv) {
   ropt.num_clients = 4;
   ropt.local_work_us = 2;
   ropt.round_trip_us = 100;
+  // --target_tps switches the replay from closed-loop clients to the
+  // open-loop arrival schedule (see runtime/load_gen.h); --pin_threads pins
+  // shard workers (and forked shard servers) to distinct physical cores.
+  ropt.target_tps = target_tps;
+  ropt.pin_threads = pin_threads;
   ReplayReport report =
       Replay(*bundle.db, result.value().solution, bundle.trace, ropt, "jecb-tpcc-k4");
 
@@ -110,6 +130,14 @@ int main(int argc, char** argv) {
               report.local.p95_us, report.local.p99_us);
   std::printf("dist   p50/p95/p99: %.0f/%.0f/%.0f us\n", report.distributed.p50_us,
               report.distributed.p95_us, report.distributed.p99_us);
+  if (report.open_loop()) {
+    std::printf(
+        "open loop: offered %.0f/%.0f tps, shed %llu, "
+        "sojourn p50/p99 %.0f/%.0f us (queue_wait p99 %.0f us)\n",
+        report.offered_tps, report.target_tps,
+        static_cast<unsigned long long>(report.shed), report.sojourn.p50_us,
+        report.sojourn.p99_us, report.queue_wait.p99_us);
+  }
   std::printf("%s\n", report.ToJson().c_str());
 
   // Same replay under injected coordination faults: every fault decision is

@@ -1,0 +1,73 @@
+// Bump-pointer arena: block-chained, alignment-aware, no per-allocation
+// bookkeeping. The runtime keeps one arena per shard to back the encoded
+// tuple store and exchange batch assembly, replacing the per-row
+// heap-allocated std::strings on the execution hot path.
+//
+// Ownership/reset rules (see DESIGN "Open-loop load & CPU topology"):
+//   - An arena is single-writer. Per-shard arenas are filled once, before
+//     workers (or forked shard servers) start, then read concurrently —
+//     reads of arena-backed bytes need no lock because the memory is
+//     immutable from that point on.
+//   - Reset() rewinds every block to empty but keeps the capacity, so a
+//     reusing writer (scratch assembly) pays no allocator traffic in steady
+//     state. Reset invalidates every pointer previously handed out; callers
+//     that publish views into an arena must never Reset it while readers
+//     exist.
+//   - Allocations larger than the block size get a dedicated block; they do
+//     not split across blocks (returned memory is always contiguous).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+namespace jecb {
+
+class Arena {
+ public:
+  static constexpr size_t kDefaultBlockBytes = 64 * 1024;
+
+  explicit Arena(size_t block_bytes = kDefaultBlockBytes);
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+  Arena(Arena&&) = default;
+  Arena& operator=(Arena&&) = default;
+
+  /// Returns `bytes` bytes aligned to `align` (a power of two). Zero-byte
+  /// requests return a valid unique-enough pointer. Never fails short of
+  /// operator new throwing.
+  char* Allocate(size_t bytes, size_t align = alignof(std::max_align_t));
+
+  /// Copies `s` into the arena and returns a view of the stable copy.
+  std::string_view CopyString(std::string_view s);
+
+  /// Rewinds every block to empty, keeping the reserved capacity.
+  /// Invalidates all previously returned pointers/views.
+  void Reset();
+
+  /// Bytes handed out since construction/Reset (excludes alignment waste).
+  size_t bytes_allocated() const { return allocated_; }
+  /// Total capacity currently held across blocks.
+  size_t bytes_reserved() const { return reserved_; }
+  size_t blocks() const { return blocks_.size(); }
+
+ private:
+  struct Block {
+    std::unique_ptr<char[]> data;
+    size_t size = 0;
+    size_t used = 0;
+  };
+
+  Block& GrowFor(size_t bytes);
+
+  std::vector<Block> blocks_;
+  size_t block_bytes_;
+  size_t allocated_ = 0;
+  size_t reserved_ = 0;
+  /// Index of the block currently being filled (Reset reuses from 0).
+  size_t active_ = 0;
+};
+
+}  // namespace jecb

@@ -40,10 +40,10 @@ std::vector<net::TupleBatchMsg> BuildTupleBatches(
 // ---------------------------------------------------------------------------
 // ExchangeNode
 
-ExchangeNode::ExchangeNode(int32_t shard_id, const Database& db,
+ExchangeNode::ExchangeNode(int32_t shard_id, const ShardedDatabase& sharded,
                            uint32_t batch_bytes)
     : shard_id_(shard_id),
-      db_(db),
+      sharded_(sharded),
       batch_bytes_(ClampExchangeBatchBytes(batch_bytes)) {}
 
 ExchangeNode::~ExchangeNode() { Stop(); }
@@ -85,7 +85,7 @@ void ExchangeNode::Run() {
       reads.push_back(TupleId{static_cast<TableId>(a.table),
                               static_cast<RowId>(a.row)});
     }
-    std::vector<ExchangeEntry> entries = MaterializeReads(db_, reads);
+    std::vector<ExchangeEntry> entries = MaterializeReads(sharded_, reads);
     for (const net::TupleBatchMsg& batch : BuildTupleBatches(
              req.txn_id, req.attempt, shard_id_, entries, batch_bytes_)) {
       ++stats_.batches_sent;

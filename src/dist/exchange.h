@@ -59,7 +59,12 @@ class ExchangeNode {
     net::EventLoopStats loop;
   };
 
-  ExchangeNode(int32_t shard_id, const Database& db, uint32_t batch_bytes);
+  /// Serves rows from `sharded` — through its arena-backed encoded-row
+  /// store when built (skipping the per-row encode on every pull), else by
+  /// encoding from the copy-on-write Database snapshot. Byte content is
+  /// identical either way.
+  ExchangeNode(int32_t shard_id, const ShardedDatabase& sharded,
+               uint32_t batch_bytes);
   ~ExchangeNode();
 
   ExchangeNode(const ExchangeNode&) = delete;
@@ -79,7 +84,7 @@ class ExchangeNode {
   void Run();
 
   const int32_t shard_id_;
-  const Database& db_;
+  const ShardedDatabase& sharded_;
   const uint32_t batch_bytes_;
 
   std::unique_ptr<net::EventLoop> loop_;

@@ -9,10 +9,12 @@
 #include "common/ascii_table.h"
 #include "common/hash.h"
 #include "common/string_util.h"
+#include "common/topology.h"
 #include "obs/metrics_registry.h"
 #include "obs/trace_export.h"
 #include "obs/trace_recorder.h"
 #include "partition/evaluator.h"
+#include "runtime/load_gen.h"
 #include "runtime/txn_coordinator.h"
 
 namespace jecb {
@@ -135,10 +137,25 @@ std::string ReplayReport::ToJson() const {
   out += ",\"wall_seconds\":" + FormatDouble(wall_seconds, 3);
   out += ",\"throughput_tps\":" + FormatDouble(throughput_tps, 0);
   out += ",\"goodput_tps\":" + FormatDouble(goodput_tps, 0);
+  out += ",\"target_tps\":" + FormatDouble(target_tps, 0);
+  out += ",\"offered_tps\":" + FormatDouble(offered_tps, 0);
+  out += ",\"shed\":" + std::to_string(shed);
   out += ",\"replication_factor\":" + FormatDouble(replication_factor, 2);
   out += ",\"storage_skew\":" + FormatDouble(storage_skew, 3);
   out += ",\"outcome_signature\":\"" + std::to_string(OutcomeSignature()) + "\"";
-  out += ",\"transport\":{";
+  out += ",\"topology\":{";
+  out += "\"cpus\":" + std::to_string(topology.cpus);
+  out += ",\"physical_cores\":" + std::to_string(topology.physical_cores);
+  out += ",\"numa_nodes\":" + std::to_string(topology.numa_nodes);
+  out += ",\"smt\":" + std::string(topology.smt ? "true" : "false");
+  out += ",\"source\":\"" +
+         std::string(topology.from_sysfs ? "sysfs" : "fallback") + "\"";
+  out += ",\"pinned\":" + std::string(topology.pinned ? "true" : "false");
+  out += ",\"perf_available\":" +
+         std::string(topology.perf_available ? "true" : "false");
+  out += ",\"cache_misses\":" + std::to_string(topology.cache_misses);
+  out += ",\"instructions\":" + std::to_string(topology.instructions);
+  out += "},\"transport\":{";
   out += "\"kind\":\"" + std::string(TransportKindName(transport)) + "\"";
   out += ",\"messages_sent\":" + std::to_string(transport_counters.messages_sent);
   out +=
@@ -193,6 +210,12 @@ std::string ReplayReport::ToJson() const {
   AppendLatencyJson(&out, "distributed", distributed);
   out += ",";
   AppendLatencyJson(&out, "retry", retry);
+  out += ",";
+  AppendLatencyJson(&out, "sojourn", sojourn);
+  out += ",";
+  AppendLatencyJson(&out, "queue_wait", queue_wait);
+  out += ",";
+  AppendLatencyJson(&out, "service", service);
   out += "},\"shards\":[";
   for (size_t i = 0; i < shards.size(); ++i) {
     const ShardReport& s = shards[i];
@@ -215,6 +238,9 @@ std::string ReplayReport::ToJson() const {
            ",\"rtt_p99_us\":" + FormatDouble(s.rtt_p99_us, 1) +
            ",\"exchange_tuples_out\":" + std::to_string(s.exchange_tuples_out) +
            ",\"exchange_bytes_out\":" + std::to_string(s.exchange_bytes_out) +
+           ",\"pinned_cpu\":" + std::to_string(s.pinned_cpu) +
+           ",\"ctx_voluntary\":" + std::to_string(s.ctx_voluntary) +
+           ",\"ctx_involuntary\":" + std::to_string(s.ctx_involuntary) +
            "}";
   }
   out += "]}";
@@ -300,7 +326,26 @@ void ReplayReport::PublishTo(MetricsRegistry& registry) const {
           "Bounded tuple batches (greedy span rule)");
   counter("jecb_replay_abnormal_shard_exits_total", abnormal_shard_exits(),
           "Shard child processes that did not exit cleanly");
+  counter("jecb_replay_shed_total", shed,
+          "Open-loop arrivals dropped at a full admission queue");
   gauge("jecb_replay_wall_seconds", wall_seconds, "Replay wall-clock time");
+  if (open_loop()) {
+    gauge("jecb_replay_target_tps", target_tps,
+          "Requested open-loop offered load");
+    gauge("jecb_replay_offered_tps", offered_tps,
+          "Measured open-loop arrival rate");
+  }
+  gauge("jecb_topology_cpus", topology.cpus, "Logical cpus on this machine");
+  gauge("jecb_topology_physical_cores", topology.physical_cores,
+        "Physical cores on this machine");
+  gauge("jecb_topology_numa_nodes", topology.numa_nodes,
+        "NUMA nodes on this machine");
+  if (topology.perf_available) {
+    counter("jecb_perf_cache_misses_total", topology.cache_misses,
+            "Hardware cache misses over the execution window");
+    counter("jecb_perf_instructions_total", topology.instructions,
+            "Instructions retired over the execution window");
+  }
   gauge("jecb_replay_throughput_tps", throughput_tps,
         "Processed rate: (committed + failed) / wall");
   gauge("jecb_replay_goodput_tps", goodput_tps, "Useful-work rate: committed / wall");
@@ -322,6 +367,20 @@ void ReplayReport::PublishTo(MetricsRegistry& registry) const {
       .Histogram("jecb_replay_retry_latency_us" + lb,
                  "Latency of committed txns that needed >= 1 retry")
       .Merge(retry_hist);
+  if (sojourn_hist.count > 0) {
+    registry
+        .Histogram("jecb_replay_sojourn_latency_us" + lb,
+                   "Open-loop sojourn: completion - scheduled arrival")
+        .Merge(sojourn_hist);
+    registry
+        .Histogram("jecb_replay_queue_wait_latency_us" + lb,
+                   "Open-loop admission wait: dequeue - scheduled arrival")
+        .Merge(queue_wait_hist);
+    registry
+        .Histogram("jecb_replay_service_latency_us" + lb,
+                   "Open-loop service: completion - admission dequeue")
+        .Merge(service_hist);
+  }
   if (transport_rtt_hist.count > 0) {
     registry
         .Histogram("jecb_transport_rtt_us" + lb,
@@ -367,6 +426,23 @@ void ReplayReport::PublishTo(MetricsRegistry& registry) const {
                    "Encoded bytes of exchange rows this shard shipped")
           .store(s.exchange_bytes_out, std::memory_order_relaxed);
     }
+    if (s.pinned_cpu >= 0) {
+      registry
+          .Gauge("jecb_shard_pinned_cpu" + slb,
+                 "Logical cpu the shard worker/server was pinned to")
+          .store(static_cast<double>(s.pinned_cpu),
+                 std::memory_order_relaxed);
+    }
+    if (s.ctx_voluntary + s.ctx_involuntary > 0) {
+      registry
+          .Counter("jecb_shard_ctx_voluntary_total" + slb,
+                   "Voluntary context switches of the shard worker/server")
+          .store(s.ctx_voluntary, std::memory_order_relaxed);
+      registry
+          .Counter("jecb_shard_ctx_involuntary_total" + slb,
+                   "Involuntary context switches of the shard worker/server")
+          .store(s.ctx_involuntary, std::memory_order_relaxed);
+    }
   }
 }
 
@@ -396,6 +472,31 @@ std::string ReplayReport::ToAscii() const {
                   FormatDouble(distributed.p50_us, 1) + " / " +
                       FormatDouble(distributed.p95_us, 1) + " / " +
                       FormatDouble(distributed.p99_us, 1)});
+  if (open_loop()) {
+    summary.AddRow({"target/offered_tps", FormatDouble(target_tps, 0) + " / " +
+                                              FormatDouble(offered_tps, 0)});
+    summary.AddRow({"shed", std::to_string(shed)});
+    summary.AddRow({"sojourn_p50/p95/p99_us",
+                    FormatDouble(sojourn.p50_us, 1) + " / " +
+                        FormatDouble(sojourn.p95_us, 1) + " / " +
+                        FormatDouble(sojourn.p99_us, 1)});
+    summary.AddRow({"queue_wait/service_p99_us",
+                    FormatDouble(queue_wait.p99_us, 1) + " / " +
+                        FormatDouble(service.p99_us, 1)});
+  }
+  {
+    std::string topo = std::to_string(topology.cpus) + " cpus / " +
+                       std::to_string(topology.physical_cores) + " cores / " +
+                       std::to_string(topology.numa_nodes) + " numa (" +
+                       (topology.from_sysfs ? "sysfs" : "fallback") +
+                       (topology.pinned ? ", pinned" : "") + ")";
+    summary.AddRow({"topology", topo});
+    if (topology.perf_available) {
+      summary.AddRow({"cache_misses/instructions",
+                      std::to_string(topology.cache_misses) + " / " +
+                          std::to_string(topology.instructions)});
+    }
+  }
   if (exchange_txns > 0) {
     summary.AddRow({"exchange_tuples",
                     std::to_string(exchange_tuples) + " (" +
@@ -433,8 +534,8 @@ std::string ReplayReport::ToAscii() const {
                         FormatDouble(transport_rtt.p99_us, 1)});
   }
   AsciiTable per_shard({"shard", "tuples", "local", "dist", "busy_us", "avail",
-                        "p50_us", "p95_us", "p99_us", "rtt_p99_us",
-                        "exch_out"});
+                        "p50_us", "p95_us", "p99_us", "rtt_p99_us", "exch_out",
+                        "cpu", "ctxsw"});
   for (const ShardReport& s : shards) {
     per_shard.AddRow({std::to_string(s.shard), std::to_string(s.stored_tuples),
                       std::to_string(s.local_txns),
@@ -442,7 +543,9 @@ std::string ReplayReport::ToAscii() const {
                       std::to_string(s.busy_us), FormatDouble(s.availability(), 3),
                       FormatDouble(s.p50_us, 1), FormatDouble(s.p95_us, 1),
                       FormatDouble(s.p99_us, 1), FormatDouble(s.rtt_p99_us, 1),
-                      std::to_string(s.exchange_tuples_out)});
+                      std::to_string(s.exchange_tuples_out),
+                      s.pinned_cpu >= 0 ? std::to_string(s.pinned_cpu) : "-",
+                      std::to_string(s.ctx_voluntary + s.ctx_involuntary)});
   }
   return summary.ToString() + "\n" + per_shard.ToString();
 }
@@ -463,6 +566,12 @@ ReplayReport Replay(const Database& db, const DatabaseSolution& solution,
              static_cast<int64_t>(sharded.num_shards()));
   }
 
+  // Arena-backed encoded-row store: built single-threaded, BEFORE the
+  // transport forks, so shard-server children inherit it copy-on-write and
+  // every backend serves exchange reads from the same arena pages instead
+  // of re-encoding rows per access.
+  if (options.arena_tuples) sharded.BuildEncodedRows();
+
   RuntimeMetrics metrics(sharded.num_shards());
   std::unique_ptr<Transport> transport = MakeTransport(sharded, options, &metrics);
   // Start() must precede client threads: the socket backends fork their
@@ -477,38 +586,89 @@ ReplayReport Replay(const Database& db, const DatabaseSolution& solution,
     std::abort();
   }
 
-  // Phase B: closed-loop clients race through the classified trace, each
-  // through its own transport session.
-  std::atomic<size_t> next{0};
-  auto run_client = [&](int client_id) {
-    std::unique_ptr<TransportSession> session = transport->NewSession(client_id);
-    for (;;) {
-      size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= classified.size()) break;
-      const ClassifiedTxn& ct = classified[i];
-      if (ct.RequiresTwoPhaseCommit()) {
-        session->ExecuteDistributed(ct);
-      } else {
-        session->ExecuteLocal(ct);
-      }
-    }
-    // The session dies with this scope, folding its wire counters into the
-    // transport before Drain() snapshots them.
-  };
+  // Hardware counters bracket the execution window only. Started after the
+  // fork (shard children are excluded; inherit covers the client threads
+  // spawned below) and stopped before Drain(). Zero readings when the
+  // kernel refuses perf_event_open.
+  PerfCounters perf;
+
+  // Phase B: run the classified trace. Closed loop (the default): clients
+  // race through the trace, each blocking on its own completions. Open loop
+  // (target_tps > 0): a deterministic arrival schedule offers load
+  // independent of completions, shedding at a full admission queue — see
+  // runtime/load_gen.h.
+  //
+  // Both shapes stop the wall clock at the LAST TRANSACTION COMPLETION, not
+  // at thread join: client join and backend teardown cost must never
+  // deflate throughput.
   const int num_clients = std::max(options.num_clients, 1);
-  auto t0 = std::chrono::steady_clock::now();
-  std::vector<std::thread> clients;
-  clients.reserve(num_clients);
-  {
-    JECB_SPAN2("runtime", "replay.run", "clients", num_clients, "txns",
+  const auto t0 = std::chrono::steady_clock::now();
+  uint64_t wall_us = 0;
+  if (options.target_tps > 0.0) {
+    // One session per executor thread, created up front (sessions are not
+    // thread-safe; executor ids are stable per thread), destroyed before
+    // Drain() so their wire counters fold into the transport first.
+    std::vector<std::unique_ptr<TransportSession>> sessions;
+    sessions.reserve(static_cast<size_t>(num_clients));
+    for (int c = 0; c < num_clients; ++c) {
+      sessions.push_back(transport->NewSession(c));
+    }
+    JECB_SPAN2("runtime", "replay.open_loop", "clients", num_clients, "txns",
                static_cast<int64_t>(classified.size()));
-    for (int c = 0; c < num_clients; ++c) clients.emplace_back(run_client, c);
-    for (std::thread& c : clients) c.join();
+    perf.Start();
+    OpenLoopResult ol = RunOpenLoop(
+        options, classified.size(), t0,
+        [&](int executor_id, size_t i) {
+          const ClassifiedTxn& ct = classified[i];
+          if (ct.RequiresTwoPhaseCommit()) {
+            sessions[static_cast<size_t>(executor_id)]->ExecuteDistributed(ct);
+          } else {
+            sessions[static_cast<size_t>(executor_id)]->ExecuteLocal(ct);
+          }
+        },
+        &metrics);
+    perf.Stop();
+    sessions.clear();
+    wall_us = ol.last_completion_us;
+  } else {
+    std::atomic<size_t> next{0};
+    std::atomic<uint64_t> last_done_us{0};
+    auto run_client = [&](int client_id) {
+      std::unique_ptr<TransportSession> session =
+          transport->NewSession(client_id);
+      for (;;) {
+        size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= classified.size()) break;
+        const ClassifiedTxn& ct = classified[i];
+        if (ct.RequiresTwoPhaseCommit()) {
+          session->ExecuteDistributed(ct);
+        } else {
+          session->ExecuteLocal(ct);
+        }
+      }
+      // This client's last completion is now; publish it so the wall clock
+      // can stop at the run-wide last commit instead of at join.
+      uint64_t done = ElapsedUs(t0);
+      uint64_t prev = last_done_us.load(std::memory_order_relaxed);
+      while (prev < done && !last_done_us.compare_exchange_weak(
+                                prev, done, std::memory_order_relaxed)) {
+      }
+      // The session dies with this scope, folding its wire counters into the
+      // transport before Drain() snapshots them.
+    };
+    std::vector<std::thread> clients;
+    clients.reserve(static_cast<size_t>(num_clients));
+    {
+      JECB_SPAN2("runtime", "replay.run", "clients", num_clients, "txns",
+                 static_cast<int64_t>(classified.size()));
+      perf.Start();
+      for (int c = 0; c < num_clients; ++c) clients.emplace_back(run_client, c);
+      for (std::thread& c : clients) c.join();
+      perf.Stop();
+    }
+    wall_us = last_done_us.load(std::memory_order_relaxed);
   }
-  // Every transaction has completed once the closed-loop clients join; the
-  // wall clock stops here so backend teardown cost never pollutes
-  // throughput numbers.
-  double wall = static_cast<double>(ElapsedUs(t0)) / 1e6;
+  double wall = static_cast<double>(wall_us) / 1e6;
 
   // Graceful shutdown, strictly ordered: clients joined above -> Drain()
   // quiesces the backend (queues drain and workers join in-process; shard
@@ -554,6 +714,29 @@ ReplayReport Replay(const Database& db, const DatabaseSolution& solution,
   report.local = SnapshotLatency(report.local_hist);
   report.distributed = SnapshotLatency(report.distributed_hist);
   report.retry = SnapshotLatency(report.retry_hist);
+  report.target_tps = options.target_tps;
+  report.shed = snap.shed;
+  if (report.open_loop() && wall > 0.0) {
+    report.offered_tps = static_cast<double>(report.total_txns) / wall;
+  }
+  report.sojourn_hist = snap.sojourn_latency;
+  report.queue_wait_hist = snap.queue_wait_latency;
+  report.service_hist = snap.service_latency;
+  report.sojourn = SnapshotLatency(report.sojourn_hist);
+  report.queue_wait = SnapshotLatency(report.queue_wait_hist);
+  report.service = SnapshotLatency(report.service_hist);
+  {
+    const CpuTopology topo = DetectCpuTopology();
+    report.topology.cpus = topo.logical_cpus();
+    report.topology.physical_cores = topo.physical_cores;
+    report.topology.numa_nodes = topo.numa_nodes;
+    report.topology.smt = topo.smt;
+    report.topology.from_sysfs = topo.from_sysfs;
+    report.topology.pinned = options.pin_threads;
+    report.topology.perf_available = perf.available();
+    report.topology.cache_misses = perf.cache_misses();
+    report.topology.instructions = perf.instructions();
+  }
   report.transport = treport.kind;
   report.transport_counters = treport.counters;
   report.transport_rtt_hist = treport.rtt;
@@ -585,6 +768,9 @@ ReplayReport Replay(const Database& db, const DatabaseSolution& solution,
     sr.p99_us = sm.latency.Quantile(0.99);
     sr.exchange_tuples_out = sm.exchange_tuples_out;
     sr.exchange_bytes_out = sm.exchange_bytes_out;
+    sr.pinned_cpu = sm.pinned_cpu;
+    sr.ctx_voluntary = sm.ctx_voluntary;
+    sr.ctx_involuntary = sm.ctx_involuntary;
     if (static_cast<size_t>(s) < treport.shard_rtt.size()) {
       const HistogramData& rtt = treport.shard_rtt[static_cast<size_t>(s)];
       sr.rtt_count = rtt.count;

@@ -60,6 +60,12 @@ struct ShardReport {
   /// same rows it would have shipped).
   uint64_t exchange_tuples_out = 0;
   uint64_t exchange_bytes_out = 0;
+  /// Topology block (pin_threads): logical cpu the shard's worker thread or
+  /// forked server process ran pinned to (-1 = unpinned), plus its getrusage
+  /// context-switch counts. Timing facts — never in OutcomeSignature().
+  int32_t pinned_cpu = -1;
+  uint64_t ctx_voluntary = 0;
+  uint64_t ctx_involuntary = 0;
 
   /// Fraction of prepare attempts that found the shard reachable; 1.0 when
   /// the shard was never asked to participate (vacuously available).
@@ -81,6 +87,23 @@ struct LatencyReport {
   double max_us = 0.0;
 };
 
+/// CPU-topology and hardware-counter facts about the machine the replay ran
+/// on (common/topology.h). Purely descriptive: nothing here may influence
+/// outcomes, so none of it enters OutcomeSignature(). The perf fields are
+/// zero whenever the kernel refuses perf_event_open (unprivileged
+/// containers, CI), keeping deterministic-output tests stable.
+struct TopologyReport {
+  int32_t cpus = 0;
+  int32_t physical_cores = 0;
+  int32_t numa_nodes = 0;
+  bool smt = false;
+  bool from_sysfs = false;  ///< false = hardware_concurrency() fallback
+  bool pinned = false;      ///< RuntimeOptions::pin_threads was requested
+  bool perf_available = false;
+  uint64_t cache_misses = 0;
+  uint64_t instructions = 0;
+};
+
 /// Outcome of one replay run.
 struct ReplayReport {
   std::string label;
@@ -98,6 +121,10 @@ struct ReplayReport {
   uint64_t coordinator_timeouts = 0;
   uint64_t shard_down_aborts = 0;
   uint64_t stalls_injected = 0;
+  /// Wall clock of the execution window: epoch -> last transaction
+  /// completion, on both loop shapes. Backend teardown (queue drain, thread
+  /// join, shard-process reaping) is deliberately excluded so throughput
+  /// never depends on shutdown cost.
   double wall_seconds = 0.0;
   /// Processed rate: (committed + failed) / wall.
   double throughput_tps = 0.0;
@@ -109,6 +136,25 @@ struct ReplayReport {
   LatencyReport local;
   LatencyReport distributed;
   LatencyReport retry;  ///< committed txns that needed >= 1 retry
+
+  /// Open-loop driver block (runtime/load_gen.h); all zero in closed-loop
+  /// mode. Conservation invariant: total_txns == committed + failed + shed.
+  /// Sojourn is measured from the *scheduled* arrival, so admission backlog
+  /// shows up as queue_wait instead of vanishing.
+  double target_tps = 0.0;   ///< requested offered load (0 = closed loop)
+  double offered_tps = 0.0;  ///< measured: total_txns / wall
+  uint64_t shed = 0;         ///< arrivals dropped at a full admission queue
+  LatencyReport sojourn;     ///< completion - scheduled arrival
+  LatencyReport queue_wait;  ///< admission dequeue - scheduled arrival
+  LatencyReport service;     ///< completion - admission dequeue
+  HistogramData sojourn_hist;
+  HistogramData queue_wait_hist;
+  HistogramData service_hist;
+
+  /// Machine/topology facts (pin_threads, perf counters); see TopologyReport.
+  TopologyReport topology;
+
+  bool open_loop() const { return target_tps > 0.0; }
   /// Full bucket data behind the summaries above, kept so renderers
   /// (Prometheus histograms) and aggregation across runs never have to
   /// recompute from live atomics. Everything in this report comes from one

@@ -4,6 +4,7 @@
 #include <string>
 #include <utility>
 
+#include "common/topology.h"
 #include "dist/telemetry.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics_registry.h"
@@ -24,7 +25,7 @@ ShardServer::ShardServer(int32_t shard_id, const ShardedDatabase& sharded,
       injector_(options.faults),
       prepare_us_(options.local_work_us + options.lock_hold_us),
       exchange_on_(options.exchange_enabled && !data_addrs.empty()),
-      node_(shard_id, sharded.db(), options.exchange_batch_bytes) {
+      node_(shard_id, sharded, options.exchange_batch_bytes) {
   if (exchange_on_) {
     client_.Configure(shard_id, std::move(data_addrs), &injector_,
                       options_.faults.wire_enabled());
@@ -74,6 +75,12 @@ net::ShardStatsMsg ShardServer::ControlStats(const EventLoop& loop) const {
 net::ShardStatsMsg ShardServer::FinalStats(const EventLoop& loop) const {
   net::ShardStatsMsg out = ControlStats(loop);
   if (exchange_on_) MergeExchangeStats(out);
+  // Topology tail: whole-process context switches (control + exchange
+  // threads) and where — if anywhere — this child was pinned.
+  const ContextSwitchCounts csw = ProcessContextSwitches();
+  out.pinned_cpu = pinned_cpu_;
+  out.ctx_voluntary = csw.voluntary;
+  out.ctx_involuntary = csw.involuntary;
   return out;
 }
 
@@ -240,7 +247,13 @@ void ShardServer::StreamAssembledReads(EventLoop& loop, int64_t peer,
               static_cast<RowId>(reads[i].row)};
     int32_t owner = sharded_.PrimaryShardOf(t);
     if (owner == kReplicated || owner == shard_id_) {
-      entries[i] = {t, EncodeRowBytes(sharded_.db().table_data(t.table).row(t.row))};
+      // Locally stored rows: serve from the arena-backed encoded store when
+      // it was built pre-fork (one copy, no per-value encode), else encode
+      // from the copy-on-write snapshot. Same bytes either way.
+      entries[i] = {t, sharded_.has_encoded_rows()
+                           ? std::string(sharded_.EncodedRow(t))
+                           : EncodeRowBytes(
+                                 sharded_.db().table_data(t.table).row(t.row))};
     } else {
       remote_pos[static_cast<size_t>(owner)].push_back(i);
     }
@@ -277,6 +290,18 @@ void ShardServer::StreamAssembledReads(EventLoop& loop, int64_t peer,
 
 net::ShardStatsMsg ShardServer::Serve(net::Socket listener,
                                       net::Socket data_listener) {
+  if (options_.pin_threads) {
+    // Pin the whole child to its shard's planned cpu NOW, while still
+    // single-threaded: the exchange node thread spawned below inherits the
+    // affinity mask. Every child computes the same deterministic plan from
+    // the same topology, so shard i lands on plan[i] cluster-wide.
+    std::vector<int32_t> plan =
+        BuildPinPlan(DetectCpuTopology(), sharded_.num_shards());
+    if (static_cast<size_t>(shard_id_) < plan.size() &&
+        PinCurrentProcessToCpu(plan[shard_id_])) {
+      pinned_cpu_ = plan[shard_id_];
+    }
+  }
   if (exchange_on_ && data_listener.valid()) {
     // The node thread is spawned here, AFTER fork (the child was
     // single-threaded at fork, which keeps sanitizers happy), and serves

@@ -119,6 +119,9 @@ class ShardServer {
 
   uint64_t reply_seq_ = 0;
   net::ShardStatsMsg stats_;
+  /// Logical cpu this child pinned itself (and its exchange thread) to at
+  /// Serve() entry; -1 when pinning is off or the kernel refused.
+  int32_t pinned_cpu_ = -1;
 };
 
 }  // namespace jecb

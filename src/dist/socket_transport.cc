@@ -345,6 +345,14 @@ void SocketTransport::ShutdownShard(int32_t i) {
     local.wire_delays += stats.exchange_wire_delays;
     local.wire_duplicates += stats.exchange_wire_duplicates;
     local.reconnects += stats.exchange_reconnects;
+    // Topology tail: per-shard facts, so they land in the shard's
+    // RuntimeMetrics slot (mirroring where the in-process worker writes
+    // them), not in the aggregate transport counters.
+    ShardMetrics& sm = metrics_->shard(i);
+    sm.pinned_cpu.store(stats.pinned_cpu, std::memory_order_relaxed);
+    sm.ctx_voluntary.fetch_add(stats.ctx_voluntary, std::memory_order_relaxed);
+    sm.ctx_involuntary.fetch_add(stats.ctx_involuntary,
+                                 std::memory_order_relaxed);
   }
   MergeCounters(local);
 }

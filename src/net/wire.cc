@@ -265,6 +265,9 @@ std::string ShardStatsMsg::Encode() const {
   w.U64(exchange_wire_delays);
   w.U64(exchange_wire_duplicates);
   w.U64(exchange_reconnects);
+  w.U32(static_cast<uint32_t>(pinned_cpu));
+  w.U64(ctx_voluntary);
+  w.U64(ctx_involuntary);
   return w.Take();
 }
 
@@ -281,12 +284,24 @@ bool ShardStatsMsg::Decode(std::string_view payload) {
   exchange_bytes_sent = exchange_reqs_sent = 0;
   exchange_wire_drops = exchange_wire_delays = 0;
   exchange_wire_duplicates = exchange_reconnects = 0;
+  pinned_cpu = -1;
+  ctx_voluntary = ctx_involuntary = 0;
   if (r.AtEnd()) return true;  // legacy encoder: no exchange tail
-  return r.U64(&exchange_reqs_served) && r.U64(&exchange_batches_sent) &&
-         r.U64(&exchange_tuples_sent) && r.U64(&exchange_bytes_sent) &&
-         r.U64(&exchange_reqs_sent) && r.U64(&exchange_wire_drops) &&
-         r.U64(&exchange_wire_delays) && r.U64(&exchange_wire_duplicates) &&
-         r.U64(&exchange_reconnects) && r.AtEnd();
+  if (!(r.U64(&exchange_reqs_served) && r.U64(&exchange_batches_sent) &&
+        r.U64(&exchange_tuples_sent) && r.U64(&exchange_bytes_sent) &&
+        r.U64(&exchange_reqs_sent) && r.U64(&exchange_wire_drops) &&
+        r.U64(&exchange_wire_delays) && r.U64(&exchange_wire_duplicates) &&
+        r.U64(&exchange_reconnects))) {
+    return false;
+  }
+  if (r.AtEnd()) return true;  // pre-topology encoder: no topology tail
+  uint32_t cpu = 0;
+  if (!(r.U32(&cpu) && r.U64(&ctx_voluntary) && r.U64(&ctx_involuntary) &&
+        r.AtEnd())) {
+    return false;
+  }
+  pinned_cpu = static_cast<int32_t>(cpu);
+  return true;
 }
 
 std::string ExchangeMsg::Encode() const {

@@ -261,6 +261,10 @@ struct ShardStatsMsg {
   uint64_t exchange_wire_delays = 0;     ///< injected delays on data channels
   uint64_t exchange_wire_duplicates = 0; ///< injected dups on data channels
   uint64_t exchange_reconnects = 0;      ///< data-channel reconnects
+  // --- topology tail (all-or-nothing, after the exchange tail) ---
+  int32_t pinned_cpu = -1;          ///< logical cpu the child pinned to; -1 = unpinned
+  uint64_t ctx_voluntary = 0;       ///< getrusage voluntary context switches
+  uint64_t ctx_involuntary = 0;     ///< getrusage involuntary context switches
 
   std::string Encode() const;
   bool Decode(std::string_view payload);

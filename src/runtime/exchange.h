@@ -16,8 +16,10 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "common/arena.h"
 #include "runtime/executor.h"
 #include "runtime/metrics.h"
 #include "runtime/sharded_database.h"
@@ -39,6 +41,17 @@ struct ExchangeEntry {
   std::string bytes;
 };
 
+/// Non-owning variant for the hot assembly path: when the ShardedDatabase
+/// has its encoded-row store built (RuntimeOptions::arena_tuples), views
+/// point straight into the per-shard arenas and assembling a read set
+/// allocates nothing per row. All accounting functions below accept either
+/// entry type and produce bit-identical digests/batch counts — the view
+/// path is an allocation optimization, never a semantic fork.
+struct ExchangeEntryView {
+  TupleId tuple;
+  std::string_view bytes;
+};
+
 /// Deterministic, platform-independent encoding of one row: per value a tag
 /// byte (0 int, 1 double, 2 string) followed by the LE u64 / double bits /
 /// u32 length + bytes. This IS the payload the socket backends ship, so the
@@ -55,6 +68,20 @@ std::vector<TupleId> ExchangeReadSet(const Transaction& txn);
 std::vector<ExchangeEntry> MaterializeReads(const Database& db,
                                             const std::vector<TupleId>& reads);
 
+/// Store-aware owned materialization: copies pre-encoded bytes out of the
+/// arena store when built (skipping the per-value encode), else encodes
+/// from storage. Identical bytes either way.
+std::vector<ExchangeEntry> MaterializeReads(const ShardedDatabase& sharded,
+                                            const std::vector<TupleId>& reads);
+
+/// Zero-copy materialization into `out`. With the encoded-row store built,
+/// views alias the store's arenas and `scratch` is untouched; without it,
+/// rows are encoded once into `scratch` (which must stay alive, unreset,
+/// while the views are in use). `out` is cleared first.
+void MaterializeReadViews(const ShardedDatabase& sharded,
+                          const std::vector<TupleId>& reads,
+                          std::vector<ExchangeEntryView>* out, Arena* scratch);
+
 /// Greedy batch split: entries are packed in order until adding the next one
 /// would push the batch past `batch_bytes` (a batch always takes at least
 /// one entry, so an oversized row still ships). Returns [begin, end) index
@@ -63,6 +90,9 @@ std::vector<ExchangeEntry> MaterializeReads(const Database& db,
 std::vector<std::pair<size_t, size_t>> ExchangeBatchSpans(
     const std::vector<ExchangeEntry>& entries, size_t begin, size_t end,
     uint32_t batch_bytes);
+std::vector<std::pair<size_t, size_t>> ExchangeBatchSpans(
+    const std::vector<ExchangeEntryView>& entries, size_t begin, size_t end,
+    uint32_t batch_bytes);
 
 /// Per-transaction digest over the assembled read set: HashInt64(txn_id)
 /// folded with every entry's (table, row, bytes). Commutatively accumulated
@@ -70,6 +100,8 @@ std::vector<std::pair<size_t, size_t>> ExchangeBatchSpans(
 /// at any client count and commit interleaving.
 uint64_t ExchangePayloadDigest(uint64_t txn_id,
                                const std::vector<ExchangeEntry>& entries);
+uint64_t ExchangePayloadDigest(uint64_t txn_id,
+                               const std::vector<ExchangeEntryView>& entries);
 
 /// The ONE accounting path for a committed transaction's assembled read set.
 /// Counts totals, remote (owner != home, non-replicated) tuples/bytes,
@@ -79,6 +111,10 @@ uint64_t ExchangePayloadDigest(uint64_t txn_id,
 uint64_t BuildExchangeOutcome(const ShardedDatabase& sharded,
                               const ClassifiedTxn& txn,
                               const std::vector<ExchangeEntry>& entries,
+                              uint32_t batch_bytes, RuntimeMetrics* metrics);
+uint64_t BuildExchangeOutcome(const ShardedDatabase& sharded,
+                              const ClassifiedTxn& txn,
+                              const std::vector<ExchangeEntryView>& entries,
                               uint32_t batch_bytes, RuntimeMetrics* metrics);
 
 /// In-process assembly: materialize + account in one step. The socket

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/topology.h"
+
 namespace jecb {
 
 std::string_view TransportKindName(TransportKind kind) {
@@ -41,6 +43,9 @@ ShardExecutor::~ShardExecutor() { Shutdown(); }
 void ShardExecutor::Start() {
   if (started_) return;
   started_ = true;
+  if (options_.pin_threads) {
+    pin_plan_ = BuildPinPlan(DetectCpuTopology(), num_shards());
+  }
   for (int32_t i = 0; i < num_shards(); ++i) {
     shards_[i]->worker = std::thread([this, i] { WorkerLoop(i); });
   }
@@ -79,6 +84,15 @@ void ShardExecutor::WorkerLoop(int32_t shard_id) {
   ShardState& shard = *shards_[shard_id];
   ShardMetrics& sm = metrics_->shard(shard_id);
   TraceRecorder& rec = TraceRecorder::Default();
+  // Pinning is best-effort and performance-only: a refused affinity call
+  // (restricted cpuset) just leaves the worker floating and pinned_cpu at
+  // -1. Context switches are measured as the worker-lifetime delta so
+  // thread-startup noise stays out of the report.
+  if (static_cast<size_t>(shard_id) < pin_plan_.size() &&
+      PinCurrentThreadToCpu(pin_plan_[shard_id])) {
+    sm.pinned_cpu.store(pin_plan_[shard_id], std::memory_order_relaxed);
+  }
+  const ContextSwitchCounts csw_start = ThreadContextSwitches();
   while (auto job_opt = shard.queue.Pop()) {
     Job* job = *job_opt;
     const ClassifiedTxn& txn = *job->txn;
@@ -112,6 +126,11 @@ void ShardExecutor::WorkerLoop(int32_t shard_id) {
     }
     job->done.release();
   }
+  const ContextSwitchCounts csw_end = ThreadContextSwitches();
+  sm.ctx_voluntary.fetch_add(csw_end.voluntary - csw_start.voluntary,
+                             std::memory_order_relaxed);
+  sm.ctx_involuntary.fetch_add(csw_end.involuntary - csw_start.involuntary,
+                               std::memory_order_relaxed);
 }
 
 }  // namespace jecb

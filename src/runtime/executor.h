@@ -44,6 +44,17 @@ enum class TransportKind : uint8_t {
 
 std::string_view TransportKindName(TransportKind kind);
 
+/// Open-loop arrival process shape (see src/runtime/load_gen.h). Both are
+/// pure functions of (faults.seed, txn id), so the schedule — and therefore
+/// which txns exist to execute — is identical at any client count and on
+/// any backend.
+enum class ArrivalProcess : uint8_t {
+  kFixedRate = 0,  ///< arrival i at exactly i / target_tps seconds
+  kPoisson = 1,    ///< exponential inter-arrivals, seed-driven
+};
+
+std::string_view ArrivalProcessName(ArrivalProcess process);
+
 /// Knobs of the simulated cluster.
 struct RuntimeOptions {
   /// Execution backend (see TransportKind).
@@ -108,6 +119,36 @@ struct RuntimeOptions {
   /// Test knob: this shard dumps its flight recorder and _Exit(3)s on
   /// kShutdown — a reproducible abnormal exit. -1 = off.
   int32_t debug_crash_on_shutdown_shard = -1;
+
+  // ---- Open-loop load generation (src/runtime/load_gen.h) ----
+
+  /// Offered load in txn/sec. 0 (default) keeps the closed-loop clients:
+  /// each of num_clients issues its next txn only after the previous one
+  /// finishes. A positive value switches Replay() to the open-loop driver:
+  /// arrivals follow the deterministic schedule regardless of completions,
+  /// num_clients executor threads drain the admission queue, and arrivals
+  /// that find it full are shed (counted, never executed).
+  double target_tps = 0.0;
+  /// Arrival schedule shape when target_tps > 0.
+  ArrivalProcess arrival = ArrivalProcess::kFixedRate;
+  /// Admission queue capacity for open-loop arrivals; 0 = unbounded (never
+  /// sheds, arbitrary queueing delay — what you want when asserting
+  /// cross-config OutcomeSignature identity under overload).
+  uint32_t admission_queue_depth = 1024;
+
+  // ---- CPU topology (src/common/topology.h) ----
+
+  /// Pin shard workers (in-process backend) and forked shard-server
+  /// children + their exchange threads (socket backends) to distinct
+  /// logical cpus, physical cores first (BuildPinPlan). Best-effort and
+  /// performance-only: outcomes are identical pinned or not.
+  bool pin_threads = false;
+  /// Back each shard's tuple bytes with a per-shard bump-pointer arena
+  /// (ShardedDatabase::BuildEncodedRows): exchange read-set assembly serves
+  /// pre-encoded rows from the arena instead of heap-allocating a fresh
+  /// std::string per row. Performance-only; byte-identical payloads, so
+  /// every digest and signature is unchanged on or off.
+  bool arena_tuples = true;
 };
 
 /// Deterministic per-txn trace-sampling decision; thread-count independent
@@ -228,6 +269,8 @@ class ShardExecutor {
   RuntimeOptions options_;
   RuntimeMetrics* metrics_;
   std::vector<std::unique_ptr<ShardState>> shards_;
+  /// Shard -> logical cpu when options_.pin_threads; empty otherwise.
+  std::vector<int32_t> pin_plan_;
   bool started_ = false;
 };
 

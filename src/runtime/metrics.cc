@@ -30,6 +30,10 @@ MetricsSnapshot RuntimeMetrics::Snapshot() const {
       exchange_remote_bytes.load(std::memory_order_relaxed);
   snap.exchange_batches = exchange_batches.load(std::memory_order_relaxed);
   snap.exchange_digest = exchange_digest.load(std::memory_order_relaxed);
+  snap.shed = shed.load(std::memory_order_relaxed);
+  snap.sojourn_latency = sojourn_latency.Snapshot();
+  snap.queue_wait_latency = queue_wait_latency.Snapshot();
+  snap.service_latency = service_latency.Snapshot();
   snap.exchange_fanout = exchange_fanout.Snapshot();
   snap.retry_latency = retry_latency.Snapshot();
 
@@ -52,6 +56,9 @@ MetricsSnapshot RuntimeMetrics::Snapshot() const {
         shard->exchange_tuples_out.load(std::memory_order_relaxed);
     s.exchange_bytes_out =
         shard->exchange_bytes_out.load(std::memory_order_relaxed);
+    s.pinned_cpu = shard->pinned_cpu.load(std::memory_order_relaxed);
+    s.ctx_voluntary = shard->ctx_voluntary.load(std::memory_order_relaxed);
+    s.ctx_involuntary = shard->ctx_involuntary.load(std::memory_order_relaxed);
     s.local_latency = shard->local_latency.Snapshot();
     s.dist_latency = shard->dist_latency.Snapshot();
     s.latency = s.local_latency;

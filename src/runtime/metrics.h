@@ -34,6 +34,13 @@ struct ShardMetrics {
   /// shard the bytes were pulled from), not the home that assembled them.
   std::atomic<uint64_t> exchange_tuples_out{0};
   std::atomic<uint64_t> exchange_bytes_out{0};
+  /// Topology block (pin_threads): the logical cpu the shard's worker (or
+  /// forked server process) was pinned to (-1 = unpinned), and the worker's
+  /// getrusage context-switch counts, recorded at worker exit / harvested
+  /// from the child. Never part of OutcomeSignature — they are timing facts.
+  std::atomic<int32_t> pinned_cpu{-1};
+  std::atomic<uint64_t> ctx_voluntary{0};
+  std::atomic<uint64_t> ctx_involuntary{0};
   LatencyHistogram local_latency;
   LatencyHistogram dist_latency;
 };
@@ -49,6 +56,9 @@ struct ShardMetricsSnapshot {
   uint64_t down_events = 0;
   uint64_t exchange_tuples_out = 0;
   uint64_t exchange_bytes_out = 0;
+  int32_t pinned_cpu = -1;
+  uint64_t ctx_voluntary = 0;
+  uint64_t ctx_involuntary = 0;
   HistogramData local_latency;
   HistogramData dist_latency;
   /// local_latency and dist_latency merged: everything homed at this shard.
@@ -80,6 +90,12 @@ struct MetricsSnapshot {
   uint64_t exchange_remote_bytes = 0;  ///< encoded bytes shipped shard-to-shard
   uint64_t exchange_batches = 0;       ///< bounded batches (greedy span rule)
   uint64_t exchange_digest = 0;        ///< order-independent payload digest
+  // Open-loop driver accounting (all zero in closed-loop mode). The shed
+  // conservation invariant is submitted = committed + failed + shed.
+  uint64_t shed = 0;                 ///< arrivals dropped at admission
+  HistogramData sojourn_latency;     ///< completion - scheduled arrival
+  HistogramData queue_wait_latency;  ///< admission dequeue - scheduled arrival
+  HistogramData service_latency;     ///< completion - admission dequeue
   HistogramData exchange_fanout;       ///< distinct remote source shards/txn
   HistogramData local_latency;        ///< merged over shards
   HistogramData distributed_latency;  ///< merged over shards
@@ -123,6 +139,19 @@ class RuntimeMetrics {
   std::atomic<uint64_t> exchange_remote_bytes{0};
   std::atomic<uint64_t> exchange_batches{0};
   std::atomic<uint64_t> exchange_digest{0};
+
+  /// Open-loop accounting: transactions dropped at the admission queue
+  /// (never executed), plus the sojourn split. The arrival thread sheds
+  /// deterministically only in the sense of the conservation invariant —
+  /// whether a given txn sheds depends on queue occupancy, i.e. on timing —
+  /// so saturated open-loop runs are load-dependent by design, and the
+  /// cross-backend OutcomeSignature contract applies to sub-saturation runs
+  /// where shed == 0.
+  std::atomic<uint64_t> shed{0};
+  LatencyHistogram sojourn_latency;
+  LatencyHistogram queue_wait_latency;
+  LatencyHistogram service_latency;
+
   /// Distinct remote source shards per assembled read set (the exchange
   /// fan-out of one committed transaction).
   LatencyHistogram exchange_fanout;

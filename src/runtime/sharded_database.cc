@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/string_util.h"
+#include "runtime/exchange.h"
 
 namespace jecb {
 
@@ -40,6 +41,27 @@ ShardedDatabase::ShardedDatabase(const Database& db,
       ++shards_[p].tuple_count;
       ++shards_[p].per_table_count[t];
       assignment_[t][r] = p;
+    }
+  }
+}
+
+void ShardedDatabase::BuildEncodedRows() {
+  if (!encoded_rows_.empty()) return;
+  const size_t num_tables = db_->schema().num_tables();
+  // One arena per shard + one for replicated tuples: a pinned worker (or a
+  // forked shard server) touching only its own shard's rows stays within
+  // one contiguous block chain.
+  encoded_arenas_ = std::vector<Arena>(shards_.size() + 1);
+  encoded_rows_.resize(num_tables);
+  for (TableId t = 0; t < num_tables; ++t) {
+    const TableData& data = db_->table_data(t);
+    encoded_rows_[t].resize(data.num_rows());
+    for (RowId r = 0; r < data.num_rows(); ++r) {
+      int32_t p = assignment_[t][r];
+      Arena& arena = encoded_arenas_[p == kReplicated
+                                         ? shards_.size()
+                                         : static_cast<size_t>(p)];
+      encoded_rows_[t][r] = arena.CopyString(EncodeRowBytes(data.row(r)));
     }
   }
 }

@@ -7,8 +7,10 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "common/arena.h"
 #include "partition/solution.h"
 #include "storage/database.h"
 
@@ -59,6 +61,32 @@ class ShardedDatabase {
   /// caller of the constructor owns the Database and must outlive this.
   const Database& db() const { return *db_; }
 
+  /// Builds the per-shard encoded-row store (RuntimeOptions::arena_tuples):
+  /// every stored tuple's EncodeRowBytes form, written once into one
+  /// bump-pointer arena per shard (replicated tuples into a shared extra
+  /// arena). Idempotent; NOT thread-safe — call before workers start or
+  /// before forking shard servers, after which the arenas are immutable and
+  /// children inherit them copy-on-write. Exchange assembly then serves
+  /// views into the arenas instead of heap-allocating a string per row.
+  void BuildEncodedRows();
+  bool has_encoded_rows() const { return !encoded_rows_.empty(); }
+
+  /// Pre-encoded bytes of `t`; empty view when the store was not built.
+  /// Views stay valid for the ShardedDatabase's lifetime (arenas are never
+  /// Reset once published).
+  std::string_view EncodedRow(TupleId t) const {
+    if (encoded_rows_.empty()) return {};
+    return encoded_rows_[t.table][t.row];
+  }
+
+  /// Bytes held by shard `s`'s encoded-row arena (index num_shards() = the
+  /// replicated-tuple arena); 0 before BuildEncodedRows.
+  uint64_t encoded_arena_bytes(int32_t s) const {
+    return encoded_arenas_.empty()
+               ? 0
+               : encoded_arenas_[static_cast<size_t>(s)].bytes_allocated();
+  }
+
   std::string Describe() const;
 
  private:
@@ -71,6 +99,10 @@ class ShardedDatabase {
   std::vector<Shard> shards_;
   /// assignment_[table][row]: owning shard, or kReplicated.
   std::vector<std::vector<int32_t>> assignment_;
+  /// Encoded-row store: one arena per shard + one for replicated tuples;
+  /// encoded_rows_[table][row] views into them. Empty until BuildEncodedRows.
+  std::vector<Arena> encoded_arenas_;
+  std::vector<std::vector<std::string_view>> encoded_rows_;
   uint64_t base_tuples_ = 0;
   uint64_t replicated_tuples_ = 0;
   uint64_t unknown_placements_ = 0;

@@ -1,10 +1,13 @@
-// Multi-producer single-consumer blocking work queue: the mailbox between
-// transaction submitters (clients, the 2PC coordinator) and a shard's worker
-// thread. Unbounded by default (the replay driver runs closed-loop so the
-// depth never exceeds the client count); an optional capacity turns Push
-// into a blocking call, which is how a stalled shard backpressures its
-// submitters instead of accumulating unbounded work — and instead of
-// deadlocking: Close() releases blocked pushers as well as the consumer.
+// Multi-producer blocking work queue: the mailbox between transaction
+// submitters (clients, the 2PC coordinator) and a shard's worker thread.
+// Usually drained by a single consumer, but Pop is mutex-serialized so the
+// open-loop admission queue can fan out to many executor threads. Unbounded
+// by default (the closed-loop replay driver never exceeds the client
+// count); an optional capacity turns Push into a blocking call, which is
+// how a stalled shard backpressures its submitters instead of accumulating
+// unbounded work — and instead of deadlocking: Close() releases blocked
+// pushers as well as the consumer. TryPush is the non-blocking variant the
+// open-loop arrival thread uses to shed instead of stall.
 #pragma once
 
 #include <condition_variable>
@@ -34,6 +37,22 @@ class WorkQueue {
       items_.push_back(std::move(item));
     }
     cv_.notify_one();
+  }
+
+  /// Non-blocking enqueue for deadline-sensitive producers (the open-loop
+  /// admission path): returns false — without ever waiting — when the queue
+  /// is at capacity or closed, which is the arrival thread's signal to shed
+  /// the transaction instead of stalling the arrival schedule.
+  bool TryPush(T item) {
+    {
+      std::lock_guard<std::mutex> guard(mu_);
+      if (closed_ || (capacity_ != 0 && items_.size() >= capacity_)) {
+        return false;
+      }
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return true;
   }
 
   /// Blocks until an item is available or the queue is closed. Returns

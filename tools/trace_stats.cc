@@ -128,7 +128,31 @@ int main(int argc, char** argv) {
   std::map<std::pair<std::string, std::string>, uint64_t> instant_counts;
   std::map<int64_t, std::vector<ChromeTraceEvent>> by_pid;
   std::map<int64_t, TxnPath> txns;
+  // Open-loop sojourn split ("openloop" category, runtime/load_gen.cc):
+  // queue_wait (scheduled arrival -> admission dequeue) vs service
+  // (dequeue -> completion) per sampled txn.
+  struct Side {
+    uint64_t count = 0;
+    uint64_t total_us = 0;
+    uint64_t max_us = 0;
+  };
+  Side queue_wait, service;
+  uint64_t shed_instants = 0;
   for (const ChromeTraceEvent& e : events) {
+    if (e.cat == "openloop") {
+      if (e.ph == "X") {
+        Side* side = e.name == "queue_wait" ? &queue_wait
+                     : e.name == "service"  ? &service
+                                            : nullptr;
+        if (side != nullptr) {
+          ++side->count;
+          side->total_us += e.dur_us;
+          side->max_us = std::max(side->max_us, e.dur_us);
+        }
+      } else if (e.name == "shed") {
+        ++shed_instants;
+      }
+    }
     if (e.ph == "X") {
       ++spans;
       by_pid[e.pid].push_back(e);
@@ -192,6 +216,36 @@ int main(int argc, char** argv) {
     }
     std::printf("slowest transactions (%zu of %zu traced)\n%s\n", ranked.size(),
                 txns.size(), ttable.ToString().c_str());
+  }
+
+  // Where does open-loop sojourn time go: waiting for admission, or being
+  // served? A queue_wait share that grows with offered load is the
+  // saturation signature; a flat one means the bottleneck is service time.
+  if (queue_wait.count + service.count > 0) {
+    auto mean = [](const Side& s) {
+      return s.count == 0
+                 ? 0.0
+                 : static_cast<double>(s.total_us) / static_cast<double>(s.count);
+    };
+    const double total =
+        static_cast<double>(queue_wait.total_us + service.total_us);
+    AsciiTable otable({"phase", "count", "total_ms", "mean_us", "max_us",
+                       "share"});
+    auto add_side = [&](const char* name, const Side& side) {
+      otable.AddRow(
+          {name, std::to_string(side.count),
+           FormatDouble(static_cast<double>(side.total_us) / 1000.0, 2),
+           FormatDouble(mean(side), 1), std::to_string(side.max_us),
+           total > 0.0 ? FormatDouble(
+                             static_cast<double>(side.total_us) / total * 100.0,
+                             1) + "%"
+                       : "-"});
+    };
+    add_side("queue_wait", queue_wait);
+    add_side("service", service);
+    std::printf("open-loop sojourn split (%llu sampled shed events)\n%s\n",
+                static_cast<unsigned long long>(shed_instants),
+                otable.ToString().c_str());
   }
 
   if (!instant_counts.empty()) {
